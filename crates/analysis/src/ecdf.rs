@@ -1,0 +1,203 @@
+//! Empirical distribution functions.
+//!
+//! [`Ecdf`] backs the CDF plots (Fig. 3's PTT comparison, Fig. 6a's
+//! throughput comparison); [`Ccdf`] backs Fig. 6c, whose annotated points
+//! — P(loss ≥ 5 %) = 0.12, P(loss ≥ 10 %) = 0.06 — are exactly
+//! [`Ccdf::at`] evaluations.
+
+/// An empirical CDF over a sample set.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds from samples (NaNs rejected by panic — measurement code
+    /// should never produce them).
+    pub fn new(samples: &[f64]) -> Self {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        Ecdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`.
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile of the sample set.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let idx = ((self.sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        Some(self.sorted[idx])
+    }
+
+    /// The plotted staircase as `(x, P(X <= x))` points, one per sample.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// Downsampled staircase with at most `max_points` points (for
+    /// compact `.dat` exports).
+    pub fn points_decimated(&self, max_points: usize) -> Vec<(f64, f64)> {
+        let pts = self.points();
+        if pts.len() <= max_points || max_points == 0 {
+            return pts;
+        }
+        let step = pts.len() as f64 / max_points as f64;
+        let mut out: Vec<(f64, f64)> = (0..max_points)
+            .map(|i| pts[(i as f64 * step) as usize])
+            .collect();
+        // Always keep the endpoint so the curve closes at 1.0.
+        if let Some(&last) = pts.last() {
+            if out.last() != Some(&last) {
+                out.push(last);
+            }
+        }
+        out
+    }
+}
+
+/// A complementary CDF view over the same samples.
+#[derive(Debug, Clone)]
+pub struct Ccdf {
+    ecdf: Ecdf,
+}
+
+impl Ccdf {
+    /// Builds from samples.
+    pub fn new(samples: &[f64]) -> Self {
+        Ccdf {
+            ecdf: Ecdf::new(samples),
+        }
+    }
+
+    /// `P(X >= x)`.
+    pub fn at(&self, x: f64) -> f64 {
+        if self.ecdf.sorted.is_empty() {
+            return 0.0;
+        }
+        let below = self.ecdf.sorted.partition_point(|&v| v < x);
+        1.0 - below as f64 / self.ecdf.sorted.len() as f64
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.ecdf.len()
+    }
+
+    /// Whether the sample set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ecdf.is_empty()
+    }
+
+    /// The plotted staircase as `(x, P(X >= x))` points.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.ecdf.sorted.len() as f64;
+        self.ecdf
+            .sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, 1.0 - i as f64 / n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecdf_of_known_points() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.at(0.5), 0.0);
+        assert_eq!(e.at(1.0), 0.25);
+        assert_eq!(e.at(2.5), 0.5);
+        assert_eq!(e.at(4.0), 1.0);
+        assert_eq!(e.at(99.0), 1.0);
+        assert_eq!(e.len(), 4);
+    }
+
+    #[test]
+    fn ccdf_matches_fig6c_semantics() {
+        // 100 loss samples: 12 at >=5%, of which 6 at >=10%.
+        let mut samples = vec![0.01; 88];
+        samples.extend(vec![0.07; 6]);
+        samples.extend(vec![0.30; 6]);
+        let c = Ccdf::new(&samples);
+        assert!((c.at(0.05) - 0.12).abs() < 1e-12);
+        assert!((c.at(0.10) - 0.06).abs() < 1e-12);
+        assert_eq!(c.at(0.60), 0.0);
+        assert_eq!(c.at(0.0), 1.0);
+    }
+
+    #[test]
+    fn ecdf_is_monotone_and_bounded() {
+        let samples: Vec<f64> = (0..500).map(|i| ((i * 37) % 101) as f64).collect();
+        let e = Ecdf::new(&samples);
+        let mut last = 0.0;
+        for x in 0..110 {
+            let p = e.at(x as f64);
+            assert!(p >= last);
+            assert!((0.0..=1.0).contains(&p));
+            last = p;
+        }
+    }
+
+    #[test]
+    fn quantile_agrees_with_stats_module() {
+        let samples = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let e = Ecdf::new(&samples);
+        assert_eq!(e.quantile(0.5), Some(crate::stats::median(&samples)));
+        assert_eq!(e.quantile(0.0), Some(1.0));
+        assert_eq!(e.quantile(1.0), Some(5.0));
+    }
+
+    #[test]
+    fn points_form_a_staircase_to_one() {
+        let e = Ecdf::new(&[3.0, 1.0, 2.0]);
+        let pts = e.points();
+        assert_eq!(pts, vec![(1.0, 1.0 / 3.0), (2.0, 2.0 / 3.0), (3.0, 1.0)]);
+    }
+
+    #[test]
+    fn decimation_keeps_endpoints() {
+        let samples: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let e = Ecdf::new(&samples);
+        let pts = e.points_decimated(100);
+        assert!(pts.len() <= 101);
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let e = Ecdf::new(&[]);
+        assert!(e.is_empty());
+        assert_eq!(e.at(1.0), 0.0);
+        assert_eq!(e.quantile(0.5), None);
+        let c = Ccdf::new(&[]);
+        assert!(c.is_empty());
+        assert_eq!(c.at(1.0), 0.0);
+    }
+}

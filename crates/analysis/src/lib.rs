@@ -1,0 +1,25 @@
+//! # starlink-analysis
+//!
+//! Statistics and reporting for the *starlink-browser-view* reproduction:
+//! the numeric machinery that turns raw measurement records into the
+//! paper's tables and figures.
+//!
+//! * [`stats`] — quantiles, five-number (box-plot) summaries, online
+//!   mean/variance;
+//! * [`ecdf`] — empirical CDFs (Figs. 3, 6a) and CCDFs (Fig. 6c);
+//! * [`render`] — ASCII tables for terminal reports, CSV for export, and
+//!   gnuplot-style `.dat` series for replotting the figures;
+//! * [`timeseries`] — binning, smoothing and autocorrelation (used to
+//!   verify Fig. 6(b)'s 24-hour cycle quantitatively).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ecdf;
+pub mod render;
+pub mod stats;
+pub mod timeseries;
+
+pub use ecdf::{Ccdf, Ecdf};
+pub use render::{AsciiTable, DatSeries};
+pub use stats::{five_number_summary, mean, median, quantile, FiveNumber, Welford};

@@ -1,0 +1,207 @@
+//! Report rendering: ASCII tables, CSV and gnuplot-style `.dat` series.
+//!
+//! The bench harness prints every table and figure of the paper through
+//! these renderers, so a `cargo bench` run reads like the evaluation
+//! section.
+
+use std::fmt::Write as _;
+
+/// A simple right-padded ASCII table.
+#[derive(Debug, Clone, Default)]
+pub struct AsciiTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl AsciiTable {
+    /// A table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        AsciiTable {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    ///
+    /// # Panics
+    /// Panics on a column-count mismatch.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} vs header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let line = |out: &mut String, cells: &[String]| {
+            let mut parts = Vec::with_capacity(cols);
+            for (i, cell) in cells.iter().enumerate() {
+                parts.push(format!("{cell:<width$}", width = widths[i]));
+            }
+            let _ = writeln!(out, "| {} |", parts.join(" | "));
+        };
+        let rule: String = {
+            let total: usize = widths.iter().sum::<usize>() + 3 * cols + 1;
+            "-".repeat(total)
+        };
+        let _ = writeln!(out, "{rule}");
+        line(&mut out, &self.header);
+        let _ = writeln!(out, "{rule}");
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        let _ = writeln!(out, "{rule}");
+        out
+    }
+
+    /// Renders as CSV (title omitted).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// A named set of `(x, y)` series rendered as a gnuplot-compatible `.dat`
+/// block (series separated by blank lines, `#`-prefixed headers).
+#[derive(Debug, Clone, Default)]
+pub struct DatSeries {
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl DatSeries {
+    /// An empty collection.
+    pub fn new() -> Self {
+        DatSeries::default()
+    }
+
+    /// Adds a named series.
+    pub fn series(&mut self, name: &str, points: Vec<(f64, f64)>) -> &mut Self {
+        self.series.push((name.to_string(), points));
+        self
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether no series were added.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Renders the `.dat` text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, (name, points)) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push_str("\n\n");
+            }
+            let _ = writeln!(out, "# {name}");
+            for &(x, y) in points {
+                let _ = writeln!(out, "{x:.6} {y:.6}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = AsciiTable::new("Demo", &["City", "Median PTT"]);
+        t.row(&["London".into(), "327 ms".into()]);
+        t.row(&["Sydney".into(), "622 ms".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("| City   | Median PTT |"));
+        assert!(s.contains("| London | 327 ms     |"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = AsciiTable::new("x", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = AsciiTable::new("", &["name", "note"]);
+        t.row(&["a,b".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+        assert!(csv.starts_with("name,note\n"));
+    }
+
+    #[test]
+    fn dat_series_blocks() {
+        let mut d = DatSeries::new();
+        d.series("starlink", vec![(1.0, 0.5), (2.0, 1.0)]);
+        d.series("cellular", vec![(1.0, 0.2)]);
+        let s = d.render();
+        assert!(s.starts_with("# starlink\n"));
+        assert!(s.contains("\n\n# cellular\n"));
+        assert!(s.contains("1.000000 0.500000"));
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! Summary statistics.
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) by the nearest-rank method on a copy of
+/// the data. Returns 0 for an empty slice.
+///
+/// # Panics
+/// Panics if `q` is outside `[0, 1]` or any sample is NaN.
+pub fn quantile(samples: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+    let idx = ((v.len() as f64 - 1.0) * q).round() as usize;
+    v[idx]
+}
+
+/// The median (0.5-quantile).
+pub fn median(samples: &[f64]) -> f64 {
+    quantile(samples, 0.5)
+}
+
+/// A box-plot five-number summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiveNumber {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl FiveNumber {
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Computes the five-number summary. Returns `None` for empty input.
+pub fn five_number_summary(samples: &[f64]) -> Option<FiveNumber> {
+    if samples.is_empty() {
+        return None;
+    }
+    Some(FiveNumber {
+        min: quantile(samples, 0.0),
+        q1: quantile(samples, 0.25),
+        median: quantile(samples, 0.5),
+        q3: quantile(samples, 0.75),
+        max: quantile(samples, 1.0),
+    })
+}
+
+/// Welford's online mean/variance accumulator — numerically stable, used
+/// where storing every sample would be wasteful (per-second loss series
+/// over six simulated months).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Current mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 with fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_known_data() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 0.5), 3.0);
+        assert_eq!(quantile(&v, 1.0), 5.0);
+        assert_eq!(median(&v), 3.0);
+        assert_eq!(mean(&v), 3.0);
+    }
+
+    #[test]
+    fn quantile_handles_unsorted_input() {
+        let v = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(median(&v), 3.0);
+        // The input is not mutated (we copy).
+        assert_eq!(v[0], 5.0);
+    }
+
+    #[test]
+    fn empty_slices_are_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert!(five_number_summary(&[]).is_none());
+    }
+
+    #[test]
+    fn five_number_summary_of_uniform() {
+        let v: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        let f = five_number_summary(&v).unwrap();
+        assert_eq!(f.min, 0.0);
+        assert_eq!(f.q1, 25.0);
+        assert_eq!(f.median, 50.0);
+        assert_eq!(f.q3, 75.0);
+        assert_eq!(f.max, 100.0);
+        assert_eq!(f.iqr(), 50.0);
+    }
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &v {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance() - 4.0).abs() < 1e-12);
+        assert!((w.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_small_counts() {
+        let mut w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        w.push(3.0);
+        assert_eq!(w.mean(), 3.0);
+        assert_eq!(w.variance(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn quantile_rejects_out_of_range() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+}

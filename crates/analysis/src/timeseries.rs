@@ -1,0 +1,128 @@
+//! Time-series helpers: binning, moving averages and periodicity
+//! detection.
+//!
+//! Used by the Fig. 6(b) analysis (and its tests) to verify that the
+//! throughput series actually carries a 24-hour cycle, rather than just
+//! eyeballing the plot.
+
+/// Bins `(t_seconds, value)` samples into fixed-width means. Empty bins
+/// yield `None`.
+pub fn bin_means(samples: &[(f64, f64)], bin_width_s: f64) -> Vec<Option<f64>> {
+    if samples.is_empty() || bin_width_s <= 0.0 {
+        return Vec::new();
+    }
+    let max_t = samples.iter().map(|&(t, _)| t).fold(f64::MIN, f64::max);
+    let bins = (max_t / bin_width_s).floor() as usize + 1;
+    let mut sums = vec![0.0; bins];
+    let mut counts = vec![0u32; bins];
+    for &(t, v) in samples {
+        if t < 0.0 {
+            continue;
+        }
+        let i = ((t / bin_width_s) as usize).min(bins - 1);
+        sums[i] += v;
+        counts[i] += 1;
+    }
+    sums.iter()
+        .zip(&counts)
+        .map(|(&s, &c)| if c > 0 { Some(s / f64::from(c)) } else { None })
+        .collect()
+}
+
+/// Centred moving average of width `window` (odd widths behave best);
+/// edges use the available neighbours.
+pub fn moving_average(values: &[f64], window: usize) -> Vec<f64> {
+    if values.is_empty() || window == 0 {
+        return values.to_vec();
+    }
+    let half = window / 2;
+    (0..values.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(values.len());
+            values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// Sample autocorrelation at `lag` (biased estimator). Returns `None`
+/// when the series is too short or has zero variance.
+pub fn autocorrelation(values: &[f64], lag: usize) -> Option<f64> {
+    let n = values.len();
+    if lag >= n || n < 2 {
+        return None;
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let var: f64 = values.iter().map(|v| (v - mean).powi(2)).sum();
+    if var == 0.0 {
+        return None;
+    }
+    let cov: f64 = (0..n - lag)
+        .map(|i| (values[i] - mean) * (values[i + lag] - mean))
+        .sum();
+    Some(cov / var)
+}
+
+/// The lag (within `[min_lag, max_lag]`) with the strongest positive
+/// autocorrelation — a crude period detector.
+pub fn dominant_period(values: &[f64], min_lag: usize, max_lag: usize) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for lag in min_lag..=max_lag.min(values.len().saturating_sub(1)) {
+        if let Some(r) = autocorrelation(values, lag) {
+            if best.is_none_or(|(_, br)| r > br) {
+                best = Some((lag, r));
+            }
+        }
+    }
+    best.map(|(lag, _)| lag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_means_averages_per_bin() {
+        let samples = [(0.5, 10.0), (0.9, 20.0), (1.5, 30.0), (3.2, 40.0)];
+        let bins = bin_means(&samples, 1.0);
+        assert_eq!(bins.len(), 4);
+        assert_eq!(bins[0], Some(15.0));
+        assert_eq!(bins[1], Some(30.0));
+        assert_eq!(bins[2], None);
+        assert_eq!(bins[3], Some(40.0));
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let noisy = [0.0, 10.0, 0.0, 10.0, 0.0, 10.0];
+        let smooth = moving_average(&noisy, 3);
+        // Interior points pull toward 5.0; spread shrinks.
+        let spread = |v: &[f64]| {
+            v.iter().cloned().fold(f64::MIN, f64::max) - v.iter().cloned().fold(f64::MAX, f64::min)
+        };
+        assert!(spread(&smooth) < spread(&noisy));
+        assert_eq!(smooth.len(), noisy.len());
+    }
+
+    #[test]
+    fn autocorrelation_finds_a_sine_period() {
+        // Period 24 samples.
+        let values: Vec<f64> = (0..240)
+            .map(|i| (i as f64 * std::f64::consts::TAU / 24.0).sin())
+            .collect();
+        let at_period = autocorrelation(&values, 24).unwrap();
+        let off_period = autocorrelation(&values, 12).unwrap();
+        assert!(at_period > 0.9, "{at_period}");
+        assert!(off_period < 0.0, "{off_period}");
+        assert_eq!(dominant_period(&values, 12, 36), Some(24));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(autocorrelation(&[1.0, 1.0, 1.0], 1).is_none());
+        assert!(autocorrelation(&[1.0], 1).is_none());
+        assert!(bin_means(&[], 1.0).is_empty());
+        assert_eq!(moving_average(&[], 3), Vec::<f64>::new());
+        assert!(dominant_period(&[1.0, 2.0], 5, 10).is_none());
+    }
+}

@@ -1,0 +1,77 @@
+//! **Ablation** — bottleneck buffer size vs TCP goodput.
+//!
+//! The Table 2 queueing observations come from shared-cell buffering; the
+//! Fig. 8 outcomes ride on how much buffer the bent pipe's droptail queue
+//! gives TCP. This sweep runs CUBIC over a fixed 100 Mbps / 40 ms-RTT
+//! path with the bottleneck buffer from 1/8 BDP to 2 BDP: classic
+//! underbuffering starves goodput; ~1 BDP recovers it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use starlink_core::netsim::{LinkConfig, Network, NodeKind};
+use starlink_core::simcore::{Bytes, DataRate, SimDuration, SimTime};
+use starlink_core::tools::iperf::iperf_tcp;
+use starlink_core::transport::CcAlgorithm;
+
+fn goodput_with_buffer(buffer: Bytes) -> f64 {
+    let mut net = Network::new(11);
+    let a = net.add_node("tx", NodeKind::Host);
+    let b = net.add_node("rx", NodeKind::Host);
+    net.connect_duplex(
+        a,
+        b,
+        LinkConfig::fixed(SimDuration::from_millis(20), DataRate::from_mbps(100), 0.0)
+            .with_queue(buffer),
+        LinkConfig::fixed(SimDuration::from_millis(20), DataRate::from_mbps(100), 0.0),
+    );
+    net.route_linear(&[a, b]);
+    iperf_tcp(
+        &mut net,
+        a,
+        b,
+        CcAlgorithm::Cubic,
+        SimDuration::from_secs(20),
+    )
+    .goodput
+    .as_mbps()
+}
+
+fn bench(c: &mut Criterion) {
+    // BDP = 100 Mbps x 40 ms = 500 kB.
+    let bdp = 500_000u64;
+    let fractions = [0.125, 0.25, 0.5, 1.0, 2.0];
+    let mut rows = String::new();
+    let mut results = Vec::new();
+    for &f in &fractions {
+        let buffer = Bytes::new((bdp as f64 * f) as u64);
+        let mbps = goodput_with_buffer(buffer);
+        results.push(mbps);
+        rows.push_str(&format!(
+            "  buffer {:>7} ({:>5.3} BDP): {:>5.1} Mbps\n",
+            buffer, f, mbps
+        ));
+    }
+    let shape = if results[0] < results[3] && results[3] > 60.0 {
+        Ok(())
+    } else {
+        Err(format!(
+            "buffer sweep shape off: 1/8 BDP {:.1} Mbps vs 1 BDP {:.1} Mbps",
+            results[0], results[3]
+        ))
+    };
+    starlink_bench::report(
+        "Ablation: bottleneck buffer vs CUBIC goodput (100 Mbps, 40 ms RTT)",
+        &rows,
+        shape,
+    );
+
+    c.bench_function("ablation_buffer/one-point", |b| {
+        b.iter(|| goodput_with_buffer(Bytes::new(bdp / 2)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

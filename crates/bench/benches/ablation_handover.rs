@@ -1,0 +1,95 @@
+//! **Ablation** — is the handover-loss mechanism load-bearing for the
+//! Fig. 6(c) loss tail?
+//!
+//! Runs the per-test loss campaign twice over the same constellation
+//! window: once with the full model (handover bursts + outages +
+//! background fades) and once with the schedule-driven windows removed
+//! (background Gilbert–Elliott only). The paper's 12%-at-5% tail should
+//! collapse without handovers — demonstrating that the clumps, not the
+//! background, carry the tail.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use starlink_core::analysis::Ccdf;
+use starlink_core::channel::loss::HandoverLossParams;
+use starlink_core::channel::HandoverLossModel;
+use starlink_core::constellation::{
+    compute_schedule, Constellation, SelectionPolicy, ServingSchedule,
+};
+use starlink_core::geo::City;
+use starlink_core::simcore::{SimDuration, SimRng, SimTime};
+use starlink_core::tools::Cron;
+
+fn per_test_losses(schedule: &ServingSchedule, days: u64, seed: u64) -> Vec<f64> {
+    let mut model = HandoverLossModel::new(
+        schedule,
+        HandoverLossParams::default(),
+        SimRng::seed_from(seed),
+    );
+    let window = SimDuration::from_days(days);
+    let cron = Cron::iperf_schedule(SimTime::ZERO, SimTime::ZERO + window);
+    let tick = SimDuration::from_millis(100);
+    cron.ticks()
+        .map(|start| {
+            let mut acc = 0.0;
+            for i in 0..100u64 {
+                acc += model.loss_prob_at(start + tick * i);
+            }
+            acc / 100.0
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let days = 4;
+    let constellation = Constellation::starlink_shell1(1.1);
+    let policy = SelectionPolicy::default();
+    let schedule = compute_schedule(
+        &constellation,
+        City::Wiltshire.position(),
+        SimTime::ZERO,
+        SimDuration::from_days(days),
+        &policy,
+    );
+    let empty = ServingSchedule::default(); // no handovers, no outages
+
+    let with = per_test_losses(&schedule, days, 7);
+    let without = per_test_losses(&empty, days, 7);
+    let c_with = Ccdf::new(&with);
+    let c_without = Ccdf::new(&without);
+
+    let rendered = format!(
+        "{} tests over {} days\n\
+         \x20 P(loss >= 5%):  full model {:.3}   background-only {:.3}\n\
+         \x20 P(loss >= 10%): full model {:.3}   background-only {:.3}\n\
+         \x20 max loss:       full model {:.1}%  background-only {:.1}%\n",
+        with.len(),
+        days,
+        c_with.at(0.05),
+        c_without.at(0.05),
+        c_with.at(0.10),
+        c_without.at(0.10),
+        with.iter().cloned().fold(0.0, f64::max) * 100.0,
+        without.iter().cloned().fold(0.0, f64::max) * 100.0,
+    );
+    let shape = if c_with.at(0.05) > 2.0 * c_without.at(0.05) {
+        Ok(())
+    } else {
+        Err(format!(
+            "handover mechanism is not load-bearing: {:.3} vs {:.3}",
+            c_with.at(0.05),
+            c_without.at(0.05)
+        ))
+    };
+    starlink_bench::report("Ablation: handover loss mechanism", &rendered, shape);
+
+    c.bench_function("ablation_handover/1-day", |b| {
+        b.iter(|| per_test_losses(&schedule, 1, 3))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

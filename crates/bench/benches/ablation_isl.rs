@@ -1,0 +1,88 @@
+//! **Extension** — the paper's future-work scenario: inter-satellite
+//! links vs the measured bent pipe.
+//!
+//! §4's takeaway: "connections between geographically distant end points
+//! may not see the full benefits of Starlink until Inter-satellite Links
+//! (ISLs) become the norm, offsetting the additional latency of the
+//! satellite link with lower delays in crossing the Atlantic via ISLs."
+//! This bench puts numbers on that sentence for the paper's own endpoint
+//! pairs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use starlink_core::constellation::IslModel;
+use starlink_core::geo::City;
+
+fn bench(c: &mut Criterion) {
+    let model = IslModel::default();
+    let pairs = [
+        (
+            "London -> N. Virginia (Fig. 5 path)",
+            City::London,
+            City::NVirginiaDc,
+        ),
+        (
+            "London -> Iowa (speedtest path)",
+            City::London,
+            City::IowaDc,
+        ),
+        (
+            "Sydney -> Iowa (speedtest path)",
+            City::Sydney,
+            City::IowaDc,
+        ),
+        (
+            "London -> Sydney (antipodal-ish)",
+            City::London,
+            City::Sydney,
+        ),
+        (
+            "London -> Barcelona (short-haul)",
+            City::London,
+            City::Barcelona,
+        ),
+    ];
+    let mut rows =
+        String::from("one-way latency, ms (bent pipe = the measured 2022 configuration)\n\n");
+    rows.push_str(&format!(
+        "  {:<36} {:>9} {:>7} {:>7} {:>6}\n",
+        "pair", "bent-pipe", "ISL", "fibre", "hops"
+    ));
+    for (label, a, b) in pairs {
+        let cmp = model.compare(a.position(), b.position(), None);
+        rows.push_str(&format!(
+            "  {:<36} {:>9.1} {:>7.1} {:>7.1} {:>6}\n",
+            label,
+            cmp.bent_pipe_one_way.as_millis_f64(),
+            cmp.isl_one_way.as_millis_f64(),
+            cmp.terrestrial_one_way.as_millis_f64(),
+            cmp.isl_hops,
+        ));
+    }
+    rows.push_str(&format!(
+        "\n  ISL-vs-fibre break-even distance: {:.0} km\n",
+        model.break_even_km()
+    ));
+
+    let atlantic = model.compare(City::London.position(), City::NVirginiaDc.position(), None);
+    let shape = if atlantic.isl_advantage() > 3.0 {
+        Ok(())
+    } else {
+        Err(format!(
+            "ISL should beat the bent pipe transatlantic by several ms \
+             (got {:.1})",
+            atlantic.isl_advantage()
+        ))
+    };
+    starlink_bench::report("Extension: inter-satellite links", &rows, shape);
+
+    c.bench_function("ablation_isl/compare", |b| {
+        b.iter(|| model.compare(City::London.position(), City::Sydney.position(), None))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! **Ablation** — sticky vs greedy serving-satellite selection.
+//!
+//! The sticky policy (keep the serving satellite until it leaves the
+//! mask) is what the paper's loss observations imply. A greedy
+//! highest-elevation-always policy would hand over at nearly every 15 s
+//! reconfiguration — and since every handover costs a loss burst, the
+//! per-test loss tail would explode. This ablation quantifies both.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use starlink_core::analysis::Ccdf;
+use starlink_core::channel::loss::HandoverLossParams;
+use starlink_core::channel::HandoverLossModel;
+use starlink_core::constellation::{
+    compute_schedule, compute_schedule_greedy, Constellation, SelectionPolicy, ServingSchedule,
+};
+use starlink_core::geo::City;
+use starlink_core::simcore::{SimDuration, SimRng, SimTime};
+use starlink_core::tools::Cron;
+
+fn tail(schedule: &ServingSchedule, hours: u64) -> (usize, f64) {
+    let mut model = HandoverLossModel::new(
+        schedule,
+        HandoverLossParams::default(),
+        SimRng::seed_from(5),
+    );
+    let window = SimDuration::from_hours(hours);
+    let cron = Cron::iperf_schedule(SimTime::ZERO, SimTime::ZERO + window);
+    let tick = SimDuration::from_millis(100);
+    let losses: Vec<f64> = cron
+        .ticks()
+        .map(|start| {
+            let mut acc = 0.0;
+            for i in 0..100u64 {
+                acc += model.loss_prob_at(start + tick * i);
+            }
+            acc / 100.0
+        })
+        .collect();
+    (schedule.handovers.len(), Ccdf::new(&losses).at(0.05))
+}
+
+fn bench(c: &mut Criterion) {
+    let hours = 24;
+    let constellation = Constellation::starlink_shell1(0.4);
+    let policy = SelectionPolicy::default();
+    let position = City::Wiltshire.position();
+    let window = SimDuration::from_hours(hours);
+    let sticky = compute_schedule(&constellation, position, SimTime::ZERO, window, &policy);
+    let greedy = compute_schedule_greedy(&constellation, position, SimTime::ZERO, window, &policy);
+
+    let (sticky_handovers, sticky_tail) = tail(&sticky, hours);
+    let (greedy_handovers, greedy_tail) = tail(&greedy, hours);
+
+    let rendered = format!(
+        "24-hour window at the UK node\n\
+         \x20 sticky policy: {} handovers, {} outage, P(test loss >= 5%) = {:.3}\n\
+         \x20 greedy policy: {} handovers, {} outage, P(test loss >= 5%) = {:.3}\n",
+        sticky_handovers,
+        sticky.total_outage(),
+        sticky_tail,
+        greedy_handovers,
+        greedy.total_outage(),
+        greedy_tail,
+    );
+    let shape = if greedy_handovers >= 2 * sticky_handovers && greedy_tail > sticky_tail {
+        Ok(())
+    } else {
+        Err(format!(
+            "greedy should multiply handovers and the loss tail \
+             ({greedy_handovers} vs {sticky_handovers}, {greedy_tail:.3} vs {sticky_tail:.3})"
+        ))
+    };
+    starlink_bench::report("Ablation: selection policy", &rendered, shape);
+
+    c.bench_function("ablation_policy/1h-both", |b| {
+        b.iter(|| {
+            let w = SimDuration::from_hours(1);
+            let s = compute_schedule(&constellation, position, SimTime::ZERO, w, &policy);
+            let g = compute_schedule_greedy(&constellation, position, SimTime::ZERO, w, &policy);
+            (s.handovers.len(), g.handovers.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

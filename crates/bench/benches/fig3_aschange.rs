@@ -1,0 +1,22 @@
+//! Regenerates **Fig. 3**: PTT CDFs of popular vs unpopular sites before
+//! and after the Google-AS -> SpaceX-AS switch (London & Sydney).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use starlink_core::experiments::fig3;
+
+fn bench(c: &mut Criterion) {
+    let result = fig3::run(&fig3::Config::default());
+    starlink_bench::report("Fig. 3", &result.render(), result.shape_holds());
+    starlink_bench::export_dat("fig3_cdfs", &result.to_dat());
+
+    c.bench_function("fig3/120-day-campaign", |b| {
+        b.iter(|| fig3::run(&fig3::Config { seed: 1, days: 120 }))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

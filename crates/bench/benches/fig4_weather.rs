@@ -1,0 +1,21 @@
+//! Regenerates **Fig. 4**: PTT under the seven weather conditions for
+//! London Starlink users.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use starlink_core::experiments::fig4;
+
+fn bench(c: &mut Criterion) {
+    let result = fig4::run(&fig4::Config::default());
+    starlink_bench::report("Fig. 4", &result.render(), result.shape_holds());
+
+    c.bench_function("fig4/90-day-campaign", |b| {
+        b.iter(|| fig4::run(&fig4::Config { seed: 1, days: 90 }))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Regenerates **Fig. 5**: hop-by-hop RTT of Starlink vs broadband vs
+//! cellular from London to an N. Virginia VM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use starlink_core::experiments::fig5;
+
+fn bench(c: &mut Criterion) {
+    let result = fig5::run(&fig5::Config::default());
+    starlink_bench::report("Fig. 5", &result.render(), result.shape_holds());
+    starlink_bench::export_dat("fig5_hops", &result.to_dat());
+
+    c.bench_function("fig5/5-round-mtr", |b| {
+        b.iter(|| fig5::run(&fig5::Config { seed: 1, rounds: 5 }))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

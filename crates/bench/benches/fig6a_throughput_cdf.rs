@@ -1,0 +1,22 @@
+//! Regenerates **Fig. 6(a)**: downlink throughput CDFs at the North
+//! Carolina, UK and Barcelona volunteer nodes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use starlink_core::experiments::fig6a;
+
+fn bench(c: &mut Criterion) {
+    let result = fig6a::run(&fig6a::Config::default());
+    starlink_bench::report("Fig. 6(a)", &result.render(), result.shape_holds());
+    starlink_bench::export_dat("fig6a_cdfs", &result.to_dat());
+
+    c.bench_function("fig6a/14-day-series", |b| {
+        b.iter(|| fig6a::run(&fig6a::Config { seed: 1, days: 14 }))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

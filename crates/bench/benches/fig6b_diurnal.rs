@@ -1,0 +1,22 @@
+//! Regenerates **Fig. 6(b)**: UK downlink/uplink throughput over two
+//! days of half-hourly tests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use starlink_core::experiments::fig6b;
+
+fn bench(c: &mut Criterion) {
+    let result = fig6b::run(&fig6b::Config::default());
+    starlink_bench::report("Fig. 6(b)", &result.render(), result.shape_holds());
+    starlink_bench::export_dat("fig6b_diurnal", &result.to_dat());
+
+    c.bench_function("fig6b/2-day-series", |b| {
+        b.iter(|| fig6b::run(&fig6b::Config { seed: 1, days: 2 }))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Regenerates **Fig. 6(c)**: the per-test packet-loss CCDF at the UK
+//! receiver (annotated points: P(loss>=5%)=0.12, P(loss>=10%)=0.06).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use starlink_core::experiments::fig6c;
+
+fn bench(c: &mut Criterion) {
+    let result = fig6c::run(&fig6c::Config::default());
+    starlink_bench::report("Fig. 6(c)", &result.render(), result.shape_holds());
+    starlink_bench::export_dat("fig6c_ccdf", &result.to_dat());
+
+    c.bench_function("fig6c/2-day-campaign", |b| {
+        b.iter(|| {
+            fig6c::run(&fig6c::Config {
+                seed: 1,
+                days: 2,
+                ..fig6c::Config::default()
+            })
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Regenerates **Fig. 7**: satellite line-of-sight distances vs packet
+//! loss over a 12-minute window at the UK receiver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use starlink_core::experiments::fig7;
+
+fn bench(c: &mut Criterion) {
+    let result = fig7::run(&fig7::Config::default());
+    starlink_bench::report("Fig. 7", &result.render(), result.shape_holds());
+    starlink_bench::export_dat("fig7_tracks", &result.to_dat());
+
+    c.bench_function("fig7/12-min-window", |b| {
+        b.iter(|| fig7::run(&fig7::Config::default()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

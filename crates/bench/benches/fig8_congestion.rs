@@ -1,0 +1,28 @@
+//! Regenerates **Fig. 8**: normalised TCP throughput of BBR, CUBIC,
+//! Reno, Veno and Vegas on Starlink vs campus Wi-Fi.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use starlink_core::experiments::fig8;
+use starlink_core::simcore::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let result = fig8::run(&fig8::Config::default());
+    starlink_bench::report("Fig. 8", &result.render(), result.shape_holds());
+
+    c.bench_function("fig8/10s-stress", |b| {
+        b.iter(|| {
+            fig8::run(&fig8::Config {
+                seed: 1,
+                test_len: SimDuration::from_secs(10),
+                slots_local_hours: vec![2.0, 21.0],
+            })
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Regenerates **Table 1**: city-wise extension data (requests, domains,
+//! median PTT for Starlink vs non-Starlink users).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use starlink_core::experiments::table1;
+
+fn bench(c: &mut Criterion) {
+    let result = table1::run(&table1::Config::default());
+    starlink_bench::report("Table 1", &result.render(), result.shape_holds());
+
+    c.bench_function("table1/30-day-campaign", |b| {
+        b.iter(|| table1::run(&table1::Config { seed: 1, days: 30 }))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates **Table 2**: min/median/max queueing delay on the bent
+//! pipe vs the whole path for the three volunteer nodes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use starlink_core::experiments::table2;
+
+fn bench(c: &mut Criterion) {
+    let result = table2::run(&table2::Config::default());
+    starlink_bench::report("Table 2", &result.render(), result.shape_holds());
+
+    c.bench_function("table2/3-session-estimate", |b| {
+        b.iter(|| {
+            table2::run(&table2::Config {
+                seed: 1,
+                sessions: 3,
+                probes: 10,
+            })
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Regenerates **Table 3**: browser-speedtest medians of Starlink users
+//! in London, Seattle, Toronto and Warsaw.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use starlink_core::experiments::table3;
+
+fn bench(c: &mut Criterion) {
+    let result = table3::run(&table3::Config::default());
+    starlink_bench::report("Table 3", &result.render(), result.shape_holds());
+
+    c.bench_function("table3/60-day-campaign", |b| {
+        b.iter(|| table3::run(&table3::Config { seed: 1, days: 60 }))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! `repro` — regenerate any (or every) table and figure of the paper.
+//!
+//! ```text
+//! repro all            # everything, in paper order
+//! repro table1         # one artefact
+//! repro fig6c fig7     # a selection
+//! repro --seed 7 all   # a different universe
+//! ```
+//!
+//! Output is the same rows/series the paper reports, with a `[shape]`
+//! verdict against the paper's qualitative claims. Figure data is also
+//! exported as gnuplot-ready `.dat` under `target/repro/`.
+
+use starlink_bench::{export_dat, report};
+use starlink_core::experiments::*;
+use starlink_core::simcore::SimDuration;
+
+const ARTEFACTS: [&str; 13] = [
+    "fig1", "fig2", "table1", "fig3", "fig4", "fig5", "table2", "table3", "fig6a", "fig6b",
+    "fig6c", "fig7", "fig8",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed: u64 = 42;
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--help" | "-h" => usage(""),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        usage("no artefact named");
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = ARTEFACTS.iter().map(|s| s.to_string()).collect();
+    }
+
+    for target in &targets {
+        run_one(target, seed);
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!("usage: repro [--seed N] <artefact>...");
+    eprintln!("artefacts: all {}", ARTEFACTS.join(" "));
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn run_one(target: &str, seed: u64) {
+    match target {
+        "fig1" => {
+            let r = fig1::run(&fig1::Config { seed });
+            report("Fig. 1 — user map", &r.render(), Ok(()));
+        }
+        "fig2" => {
+            let r = fig2::run(&fig2::Config {
+                seed,
+                ..fig2::Config::default()
+            });
+            report("Fig. 2 — measurement-node setup", &r.render(), Ok(()));
+        }
+        "table1" => {
+            let r = table1::run(&table1::Config { seed, days: 182 });
+            report(
+                "Table 1 — city-wise extension data",
+                &r.render(),
+                r.shape_holds(),
+            );
+        }
+        "fig3" => {
+            let r = fig3::run(&fig3::Config { seed, days: 182 });
+            report(
+                "Fig. 3 — PTT CDFs around the AS change",
+                &r.render(),
+                r.shape_holds(),
+            );
+            export_dat("fig3_cdfs", &r.to_dat());
+        }
+        "fig4" => {
+            let r = fig4::run(&fig4::Config { seed, days: 182 });
+            report("Fig. 4 — weather vs PTT", &r.render(), r.shape_holds());
+        }
+        "fig5" => {
+            let r = fig5::run(&fig5::Config { seed, rounds: 20 });
+            report(
+                "Fig. 5 — hop-by-hop RTT comparison",
+                &r.render(),
+                r.shape_holds(),
+            );
+            export_dat("fig5_hops", &r.to_dat());
+        }
+        "table2" => {
+            let r = table2::run(&table2::Config {
+                seed,
+                ..table2::Config::default()
+            });
+            report(
+                "Table 2 — bent-pipe vs whole-path queueing",
+                &r.render(),
+                r.shape_holds(),
+            );
+        }
+        "table3" => {
+            let r = table3::run(&table3::Config { seed, days: 182 });
+            report(
+                "Table 3 — browser speedtest medians",
+                &r.render(),
+                r.shape_holds(),
+            );
+        }
+        "fig6a" => {
+            let r = fig6a::run(&fig6a::Config { seed, days: 14 });
+            report("Fig. 6(a) — throughput CDFs", &r.render(), r.shape_holds());
+            export_dat("fig6a_cdfs", &r.to_dat());
+        }
+        "fig6b" => {
+            let r = fig6b::run(&fig6b::Config { seed, days: 2 });
+            report(
+                "Fig. 6(b) — diurnal throughput",
+                &r.render(),
+                r.shape_holds(),
+            );
+            export_dat("fig6b_diurnal", &r.to_dat());
+        }
+        "fig6c" => {
+            let r = fig6c::run(&fig6c::Config {
+                seed,
+                ..fig6c::Config::default()
+            });
+            report("Fig. 6(c) — loss CCDF", &r.render(), r.shape_holds());
+            export_dat("fig6c_ccdf", &r.to_dat());
+        }
+        "fig7" => {
+            let r = fig7::run(&fig7::Config {
+                seed,
+                window: SimDuration::from_mins(12),
+            });
+            report(
+                "Fig. 7 — handover loss clumps",
+                &r.render(),
+                r.shape_holds(),
+            );
+            export_dat("fig7_tracks", &r.to_dat());
+        }
+        "fig8" => {
+            let r = fig8::run(&fig8::Config {
+                seed,
+                test_len: SimDuration::from_secs(60),
+                ..fig8::Config::default()
+            });
+            report(
+                "Fig. 8 — congestion-control shoot-out",
+                &r.render(),
+                r.shape_holds(),
+            );
+        }
+        other => {
+            eprintln!("unknown artefact '{other}', skipping");
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each bench target regenerates one paper artefact at full fidelity,
+//! prints it (so `cargo bench` reads like the paper's evaluation
+//! section), verifies its shape against the paper's qualitative claims,
+//! and then lets Criterion measure a reduced configuration.
+
+/// Prints a rendered artefact with a banner, and surfaces a shape-check
+/// result without failing the bench (benches report; the test suite
+/// enforces).
+pub fn report(name: &str, rendered: &str, shape: Result<(), String>) {
+    println!("\n================ {name} ================\n");
+    println!("{rendered}");
+    match shape {
+        Ok(()) => println!("[shape] OK — qualitative claims of the paper hold\n"),
+        Err(e) => println!("[shape] WARNING — {e}\n"),
+    }
+}
+
+/// Writes a `.dat` export next to Criterion's output so figures can be
+/// replotted (`target/repro/<name>.dat`).
+pub fn export_dat(name: &str, contents: &str) {
+    let dir = std::path::Path::new("target").join("repro");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{name}.dat"));
+        if std::fs::write(&path, contents).is_ok() {
+            println!("[dat] wrote {}", path.display());
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Diurnal load: how the shared Starlink cell's utilisation moves over the
+//! local day.
+//!
+//! Fig. 6(b) of the paper shows UK downlink throughput peaking between
+//! 00:00 and 06:00 local time and bottoming out between 18:00 and 24:00,
+//! with the night maximum more than twice the evening minimum. That is a
+//! classic residential-demand curve: the cell is quiet at night and busy
+//! in the evening. [`DiurnalCurve`] captures it as 24 hourly *throughput
+//! factors* (fraction of the regional ceiling available to one
+//! subscriber), linearly interpolated between hours.
+
+use starlink_simcore::SimTime;
+
+/// Seconds per hour.
+const SECS_PER_HOUR: u64 = 3_600;
+/// Hours per day.
+const HOURS: usize = 24;
+
+/// A 24-hour throughput-factor curve with linear interpolation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiurnalCurve {
+    /// `factors[h]` = fraction of the capacity ceiling available during
+    /// local hour `h`.
+    factors: [f64; HOURS],
+}
+
+impl DiurnalCurve {
+    /// Builds a curve from 24 hourly factors.
+    ///
+    /// # Panics
+    /// Panics if any factor is outside `[0, 1]`.
+    pub fn new(factors: [f64; HOURS]) -> Self {
+        for (h, &f) in factors.iter().enumerate() {
+            assert!(
+                (0.0..=1.0).contains(&f),
+                "hour {h}: factor {f} outside [0,1]"
+            );
+        }
+        DiurnalCurve { factors }
+    }
+
+    /// A flat curve (no diurnal effect) at the given factor.
+    pub fn flat(factor: f64) -> Self {
+        Self::new([factor; HOURS])
+    }
+
+    /// A residential demand curve parameterised by its night ceiling and
+    /// evening floor, shaped after Fig. 6(b): quiet 00–06, ramping through
+    /// the working day, heaviest 18–24.
+    pub fn residential(night_factor: f64, evening_factor: f64) -> Self {
+        let n = night_factor;
+        let e = evening_factor;
+        let mid = |w: f64| e + (n - e) * w;
+        Self::new([
+            n,         // 00
+            n,         // 01
+            n,         // 02
+            n,         // 03
+            n,         // 04
+            mid(0.9),  // 05
+            mid(0.75), // 06
+            mid(0.6),  // 07
+            mid(0.5),  // 08
+            mid(0.45), // 09
+            mid(0.42), // 10
+            mid(0.40), // 11
+            mid(0.38), // 12
+            mid(0.36), // 13
+            mid(0.34), // 14
+            mid(0.30), // 15
+            mid(0.22), // 16
+            mid(0.12), // 17
+            e,         // 18
+            e,         // 19
+            e,         // 20
+            e,         // 21
+            mid(0.05), // 22
+            mid(0.45), // 23
+        ])
+    }
+
+    /// The factor at a fractional local hour, interpolating linearly and
+    /// wrapping at midnight.
+    pub fn factor_at_hour(&self, local_hour: f64) -> f64 {
+        let h = local_hour.rem_euclid(24.0);
+        let i = h.floor() as usize % HOURS;
+        let j = (i + 1) % HOURS;
+        let frac = h - h.floor();
+        self.factors[i] * (1.0 - frac) + self.factors[j] * frac
+    }
+
+    /// The factor at simulated time `t` for a site at `longitude_deg`,
+    /// taking the simulation epoch as 00:00 UTC.
+    pub fn factor_at(&self, t: SimTime, longitude_deg: f64) -> f64 {
+        self.factor_at_hour(local_hour(t, longitude_deg))
+    }
+
+    /// The largest factor over the day.
+    pub fn max_factor(&self) -> f64 {
+        self.factors.iter().copied().fold(f64::MIN, f64::max)
+    }
+
+    /// The smallest factor over the day.
+    pub fn min_factor(&self) -> f64 {
+        self.factors.iter().copied().fold(f64::MAX, f64::min)
+    }
+}
+
+/// Local solar hour at simulated time `t` for a site at `longitude_deg`,
+/// with the simulation epoch defined as 00:00 UTC. Longitude shifts local
+/// time by 1 h per 15°.
+pub fn local_hour(t: SimTime, longitude_deg: f64) -> f64 {
+    let utc_hours = (t.as_secs() % 86_400) as f64 / SECS_PER_HOUR as f64
+        + (t.as_nanos() % 1_000_000_000) as f64 / 3.6e12;
+    (utc_hours + longitude_deg / 15.0).rem_euclid(24.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_simcore::SimDuration;
+
+    #[test]
+    fn residential_curve_matches_fig6b_shape() {
+        let c = DiurnalCurve::residential(0.95, 0.30);
+        // Night (00–06) is the maximum; evening (18–22) the minimum.
+        assert_eq!(c.max_factor(), 0.95);
+        assert_eq!(c.min_factor(), 0.30);
+        for h in 0..5 {
+            assert!(c.factor_at_hour(h as f64) > 0.9, "hour {h}");
+        }
+        for h in 18..22 {
+            assert!(c.factor_at_hour(h as f64) < 0.35, "hour {h}");
+        }
+        // Paper: night max > 2x evening min.
+        assert!(c.max_factor() / c.min_factor() > 2.0);
+    }
+
+    #[test]
+    fn interpolation_is_continuous() {
+        let c = DiurnalCurve::residential(0.9, 0.3);
+        for step in 0..240 {
+            let h = step as f64 * 0.1;
+            let a = c.factor_at_hour(h);
+            let b = c.factor_at_hour(h + 0.1);
+            assert!((a - b).abs() < 0.2, "jump at hour {h}: {a} -> {b}");
+        }
+        // Midnight wrap: 23.9 ~ 0.0 within one interpolation step.
+        let before = c.factor_at_hour(23.95);
+        let after = c.factor_at_hour(0.0);
+        assert!((before - after).abs() < 0.1);
+    }
+
+    #[test]
+    fn local_hour_shifts_with_longitude() {
+        let noon_utc = SimTime::from_secs(12 * 3_600);
+        assert!((local_hour(noon_utc, 0.0) - 12.0).abs() < 1e-9);
+        // Warsaw (~21°E) is ~1.4 h ahead.
+        assert!((local_hour(noon_utc, 21.0) - 13.4).abs() < 0.01);
+        // Seattle (~122°W) is ~8.1 h behind.
+        assert!((local_hour(noon_utc, -122.3) - 3.85).abs() < 0.02);
+    }
+
+    #[test]
+    fn factor_at_accounts_for_longitude() {
+        let c = DiurnalCurve::residential(0.95, 0.30);
+        // 02:00 UTC: London (lon ~0) is in the night trough of demand
+        // (high factor); Sydney (151°E, local ~12:00) is mid-day.
+        let t = SimTime::from_secs(2 * 3_600);
+        let london = c.factor_at(t, -0.1278);
+        let sydney = c.factor_at(t, 151.2);
+        assert!(london > 0.9, "{london}");
+        assert!(sydney < london, "{sydney} vs {london}");
+    }
+
+    #[test]
+    fn flat_curve_is_flat() {
+        let c = DiurnalCurve::flat(0.5);
+        for h in 0..48 {
+            assert_eq!(c.factor_at_hour(h as f64 * 0.5), 0.5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn rejects_out_of_range_factor() {
+        let mut f = [0.5; 24];
+        f[3] = 1.5;
+        let _ = DiurnalCurve::new(f);
+    }
+
+    #[test]
+    fn day_wraps_across_multiple_days() {
+        let c = DiurnalCurve::residential(0.9, 0.3);
+        let day1 = c.factor_at(SimTime::from_secs(3 * 3_600), 0.0);
+        let day2 = c.factor_at(
+            SimTime::from_secs(3 * 3_600) + SimDuration::from_days(1),
+            0.0,
+        );
+        assert!((day1 - day2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,35 @@
+//! # starlink-channel
+//!
+//! The Starlink access-channel model — the physical and load phenomena
+//! behind every effect the paper measures:
+//!
+//! * [`weather`] — the seven OpenWeatherMap conditions of Fig. 4, rain-fade
+//!   attenuation (droplet-size scaled, after the references the paper
+//!   discusses), and a Markov weather generator for campaign simulation;
+//! * [`diurnal`] — regional utilisation over the local day, producing the
+//!   night-peak / evening-trough throughput cycle of Fig. 6(b);
+//! * [`loss`] — a Gilbert–Elliott burst-loss process plus the
+//!   handover-driven loss model that generates Fig. 7's loss clumps and
+//!   Fig. 6(c)'s heavy-tailed per-test loss distribution;
+//! * [`access`] — comparative access technologies (cable broadband,
+//!   cellular, campus Wi-Fi) for the Fig. 5 and Fig. 8 baselines;
+//! * [`profiles`] — per-city calibrated capacity/queueing profiles
+//!   (London, Seattle, Toronto, Warsaw, and the three volunteer nodes),
+//!   each documented against the paper number it targets.
+//!
+//! Everything is deterministic given a [`starlink_simcore::SimRng`] seed.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod access;
+pub mod diurnal;
+pub mod loss;
+pub mod profiles;
+pub mod weather;
+
+pub use access::{AccessProfile, AccessTech};
+pub use diurnal::DiurnalCurve;
+pub use loss::{GilbertElliott, HandoverLossModel};
+pub use profiles::{CityProfile, NodeProfile};
+pub use weather::{WeatherCondition, WeatherTimeline};

@@ -1,0 +1,402 @@
+//! Packet-loss processes: background bursts and handover-driven clumps.
+//!
+//! The paper's most striking finding (§5) is *bouts* of loss: per-test
+//! loss rates up to 50 %, with 12 % of iperf tests losing ≥ 5 % of packets
+//! and 6 % losing ≥ 10 % (Fig. 6c) — and Fig. 7 ties the clumps to the
+//! serving satellite leaving line of sight. Two mechanisms reproduce this:
+//!
+//! * [`GilbertElliott`] — the classic two-state burst-loss channel,
+//!   modelling background radio impairments (shallow fades, interference);
+//! * [`HandoverLossModel`] — deterministic loss windows derived from a
+//!   [`ServingSchedule`]: total loss during outages, elevated loss in a
+//!   short window around each handover (re-steering and path re-anchoring
+//!   drop in-flight packets), and Gilbert–Elliott background otherwise.
+
+use starlink_constellation::ServingSchedule;
+use starlink_simcore::{SimDuration, SimRng, SimTime};
+
+/// A two-state Markov (Gilbert–Elliott) loss channel.
+///
+/// The channel is evaluated on a fixed tick (default 100 ms): each tick it
+/// may switch state, and within a state packets are lost i.i.d. at that
+/// state's loss rate. Evaluating by tick (instead of per-packet) makes the
+/// state trajectory independent of offered load — required so that, e.g.,
+/// iperf and ping probes sent through the same channel see the same fade.
+#[derive(Debug, Clone)]
+pub struct GilbertElliott {
+    /// P(good → bad) per tick.
+    pub p_gb: f64,
+    /// P(bad → good) per tick.
+    pub p_bg: f64,
+    /// Loss probability in the good state.
+    pub loss_good: f64,
+    /// Loss probability in the bad state.
+    pub loss_bad: f64,
+    /// State-evaluation tick.
+    pub tick: SimDuration,
+    state_bad: bool,
+    /// Time up to which the state has been advanced.
+    advanced_to: SimTime,
+    rng: SimRng,
+}
+
+impl GilbertElliott {
+    /// A channel with the given transition and loss parameters, evaluated
+    /// on 100 ms ticks.
+    pub fn new(p_gb: f64, p_bg: f64, loss_good: f64, loss_bad: f64, rng: SimRng) -> Self {
+        GilbertElliott {
+            p_gb,
+            p_bg,
+            loss_good,
+            loss_bad,
+            tick: SimDuration::from_millis(100),
+            state_bad: false,
+            advanced_to: SimTime::ZERO,
+            rng,
+        }
+    }
+
+    /// The background profile used for the Starlink wireless link:
+    /// rare half-second fades losing 15 % of packets, on top of a tiny
+    /// residual loss floor. The floor matters for TCP: at LEO windows of
+    /// thousands of segments even 5e-4/packet would trigger a congestion
+    /// event nearly every RTT and starve the loss-based algorithms far
+    /// below what the paper measures; 5e-5 leaves the damage to the
+    /// fades and handover bursts, where it belongs.
+    pub fn starlink_background(rng: SimRng) -> Self {
+        // p_gb = 0.002/tick  => a fade roughly every 50 s of active time;
+        // p_bg = 0.2/tick    => mean fade length 0.5 s;
+        GilbertElliott::new(0.002, 0.2, 0.000_02, 0.15, rng)
+    }
+
+    /// A clean channel (campus Wi-Fi / wired baselines).
+    pub fn clean(rng: SimRng) -> Self {
+        GilbertElliott::new(0.0, 1.0, 0.0001, 0.0001, rng)
+    }
+
+    /// Advances the state machine to `t` and returns the loss probability
+    /// in force there. `t` must not go backwards (debug-asserted).
+    pub fn loss_prob_at(&mut self, t: SimTime) -> f64 {
+        debug_assert!(
+            t >= self.advanced_to || self.advanced_to == SimTime::ZERO,
+            "GilbertElliott time went backwards"
+        );
+        while self.advanced_to + self.tick <= t {
+            self.advanced_to += self.tick;
+            let p = if self.state_bad { self.p_bg } else { self.p_gb };
+            if self.rng.bernoulli(p) {
+                self.state_bad = !self.state_bad;
+            }
+        }
+        if self.state_bad {
+            self.loss_bad
+        } else {
+            self.loss_good
+        }
+    }
+
+    /// Whether the channel is currently in the bad (fading) state.
+    pub fn is_bad(&self) -> bool {
+        self.state_bad
+    }
+
+    /// Stationary probability of the bad state.
+    pub fn stationary_bad(&self) -> f64 {
+        if self.p_gb + self.p_bg == 0.0 {
+            0.0
+        } else {
+            self.p_gb / (self.p_gb + self.p_bg)
+        }
+    }
+
+    /// Long-run average loss rate.
+    pub fn mean_loss(&self) -> f64 {
+        let pb = self.stationary_bad();
+        pb * self.loss_bad + (1.0 - pb) * self.loss_good
+    }
+}
+
+/// Parameters for handover-driven loss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HandoverLossParams {
+    /// Loss probability during a full outage (no serving satellite).
+    pub outage_loss: f64,
+    /// Duration of the degraded window starting at each handover.
+    pub handover_window: SimDuration,
+    /// Loss probability range during a handover window; the severity of
+    /// each individual handover is drawn uniformly from this range
+    /// (re-steering cost varies with geometry).
+    pub handover_loss_range: (f64, f64),
+}
+
+impl Default for HandoverLossParams {
+    fn default() -> Self {
+        HandoverLossParams {
+            outage_loss: 0.95,
+            handover_window: SimDuration::from_millis(1_500),
+            handover_loss_range: (0.10, 0.80),
+        }
+    }
+}
+
+/// The composite Starlink loss model: schedule-driven windows over a
+/// Gilbert–Elliott background.
+pub struct HandoverLossModel {
+    /// Degraded windows `(start, end, loss)` from handovers, sorted.
+    windows: Vec<(SimTime, SimTime, f64)>,
+    /// Outage windows from the schedule, sorted.
+    outages: Vec<(SimTime, SimTime)>,
+    params: HandoverLossParams,
+    background: GilbertElliott,
+}
+
+impl HandoverLossModel {
+    /// Builds the model from a serving schedule. Each handover gets a
+    /// severity drawn from `params.handover_loss_range` using `rng`.
+    pub fn new(schedule: &ServingSchedule, params: HandoverLossParams, mut rng: SimRng) -> Self {
+        let background = GilbertElliott::starlink_background(rng.stream("ge-background"));
+        let mut windows: Vec<(SimTime, SimTime, f64)> = schedule
+            .handovers
+            .iter()
+            .map(|&t| {
+                let (lo, hi) = params.handover_loss_range;
+                let severity = rng.range_f64(lo, hi);
+                (t, t + params.handover_window, severity)
+            })
+            .collect();
+        windows.sort_by_key(|w| w.0);
+        let mut outages = schedule.outages.clone();
+        outages.sort_by_key(|o| o.0);
+        HandoverLossModel {
+            windows,
+            outages,
+            params,
+            background,
+        }
+    }
+
+    /// The packet-loss probability in force at `t`. Outages dominate
+    /// handover windows, which dominate the background process.
+    ///
+    /// Window lookups binary-search the sorted interval lists, so a
+    /// multi-day schedule with thousands of handovers stays O(log n) per
+    /// query.
+    pub fn loss_prob_at(&mut self, t: SimTime) -> f64 {
+        if let Some(p) = self.scheduled_loss_at(t) {
+            return p;
+        }
+        self.background.loss_prob_at(t)
+    }
+
+    /// The deterministic (schedule-driven) loss at `t`, ignoring the
+    /// background process: outage loss, handover-window severity, or
+    /// `None` outside both.
+    pub fn scheduled_loss_at(&self, t: SimTime) -> Option<f64> {
+        // Last outage starting at or before t.
+        let i = self.outages.partition_point(|&(s, _)| s <= t);
+        if i > 0 && t < self.outages[i - 1].1 {
+            return Some(self.params.outage_loss);
+        }
+        let i = self.windows.partition_point(|&(s, _, _)| s <= t);
+        if i > 0 && t < self.windows[i - 1].1 {
+            return Some(self.windows[i - 1].2);
+        }
+        None
+    }
+
+    /// Mean loss probability over `[start, end)`, sampling the schedule on
+    /// `step` and folding in the background process's *expected* loss.
+    /// This is the analytic counterpart of blasting UDP through the link
+    /// and counting — used where simulating millions of probe packets
+    /// would be waste (the Fig. 6c per-test loss population).
+    pub fn mean_loss_over(&self, start: SimTime, end: SimTime, step: SimDuration) -> f64 {
+        let step = step.max(SimDuration::from_millis(10));
+        let mut t = start;
+        let mut acc = 0.0;
+        let mut n = 0u64;
+        let background = self.background.mean_loss();
+        while t < end {
+            acc += self.scheduled_loss_at(t).unwrap_or(background);
+            n += 1;
+            t += step;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            acc / n as f64
+        }
+    }
+
+    /// Decides the fate of one packet sent at `t`.
+    pub fn packet_lost(&mut self, t: SimTime, rng: &mut SimRng) -> bool {
+        let p = self.loss_prob_at(t);
+        rng.bernoulli(p)
+    }
+
+    /// The handover-degraded windows (for assertions/analysis).
+    pub fn degraded_windows(&self) -> &[(SimTime, SimTime, f64)] {
+        &self.windows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_constellation::ServingInterval;
+
+    fn schedule_with_handover_at(secs: u64) -> ServingSchedule {
+        ServingSchedule {
+            intervals: vec![
+                ServingInterval {
+                    sat: 0,
+                    start: SimTime::ZERO,
+                    end: SimTime::from_secs(secs),
+                },
+                ServingInterval {
+                    sat: 1,
+                    start: SimTime::from_secs(secs),
+                    end: SimTime::from_secs(secs + 120),
+                },
+            ],
+            handovers: vec![SimTime::from_secs(secs)],
+            outages: vec![],
+        }
+    }
+
+    #[test]
+    fn gilbert_elliott_stationary_math() {
+        let ge = GilbertElliott::new(0.01, 0.19, 0.0, 0.5, SimRng::seed_from(1));
+        assert!((ge.stationary_bad() - 0.05).abs() < 1e-12);
+        assert!((ge.mean_loss() - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gilbert_elliott_empirical_matches_stationary() {
+        let mut ge = GilbertElliott::new(0.02, 0.18, 0.0, 1.0, SimRng::seed_from(2));
+        let mut lossy_ticks = 0u32;
+        let n = 200_000u64;
+        for i in 0..n {
+            let t = SimTime::from_millis(i * 100);
+            if ge.loss_prob_at(t) > 0.5 {
+                lossy_ticks += 1;
+            }
+        }
+        let frac = lossy_ticks as f64 / n as f64;
+        assert!((frac - 0.1).abs() < 0.01, "bad-state fraction {frac}");
+    }
+
+    #[test]
+    fn gilbert_elliott_is_bursty() {
+        // Consecutive bad ticks should cluster: measure mean run length.
+        let mut ge = GilbertElliott::new(0.004, 0.2, 0.0, 1.0, SimRng::seed_from(3));
+        let mut runs = Vec::new();
+        let mut current = 0u32;
+        for i in 0..500_000u64 {
+            let bad = ge.loss_prob_at(SimTime::from_millis(i * 100)) > 0.5;
+            if bad {
+                current += 1;
+            } else if current > 0 {
+                runs.push(current);
+                current = 0;
+            }
+        }
+        let mean_run = runs.iter().sum::<u32>() as f64 / runs.len() as f64;
+        // Mean bad-run length = 1/p_bg = 5 ticks.
+        assert!((mean_run - 5.0).abs() < 1.0, "mean run {mean_run}");
+    }
+
+    #[test]
+    fn clean_channel_barely_loses() {
+        let mut ge = GilbertElliott::clean(SimRng::seed_from(4));
+        for i in 0..1_000u64 {
+            assert!(ge.loss_prob_at(SimTime::from_millis(i * 100)) < 0.001);
+        }
+    }
+
+    #[test]
+    fn handover_window_elevates_loss() {
+        let schedule = schedule_with_handover_at(60);
+        let mut model = HandoverLossModel::new(
+            &schedule,
+            HandoverLossParams::default(),
+            SimRng::seed_from(5),
+        );
+        // Inside the 1.5 s window after the handover.
+        let during = model.loss_prob_at(SimTime::from_millis(60_200));
+        assert!(during >= 0.10, "handover loss {during}");
+        // Well before it: background level (good state almost surely).
+        let before = model.loss_prob_at_for_test(SimTime::from_secs(10));
+        assert!(before < 0.05, "background loss {before}");
+    }
+
+    impl HandoverLossModel {
+        /// Test helper that does not advance the background process.
+        fn loss_prob_at_for_test(&mut self, t: SimTime) -> f64 {
+            if self.outages.iter().any(|&(s, e)| s <= t && t < e) {
+                return self.params.outage_loss;
+            }
+            if let Some(&(_, _, sev)) = self.windows.iter().find(|&&(s, e, _)| s <= t && t < e) {
+                return sev;
+            }
+            if self.background.is_bad() {
+                self.background.loss_bad
+            } else {
+                self.background.loss_good
+            }
+        }
+    }
+
+    #[test]
+    fn outage_dominates() {
+        let mut schedule = schedule_with_handover_at(60);
+        schedule
+            .outages
+            .push((SimTime::from_secs(90), SimTime::from_secs(95)));
+        let mut model = HandoverLossModel::new(
+            &schedule,
+            HandoverLossParams::default(),
+            SimRng::seed_from(6),
+        );
+        let p = model.loss_prob_at(SimTime::from_secs(92));
+        assert!((p - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packet_fate_is_deterministic_per_seed() {
+        let schedule = schedule_with_handover_at(30);
+        let run = |seed: u64| -> Vec<bool> {
+            let mut model = HandoverLossModel::new(
+                &schedule,
+                HandoverLossParams::default(),
+                SimRng::seed_from(seed),
+            );
+            let mut rng = SimRng::seed_from(999);
+            (0..2_000u64)
+                .map(|i| model.packet_lost(SimTime::from_millis(i * 20), &mut rng))
+                .collect()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn severities_vary_between_handovers() {
+        let schedule = ServingSchedule {
+            intervals: vec![],
+            handovers: (1..=20).map(|i| SimTime::from_secs(i * 60)).collect(),
+            outages: vec![],
+        };
+        let model = HandoverLossModel::new(
+            &schedule,
+            HandoverLossParams::default(),
+            SimRng::seed_from(7),
+        );
+        let sevs: Vec<f64> = model.degraded_windows().iter().map(|w| w.2).collect();
+        let min = sevs.iter().cloned().fold(f64::MAX, f64::min);
+        let max = sevs.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max - min > 0.2, "severities should spread: {min}..{max}");
+        for &s in &sevs {
+            assert!((0.10..=0.80).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! Per-city calibrated Starlink profiles.
+//!
+//! Each constant below is documented against the paper number it targets.
+//! Two kinds of sites exist:
+//!
+//! * [`CityProfile`] — extension cities (Table 1 PTT populations and the
+//!   Table 3 browser speedtests, which always run against the Iowa
+//!   server);
+//! * [`NodeProfile`] — the three volunteer measurement nodes (Table 2
+//!   queueing delays, Fig. 6 iperf campaigns, Fig. 7 handover loss).
+//!
+//! The capacity model is:
+//!
+//! `throughput(t) = ceiling × diurnal_factor(local hour)
+//!                × weather_capacity × lognormal jitter`
+//!
+//! and the queueing model for the bent-pipe (wireless) segment and the
+//! terrestrial remainder is `U(0, span × load(t))`, with `load(t)`
+//! interpolating over the site's demand swing — both driven by the same
+//! demand curve, which is what couples Table 2 and Fig. 6(b) the way the
+//! paper observes ("Table 2 is also consistent with this possibility").
+
+use crate::diurnal::DiurnalCurve;
+use crate::weather::WeatherCondition;
+use starlink_geo::City;
+use starlink_simcore::{DataRate, SimRng, SimTime};
+
+/// Relative jitter (lognormal sigma) applied to throughput samples.
+const THROUGHPUT_JITTER_SIGMA: f64 = 0.10;
+
+/// A browser-extension city's Starlink service profile.
+#[derive(Debug, Clone)]
+pub struct CityProfile {
+    /// The city.
+    pub city: City,
+    /// Downlink ceiling for speedtests to the Iowa server.
+    pub speedtest_dl_ceiling: DataRate,
+    /// Uplink ceiling for speedtests to the Iowa server.
+    pub speedtest_ul_ceiling: DataRate,
+    /// The diurnal availability curve.
+    pub diurnal: DiurnalCurve,
+    /// Fraction of this city's non-Starlink extension users on cellular
+    /// (the rest are on rural DSL) — the population Table 1 compares
+    /// Starlink against.
+    pub non_starlink_cellular_share: f64,
+    /// Relative first-byte inflation of the city's web paths (peering
+    /// distance to CDN fabric; Sydney pays trans-Pacific penalties).
+    pub remoteness: f64,
+}
+
+/// A volunteer measurement node's profile.
+#[derive(Debug, Clone)]
+pub struct NodeProfile {
+    /// The node's location.
+    pub city: City,
+    /// iperf downlink ceiling to the closest Google Cloud region.
+    pub iperf_dl_ceiling: DataRate,
+    /// iperf uplink ceiling.
+    pub iperf_ul_ceiling: DataRate,
+    /// Diurnal availability curve.
+    pub diurnal: DiurnalCurve,
+    /// Bent-pipe queueing span, ms: queue ~ `U(0, span × load(t))`.
+    pub wireless_queue_span_ms: f64,
+    /// Terrestrial-path queueing span, ms.
+    pub terrestrial_queue_span_ms: f64,
+    /// Demand-load swing `(low, high)` multiplying the queue spans.
+    pub queue_load_range: (f64, f64),
+}
+
+impl CityProfile {
+    /// The calibrated profile for an extension city.
+    ///
+    /// Ceilings are sized so that daytime-biased speedtest medians land on
+    /// Table 3: London 123.2/11.3, Seattle 90.3/6.6, Toronto 65.8/6.9,
+    /// Warsaw 44.9/7.7 Mbps (DL/UL). Unlisted cities get regional
+    /// defaults.
+    pub fn for_city(city: City) -> Self {
+        // The residential demand curve has a daytime-median factor of
+        // ~0.44 (see DiurnalCurve::residential); ceilings below are
+        // Table 3 medians divided by that factor.
+        let diurnal = DiurnalCurve::residential(0.95, 0.30);
+        let (dl, ul, cell_share, remoteness) = match city {
+            City::London => (280, 26, 0.55, 1.0),
+            City::Seattle => (205, 15, 0.60, 1.05),
+            City::Toronto => (140, 16, 0.60, 1.05),
+            City::Warsaw => (102, 18, 0.50, 1.1),
+            City::Sydney | City::Brisbane => (160, 16, 0.65, 1.55),
+            // Regional defaults for the unnamed cities.
+            City::Berlin | City::Amsterdam => (180, 18, 0.50, 1.05),
+            City::Austin | City::Denver => (170, 14, 0.60, 1.1),
+            _ => (200, 18, 0.55, 1.0),
+        };
+        CityProfile {
+            city,
+            speedtest_dl_ceiling: DataRate::from_mbps(dl),
+            speedtest_ul_ceiling: DataRate::from_mbps(ul),
+            diurnal,
+            non_starlink_cellular_share: cell_share,
+            remoteness,
+        }
+    }
+
+    /// Samples an achievable speedtest downlink at `t` under `weather`.
+    pub fn sample_speedtest_dl(
+        &self,
+        t: SimTime,
+        weather: WeatherCondition,
+        rng: &mut SimRng,
+    ) -> DataRate {
+        sample_throughput(
+            self.speedtest_dl_ceiling,
+            &self.diurnal,
+            self.city,
+            t,
+            weather,
+            rng,
+        )
+    }
+
+    /// Samples an achievable speedtest uplink at `t` under `weather`.
+    pub fn sample_speedtest_ul(
+        &self,
+        t: SimTime,
+        weather: WeatherCondition,
+        rng: &mut SimRng,
+    ) -> DataRate {
+        sample_throughput(
+            self.speedtest_ul_ceiling,
+            &self.diurnal,
+            self.city,
+            t,
+            weather,
+            rng,
+        )
+    }
+}
+
+impl NodeProfile {
+    /// The calibrated profile for a volunteer node.
+    ///
+    /// Targets, from the paper:
+    /// * Fig. 6(a): median DL — Barcelona 147 (highest), London ~140,
+    ///   North Carolina 34.3 Mbps (lowest); NC max stays under ~196 Mbps;
+    /// * Fig. 6(b): UK DL swings ~120–300 Mbps with the night max > 2× the
+    ///   evening min; UL swings ~4–14 Mbps;
+    /// * Table 2: median bent-pipe queueing ≈ 48.3 (NC), 24.3 (London),
+    ///   16.5 ms (Barcelona), with the whole-path median only modestly
+    ///   above the link median.
+    ///
+    /// # Panics
+    /// Panics if `city` is not one of the three volunteer nodes.
+    pub fn for_node(city: City) -> Self {
+        match city {
+            City::Wiltshire => NodeProfile {
+                city,
+                // Ceiling 300 with a deep daytime dip: night peaks brush
+                // 300 Mbps (Fig. 6b) while the all-day median sits around
+                // 125–140 Mbps, below Barcelona's (Fig. 6a ordering).
+                iperf_dl_ceiling: DataRate::from_mbps(300),
+                iperf_ul_ceiling: DataRate::from_mbps(15),
+                diurnal: DiurnalCurve::new([
+                    0.95, 0.95, 0.95, 0.95, 0.95, 0.85, // 00-05
+                    0.60, 0.50, 0.45, 0.43, 0.42, 0.41, // 06-11
+                    0.40, 0.40, 0.39, 0.37, 0.33, 0.30, // 12-17
+                    0.28, 0.28, 0.28, 0.28, 0.30, 0.50, // 18-23
+                ]),
+                wireless_queue_span_ms: 100.0,
+                terrestrial_queue_span_ms: 35.0,
+                queue_load_range: (0.25, 1.00),
+            },
+            City::NorthCarolina => NodeProfile {
+                city,
+                // Clamped ceiling = the paper's observed 196 Mbps maximum.
+                iperf_dl_ceiling: DataRate::from_mbps(196),
+                iperf_ul_ceiling: DataRate::from_mbps(13),
+                // Congested cell: high demand from early morning through
+                // the evening, relief only deep at night.
+                diurnal: DiurnalCurve::new([
+                    0.85, 0.85, 0.85, 0.85, 0.85, 0.75, // 00-05
+                    0.35, 0.30, 0.25, 0.22, 0.20, 0.20, // 06-11
+                    0.20, 0.19, 0.18, 0.18, 0.16, 0.14, // 12-17
+                    0.12, 0.12, 0.12, 0.12, 0.20, 0.50, // 18-23
+                ]),
+                wireless_queue_span_ms: 100.0,
+                terrestrial_queue_span_ms: 45.0,
+                queue_load_range: (0.95, 1.90),
+            },
+            City::Barcelona => NodeProfile {
+                city,
+                iperf_dl_ceiling: DataRate::from_mbps(190),
+                iperf_ul_ceiling: DataRate::from_mbps(16),
+                // Starlink availability was recent in Spain: a lightly
+                // loaded cell with a shallow evening dip.
+                diurnal: DiurnalCurve::residential(0.95, 0.62),
+                wireless_queue_span_ms: 100.0,
+                terrestrial_queue_span_ms: 8.0,
+                queue_load_range: (0.15, 0.45),
+            },
+            other => panic!("{other} is not a volunteer measurement node"),
+        }
+    }
+
+    /// All three volunteer-node profiles.
+    pub fn all_nodes() -> Vec<NodeProfile> {
+        vec![
+            NodeProfile::for_node(City::NorthCarolina),
+            NodeProfile::for_node(City::Wiltshire),
+            NodeProfile::for_node(City::Barcelona),
+        ]
+    }
+
+    /// Samples an achievable iperf downlink at `t` under `weather`.
+    pub fn sample_iperf_dl(
+        &self,
+        t: SimTime,
+        weather: WeatherCondition,
+        rng: &mut SimRng,
+    ) -> DataRate {
+        sample_throughput(
+            self.iperf_dl_ceiling,
+            &self.diurnal,
+            self.city,
+            t,
+            weather,
+            rng,
+        )
+    }
+
+    /// Samples an achievable iperf uplink at `t` under `weather`.
+    pub fn sample_iperf_ul(
+        &self,
+        t: SimTime,
+        weather: WeatherCondition,
+        rng: &mut SimRng,
+    ) -> DataRate {
+        sample_throughput(
+            self.iperf_ul_ceiling,
+            &self.diurnal,
+            self.city,
+            t,
+            weather,
+            rng,
+        )
+    }
+
+    /// The demand load multiplier at `t`: interpolates over
+    /// `queue_load_range` as the diurnal factor moves from its nightly
+    /// maximum (low demand) to its evening minimum (high demand).
+    pub fn queue_load_at(&self, t: SimTime) -> f64 {
+        let f = self.diurnal.factor_at(t, self.city.position().lon_deg);
+        let (fmin, fmax) = (self.diurnal.min_factor(), self.diurnal.max_factor());
+        let demand = if fmax > fmin {
+            (fmax - f) / (fmax - fmin)
+        } else {
+            0.5
+        };
+        let (lo, hi) = self.queue_load_range;
+        lo + (hi - lo) * demand
+    }
+
+    /// Samples the bent-pipe (wireless-link) queueing delay at `t`, ms.
+    pub fn sample_wireless_queue_ms(&self, t: SimTime, rng: &mut SimRng) -> f64 {
+        rng.range_f64(0.0, self.wireless_queue_span_ms * self.queue_load_at(t))
+    }
+
+    /// Samples the terrestrial-path queueing delay at `t`, ms.
+    pub fn sample_terrestrial_queue_ms(&self, t: SimTime, rng: &mut SimRng) -> f64 {
+        rng.range_f64(0.0, self.terrestrial_queue_span_ms * self.queue_load_at(t))
+    }
+}
+
+/// Shared throughput sampler: ceiling × diurnal × weather × jitter.
+fn sample_throughput(
+    ceiling: DataRate,
+    diurnal: &DiurnalCurve,
+    city: City,
+    t: SimTime,
+    weather: WeatherCondition,
+    rng: &mut SimRng,
+) -> DataRate {
+    let lon = city.position().lon_deg;
+    let factor = diurnal.factor_at(t, lon) * weather.capacity_factor();
+    let jitter = rng.lognormal(0.0, THROUGHPUT_JITTER_SIGMA);
+    // The cell ceiling is a hard capacity: jitter can push a quiet-hour
+    // sample up to it but never beyond (this is why the paper's NC node
+    // "does not exceed 196 Mbps").
+    ceiling.scale((factor * jitter).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_simcore::SimDuration;
+
+    /// Median of day-long half-hourly samples of a node's downlink.
+    fn median_dl_mbps(profile: &NodeProfile, seed: u64) -> f64 {
+        let mut rng = SimRng::seed_from(seed);
+        let mut samples: Vec<f64> = (0..48 * 7)
+            .map(|i| {
+                let t = SimTime::ZERO + SimDuration::from_mins(30 * i);
+                profile
+                    .sample_iperf_dl(t, WeatherCondition::ClearSky, &mut rng)
+                    .as_mbps()
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples[samples.len() / 2]
+    }
+
+    #[test]
+    fn fig6a_ordering_barcelona_london_nc() {
+        let bcn = median_dl_mbps(&NodeProfile::for_node(City::Barcelona), 1);
+        let ldn = median_dl_mbps(&NodeProfile::for_node(City::Wiltshire), 1);
+        let nc = median_dl_mbps(&NodeProfile::for_node(City::NorthCarolina), 1);
+        assert!(bcn > ldn, "Barcelona {bcn} must beat London {ldn}");
+        assert!(ldn > nc, "London {ldn} must beat NC {nc}");
+        // Bands around the paper's medians (147 / ~140 / 34.3).
+        assert!((120.0..180.0).contains(&bcn), "Barcelona median {bcn}");
+        assert!((25.0..70.0).contains(&nc), "NC median {nc}");
+    }
+
+    #[test]
+    fn nc_max_stays_under_200() {
+        let p = NodeProfile::for_node(City::NorthCarolina);
+        let mut rng = SimRng::seed_from(2);
+        let max = (0..48 * 14)
+            .map(|i| {
+                let t = SimTime::ZERO + SimDuration::from_mins(30 * i);
+                p.sample_iperf_dl(t, WeatherCondition::ClearSky, &mut rng)
+                    .as_mbps()
+            })
+            .fold(f64::MIN, f64::max);
+        // Paper: "maximum throughput at the North Carolina station does
+        // not exceed 196 Mbps". Jitter allows brief excursions; keep the
+        // ceiling in the same band.
+        assert!((150.0..230.0).contains(&max), "NC max {max}");
+    }
+
+    #[test]
+    fn uk_night_beats_evening_twofold() {
+        let p = NodeProfile::for_node(City::Wiltshire);
+        let mut rng = SimRng::seed_from(3);
+        let night: f64 = (0..20)
+            .map(|i| {
+                let t = SimTime::from_secs(2 * 3_600 + i * 600);
+                p.sample_iperf_dl(t, WeatherCondition::ClearSky, &mut rng)
+                    .as_mbps()
+            })
+            .sum::<f64>()
+            / 20.0;
+        let evening: f64 = (0..20)
+            .map(|i| {
+                let t = SimTime::from_secs(20 * 3_600 + i * 600);
+                p.sample_iperf_dl(t, WeatherCondition::ClearSky, &mut rng)
+                    .as_mbps()
+            })
+            .sum::<f64>()
+            / 20.0;
+        assert!(
+            night > 2.0 * evening,
+            "fig6b: night {night} vs evening {evening}"
+        );
+        assert!(night > 200.0, "UK night DL {night}");
+    }
+
+    #[test]
+    fn table2_queue_medians_ordered() {
+        // Median of the sampled wireless queueing over a day must follow
+        // NC > London > Barcelona (Table 2: 48.3 / 24.3 / 16.5 ms).
+        let med = |city: City, seed: u64| {
+            let p = NodeProfile::for_node(city);
+            let mut rng = SimRng::seed_from(seed);
+            let mut v: Vec<f64> = (0..24 * 12)
+                .map(|i| {
+                    p.sample_wireless_queue_ms(
+                        SimTime::ZERO + SimDuration::from_mins(5 * i),
+                        &mut rng,
+                    )
+                })
+                .collect();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let nc = med(City::NorthCarolina, 4);
+        let ldn = med(City::Wiltshire, 4);
+        let bcn = med(City::Barcelona, 4);
+        assert!(
+            nc > ldn && ldn > bcn,
+            "NC {nc}, London {ldn}, Barcelona {bcn}"
+        );
+        assert!((35.0..95.0).contains(&nc), "NC queue median {nc}");
+        assert!((5.0..25.0).contains(&bcn), "Barcelona queue median {bcn}");
+    }
+
+    #[test]
+    fn queue_load_respects_range_and_diurnal() {
+        let p = NodeProfile::for_node(City::NorthCarolina);
+        let (lo, hi) = p.queue_load_range;
+        for hour in 0..24 {
+            let t = SimTime::from_secs(hour * 3_600);
+            let l = p.queue_load_at(t);
+            assert!(l >= lo - 1e-9 && l <= hi + 1e-9, "hour {hour}: load {l}");
+        }
+        // NC local midnight is 05:00 UTC-ish (lon -78.6 => -5.2 h).
+        let night = p.queue_load_at(SimTime::from_secs(7 * 3_600));
+        let evening = p.queue_load_at(SimTime::from_secs(25 * 3_600)); // 01:00 UTC = 19:45 local
+        assert!(evening > night, "evening load {evening} vs night {night}");
+    }
+
+    #[test]
+    fn table3_speedtest_medians() {
+        // Daytime-biased sampling (when users actually click the button).
+        let median_st = |city: City| {
+            let p = CityProfile::for_city(city);
+            let mut rng = SimRng::seed_from(9);
+            let lon = city.position().lon_deg;
+            // Sample local 09:00-23:00 across two weeks.
+            let mut v: Vec<f64> = Vec::new();
+            for day in 0..14u64 {
+                for hour in 9..23u64 {
+                    let local_offset = (lon / 15.0 * 3_600.0) as i64;
+                    let utc = day as i64 * 86_400 + hour as i64 * 3_600 - local_offset;
+                    let t = SimTime::from_secs(utc.rem_euclid(14 * 86_400) as u64);
+                    v.push(
+                        p.sample_speedtest_dl(t, WeatherCondition::FewClouds, &mut rng)
+                            .as_mbps(),
+                    );
+                }
+            }
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let london = median_st(City::London);
+        let seattle = median_st(City::Seattle);
+        let toronto = median_st(City::Toronto);
+        let warsaw = median_st(City::Warsaw);
+        // Table 3 ordering: London > Seattle > Toronto > Warsaw.
+        assert!(london > seattle, "{london} vs {seattle}");
+        assert!(seattle > toronto, "{seattle} vs {toronto}");
+        assert!(toronto > warsaw, "{toronto} vs {warsaw}");
+        // Bands around 123.2 / 90.3 / 65.8 / 44.9.
+        assert!((95.0..155.0).contains(&london), "London {london}");
+        assert!((30.0..60.0).contains(&warsaw), "Warsaw {warsaw}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a volunteer measurement node")]
+    fn node_profile_rejects_extension_city() {
+        let _ = NodeProfile::for_node(City::Seattle);
+    }
+
+    #[test]
+    fn weather_reduces_throughput() {
+        let p = NodeProfile::for_node(City::Wiltshire);
+        let t = SimTime::from_secs(3 * 3_600);
+        let mut clear_rng = SimRng::seed_from(5);
+        let mut rain_rng = SimRng::seed_from(5);
+        let clear = p
+            .sample_iperf_dl(t, WeatherCondition::ClearSky, &mut clear_rng)
+            .as_mbps();
+        let rain = p
+            .sample_iperf_dl(t, WeatherCondition::ModerateRain, &mut rain_rng)
+            .as_mbps();
+        assert!((rain / clear - 0.60).abs() < 1e-6, "{rain}/{clear}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the channel models: every sampled quantity must
+//! stay physical (probabilities in [0,1], rates non-negative and below
+//! the ceiling, ordering of weather effects) for arbitrary seeds and
+//! times.
+
+use proptest::prelude::*;
+use starlink_channel::loss::HandoverLossParams;
+use starlink_channel::{
+    GilbertElliott, HandoverLossModel, NodeProfile, WeatherCondition, WeatherTimeline,
+};
+use starlink_constellation::{ServingInterval, ServingSchedule};
+use starlink_geo::City;
+use starlink_simcore::{SimDuration, SimRng, SimTime};
+
+fn any_node() -> impl Strategy<Value = City> {
+    prop_oneof![
+        Just(City::NorthCarolina),
+        Just(City::Wiltshire),
+        Just(City::Barcelona),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Throughput samples are positive and never exceed the ceiling
+    /// (clamped), for any node, time and weather.
+    #[test]
+    fn throughput_within_physical_bounds(
+        city in any_node(),
+        seed in any::<u64>(),
+        t_secs in 0u64..7 * 86_400,
+        weather_idx in 0usize..7,
+    ) {
+        let profile = NodeProfile::for_node(city);
+        let weather = WeatherCondition::ALL[weather_idx];
+        let mut rng = SimRng::seed_from(seed);
+        let t = SimTime::from_secs(t_secs);
+        let dl = profile.sample_iperf_dl(t, weather, &mut rng);
+        let ul = profile.sample_iperf_ul(t, weather, &mut rng);
+        prop_assert!(dl.bits_per_sec() > 0);
+        prop_assert!(dl <= profile.iperf_dl_ceiling);
+        prop_assert!(ul <= profile.iperf_ul_ceiling);
+    }
+
+    /// Queue-delay samples respect the load-scaled span.
+    #[test]
+    fn queue_samples_within_span(
+        city in any_node(),
+        seed in any::<u64>(),
+        t_secs in 0u64..86_400,
+    ) {
+        let profile = NodeProfile::for_node(city);
+        let mut rng = SimRng::seed_from(seed);
+        let t = SimTime::from_secs(t_secs);
+        let (_, hi) = profile.queue_load_range;
+        for _ in 0..16 {
+            let q = profile.sample_wireless_queue_ms(t, &mut rng);
+            prop_assert!(q >= 0.0);
+            prop_assert!(q <= profile.wireless_queue_span_ms * hi + 1e-9);
+        }
+    }
+
+    /// The Gilbert–Elliott channel always reports a probability, and its
+    /// long-run loss approaches the stationary mean.
+    #[test]
+    fn gilbert_elliott_probabilities(seed in any::<u64>()) {
+        let mut ge = GilbertElliott::starlink_background(SimRng::seed_from(seed));
+        let mut acc = 0.0;
+        let n = 5_000u64;
+        for i in 0..n {
+            let p = ge.loss_prob_at(SimTime::from_millis(i * 100));
+            prop_assert!((0.0..=1.0).contains(&p));
+            acc += p;
+        }
+        let mean = acc / n as f64;
+        // Stationary mean ~ 0.007; 500 s samples are noisy, allow slack.
+        prop_assert!(mean < 0.08, "mean loss {}", mean);
+    }
+
+    /// The handover loss model is a probability everywhere, equals the
+    /// outage level inside outages, and reverts to background far away.
+    #[test]
+    fn handover_model_probabilities(seed in any::<u64>(), h_secs in 10u64..3_000) {
+        let schedule = ServingSchedule {
+            intervals: vec![ServingInterval {
+                sat: 0,
+                start: SimTime::ZERO,
+                end: SimTime::from_secs(h_secs + 600),
+            }],
+            handovers: vec![SimTime::from_secs(h_secs)],
+            outages: vec![(
+                SimTime::from_secs(h_secs + 300),
+                SimTime::from_secs(h_secs + 302),
+            )],
+        };
+        let params = HandoverLossParams::default();
+        let mut model = HandoverLossModel::new(&schedule, params, SimRng::seed_from(seed));
+        for i in 0..200u64 {
+            let t = SimTime::from_secs(i * (h_secs + 400) / 200);
+            let p = model.loss_prob_at(t);
+            prop_assert!((0.0..=1.0).contains(&p), "p={} at {}", p, t);
+        }
+        prop_assert_eq!(
+            model.scheduled_loss_at(SimTime::from_secs(h_secs + 301)),
+            Some(params.outage_loss)
+        );
+        // Inside the handover window: severity within the configured range.
+        let in_window = model
+            .scheduled_loss_at(SimTime::from_secs(h_secs) + SimDuration::from_millis(500))
+            .expect("inside the window");
+        let (lo, hi) = params.handover_loss_range;
+        prop_assert!((lo..=hi).contains(&in_window));
+    }
+
+    /// Weather timelines only produce valid conditions and respect their
+    /// requested length.
+    #[test]
+    fn weather_timeline_valid(seed in any::<u64>(), hours in 1u64..2_000, p in 0.0f64..1.0) {
+        let mut rng = SimRng::seed_from(seed);
+        let tl = WeatherTimeline::generate(
+            &mut rng,
+            SimDuration::from_hours(hours),
+            p,
+        );
+        prop_assert_eq!(tl.len_hours() as u64, hours);
+        for c in tl.iter() {
+            prop_assert!(WeatherCondition::ALL.contains(&c));
+        }
+    }
+}

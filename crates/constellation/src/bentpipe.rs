@@ -1,0 +1,151 @@
+//! Bent-pipe geometry: user terminal → serving satellite → gateway.
+//!
+//! Without inter-satellite links (the configuration deployed during the
+//! paper's measurement window), every packet crosses the "bent pipe": up
+//! from the dish to the serving satellite and straight back down to a
+//! gateway ground station, which connects to a nearby PoP/data centre.
+//! §4 of the paper finds this hop dominating Starlink latency; Table 2
+//! measures its queueing-delay share. This module provides the geometric
+//! (propagation) part of that hop; queueing is layered on by
+//! `starlink-channel`.
+
+use crate::selection::ServingSchedule;
+use crate::view::Constellation;
+use starlink_geo::{Ecef, Geodetic};
+use starlink_simcore::{SimDuration, SimTime};
+
+/// The bent pipe for one terminal: its position, its gateway, and the
+/// constellation the serving satellite comes from.
+pub struct BentPipe<'a> {
+    constellation: &'a Constellation,
+    /// The user terminal ("dishy") position.
+    pub user: Geodetic,
+    /// The gateway ground-station position.
+    pub gateway: Geodetic,
+}
+
+impl<'a> BentPipe<'a> {
+    /// Creates the bent pipe geometry for a user/gateway pair.
+    pub fn new(constellation: &'a Constellation, user: Geodetic, gateway: Geodetic) -> Self {
+        BentPipe {
+            constellation,
+            user,
+            gateway,
+        }
+    }
+
+    /// Total bent-pipe path length through satellite `sat` at `t`:
+    /// user→satellite plus satellite→gateway slant ranges, metres.
+    pub fn path_length_m(&self, sat: usize, t: SimDuration) -> f64 {
+        let sat_pos: Ecef = self.constellation.position(sat, t);
+        let up = self.user.to_ecef().distance(sat_pos).as_f64();
+        let down = self.gateway.to_ecef().distance(sat_pos).as_f64();
+        up + down
+    }
+
+    /// One-way propagation delay through the bent pipe via satellite `sat`.
+    pub fn propagation_delay(&self, sat: usize, t: SimDuration) -> SimDuration {
+        starlink_simcore::Meters::new(self.path_length_m(sat, t)).radio_delay()
+    }
+
+    /// One-way propagation delay at `t` following a serving schedule;
+    /// `None` during outages.
+    pub fn delay_at(&self, schedule: &ServingSchedule, t: SimTime) -> Option<SimDuration> {
+        let sat = schedule.serving_at(t)?;
+        Some(self.propagation_delay(sat, t.since(SimTime::ZERO)))
+    }
+
+    /// The theoretical minimum one-way bent-pipe delay: both legs at the
+    /// shell altitude directly overhead. Useful as a normalisation floor.
+    pub fn minimum_delay(&self, shell_altitude_m: f64) -> SimDuration {
+        starlink_simcore::Meters::new(2.0 * shell_altitude_m).radio_delay()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selection::{compute_schedule, SelectionPolicy};
+    use crate::view::SHELL1_MIN_ELEVATION_DEG;
+
+    fn setup() -> (Constellation, Geodetic, Geodetic) {
+        let c = Constellation::starlink_shell1(0.0);
+        let user = Geodetic::on_surface(51.35, -1.99); // Wiltshire
+        let gateway = Geodetic::on_surface(50.05, -5.18); // Goonhilly-ish
+        (c, user, gateway)
+    }
+
+    #[test]
+    fn bent_pipe_delay_in_expected_band() {
+        let (c, user, gateway) = setup();
+        let pipe = BentPipe::new(&c, user, gateway);
+        let t = SimDuration::from_secs(0);
+        let view = c
+            .best_visible(user, t, SHELL1_MIN_ELEVATION_DEG)
+            .expect("shell-1 covers the UK");
+        let delay_ms = pipe.propagation_delay(view.index, t).as_millis_f64();
+        // Two legs of 550–1123 km each: 3.7–7.5 ms of pure propagation.
+        assert!(
+            (3.0..9.0).contains(&delay_ms),
+            "bent-pipe propagation {delay_ms} ms"
+        );
+    }
+
+    #[test]
+    fn minimum_delay_is_a_floor() {
+        let (c, user, gateway) = setup();
+        let pipe = BentPipe::new(&c, user, gateway);
+        let floor = pipe.minimum_delay(550_000.0);
+        let t = SimDuration::from_secs(0);
+        for view in c.visible_from(user, t, SHELL1_MIN_ELEVATION_DEG) {
+            assert!(pipe.propagation_delay(view.index, t) >= floor);
+        }
+        // Floor itself: 1100 km at c => ~3.67 ms.
+        assert!((floor.as_millis_f64() - 3.67).abs() < 0.05);
+    }
+
+    #[test]
+    fn delay_follows_schedule_and_vanishes_in_outage() {
+        let (c, user, gateway) = setup();
+        let pipe = BentPipe::new(&c, user, gateway);
+        let policy = SelectionPolicy {
+            sample_step: SimDuration::from_secs(5),
+            ..SelectionPolicy::default()
+        };
+        let schedule =
+            compute_schedule(&c, user, SimTime::ZERO, SimDuration::from_mins(12), &policy);
+        let mut measured = 0;
+        for sec in (0..720).step_by(15) {
+            let t = SimTime::from_secs(sec);
+            match pipe.delay_at(&schedule, t) {
+                Some(d) => {
+                    measured += 1;
+                    let ms = d.as_millis_f64();
+                    assert!((3.0..9.5).contains(&ms), "t={sec}: {ms} ms");
+                }
+                None => assert!(
+                    schedule.serving_at(t).is_none(),
+                    "t={sec}: delay missing while a satellite serves"
+                ),
+            }
+        }
+        assert!(measured > 30, "schedule should cover most of the window");
+    }
+
+    #[test]
+    fn path_length_varies_over_a_pass() {
+        let (c, user, gateway) = setup();
+        let pipe = BentPipe::new(&c, user, gateway);
+        let view = c
+            .best_visible(user, SimDuration::from_secs(0), SHELL1_MIN_ELEVATION_DEG)
+            .unwrap();
+        let d0 = pipe.path_length_m(view.index, SimDuration::from_secs(0));
+        let d60 = pipe.path_length_m(view.index, SimDuration::from_secs(60));
+        assert_ne!(d0, d60, "satellite motion must change the path length");
+        // Both within the geometric envelope (2x550 km .. 2x1123 km plus
+        // slack for a satellite past the mask edge).
+        for d in [d0, d60] {
+            assert!((1.0e6..3.0e6).contains(&d), "path {d} m");
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # starlink-constellation
+//!
+//! Constellation state for the *starlink-browser-view* reproduction: which
+//! satellites are overhead, which one is serving a terminal, when handovers
+//! happen, and how long the bent pipe is.
+//!
+//! The paper's Fig. 7 ties clumps of packet loss to the serving satellite
+//! dropping below the 25° elevation mask (slant range beyond ~1089 km).
+//! This crate reproduces the machinery behind that figure:
+//!
+//! * [`Constellation`] — a propagatable set of satellites (from parsed or
+//!   synthetic TLEs) with visibility queries against an elevation mask;
+//! * [`selection`] — the serving-satellite policy: a terminal re-selects at
+//!   fixed reconfiguration epochs (Starlink's scheduler works on 15 s
+//!   boundaries), holding its current satellite until it leaves the mask —
+//!   the *reactive* behaviour that produces outage windows between a
+//!   satellite setting and the next reconfiguration;
+//! * [`bentpipe`] — user → satellite → gateway geometry and the resulting
+//!   propagation delays, the "bent pipe" the paper finds dominating
+//!   Starlink latency (§4, Table 2).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bentpipe;
+pub mod isl;
+pub mod selection;
+pub mod view;
+
+pub use bentpipe::BentPipe;
+pub use isl::{IslComparison, IslModel};
+pub use selection::{
+    compute_schedule, compute_schedule_greedy, SelectionPolicy, ServingInterval, ServingSchedule,
+};
+pub use view::{Constellation, SatView, SHELL1_MIN_ELEVATION_DEG};

@@ -1,0 +1,144 @@
+//! Property tests for the constellation layer: serving-schedule
+//! structural invariants must hold for arbitrary constellation phases,
+//! observers and policies.
+
+use proptest::prelude::*;
+use starlink_constellation::{
+    compute_schedule, compute_schedule_greedy, Constellation, SelectionPolicy,
+};
+use starlink_geo::Geodetic;
+use starlink_simcore::{SimDuration, SimTime};
+use starlink_tle::ShellConfig;
+
+/// A reduced shell keeps each case affordable while preserving coverage
+/// statistics at mid-latitudes.
+fn small_shell(gmst0: f64) -> Constellation {
+    Constellation::from_tles(
+        &ShellConfig {
+            planes: 18,
+            sats_per_plane: 10,
+            ..ShellConfig::starlink_shell1()
+        }
+        .generate(),
+        gmst0,
+    )
+}
+
+fn check_schedule_invariants(
+    schedule: &starlink_constellation::ServingSchedule,
+    start: SimTime,
+    end: SimTime,
+) -> Result<(), TestCaseError> {
+    // Intervals are ordered, disjoint, and inside the window.
+    for iv in &schedule.intervals {
+        prop_assert!(iv.start < iv.end, "empty/inverted interval");
+        prop_assert!(
+            iv.start >= start && iv.end <= end,
+            "interval escapes window"
+        );
+    }
+    for pair in schedule.intervals.windows(2) {
+        prop_assert!(pair[0].end <= pair[1].start, "overlapping intervals");
+    }
+    // Outages are ordered, disjoint, inside the window, and never overlap
+    // a serving interval.
+    for &(s, e) in &schedule.outages {
+        prop_assert!(s < e);
+        prop_assert!(s >= start && e <= end);
+        for iv in &schedule.intervals {
+            prop_assert!(
+                e <= iv.start || s >= iv.end,
+                "outage [{:?},{:?}) overlaps interval [{:?},{:?})",
+                s,
+                e,
+                iv.start,
+                iv.end
+            );
+        }
+    }
+    // Every handover instant starts some interval.
+    for &h in &schedule.handovers {
+        prop_assert!(
+            schedule.intervals.iter().any(|iv| iv.start == h),
+            "handover at {:?} starts no interval",
+            h
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sticky-policy schedules satisfy the structural invariants for any
+    /// geometry.
+    #[test]
+    fn sticky_schedule_invariants(
+        gmst0 in 0.0f64..6.28,
+        lat in -56.0f64..56.0,
+        lon in -180.0f64..180.0,
+        mins in 5u64..40,
+    ) {
+        let c = small_shell(gmst0);
+        let obs = Geodetic::on_surface(lat, lon);
+        let policy = SelectionPolicy {
+            sample_step: SimDuration::from_secs(5),
+            ..SelectionPolicy::default()
+        };
+        let window = SimDuration::from_mins(mins);
+        let schedule = compute_schedule(&c, obs, SimTime::ZERO, window, &policy);
+        check_schedule_invariants(&schedule, SimTime::ZERO, SimTime::ZERO + window)?;
+    }
+
+    /// Greedy-policy schedules satisfy the same invariants and never
+    /// produce fewer handovers than sticky on the same geometry.
+    #[test]
+    fn greedy_schedule_invariants(
+        gmst0 in 0.0f64..6.28,
+        lat in 30.0f64..55.0,
+        lon in -10.0f64..30.0,
+    ) {
+        let c = small_shell(gmst0);
+        let obs = Geodetic::on_surface(lat, lon);
+        let policy = SelectionPolicy {
+            sample_step: SimDuration::from_secs(5),
+            ..SelectionPolicy::default()
+        };
+        let window = SimDuration::from_mins(20);
+        let sticky = compute_schedule(&c, obs, SimTime::ZERO, window, &policy);
+        let greedy = compute_schedule_greedy(&c, obs, SimTime::ZERO, window, &policy);
+        check_schedule_invariants(&greedy, SimTime::ZERO, SimTime::ZERO + window)?;
+        prop_assert!(
+            greedy.handovers.len() >= sticky.handovers.len(),
+            "greedy {} < sticky {}",
+            greedy.handovers.len(),
+            sticky.handovers.len()
+        );
+    }
+
+    /// `serving_at` agrees with the interval list at arbitrary instants.
+    #[test]
+    fn serving_at_matches_intervals(gmst0 in 0.0f64..6.28, t_secs in 0u64..1200) {
+        let c = small_shell(gmst0);
+        let obs = Geodetic::on_surface(51.5, -0.13);
+        let policy = SelectionPolicy {
+            sample_step: SimDuration::from_secs(5),
+            ..SelectionPolicy::default()
+        };
+        let schedule = compute_schedule(
+            &c,
+            obs,
+            SimTime::ZERO,
+            SimDuration::from_mins(20),
+            &policy,
+        );
+        let t = SimTime::from_secs(t_secs);
+        let by_lookup = schedule.serving_at(t);
+        let by_scan = schedule
+            .intervals
+            .iter()
+            .find(|iv| iv.start <= t && t < iv.end)
+            .map(|iv| iv.sat);
+        prop_assert_eq!(by_lookup, by_scan);
+    }
+}

@@ -1,0 +1,186 @@
+//! The Dishy (Starlink Status) API.
+//!
+//! §3.2 of the paper: the Raspberry Pis could check "parameters of the
+//! Starlink receiver (accessible from the local network) via the
+//! so-called Starlink Status (or Dishy) API". This module reproduces the
+//! useful subset of that gRPC surface against a [`NodeWorld`]: which
+//! satellite the dish is tracking, at what angles and range, a
+//! signal-quality proxy, the PoP latency, and outage accounting — the
+//! fields the starlink-cli community tooling exposes.
+
+use crate::world::NodeWorld;
+use starlink_constellation::{BentPipe, SHELL1_MIN_ELEVATION_DEG};
+use starlink_simcore::{SimDuration, SimTime};
+
+/// A snapshot of the dish's status at one instant.
+#[derive(Debug, Clone)]
+pub struct DishyStatus {
+    /// Query time.
+    pub at: SimTime,
+    /// Name of the serving satellite, if any.
+    pub serving_satellite: Option<String>,
+    /// Elevation of the serving satellite, degrees.
+    pub elevation_deg: Option<f64>,
+    /// Azimuth of the serving satellite, degrees.
+    pub azimuth_deg: Option<f64>,
+    /// Slant range to the serving satellite, km.
+    pub slant_range_km: Option<f64>,
+    /// Signal-quality proxy in `[0, 1]`: 0 at the mask, 1 at zenith
+    /// (path loss and atmosphere both track elevation).
+    pub signal_quality: Option<f64>,
+    /// One-way bent-pipe propagation to the PoP, ms.
+    pub pop_propagation_ms: Option<f64>,
+    /// Whether the terminal is in an outage (no serving satellite).
+    pub in_outage: bool,
+    /// Seconds until the next scheduled handover (within the world's
+    /// window), if any.
+    pub next_handover_in: Option<SimDuration>,
+    /// Cumulative outage time since the window started.
+    pub outage_total: SimDuration,
+    /// Handovers completed since the window started.
+    pub handover_count: usize,
+}
+
+impl NodeWorld {
+    /// Queries the dish's status at `t` (any instant inside the world's
+    /// window).
+    pub fn dishy_status(&self, t: SimTime) -> DishyStatus {
+        let serving = self.schedule.serving_at(t);
+        let look = serving.map(|sat| {
+            self.constellation
+                .look(sat, self.position, t.since(SimTime::ZERO))
+        });
+        let pipe = BentPipe::new(&self.constellation, self.position, self.gateway);
+        let pop_propagation_ms = serving.map(|sat| {
+            pipe.propagation_delay(sat, t.since(SimTime::ZERO))
+                .as_millis_f64()
+        });
+
+        let signal_quality = look.map(|l| {
+            ((l.elevation_deg - SHELL1_MIN_ELEVATION_DEG) / (90.0 - SHELL1_MIN_ELEVATION_DEG))
+                .clamp(0.0, 1.0)
+        });
+
+        let next_handover_in = self
+            .schedule
+            .handovers
+            .iter()
+            .find(|&&h| h > t)
+            .map(|&h| h.since(t));
+
+        let outage_total = self
+            .schedule
+            .outages
+            .iter()
+            .filter(|&&(s, _)| s <= t)
+            .map(|&(s, e)| e.min(t).saturating_since(s))
+            .fold(SimDuration::ZERO, |acc, d| acc + d);
+
+        let handover_count = self.schedule.handovers.iter().filter(|&&h| h <= t).count();
+
+        DishyStatus {
+            at: t,
+            serving_satellite: serving.map(|sat| self.constellation.name(sat).to_string()),
+            elevation_deg: look.map(|l| l.elevation_deg),
+            azimuth_deg: look.map(|l| l.azimuth_deg),
+            slant_range_km: look.map(|l| l.range.as_km()),
+            signal_quality,
+            pop_propagation_ms,
+            in_outage: self.schedule.in_outage(t),
+            next_handover_in,
+            outage_total,
+            handover_count,
+        }
+    }
+}
+
+impl DishyStatus {
+    /// Renders the status like the community CLI tools do.
+    pub fn render(&self) -> String {
+        let mut out = format!("dishy status @ t+{}s\n", self.at.as_secs());
+        match (&self.serving_satellite, self.elevation_deg) {
+            (Some(name), Some(el)) => {
+                out.push_str(&format!(
+                    "  tracking {name}: elevation {el:.1} deg, azimuth {:.1} deg, \
+                     range {:.0} km\n",
+                    self.azimuth_deg.unwrap_or(0.0),
+                    self.slant_range_km.unwrap_or(0.0)
+                ));
+                out.push_str(&format!(
+                    "  signal quality {:.0}%, PoP propagation {:.2} ms\n",
+                    self.signal_quality.unwrap_or(0.0) * 100.0,
+                    self.pop_propagation_ms.unwrap_or(0.0)
+                ));
+            }
+            _ => out.push_str("  NO SIGNAL (searching)\n"),
+        }
+        if let Some(d) = self.next_handover_in {
+            out.push_str(&format!("  next handover in {}\n", d));
+        }
+        out.push_str(&format!(
+            "  window so far: {} handovers, {} outage\n",
+            self.handover_count, self.outage_total
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{NodeWorldConfig, WeatherSpec};
+    use starlink_channel::WeatherCondition;
+    use starlink_geo::City;
+
+    fn world() -> NodeWorld {
+        NodeWorld::build(&NodeWorldConfig {
+            city: City::Wiltshire,
+            seed: 8,
+            window: SimDuration::from_mins(12),
+            weather: WeatherSpec::Constant(WeatherCondition::ClearSky),
+        })
+    }
+
+    #[test]
+    fn status_tracks_a_satellite_when_serving() {
+        let w = world();
+        // Find an instant with a serving satellite.
+        let t = (0..720)
+            .map(SimTime::from_secs)
+            .find(|&t| w.schedule.serving_at(t).is_some())
+            .expect("some serving instant");
+        let s = w.dishy_status(t);
+        assert!(!s.in_outage);
+        let name = s.serving_satellite.expect("tracking");
+        assert!(name.starts_with("STARLINK-"));
+        let el = s.elevation_deg.expect("elevation");
+        assert!(el >= SHELL1_MIN_ELEVATION_DEG - 1.0, "elevation {el}");
+        let q = s.signal_quality.expect("quality");
+        assert!((0.0..=1.0).contains(&q));
+        let prop = s.pop_propagation_ms.expect("prop");
+        assert!((3.0..10.0).contains(&prop), "prop {prop} ms");
+        let range = s.slant_range_km.expect("range");
+        assert!((500.0..1_250.0).contains(&range), "range {range}");
+    }
+
+    #[test]
+    fn status_counts_handovers_monotonically() {
+        let w = world();
+        let early = w.dishy_status(SimTime::from_secs(30));
+        let late = w.dishy_status(SimTime::from_secs(700));
+        assert!(late.handover_count >= early.handover_count);
+        assert!(late.outage_total >= early.outage_total);
+    }
+
+    #[test]
+    fn next_handover_is_in_the_future() {
+        let w = world();
+        let s = w.dishy_status(SimTime::from_secs(10));
+        if let Some(d) = s.next_handover_in {
+            assert!(d > SimDuration::ZERO);
+            assert!(d < SimDuration::from_mins(12));
+        }
+        let rendered = s.render();
+        assert!(rendered.contains("dishy status"));
+    }
+}

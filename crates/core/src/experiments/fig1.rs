@@ -1,0 +1,113 @@
+//! **Fig. 1** — where the extension's users are.
+//!
+//! The paper's figure is a world map of Starlink and non-Starlink
+//! installers; the underlying data is a per-city user census across the
+//! 10 cities, which is what this experiment reproduces (with
+//! coordinates, so the map can be replotted).
+
+use starlink_analysis::AsciiTable;
+use starlink_geo::City;
+use starlink_telemetry::Population;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Population seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { seed: 42 }
+    }
+}
+
+/// One city's census entry.
+#[derive(Debug, Clone)]
+pub struct CityCensus {
+    /// The city.
+    pub city: City,
+    /// Starlink installers.
+    pub starlink: usize,
+    /// Non-Starlink installers.
+    pub non_starlink: usize,
+}
+
+/// The user census behind the map.
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    /// Per-city counts.
+    pub cities: Vec<CityCensus>,
+}
+
+/// Generates the deployment census.
+pub fn run(config: &Config) -> Fig1 {
+    let population = Population::generate(config.seed);
+    let cities = population
+        .cities()
+        .into_iter()
+        .map(|city| CityCensus {
+            city,
+            starlink: population
+                .in_city(city)
+                .filter(|u| u.isp.is_starlink())
+                .count(),
+            non_starlink: population
+                .in_city(city)
+                .filter(|u| !u.isp.is_starlink())
+                .count(),
+        })
+        .collect();
+    Fig1 { cities }
+}
+
+impl Fig1 {
+    /// Total users.
+    pub fn total(&self) -> usize {
+        self.cities
+            .iter()
+            .map(|c| c.starlink + c.non_starlink)
+            .sum()
+    }
+
+    /// Renders the census with coordinates for replotting the map.
+    pub fn render(&self) -> String {
+        let mut t = AsciiTable::new(
+            "Fig. 1: extension users by city",
+            &["City", "lat", "lon", "Starlink", "non-Starlink"],
+        );
+        for c in &self.cities {
+            let pos = c.city.position();
+            t.row(&[
+                c.city.name().to_string(),
+                format!("{:.2}", pos.lat_deg),
+                format!("{:.2}", pos.lon_deg),
+                c.starlink.to_string(),
+                c.non_starlink.to_string(),
+            ]);
+        }
+        format!(
+            "{}\n{} users total ({} Starlink) across {} cities\n",
+            t.render(),
+            self.total(),
+            self.cities.iter().map(|c| c.starlink).sum::<usize>(),
+            self.cities.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_matches_deployment() {
+        let f = run(&Config::default());
+        assert_eq!(f.total(), 28);
+        assert_eq!(f.cities.len(), 10);
+        assert_eq!(f.cities.iter().map(|c| c.starlink).sum::<usize>(), 18);
+        let s = f.render();
+        assert!(s.contains("London"));
+        assert!(s.contains("28 users total"));
+    }
+}

@@ -1,0 +1,196 @@
+//! **Fig. 3** — PTT CDFs of popular vs unpopular sites, before and after
+//! the Google-AS → SpaceX-AS switch, for London and Sydney.
+//!
+//! Paper findings: (i) popular sites (Tranco ≤ 200) sit slightly left of
+//! unpopular ones; (ii) both curves shift right (PTT increases slightly)
+//! after the switch to SpaceX's own AS — attributed to Google's better
+//! peering.
+
+use starlink_analysis::{median, DatSeries, Ecdf};
+use starlink_geo::City;
+use starlink_telemetry::{Campaign, CampaignConfig, ExitAs};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Master seed.
+    pub seed: u64,
+    /// Campaign length, days (must span the April Sydney switch; 182
+    /// covers the full window).
+    pub days: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            seed: 42,
+            days: 182,
+        }
+    }
+}
+
+/// One CDF of the 2×2×2 grid.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// The city.
+    pub city: City,
+    /// Popular (Tranco ≤ 200) or not.
+    pub popular: bool,
+    /// Exit AS in force.
+    pub exit_as: ExitAs,
+    /// Median PTT, ms.
+    pub median_ms: f64,
+    /// Sample count.
+    pub samples: usize,
+    /// Decimated CDF points `(ptt_ms, probability)`.
+    pub cdf: Vec<(f64, f64)>,
+}
+
+/// The full figure.
+#[derive(Debug, Clone)]
+pub struct Fig3 {
+    /// All eight curves (2 cities × popular × AS).
+    pub curves: Vec<Curve>,
+}
+
+/// Runs the campaign and builds the eight CDFs.
+pub fn run(config: &Config) -> Fig3 {
+    let campaign = Campaign::new(CampaignConfig {
+        seed: config.seed,
+        days: config.days,
+        ..CampaignConfig::default()
+    });
+    let dataset = campaign.run();
+    let mut curves = Vec::new();
+    for city in [City::London, City::Sydney] {
+        for popular in [true, false] {
+            for exit_as in [ExitAs::Google, ExitAs::SpaceX] {
+                let samples = dataset.fig3_samples(city, popular, exit_as);
+                let ecdf = Ecdf::new(&samples);
+                curves.push(Curve {
+                    city,
+                    popular,
+                    exit_as,
+                    median_ms: median(&samples),
+                    samples: samples.len(),
+                    cdf: ecdf.points_decimated(200),
+                });
+            }
+        }
+    }
+    Fig3 { curves }
+}
+
+impl Fig3 {
+    /// The curve for a given cell of the grid.
+    pub fn curve(&self, city: City, popular: bool, exit_as: ExitAs) -> Option<&Curve> {
+        self.curves
+            .iter()
+            .find(|c| c.city == city && c.popular == popular && c.exit_as == exit_as)
+    }
+
+    /// Renders medians and exports the CDFs as `.dat` series.
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("Fig. 3: PTT CDFs, popular (Tranco<=200) vs unpopular, by exit AS\n\n");
+        for c in &self.curves {
+            out.push_str(&format!(
+                "  {:>7} {:9} AS{:5} ({:7}): median {:6.0} ms over {} loads\n",
+                c.city.name(),
+                if c.popular { "popular" } else { "unpopular" },
+                c.exit_as.asn(),
+                match c.exit_as {
+                    ExitAs::Google => "google",
+                    ExitAs::SpaceX => "spacex",
+                },
+                c.median_ms,
+                c.samples,
+            ));
+        }
+        out
+    }
+
+    /// The gnuplot-ready series.
+    pub fn to_dat(&self) -> String {
+        let mut d = DatSeries::new();
+        for c in &self.curves {
+            let name = format!(
+                "{}-{}-{}",
+                c.city.name().to_lowercase(),
+                if c.popular { "popular" } else { "unpopular" },
+                match c.exit_as {
+                    ExitAs::Google => "google",
+                    ExitAs::SpaceX => "spacex",
+                }
+            );
+            d.series(&name, c.cdf.clone());
+        }
+        d.render()
+    }
+
+    /// Shape checks: the switch raised PTT (slightly) in every cell, and
+    /// popular ≤ unpopular under the same AS.
+    pub fn shape_holds(&self) -> Result<(), String> {
+        for city in [City::London, City::Sydney] {
+            for popular in [true, false] {
+                let before = self
+                    .curve(city, popular, ExitAs::Google)
+                    .ok_or("missing curve")?;
+                let after = self
+                    .curve(city, popular, ExitAs::SpaceX)
+                    .ok_or("missing curve")?;
+                if before.samples < 50 || after.samples < 50 {
+                    return Err(format!(
+                        "{city:?} popular={popular}: too few samples ({}, {})",
+                        before.samples, after.samples
+                    ));
+                }
+                if after.median_ms <= before.median_ms {
+                    return Err(format!(
+                        "{city:?} popular={popular}: PTT did not rise after the AS change \
+                         ({:.0} -> {:.0} ms)",
+                        before.median_ms, after.median_ms
+                    ));
+                }
+                if after.median_ms > before.median_ms * 1.45 {
+                    return Err(format!(
+                        "{city:?} popular={popular}: the rise should be slight \
+                         ({:.0} -> {:.0} ms)",
+                        before.median_ms, after.median_ms
+                    ));
+                }
+            }
+            // Popularity gap under the Google AS.
+            let pop = self.curve(city, true, ExitAs::Google).ok_or("missing")?;
+            let unpop = self.curve(city, false, ExitAs::Google).ok_or("missing")?;
+            if pop.median_ms >= unpop.median_ms {
+                return Err(format!(
+                    "{city:?}: popular sites should load faster \
+                     ({:.0} vs {:.0} ms)",
+                    pop.median_ms, unpop.median_ms
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let f = run(&Config { seed: 5, days: 182 });
+        f.shape_holds().expect("Fig. 3 shape");
+    }
+
+    #[test]
+    fn dat_has_eight_series() {
+        let f = run(&Config { seed: 6, days: 150 });
+        let dat = f.to_dat();
+        assert_eq!(dat.matches("# ").count(), 8);
+        assert!(dat.contains("london-popular-google"));
+        assert!(dat.contains("sydney-unpopular-spacex"));
+    }
+}

@@ -1,0 +1,154 @@
+//! **Fig. 4** — the effect of weather on PTT (London Starlink users,
+//! Google-class services).
+//!
+//! Paper values: box plots per OpenWeatherMap condition, medians rising
+//! from 470.5 ms under clear sky to 931.5 ms under moderate rain (~2×),
+//! with moderate rain clearly above every cloud-only condition.
+
+use starlink_analysis::{five_number_summary, AsciiTable, FiveNumber};
+use starlink_channel::WeatherCondition;
+use starlink_geo::City;
+use starlink_telemetry::{Campaign, CampaignConfig};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Master seed.
+    pub seed: u64,
+    /// Campaign length, days (longer = more rainy-hour samples).
+    pub days: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            seed: 42,
+            days: 182,
+        }
+    }
+}
+
+/// One weather condition's box.
+#[derive(Debug, Clone)]
+pub struct WeatherBox {
+    /// The condition.
+    pub weather: WeatherCondition,
+    /// Box-plot summary of the PTTs, ms.
+    pub summary: FiveNumber,
+    /// Sample count.
+    pub samples: usize,
+}
+
+/// The figure.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// One box per condition, in cloud-cover order.
+    pub boxes: Vec<WeatherBox>,
+}
+
+/// Runs the campaign and builds the per-condition boxes.
+pub fn run(config: &Config) -> Fig4 {
+    let campaign = Campaign::new(CampaignConfig {
+        seed: config.seed,
+        days: config.days,
+        ..CampaignConfig::default()
+    });
+    let dataset = campaign.run();
+    let boxes = WeatherCondition::ALL
+        .into_iter()
+        .filter_map(|weather| {
+            let samples = dataset.fig4_samples(City::London, weather);
+            five_number_summary(&samples).map(|summary| WeatherBox {
+                weather,
+                summary,
+                samples: samples.len(),
+            })
+        })
+        .collect();
+    Fig4 { boxes }
+}
+
+impl Fig4 {
+    /// The box for one condition.
+    pub fn for_condition(&self, weather: WeatherCondition) -> Option<&WeatherBox> {
+        self.boxes.iter().find(|b| b.weather == weather)
+    }
+
+    /// Renders the box plots as a table.
+    pub fn render(&self) -> String {
+        let mut t = AsciiTable::new(
+            "Fig. 4: PTT vs weather, London Starlink users (ms)",
+            &["Condition", "min", "q1", "median", "q3", "max", "#"],
+        );
+        for b in &self.boxes {
+            t.row(&[
+                b.weather.label().to_string(),
+                format!("{:.0}", b.summary.min),
+                format!("{:.0}", b.summary.q1),
+                format!("{:.0}", b.summary.median),
+                format!("{:.0}", b.summary.q3),
+                format!("{:.0}", b.summary.max),
+                b.samples.to_string(),
+            ]);
+        }
+        t.render()
+    }
+
+    /// Shape checks: the ~2× clear→moderate-rain ratio, and moderate rain
+    /// standing clear of light rain and overcast.
+    pub fn shape_holds(&self) -> Result<(), String> {
+        let med = |w: WeatherCondition| {
+            self.for_condition(w)
+                .map(|b| b.summary.median)
+                .ok_or_else(|| format!("no samples for {}", w.label()))
+        };
+        let clear = med(WeatherCondition::ClearSky)?;
+        let rain = med(WeatherCondition::ModerateRain)?;
+        let ratio = rain / clear;
+        if !(1.5..2.5).contains(&ratio) {
+            return Err(format!(
+                "clear {clear:.0} -> moderate rain {rain:.0}: ratio {ratio:.2} \
+                 outside the ~2x band"
+            ));
+        }
+        let light = med(WeatherCondition::LightRain)?;
+        let overcast = med(WeatherCondition::OvercastClouds)?;
+        if rain <= light || rain <= overcast {
+            return Err(format!(
+                "moderate rain ({rain:.0}) must stand above light rain \
+                 ({light:.0}) and overcast ({overcast:.0})"
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let f = run(&Config { seed: 4, days: 182 });
+        f.shape_holds().expect("Fig. 4 shape");
+        // Every condition occurred over six London months.
+        assert_eq!(f.boxes.len(), 7);
+        for b in &f.boxes {
+            assert!(
+                b.samples >= 30,
+                "{}: {} samples",
+                b.weather.label(),
+                b.samples
+            );
+        }
+    }
+
+    #[test]
+    fn render_orders_conditions() {
+        let f = run(&Config { seed: 9, days: 120 });
+        let s = f.render();
+        let clear_pos = s.find("Clear Sky").expect("clear sky row");
+        let rain_pos = s.find("Moderate Rain").expect("moderate rain row");
+        assert!(clear_pos < rain_pos, "x-axis order must follow cloud cover");
+    }
+}

@@ -1,0 +1,217 @@
+//! **Fig. 5** — hop-by-hop RTT for Starlink vs broadband vs cellular,
+//! London → N. Virginia VM.
+//!
+//! Paper findings: broadband is fastest throughout; Starlink pays a large
+//! jump at the hop crossing the bent pipe to its PoP but stays well under
+//! cellular; all three pay the transatlantic crossing; the end-to-end
+//! ordering is broadband < Starlink < cellular.
+
+use crate::world::Fig5World;
+use starlink_analysis::{AsciiTable, DatSeries};
+use starlink_channel::AccessTech;
+use starlink_simcore::SimDuration;
+use starlink_tools::{mtr, TracerouteOptions};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Master seed.
+    pub seed: u64,
+    /// Traceroute rounds (the paper runs 20).
+    pub rounds: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            seed: 42,
+            rounds: 20,
+        }
+    }
+}
+
+/// One access technology's hop profile.
+#[derive(Debug, Clone)]
+pub struct TechSeries {
+    /// The technology.
+    pub tech: AccessTech,
+    /// Mean RTT per hop, ms (index 0 = hop 1).
+    pub hop_rtts_ms: Vec<f64>,
+    /// Responder names per hop.
+    pub hop_names: Vec<String>,
+}
+
+/// The figure.
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// One series per technology, in the paper's legend order.
+    pub series: Vec<TechSeries>,
+}
+
+/// Runs 20-round mtr from each access client to the VM.
+pub fn run(config: &Config) -> Fig5 {
+    let mut world = Fig5World::build(config.seed, SimDuration::from_mins(30));
+    let opts = TracerouteOptions {
+        max_ttl: 12,
+        probes_per_hop: 3,
+        ..TracerouteOptions::default()
+    };
+    let mut series = Vec::new();
+    for (i, tech) in Fig5World::TECHS.iter().enumerate() {
+        let client = world.clients[i];
+        let report = mtr(
+            &mut world.net,
+            client,
+            world.vm,
+            &opts,
+            config.rounds,
+            SimDuration::from_secs(5),
+        );
+        let hop_rtts_ms = report
+            .hops
+            .iter()
+            .map(|h| h.mean_rtt_ms().unwrap_or(f64::NAN))
+            .collect();
+        let hop_names = report.hops.iter().map(|h| h.name.clone()).collect();
+        series.push(TechSeries {
+            tech: *tech,
+            hop_rtts_ms,
+            hop_names,
+        });
+    }
+    Fig5 { series }
+}
+
+impl Fig5 {
+    /// The series for one technology.
+    pub fn for_tech(&self, tech: AccessTech) -> Option<&TechSeries> {
+        self.series.iter().find(|s| s.tech == tech)
+    }
+
+    /// Renders the per-hop table.
+    pub fn render(&self) -> String {
+        let max_hops = self
+            .series
+            .iter()
+            .map(|s| s.hop_rtts_ms.len())
+            .max()
+            .unwrap_or(0);
+        let mut t = AsciiTable::new(
+            "Fig. 5: RTT per hop, London -> N. Virginia (ms)",
+            &[
+                "Hop",
+                "Starlink",
+                "Broadband",
+                "Cellular",
+                "Starlink hop name",
+            ],
+        );
+        for hop in 0..max_hops {
+            let cell = |s: &TechSeries| {
+                s.hop_rtts_ms
+                    .get(hop)
+                    .map(|v| format!("{v:.1}"))
+                    .unwrap_or_else(|| "-".into())
+            };
+            t.row(&[
+                (hop + 1).to_string(),
+                cell(&self.series[0]),
+                cell(&self.series[1]),
+                cell(&self.series[2]),
+                self.series[0]
+                    .hop_names
+                    .get(hop)
+                    .cloned()
+                    .unwrap_or_default(),
+            ]);
+        }
+        t.render()
+    }
+
+    /// Gnuplot series `(hop, rtt_ms)`.
+    pub fn to_dat(&self) -> String {
+        let mut d = DatSeries::new();
+        for s in &self.series {
+            let pts = s
+                .hop_rtts_ms
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.is_finite())
+                .map(|(i, &v)| ((i + 1) as f64, v))
+                .collect();
+            d.series(s.tech.label(), pts);
+        }
+        d.render()
+    }
+
+    /// Shape checks: the paper's orderings and the bent-pipe jump.
+    pub fn shape_holds(&self) -> Result<(), String> {
+        let last = |tech: AccessTech| -> Result<f64, String> {
+            let s = self.for_tech(tech).ok_or("missing series")?;
+            s.hop_rtts_ms
+                .last()
+                .copied()
+                .filter(|v| v.is_finite())
+                .ok_or_else(|| format!("{}: no final hop", tech.label()))
+        };
+        let starlink = last(AccessTech::Starlink)?;
+        let broadband = last(AccessTech::CableBroadband)?;
+        let cellular = last(AccessTech::Cellular)?;
+        if !(broadband < starlink && starlink < cellular) {
+            return Err(format!(
+                "end-to-end ordering violated: bb {broadband:.1}, sl {starlink:.1}, \
+                 cell {cellular:.1}"
+            ));
+        }
+        // The Starlink bent-pipe jump: hop 2 - hop 1 must dominate any
+        // broadband hop-to-hop step before the Atlantic.
+        let sl = self.for_tech(AccessTech::Starlink).ok_or("missing")?;
+        if sl.hop_rtts_ms.len() < 2 {
+            return Err("starlink series too short".into());
+        }
+        let jump = sl.hop_rtts_ms[1] - sl.hop_rtts_ms[0];
+        if jump < 15.0 {
+            return Err(format!("bent-pipe jump only {jump:.1} ms"));
+        }
+        // Everyone pays the Atlantic: hop 6 (the NYC landing) sits well
+        // above hop 5 (the London-side transit) for every technology.
+        for s in &self.series {
+            if s.hop_rtts_ms.len() >= 6 {
+                let pre = s.hop_rtts_ms[4];
+                let post = s.hop_rtts_ms[5];
+                if post - pre < 40.0 {
+                    return Err(format!(
+                        "{}: transatlantic step too small ({pre:.1} -> {post:.1})",
+                        s.tech.label()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let f = run(&Config { seed: 2, rounds: 8 });
+        f.shape_holds().expect("Fig. 5 shape");
+        // Nine hops each.
+        for s in &f.series {
+            assert_eq!(s.hop_rtts_ms.len(), 9, "{}", s.tech.label());
+        }
+    }
+
+    #[test]
+    fn starlink_pop_hop_in_band() {
+        let f = run(&Config { seed: 3, rounds: 6 });
+        let sl = f.for_tech(AccessTech::Starlink).unwrap();
+        // The PoP hop (index 1) sits in the 25-90 ms bent-pipe band.
+        let pop = sl.hop_rtts_ms[1];
+        assert!((15.0..95.0).contains(&pop), "pop hop {pop:.1} ms");
+        assert!(sl.hop_names[1].contains("pop"), "{:?}", sl.hop_names);
+    }
+}

@@ -1,0 +1,175 @@
+//! **Fig. 6(a)** — downlink-throughput CDFs at the three volunteer nodes.
+//!
+//! Paper values: Barcelona median 147 Mbps (highest), North Carolina
+//! 34.3 Mbps (lowest), the UK node between them; the NC maximum never
+//! exceeds 196 Mbps while the UK peaks near 300.
+//!
+//! The series comes from the half-hourly iperf cadence of §3.2 run
+//! through the capacity model (ceiling × diurnal × weather × jitter);
+//! packet-level spot checks of the same model live in the integration
+//! tests (`tests/capacity_validation.rs`), where a full `NodeWorld`
+//! iperf run must land near the analytic sample for the same instant.
+
+use starlink_analysis::{median, DatSeries, Ecdf};
+use starlink_channel::{NodeProfile, WeatherTimeline};
+use starlink_geo::City;
+use starlink_simcore::{SimDuration, SimRng, SimTime};
+use starlink_tools::Cron;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Master seed.
+    pub seed: u64,
+    /// Days of half-hourly tests per node.
+    pub days: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { seed: 42, days: 14 }
+    }
+}
+
+/// One node's distribution.
+#[derive(Debug, Clone)]
+pub struct NodeSeries {
+    /// The node.
+    pub city: City,
+    /// All per-test downlink results, Mbps.
+    pub samples_mbps: Vec<f64>,
+    /// Median, Mbps.
+    pub median_mbps: f64,
+    /// Maximum, Mbps.
+    pub max_mbps: f64,
+    /// Decimated CDF points.
+    pub cdf: Vec<(f64, f64)>,
+}
+
+/// The figure.
+#[derive(Debug, Clone)]
+pub struct Fig6a {
+    /// Series for NC, London(UK node) and Barcelona.
+    pub series: Vec<NodeSeries>,
+}
+
+/// The three nodes in the paper's legend order.
+pub const NODES: [City; 3] = [City::NorthCarolina, City::Wiltshire, City::Barcelona];
+
+/// Runs the half-hourly campaign per node.
+pub fn run(config: &Config) -> Fig6a {
+    let root = SimRng::seed_from(config.seed);
+    let window = SimDuration::from_days(config.days);
+    let series = NODES
+        .into_iter()
+        .map(|city| {
+            let profile = NodeProfile::for_node(city);
+            let mut wrng = root.stream("fig6a.weather").substream(city as u64);
+            let weather = WeatherTimeline::generate(&mut wrng, window, 0.85);
+            let mut rng = root.stream("fig6a.samples").substream(city as u64);
+            let cron = Cron::iperf_schedule(SimTime::ZERO, SimTime::ZERO + window);
+            let samples_mbps: Vec<f64> = cron
+                .ticks()
+                .map(|t| {
+                    let w = weather.condition_at(t);
+                    profile.sample_iperf_dl(t, w, &mut rng).as_mbps()
+                })
+                .collect();
+            let ecdf = Ecdf::new(&samples_mbps);
+            NodeSeries {
+                city,
+                median_mbps: median(&samples_mbps),
+                max_mbps: samples_mbps.iter().cloned().fold(f64::MIN, f64::max),
+                cdf: ecdf.points_decimated(200),
+                samples_mbps,
+            }
+        })
+        .collect();
+    Fig6a { series }
+}
+
+impl Fig6a {
+    /// The series for one node.
+    pub fn for_node(&self, city: City) -> Option<&NodeSeries> {
+        self.series.iter().find(|s| s.city == city)
+    }
+
+    /// Renders the summary.
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("Fig. 6(a): downlink throughput CDFs at the volunteer nodes\n\n");
+        for s in &self.series {
+            out.push_str(&format!(
+                "  {:>14}: median {:6.1} Mbps, max {:6.1} Mbps over {} tests\n",
+                s.city.name(),
+                s.median_mbps,
+                s.max_mbps,
+                s.samples_mbps.len()
+            ));
+        }
+        out
+    }
+
+    /// Gnuplot CDF series.
+    pub fn to_dat(&self) -> String {
+        let mut d = DatSeries::new();
+        for s in &self.series {
+            d.series(s.city.name(), s.cdf.clone());
+        }
+        d.render()
+    }
+
+    /// Shape checks against the paper.
+    pub fn shape_holds(&self) -> Result<(), String> {
+        let get = |c: City| self.for_node(c).ok_or("missing node");
+        let nc = get(City::NorthCarolina)?;
+        let uk = get(City::Wiltshire)?;
+        let bcn = get(City::Barcelona)?;
+        if !(bcn.median_mbps > uk.median_mbps && uk.median_mbps > nc.median_mbps) {
+            return Err(format!(
+                "median ordering violated: BCN {:.1}, UK {:.1}, NC {:.1}",
+                bcn.median_mbps, uk.median_mbps, nc.median_mbps
+            ));
+        }
+        if nc.max_mbps > 200.0 {
+            return Err(format!(
+                "NC max {:.1} exceeds the paper's 196 Mbps ceiling",
+                nc.max_mbps
+            ));
+        }
+        if uk.max_mbps < 250.0 {
+            return Err(format!(
+                "UK peak {:.1} should approach 300 Mbps",
+                uk.max_mbps
+            ));
+        }
+        // Roughly the paper's 147 / 34.3 medians.
+        if !(110.0..185.0).contains(&bcn.median_mbps) {
+            return Err(format!("Barcelona median {:.1} off-band", bcn.median_mbps));
+        }
+        if !(20.0..70.0).contains(&nc.median_mbps) {
+            return Err(format!("NC median {:.1} off-band", nc.median_mbps));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let f = run(&Config { seed: 1, days: 14 });
+        f.shape_holds().expect("Fig. 6a shape");
+        for s in &f.series {
+            assert_eq!(s.samples_mbps.len(), 14 * 48);
+        }
+    }
+
+    #[test]
+    fn dat_has_three_series() {
+        let f = run(&Config { seed: 2, days: 7 });
+        assert_eq!(f.to_dat().matches("# ").count(), 3);
+    }
+}

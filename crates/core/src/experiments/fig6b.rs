@@ -1,0 +1,189 @@
+//! **Fig. 6(b)** — UK downlink/uplink throughput over time.
+//!
+//! Paper findings: half-hourly iperf at the UK node over ~2 days shows a
+//! strong diurnal cycle — maxima (approaching 300 Mbps down / 14 Mbps up)
+//! between 00:00 and 06:00 local, minima in the 18:00–24:00 evening
+//! peak, with the night maximum more than twice the evening minimum.
+
+use starlink_analysis::DatSeries;
+use starlink_channel::{NodeProfile, WeatherCondition, WeatherTimeline};
+use starlink_geo::City;
+use starlink_simcore::{SimDuration, SimRng, SimTime};
+use starlink_tools::Cron;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Master seed.
+    pub seed: u64,
+    /// Days plotted (the paper shows ~2).
+    pub days: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { seed: 42, days: 2 }
+    }
+}
+
+/// One test point.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    /// Test time (campaign clock; epoch = local midnight for London).
+    pub at: SimTime,
+    /// Downlink, Mbps.
+    pub dl_mbps: f64,
+    /// Uplink, Mbps.
+    pub ul_mbps: f64,
+}
+
+/// The figure.
+#[derive(Debug, Clone)]
+pub struct Fig6b {
+    /// Half-hourly points.
+    pub points: Vec<Point>,
+}
+
+/// Runs the half-hourly series at the UK node (clear sky pinned, as the
+/// paper's window happened to be: the diurnal signal is the subject).
+pub fn run(config: &Config) -> Fig6b {
+    let profile = NodeProfile::for_node(City::Wiltshire);
+    let window = SimDuration::from_days(config.days);
+    let weather = WeatherTimeline::constant(WeatherCondition::FewClouds, window);
+    let mut rng = SimRng::seed_from(config.seed).stream("fig6b");
+    let cron = Cron::iperf_schedule(SimTime::ZERO, SimTime::ZERO + window);
+    let points = cron
+        .ticks()
+        .map(|t| {
+            let w = weather.condition_at(t);
+            Point {
+                at: t,
+                dl_mbps: profile.sample_iperf_dl(t, w, &mut rng).as_mbps(),
+                ul_mbps: profile.sample_iperf_ul(t, w, &mut rng).as_mbps(),
+            }
+        })
+        .collect();
+    Fig6b { points }
+}
+
+impl Fig6b {
+    /// Mean DL over points whose local hour lies in `[from, to)`.
+    pub fn mean_dl_in_local_hours(&self, from: f64, to: f64) -> f64 {
+        let lon = City::Wiltshire.position().lon_deg;
+        let in_window: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|p| {
+                let h = starlink_channel::diurnal::local_hour(p.at, lon);
+                h >= from && h < to
+            })
+            .map(|p| p.dl_mbps)
+            .collect();
+        if in_window.is_empty() {
+            0.0
+        } else {
+            in_window.iter().sum::<f64>() / in_window.len() as f64
+        }
+    }
+
+    /// Renders a compact summary.
+    pub fn render(&self) -> String {
+        let max_dl = self
+            .points
+            .iter()
+            .map(|p| p.dl_mbps)
+            .fold(f64::MIN, f64::max);
+        let max_ul = self
+            .points
+            .iter()
+            .map(|p| p.ul_mbps)
+            .fold(f64::MIN, f64::max);
+        format!(
+            "Fig. 6(b): UK DL/UL vs time over {} tests\n\
+             \n  night (00-06) mean DL: {:6.1} Mbps\n  evening (18-24) mean DL: {:6.1} Mbps\n\
+             \x20 max DL: {:.1} Mbps, max UL: {:.1} Mbps\n",
+            self.points.len(),
+            self.mean_dl_in_local_hours(0.0, 6.0),
+            self.mean_dl_in_local_hours(18.0, 24.0),
+            max_dl,
+            max_ul,
+        )
+    }
+
+    /// Gnuplot series: `(hours since start, Mbps)` for DL and UL.
+    pub fn to_dat(&self) -> String {
+        let mut d = DatSeries::new();
+        let hrs = |t: SimTime| t.as_secs_f64() / 3_600.0;
+        d.series(
+            "DL Thr",
+            self.points.iter().map(|p| (hrs(p.at), p.dl_mbps)).collect(),
+        );
+        d.series(
+            "UL Thr",
+            self.points.iter().map(|p| (hrs(p.at), p.ul_mbps)).collect(),
+        );
+        d.render()
+    }
+
+    /// Shape checks.
+    pub fn shape_holds(&self) -> Result<(), String> {
+        let night = self.mean_dl_in_local_hours(0.0, 6.0);
+        let evening = self.mean_dl_in_local_hours(18.0, 24.0);
+        if night < 2.0 * evening {
+            return Err(format!(
+                "night/evening ratio too small: {night:.1} vs {evening:.1} Mbps"
+            ));
+        }
+        let max_dl = self
+            .points
+            .iter()
+            .map(|p| p.dl_mbps)
+            .fold(f64::MIN, f64::max);
+        if !(250.0..=310.0).contains(&max_dl) {
+            return Err(format!("max DL {max_dl:.1} should approach 300 Mbps"));
+        }
+        let max_ul = self
+            .points
+            .iter()
+            .map(|p| p.ul_mbps)
+            .fold(f64::MIN, f64::max);
+        if !(10.0..=16.0).contains(&max_ul) {
+            return Err(format!("max UL {max_ul:.1} should approach 14 Mbps"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let f = run(&Config { seed: 1, days: 2 });
+        f.shape_holds().expect("Fig. 6b shape");
+        assert_eq!(f.points.len(), 96);
+    }
+
+    #[test]
+    fn series_has_a_24_hour_period() {
+        // Quantitative version of "it looks diurnal": autocorrelation
+        // over six days peaks at 48 half-hourly samples = 24 h.
+        let f = run(&Config { seed: 5, days: 6 });
+        let dl: Vec<f64> = f.points.iter().map(|p| p.dl_mbps).collect();
+        let period = starlink_analysis::timeseries::dominant_period(&dl, 40, 56)
+            .expect("series long enough");
+        assert!(
+            (46..=50).contains(&period),
+            "dominant period {period} half-hours, want ~48"
+        );
+    }
+
+    #[test]
+    fn dat_has_dl_and_ul() {
+        let f = run(&Config { seed: 2, days: 1 });
+        let dat = f.to_dat();
+        assert!(dat.contains("# DL Thr"));
+        assert!(dat.contains("# UL Thr"));
+    }
+}

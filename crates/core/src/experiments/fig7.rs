@@ -1,0 +1,257 @@
+//! **Fig. 7** — loss clumps coincide with the serving satellite leaving
+//! line of sight.
+//!
+//! The paper plots, over one 12-minute window at 1 s resolution: the
+//! distance from the UK receiver to each of the four satellites that
+//! served it (distance set to zero when a satellite is out of sight —
+//! beyond the ~1089 km slant range of the 25° mask), overlaid with the
+//! measured per-second UDP loss. Every loss clump lines up with the
+//! serving satellite's line-of-sight exit.
+
+use starlink_analysis::DatSeries;
+use starlink_channel::loss::HandoverLossParams;
+use starlink_channel::HandoverLossModel;
+use starlink_constellation::{
+    compute_schedule, Constellation, SelectionPolicy, SHELL1_MIN_ELEVATION_DEG,
+};
+use starlink_geo::City;
+use starlink_simcore::{SimDuration, SimRng, SimTime};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Master seed (controls the constellation phase, i.e. which
+    /// satellites happen to pass).
+    pub seed: u64,
+    /// Window length (the paper's is 12 minutes).
+    pub window: SimDuration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            seed: 42,
+            window: SimDuration::from_mins(12),
+        }
+    }
+}
+
+/// One tracked satellite's distance series.
+#[derive(Debug, Clone)]
+pub struct SatTrack {
+    /// Satellite name (e.g. `STARLINK-217`).
+    pub name: String,
+    /// Distance per second, metres; 0 when below the elevation mask
+    /// (matching the paper's plotting convention).
+    pub distance_m: Vec<f64>,
+}
+
+/// The figure.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// Distance tracks of the satellites that served during the window.
+    pub tracks: Vec<SatTrack>,
+    /// Per-second loss fraction.
+    pub loss_per_sec: Vec<f64>,
+    /// Handover instants (seconds from window start).
+    pub handover_secs: Vec<u64>,
+}
+
+/// Runs the 12-minute tracking window at the UK receiver.
+pub fn run(config: &Config) -> Fig7 {
+    let root = SimRng::seed_from(config.seed);
+    let position = City::Wiltshire.position();
+    let gmst0 = {
+        let mut r = root.stream("gmst");
+        r.f64() * std::f64::consts::TAU
+    };
+    let constellation = Constellation::starlink_shell1(gmst0);
+    let policy = SelectionPolicy {
+        sample_step: SimDuration::from_secs(1),
+        ..SelectionPolicy::default()
+    };
+    let schedule = compute_schedule(
+        &constellation,
+        position,
+        SimTime::ZERO,
+        config.window,
+        &policy,
+    );
+
+    // The satellites that served during the window, in first-use order.
+    let mut sats: Vec<usize> = Vec::new();
+    for iv in &schedule.intervals {
+        if !sats.contains(&iv.sat) {
+            sats.push(iv.sat);
+        }
+    }
+
+    let secs = config.window.as_secs();
+    let tracks = sats
+        .iter()
+        .map(|&sat| {
+            let distance_m = (0..secs)
+                .map(|s| {
+                    let look = constellation.look(sat, position, SimDuration::from_secs(s));
+                    if look.visible_above(SHELL1_MIN_ELEVATION_DEG) {
+                        look.range.as_f64()
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            SatTrack {
+                name: constellation.name(sat).to_string(),
+                distance_m,
+            }
+        })
+        .collect();
+
+    let mut model = HandoverLossModel::new(
+        &schedule,
+        HandoverLossParams::default(),
+        root.stream("fig7.loss"),
+    );
+    let tick = SimDuration::from_millis(100);
+    let loss_per_sec = (0..secs)
+        .map(|s| {
+            let mut acc = 0.0;
+            for i in 0..10u64 {
+                acc += model.loss_prob_at(SimTime::from_secs(s) + tick * i);
+            }
+            acc / 10.0
+        })
+        .collect();
+
+    let handover_secs = schedule
+        .handovers
+        .iter()
+        .map(|t| t.as_secs())
+        .filter(|&s| s > 0)
+        .collect();
+
+    Fig7 {
+        tracks,
+        loss_per_sec,
+        handover_secs,
+    }
+}
+
+impl Fig7 {
+    /// Renders a summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Fig. 7: satellite line-of-sight vs packet loss, UK receiver, {}s window\n\n",
+            self.loss_per_sec.len()
+        );
+        out.push_str(&format!(
+            "  serving satellites: {}\n  handovers at: {:?} s\n",
+            self.tracks
+                .iter()
+                .map(|t| t.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.handover_secs,
+        ));
+        let clumps: Vec<usize> = self
+            .loss_per_sec
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l > 0.05)
+            .map(|(i, _)| i)
+            .collect();
+        out.push_str(&format!("  seconds with >5% loss: {clumps:?}\n"));
+        out
+    }
+
+    /// Gnuplot series: one distance track per satellite plus the loss
+    /// series (scaled to percent).
+    pub fn to_dat(&self) -> String {
+        let mut d = DatSeries::new();
+        for track in &self.tracks {
+            d.series(
+                &track.name,
+                track
+                    .distance_m
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &m)| (s as f64, m))
+                    .collect(),
+            );
+        }
+        d.series(
+            "Packet Loss (%)",
+            self.loss_per_sec
+                .iter()
+                .enumerate()
+                .map(|(s, &l)| (s as f64, l * 100.0))
+                .collect(),
+        );
+        d.render()
+    }
+
+    /// Shape checks: several satellites serve a 12-minute window; every
+    /// handover has elevated loss nearby; quiet seconds dominate.
+    pub fn shape_holds(&self) -> Result<(), String> {
+        if self.tracks.len() < 2 {
+            return Err(format!(
+                "only {} serving satellites in the window",
+                self.tracks.len()
+            ));
+        }
+        if self.handover_secs.is_empty() {
+            return Err("no handovers in a 12-minute window".into());
+        }
+        for &h in &self.handover_secs {
+            let lo = h.saturating_sub(2) as usize;
+            let hi = ((h + 3) as usize).min(self.loss_per_sec.len());
+            let peak = self.loss_per_sec[lo..hi]
+                .iter()
+                .cloned()
+                .fold(0.0, f64::max);
+            if peak < 0.03 {
+                return Err(format!(
+                    "handover at {h}s has no loss clump (peak {peak:.3})"
+                ));
+            }
+        }
+        // Between clumps the link is clean most of the time.
+        let quiet = self.loss_per_sec.iter().filter(|&&l| l < 0.02).count() as f64
+            / self.loss_per_sec.len() as f64;
+        if quiet < 0.6 {
+            return Err(format!("only {quiet:.2} of seconds are quiet"));
+        }
+        // Distances, when visible, live in the 550-1200 km slant band.
+        for track in &self.tracks {
+            for &m in track.distance_m.iter().filter(|&&m| m > 0.0) {
+                if !(500_000.0..1_250_000.0).contains(&m) {
+                    return Err(format!("{}: distance {m} m out of band", track.name));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let f = run(&Config::default());
+        f.shape_holds().expect("Fig. 7 shape");
+        assert_eq!(f.loss_per_sec.len(), 720);
+    }
+
+    #[test]
+    fn dat_contains_tracks_and_loss() {
+        let f = run(&Config {
+            seed: 3,
+            window: SimDuration::from_mins(6),
+        });
+        let dat = f.to_dat();
+        assert!(dat.contains("STARLINK-"));
+        assert!(dat.contains("# Packet Loss (%)"));
+    }
+}

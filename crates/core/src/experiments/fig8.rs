@@ -1,0 +1,305 @@
+//! **Fig. 8** — the congestion-control shoot-out: BBR, CUBIC, Reno, Veno
+//! and Vegas over Starlink vs campus Wi-Fi, normalised by the UDP-burst
+//! capacity.
+//!
+//! Paper findings: on Starlink BBR clearly leads yet only reaches about
+//! half the link's UDP capacity; the loss-based algorithms trail far
+//! behind. On the low-loss campus Wi-Fi every algorithm clears ~80 % and
+//! BBR exceeds 90 %.
+//!
+//! This experiment is fully packet-level: TCP flows run through the same
+//! live bent-pipe dynamics (handover loss bursts, queue jitter, diurnal
+//! capacity) used everywhere else.
+
+use crate::world::{NodeWorld, NodeWorldConfig, WeatherSpec};
+use starlink_analysis::AsciiTable;
+use starlink_channel::WeatherCondition;
+use starlink_geo::City;
+use starlink_netsim::{LinkConfig, Network, NodeId, NodeKind};
+use starlink_simcore::{Bytes, DataRate, SimDuration, SimTime};
+use starlink_tools::iperf::{iperf_tcp, udp_capacity_probe};
+use starlink_transport::CcAlgorithm;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Master seed.
+    pub seed: u64,
+    /// Per-algorithm stress-test duration at each slot.
+    pub test_len: SimDuration,
+    /// Local hours at which the stress tests run. The paper's RPi ran
+    /// its tests around the clock and normalised by the *maximum*
+    /// UDP-burst capacity, so the normalised figures fold in the diurnal
+    /// cell load — which is a large part of why even BBR lands near 0.5.
+    pub slots_local_hours: Vec<f64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            seed: 42,
+            test_len: SimDuration::from_secs(60),
+            slots_local_hours: vec![2.0, 10.0, 16.0, 21.0],
+        }
+    }
+}
+
+/// One environment's results.
+#[derive(Debug, Clone)]
+pub struct EnvResults {
+    /// Environment label (the paper's legend).
+    pub label: &'static str,
+    /// UDP-burst capacity used as the normalisation denominator, Mbps.
+    pub capacity_mbps: f64,
+    /// (algorithm, goodput Mbps, normalised throughput) per CCA.
+    pub rows: Vec<(CcAlgorithm, f64, f64)>,
+}
+
+impl EnvResults {
+    /// Normalised throughput of one algorithm.
+    pub fn normalized(&self, algo: CcAlgorithm) -> Option<f64> {
+        self.rows.iter().find(|r| r.0 == algo).map(|r| r.2)
+    }
+}
+
+/// The figure.
+#[derive(Debug, Clone)]
+pub struct Fig8 {
+    /// Starlink results.
+    pub starlink: EnvResults,
+    /// Campus Wi-Fi results.
+    pub wifi: EnvResults,
+}
+
+/// Runs the shoot-out in both environments.
+pub fn run(config: &Config) -> Fig8 {
+    Fig8 {
+        starlink: run_starlink(config),
+        wifi: run_wifi(config),
+    }
+}
+
+fn run_starlink(config: &Config) -> EnvResults {
+    // Every (probe, algorithm, slot) combination gets a freshly-seeded
+    // world: all five algorithms see the *same* satellite passes and the
+    // same diurnal load at each slot — a paired comparison, like running
+    // the five sysctls back-to-back on the paper's RPi.
+    let slot_starts: Vec<SimTime> = config
+        .slots_local_hours
+        .iter()
+        .map(|&h| SimTime::from_secs((h * 3_600.0) as u64))
+        .collect();
+
+    // Normalisation denominator: the maximum UDP-burst capacity across
+    // the slots (the paper: "normalised by the maximum achievable
+    // throughput as measured through UDP bursts").
+    let capacity = slot_starts
+        .iter()
+        .map(|&start| {
+            let mut world = starlink_world(config, start);
+            world.net.run_until(start);
+            udp_capacity_probe(
+                &mut world.net,
+                world.server,
+                world.node,
+                DataRate::from_mbps(400),
+                SimDuration::from_secs(10),
+            )
+            .as_mbps()
+        })
+        .fold(0.0f64, f64::max);
+
+    let rows = CcAlgorithm::ALL
+        .into_iter()
+        .map(|algo| {
+            let mean_mbps = slot_starts
+                .iter()
+                .map(|&start| {
+                    let mut world = starlink_world(config, start);
+                    world.net.run_until(start);
+                    // Downlink direction: the server transmits (iperf -R).
+                    iperf_tcp(
+                        &mut world.net,
+                        world.server,
+                        world.node,
+                        algo,
+                        config.test_len,
+                    )
+                    .goodput
+                    .as_mbps()
+                })
+                .sum::<f64>()
+                / slot_starts.len().max(1) as f64;
+            (algo, mean_mbps, mean_mbps / capacity.max(1e-9))
+        })
+        .collect();
+
+    EnvResults {
+        label: "Starlink",
+        capacity_mbps: capacity,
+        rows,
+    }
+}
+
+fn starlink_world(config: &Config, slot_start: SimTime) -> NodeWorld {
+    NodeWorld::build(&NodeWorldConfig {
+        city: City::Wiltshire,
+        seed: config.seed,
+        window: slot_start.since(SimTime::ZERO) + config.test_len + SimDuration::from_secs(30),
+        weather: WeatherSpec::Constant(WeatherCondition::ClearSky),
+    })
+}
+
+fn run_wifi(config: &Config) -> EnvResults {
+    let build = || -> (Network, NodeId, NodeId) {
+        let mut net = Network::new(config.seed ^ WIFI_SEED_TWEAK);
+        let client = net.add_node("laptop", NodeKind::Host);
+        let ap = net.add_node("campus-ap", NodeKind::Router);
+        let core = net.add_node("campus-core", NodeKind::Router);
+        let server = net.add_node("campus-server", NodeKind::Host);
+        let wifi = || {
+            // The paper calls campus Wi-Fi "a low- to no-loss regime";
+            // give it exactly that.
+            LinkConfig::fixed(
+                SimDuration::from_millis(2),
+                DataRate::from_mbps(400),
+                0.000_01,
+            )
+            .with_queue(Bytes::from_mb(1))
+        };
+        let wired = || LinkConfig::fixed(SimDuration::from_millis(1), DataRate::from_gbps(1), 0.0);
+        net.connect_duplex(client, ap, wifi(), wifi());
+        net.connect_duplex(ap, core, wired(), wired());
+        net.connect_duplex(core, server, wired(), wired());
+        net.route_linear(&[client, ap, core, server]);
+        (net, client, server)
+    };
+
+    let capacity = {
+        let (mut net, client, server) = build();
+        udp_capacity_probe(
+            &mut net,
+            server,
+            client,
+            DataRate::from_mbps(600),
+            SimDuration::from_secs(10),
+        )
+        .as_mbps()
+    };
+
+    let rows = CcAlgorithm::ALL
+        .into_iter()
+        .map(|algo| {
+            let (mut net, client, server) = build();
+            let report = iperf_tcp(&mut net, server, client, algo, config.test_len);
+            let mbps = report.goodput.as_mbps();
+            (algo, mbps, mbps / capacity.max(1e-9))
+        })
+        .collect();
+
+    EnvResults {
+        label: "Wi-Fi on Campus",
+        capacity_mbps: capacity,
+        rows,
+    }
+}
+
+/// Decorrelates the Wi-Fi environment's RNG streams from the Starlink
+/// world built from the same master seed.
+const WIFI_SEED_TWEAK: u64 = 0xCAFE_F00D;
+
+impl Fig8 {
+    /// Renders the normalised-throughput table.
+    pub fn render(&self) -> String {
+        let mut t = AsciiTable::new(
+            "Fig. 8: normalised TCP throughput by congestion control",
+            &["Algorithm", "Starlink", "Wi-Fi on Campus"],
+        );
+        for algo in CcAlgorithm::ALL {
+            t.row(&[
+                algo.label().to_string(),
+                format!("{:.2}", self.starlink.normalized(algo).unwrap_or(0.0)),
+                format!("{:.2}", self.wifi.normalized(algo).unwrap_or(0.0)),
+            ]);
+        }
+        format!(
+            "{}\nUDP-burst capacity: Starlink {:.0} Mbps, Wi-Fi {:.0} Mbps\n",
+            t.render(),
+            self.starlink.capacity_mbps,
+            self.wifi.capacity_mbps
+        )
+    }
+
+    /// Shape checks against the paper.
+    pub fn shape_holds(&self) -> Result<(), String> {
+        let sl = |a| self.starlink.normalized(a).unwrap_or(0.0);
+        let wifi = |a| self.wifi.normalized(a).unwrap_or(0.0);
+
+        let bbr = sl(CcAlgorithm::Bbr);
+        for other in [
+            CcAlgorithm::Cubic,
+            CcAlgorithm::Reno,
+            CcAlgorithm::Veno,
+            CcAlgorithm::Vegas,
+        ] {
+            if bbr <= sl(other) {
+                return Err(format!(
+                    "BBR ({bbr:.2}) must lead on Starlink; {} reached {:.2}",
+                    other.label(),
+                    sl(other)
+                ));
+            }
+        }
+        // BBR reaches only about half of the UDP capacity on Starlink —
+        // clearly below the link, clearly above the loss-based pack. The
+        // band is generous because the handover/outage luck of a short
+        // window moves the number substantially (seed-to-seed the paper's
+        // own experiment would too).
+        if !(0.25..=0.80).contains(&bbr) {
+            return Err(format!(
+                "BBR normalised throughput {bbr:.2} outside the ~0.5 band"
+            ));
+        }
+        // Loss-based algorithms sit well below BBR.
+        if sl(CcAlgorithm::Reno) > bbr * 0.8 {
+            return Err(format!(
+                "Reno ({:.2}) implausibly close to BBR ({bbr:.2})",
+                sl(CcAlgorithm::Reno)
+            ));
+        }
+        // Wi-Fi: everyone performs; BBR >= 0.85.
+        for algo in CcAlgorithm::ALL {
+            let w = wifi(algo);
+            if w < 0.55 {
+                return Err(format!(
+                    "{} only reaches {w:.2} on clean Wi-Fi",
+                    algo.label()
+                ));
+            }
+        }
+        if wifi(CcAlgorithm::Bbr) < 0.85 {
+            return Err(format!(
+                "BBR on Wi-Fi {:.2} should exceed 0.9",
+                wifi(CcAlgorithm::Bbr)
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        // A shorter stress window keeps the debug-profile test tractable;
+        // the bench runs the full 60 s version.
+        let f = run(&Config {
+            seed: 11,
+            test_len: SimDuration::from_secs(15),
+            ..Config::default()
+        });
+        f.shape_holds().expect("Fig. 8 shape");
+    }
+}

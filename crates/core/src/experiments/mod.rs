@@ -1,0 +1,37 @@
+//! One module per table and figure of the paper's evaluation.
+//!
+//! Every module exposes a `Config` (always with a seed — same seed, same
+//! output), a `run` function returning a typed result, and a `render`
+//! method that prints the same rows/series the paper reports. The bench
+//! harness (`crates/bench`) and the `repro` binary are thin wrappers over
+//! these.
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`table1`] | Table 1 — city-wise extension data (requests, domains, median PTT) |
+//! | [`table2`] | Table 2 — bent-pipe vs whole-path queueing delay |
+//! | [`table3`] | Table 3 — browser speedtest medians in four cities |
+//! | [`fig1`]   | Fig. 1 — user map (city/ISP counts) |
+//! | [`fig2`]   | Fig. 2 — measurement-node topology |
+//! | [`fig3`]   | Fig. 3 — PTT CDFs around the AS change |
+//! | [`fig4`]   | Fig. 4 — PTT vs weather condition |
+//! | [`fig5`]   | Fig. 5 — hop-by-hop RTT across access technologies |
+//! | [`fig6a`]  | Fig. 6(a) — downlink throughput CDFs at three nodes |
+//! | [`fig6b`]  | Fig. 6(b) — UK throughput vs time of day |
+//! | [`fig6c`]  | Fig. 6(c) — per-test packet-loss CCDF |
+//! | [`fig7`]   | Fig. 7 — loss clumps vs satellite line-of-sight |
+//! | [`fig8`]   | Fig. 8 — congestion-control shoot-out |
+
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6a;
+pub mod fig6b;
+pub mod fig6c;
+pub mod fig7;
+pub mod fig8;
+pub mod table1;
+pub mod table2;
+pub mod table3;

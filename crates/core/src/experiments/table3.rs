@@ -1,0 +1,139 @@
+//! **Table 3** — browser-speedtest medians of Starlink users.
+//!
+//! Paper values (DL / UL, Mbps): London 123.2 / 11.3, Seattle 90.3 / 6.6,
+//! Toronto 65.8 / 6.9, Warsaw 44.9 / 7.7 — all against the Iowa server.
+//! Shape targets: strict DL ordering London > Seattle > Toronto > Warsaw,
+//! and London's uplink clearly the highest.
+
+use starlink_analysis::AsciiTable;
+use starlink_geo::City;
+use starlink_telemetry::{Campaign, CampaignConfig};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Master seed.
+    pub seed: u64,
+    /// Campaign length, days.
+    pub days: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            seed: 42,
+            days: 182,
+        }
+    }
+}
+
+/// One city's medians.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The city.
+    pub city: City,
+    /// Median downlink, Mbps.
+    pub dl_mbps: f64,
+    /// Median uplink, Mbps.
+    pub ul_mbps: f64,
+    /// Number of speedtests behind the medians.
+    pub tests: usize,
+}
+
+/// The reproduced table.
+#[derive(Debug, Clone)]
+pub struct Table3 {
+    /// Rows in the paper's order.
+    pub rows: Vec<Row>,
+}
+
+/// The four cities in the paper's row order.
+pub const CITIES: [City; 4] = [City::London, City::Seattle, City::Toronto, City::Warsaw];
+
+/// Runs the campaign and extracts the speedtest medians.
+pub fn run(config: &Config) -> Table3 {
+    let campaign = Campaign::new(CampaignConfig {
+        seed: config.seed,
+        days: config.days,
+        ..CampaignConfig::default()
+    });
+    let dataset = campaign.run();
+    let rows = CITIES
+        .into_iter()
+        .map(|city| {
+            let (dl, ul) = dataset.speedtest_medians(city);
+            let tests = dataset
+                .speedtests
+                .iter()
+                .filter(|r| r.city == city && r.starlink)
+                .count();
+            Row {
+                city,
+                dl_mbps: dl,
+                ul_mbps: ul,
+                tests,
+            }
+        })
+        .collect();
+    Table3 { rows }
+}
+
+impl Table3 {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut t = AsciiTable::new(
+            "Table 3: browser speedtest medians of Starlink users (to Iowa)",
+            &["City", "DL (Mbps)", "UL (Mbps)", "#tests"],
+        );
+        for row in &self.rows {
+            t.row(&[
+                row.city.name().to_string(),
+                format!("{:.1}", row.dl_mbps),
+                format!("{:.1}", row.ul_mbps),
+                row.tests.to_string(),
+            ]);
+        }
+        t.render()
+    }
+
+    /// Shape checks: the paper's strict downlink ordering.
+    pub fn shape_holds(&self) -> Result<(), String> {
+        for pair in self.rows.windows(2) {
+            if pair[0].dl_mbps <= pair[1].dl_mbps {
+                return Err(format!(
+                    "DL ordering violated: {} {:.1} <= {} {:.1}",
+                    pair[0].city.name(),
+                    pair[0].dl_mbps,
+                    pair[1].city.name(),
+                    pair[1].dl_mbps
+                ));
+            }
+        }
+        let london = &self.rows[0];
+        if london.ul_mbps <= self.rows[1].ul_mbps {
+            return Err("London UL should lead (paper: 11.3 vs 6.6)".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let result = run(&Config { seed: 3, days: 120 });
+        result.shape_holds().expect("Table 3 shape");
+        for row in &result.rows {
+            assert!(row.tests >= 5, "{}: only {} tests", row.city, row.tests);
+        }
+        // London's DL lands in the Table 3 band (123.2 Mbps).
+        let london = &result.rows[0];
+        assert!(
+            (90.0..160.0).contains(&london.dl_mbps),
+            "London DL {:.1}",
+            london.dl_mbps
+        );
+    }
+}

@@ -1,0 +1,358 @@
+//! The locations that appear in the paper's deployment.
+//!
+//! Three groups, mirroring §3 of the paper:
+//!
+//! * **Extension cities** — where browser-extension users live. The paper
+//!   names London, Seattle, Sydney (Table 1) plus Toronto and Warsaw
+//!   (Table 3); the remaining five of the "10 cities in the UK, EU, USA and
+//!   Australia" are unnamed, so we pick representative ones in the same
+//!   regions (Berlin, Amsterdam, Austin, Denver, Brisbane).
+//! * **Volunteer measurement nodes** — North Carolina (US), Wiltshire (UK)
+//!   and Barcelona (ES), each hosting a simulated Raspberry Pi.
+//! * **Cloud regions** — the Google Cloud locations used as test servers:
+//!   Iowa (the browser speedtest target), N. Virginia (the transatlantic
+//!   traceroute target of Fig. 5), London, South Carolina and Madrid (the
+//!   "closest DC" iperf servers for the three nodes).
+
+use crate::coords::Geodetic;
+use std::fmt;
+
+/// What role a location plays in the measurement campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LocationKind {
+    /// Home of browser-extension users.
+    ExtensionCity,
+    /// Hosts a volunteer Raspberry-Pi measurement node.
+    VolunteerNode,
+    /// A cloud data-centre hosting a test server.
+    CloudRegion,
+}
+
+/// Continental region, used for ad-targeting and regional load modelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// United Kingdom.
+    Uk,
+    /// Continental Europe.
+    Eu,
+    /// United States / Canada.
+    NorthAmerica,
+    /// Australia.
+    Australia,
+}
+
+/// Every named location in the reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant names are self-describing city names
+pub enum City {
+    // Extension cities (Table 1 / Table 3 + regional fill-ins).
+    London,
+    Seattle,
+    Sydney,
+    Toronto,
+    Warsaw,
+    Berlin,
+    Amsterdam,
+    Austin,
+    Denver,
+    Brisbane,
+    // Volunteer measurement nodes (§3.2).
+    NorthCarolina,
+    Wiltshire,
+    Barcelona,
+    // Cloud regions.
+    IowaDc,
+    NVirginiaDc,
+    LondonDc,
+    SouthCarolinaDc,
+    MadridDc,
+}
+
+/// Static facts about a [`City`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CityInfo {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// ISO-ish country label.
+    pub country: &'static str,
+    /// Continental region.
+    pub region: Region,
+    /// Role in the campaign.
+    pub kind: LocationKind,
+    /// Coordinates (surface).
+    pub position: Geodetic,
+}
+
+impl City {
+    /// All locations.
+    pub const ALL: [City; 18] = [
+        City::London,
+        City::Seattle,
+        City::Sydney,
+        City::Toronto,
+        City::Warsaw,
+        City::Berlin,
+        City::Amsterdam,
+        City::Austin,
+        City::Denver,
+        City::Brisbane,
+        City::NorthCarolina,
+        City::Wiltshire,
+        City::Barcelona,
+        City::IowaDc,
+        City::NVirginiaDc,
+        City::LondonDc,
+        City::SouthCarolinaDc,
+        City::MadridDc,
+    ];
+
+    /// The ten browser-extension cities.
+    pub fn extension_cities() -> impl Iterator<Item = City> {
+        City::ALL
+            .into_iter()
+            .filter(|c| c.info().kind == LocationKind::ExtensionCity)
+    }
+
+    /// The three volunteer measurement-node locations.
+    pub fn volunteer_nodes() -> impl Iterator<Item = City> {
+        City::ALL
+            .into_iter()
+            .filter(|c| c.info().kind == LocationKind::VolunteerNode)
+    }
+
+    /// The cloud regions hosting test servers.
+    pub fn cloud_regions() -> impl Iterator<Item = City> {
+        City::ALL
+            .into_iter()
+            .filter(|c| c.info().kind == LocationKind::CloudRegion)
+    }
+
+    /// The Google Cloud region hosting the iperf server closest to a
+    /// volunteer node, per the paper's "closest available Google Data
+    /// Centre" rule.
+    pub fn closest_cloud(self) -> City {
+        match self {
+            City::NorthCarolina => City::SouthCarolinaDc,
+            City::Wiltshire | City::London => City::LondonDc,
+            City::Barcelona => City::MadridDc,
+            // For extension cities the speedtest target is always Iowa.
+            _ => City::IowaDc,
+        }
+    }
+
+    /// Static facts.
+    pub const fn info(self) -> CityInfo {
+        use LocationKind::*;
+        use Region::*;
+        match self {
+            City::London => CityInfo {
+                name: "London",
+                country: "UK",
+                region: Uk,
+                kind: ExtensionCity,
+                position: Geodetic::on_surface(51.5074, -0.1278),
+            },
+            City::Seattle => CityInfo {
+                name: "Seattle",
+                country: "USA",
+                region: NorthAmerica,
+                kind: ExtensionCity,
+                position: Geodetic::on_surface(47.6062, -122.3321),
+            },
+            City::Sydney => CityInfo {
+                name: "Sydney",
+                country: "Australia",
+                region: Australia,
+                kind: ExtensionCity,
+                position: Geodetic::on_surface(-33.8688, 151.2093),
+            },
+            City::Toronto => CityInfo {
+                name: "Toronto",
+                country: "Canada",
+                region: NorthAmerica,
+                kind: ExtensionCity,
+                position: Geodetic::on_surface(43.6532, -79.3832),
+            },
+            City::Warsaw => CityInfo {
+                name: "Warsaw",
+                country: "Poland",
+                region: Eu,
+                kind: ExtensionCity,
+                position: Geodetic::on_surface(52.2297, 21.0122),
+            },
+            City::Berlin => CityInfo {
+                name: "Berlin",
+                country: "Germany",
+                region: Eu,
+                kind: ExtensionCity,
+                position: Geodetic::on_surface(52.52, 13.405),
+            },
+            City::Amsterdam => CityInfo {
+                name: "Amsterdam",
+                country: "Netherlands",
+                region: Eu,
+                kind: ExtensionCity,
+                position: Geodetic::on_surface(52.3676, 4.9041),
+            },
+            City::Austin => CityInfo {
+                name: "Austin",
+                country: "USA",
+                region: NorthAmerica,
+                kind: ExtensionCity,
+                position: Geodetic::on_surface(30.2672, -97.7431),
+            },
+            City::Denver => CityInfo {
+                name: "Denver",
+                country: "USA",
+                region: NorthAmerica,
+                kind: ExtensionCity,
+                position: Geodetic::on_surface(39.7392, -104.9903),
+            },
+            City::Brisbane => CityInfo {
+                name: "Brisbane",
+                country: "Australia",
+                region: Australia,
+                kind: ExtensionCity,
+                position: Geodetic::on_surface(-27.4698, 153.0251),
+            },
+            City::NorthCarolina => CityInfo {
+                name: "North Carolina",
+                country: "USA",
+                region: NorthAmerica,
+                kind: VolunteerNode,
+                position: Geodetic::on_surface(35.7796, -78.6382), // Raleigh
+            },
+            City::Wiltshire => CityInfo {
+                name: "Wiltshire",
+                country: "UK",
+                region: Uk,
+                kind: VolunteerNode,
+                position: Geodetic::on_surface(51.3492, -1.9927), // Marlborough area
+            },
+            City::Barcelona => CityInfo {
+                name: "Barcelona",
+                country: "Spain",
+                region: Eu,
+                kind: VolunteerNode,
+                position: Geodetic::on_surface(41.3874, 2.1686),
+            },
+            City::IowaDc => CityInfo {
+                name: "Iowa (us-central1)",
+                country: "USA",
+                region: NorthAmerica,
+                kind: CloudRegion,
+                position: Geodetic::on_surface(41.2619, -95.8608), // Council Bluffs
+            },
+            City::NVirginiaDc => CityInfo {
+                name: "N. Virginia (us-east4)",
+                country: "USA",
+                region: NorthAmerica,
+                kind: CloudRegion,
+                position: Geodetic::on_surface(39.0438, -77.4874), // Ashburn
+            },
+            City::LondonDc => CityInfo {
+                name: "London (europe-west2)",
+                country: "UK",
+                region: Uk,
+                kind: CloudRegion,
+                position: Geodetic::on_surface(51.5226, -0.0847),
+            },
+            City::SouthCarolinaDc => CityInfo {
+                name: "South Carolina (us-east1)",
+                country: "USA",
+                region: NorthAmerica,
+                kind: CloudRegion,
+                position: Geodetic::on_surface(33.1960, -80.0131), // Moncks Corner
+            },
+            City::MadridDc => CityInfo {
+                name: "Madrid (europe-southwest1)",
+                country: "Spain",
+                region: Eu,
+                kind: CloudRegion,
+                position: Geodetic::on_surface(40.4168, -3.7038),
+            },
+        }
+    }
+
+    /// The surface position.
+    pub const fn position(self) -> Geodetic {
+        self.info().position
+    }
+
+    /// The human-readable name.
+    pub const fn name(self) -> &'static str {
+        self.info().name
+    }
+}
+
+impl fmt::Display for City {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coords::haversine_distance;
+
+    #[test]
+    fn ten_extension_cities_three_nodes() {
+        assert_eq!(City::extension_cities().count(), 10);
+        assert_eq!(City::volunteer_nodes().count(), 3);
+        assert_eq!(City::cloud_regions().count(), 5);
+        assert_eq!(City::ALL.len(), 18);
+    }
+
+    #[test]
+    fn closest_cloud_assignments_match_paper() {
+        assert_eq!(City::NorthCarolina.closest_cloud(), City::SouthCarolinaDc);
+        assert_eq!(City::Wiltshire.closest_cloud(), City::LondonDc);
+        assert_eq!(City::Barcelona.closest_cloud(), City::MadridDc);
+        // Browser speedtests always hit Iowa.
+        assert_eq!(City::Seattle.closest_cloud(), City::IowaDc);
+        assert_eq!(City::Sydney.closest_cloud(), City::IowaDc);
+    }
+
+    #[test]
+    fn closest_cloud_is_actually_closest_for_nodes() {
+        for node in City::volunteer_nodes() {
+            let assigned = node.closest_cloud();
+            let d_assigned = haversine_distance(node.position(), assigned.position()).as_f64();
+            for dc in City::cloud_regions() {
+                // Iowa is the speedtest anchor, not an iperf candidate.
+                if dc == City::IowaDc {
+                    continue;
+                }
+                let d = haversine_distance(node.position(), dc.position()).as_f64();
+                assert!(
+                    d_assigned <= d + 1.0,
+                    "{node}: assigned {assigned} at {d_assigned} m, but {dc} at {d} m"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transatlantic_distance_sanity() {
+        // London -> N. Virginia is ~5900 km; the Fig. 5 traceroute rides it.
+        let d = haversine_distance(City::London.position(), City::NVirginiaDc.position()).as_km();
+        assert!((5700.0..6100.0).contains(&d), "{d}");
+    }
+
+    #[test]
+    fn regions_cover_the_ad_campaign() {
+        use std::collections::HashSet;
+        let regions: HashSet<_> = City::extension_cities().map(|c| c.info().region).collect();
+        assert!(regions.contains(&Region::Uk));
+        assert!(regions.contains(&Region::Eu));
+        assert!(regions.contains(&Region::NorthAmerica));
+        assert!(regions.contains(&Region::Australia));
+    }
+
+    #[test]
+    fn display_uses_name() {
+        assert_eq!(City::London.to_string(), "London");
+        assert_eq!(City::NVirginiaDc.to_string(), "N. Virginia (us-east4)");
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests for the geodesy layer: coordinate round-trips, metric
+//! properties of the distance functions, and look-angle sanity over the
+//! whole globe.
+
+use proptest::prelude::*;
+use starlink_geo::coords::{haversine_distance, Geodetic, EARTH_MEAN_RADIUS};
+use starlink_geo::look::{look_angles, max_slant_range};
+use starlink_simcore::Meters;
+
+proptest! {
+    /// Geodetic -> ECEF -> geodetic is the identity (to sub-mm / micro-deg)
+    /// everywhere from the surface to LEO altitude, away from the exact poles.
+    #[test]
+    fn ecef_round_trip(
+        lat in -89.5f64..89.5,
+        lon in -179.9f64..180.0,
+        alt in 0.0f64..1_500_000.0,
+    ) {
+        let g = Geodetic::new(lat, lon, alt);
+        let rt = g.to_ecef().to_geodetic();
+        prop_assert!((rt.lat_deg - lat).abs() < 1e-6, "lat {} -> {}", lat, rt.lat_deg);
+        prop_assert!((rt.lon_deg - lon).abs() < 1e-6, "lon {} -> {}", lon, rt.lon_deg);
+        prop_assert!((rt.alt_m - alt).abs() < 0.01, "alt {} -> {}", alt, rt.alt_m);
+    }
+
+    /// Haversine is a metric: non-negative, symmetric, zero on identical
+    /// points, and bounded by half the Earth's circumference.
+    #[test]
+    fn haversine_metric_properties(
+        lat1 in -90.0f64..90.0, lon1 in -180.0f64..180.0,
+        lat2 in -90.0f64..90.0, lon2 in -180.0f64..180.0,
+    ) {
+        let a = Geodetic::on_surface(lat1, lon1);
+        let b = Geodetic::on_surface(lat2, lon2);
+        let d_ab = haversine_distance(a, b).as_f64();
+        let d_ba = haversine_distance(b, a).as_f64();
+        prop_assert!(d_ab >= 0.0);
+        prop_assert!((d_ab - d_ba).abs() < 1e-6);
+        prop_assert!(d_ab <= std::f64::consts::PI * EARTH_MEAN_RADIUS + 1.0);
+        prop_assert!(haversine_distance(a, a).as_f64() < 1e-6);
+    }
+
+    /// Slant range from an observer to a satellite is at least the
+    /// satellite's altitude above the ellipsoid (equality only at zenith)
+    /// and the elevation never exceeds 90°.
+    #[test]
+    fn look_angles_bounds(
+        obs_lat in -89.0f64..89.0, obs_lon in -180.0f64..180.0,
+        sat_lat in -89.0f64..89.0, sat_lon in -180.0f64..180.0,
+        alt in 300_000.0f64..1_200_000.0,
+    ) {
+        let obs = Geodetic::on_surface(obs_lat, obs_lon);
+        let sat = Geodetic::new(sat_lat, sat_lon, alt).to_ecef();
+        let la = look_angles(obs, sat);
+        prop_assert!(la.elevation_deg <= 90.0 + 1e-9);
+        prop_assert!(la.elevation_deg >= -90.0 - 1e-9);
+        prop_assert!((0.0..360.0 + 1e-9).contains(&la.azimuth_deg));
+        // Slant range can never be shorter than the altitude difference.
+        prop_assert!(la.range.as_f64() >= alt * 0.98);
+    }
+
+    /// The max-slant-range threshold is consistent with look angles: a
+    /// satellite exactly overhead is within the threshold, and the
+    /// threshold shrinks as the minimum elevation grows.
+    #[test]
+    fn max_slant_range_monotone(alt_km in 300.0f64..1_200.0, el in 5.0f64..85.0) {
+        let alt = Meters::from_km(alt_km);
+        let lower = max_slant_range(alt, el);
+        let higher = max_slant_range(alt, el + 5.0);
+        prop_assert!(higher < lower, "raising min elevation must shrink range");
+        prop_assert!(max_slant_range(alt, 90.0).as_f64() <= alt.as_f64() + 1.0);
+        prop_assert!(lower.as_f64() >= alt.as_f64());
+    }
+}

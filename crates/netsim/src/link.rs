@@ -1,0 +1,341 @@
+//! Directed links: loss, queueing, serialisation and propagation.
+//!
+//! A packet traversing a link experiences, in order:
+//!
+//! 1. **loss** — an independent drop with the link's current loss
+//!    probability (the hook burst-loss models plug into);
+//! 2. **queueing** — a droptail FIFO bounded in bytes; arriving packets
+//!    that would overflow the buffer are dropped (this is where
+//!    congestion-control dynamics come from);
+//! 3. **serialisation** — `size / rate` transmission time;
+//! 4. **propagation** — the link's current one-way delay.
+//!
+//! [`LinkDynamics`] lets all three parameters vary with time; the default
+//! [`StaticDynamics`] keeps them fixed.
+
+use crate::wire::Packet;
+use starlink_simcore::{Bytes, DataRate, SimDuration, SimRng, SimTime};
+
+/// Time-varying link behaviour.
+///
+/// Implementations must be deterministic functions of `(their own state,
+/// now)` — the network calls them in event order, never concurrently.
+pub trait LinkDynamics {
+    /// One-way propagation delay for a packet entering the wire at `now`.
+    fn prop_delay(&mut self, now: SimTime) -> SimDuration;
+    /// Serialisation rate at `now`.
+    fn rate(&mut self, now: SimTime) -> DataRate;
+    /// Probability that a packet entering at `now` is lost.
+    fn loss_prob(&mut self, now: SimTime) -> f64;
+}
+
+/// Fixed-parameter link behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaticDynamics {
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Serialisation rate.
+    pub rate: DataRate,
+    /// Per-packet loss probability.
+    pub loss: f64,
+}
+
+impl LinkDynamics for StaticDynamics {
+    fn prop_delay(&mut self, _now: SimTime) -> SimDuration {
+        self.delay
+    }
+    fn rate(&mut self, _now: SimTime) -> DataRate {
+        self.rate
+    }
+    fn loss_prob(&mut self, _now: SimTime) -> f64 {
+        self.loss
+    }
+}
+
+/// Construction parameters for a link.
+pub struct LinkConfig {
+    /// The link's (possibly dynamic) behaviour.
+    pub dynamics: Box<dyn LinkDynamics>,
+    /// Queue capacity in bytes (droptail).
+    pub queue_capacity: Bytes,
+}
+
+impl LinkConfig {
+    /// A static link.
+    pub fn fixed(delay: SimDuration, rate: DataRate, loss: f64) -> Self {
+        LinkConfig {
+            dynamics: Box::new(StaticDynamics { delay, rate, loss }),
+            queue_capacity: Bytes::from_kb(256),
+        }
+    }
+
+    /// A LAN-class link: 1 Gbps, 0.1 ms, lossless.
+    pub fn ethernet() -> Self {
+        Self::fixed(SimDuration::from_micros(100), DataRate::from_gbps(1), 0.0)
+    }
+
+    /// A link with custom dynamics.
+    pub fn dynamic(dynamics: Box<dyn LinkDynamics>) -> Self {
+        LinkConfig {
+            dynamics,
+            queue_capacity: Bytes::from_kb(256),
+        }
+    }
+
+    /// Overrides the queue capacity.
+    pub fn with_queue(mut self, capacity: Bytes) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+}
+
+/// Per-link counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Packets accepted onto the link.
+    pub transmitted: u64,
+    /// Packets dropped by the loss process.
+    pub lost: u64,
+    /// Packets dropped by queue overflow.
+    pub overflowed: u64,
+    /// Bytes accepted onto the link.
+    pub bytes: u64,
+}
+
+/// The outcome of offering a packet to a link.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum LinkVerdict {
+    /// The packet will arrive at the far node at the given time.
+    Deliver {
+        /// Arrival instant at the far end.
+        at: SimTime,
+        /// The packet (returned so the caller can schedule it).
+        packet: Packet,
+    },
+    /// The packet was dropped (loss or overflow); counters updated.
+    Dropped,
+}
+
+/// A directed link between two nodes.
+pub(crate) struct Link {
+    pub to: crate::node::NodeId,
+    dynamics: Box<dyn LinkDynamics>,
+    queue_capacity: Bytes,
+    /// Bytes currently queued or in serialisation.
+    backlog: Bytes,
+    /// When the transmitter frees up.
+    busy_until: SimTime,
+    /// Arrival time of the last delivered packet: links are FIFO, so a
+    /// later packet can never arrive earlier even when the dynamic delay
+    /// model samples a smaller value (otherwise cross-traffic jitter
+    /// would manufacture reordering and TCP would see phantom loss).
+    last_arrival: SimTime,
+    pub stats: LinkStats,
+    rng: SimRng,
+}
+
+impl Link {
+    pub fn new(to: crate::node::NodeId, config: LinkConfig, rng: SimRng) -> Self {
+        Link {
+            to,
+            dynamics: config.dynamics,
+            queue_capacity: config.queue_capacity,
+            backlog: Bytes::ZERO,
+            busy_until: SimTime::ZERO,
+            last_arrival: SimTime::ZERO,
+            stats: LinkStats::default(),
+            rng,
+        }
+    }
+
+    /// Offers `packet` to the link at `now`. On delivery the caller must
+    /// also arrange to call [`Link::release`] with the packet size at the
+    /// serialisation-complete instant (the network schedules this).
+    pub fn offer(&mut self, now: SimTime, packet: Packet) -> (LinkVerdict, Option<SimTime>) {
+        let loss_p = self.dynamics.loss_prob(now);
+        if loss_p > 0.0 && self.rng.bernoulli(loss_p) {
+            self.stats.lost += 1;
+            return (LinkVerdict::Dropped, None);
+        }
+        if (self.backlog + packet.size) > self.queue_capacity {
+            self.stats.overflowed += 1;
+            return (LinkVerdict::Dropped, None);
+        }
+
+        let rate = self.dynamics.rate(now);
+        let ser = packet.size.serialization_time(rate);
+        if ser == SimDuration::MAX {
+            // Link is down: treat as loss.
+            self.stats.lost += 1;
+            return (LinkVerdict::Dropped, None);
+        }
+        let start = if self.busy_until > now {
+            self.busy_until
+        } else {
+            now
+        };
+        let tx_done = start + ser;
+        self.busy_until = tx_done;
+        self.backlog += packet.size;
+
+        let prop = self.dynamics.prop_delay(now);
+        let arrival = (tx_done + prop).max(self.last_arrival + SimDuration::from_nanos(1));
+        self.last_arrival = arrival;
+
+        self.stats.transmitted += 1;
+        self.stats.bytes += packet.size.as_u64();
+
+        (
+            LinkVerdict::Deliver {
+                at: arrival,
+                packet,
+            },
+            Some(tx_done),
+        )
+    }
+
+    /// Releases `size` bytes from the backlog when serialisation finishes.
+    pub fn release(&mut self, size: Bytes) {
+        self.backlog = self.backlog.saturating_sub(size);
+    }
+
+    /// Bytes currently queued or being serialised.
+    pub fn backlog(&self) -> Bytes {
+        self.backlog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+    use crate::wire::Payload;
+
+    fn pkt(id: u64, size: u64) -> Packet {
+        Packet {
+            id,
+            src: NodeId(0),
+            dst: NodeId(1),
+            size: Bytes::new(size),
+            ttl: 64,
+            sent_at: SimTime::ZERO,
+            payload: Payload::Raw(0),
+        }
+    }
+
+    fn test_link(rate_mbps: u64, delay_ms: u64, loss: f64) -> Link {
+        Link::new(
+            NodeId(1),
+            LinkConfig::fixed(
+                SimDuration::from_millis(delay_ms),
+                DataRate::from_mbps(rate_mbps),
+                loss,
+            ),
+            SimRng::seed_from(7),
+        )
+    }
+
+    #[test]
+    fn serialization_plus_propagation() {
+        let mut link = test_link(12, 10, 0.0);
+        // 1500 B at 12 Mbps = 1 ms serialisation; +10 ms propagation.
+        let (verdict, tx_done) = link.offer(SimTime::ZERO, pkt(1, 1_500));
+        match verdict {
+            LinkVerdict::Deliver { at, .. } => {
+                assert_eq!(at, SimTime::from_millis(11));
+            }
+            LinkVerdict::Dropped => panic!("lossless link dropped"),
+        }
+        assert_eq!(tx_done, Some(SimTime::from_millis(1)));
+    }
+
+    #[test]
+    fn back_to_back_packets_queue_behind_each_other() {
+        let mut link = test_link(12, 0, 0.0);
+        let (_, t1) = link.offer(SimTime::ZERO, pkt(1, 1_500));
+        let (v2, t2) = link.offer(SimTime::ZERO, pkt(2, 1_500));
+        assert_eq!(t1, Some(SimTime::from_millis(1)));
+        assert_eq!(t2, Some(SimTime::from_millis(2)));
+        match v2 {
+            LinkVerdict::Deliver { at, .. } => assert_eq!(at, SimTime::from_millis(2)),
+            LinkVerdict::Dropped => panic!(),
+        }
+    }
+
+    #[test]
+    fn droptail_overflow() {
+        let mut link = Link::new(
+            NodeId(1),
+            LinkConfig::fixed(SimDuration::ZERO, DataRate::from_kbps(8), 0.0)
+                .with_queue(Bytes::new(3_000)),
+            SimRng::seed_from(1),
+        );
+        // Two 1500 B packets fill the 3000 B buffer; the third drops.
+        assert!(matches!(
+            link.offer(SimTime::ZERO, pkt(1, 1_500)).0,
+            LinkVerdict::Deliver { .. }
+        ));
+        assert!(matches!(
+            link.offer(SimTime::ZERO, pkt(2, 1_500)).0,
+            LinkVerdict::Deliver { .. }
+        ));
+        assert!(matches!(
+            link.offer(SimTime::ZERO, pkt(3, 1_500)).0,
+            LinkVerdict::Dropped
+        ));
+        assert_eq!(link.stats.overflowed, 1);
+        // Releasing frees room again.
+        link.release(Bytes::new(1_500));
+        assert!(matches!(
+            link.offer(SimTime::from_millis(1), pkt(4, 1_500)).0,
+            LinkVerdict::Deliver { .. }
+        ));
+    }
+
+    #[test]
+    fn loss_rate_is_respected() {
+        let mut link = test_link(1_000, 1, 0.3);
+        let mut dropped = 0;
+        let n = 10_000;
+        for i in 0..n {
+            let (v, _) = link.offer(SimTime::from_micros(i * 20), pkt(i, 100));
+            if matches!(v, LinkVerdict::Dropped) {
+                dropped += 1;
+                link.release(Bytes::ZERO);
+            } else {
+                link.release(Bytes::new(100));
+            }
+        }
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "loss rate {rate}");
+        assert_eq!(link.stats.lost, dropped);
+    }
+
+    #[test]
+    fn zero_rate_link_drops() {
+        let mut link = Link::new(
+            NodeId(1),
+            LinkConfig::fixed(SimDuration::ZERO, DataRate::ZERO, 0.0),
+            SimRng::seed_from(2),
+        );
+        assert!(matches!(
+            link.offer(SimTime::ZERO, pkt(1, 100)).0,
+            LinkVerdict::Dropped
+        ));
+    }
+
+    #[test]
+    fn idle_gap_resets_queueing() {
+        let mut link = test_link(12, 0, 0.0);
+        let _ = link.offer(SimTime::ZERO, pkt(1, 1_500));
+        link.release(Bytes::new(1_500));
+        // Much later, the transmitter is idle: no residual queueing delay.
+        let (v, _) = link.offer(SimTime::from_secs(1), pkt(2, 1_500));
+        match v {
+            LinkVerdict::Deliver { at, .. } => {
+                assert_eq!(at, SimTime::from_secs(1) + SimDuration::from_millis(1));
+            }
+            LinkVerdict::Dropped => panic!(),
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Nodes: routers that forward and hosts that run [`Handler`]s.
+
+use crate::wire::{Packet, Payload};
+use starlink_simcore::{Bytes, SimTime};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies a node within one [`crate::Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a node does with traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Forwards packets along routes, decrements TTL, answers expired
+    /// probes with ICMP Time-Exceeded and echo requests with replies.
+    Router,
+    /// Terminates traffic and hands packets to an attached [`Handler`].
+    Host,
+}
+
+/// The per-event API a [`Handler`] uses to act on the network.
+///
+/// Commands are buffered and applied by the network after the handler
+/// returns, which keeps handler code free of re-entrancy concerns.
+pub struct Ctx {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// The node this handler is attached to.
+    pub node: NodeId,
+    pub(crate) outbox: Vec<OutCommand>,
+}
+
+/// A deferred action requested by a handler.
+pub(crate) enum OutCommand {
+    Send {
+        dst: NodeId,
+        size: Bytes,
+        ttl: u8,
+        payload: Payload,
+    },
+    Timer {
+        at: SimTime,
+        token: u64,
+    },
+}
+
+impl Ctx {
+    pub(crate) fn new(now: SimTime, node: NodeId) -> Self {
+        Ctx {
+            now,
+            node,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Sends a packet from this node to `dst` with a default TTL of 64.
+    pub fn send(&mut self, dst: NodeId, size: Bytes, payload: Payload) {
+        self.send_with_ttl(dst, size, 64, payload);
+    }
+
+    /// Sends a packet with an explicit TTL (traceroute's tool).
+    pub fn send_with_ttl(&mut self, dst: NodeId, size: Bytes, ttl: u8, payload: Payload) {
+        self.outbox.push(OutCommand::Send {
+            dst,
+            size,
+            ttl,
+            payload,
+        });
+    }
+
+    /// Arms a timer that will call [`Handler::on_timer`] with `token` at
+    /// `at` (tokens are handler-defined; duplicates are delivered
+    /// duplicate times).
+    pub fn set_timer(&mut self, at: SimTime, token: u64) {
+        self.outbox.push(OutCommand::Timer { at, token });
+    }
+}
+
+/// Endpoint behaviour attached to a host node.
+pub trait Handler {
+    /// A packet addressed to this host arrived.
+    fn on_packet(&mut self, ctx: &mut Ctx, packet: &Packet);
+    /// A timer armed via [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64);
+}
+
+/// A node record inside the network.
+pub(crate) struct Node {
+    pub name: String,
+    pub kind: NodeKind,
+    /// dst node -> outgoing link index.
+    pub routes: HashMap<NodeId, usize>,
+    pub handler: Option<Box<dyn Handler>>,
+    /// Packets delivered to this node with no handler attached (kept for
+    /// inspection; lets tests and simple sinks observe traffic).
+    pub mailbox: Vec<(SimTime, Packet)>,
+}
+
+impl Node {
+    pub fn new(name: &str, kind: NodeKind) -> Self {
+        Node {
+            name: name.to_string(),
+            kind,
+            routes: HashMap::new(),
+            handler: None,
+            mailbox: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_buffers_commands() {
+        let mut ctx = Ctx::new(SimTime::from_millis(5), NodeId(3));
+        ctx.send(NodeId(1), Bytes::new(100), Payload::Raw(1));
+        ctx.send_with_ttl(NodeId(1), Bytes::new(60), 3, Payload::Raw(2));
+        ctx.set_timer(SimTime::from_millis(9), 77);
+        assert_eq!(ctx.outbox.len(), 3);
+        match &ctx.outbox[1] {
+            OutCommand::Send { ttl, .. } => assert_eq!(*ttl, 3),
+            _ => panic!(),
+        }
+        match &ctx.outbox[2] {
+            OutCommand::Timer { at, token } => {
+                assert_eq!(*at, SimTime::from_millis(9));
+                assert_eq!(*token, 77);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(4).to_string(), "n4");
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the packet simulator: conservation, timing bounds
+//! and determinism over randomized link parameters.
+
+use proptest::prelude::*;
+use starlink_netsim::{LinkConfig, Network, NodeKind, Payload};
+use starlink_simcore::{Bytes, DataRate, SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every packet offered to a linear path is accounted for exactly
+    /// once: delivered, lost on a link, dropped by queue overflow, or
+    /// expired (none here: generous TTL).
+    #[test]
+    fn packets_are_conserved(
+        seed in any::<u64>(),
+        loss in 0.0f64..0.5,
+        rate_kbps in 64u64..100_000,
+        count in 1u64..300,
+        spacing_us in 1u64..5_000,
+    ) {
+        let mut net = Network::new(seed);
+        let a = net.add_node("a", NodeKind::Host);
+        let r = net.add_node("r", NodeKind::Router);
+        let b = net.add_node("b", NodeKind::Host);
+        let mk = || LinkConfig::fixed(
+            SimDuration::from_millis(5),
+            DataRate::from_kbps(rate_kbps),
+            loss,
+        ).with_queue(Bytes::from_kb(32));
+        net.connect_duplex(a, r, mk(), mk());
+        net.connect_duplex(r, b, LinkConfig::ethernet(), LinkConfig::ethernet());
+        net.route_linear(&[a, r, b]);
+
+        for i in 0..count {
+            net.run_until(SimTime::from_micros(i * spacing_us));
+            net.send_packet(a, b, Bytes::new(200), 64, Payload::Raw(i));
+        }
+        net.run_to_idle();
+
+        let delivered = net.stats().delivered;
+        let lost = net.link_stats(0).lost; // a -> r carries all data
+        let overflowed = net.link_stats(0).overflowed;
+        prop_assert_eq!(
+            delivered + lost + overflowed,
+            count,
+            "delivered {} + lost {} + overflowed {} != sent {}",
+            delivered, lost, overflowed, count
+        );
+    }
+
+    /// Delivery time is never earlier than serialisation + propagation
+    /// along the path, for any rate/size combination.
+    #[test]
+    fn no_faster_than_light_delivery(
+        size in 64u64..9_000,
+        rate_kbps in 64u64..1_000_000,
+        delay_ms in 0u64..200,
+    ) {
+        let mut net = Network::new(1);
+        let a = net.add_node("a", NodeKind::Host);
+        let b = net.add_node("b", NodeKind::Host);
+        let mk = || LinkConfig::fixed(
+            SimDuration::from_millis(delay_ms),
+            DataRate::from_kbps(rate_kbps),
+            0.0,
+        );
+        net.connect_duplex(a, b, mk(), mk());
+        net.route_linear(&[a, b]);
+        net.send_packet(a, b, Bytes::new(size), 64, Payload::Raw(0));
+        net.run_to_idle();
+        let mail = net.drain_mailbox(b);
+        prop_assert_eq!(mail.len(), 1);
+        let floor = Bytes::new(size).serialization_time(DataRate::from_kbps(rate_kbps))
+            + SimDuration::from_millis(delay_ms);
+        prop_assert!(mail[0].0 >= SimTime::ZERO + floor);
+    }
+
+    /// TTL semantics: a probe with TTL = k on an n-router path expires at
+    /// router k iff k <= n, else reaches the host.
+    #[test]
+    fn ttl_expiry_is_exact(routers in 1usize..6, ttl in 1u8..8) {
+        let mut net = Network::new(3);
+        let src = net.add_node("src", NodeKind::Host);
+        let mut path = vec![src];
+        for i in 0..routers {
+            path.push(net.add_node(&format!("r{i}"), NodeKind::Router));
+        }
+        let dst = net.add_node("dst", NodeKind::Host);
+        path.push(dst);
+        for w in path.windows(2) {
+            net.connect_duplex(w[0], w[1], LinkConfig::ethernet(), LinkConfig::ethernet());
+        }
+        net.route_linear(&path);
+        net.send_packet(src, dst, Bytes::new(60), ttl, Payload::EchoRequest { probe: 0 });
+        net.run_to_idle();
+        let mail = net.drain_mailbox(src);
+        prop_assert_eq!(mail.len(), 1, "exactly one reply expected");
+        match &mail[0].1.payload {
+            Payload::TimeExceeded { at, .. } => {
+                prop_assert!((ttl as usize) <= routers);
+                // Expired at the ttl-th router on the path.
+                prop_assert_eq!(*at, path[ttl as usize]);
+            }
+            Payload::EchoReply { .. } => {
+                prop_assert!((ttl as usize) > routers);
+            }
+            other => prop_assert!(false, "unexpected reply {:?}", other),
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Reusable probability distributions for workload and channel models.
+//!
+//! [`Dist`] is a small closed enum rather than a trait object so that model
+//! configurations stay `Copy`/`Clone`, comparable and serialisable by hand;
+//! the set of shapes the paper's models need is fixed and small.
+//!
+//! [`ZipfTable`] is the precomputed-CDF companion to [`SimRng::zipf`] for
+//! hot paths (the Tranco popularity sampler draws hundreds of thousands of
+//! page ranks over a simulated six-month campaign).
+
+use crate::rng::SimRng;
+
+/// A univariate distribution over `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Dist {
+    /// Always the same value.
+    Constant(f64),
+    /// Uniform on `[lo, hi)`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+    /// Normal with mean and standard deviation.
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation.
+        std_dev: f64,
+    },
+    /// Lognormal: `exp(N(mu, sigma))`.
+    LogNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Std-dev of the underlying normal.
+        sigma: f64,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean (`1/lambda`).
+        mean: f64,
+    },
+    /// Pareto with minimum value and shape.
+    Pareto {
+        /// Scale (minimum value).
+        x_min: f64,
+        /// Shape (tail index); smaller is heavier-tailed.
+        alpha: f64,
+    },
+}
+
+impl Dist {
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        match *self {
+            Dist::Constant(v) => v,
+            Dist::Uniform { lo, hi } => rng.range_f64(lo, hi),
+            Dist::Normal { mean, std_dev } => rng.normal(mean, std_dev),
+            Dist::LogNormal { mu, sigma } => rng.lognormal(mu, sigma),
+            Dist::Exponential { mean } => rng.exponential(mean),
+            Dist::Pareto { x_min, alpha } => rng.pareto(x_min, alpha),
+        }
+    }
+
+    /// Draws one sample clamped to be non-negative (latencies, sizes and
+    /// rates are never negative; a normal tail excursion below zero is
+    /// truncated rather than rejected so the draw count stays fixed).
+    pub fn sample_non_negative(&self, rng: &mut SimRng) -> f64 {
+        self.sample(rng).max(0.0)
+    }
+
+    /// The distribution's mean, where it exists in closed form.
+    ///
+    /// Pareto with `alpha <= 1` has no finite mean; this returns infinity
+    /// there, matching the mathematical convention.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Dist::Constant(v) => v,
+            Dist::Uniform { lo, hi } => 0.5 * (lo + hi),
+            Dist::Normal { mean, .. } => mean,
+            Dist::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
+            Dist::Exponential { mean } => mean,
+            Dist::Pareto { x_min, alpha } => {
+                if alpha > 1.0 {
+                    alpha * x_min / (alpha - 1.0)
+                } else {
+                    f64::INFINITY
+                }
+            }
+        }
+    }
+}
+
+/// A precomputed Zipf sampler over ranks `1..=n`.
+///
+/// Sampling is `O(log n)` by binary search over the cumulative weights.
+///
+/// ```
+/// use starlink_simcore::{dist::ZipfTable, SimRng};
+///
+/// let table = ZipfTable::new(1_000_000, 1.0);
+/// let mut rng = SimRng::seed_from(1);
+/// let rank = table.sample(&mut rng);
+/// assert!((1..=1_000_000).contains(&rank));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfTable {
+    /// `cdf[k-1]` = P(rank <= k), normalised to end at exactly 1.0.
+    cdf: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Builds the table for ranks `1..=n` with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "ZipfTable::new(0, _)");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Pin the final entry so a u ~ 1.0 draw can never fall off the end.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        ZipfTable { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the table is empty (never true: construction requires n > 0).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `[1, n]`.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.f64();
+        // partition_point returns the count of entries < u, which is the
+        // zero-based index of the first cdf entry >= u, i.e. rank - 1.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx as u64) + 1
+    }
+
+    /// Probability mass of a single rank (1-based).
+    pub fn pmf(&self, rank: u64) -> f64 {
+        let i = (rank - 1) as usize;
+        if i >= self.cdf.len() {
+            return 0.0;
+        }
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = SimRng::seed_from(1);
+        let d = Dist::Constant(4.2);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 4.2);
+        }
+        assert_eq!(d.mean(), 4.2);
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let mut rng = SimRng::seed_from(2);
+        let d = Dist::Uniform { lo: 2.0, hi: 5.0 };
+        let n = 50_000;
+        let mut acc = 0.0;
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            assert!((2.0..5.0).contains(&x));
+            acc += x;
+        }
+        assert!((acc / n as f64 - 3.5).abs() < 0.02);
+        assert_eq!(d.mean(), 3.5);
+    }
+
+    #[test]
+    fn lognormal_mean_matches_closed_form() {
+        let mut rng = SimRng::seed_from(3);
+        let d = Dist::LogNormal {
+            mu: 0.0,
+            sigma: 0.5,
+        };
+        let n = 200_000;
+        let emp = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((emp - d.mean()).abs() < 0.02, "emp {emp} vs {}", d.mean());
+    }
+
+    #[test]
+    fn non_negative_truncates() {
+        let mut rng = SimRng::seed_from(4);
+        let d = Dist::Normal {
+            mean: 0.0,
+            std_dev: 10.0,
+        };
+        for _ in 0..1_000 {
+            assert!(d.sample_non_negative(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn pareto_mean_infinite_for_heavy_tail() {
+        let d = Dist::Pareto {
+            x_min: 1.0,
+            alpha: 0.9,
+        };
+        assert!(d.mean().is_infinite());
+        let d2 = Dist::Pareto {
+            x_min: 1.0,
+            alpha: 3.0,
+        };
+        assert!((d2.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_table_matches_direct_sampler_statistically() {
+        let table = ZipfTable::new(100, 1.0);
+        let mut rng = SimRng::seed_from(5);
+        let n = 50_000;
+        let rank1 = (0..n).filter(|_| table.sample(&mut rng) == 1).count();
+        let p = rank1 as f64 / n as f64;
+        assert!((p - 0.193).abs() < 0.02, "p {p}");
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let table = ZipfTable::new(500, 1.2);
+        let total: f64 = (1..=500).map(|k| table.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(table.pmf(501), 0.0);
+        assert_eq!(table.len(), 500);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn zipf_ranks_in_range() {
+        let table = ZipfTable::new(10, 0.8);
+        let mut rng = SimRng::seed_from(6);
+        for _ in 0..10_000 {
+            let r = table.sample(&mut rng);
+            assert!((1..=10).contains(&r));
+        }
+    }
+}

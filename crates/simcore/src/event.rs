@@ -1,0 +1,226 @@
+//! The discrete-event queue.
+//!
+//! [`EventQueue`] is a min-heap keyed on `(fire_time, sequence_number)`.
+//! The sequence number is assigned at scheduling time, so two events
+//! scheduled for the same instant always fire in the order they were
+//! scheduled. This *stable tie-breaking* is the load-bearing property for
+//! reproducibility: a plain `BinaryHeap` over time alone would pop equal-time
+//! events in an order that depends on internal heap layout, and a simulation
+//! seeded identically could diverge.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event that has been scheduled on an [`EventQueue`].
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Scheduling order, unique per queue; earlier-scheduled events with the
+    /// same `time` fire first.
+    pub seq: u64,
+    /// The caller's payload.
+    pub payload: E,
+}
+
+/// Internal heap entry. Ordered so that the `BinaryHeap` (a max-heap) pops
+/// the *smallest* `(time, seq)` first.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: the max-heap must surface the earliest event.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// The queue does not own a clock; callers track "now" themselves (usually
+/// as the `time` of the last popped event). This keeps the queue reusable
+/// across the network simulator, the constellation stepper and the
+/// browsing-session generator, each of which drives its own loop.
+///
+/// ```
+/// use starlink_simcore::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_millis(3), "c");
+/// q.schedule(SimTime::from_millis(1), "a");
+/// q.schedule(SimTime::from_millis(1), "b"); // same instant as "a"
+///
+/// let fired: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+/// assert_eq!(fired, vec!["a", "b", "c"]); // time order, then schedule order
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `cap` events before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time`. Returns the sequence number
+    /// assigned to the event (useful for logging or as a weak handle).
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+        seq
+    }
+
+    /// Removes and returns the earliest event, or `None` if the queue is
+    /// empty.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        self.heap.pop().map(|e| ScheduledEvent {
+            time: e.time,
+            seq: e.seq,
+            payload: e.payload,
+        })
+    }
+
+    /// Removes and returns the earliest event if it fires at or before
+    /// `deadline`.
+    pub fn pop_before(&mut self, deadline: SimTime) -> Option<ScheduledEvent<E>> {
+        if self.peek_time()? <= deadline {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// The fire time of the earliest event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events (the sequence counter keeps advancing, so
+    /// determinism is preserved across a clear).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), 3u32);
+        q.schedule(SimTime::from_millis(10), 1);
+        q.schedule(SimTime::from_millis(20), 2);
+        let got: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_fire_in_schedule_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100u32 {
+            q.schedule(t, i);
+        }
+        let got: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        let want: Vec<u32> = (0..100).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pop_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), "early");
+        q.schedule(SimTime::from_millis(30), "late");
+        assert_eq!(
+            q.pop_before(SimTime::from_millis(20)).map(|e| e.payload),
+            Some("early")
+        );
+        assert!(q.pop_before(SimTime::from_millis(20)).is_none());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(5), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(5)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn clear_preserves_sequence_monotonicity() {
+        let mut q = EventQueue::new();
+        let s1 = q.schedule(SimTime::ZERO, ());
+        q.clear();
+        let s2 = q.schedule(SimTime::ZERO, ());
+        assert!(s2 > s1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        let mut now = SimTime::ZERO;
+        q.schedule(now + SimDuration::from_millis(1), 1u32);
+        q.schedule(now + SimDuration::from_millis(5), 5);
+        let e = q.pop().unwrap();
+        now = e.time;
+        assert_eq!(e.payload, 1);
+        // Schedule something between now and the pending event.
+        q.schedule(now + SimDuration::from_millis(2), 3);
+        let got: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(got, vec![3, 5]);
+    }
+}

@@ -1,0 +1,402 @@
+//! The simulated clock: [`SimTime`] instants and [`SimDuration`] spans.
+//!
+//! Both types count whole nanoseconds in a `u64`, giving a range of roughly
+//! 584 years — comfortably more than the paper's six-month measurement
+//! campaign. Nanosecond resolution is needed because packet serialisation
+//! times at hundreds of Mbps are well below a microsecond per byte.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Nanoseconds per microsecond.
+const NANOS_PER_MICRO: u64 = 1_000;
+/// Nanoseconds per millisecond.
+const NANOS_PER_MILLI: u64 = 1_000_000;
+/// Nanoseconds per second.
+const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+/// An instant on the simulated timeline, measured in nanoseconds since the
+/// simulation epoch (the moment the experiment starts).
+///
+/// `SimTime` is totally ordered and supports the arithmetic you would expect
+/// against [`SimDuration`]. It deliberately has no conversion to or from
+/// wall-clock time: experiments that need calendar semantics (e.g. the
+/// diurnal load model, or the AS-change dates) layer those on top of the
+/// epoch themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; useful as an "infinitely far"
+    /// sentinel for timers that are not currently armed.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `nanos` nanoseconds after the epoch.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates an instant `micros` microseconds after the epoch.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros * NANOS_PER_MICRO)
+    }
+
+    /// Creates an instant `millis` milliseconds after the epoch.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * NANOS_PER_MILLI)
+    }
+
+    /// Creates an instant `secs` seconds after the epoch.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * NANOS_PER_SEC)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds since the epoch (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / NANOS_PER_MICRO
+    }
+
+    /// Whole milliseconds since the epoch (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / NANOS_PER_MILLI
+    }
+
+    /// Whole seconds since the epoch (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / NANOS_PER_SEC
+    }
+
+    /// Seconds since the epoch as a float (lossy above 2^53 ns, i.e. ~104
+    /// days of *nanosecond-exact* arithmetic; fine for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// The span from `earlier` to `self`, saturating to zero if `earlier`
+    /// is actually later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `earlier > self`.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(
+            earlier.0 <= self.0,
+            "SimTime::since called with a later instant"
+        );
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// Adds a duration, saturating at [`SimTime::MAX`].
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", SimDuration(self.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+/// A span of simulated time, in whole nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The longest representable span.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// A span of `nanos` nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// A span of `micros` microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros * NANOS_PER_MICRO)
+    }
+
+    /// A span of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * NANOS_PER_MILLI)
+    }
+
+    /// A span of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * NANOS_PER_SEC)
+    }
+
+    /// A span of `mins` minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * 60 * NANOS_PER_SEC)
+    }
+
+    /// A span of `hours` hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * 3_600 * NANOS_PER_SEC)
+    }
+
+    /// A span of `days` days.
+    pub const fn from_days(days: u64) -> Self {
+        SimDuration(days * 86_400 * NANOS_PER_SEC)
+    }
+
+    /// A span of fractional seconds. Negative or non-finite inputs clamp to
+    /// zero; the caller is expressing "no delay", not an error.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs.is_nan() || secs <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let nanos = secs * NANOS_PER_SEC as f64;
+        if nanos >= u64::MAX as f64 {
+            SimDuration::MAX
+        } else {
+            SimDuration(nanos as u64)
+        }
+    }
+
+    /// A span of fractional milliseconds (clamping like
+    /// [`SimDuration::from_secs_f64`]).
+    pub fn from_millis_f64(millis: f64) -> Self {
+        Self::from_secs_f64(millis / 1_000.0)
+    }
+
+    /// Whole nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / NANOS_PER_MICRO
+    }
+
+    /// Whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / NANOS_PER_MILLI
+    }
+
+    /// Whole seconds (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / NANOS_PER_SEC
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_MILLI as f64
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked multiplication by an integer factor.
+    pub fn checked_mul(self, rhs: u64) -> Option<SimDuration> {
+        self.0.checked_mul(rhs).map(SimDuration)
+    }
+
+    /// Multiplies by a non-negative float factor, clamping at the
+    /// representable range.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * factor)
+    }
+
+    /// The larger of two spans.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two spans.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= NANOS_PER_SEC {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= NANOS_PER_MILLI {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if ns >= NANOS_PER_MICRO {
+            write!(f, "{:.3}us", ns as f64 / NANOS_PER_MICRO as f64)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Div<SimDuration> for SimDuration {
+    type Output = f64;
+    fn div(self, rhs: SimDuration) -> f64 {
+        self.0 as f64 / rhs.0 as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1_000));
+        assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1_000));
+        assert_eq!(SimDuration::from_mins(2), SimDuration::from_secs(120));
+        assert_eq!(SimDuration::from_hours(1), SimDuration::from_mins(60));
+        assert_eq!(SimDuration::from_days(1), SimDuration::from_hours(24));
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::from_millis(10);
+        let t2 = t + SimDuration::from_millis(5);
+        assert_eq!(t2.as_millis(), 15);
+        assert_eq!(t2 - t, SimDuration::from_millis(5));
+        assert_eq!(t2.since(t).as_millis(), 5);
+        assert_eq!(t.saturating_since(t2), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn float_round_trips() {
+        let d = SimDuration::from_secs_f64(1.5);
+        assert_eq!(d.as_millis(), 1_500);
+        assert!((d.as_secs_f64() - 1.5).abs() < 1e-9);
+        let d = SimDuration::from_millis_f64(0.25);
+        assert_eq!(d.as_micros(), 250);
+    }
+
+    #[test]
+    fn from_secs_f64_clamps_garbage() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::MAX);
+    }
+
+    #[test]
+    fn display_picks_sane_unit() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(12)), "12.000us");
+        assert_eq!(format!("{}", SimDuration::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(12)), "12.000s");
+    }
+
+    #[test]
+    fn min_max_and_scaling() {
+        let a = SimDuration::from_millis(10);
+        let b = SimDuration::from_millis(20);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a * 3, SimDuration::from_millis(30));
+        assert_eq!(b / 2, a);
+        assert!((b / a - 2.0).abs() < 1e-12);
+        assert_eq!(a.mul_f64(2.5), SimDuration::from_millis(25));
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
+        assert_eq!(
+            SimDuration::from_millis(1).saturating_sub(SimDuration::from_secs(1)),
+            SimDuration::ZERO
+        );
+    }
+}

@@ -1,0 +1,334 @@
+//! Unit newtypes: byte counts, data rates and distances.
+//!
+//! The classic measurement-code bugs — bits where bytes were meant, Mbps
+//! where MBps was meant, kilometres fed to a metres API — become type errors
+//! with these wrappers. Conversions are explicit and the serialisation-time
+//! helper ties [`Bytes`] and [`DataRate`] to [`SimDuration`].
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+use crate::time::SimDuration;
+
+/// A count of bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bytes(u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// `n` bytes.
+    pub const fn new(n: u64) -> Self {
+        Bytes(n)
+    }
+
+    /// `n` kilobytes (decimal: 1 kB = 1000 B, the networking convention).
+    pub const fn from_kb(n: u64) -> Self {
+        Bytes(n * 1_000)
+    }
+
+    /// `n` megabytes (decimal).
+    pub const fn from_mb(n: u64) -> Self {
+        Bytes(n * 1_000_000)
+    }
+
+    /// Raw byte count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Bit count (8 bits per byte).
+    pub const fn bits(self) -> u64 {
+        self.0 * 8
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The time it takes to serialise this many bytes onto a link running
+    /// at `rate`. Returns [`SimDuration::MAX`] for a zero rate (the link is
+    /// effectively down).
+    pub fn serialization_time(self, rate: DataRate) -> SimDuration {
+        if rate.bits_per_sec() == 0 {
+            return SimDuration::MAX;
+        }
+        let nanos = (self.bits() as u128 * 1_000_000_000u128) / rate.bits_per_sec() as u128;
+        SimDuration::from_nanos(nanos.min(u64::MAX as u128) as u64)
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b >= 1_000_000_000 {
+            write!(f, "{:.2}GB", b as f64 / 1e9)
+        } else if b >= 1_000_000 {
+            write!(f, "{:.2}MB", b as f64 / 1e6)
+        } else if b >= 1_000 {
+            write!(f, "{:.2}kB", b as f64 / 1e3)
+        } else {
+            write!(f, "{b}B")
+        }
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Bytes {
+    type Output = Bytes;
+    fn sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Bytes {
+    fn sub_assign(&mut self, rhs: Bytes) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Bytes {
+    type Output = Bytes;
+    fn mul(self, rhs: u64) -> Bytes {
+        Bytes(self.0 * rhs)
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        iter.fold(Bytes::ZERO, |a, b| a + b)
+    }
+}
+
+/// A data rate in bits per second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DataRate(u64);
+
+impl DataRate {
+    /// Zero rate (a down link).
+    pub const ZERO: DataRate = DataRate(0);
+
+    /// `n` bits per second.
+    pub const fn from_bps(n: u64) -> Self {
+        DataRate(n)
+    }
+
+    /// `n` kilobits per second.
+    pub const fn from_kbps(n: u64) -> Self {
+        DataRate(n * 1_000)
+    }
+
+    /// `n` megabits per second.
+    pub const fn from_mbps(n: u64) -> Self {
+        DataRate(n * 1_000_000)
+    }
+
+    /// `n` gigabits per second.
+    pub const fn from_gbps(n: u64) -> Self {
+        DataRate(n * 1_000_000_000)
+    }
+
+    /// A fractional Mbps value (used when scaling rates by a load factor).
+    pub fn from_mbps_f64(mbps: f64) -> Self {
+        if !mbps.is_finite() || mbps <= 0.0 {
+            return DataRate::ZERO;
+        }
+        DataRate((mbps * 1e6).round() as u64)
+    }
+
+    /// Bits per second.
+    pub const fn bits_per_sec(self) -> u64 {
+        self.0
+    }
+
+    /// Megabits per second as a float (the unit the paper reports).
+    pub fn as_mbps(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Scales by a non-negative factor (e.g. a utilisation multiplier).
+    pub fn scale(self, factor: f64) -> DataRate {
+        DataRate::from_mbps_f64(self.as_mbps() * factor)
+    }
+
+    /// How many whole bytes this rate delivers in `d`.
+    pub fn bytes_in(self, d: SimDuration) -> Bytes {
+        let bits = (self.0 as u128 * d.as_nanos() as u128) / 1_000_000_000u128;
+        Bytes::new((bits / 8).min(u64::MAX as u128) as u64)
+    }
+}
+
+impl fmt::Display for DataRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bps = self.0;
+        if bps >= 1_000_000_000 {
+            write!(f, "{:.2}Gbps", bps as f64 / 1e9)
+        } else if bps >= 1_000_000 {
+            write!(f, "{:.2}Mbps", bps as f64 / 1e6)
+        } else if bps >= 1_000 {
+            write!(f, "{:.2}kbps", bps as f64 / 1e3)
+        } else {
+            write!(f, "{bps}bps")
+        }
+    }
+}
+
+/// A distance in metres.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Meters(f64);
+
+impl Meters {
+    /// Zero distance.
+    pub const ZERO: Meters = Meters(0.0);
+    /// Speed of light in vacuum, m/s.
+    pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+    /// Effective propagation speed in optical fibre, m/s (~2/3 c).
+    pub const FIBER_SPEED: f64 = 199_861_638.0;
+
+    /// `m` metres.
+    pub const fn new(m: f64) -> Self {
+        Meters(m)
+    }
+
+    /// `km` kilometres.
+    pub fn from_km(km: f64) -> Self {
+        Meters(km * 1_000.0)
+    }
+
+    /// Metres as a float.
+    pub const fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// Kilometres as a float.
+    pub fn as_km(self) -> f64 {
+        self.0 / 1_000.0
+    }
+
+    /// One-way propagation delay through vacuum/air (radio link).
+    pub fn radio_delay(self) -> SimDuration {
+        SimDuration::from_secs_f64(self.0 / Self::SPEED_OF_LIGHT)
+    }
+
+    /// One-way propagation delay through optical fibre.
+    pub fn fiber_delay(self) -> SimDuration {
+        SimDuration::from_secs_f64(self.0 / Self::FIBER_SPEED)
+    }
+}
+
+impl fmt::Display for Meters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000.0 {
+            write!(f, "{:.1}km", self.as_km())
+        } else {
+            write!(f, "{:.1}m", self.0)
+        }
+    }
+}
+
+impl Add for Meters {
+    type Output = Meters;
+    fn add(self, rhs: Meters) -> Meters {
+        Meters(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Meters {
+    type Output = Meters;
+    fn sub(self, rhs: Meters) -> Meters {
+        Meters(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Meters {
+    type Output = Meters;
+    fn mul(self, rhs: f64) -> Meters {
+        Meters(self.0 * rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_conversions() {
+        assert_eq!(Bytes::from_kb(2).as_u64(), 2_000);
+        assert_eq!(Bytes::from_mb(3).as_u64(), 3_000_000);
+        assert_eq!(Bytes::new(10).bits(), 80);
+    }
+
+    #[test]
+    fn serialization_time_basic() {
+        // 1500 B at 12 Mbps = 12000 bits / 12e6 bps = 1 ms.
+        let t = Bytes::new(1_500).serialization_time(DataRate::from_mbps(12));
+        assert_eq!(t, SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn serialization_time_zero_rate_is_infinite() {
+        let t = Bytes::new(1).serialization_time(DataRate::ZERO);
+        assert_eq!(t, SimDuration::MAX);
+    }
+
+    #[test]
+    fn rate_conversions_round_trip() {
+        let r = DataRate::from_mbps(100);
+        assert_eq!(r.bits_per_sec(), 100_000_000);
+        assert!((r.as_mbps() - 100.0).abs() < 1e-12);
+        assert_eq!(DataRate::from_mbps_f64(1.5).bits_per_sec(), 1_500_000);
+    }
+
+    #[test]
+    fn rate_scale_clamps() {
+        assert_eq!(DataRate::from_mbps(10).scale(-1.0), DataRate::ZERO);
+        assert_eq!(DataRate::from_mbps(10).scale(0.5), DataRate::from_mbps(5));
+    }
+
+    #[test]
+    fn bytes_in_duration() {
+        // 8 Mbps for one second = 1 MB.
+        let got = DataRate::from_mbps(8).bytes_in(SimDuration::from_secs(1));
+        assert_eq!(got, Bytes::from_mb(1));
+    }
+
+    #[test]
+    fn propagation_delays() {
+        // 550 km radio: ~1.83 ms one way.
+        let d = Meters::from_km(550.0).radio_delay();
+        let ms = d.as_secs_f64() * 1e3;
+        assert!((ms - 1.834).abs() < 0.01, "{ms}");
+        // Fibre is slower than radio for the same distance.
+        assert!(Meters::from_km(550.0).fiber_delay() > d);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Bytes::new(1_500)), "1.50kB");
+        assert_eq!(format!("{}", DataRate::from_mbps(123)), "123.00Mbps");
+        assert_eq!(format!("{}", Meters::from_km(1.5)), "1.5km");
+    }
+
+    #[test]
+    fn bytes_sum() {
+        let total: Bytes = vec![Bytes::new(1), Bytes::new(2), Bytes::new(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Bytes::new(6));
+    }
+}

@@ -1,0 +1,146 @@
+//! The exit-AS timeline: Google AS36492 → SpaceX AS14593.
+//!
+//! The paper's IPinfo lookups showed Starlink users in London and Sydney
+//! initially appearing to come from Google's AS36492 and then switching to
+//! SpaceX's own AS14593 — between 16 and 24 Feb 2022 in London, and
+//! between 1 and 2 Apr 2022 in Sydney. Seattle was on AS14593 throughout.
+//! The paper reads this as a change in Starlink's exit-point/peering
+//! configuration, and Fig. 3 uses it as a natural experiment: PTTs rose
+//! slightly after the switch, consistent with Google's better peering.
+//!
+//! The campaign clock starts 1 Dec 2021 00:00 UTC (the paper collected
+//! data "for 6 months, starting from Dec 2021").
+
+use starlink_geo::City;
+use starlink_simcore::{SimDuration, SimTime};
+
+/// Google's AS number (the early exit point).
+pub const AS_GOOGLE: u32 = 36_492;
+/// SpaceX's AS number.
+pub const AS_SPACEX: u32 = 14_593;
+
+/// Days from the campaign epoch (1 Dec 2021) to a calendar day.
+const fn campaign_day(days: u64) -> SimTime {
+    SimTime::from_secs(days * 86_400)
+}
+
+/// 16 Feb 2022: last day London was observed on the Google AS
+/// (Dec 31 + Jan 31 + Feb 15 = 77 days after 1 Dec).
+pub const LONDON_SWITCH_START: SimTime = campaign_day(77);
+/// 24 Feb 2022: first day London was observed on the SpaceX AS.
+pub const LONDON_SWITCH_END: SimTime = campaign_day(85);
+/// 1 Apr 2022 (121 days after 1 Dec): Sydney still on Google's AS.
+pub const SYDNEY_SWITCH_START: SimTime = campaign_day(121);
+/// 2 Apr 2022: Sydney observed on SpaceX's AS.
+pub const SYDNEY_SWITCH_END: SimTime = campaign_day(122);
+
+/// Which AS a Starlink user's traffic exits from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExitAs {
+    /// AS36492 — Google as the cloud egress, with Google's peering.
+    Google,
+    /// AS14593 — SpaceX's own network.
+    SpaceX,
+}
+
+impl ExitAs {
+    /// The AS number.
+    pub fn asn(self) -> u32 {
+        match self {
+            ExitAs::Google => AS_GOOGLE,
+            ExitAs::SpaceX => AS_SPACEX,
+        }
+    }
+
+    /// Peering-quality multiplier on transit RTT: the paper conjectures
+    /// "the Google AS might have had slightly better peering
+    /// arrangements, which may result in additional AS hops in some
+    /// cases" after the move.
+    pub fn peering_multiplier(self) -> f64 {
+        match self {
+            ExitAs::Google => 1.0,
+            ExitAs::SpaceX => 1.22,
+        }
+    }
+
+    /// The exit AS for a Starlink user in `city` at campaign time `t`.
+    /// Within a city's observed switch window the change is modelled as
+    /// completing at the window midpoint.
+    pub fn at(city: City, t: SimTime) -> ExitAs {
+        let switch_at = match city {
+            City::London | City::Wiltshire => {
+                Some(midpoint(LONDON_SWITCH_START, LONDON_SWITCH_END))
+            }
+            City::Sydney | City::Brisbane => Some(midpoint(SYDNEY_SWITCH_START, SYDNEY_SWITCH_END)),
+            // Seattle (and the rest of the US cohort) was on AS14593 for
+            // the whole campaign.
+            City::Seattle | City::Austin | City::Denver | City::NorthCarolina => None,
+            // EU sites: follow the London schedule (the paper only
+            // observed London and Sydney switching; EU egress moved with
+            // the European reconfiguration).
+            _ => Some(midpoint(LONDON_SWITCH_START, LONDON_SWITCH_END)),
+        };
+        match switch_at {
+            Some(at) if t < at => ExitAs::Google,
+            _ => ExitAs::SpaceX,
+        }
+    }
+}
+
+fn midpoint(a: SimTime, b: SimTime) -> SimTime {
+    a + (b.since(a)) / 2
+}
+
+/// The full six-month campaign length.
+pub const CAMPAIGN_LENGTH: SimDuration = SimDuration::from_days(182);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn london_switches_mid_february() {
+        assert_eq!(ExitAs::at(City::London, campaign_day(70)), ExitAs::Google);
+        assert_eq!(ExitAs::at(City::London, campaign_day(90)), ExitAs::SpaceX);
+    }
+
+    #[test]
+    fn sydney_switches_first_of_april() {
+        assert_eq!(ExitAs::at(City::Sydney, campaign_day(120)), ExitAs::Google);
+        assert_eq!(ExitAs::at(City::Sydney, campaign_day(122)), ExitAs::SpaceX);
+        // Sydney is still on Google when London has already moved.
+        assert_eq!(ExitAs::at(City::Sydney, campaign_day(100)), ExitAs::Google);
+        assert_eq!(ExitAs::at(City::London, campaign_day(100)), ExitAs::SpaceX);
+    }
+
+    #[test]
+    fn seattle_never_changes() {
+        for day in [0, 50, 100, 150, 181] {
+            assert_eq!(
+                ExitAs::at(City::Seattle, campaign_day(day)),
+                ExitAs::SpaceX,
+                "day {day}"
+            );
+        }
+    }
+
+    #[test]
+    fn asn_values_match_the_paper() {
+        assert_eq!(ExitAs::Google.asn(), 36492);
+        assert_eq!(ExitAs::SpaceX.asn(), 14593);
+    }
+
+    #[test]
+    fn spacex_peering_is_slightly_worse() {
+        assert!(ExitAs::SpaceX.peering_multiplier() > ExitAs::Google.peering_multiplier());
+        // "Slightly": well under 1.5x.
+        assert!(ExitAs::SpaceX.peering_multiplier() < 1.5);
+    }
+
+    #[test]
+    fn switch_windows_are_ordered_in_the_campaign() {
+        assert!(LONDON_SWITCH_START < LONDON_SWITCH_END);
+        assert!(LONDON_SWITCH_END < SYDNEY_SWITCH_START);
+        assert!(SYDNEY_SWITCH_END < SimTime::ZERO + CAMPAIGN_LENGTH);
+    }
+}

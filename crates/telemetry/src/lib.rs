@@ -1,0 +1,31 @@
+//! # starlink-telemetry
+//!
+//! The browser-extension measurement pipeline — §3.1 of the paper,
+//! end to end:
+//!
+//! * [`population`] — the 28-user deployment (18 Starlink users across
+//!   10 cities in the UK, EU, USA and Australia, plus the non-Starlink
+//!   comparison users), with the paper's anonymisation rules baked in:
+//!   users are random identifiers, never IPs;
+//! * [`aschange`] — the exit-AS timeline: Starlink traffic initially
+//!   egressed from Google's AS36492 and moved to SpaceX's AS14593 between
+//!   16–24 Feb 2022 in London and 1–2 Apr 2022 in Sydney (Seattle was on
+//!   AS14593 throughout) — the natural experiment behind Fig. 3;
+//! * [`records`] — the anonymised page-load and speedtest records the
+//!   extension uploads, and the [`records::Dataset`] store with the
+//!   city-wise aggregations of Table 1;
+//! * [`pipeline`] — the six-month campaign driver: browsing sessions,
+//!   weather exposure, occasional user-triggered speedtests.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aschange;
+pub mod pipeline;
+pub mod population;
+pub mod records;
+
+pub use aschange::{ExitAs, AS_GOOGLE, AS_SPACEX};
+pub use pipeline::{Campaign, CampaignConfig};
+pub use population::{IspClass, Population, User};
+pub use records::{Dataset, PageRecord, SpeedtestRecord};

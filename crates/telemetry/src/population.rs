@@ -1,0 +1,208 @@
+//! The extension's user population.
+//!
+//! 28 users installed the extension and shared data: 18 on Starlink, 10 on
+//! the connections Starlink's rural market typically compares against
+//! (cellular and long-loop DSL). The paper's Table 1 cities — London,
+//! Seattle, Sydney — carry most of the data because they had users of all
+//! ISP classes; the remaining cities hold one or two users each.
+//!
+//! Per the paper's ethics section, a user is nothing but a random
+//! identifier plus (city, ISP class): no IPs, no device identifiers. The
+//! ISP class is what the IPinfo lookup in the real pipeline produced; the
+//! address itself was discarded immediately.
+
+use starlink_channel::AccessTech;
+use starlink_geo::City;
+use starlink_simcore::SimRng;
+
+/// A user's ISP classification (the only network identity retained).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IspClass {
+    /// Starlink subscriber.
+    Starlink,
+    /// Non-Starlink subscriber on the given access technology.
+    NonStarlink(AccessTech),
+}
+
+impl IspClass {
+    /// Whether this user counts into the paper's "Starlink" columns.
+    pub fn is_starlink(self) -> bool {
+        matches!(self, IspClass::Starlink)
+    }
+
+    /// The underlying access technology.
+    pub fn tech(self) -> AccessTech {
+        match self {
+            IspClass::Starlink => AccessTech::Starlink,
+            IspClass::NonStarlink(t) => t,
+        }
+    }
+}
+
+/// One (anonymised) extension user.
+#[derive(Debug, Clone)]
+pub struct User {
+    /// Random identifier — the only key records carry.
+    pub id: u64,
+    /// Home city.
+    pub city: City,
+    /// ISP classification.
+    pub isp: IspClass,
+    /// Relative browsing intensity (pages/day multiplier).
+    pub activity: f64,
+    /// Probability of running the in-extension speedtest on a given day.
+    pub speedtest_propensity: f64,
+}
+
+/// The deployed population.
+#[derive(Debug, Clone)]
+pub struct Population {
+    /// All users who shared data.
+    pub users: Vec<User>,
+}
+
+/// (city, starlink users, non-starlink users, activity weight) — London,
+/// Seattle and Sydney get both classes and the highest activity, mirroring
+/// Table 1's data volumes.
+const PLAN: [(City, u32, u32, f64); 10] = [
+    (City::London, 4, 2, 2.2),
+    (City::Seattle, 2, 1, 1.1),
+    (City::Sydney, 2, 1, 1.0),
+    (City::Toronto, 2, 1, 0.7),
+    (City::Warsaw, 2, 1, 0.7),
+    (City::Berlin, 1, 1, 0.5),
+    (City::Amsterdam, 1, 1, 0.5),
+    (City::Austin, 1, 1, 0.5),
+    (City::Denver, 1, 1, 0.5),
+    (City::Brisbane, 2, 0, 0.5),
+];
+
+impl Population {
+    /// Generates the 28-user population deterministically from `seed`.
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = SimRng::seed_from(seed).stream("telemetry.population");
+        let mut users = Vec::with_capacity(28);
+        for &(city, starlink, non_starlink, weight) in &PLAN {
+            for _ in 0..starlink {
+                users.push(Self::make_user(&mut rng, city, IspClass::Starlink, weight));
+            }
+            for _ in 0..non_starlink {
+                // The non-Starlink population skews cellular, the rest on
+                // rural DSL — what Starlink's target market migrates from.
+                let cell_share =
+                    starlink_channel::CityProfile::for_city(city).non_starlink_cellular_share;
+                let tech = if rng.bernoulli(cell_share) {
+                    AccessTech::Cellular
+                } else {
+                    AccessTech::RuralBroadband
+                };
+                users.push(Self::make_user(
+                    &mut rng,
+                    city,
+                    IspClass::NonStarlink(tech),
+                    weight,
+                ));
+            }
+        }
+        Population { users }
+    }
+
+    fn make_user(rng: &mut SimRng, city: City, isp: IspClass, weight: f64) -> User {
+        User {
+            id: rng.next_u64(),
+            city,
+            isp,
+            activity: weight * rng.lognormal(0.0, 0.35),
+            speedtest_propensity: rng.range_f64(0.08, 0.30),
+        }
+    }
+
+    /// All users in `city`.
+    pub fn in_city(&self, city: City) -> impl Iterator<Item = &User> {
+        self.users.iter().filter(move |u| u.city == city)
+    }
+
+    /// Count of Starlink users.
+    pub fn starlink_count(&self) -> usize {
+        self.users.iter().filter(|u| u.isp.is_starlink()).count()
+    }
+
+    /// Distinct cities covered.
+    pub fn cities(&self) -> Vec<City> {
+        let mut cities: Vec<City> = self.users.iter().map(|u| u.city).collect();
+        cities.sort_by_key(|c| c.name());
+        cities.dedup();
+        cities
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_matches_the_paper_deployment() {
+        let p = Population::generate(1);
+        assert_eq!(p.users.len(), 28, "28 users shared data");
+        assert_eq!(p.starlink_count(), 18, "18 of them on Starlink");
+        assert_eq!(p.cities().len(), 10, "10 cities");
+    }
+
+    #[test]
+    fn table1_cities_have_both_classes() {
+        let p = Population::generate(2);
+        for city in [City::London, City::Seattle, City::Sydney] {
+            let starlink = p.in_city(city).filter(|u| u.isp.is_starlink()).count();
+            let non = p.in_city(city).filter(|u| !u.isp.is_starlink()).count();
+            assert!(starlink >= 1, "{city}: no Starlink users");
+            assert!(non >= 1, "{city}: no comparison users");
+        }
+    }
+
+    #[test]
+    fn london_is_the_heaviest_cohort() {
+        let p = Population::generate(3);
+        let activity = |city: City| p.in_city(city).map(|u| u.activity).sum::<f64>();
+        let london = activity(City::London);
+        for city in [City::Seattle, City::Sydney, City::Toronto] {
+            assert!(london > activity(city), "London must dominate {city}");
+        }
+    }
+
+    #[test]
+    fn user_ids_are_unique_and_opaque() {
+        let p = Population::generate(4);
+        let mut ids: Vec<u64> = p.users.iter().map(|u| u.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 28, "ids must be unique");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Population::generate(9);
+        let b = Population::generate(9);
+        for (x, y) in a.users.iter().zip(&b.users) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.city, y.city);
+        }
+    }
+
+    #[test]
+    fn non_starlink_mix_is_cellular_heavy() {
+        // Aggregate across seeds to smooth the small population.
+        let mut cellular = 0;
+        let mut dsl = 0;
+        for seed in 0..30 {
+            let p = Population::generate(seed);
+            for u in &p.users {
+                match u.isp {
+                    IspClass::NonStarlink(AccessTech::Cellular) => cellular += 1,
+                    IspClass::NonStarlink(AccessTech::RuralBroadband) => dsl += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(cellular > dsl, "cellular {cellular} vs dsl {dsl}");
+    }
+}

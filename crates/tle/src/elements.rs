@@ -1,0 +1,156 @@
+//! Orbital element types.
+
+use std::fmt;
+
+/// Earth's gravitational parameter, m³/s².
+pub const MU_EARTH: f64 = 3.986_004_418e14;
+/// Earth's equatorial radius used in the J2 terms, metres.
+pub const RE_EARTH: f64 = 6_378_137.0;
+/// Second zonal harmonic of the geopotential.
+pub const J2: f64 = 1.082_626_68e-3;
+/// Earth's rotation rate, rad/s (sidereal).
+pub const OMEGA_EARTH: f64 = 7.292_115_9e-5;
+/// Seconds per day.
+pub const SECS_PER_DAY: f64 = 86_400.0;
+
+/// The mean orbital elements carried by a TLE, plus identification fields.
+///
+/// Angles are kept in degrees (as the TLE format stores them); the
+/// propagator converts internally.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrbitalElements {
+    /// NORAD catalogue number.
+    pub catalog_number: u32,
+    /// Classification character (`U` for unclassified).
+    pub classification: char,
+    /// International designator (launch year/number/piece), trimmed.
+    pub intl_designator: String,
+    /// Epoch year (full, e.g. 2022).
+    pub epoch_year: u32,
+    /// Epoch day of year with fraction (1.0 = Jan 1 00:00 UTC).
+    pub epoch_day: f64,
+    /// First derivative of mean motion / 2, rev/day².
+    pub mean_motion_dot: f64,
+    /// Second derivative of mean motion / 6, rev/day³.
+    pub mean_motion_ddot: f64,
+    /// B* drag term, 1/Earth radii.
+    pub bstar: f64,
+    /// Element set number.
+    pub element_set: u32,
+    /// Inclination, degrees.
+    pub inclination_deg: f64,
+    /// Right ascension of the ascending node, degrees.
+    pub raan_deg: f64,
+    /// Eccentricity (dimensionless, < 1).
+    pub eccentricity: f64,
+    /// Argument of perigee, degrees.
+    pub arg_perigee_deg: f64,
+    /// Mean anomaly at epoch, degrees.
+    pub mean_anomaly_deg: f64,
+    /// Mean motion, revolutions per day.
+    pub mean_motion_rev_per_day: f64,
+    /// Revolution number at epoch.
+    pub rev_number: u32,
+}
+
+impl OrbitalElements {
+    /// Mean motion in radians per second.
+    pub fn mean_motion_rad_per_sec(&self) -> f64 {
+        self.mean_motion_rev_per_day * 2.0 * std::f64::consts::PI / SECS_PER_DAY
+    }
+
+    /// Semi-major axis in metres, from Kepler's third law.
+    pub fn semi_major_axis_m(&self) -> f64 {
+        let n = self.mean_motion_rad_per_sec();
+        (MU_EARTH / (n * n)).cbrt()
+    }
+
+    /// Approximate orbital altitude above the mean Earth radius, metres.
+    pub fn altitude_m(&self) -> f64 {
+        self.semi_major_axis_m() - RE_EARTH
+    }
+
+    /// Orbital period in seconds.
+    pub fn period_secs(&self) -> f64 {
+        SECS_PER_DAY / self.mean_motion_rev_per_day
+    }
+}
+
+/// A named TLE: the satellite name line plus parsed elements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tle {
+    /// Satellite name (line 0 of a 3LE), trimmed.
+    pub name: String,
+    /// Parsed elements from lines 1 and 2.
+    pub elements: OrbitalElements,
+}
+
+impl fmt::Display for Tle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (#{}, {:.1} km, {:.1}°)",
+            self.name,
+            self.elements.catalog_number,
+            self.elements.altitude_m() / 1_000.0,
+            self.elements.inclination_deg
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn starlink_like() -> OrbitalElements {
+        OrbitalElements {
+            catalog_number: 47_413,
+            classification: 'U',
+            intl_designator: "21005A".to_string(),
+            epoch_year: 2022,
+            epoch_day: 100.5,
+            mean_motion_dot: 0.000_02,
+            mean_motion_ddot: 0.0,
+            bstar: 0.000_34,
+            element_set: 999,
+            inclination_deg: 53.0,
+            raan_deg: 120.0,
+            eccentricity: 0.000_1,
+            arg_perigee_deg: 90.0,
+            mean_anomaly_deg: 270.0,
+            mean_motion_rev_per_day: 15.06,
+            rev_number: 7_000,
+        }
+    }
+
+    #[test]
+    fn starlink_altitude_near_550km() {
+        let alt_km = starlink_like().altitude_m() / 1_000.0;
+        assert!((530.0..580.0).contains(&alt_km), "{alt_km} km");
+    }
+
+    #[test]
+    fn period_near_95_minutes() {
+        let mins = starlink_like().period_secs() / 60.0;
+        assert!((94.0..97.0).contains(&mins), "{mins} min");
+    }
+
+    #[test]
+    fn mean_motion_conversion() {
+        let e = starlink_like();
+        let n = e.mean_motion_rad_per_sec();
+        // 15.06 rev/day ~ 1.095e-3 rad/s.
+        assert!((n - 1.095e-3).abs() < 1e-5, "{n}");
+    }
+
+    #[test]
+    fn display_contains_name_and_altitude() {
+        let t = Tle {
+            name: "STARLINK-2356".to_string(),
+            elements: starlink_like(),
+        };
+        let s = t.to_string();
+        assert!(s.contains("STARLINK-2356"));
+        assert!(s.contains("53.0°"));
+    }
+}

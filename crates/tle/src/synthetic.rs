@@ -1,0 +1,198 @@
+//! Synthetic Walker-delta constellation generation.
+//!
+//! Live CelesTrak catalogues are network-gated in this environment, so we
+//! generate Starlink shell-1 from its public FCC-filed parameters — the
+//! same parameters the paper quotes in §5: 53° inclination, 550 km
+//! altitude, 72 orbital planes of 22 satellites. Relative phasing between
+//! planes follows the Walker-delta convention, which matches how SpaceX
+//! spaces the shell in practice closely enough for visibility statistics
+//! (the quantity Fig. 7 depends on: how many satellites are overhead and
+//! how long each stays above the 25° mask).
+
+use crate::elements::{OrbitalElements, MU_EARTH, RE_EARTH, SECS_PER_DAY};
+use crate::Tle;
+
+/// Parameters of one constellation shell (Walker-delta `i: T/P/F`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShellConfig {
+    /// Orbital inclination, degrees.
+    pub inclination_deg: f64,
+    /// Altitude above the mean Earth radius, metres.
+    pub altitude_m: f64,
+    /// Number of orbital planes (`P`).
+    pub planes: u32,
+    /// Satellites per plane (`T/P`).
+    pub sats_per_plane: u32,
+    /// Walker phasing factor (`F`): inter-plane phase offset in units of
+    /// `360° / T`.
+    pub phasing: u32,
+    /// First catalogue number to assign.
+    pub first_catalog_number: u32,
+    /// Name prefix (`STARLINK` produces `STARLINK-1`, `STARLINK-2`, …).
+    pub name_prefix: &'static str,
+}
+
+impl ShellConfig {
+    /// Starlink shell-1 as filed with the FCC and cited by the paper:
+    /// 72 planes × 22 satellites at 550 km, 53°.
+    pub fn starlink_shell1() -> Self {
+        ShellConfig {
+            inclination_deg: 53.0,
+            altitude_m: 550_000.0,
+            planes: 72,
+            sats_per_plane: 22,
+            phasing: 39, // near-uniform inter-plane stagger
+            first_catalog_number: 44_000,
+            name_prefix: "STARLINK",
+        }
+    }
+
+    /// Total satellite count.
+    pub fn total(&self) -> u32 {
+        self.planes * self.sats_per_plane
+    }
+
+    /// Mean motion (rev/day) for the shell altitude, from Kepler's third
+    /// law on a circular orbit.
+    pub fn mean_motion_rev_per_day(&self) -> f64 {
+        let a = RE_EARTH + self.altitude_m;
+        let n_rad_s = (MU_EARTH / (a * a * a)).sqrt();
+        n_rad_s * SECS_PER_DAY / (2.0 * std::f64::consts::PI)
+    }
+
+    /// Generates the full shell as TLE records with a common epoch.
+    pub fn generate(&self) -> Vec<Tle> {
+        let total = self.total();
+        let mm = self.mean_motion_rev_per_day();
+        let mut out = Vec::with_capacity(total as usize);
+        let mut index = 0u32;
+        for plane in 0..self.planes {
+            let raan = 360.0 * f64::from(plane) / f64::from(self.planes);
+            for slot in 0..self.sats_per_plane {
+                // In-plane spacing plus the Walker inter-plane phase offset.
+                let ma = 360.0 * f64::from(slot) / f64::from(self.sats_per_plane)
+                    + 360.0 * f64::from(self.phasing) * f64::from(plane) / f64::from(total);
+                index += 1;
+                out.push(Tle {
+                    name: format!("{}-{}", self.name_prefix, index),
+                    elements: OrbitalElements {
+                        catalog_number: self.first_catalog_number + index - 1,
+                        classification: 'U',
+                        intl_designator: format!("22{:03}A", plane + 1),
+                        epoch_year: 2022,
+                        epoch_day: 100.0,
+                        mean_motion_dot: 0.0,
+                        mean_motion_ddot: 0.0,
+                        bstar: 0.000_1,
+                        element_set: 1,
+                        inclination_deg: self.inclination_deg,
+                        raan_deg: raan,
+                        eccentricity: 0.000_1,
+                        arg_perigee_deg: 0.0,
+                        mean_anomaly_deg: ma.rem_euclid(360.0),
+                        mean_motion_rev_per_day: mm,
+                        rev_number: 1,
+                    },
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Convenience: the full synthetic Starlink shell-1 (1584 satellites).
+pub fn starlink_shell1() -> Vec<Tle> {
+    ShellConfig::starlink_shell1().generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagate::Propagator;
+    use starlink_geo::{look_angles, Geodetic};
+
+    #[test]
+    fn shell1_counts() {
+        let shell = starlink_shell1();
+        assert_eq!(shell.len(), 1584);
+        assert_eq!(shell[0].name, "STARLINK-1");
+        assert_eq!(shell[1583].name, "STARLINK-1584");
+        // Catalogue numbers are unique and sequential.
+        assert_eq!(shell[0].elements.catalog_number, 44_000);
+        assert_eq!(shell[1583].elements.catalog_number, 44_000 + 1583);
+    }
+
+    #[test]
+    fn shell1_altitude_and_period() {
+        let shell = starlink_shell1();
+        let e = &shell[0].elements;
+        let alt_km = e.altitude_m() / 1_000.0;
+        assert!((540.0..560.0).contains(&alt_km), "{alt_km}");
+        let mm = e.mean_motion_rev_per_day;
+        assert!((15.0..15.2).contains(&mm), "{mm}");
+    }
+
+    #[test]
+    fn raan_spread_covers_the_sphere() {
+        let shell = starlink_shell1();
+        let min = shell
+            .iter()
+            .map(|t| t.elements.raan_deg)
+            .fold(f64::MAX, f64::min);
+        let max = shell
+            .iter()
+            .map(|t| t.elements.raan_deg)
+            .fold(f64::MIN, f64::max);
+        assert_eq!(min, 0.0);
+        assert!(max > 350.0);
+    }
+
+    #[test]
+    fn emitted_tles_reparse() {
+        let shell = ShellConfig {
+            planes: 3,
+            sats_per_plane: 4,
+            ..ShellConfig::starlink_shell1()
+        }
+        .generate();
+        for tle in &shell {
+            let (name, l1, l2) = tle.to_lines();
+            let back = Tle::parse(&name, &l1, &l2).expect("synthetic TLE reparses");
+            assert_eq!(back.elements.catalog_number, tle.elements.catalog_number);
+            assert!(
+                (back.elements.raan_deg - tle.elements.raan_deg).abs() < 1e-3,
+                "raan {} vs {}",
+                back.elements.raan_deg,
+                tle.elements.raan_deg
+            );
+        }
+    }
+
+    #[test]
+    fn mid_latitude_observer_sees_satellites() {
+        // A 53°-inclined 1584-satellite shell keeps several satellites above
+        // the 25° mask for a UK observer essentially always — the property
+        // the Fig. 7 handover analysis relies on.
+        let shell = starlink_shell1();
+        let props: Vec<Propagator> = shell
+            .iter()
+            .map(|t| Propagator::new(&t.elements, 0.0))
+            .collect();
+        let obs = Geodetic::on_surface(51.35, -1.99); // Wiltshire
+        for minute in [0u64, 17, 43, 61] {
+            let t = minute as f64 * 60.0;
+            let visible = props
+                .iter()
+                .filter(|p| look_angles(obs, p.position_at_secs(t)).visible_above(25.0))
+                .count();
+            assert!(
+                visible >= 1,
+                "minute {minute}: no satellite above the 25° mask"
+            );
+            assert!(
+                visible < 60,
+                "minute {minute}: implausibly many ({visible})"
+            );
+        }
+    }
+}

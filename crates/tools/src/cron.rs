@@ -1,0 +1,114 @@
+//! The RPi cron schedules.
+//!
+//! §3.2: "The RPi has a cron job that executes every 5 minutes, running
+//! the speedtest utility", and Fig. 6(b) plots iperf "one every half
+//! hour". [`Cron`] generates those tick times over an analysis window.
+
+use starlink_simcore::{SimDuration, SimTime};
+
+/// A fixed-interval schedule over a window.
+#[derive(Debug, Clone, Copy)]
+pub struct Cron {
+    /// Interval between ticks.
+    pub every: SimDuration,
+    /// First tick.
+    pub start: SimTime,
+    /// End of the window (exclusive).
+    pub end: SimTime,
+}
+
+impl Cron {
+    /// A schedule firing `every` from `start` until `end`.
+    ///
+    /// # Panics
+    /// Panics on a zero interval.
+    pub fn new(every: SimDuration, start: SimTime, end: SimTime) -> Self {
+        assert!(every > SimDuration::ZERO, "cron interval must be positive");
+        Cron { every, start, end }
+    }
+
+    /// The paper's speedtest cadence: every 5 minutes.
+    pub fn speedtest_schedule(start: SimTime, end: SimTime) -> Self {
+        Self::new(SimDuration::from_mins(5), start, end)
+    }
+
+    /// The paper's iperf cadence: every 30 minutes.
+    pub fn iperf_schedule(start: SimTime, end: SimTime) -> Self {
+        Self::new(SimDuration::from_mins(30), start, end)
+    }
+
+    /// Number of ticks in the window.
+    pub fn len(&self) -> usize {
+        if self.end <= self.start {
+            return 0;
+        }
+        let span = self.end.since(self.start).as_nanos();
+        let every = self.every.as_nanos();
+        (span / every) as usize + usize::from(!span.is_multiple_of(every))
+    }
+
+    /// Whether the window contains no ticks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates the tick times.
+    pub fn ticks(&self) -> impl Iterator<Item = SimTime> + '_ {
+        let every = self.every;
+        let end = self.end;
+        let start = self.start;
+        (0..)
+            .map(move |i| start + every * i)
+            .take_while(move |&t| t < end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_minute_schedule_over_a_day() {
+        let cron = Cron::speedtest_schedule(SimTime::ZERO, SimTime::from_secs(86_400));
+        let ticks: Vec<SimTime> = cron.ticks().collect();
+        assert_eq!(ticks.len(), 288, "24h / 5min");
+        assert_eq!(ticks[0], SimTime::ZERO);
+        assert_eq!(ticks[1], SimTime::from_secs(300));
+        assert_eq!(cron.len(), 288);
+    }
+
+    #[test]
+    fn half_hour_schedule_matches_fig6b() {
+        let cron = Cron::iperf_schedule(SimTime::ZERO, SimTime::from_secs(2 * 86_400));
+        assert_eq!(cron.ticks().count(), 96, "2 days x 48 tests");
+    }
+
+    #[test]
+    fn empty_window() {
+        let cron = Cron::new(
+            SimDuration::from_mins(5),
+            SimTime::from_secs(100),
+            SimTime::from_secs(100),
+        );
+        assert!(cron.is_empty());
+        assert_eq!(cron.ticks().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        let _ = Cron::new(SimDuration::ZERO, SimTime::ZERO, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn offset_start() {
+        let cron = Cron::new(
+            SimDuration::from_mins(10),
+            SimTime::from_secs(60),
+            SimTime::from_secs(1_860),
+        );
+        let ticks: Vec<u64> = cron.ticks().map(|t| t.as_secs()).collect();
+        assert_eq!(ticks, vec![60, 660, 1_260]);
+        assert_eq!(cron.len(), 3);
+    }
+}

@@ -1,0 +1,247 @@
+//! iperf3-style throughput tests over the simulator.
+//!
+//! The volunteer nodes ran TCP iperf every half hour (Fig. 6a/6b) and UDP
+//! bursts for capacity/loss measurement (Figs. 6c, 7, and the Fig. 8
+//! normalisation denominators). These helpers wire fresh transport
+//! endpoints onto existing hosts, run the test window, and detach into a
+//! plain report.
+
+use starlink_netsim::{Network, NodeId};
+use starlink_simcore::{DataRate, SimDuration};
+use starlink_transport::tcp::TcpConfig;
+use starlink_transport::{CcAlgorithm, TcpReceiver, TcpSender, UdpBlaster, UdpSink};
+
+/// Result of a TCP iperf run.
+#[derive(Debug, Clone)]
+pub struct IperfTcpReport {
+    /// Mean goodput over the test window.
+    pub goodput: DataRate,
+    /// Bytes acknowledged.
+    pub bytes: u64,
+    /// Retransmitted segments.
+    pub retransmissions: u64,
+    /// RTO episodes.
+    pub rtos: u64,
+    /// Fast-retransmit loss events.
+    pub loss_events: u64,
+    /// Smoothed RTT at the end of the test.
+    pub srtt: Option<SimDuration>,
+    /// Receiver-side per-second goodput bins, Mbps.
+    pub per_second_mbps: Vec<f64>,
+}
+
+/// Result of a UDP iperf run.
+#[derive(Debug, Clone)]
+pub struct IperfUdpReport {
+    /// Datagrams that arrived.
+    pub received: u64,
+    /// Datagrams sent (from the sink's sequence watermark).
+    pub sent: u64,
+    /// Mean delivered rate over the window.
+    pub goodput: DataRate,
+    /// Overall loss fraction.
+    pub loss: f64,
+    /// Per-bin loss fractions (bin width as configured).
+    pub per_bin_loss: Vec<f64>,
+}
+
+/// Unique connection ids so repeated tests on one network never collide.
+fn fresh_conn_id(net: &Network) -> u64 {
+    // The node count is static; fold in the current time for uniqueness.
+    net.now().as_nanos() ^ 0x5EED_1A2B_3C4D_5E6F
+}
+
+/// Runs a TCP bulk test from `client` to `server` for `duration` using
+/// `algorithm`. The test occupies `[net.now(), net.now() + duration +
+/// drain]`, where `drain` lets in-flight data land.
+pub fn iperf_tcp(
+    net: &mut Network,
+    client: NodeId,
+    server: NodeId,
+    algorithm: CcAlgorithm,
+    duration: SimDuration,
+) -> IperfTcpReport {
+    let conn = fresh_conn_id(net);
+    let start = net.now();
+    let stop_at = start + duration;
+    let (sender, stats) = TcpSender::new(
+        server,
+        TcpConfig {
+            conn,
+            mss: 1_460,
+            algorithm,
+            total_bytes: None,
+            stop_at: Some(stop_at),
+            trace_cwnd: false,
+        },
+    );
+    let (receiver, rstats) = TcpReceiver::new(conn, SimDuration::from_secs(1));
+    net.attach_handler(client, Box::new(sender));
+    net.attach_handler(server, Box::new(receiver));
+    net.arm_timer(client, start, TcpSender::start_token());
+    net.run_until(stop_at + SimDuration::from_secs(2));
+
+    let s = stats.borrow();
+    let r = rstats.borrow();
+    let elapsed = duration.as_secs_f64().max(1e-9);
+    let start_bin = (start.as_nanos() / SimDuration::from_secs(1).as_nanos()) as usize;
+    let per_second_mbps: Vec<f64> = r
+        .bins
+        .iter()
+        .skip(start_bin)
+        .map(|&b| b as f64 * 8.0 / 1e6)
+        .collect();
+    IperfTcpReport {
+        goodput: DataRate::from_bps((s.bytes_acked as f64 * 8.0 / elapsed) as u64),
+        bytes: s.bytes_acked,
+        retransmissions: s.retransmissions,
+        rtos: s.rto_count,
+        loss_events: s.loss_events,
+        srtt: s.srtt,
+        per_second_mbps,
+    }
+}
+
+/// Runs a UDP blast from `client` to `server` at `rate` for `duration`,
+/// binning sink-side arrivals at `bin_width`.
+pub fn iperf_udp(
+    net: &mut Network,
+    client: NodeId,
+    server: NodeId,
+    rate: DataRate,
+    duration: SimDuration,
+    bin_width: SimDuration,
+) -> IperfUdpReport {
+    let flow = fresh_conn_id(net);
+    let start = net.now();
+    let stop_at = start + duration;
+    let payload = 1_200u64;
+    let blaster = UdpBlaster::new(server, flow, payload, rate, stop_at);
+    let (sink, stats) = UdpSink::new(flow, bin_width);
+    net.attach_handler(client, Box::new(blaster));
+    net.attach_handler(server, Box::new(sink));
+    net.arm_timer(client, start, UdpBlaster::start_token());
+    net.run_until(stop_at + SimDuration::from_secs(1));
+
+    let s = stats.borrow();
+    let sent = s.max_seq_plus_one;
+    let elapsed = duration.as_secs_f64().max(1e-9);
+    let start_bin = (start.as_nanos() / bin_width.as_nanos().max(1)) as usize;
+    IperfUdpReport {
+        received: s.received,
+        sent,
+        goodput: DataRate::from_bps((s.bytes as f64 * 8.0 / elapsed) as u64),
+        loss: s.loss_fraction(sent),
+        per_bin_loss: s
+            .per_bin_loss()
+            .split_off(start_bin.min(s.per_bin_loss().len())),
+    }
+}
+
+/// The UDP-burst capacity probe used to normalise Fig. 8: blast well
+/// above the expected link rate and report what got through.
+pub fn udp_capacity_probe(
+    net: &mut Network,
+    client: NodeId,
+    server: NodeId,
+    overdrive_rate: DataRate,
+    duration: SimDuration,
+) -> DataRate {
+    let report = iperf_udp(
+        net,
+        client,
+        server,
+        overdrive_rate,
+        duration,
+        SimDuration::from_secs(1),
+    );
+    report.goodput
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_netsim::{LinkConfig, NodeKind};
+    use starlink_simcore::Bytes;
+
+    fn two_hosts(rate_mbps: u64, loss: f64) -> (Network, NodeId, NodeId) {
+        let mut net = Network::new(21);
+        let a = net.add_node("client", NodeKind::Host);
+        let b = net.add_node("server", NodeKind::Host);
+        net.connect_duplex(
+            a,
+            b,
+            LinkConfig::fixed(
+                SimDuration::from_millis(15),
+                DataRate::from_mbps(rate_mbps),
+                loss,
+            )
+            .with_queue(Bytes::from_kb(192)),
+            LinkConfig::fixed(SimDuration::from_millis(15), DataRate::from_mbps(100), 0.0),
+        );
+        net.route_linear(&[a, b]);
+        (net, a, b)
+    }
+
+    #[test]
+    fn tcp_report_reflects_link_capacity() {
+        let (mut net, a, b) = two_hosts(40, 0.0);
+        let report = iperf_tcp(
+            &mut net,
+            a,
+            b,
+            CcAlgorithm::Cubic,
+            SimDuration::from_secs(10),
+        );
+        let mbps = report.goodput.as_mbps();
+        assert!(
+            (20.0..41.0).contains(&mbps),
+            "{mbps} Mbps on a 40 Mbps link"
+        );
+        assert!(report.srtt.is_some());
+        assert!(!report.per_second_mbps.is_empty());
+    }
+
+    #[test]
+    fn udp_report_measures_loss() {
+        let (mut net, a, b) = two_hosts(100, 0.2);
+        let report = iperf_udp(
+            &mut net,
+            a,
+            b,
+            DataRate::from_mbps(20),
+            SimDuration::from_secs(8),
+            SimDuration::from_secs(1),
+        );
+        assert!((report.loss - 0.2).abs() < 0.03, "loss {}", report.loss);
+        assert!(report.received > 0);
+        assert!(report.sent > report.received);
+    }
+
+    #[test]
+    fn capacity_probe_finds_the_bottleneck() {
+        let (mut net, a, b) = two_hosts(25, 0.0);
+        let cap = udp_capacity_probe(
+            &mut net,
+            a,
+            b,
+            DataRate::from_mbps(200),
+            SimDuration::from_secs(5),
+        );
+        let mbps = cap.as_mbps();
+        assert!((20.0..26.0).contains(&mbps), "{mbps} Mbps");
+    }
+
+    #[test]
+    fn back_to_back_tests_are_independent() {
+        let (mut net, a, b) = two_hosts(40, 0.0);
+        let r1 = iperf_tcp(&mut net, a, b, CcAlgorithm::Reno, SimDuration::from_secs(5));
+        let r2 = iperf_tcp(&mut net, a, b, CcAlgorithm::Reno, SimDuration::from_secs(5));
+        // Both complete with sane goodputs; the second isn't polluted by
+        // the first's connection state.
+        for (i, r) in [&r1, &r2].iter().enumerate() {
+            let mbps = r.goodput.as_mbps();
+            assert!((15.0..41.0).contains(&mbps), "test {i}: {mbps}");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The max–min queueing-delay estimator (Chan et al., adapted in §4 of
+//! the paper).
+//!
+//! Repeated RTT samples to the same point share the same propagation
+//! delay; only queueing varies. So `max − min` lower-bounds the maximum
+//! queueing delay over the sample window, `median − min` estimates the
+//! median queueing delay, and subtracting two hops' estimates isolates a
+//! path segment (e.g. the bent pipe = the PoP hop minus the dish hop).
+
+use starlink_simcore::SimDuration;
+
+/// Queueing statistics extracted from a set of RTT samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueingEstimate {
+    /// Smallest observed RTT, ms (the propagation proxy).
+    pub min_rtt_ms: f64,
+    /// Median observed RTT, ms.
+    pub median_rtt_ms: f64,
+    /// Largest observed RTT, ms.
+    pub max_rtt_ms: f64,
+    /// Estimated median queueing delay: `median − min`, ms.
+    pub median_queue_ms: f64,
+    /// Estimated maximum queueing delay: `max − min`, ms.
+    pub max_queue_ms: f64,
+    /// Estimated mean queueing delay: `mean − min`, ms.
+    pub mean_queue_ms: f64,
+    /// Number of samples used.
+    pub samples: usize,
+}
+
+impl QueueingEstimate {
+    /// Estimates from raw RTT samples (losses already filtered out).
+    /// Returns `None` with fewer than 2 samples — the method needs a
+    /// spread to say anything.
+    pub fn from_rtts_ms(samples: &[f64]) -> Option<QueueingEstimate> {
+        if samples.len() < 2 {
+            return None;
+        }
+        let mut v: Vec<f64> = samples.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite RTTs"));
+        let min = v[0];
+        let max = *v.last().expect("non-empty");
+        let median = v[v.len() / 2];
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        Some(QueueingEstimate {
+            min_rtt_ms: min,
+            median_rtt_ms: median,
+            max_rtt_ms: max,
+            median_queue_ms: median - min,
+            max_queue_ms: max - min,
+            mean_queue_ms: mean - min,
+            samples: v.len(),
+        })
+    }
+
+    /// Estimates from `SimDuration` samples.
+    pub fn from_rtts(samples: &[SimDuration]) -> Option<QueueingEstimate> {
+        let ms: Vec<f64> = samples.iter().map(|d| d.as_millis_f64()).collect();
+        Self::from_rtts_ms(&ms)
+    }
+
+    /// The queueing attributable to the segment between two measurement
+    /// points: this estimate minus the nearer hop's estimate, floored at
+    /// zero (sampling noise can invert small differences).
+    pub fn segment_from(&self, nearer: &QueueingEstimate) -> QueueingEstimate {
+        QueueingEstimate {
+            min_rtt_ms: (self.min_rtt_ms - nearer.min_rtt_ms).max(0.0),
+            median_rtt_ms: (self.median_rtt_ms - nearer.median_rtt_ms).max(0.0),
+            max_rtt_ms: (self.max_rtt_ms - nearer.max_rtt_ms).max(0.0),
+            median_queue_ms: (self.median_queue_ms - nearer.median_queue_ms).max(0.0),
+            max_queue_ms: (self.max_queue_ms - nearer.max_queue_ms).max(0.0),
+            mean_queue_ms: (self.mean_queue_ms - nearer.mean_queue_ms).max(0.0),
+            samples: self.samples.min(nearer.samples),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_from_known_samples() {
+        // Propagation 40 ms + queueing {0, 5, 10, 20, 45}.
+        let samples = [40.0, 45.0, 50.0, 60.0, 85.0];
+        let e = QueueingEstimate::from_rtts_ms(&samples).unwrap();
+        assert_eq!(e.min_rtt_ms, 40.0);
+        assert_eq!(e.max_rtt_ms, 85.0);
+        assert_eq!(e.median_rtt_ms, 50.0);
+        assert_eq!(e.max_queue_ms, 45.0);
+        assert_eq!(e.median_queue_ms, 10.0);
+        assert!((e.mean_queue_ms - 16.0).abs() < 1e-9);
+        assert_eq!(e.samples, 5);
+    }
+
+    #[test]
+    fn propagation_cancels_out() {
+        // Same queueing pattern, different propagation: identical queue
+        // estimates — the whole point of the method.
+        let near: Vec<f64> = [0.0, 3.0, 8.0, 12.0].iter().map(|q| 10.0 + q).collect();
+        let far: Vec<f64> = [0.0, 3.0, 8.0, 12.0].iter().map(|q| 90.0 + q).collect();
+        let en = QueueingEstimate::from_rtts_ms(&near).unwrap();
+        let ef = QueueingEstimate::from_rtts_ms(&far).unwrap();
+        assert_eq!(en.max_queue_ms, ef.max_queue_ms);
+        assert_eq!(en.median_queue_ms, ef.median_queue_ms);
+    }
+
+    #[test]
+    fn segment_isolation() {
+        // Hop A (dish): queue 0-5 ms over 2 ms prop. Hop B (PoP via bent
+        // pipe): A plus 30-60 ms of its own queueing over 8 ms more prop.
+        let hop_a = QueueingEstimate::from_rtts_ms(&[2.0, 4.0, 7.0]).unwrap();
+        let hop_b = QueueingEstimate::from_rtts_ms(&[40.0, 62.0, 95.0]).unwrap();
+        let segment = hop_b.segment_from(&hop_a);
+        assert!(segment.median_queue_ms > 15.0);
+        assert!(segment.max_queue_ms <= hop_b.max_queue_ms);
+    }
+
+    #[test]
+    fn too_few_samples_yield_none() {
+        assert!(QueueingEstimate::from_rtts_ms(&[]).is_none());
+        assert!(QueueingEstimate::from_rtts_ms(&[10.0]).is_none());
+    }
+
+    #[test]
+    fn duration_interface_matches_ms_interface() {
+        let durs = [
+            SimDuration::from_millis(40),
+            SimDuration::from_millis(55),
+            SimDuration::from_millis(70),
+        ];
+        let a = QueueingEstimate::from_rtts(&durs).unwrap();
+        let b = QueueingEstimate::from_rtts_ms(&[40.0, 55.0, 70.0]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn segment_never_negative() {
+        let a = QueueingEstimate::from_rtts_ms(&[10.0, 40.0, 80.0]).unwrap();
+        let b = QueueingEstimate::from_rtts_ms(&[50.0, 55.0, 60.0]).unwrap();
+        let seg = b.segment_from(&a);
+        assert!(seg.max_queue_ms >= 0.0);
+        assert!(seg.median_queue_ms >= 0.0);
+        assert!(seg.mean_queue_ms >= 0.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! mtr-style repeated path sampling.
+//!
+//! Runs multiple traceroute rounds and aggregates per-hop statistics —
+//! the workflow behind the paper's Fig. 5 (20 rounds per access
+//! technology) and the Table 2 queueing estimation (30 samples per node).
+
+use crate::maxmin::QueueingEstimate;
+use crate::traceroute::{traceroute, TracerouteOptions};
+use starlink_netsim::{Network, NodeId};
+use starlink_simcore::SimDuration;
+
+/// Aggregated per-hop statistics across rounds.
+#[derive(Debug, Clone)]
+pub struct MtrHop {
+    /// Hop number (TTL).
+    pub ttl: u8,
+    /// Responder name (from the last round that heard it).
+    pub name: String,
+    /// All successful RTT samples across rounds.
+    pub rtts: Vec<SimDuration>,
+    /// Probes sent across rounds.
+    pub sent: usize,
+}
+
+impl MtrHop {
+    /// Loss fraction across all rounds.
+    pub fn loss_fraction(&self) -> f64 {
+        if self.sent == 0 {
+            return 0.0;
+        }
+        1.0 - self.rtts.len() as f64 / self.sent as f64
+    }
+
+    /// Queueing estimate over this hop's samples.
+    pub fn queueing(&self) -> Option<QueueingEstimate> {
+        QueueingEstimate::from_rtts(&self.rtts)
+    }
+
+    /// Mean RTT in ms over answered probes.
+    pub fn mean_rtt_ms(&self) -> Option<f64> {
+        if self.rtts.is_empty() {
+            return None;
+        }
+        Some(self.rtts.iter().map(|d| d.as_millis_f64()).sum::<f64>() / self.rtts.len() as f64)
+    }
+}
+
+/// A complete mtr report.
+#[derive(Debug, Clone)]
+pub struct MtrReport {
+    /// Per-hop aggregates.
+    pub hops: Vec<MtrHop>,
+    /// Number of rounds run.
+    pub rounds: u32,
+}
+
+/// Runs `rounds` traceroutes spaced by `round_gap` and aggregates.
+pub fn mtr(
+    net: &mut Network,
+    src: NodeId,
+    dst: NodeId,
+    opts: &TracerouteOptions,
+    rounds: u32,
+    round_gap: SimDuration,
+) -> MtrReport {
+    let mut hops: Vec<MtrHop> = Vec::new();
+    for _ in 0..rounds {
+        let result = traceroute(net, src, dst, opts);
+        for hop in &result.hops {
+            let idx = (hop.ttl - 1) as usize;
+            while hops.len() <= idx {
+                hops.push(MtrHop {
+                    ttl: hops.len() as u8 + 1,
+                    name: String::from("*"),
+                    rtts: Vec::new(),
+                    sent: 0,
+                });
+            }
+            let agg = &mut hops[idx];
+            agg.sent += hop.rtts.len();
+            if hop.node.is_some() {
+                agg.name = hop.name.clone();
+            }
+            agg.rtts.extend(hop.rtts.iter().flatten().copied());
+        }
+        let next = net.now() + round_gap;
+        net.run_until(next);
+    }
+    MtrReport { hops, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_netsim::{LinkConfig, NodeKind};
+    use starlink_simcore::{DataRate, SimTime};
+
+    fn jittery_net() -> (Network, NodeId, NodeId) {
+        let mut net = Network::new(11);
+        let c = net.add_node("client", NodeKind::Host);
+        let r = net.add_node("pop", NodeKind::Router);
+        let s = net.add_node("server", NodeKind::Host);
+        // A slow link so queueing varies with cross traffic (none here,
+        // but serialisation still adds spread for different probe gaps).
+        net.connect_duplex(
+            c,
+            r,
+            LinkConfig::fixed(SimDuration::from_millis(20), DataRate::from_mbps(10), 0.05),
+            LinkConfig::ethernet(),
+        );
+        net.connect_duplex(r, s, LinkConfig::ethernet(), LinkConfig::ethernet());
+        net.route_linear(&[c, r, s]);
+        (net, c, s)
+    }
+
+    #[test]
+    fn aggregates_across_rounds() {
+        let (mut net, c, s) = jittery_net();
+        let opts = TracerouteOptions {
+            probes_per_hop: 3,
+            max_ttl: 5,
+            ..TracerouteOptions::default()
+        };
+        let report = mtr(&mut net, c, s, &opts, 10, SimDuration::from_millis(500));
+        assert_eq!(report.rounds, 10);
+        assert_eq!(report.hops.len(), 2);
+        let pop = &report.hops[0];
+        assert_eq!(pop.name, "pop");
+        assert_eq!(pop.sent, 30, "3 probes x 10 rounds");
+        // ~5% loss configured.
+        assert!(pop.loss_fraction() < 0.3, "{}", pop.loss_fraction());
+        assert!(pop.rtts.len() >= 20);
+        assert!(pop.queueing().is_some());
+    }
+
+    #[test]
+    fn rounds_advance_simulated_time() {
+        let (mut net, c, s) = jittery_net();
+        let opts = TracerouteOptions {
+            max_ttl: 3,
+            ..TracerouteOptions::default()
+        };
+        let before = net.now();
+        let _ = mtr(&mut net, c, s, &opts, 3, SimDuration::from_secs(1));
+        assert!(net.now() >= before + SimDuration::from_secs(3));
+        assert!(net.now() < SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn mean_rtt_reported() {
+        let (mut net, c, s) = jittery_net();
+        let opts = TracerouteOptions {
+            max_ttl: 4,
+            ..TracerouteOptions::default()
+        };
+        let report = mtr(&mut net, c, s, &opts, 5, SimDuration::from_millis(200));
+        let mean = report.hops[0].mean_rtt_ms().expect("answered");
+        // 20 ms out + ~0.1 ms ethernet return + serialisation.
+        assert!((19.5..26.0).contains(&mean), "{mean}");
+    }
+}

@@ -1,0 +1,181 @@
+//! ping: fixed-interval ICMP echo round-trip measurement.
+//!
+//! The volunteer RPis used ping alongside mtr for debugging (§3.2); the
+//! Dishy's own "pop ping latency" statistic is the same measurement. This
+//! implementation sends echo requests at a fixed interval and reports the
+//! RTT series with loss accounting.
+
+use starlink_netsim::{Network, NodeId, Payload};
+use starlink_simcore::{Bytes, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Parameters for a ping run.
+#[derive(Debug, Clone, Copy)]
+pub struct PingOptions {
+    /// Number of echo requests.
+    pub count: u32,
+    /// Interval between requests.
+    pub interval: SimDuration,
+    /// On-wire packet size.
+    pub size: Bytes,
+    /// Wait for stragglers after the last request.
+    pub timeout: SimDuration,
+}
+
+impl Default for PingOptions {
+    fn default() -> Self {
+        PingOptions {
+            count: 10,
+            interval: SimDuration::from_secs(1),
+            size: Bytes::new(64),
+            timeout: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// Results of a ping run.
+#[derive(Debug, Clone)]
+pub struct PingReport {
+    /// Per-probe RTTs in send order (`None` = lost).
+    pub rtts: Vec<Option<SimDuration>>,
+}
+
+impl PingReport {
+    /// Echo requests sent.
+    pub fn sent(&self) -> usize {
+        self.rtts.len()
+    }
+
+    /// Replies received.
+    pub fn received(&self) -> usize {
+        self.rtts.iter().flatten().count()
+    }
+
+    /// Loss fraction.
+    pub fn loss_fraction(&self) -> f64 {
+        if self.rtts.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.received() as f64 / self.sent() as f64
+    }
+
+    /// Minimum RTT, ms.
+    pub fn min_ms(&self) -> Option<f64> {
+        self.rtts.iter().flatten().min().map(|d| d.as_millis_f64())
+    }
+
+    /// Mean RTT over received replies, ms.
+    pub fn avg_ms(&self) -> Option<f64> {
+        let v: Vec<f64> = self
+            .rtts
+            .iter()
+            .flatten()
+            .map(|d| d.as_millis_f64())
+            .collect();
+        if v.is_empty() {
+            None
+        } else {
+            Some(v.iter().sum::<f64>() / v.len() as f64)
+        }
+    }
+
+    /// Maximum RTT, ms.
+    pub fn max_ms(&self) -> Option<f64> {
+        self.rtts.iter().flatten().max().map(|d| d.as_millis_f64())
+    }
+
+    /// The classic one-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} packets transmitted, {} received, {:.0}% packet loss; \
+             rtt min/avg/max = {:.2}/{:.2}/{:.2} ms",
+            self.sent(),
+            self.received(),
+            self.loss_fraction() * 100.0,
+            self.min_ms().unwrap_or(f64::NAN),
+            self.avg_ms().unwrap_or(f64::NAN),
+            self.max_ms().unwrap_or(f64::NAN),
+        )
+    }
+}
+
+/// Pings `dst` from `src`, advancing simulated time.
+pub fn ping(net: &mut Network, src: NodeId, dst: NodeId, opts: &PingOptions) -> PingReport {
+    let mut sent_at: HashMap<u64, (usize, SimTime)> = HashMap::new();
+    for i in 0..opts.count {
+        let probe = u64::from(i) | 0x5043_0000_0000_0000; // tag ping probes
+        net.send_packet(src, dst, opts.size, 64, Payload::EchoRequest { probe });
+        sent_at.insert(probe, (i as usize, net.now()));
+        let next = net.now() + opts.interval;
+        net.run_until(next);
+    }
+    net.run_until(net.now() + opts.timeout);
+
+    let mut rtts = vec![None; opts.count as usize];
+    for (at, packet) in net.drain_mailbox(src) {
+        if let Payload::EchoReply { probe } = packet.payload {
+            if let Some(&(idx, t0)) = sent_at.get(&probe) {
+                rtts[idx] = Some(at.since(t0));
+            }
+        }
+    }
+    PingReport { rtts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_netsim::{LinkConfig, NodeKind};
+    use starlink_simcore::DataRate;
+
+    fn net(loss: f64) -> (Network, NodeId, NodeId) {
+        let mut net = Network::new(77);
+        let a = net.add_node("a", NodeKind::Host);
+        let b = net.add_node("b", NodeKind::Host);
+        net.connect_duplex(
+            a,
+            b,
+            LinkConfig::fixed(SimDuration::from_millis(15), DataRate::from_mbps(100), loss),
+            LinkConfig::fixed(SimDuration::from_millis(15), DataRate::from_mbps(100), 0.0),
+        );
+        net.route_linear(&[a, b]);
+        (net, a, b)
+    }
+
+    #[test]
+    fn clean_path_all_replies() {
+        let (mut n, a, b) = net(0.0);
+        let report = ping(&mut n, a, b, &PingOptions::default());
+        assert_eq!(report.sent(), 10);
+        assert_eq!(report.received(), 10);
+        assert_eq!(report.loss_fraction(), 0.0);
+        let avg = report.avg_ms().unwrap();
+        assert!((29.0..32.0).contains(&avg), "{avg}");
+        assert!(report.summary().contains("0% packet loss"));
+    }
+
+    #[test]
+    fn lossy_path_reports_loss() {
+        let (mut n, a, b) = net(0.4);
+        let report = ping(
+            &mut n,
+            a,
+            b,
+            &PingOptions {
+                count: 100,
+                interval: SimDuration::from_millis(100),
+                ..PingOptions::default()
+            },
+        );
+        let loss = report.loss_fraction();
+        assert!((0.25..0.55).contains(&loss), "loss {loss}");
+        assert!(report.min_ms().unwrap() <= report.max_ms().unwrap());
+    }
+
+    #[test]
+    fn empty_report_degenerates_gracefully() {
+        let report = PingReport { rtts: vec![] };
+        assert_eq!(report.loss_fraction(), 0.0);
+        assert!(report.avg_ms().is_none());
+    }
+}

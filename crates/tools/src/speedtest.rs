@@ -1,0 +1,68 @@
+//! Libretest-style speedtest: a DL measurement followed by a UL
+//! measurement against the node's assigned test server.
+//!
+//! The RPi image ran this every five minutes (§3.2). Internally it is
+//! two TCP bulk tests (CUBIC, like a browser), reported in the Mbps pair
+//! every speedtest UI shows.
+
+use crate::iperf::iperf_tcp;
+use starlink_netsim::{Network, NodeId};
+use starlink_simcore::{DataRate, SimDuration};
+use starlink_transport::CcAlgorithm;
+
+/// A DL/UL measurement pair.
+#[derive(Debug, Clone, Copy)]
+pub struct SpeedtestResult {
+    /// Downlink, server -> client.
+    pub downlink: DataRate,
+    /// Uplink, client -> server.
+    pub uplink: DataRate,
+}
+
+/// Runs a speedtest between `client` and `server` (each direction gets
+/// `per_direction` of test time).
+pub fn speedtest(
+    net: &mut Network,
+    client: NodeId,
+    server: NodeId,
+    per_direction: SimDuration,
+) -> SpeedtestResult {
+    // Downlink: the server transmits.
+    let dl = iperf_tcp(net, server, client, CcAlgorithm::Cubic, per_direction);
+    // Uplink: the client transmits.
+    let ul = iperf_tcp(net, client, server, CcAlgorithm::Cubic, per_direction);
+    SpeedtestResult {
+        downlink: dl.goodput,
+        uplink: ul.goodput,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_netsim::{LinkConfig, NodeKind};
+    use starlink_simcore::Bytes;
+
+    #[test]
+    fn measures_asymmetric_link() {
+        let mut net = Network::new(31);
+        let c = net.add_node("client", NodeKind::Host);
+        let s = net.add_node("server", NodeKind::Host);
+        // 80 Mbps down, 10 Mbps up — Starlink-shaped asymmetry.
+        net.connect_duplex(
+            c,
+            s,
+            LinkConfig::fixed(SimDuration::from_millis(20), DataRate::from_mbps(10), 0.0)
+                .with_queue(Bytes::from_kb(128)),
+            LinkConfig::fixed(SimDuration::from_millis(20), DataRate::from_mbps(80), 0.0)
+                .with_queue(Bytes::from_kb(512)),
+        );
+        net.route_linear(&[c, s]);
+        let result = speedtest(&mut net, c, s, SimDuration::from_secs(12));
+        let dl = result.downlink.as_mbps();
+        let ul = result.uplink.as_mbps();
+        assert!(dl > 3.0 * ul, "asymmetry must show: dl {dl} vs ul {ul}");
+        assert!((35.0..81.0).contains(&dl), "dl {dl}");
+        assert!((4.0..10.5).contains(&ul), "ul {ul}");
+    }
+}

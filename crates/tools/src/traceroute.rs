@@ -1,0 +1,351 @@
+//! Traceroute: per-TTL probes and the replies routers send back.
+//!
+//! Works exactly like the classic tool: probes go out with TTL = 1, 2, …;
+//! the router where the TTL dies answers with ICMP Time-Exceeded, and the
+//! destination itself answers the probe (our probes are echo requests, so
+//! handler-less hosts reply automatically — the moral equivalent of the
+//! UDP-to-closed-port reply real traceroute relies on). The paper runs
+//! its Fig. 5 comparison with 20 rounds and its Table 2 estimation with
+//! 30 probes of 60-byte UDP datagrams; both call into this module.
+
+use starlink_netsim::{Network, NodeId, Payload};
+use starlink_simcore::{Bytes, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Traceroute parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TracerouteOptions {
+    /// Highest TTL probed.
+    pub max_ttl: u8,
+    /// Probes per TTL.
+    pub probes_per_hop: u32,
+    /// On-wire probe size (the paper uses 60-byte probes).
+    pub probe_size: Bytes,
+    /// Gap between consecutive probes.
+    pub inter_probe_gap: SimDuration,
+    /// How long to wait for stragglers after the last probe.
+    pub timeout: SimDuration,
+}
+
+impl Default for TracerouteOptions {
+    fn default() -> Self {
+        TracerouteOptions {
+            max_ttl: 30,
+            probes_per_hop: 3,
+            probe_size: Bytes::new(60),
+            inter_probe_gap: SimDuration::from_millis(50),
+            timeout: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// Results for one TTL value.
+#[derive(Debug, Clone)]
+pub struct HopResult {
+    /// TTL probed (1-based hop number).
+    pub ttl: u8,
+    /// The responding node, if any probe was answered.
+    pub node: Option<NodeId>,
+    /// The responding node's name.
+    pub name: String,
+    /// Per-probe RTTs (`None` = probe lost).
+    pub rtts: Vec<Option<SimDuration>>,
+}
+
+impl HopResult {
+    /// Minimum RTT across answered probes.
+    pub fn min_rtt(&self) -> Option<SimDuration> {
+        self.rtts.iter().flatten().min().copied()
+    }
+
+    /// Maximum RTT across answered probes.
+    pub fn max_rtt(&self) -> Option<SimDuration> {
+        self.rtts.iter().flatten().max().copied()
+    }
+
+    /// Mean RTT across answered probes, ms.
+    pub fn mean_rtt_ms(&self) -> Option<f64> {
+        let answered: Vec<f64> = self
+            .rtts
+            .iter()
+            .flatten()
+            .map(|d| d.as_millis_f64())
+            .collect();
+        if answered.is_empty() {
+            None
+        } else {
+            Some(answered.iter().sum::<f64>() / answered.len() as f64)
+        }
+    }
+
+    /// Fraction of probes that went unanswered.
+    pub fn loss_fraction(&self) -> f64 {
+        if self.rtts.is_empty() {
+            return 0.0;
+        }
+        self.rtts.iter().filter(|r| r.is_none()).count() as f64 / self.rtts.len() as f64
+    }
+}
+
+/// A complete traceroute run.
+#[derive(Debug, Clone)]
+pub struct TracerouteResult {
+    /// One entry per TTL, up to the hop that reached the destination.
+    pub hops: Vec<HopResult>,
+    /// Whether the destination answered.
+    pub reached: bool,
+}
+
+impl TracerouteResult {
+    /// Number of hops to the destination (if reached).
+    pub fn hop_count(&self) -> Option<usize> {
+        self.reached.then_some(self.hops.len())
+    }
+}
+
+/// Runs a traceroute from `src` to `dst` on `net`, advancing simulated
+/// time as it goes (the run occupies `now()` onwards).
+pub fn traceroute(
+    net: &mut Network,
+    src: NodeId,
+    dst: NodeId,
+    opts: &TracerouteOptions,
+) -> TracerouteResult {
+    // probe id -> (ttl, probe index, sent_at)
+    let mut sent: HashMap<u64, (u8, usize, SimTime)> = HashMap::new();
+    let mut probe_counter: u64 = 0;
+
+    for ttl in 1..=opts.max_ttl {
+        for probe in 0..opts.probes_per_hop {
+            let probe_id = probe_counter;
+            probe_counter += 1;
+            let pkt_id = net.send_packet(
+                src,
+                dst,
+                opts.probe_size,
+                ttl,
+                Payload::EchoRequest { probe: probe_id },
+            );
+            sent.insert(pkt_id, (ttl, probe as usize, net.now()));
+            let next = net.now() + opts.inter_probe_gap;
+            net.run_until(next);
+        }
+    }
+    net.run_until(net.now() + opts.timeout);
+
+    // (ttl index, probe index) -> send time, for matching echo replies
+    // (which carry the probe number, not the original packet id).
+    let send_times: HashMap<(usize, usize), SimTime> = sent
+        .values()
+        .map(|&(ttl, probe_idx, at)| (((ttl - 1) as usize, probe_idx), at))
+        .collect();
+
+    let mut hops: Vec<HopResult> = (1..=opts.max_ttl)
+        .map(|ttl| HopResult {
+            ttl,
+            node: None,
+            name: String::from("*"),
+            rtts: vec![None; opts.probes_per_hop as usize],
+        })
+        .collect();
+    let mut reached_at_ttl: Option<u8> = None;
+
+    // We sent EchoRequests with probe ids equal to their send order:
+    // probe_id = (ttl-1)*probes_per_hop + probe_index.
+    let probe_meta = |probe_id: u64| -> (usize, usize) {
+        let ttl_idx = (probe_id / u64::from(opts.probes_per_hop)) as usize;
+        let probe_idx = (probe_id % u64::from(opts.probes_per_hop)) as usize;
+        (ttl_idx, probe_idx)
+    };
+
+    // Echo replies are collected first: the destination's true hop number
+    // is anchored at (last router TTL + 1), because a lossy path can eat
+    // every probe at the destination's own TTL while higher-TTL probes
+    // still reach it (TTL to spare).
+    let mut echoes: Vec<(usize, usize, SimTime)> = Vec::new();
+    let mut max_router_ttl: Option<u8> = None;
+
+    for (at, packet) in net.drain_mailbox(src) {
+        match packet.payload {
+            Payload::TimeExceeded {
+                original,
+                at: router,
+            } => {
+                if let Some(&(ttl, probe_idx, sent_at)) = sent.get(&original) {
+                    let hop = &mut hops[(ttl - 1) as usize];
+                    hop.node = Some(router);
+                    hop.name = net.node_name(router).to_string();
+                    hop.rtts[probe_idx] = Some(at.since(sent_at));
+                    max_router_ttl = Some(max_router_ttl.map_or(ttl, |m: u8| m.max(ttl)));
+                }
+            }
+            Payload::EchoReply { probe } => {
+                let (ttl_idx, probe_idx) = probe_meta(probe);
+                echoes.push((ttl_idx, probe_idx, at));
+            }
+            _ => {}
+        }
+    }
+
+    if !echoes.is_empty() {
+        // Destination hop = one past the farthest router that answered,
+        // or the smallest echo TTL when no router spoke at all.
+        let min_echo_ttl = echoes
+            .iter()
+            .map(|&(t, _, _)| t as u8 + 1)
+            .min()
+            .expect("non-empty");
+        let dest_ttl = max_router_ttl.map_or(min_echo_ttl, |m| m + 1);
+        reached_at_ttl = Some(dest_ttl);
+        let dest_idx = (dest_ttl - 1) as usize;
+        hops[dest_idx].node = Some(dst);
+        hops[dest_idx].name = net.node_name(dst).to_string();
+        for (ttl_idx, probe_idx, at) in echoes {
+            let Some(&s) = send_times.get(&(ttl_idx, probe_idx)) else {
+                continue;
+            };
+            let rtt = Some(at.since(s));
+            if ttl_idx == dest_idx {
+                hops[dest_idx].rtts[probe_idx] = rtt;
+            } else {
+                // A higher-TTL probe that reached the destination: fold it
+                // into the destination hop as an extra sample.
+                hops[dest_idx].rtts.push(rtt);
+            }
+        }
+    }
+
+    // Truncate at the destination hop.
+    if let Some(r) = reached_at_ttl {
+        hops.truncate(r as usize);
+    } else {
+        // Keep only hops that answered at all, plus trailing silence.
+        while hops.last().is_some_and(|h| h.node.is_none()) {
+            hops.pop();
+        }
+    }
+
+    TracerouteResult {
+        hops,
+        reached: reached_at_ttl.is_some(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_netsim::{LinkConfig, NodeKind};
+    use starlink_simcore::DataRate;
+
+    /// client - r1 - r2 - r3 - server with distinct per-link delays.
+    fn test_net() -> (Network, NodeId, NodeId) {
+        let mut net = Network::new(4);
+        let c = net.add_node("client", NodeKind::Host);
+        let r1 = net.add_node("gw", NodeKind::Router);
+        let r2 = net.add_node("pop", NodeKind::Router);
+        let r3 = net.add_node("transit", NodeKind::Router);
+        let s = net.add_node("server", NodeKind::Host);
+        let delays = [1u64, 15, 5, 20];
+        let nodes = [c, r1, r2, r3, s];
+        for i in 0..4 {
+            let cfg = || {
+                LinkConfig::fixed(
+                    SimDuration::from_millis(delays[i]),
+                    DataRate::from_mbps(100),
+                    0.0,
+                )
+            };
+            net.connect_duplex(nodes[i], nodes[i + 1], cfg(), cfg());
+        }
+        net.route_linear(&nodes);
+        (net, c, s)
+    }
+
+    #[test]
+    fn discovers_every_hop_in_order() {
+        let (mut net, c, s) = test_net();
+        let result = traceroute(&mut net, c, s, &TracerouteOptions::default());
+        assert!(result.reached);
+        assert_eq!(result.hop_count(), Some(4));
+        assert_eq!(result.hops[0].name, "gw");
+        assert_eq!(result.hops[1].name, "pop");
+        assert_eq!(result.hops[2].name, "transit");
+        assert_eq!(result.hops[3].name, "server");
+    }
+
+    #[test]
+    fn rtts_accumulate_along_the_path() {
+        let (mut net, c, s) = test_net();
+        let result = traceroute(&mut net, c, s, &TracerouteOptions::default());
+        // Cumulative one-way delays: 1, 16, 21, 41 ms -> RTTs 2, 32, 42, 82.
+        let expect = [2.0, 32.0, 42.0, 82.0];
+        for (hop, &want) in result.hops.iter().zip(&expect) {
+            let got = hop.mean_rtt_ms().expect("answered");
+            assert!(
+                (got - want).abs() < 1.0,
+                "hop {}: {got} ms, want ~{want}",
+                hop.ttl
+            );
+        }
+        // Monotone non-decreasing RTT per hop on a clean path.
+        for pair in result.hops.windows(2) {
+            assert!(pair[1].min_rtt() >= pair[0].min_rtt());
+        }
+    }
+
+    #[test]
+    fn lossy_hop_reports_missing_probes() {
+        let mut net = Network::new(5);
+        let c = net.add_node("client", NodeKind::Host);
+        let r = net.add_node("router", NodeKind::Router);
+        let s = net.add_node("server", NodeKind::Host);
+        net.connect_duplex(
+            c,
+            r,
+            LinkConfig::fixed(SimDuration::from_millis(5), DataRate::from_mbps(100), 0.4),
+            LinkConfig::ethernet(),
+        );
+        net.connect_duplex(r, s, LinkConfig::ethernet(), LinkConfig::ethernet());
+        net.route_linear(&[c, r, s]);
+        let opts = TracerouteOptions {
+            probes_per_hop: 30,
+            ..TracerouteOptions::default()
+        };
+        let result = traceroute(&mut net, c, s, &opts);
+        let loss = result.hops[0].loss_fraction();
+        assert!(loss > 0.15, "lossy hop shows loss: {loss}");
+        assert!(loss < 0.75, "but not everything vanished: {loss}");
+    }
+
+    #[test]
+    fn unreachable_destination_reports_partial_path() {
+        let mut net = Network::new(6);
+        let c = net.add_node("client", NodeKind::Host);
+        let r = net.add_node("router", NodeKind::Router);
+        let s = net.add_node("server", NodeKind::Host);
+        net.connect_duplex(c, r, LinkConfig::ethernet(), LinkConfig::ethernet());
+        // No link r -> s; router will answer TTL-1 probes but nothing
+        // reaches the destination.
+        net.set_route(c, s, r);
+        net.set_route(c, r, r);
+        net.set_route(r, c, c);
+        let result = traceroute(
+            &mut net,
+            c,
+            s,
+            &TracerouteOptions {
+                max_ttl: 5,
+                ..TracerouteOptions::default()
+            },
+        );
+        assert!(!result.reached);
+        assert_eq!(result.hops.len(), 1);
+        assert_eq!(result.hops[0].name, "router");
+    }
+
+    #[test]
+    fn sixty_byte_probes_by_default() {
+        let opts = TracerouteOptions::default();
+        assert_eq!(opts.probe_size, Bytes::new(60));
+    }
+}

@@ -1,0 +1,450 @@
+//! BBR v1 (Bottleneck Bandwidth and RTT), simplified.
+//!
+//! BBR builds an explicit model of the path — the bottleneck bandwidth
+//! (windowed-max of delivery-rate samples) and the round-trip propagation
+//! delay (windowed-min of RTT samples) — and paces at `gain × btl_bw`
+//! instead of reacting to loss. That is exactly why the paper finds it the
+//! only algorithm that stays productive through Starlink's handover loss
+//! bursts (Fig. 8): a 1–2 s burst of 30 % loss barely moves a max-filter
+//! over 10 s of bandwidth samples, where it would halve Reno four times.
+//!
+//! The implementation follows the v1 state machine: **Startup** (gain
+//! 2/ln 2 ≈ 2.885, doubling per round until the bandwidth plateaus) →
+//! **Drain** (inverse gain until in-flight ≤ BDP) → **ProbeBW** (the
+//! 8-phase gain cycle `[1.25, 0.75, 1 × 6]`), with **ProbeRTT** (cwnd =
+//! 4 MSS for 200 ms) whenever the min-RTT sample goes 10 s stale.
+
+use super::{initial_cwnd, AckSample, CongestionControl};
+use starlink_simcore::{DataRate, SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Startup/drain gain: 2/ln2.
+const STARTUP_GAIN: f64 = 2.885;
+/// ProbeBW gain cycle.
+const CYCLE: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+/// Window over which bandwidth samples are max-filtered.
+const BW_WINDOW: SimDuration = SimDuration::from_secs(10);
+/// Staleness bound on the min-RTT estimate.
+const MIN_RTT_WINDOW: SimDuration = SimDuration::from_secs(10);
+/// Time spent sitting at 4 MSS in ProbeRTT.
+const PROBE_RTT_DURATION: SimDuration = SimDuration::from_millis(200);
+/// Rounds of non-growth that declare the pipe full in Startup.
+const FULL_BW_ROUNDS: u32 = 3;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Startup,
+    Drain,
+    ProbeBw,
+    ProbeRtt,
+}
+
+/// BBR v1 state.
+#[derive(Debug, Clone)]
+pub struct Bbr {
+    mss: u64,
+    state: State,
+    /// Bandwidth samples as a monotonic deque (times ascending, values
+    /// strictly descending): the front is the windowed max in O(1), and
+    /// each sample is pushed/popped at most once. A plain max-scan list
+    /// turns quadratic at LEO ACK rates (hundreds of thousands of samples
+    /// per window, consulted on every send).
+    bw_samples: VecDeque<(SimTime, u64)>,
+    min_rtt: Option<SimDuration>,
+    min_rtt_stamp: SimTime,
+    /// Round accounting (a "round" is one min-RTT of wall time here).
+    next_round_at: SimTime,
+    /// Full-pipe detection.
+    full_bw: u64,
+    full_bw_rounds: u32,
+    full_bw_reached: bool,
+    /// ProbeBW cycle phase.
+    cycle_phase: usize,
+    /// ProbeRTT bookkeeping.
+    probe_rtt_done_at: SimTime,
+    probe_rtt_min: Option<SimDuration>,
+    state_before_probe_rtt: State,
+    /// Latest in-flight figure from ACK processing.
+    last_in_flight: u64,
+    pacing_gain: f64,
+    cwnd_gain: f64,
+    /// Packet-conservation window, bytes. After an RTO the model window
+    /// is suspended and the connection restarts from here, growing by the
+    /// ACKed bytes (slow-start-like) until it re-reaches the model — the
+    /// BBR behaviour that stops a timeout from re-blasting a multi-MB
+    /// window into a drained queue.
+    conservation_cwnd: Option<u64>,
+}
+
+impl Bbr {
+    /// A fresh connection.
+    pub fn new(mss: u64) -> Self {
+        Bbr {
+            mss,
+            state: State::Startup,
+            bw_samples: VecDeque::new(),
+            min_rtt: None,
+            min_rtt_stamp: SimTime::ZERO,
+            next_round_at: SimTime::ZERO,
+            full_bw: 0,
+            full_bw_rounds: 0,
+            full_bw_reached: false,
+            cycle_phase: 0,
+            probe_rtt_done_at: SimTime::ZERO,
+            probe_rtt_min: None,
+            state_before_probe_rtt: State::Startup,
+            last_in_flight: 0,
+            pacing_gain: STARTUP_GAIN,
+            cwnd_gain: STARTUP_GAIN,
+            conservation_cwnd: None,
+        }
+    }
+
+    /// The current bottleneck-bandwidth estimate (front of the monotonic
+    /// deque).
+    pub fn btl_bw(&self) -> Option<DataRate> {
+        self.bw_samples
+            .front()
+            .map(|&(_, bw)| DataRate::from_bps(bw))
+    }
+
+    /// The current min-RTT estimate.
+    pub fn min_rtt(&self) -> Option<SimDuration> {
+        self.min_rtt
+    }
+
+    /// Bandwidth-delay product estimate, bytes.
+    fn bdp(&self) -> Option<u64> {
+        let bw = self.btl_bw()?;
+        let rtt = self.min_rtt?;
+        Some((bw.bits_per_sec() as f64 * rtt.as_secs_f64() / 8.0) as u64)
+    }
+
+    fn record_bw(&mut self, now: SimTime, rate: DataRate) {
+        let bw = rate.bits_per_sec();
+        // Keep values strictly descending front-to-back.
+        while self.bw_samples.back().is_some_and(|&(_, b)| b <= bw) {
+            self.bw_samples.pop_back();
+        }
+        self.bw_samples.push_back((now, bw));
+        // Age out the front beyond the window.
+        let horizon = now
+            .saturating_since(SimTime::ZERO)
+            .saturating_sub(BW_WINDOW);
+        while self
+            .bw_samples
+            .front()
+            .is_some_and(|&(t, _)| t.since(SimTime::ZERO) < horizon)
+        {
+            self.bw_samples.pop_front();
+        }
+    }
+
+    fn on_round(&mut self, now: SimTime) {
+        let bw = self.bw_samples.front().map(|&(_, b)| b).unwrap_or(0);
+        match self.state {
+            State::Startup => {
+                // Did bandwidth grow >= 25% this round?
+                if bw as f64 >= self.full_bw as f64 * 1.25 {
+                    self.full_bw = bw;
+                    self.full_bw_rounds = 0;
+                } else {
+                    self.full_bw_rounds += 1;
+                    if self.full_bw_rounds >= FULL_BW_ROUNDS {
+                        self.full_bw_reached = true;
+                        self.state = State::Drain;
+                        self.pacing_gain = 1.0 / STARTUP_GAIN;
+                        self.cwnd_gain = STARTUP_GAIN;
+                    }
+                }
+            }
+            State::Drain => {
+                if let Some(bdp) = self.bdp() {
+                    if self.last_in_flight <= bdp {
+                        self.enter_probe_bw(now);
+                    }
+                }
+            }
+            State::ProbeBw => {
+                self.cycle_phase = (self.cycle_phase + 1) % CYCLE.len();
+                self.pacing_gain = CYCLE[self.cycle_phase];
+            }
+            State::ProbeRtt => {}
+        }
+    }
+
+    fn enter_probe_bw(&mut self, _now: SimTime) {
+        self.state = State::ProbeBw;
+        self.cycle_phase = 0;
+        self.pacing_gain = CYCLE[0];
+        self.cwnd_gain = 2.0;
+    }
+
+    fn maybe_enter_probe_rtt(&mut self, now: SimTime) {
+        if self.state == State::ProbeRtt {
+            return;
+        }
+        if self.min_rtt.is_some() && now.saturating_since(self.min_rtt_stamp) > MIN_RTT_WINDOW {
+            self.state_before_probe_rtt = if self.full_bw_reached {
+                State::ProbeBw
+            } else {
+                State::Startup
+            };
+            self.state = State::ProbeRtt;
+            self.probe_rtt_done_at = now + PROBE_RTT_DURATION;
+            self.probe_rtt_min = None;
+            self.pacing_gain = 1.0;
+        }
+    }
+
+    fn maybe_exit_probe_rtt(&mut self, now: SimTime) {
+        if self.state == State::ProbeRtt
+            && now >= self.probe_rtt_done_at
+            && self.last_in_flight <= 4 * self.mss
+        {
+            // Adopt the freshest floor observed while drained.
+            if let Some(m) = self.probe_rtt_min {
+                self.min_rtt = Some(m);
+            }
+            self.min_rtt_stamp = now;
+            if self.state_before_probe_rtt == State::ProbeBw {
+                self.enter_probe_bw(now);
+            } else {
+                self.state = State::Startup;
+                self.pacing_gain = STARTUP_GAIN;
+                self.cwnd_gain = STARTUP_GAIN;
+            }
+        }
+    }
+}
+
+impl CongestionControl for Bbr {
+    fn on_ack(&mut self, sample: &AckSample) {
+        let now = sample.now;
+        self.last_in_flight = sample.in_flight;
+
+        // Packet conservation after an RTO: grow with the ACKed bytes and
+        // rejoin the model once caught up.
+        if let Some(c) = self.conservation_cwnd {
+            let grown = c + sample.acked_bytes;
+            let model = match self.bdp() {
+                Some(bdp) => ((bdp as f64 * self.cwnd_gain) as u64).max(4 * self.mss),
+                None => initial_cwnd(self.mss),
+            };
+            if grown >= model {
+                self.conservation_cwnd = None;
+            } else {
+                self.conservation_cwnd = Some(grown);
+            }
+        }
+
+        if let Some(rtt) = sample.rtt {
+            if self.state == State::ProbeRtt {
+                self.probe_rtt_min = Some(self.probe_rtt_min.map_or(rtt, |m| m.min(rtt)));
+            }
+            // The floor only moves down here; staleness is resolved by a
+            // ProbeRTT episode, never by silently adopting a larger sample.
+            if self.min_rtt.is_none_or(|m| rtt <= m) {
+                self.min_rtt = Some(rtt);
+                self.min_rtt_stamp = now;
+            }
+        }
+        if let Some(rate) = sample.delivery_rate {
+            self.record_bw(now, rate);
+        }
+
+        // Round boundary: one min-RTT of wall clock.
+        if now >= self.next_round_at {
+            let rtt = self.min_rtt.unwrap_or(SimDuration::from_millis(100));
+            self.next_round_at = now + rtt;
+            self.on_round(now);
+        }
+
+        self.maybe_enter_probe_rtt(now);
+        self.maybe_exit_probe_rtt(now);
+    }
+
+    fn on_loss_event(&mut self, _now: SimTime) {
+        // BBR v1 does not reduce its model on ordinary loss — this is the
+        // defining behaviour for the Fig. 8 outcome.
+    }
+
+    fn on_rto(&mut self, now: SimTime) {
+        // Conservative restart: forget full-pipe status, keep the model,
+        // and clamp the window to packet conservation.
+        self.conservation_cwnd = Some(4 * self.mss);
+        self.state = State::Startup;
+        self.pacing_gain = STARTUP_GAIN;
+        self.cwnd_gain = STARTUP_GAIN;
+        self.full_bw = 0;
+        self.full_bw_rounds = 0;
+        self.full_bw_reached = false;
+        self.next_round_at = now;
+    }
+
+    fn cwnd(&self) -> u64 {
+        if self.state == State::ProbeRtt {
+            return 4 * self.mss;
+        }
+        let model = match self.bdp() {
+            Some(bdp) => ((bdp as f64 * self.cwnd_gain) as u64).max(4 * self.mss),
+            None => initial_cwnd(self.mss),
+        };
+        match self.conservation_cwnd {
+            Some(c) => c.min(model),
+            None => model,
+        }
+    }
+
+    fn on_recovery_exit(&mut self, _now: SimTime) {
+        self.conservation_cwnd = None;
+    }
+
+    fn pacing_rate(&self) -> Option<DataRate> {
+        let gain = if self.conservation_cwnd.is_some() {
+            1.0
+        } else {
+            self.pacing_gain
+        };
+        match self.btl_bw() {
+            Some(bw) => Some(bw.scale(gain)),
+            // Before any sample: pace the initial window over an assumed
+            // 10 ms RTT (aggressive but immediately corrected).
+            None => Some(DataRate::from_bps(initial_cwnd(self.mss) * 8 * 100)),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "BBR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack(now_ms: u64, rtt_ms: u64, rate_mbps: u64, in_flight: u64, mss: u64) -> AckSample {
+        AckSample {
+            now: SimTime::from_millis(now_ms),
+            acked_bytes: mss,
+            rtt: Some(SimDuration::from_millis(rtt_ms)),
+            in_flight,
+            mss,
+            delivery_rate: Some(DataRate::from_mbps(rate_mbps)),
+        }
+    }
+
+    #[test]
+    fn startup_exits_when_bandwidth_plateaus() {
+        let mss = 1_460;
+        let mut cc = Bbr::new(mss);
+        // Feed a growing then flat bandwidth signal over many rounds.
+        let mut t = 0;
+        for rate in [10, 20, 40, 80, 100, 100, 100, 100, 100, 100] {
+            cc.on_ack(&ack(t, 50, rate, 50_000, mss));
+            t += 60; // > min_rtt, so each ack is a round
+        }
+        assert!(cc.full_bw_reached, "pipe should be declared full");
+        assert!(matches!(cc.state, State::Drain | State::ProbeBw));
+    }
+
+    #[test]
+    fn model_tracks_bandwidth_and_rtt() {
+        let mss = 1_460;
+        let mut cc = Bbr::new(mss);
+        cc.on_ack(&ack(0, 80, 50, 10_000, mss));
+        cc.on_ack(&ack(10, 40, 90, 10_000, mss));
+        cc.on_ack(&ack(20, 60, 70, 10_000, mss));
+        assert_eq!(cc.min_rtt(), Some(SimDuration::from_millis(40)));
+        assert_eq!(cc.btl_bw(), Some(DataRate::from_mbps(90)));
+    }
+
+    #[test]
+    fn cwnd_tracks_bdp() {
+        let mss = 1_460;
+        let mut cc = Bbr::new(mss);
+        cc.on_ack(&ack(0, 100, 80, 10_000, mss));
+        // BDP = 80 Mbps * 100 ms = 1 MB; cwnd = gain * BDP.
+        let bdp = 1_000_000u64;
+        let expect = (bdp as f64 * cc.cwnd_gain) as u64;
+        let got = cc.cwnd();
+        assert!(
+            (got as f64 - expect as f64).abs() / (expect as f64) < 0.01,
+            "cwnd {got} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn loss_does_not_shrink_the_model() {
+        let mss = 1_460;
+        let mut cc = Bbr::new(mss);
+        cc.on_ack(&ack(0, 50, 100, 10_000, mss));
+        let w = cc.cwnd();
+        for _ in 0..10 {
+            cc.on_loss_event(SimTime::from_millis(10));
+        }
+        assert_eq!(cc.cwnd(), w, "BBR ignores ordinary loss");
+    }
+
+    #[test]
+    fn probe_rtt_clamps_cwnd() {
+        let mss = 1_460;
+        let mut cc = Bbr::new(mss);
+        cc.on_ack(&ack(0, 50, 100, 10_000, mss));
+        // Let the min-RTT sample go stale (> 10 s) with higher RTTs.
+        let mut t = 200;
+        while t < 11_000 {
+            cc.on_ack(&ack(t, 80, 100, 10_000, mss));
+            t += 500;
+        }
+        assert_eq!(cc.state, State::ProbeRtt);
+        assert_eq!(cc.cwnd(), 4 * mss);
+        // Exits once in-flight drained and the dwell elapsed.
+        cc.on_ack(&ack(t + 300, 50, 100, 2 * mss, mss));
+        assert_ne!(cc.state, State::ProbeRtt);
+    }
+
+    #[test]
+    fn probe_bw_cycles_gains() {
+        let mss = 1_460;
+        let mut cc = Bbr::new(mss);
+        let mut t = 0;
+        // Reach ProbeBW.
+        for rate in [10, 20, 40, 80, 100, 100, 100, 100, 100, 100, 100] {
+            cc.on_ack(&ack(t, 50, rate, 1_000, mss));
+            t += 60;
+        }
+        assert_eq!(cc.state, State::ProbeBw);
+        // Collect pacing gains over the next rounds: must include the
+        // 1.25 probe and the 0.75 drain phases.
+        let mut seen = Vec::new();
+        for _ in 0..10 {
+            cc.on_ack(&ack(t, 50, 100, 1_000, mss));
+            seen.push(cc.pacing_gain);
+            t += 60;
+        }
+        assert!(seen.iter().any(|&g| (g - 1.25).abs() < 1e-9), "{seen:?}");
+        assert!(seen.iter().any(|&g| (g - 0.75).abs() < 1e-9), "{seen:?}");
+    }
+
+    #[test]
+    fn bw_window_forgets_old_samples() {
+        let mss = 1_460;
+        let mut cc = Bbr::new(mss);
+        cc.on_ack(&ack(0, 50, 200, 1_000, mss));
+        // 11 s later, feed lower samples; the 200 Mbps one must age out.
+        cc.on_ack(&ack(11_000, 50, 50, 1_000, mss));
+        assert_eq!(cc.btl_bw(), Some(DataRate::from_mbps(50)));
+    }
+
+    #[test]
+    fn rto_restarts_startup_but_keeps_model() {
+        let mss = 1_460;
+        let mut cc = Bbr::new(mss);
+        cc.on_ack(&ack(0, 50, 100, 1_000, mss));
+        cc.on_rto(SimTime::from_millis(100));
+        assert_eq!(cc.state, State::Startup);
+        assert_eq!(cc.btl_bw(), Some(DataRate::from_mbps(100)));
+        assert!((cc.pacing_gain - STARTUP_GAIN).abs() < 1e-9);
+    }
+}

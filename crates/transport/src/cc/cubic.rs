@@ -1,0 +1,229 @@
+//! CUBIC congestion control (RFC 8312, simplified).
+//!
+//! The window grows as a cubic function of time since the last loss,
+//! plateauing near the window where loss last occurred (`w_max`) and then
+//! probing beyond it. Multiplicative decrease uses β = 0.7 instead of
+//! Reno's 0.5. A TCP-friendly region keeps CUBIC at least as aggressive
+//! as Reno on short-RTT paths.
+//!
+//! On Starlink's loss bursts CUBIC fares a little better than Reno (its
+//! shallower decrease and fast w_max re-approach), but every handover
+//! still resets the epoch — consistent with Fig. 8's near-Reno showing.
+
+use super::{initial_cwnd, min_cwnd, AckSample, CongestionControl};
+use starlink_simcore::{DataRate, SimTime};
+
+/// RFC 8312 constant `C`, in segments/sec³.
+const C: f64 = 0.4;
+/// Multiplicative decrease factor β.
+const BETA: f64 = 0.7;
+
+/// CUBIC state.
+#[derive(Debug, Clone)]
+pub struct Cubic {
+    mss: u64,
+    cwnd: u64,
+    ssthresh: u64,
+    /// Window before the last reduction, segments.
+    w_max: f64,
+    /// Epoch start (set at the first ACK after a reduction).
+    epoch_start: Option<SimTime>,
+    /// Time offset at which the cubic reaches w_max, seconds.
+    k: f64,
+    /// Reno-equivalent window for the TCP-friendly region, segments.
+    w_est: f64,
+    /// Accumulator for the friendly-region additive growth.
+    acked_accum: u64,
+}
+
+impl Cubic {
+    /// A fresh connection.
+    pub fn new(mss: u64) -> Self {
+        Cubic {
+            mss,
+            cwnd: initial_cwnd(mss),
+            ssthresh: u64::MAX,
+            w_max: 0.0,
+            epoch_start: None,
+            k: 0.0,
+            w_est: 0.0,
+            acked_accum: 0,
+        }
+    }
+
+    fn segments(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.mss as f64
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn on_ack(&mut self, sample: &AckSample) {
+        if self.cwnd < self.ssthresh {
+            self.cwnd += sample.acked_bytes;
+            if self.cwnd > self.ssthresh {
+                self.cwnd = self.ssthresh;
+            }
+            return;
+        }
+
+        // Congestion avoidance: evaluate the cubic at t since epoch.
+        let now = sample.now;
+        let epoch = match self.epoch_start {
+            Some(e) => e,
+            None => {
+                // New epoch: anchor the cubic at the current window.
+                let w = self.segments(self.cwnd);
+                if w < self.w_max {
+                    self.k = ((self.w_max - w) / C).cbrt();
+                } else {
+                    self.k = 0.0;
+                    self.w_max = w;
+                }
+                self.w_est = w;
+                self.epoch_start = Some(now);
+                now
+            }
+        };
+        let t = now.saturating_since(epoch).as_secs_f64();
+        let target = C * (t - self.k).powi(3) + self.w_max; // segments
+
+        // TCP-friendly region: emulate Reno's 1 segment per RTT.
+        self.acked_accum += sample.acked_bytes;
+        if self.acked_accum >= self.cwnd.max(1) {
+            self.acked_accum -= self.cwnd.max(1);
+            self.w_est += 1.0;
+        }
+
+        let target = target.max(self.w_est);
+        let current = self.segments(self.cwnd);
+        if target > current {
+            // Approach the target over roughly one RTT: grow by the
+            // shortfall fraction per ACK.
+            let growth = ((target - current) / current.max(1.0)) * sample.acked_bytes as f64;
+            self.cwnd += growth.max(0.0) as u64;
+        }
+        // Clamp growth to at most doubling per ACK burst (safety).
+        let cap = 2 * (self.cwnd.max(initial_cwnd(self.mss)));
+        self.cwnd = self.cwnd.min(cap);
+    }
+
+    fn on_loss_event(&mut self, _now: SimTime) {
+        self.w_max = self.segments(self.cwnd);
+        let reduced = (self.cwnd as f64 * BETA) as u64;
+        self.cwnd = reduced.max(min_cwnd(self.mss));
+        self.ssthresh = self.cwnd;
+        self.epoch_start = None;
+        self.acked_accum = 0;
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.w_max = self.segments(self.cwnd);
+        self.ssthresh = ((self.cwnd as f64 * BETA) as u64).max(min_cwnd(self.mss));
+        self.cwnd = self.mss;
+        self.epoch_start = None;
+        self.acked_accum = 0;
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn pacing_rate(&self) -> Option<DataRate> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "CUBIC"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_simcore::SimDuration;
+
+    fn ack_at(now: SimTime, acked: u64, mss: u64) -> AckSample {
+        AckSample {
+            now,
+            acked_bytes: acked,
+            rtt: Some(SimDuration::from_millis(50)),
+            in_flight: 0,
+            mss,
+            delivery_rate: None,
+        }
+    }
+
+    #[test]
+    fn beta_is_point_seven() {
+        let mss = 1_000;
+        let mut cc = Cubic::new(mss);
+        cc.on_ack(&ack_at(SimTime::ZERO, 100_000, mss));
+        let w = cc.cwnd();
+        cc.on_loss_event(SimTime::ZERO);
+        let ratio = cc.cwnd() as f64 / w as f64;
+        assert!((ratio - 0.7).abs() < 0.01, "{ratio}");
+    }
+
+    #[test]
+    fn grows_back_toward_w_max_after_loss() {
+        let mss = 1_000;
+        let mut cc = Cubic::new(mss);
+        // Grow to ~100 segments in slow start, then lose.
+        cc.on_ack(&ack_at(SimTime::ZERO, 90_000, mss));
+        let w_before_loss = cc.cwnd();
+        cc.on_loss_event(SimTime::from_millis(100));
+        // Feed ACKs over simulated seconds: the cubic must re-approach
+        // w_max.
+        let mut t = SimTime::from_millis(200);
+        for _ in 0..400 {
+            cc.on_ack(&ack_at(t, 10_000, mss));
+            t += SimDuration::from_millis(50);
+        }
+        assert!(
+            cc.cwnd() as f64 >= 0.9 * w_before_loss as f64,
+            "cwnd {} should re-approach w_max {}",
+            cc.cwnd(),
+            w_before_loss
+        );
+    }
+
+    #[test]
+    fn concave_then_convex_growth() {
+        let mss = 1_000;
+        let mut cc = Cubic::new(mss);
+        cc.on_ack(&ack_at(SimTime::ZERO, 90_000, mss));
+        cc.on_loss_event(SimTime::from_millis(100));
+        // Sample growth increments at fixed ack cadence: early increments
+        // (approaching w_max) should shrink, later ones (past w_max) grow.
+        let mut t = SimTime::from_millis(200);
+        let mut windows = Vec::new();
+        for _ in 0..600 {
+            cc.on_ack(&ack_at(t, 5_000, mss));
+            windows.push(cc.cwnd());
+            t += SimDuration::from_millis(20);
+        }
+        let early_growth = windows[50] as i64 - windows[0] as i64;
+        let mid_growth = windows[300] as i64 - windows[250] as i64;
+        let late_growth = *windows.last().unwrap() as i64 - windows[550] as i64;
+        assert!(early_growth > 0);
+        // Plateau near w_max: mid growth smaller than early.
+        assert!(
+            mid_growth <= early_growth,
+            "mid {mid_growth} vs early {early_growth}"
+        );
+        // Convex probe beyond: late growth picks up again.
+        assert!(
+            late_growth >= mid_growth,
+            "late {late_growth} vs mid {mid_growth}"
+        );
+    }
+
+    #[test]
+    fn rto_collapses_to_one_segment() {
+        let mss = 1_000;
+        let mut cc = Cubic::new(mss);
+        cc.on_ack(&ack_at(SimTime::ZERO, 50_000, mss));
+        cc.on_rto(SimTime::from_millis(10));
+        assert_eq!(cc.cwnd(), mss);
+    }
+}

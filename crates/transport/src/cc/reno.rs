@@ -1,0 +1,144 @@
+//! NewReno-style AIMD congestion control.
+//!
+//! Slow start doubles the window per RTT until `ssthresh`; congestion
+//! avoidance adds one segment per RTT; a loss event multiplicatively
+//! halves. On a link with regular non-congestive loss bursts (Starlink
+//! handovers) the halvings dominate and the window never stays near the
+//! BDP — the behaviour Fig. 8 measures.
+
+use super::{initial_cwnd, min_cwnd, AckSample, CongestionControl};
+use starlink_simcore::{DataRate, SimTime};
+
+/// NewReno AIMD state.
+#[derive(Debug, Clone)]
+pub struct Reno {
+    mss: u64,
+    cwnd: u64,
+    ssthresh: u64,
+    /// Fractional-segment accumulator for congestion avoidance.
+    acked_accum: u64,
+}
+
+impl Reno {
+    /// A fresh connection.
+    pub fn new(mss: u64) -> Self {
+        Reno {
+            mss,
+            cwnd: initial_cwnd(mss),
+            ssthresh: u64::MAX,
+            acked_accum: 0,
+        }
+    }
+
+    /// Whether the sender is still in slow start.
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+}
+
+impl CongestionControl for Reno {
+    fn on_ack(&mut self, sample: &AckSample) {
+        if self.in_slow_start() {
+            // Exponential: grow by the acked bytes.
+            self.cwnd += sample.acked_bytes;
+            if self.cwnd > self.ssthresh {
+                self.cwnd = self.ssthresh;
+            }
+        } else {
+            // Additive: one MSS per cwnd's worth of ACKed bytes.
+            self.acked_accum += sample.acked_bytes;
+            if self.acked_accum >= self.cwnd {
+                self.acked_accum -= self.cwnd;
+                self.cwnd += self.mss;
+            }
+        }
+    }
+
+    fn on_loss_event(&mut self, _now: SimTime) {
+        self.ssthresh = (self.cwnd / 2).max(min_cwnd(self.mss));
+        self.cwnd = self.ssthresh;
+        self.acked_accum = 0;
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.ssthresh = (self.cwnd / 2).max(min_cwnd(self.mss));
+        self.cwnd = self.mss;
+        self.acked_accum = 0;
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn pacing_rate(&self) -> Option<DataRate> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "RENO"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_simcore::SimDuration;
+
+    fn ack(acked: u64, mss: u64) -> AckSample {
+        AckSample {
+            now: SimTime::ZERO,
+            acked_bytes: acked,
+            rtt: Some(SimDuration::from_millis(50)),
+            in_flight: 0,
+            mss,
+            delivery_rate: None,
+        }
+    }
+
+    #[test]
+    fn slow_start_doubles_per_window() {
+        let mss = 1_000;
+        let mut cc = Reno::new(mss);
+        let w0 = cc.cwnd();
+        // ACK an entire window's worth of data.
+        cc.on_ack(&ack(w0, mss));
+        assert_eq!(cc.cwnd(), 2 * w0);
+        assert!(cc.in_slow_start());
+    }
+
+    #[test]
+    fn congestion_avoidance_adds_one_mss_per_window() {
+        let mss = 1_000;
+        let mut cc = Reno::new(mss);
+        cc.on_loss_event(SimTime::ZERO); // leaves slow start at 5 segs
+        let w = cc.cwnd();
+        assert!(!cc.in_slow_start());
+        // ACK one full window in pieces: +1 MSS total.
+        for _ in 0..5 {
+            cc.on_ack(&ack(w / 5, mss));
+        }
+        assert_eq!(cc.cwnd(), w + mss);
+    }
+
+    #[test]
+    fn loss_halves_and_rto_collapses() {
+        let mss = 1_000;
+        let mut cc = Reno::new(mss);
+        cc.on_ack(&ack(40_000, mss)); // grow in slow start
+        let w = cc.cwnd();
+        cc.on_loss_event(SimTime::ZERO);
+        assert_eq!(cc.cwnd(), w / 2);
+        cc.on_rto(SimTime::ZERO);
+        assert_eq!(cc.cwnd(), mss);
+    }
+
+    #[test]
+    fn floors_at_two_segments() {
+        let mss = 1_000;
+        let mut cc = Reno::new(mss);
+        for _ in 0..20 {
+            cc.on_loss_event(SimTime::ZERO);
+        }
+        assert_eq!(cc.cwnd(), 2 * mss);
+    }
+}

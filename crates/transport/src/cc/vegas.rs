@@ -1,0 +1,211 @@
+//! TCP Vegas: delay-based congestion avoidance.
+//!
+//! Vegas compares the expected throughput (`cwnd / base_rtt`) with the
+//! actual (`cwnd / rtt`) and keeps the difference — the number of packets
+//! queued in the network — between α and β segments, nudging the window by
+//! one segment per RTT. On Starlink this backfires twice: bent-pipe
+//! queueing jitter inflates RTT samples (Vegas backs off without any real
+//! congestion), and handover loss bursts still trigger Reno-style
+//! halvings. Fig. 8 finds Vegas at the bottom of the pack.
+
+use super::{initial_cwnd, min_cwnd, AckSample, CongestionControl};
+use starlink_simcore::{DataRate, SimDuration, SimTime};
+
+/// Lower queue-occupancy target, segments.
+const ALPHA: f64 = 2.0;
+/// Upper queue-occupancy target, segments.
+const BETA: f64 = 4.0;
+
+/// Vegas state.
+#[derive(Debug, Clone)]
+pub struct Vegas {
+    mss: u64,
+    cwnd: u64,
+    ssthresh: u64,
+    /// Smallest RTT ever observed (propagation estimate).
+    base_rtt: Option<SimDuration>,
+    /// Smallest RTT within the current adjustment round.
+    round_min_rtt: Option<SimDuration>,
+    /// End of the current once-per-RTT adjustment round.
+    round_ends: SimTime,
+}
+
+impl Vegas {
+    /// A fresh connection.
+    pub fn new(mss: u64) -> Self {
+        Vegas {
+            mss,
+            cwnd: initial_cwnd(mss),
+            ssthresh: u64::MAX,
+            base_rtt: None,
+            round_min_rtt: None,
+            round_ends: SimTime::ZERO,
+        }
+    }
+
+    /// The current estimate of packets queued in the network, in segments
+    /// (the Vegas `diff`), if enough RTT data exists.
+    pub fn queue_estimate(&self) -> Option<f64> {
+        let base = self.base_rtt?.as_secs_f64();
+        let rtt = self.round_min_rtt?.as_secs_f64();
+        if base <= 0.0 || rtt <= 0.0 {
+            return None;
+        }
+        let cwnd_seg = self.cwnd as f64 / self.mss as f64;
+        Some(cwnd_seg * (rtt - base) / rtt)
+    }
+}
+
+impl CongestionControl for Vegas {
+    fn on_ack(&mut self, sample: &AckSample) {
+        let Some(rtt) = sample.rtt else {
+            return;
+        };
+        self.base_rtt = Some(match self.base_rtt {
+            Some(b) => b.min(rtt),
+            None => rtt,
+        });
+        self.round_min_rtt = Some(match self.round_min_rtt {
+            Some(m) => m.min(rtt),
+            None => rtt,
+        });
+
+        if self.cwnd < self.ssthresh {
+            // Vegas slow start: grow every other RTT in real Vegas; keep
+            // standard doubling but leave slow start early when the queue
+            // estimate exceeds alpha.
+            self.cwnd += sample.acked_bytes;
+            if let Some(diff) = self.queue_estimate() {
+                if diff > ALPHA {
+                    self.ssthresh = self.cwnd;
+                }
+            }
+        }
+
+        // Once-per-RTT adjustment.
+        if sample.now < self.round_ends {
+            return;
+        }
+        self.round_ends = sample.now + rtt;
+        if self.cwnd >= self.ssthresh {
+            if let Some(diff) = self.queue_estimate() {
+                if diff < ALPHA {
+                    self.cwnd += self.mss;
+                } else if diff > BETA {
+                    self.cwnd = self.cwnd.saturating_sub(self.mss).max(min_cwnd(self.mss));
+                }
+            }
+        }
+        self.round_min_rtt = None;
+    }
+
+    fn on_loss_event(&mut self, _now: SimTime) {
+        self.ssthresh = (self.cwnd / 2).max(min_cwnd(self.mss));
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.ssthresh = (self.cwnd / 2).max(min_cwnd(self.mss));
+        self.cwnd = self.mss;
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn pacing_rate(&self) -> Option<DataRate> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "VEGAS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack(now_ms: u64, acked: u64, rtt_ms: u64, mss: u64) -> AckSample {
+        AckSample {
+            now: SimTime::from_millis(now_ms),
+            acked_bytes: acked,
+            rtt: Some(SimDuration::from_millis(rtt_ms)),
+            in_flight: 0,
+            mss,
+            delivery_rate: None,
+        }
+    }
+
+    #[test]
+    fn grows_when_path_is_empty() {
+        let mss = 1_000;
+        let mut cc = Vegas::new(mss);
+        cc.on_loss_event(SimTime::ZERO); // exit slow start
+        let w = cc.cwnd();
+        // RTT equals base RTT: no queue, diff = 0 < alpha, +1 MSS per round.
+        let mut t = 0;
+        for _ in 0..5 {
+            cc.on_ack(&ack(t, mss, 50, mss));
+            t += 60;
+        }
+        assert!(cc.cwnd() > w, "{} vs {w}", cc.cwnd());
+    }
+
+    #[test]
+    fn backs_off_when_rtt_inflates() {
+        let mss = 1_000;
+        let mut cc = Vegas::new(mss);
+        // Establish base RTT at 50 ms.
+        cc.on_ack(&ack(0, mss, 50, mss));
+        cc.on_loss_event(SimTime::ZERO);
+        let w = cc.cwnd();
+        // RTTs inflate to 250 ms: diff = 5.5 * (200/250) = 4.4 > beta.
+        let mut t = 100;
+        for _ in 0..5 {
+            cc.on_ack(&ack(t, mss, 250, mss));
+            t += 300;
+        }
+        assert!(cc.cwnd() < w, "{} vs {w}", cc.cwnd());
+    }
+
+    #[test]
+    fn holds_inside_the_band() {
+        let mss = 1_000;
+        let mut cc = Vegas::new(mss);
+        cc.on_ack(&ack(0, mss, 50, mss));
+        cc.on_loss_event(SimTime::ZERO);
+        let w = cc.cwnd(); // 5 segments
+                           // Pick an RTT putting diff between alpha and beta:
+                           // diff = 5 * (rtt-50)/rtt in [2,4] => rtt in [83.3, 250].
+        let mut t = 100;
+        for _ in 0..5 {
+            cc.on_ack(&ack(t, mss, 100, mss));
+            t += 150;
+        }
+        assert_eq!(cc.cwnd(), w);
+    }
+
+    #[test]
+    fn queue_estimate_matches_formula() {
+        let mss = 1_000;
+        let mut cc = Vegas::new(mss);
+        cc.on_ack(&ack(0, mss, 50, mss));
+        cc.on_ack(&ack(10, mss, 100, mss));
+        // After the two acks base=50, round_min<=100. cwnd = 12 segments.
+        let diff = cc.queue_estimate().unwrap();
+        let cwnd_seg = cc.cwnd() as f64 / mss as f64;
+        assert!(diff <= cwnd_seg);
+        assert!(diff >= 0.0);
+    }
+
+    #[test]
+    fn loss_still_halves() {
+        let mss = 1_000;
+        let mut cc = Vegas::new(mss);
+        cc.on_ack(&ack(0, 50_000, 50, mss));
+        let w = cc.cwnd();
+        cc.on_loss_event(SimTime::ZERO);
+        assert_eq!(cc.cwnd(), w / 2);
+    }
+}

@@ -1,0 +1,196 @@
+//! TCP Veno: Reno with Vegas-informed loss discrimination.
+//!
+//! Veno maintains Vegas's queue-occupancy estimate `N` and uses it to
+//! classify each loss: if `N < β` the network looked uncongested, so the
+//! loss is presumed *random* (wireless) and the window is only cut to
+//! 4/5; otherwise it halves like Reno. In congestion avoidance it also
+//! slows its additive increase when the queue estimate is high.
+//!
+//! Designed exactly for random-loss wireless paths, Veno does beat plain
+//! Reno on Starlink — but the paper's Fig. 8 shows it still far behind
+//! BBR, because a 20 % cut per handover burst (with several bursts per
+//! minute) still starves the window.
+
+use super::{initial_cwnd, min_cwnd, AckSample, CongestionControl};
+use starlink_simcore::{DataRate, SimDuration, SimTime};
+
+/// Queue-occupancy threshold (segments) below which loss is presumed
+/// random rather than congestive.
+const BETA: f64 = 3.0;
+/// Multiplicative decrease for random loss (vs 0.5 for congestive).
+const RANDOM_LOSS_FACTOR: f64 = 0.8;
+
+/// Veno state.
+#[derive(Debug, Clone)]
+pub struct Veno {
+    mss: u64,
+    cwnd: u64,
+    ssthresh: u64,
+    base_rtt: Option<SimDuration>,
+    last_rtt: Option<SimDuration>,
+    acked_accum: u64,
+    /// In the high-queue regime additive increase runs at half speed;
+    /// this flag alternates windows.
+    skip_toggle: bool,
+}
+
+impl Veno {
+    /// A fresh connection.
+    pub fn new(mss: u64) -> Self {
+        Veno {
+            mss,
+            cwnd: initial_cwnd(mss),
+            ssthresh: u64::MAX,
+            base_rtt: None,
+            last_rtt: None,
+            acked_accum: 0,
+            skip_toggle: false,
+        }
+    }
+
+    /// Vegas-style backlog estimate `N`, segments.
+    pub fn backlog_estimate(&self) -> Option<f64> {
+        let base = self.base_rtt?.as_secs_f64();
+        let rtt = self.last_rtt?.as_secs_f64();
+        if base <= 0.0 || rtt <= 0.0 {
+            return None;
+        }
+        let cwnd_seg = self.cwnd as f64 / self.mss as f64;
+        Some(cwnd_seg * (rtt - base) / rtt)
+    }
+
+    fn presumed_random_loss(&self) -> bool {
+        matches!(self.backlog_estimate(), Some(n) if n < BETA)
+    }
+}
+
+impl CongestionControl for Veno {
+    fn on_ack(&mut self, sample: &AckSample) {
+        if let Some(rtt) = sample.rtt {
+            self.base_rtt = Some(match self.base_rtt {
+                Some(b) => b.min(rtt),
+                None => rtt,
+            });
+            self.last_rtt = Some(rtt);
+        }
+
+        if self.cwnd < self.ssthresh {
+            self.cwnd += sample.acked_bytes;
+            if self.cwnd > self.ssthresh {
+                self.cwnd = self.ssthresh;
+            }
+            return;
+        }
+
+        // Congestion avoidance, modulated by the backlog estimate: with a
+        // full queue (N >= beta) Veno increases every *other* window.
+        self.acked_accum += sample.acked_bytes;
+        if self.acked_accum >= self.cwnd.max(1) {
+            self.acked_accum -= self.cwnd.max(1);
+            let congested = matches!(self.backlog_estimate(), Some(n) if n >= BETA);
+            if congested {
+                self.skip_toggle = !self.skip_toggle;
+                if self.skip_toggle {
+                    return;
+                }
+            }
+            self.cwnd += self.mss;
+        }
+    }
+
+    fn on_loss_event(&mut self, _now: SimTime) {
+        let factor = if self.presumed_random_loss() {
+            RANDOM_LOSS_FACTOR
+        } else {
+            0.5
+        };
+        self.ssthresh = ((self.cwnd as f64 * factor) as u64).max(min_cwnd(self.mss));
+        self.cwnd = self.ssthresh;
+        self.acked_accum = 0;
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.ssthresh = (self.cwnd / 2).max(min_cwnd(self.mss));
+        self.cwnd = self.mss;
+        self.acked_accum = 0;
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn pacing_rate(&self) -> Option<DataRate> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "VENO"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack(acked: u64, rtt_ms: u64, mss: u64) -> AckSample {
+        AckSample {
+            now: SimTime::ZERO,
+            acked_bytes: acked,
+            rtt: Some(SimDuration::from_millis(rtt_ms)),
+            in_flight: 0,
+            mss,
+            delivery_rate: None,
+        }
+    }
+
+    #[test]
+    fn random_loss_cuts_one_fifth() {
+        let mss = 1_000;
+        let mut cc = Veno::new(mss);
+        // RTT equals base RTT: backlog ~ 0 => random-loss regime.
+        cc.on_ack(&ack(50_000, 50, mss));
+        let w = cc.cwnd();
+        cc.on_loss_event(SimTime::ZERO);
+        let ratio = cc.cwnd() as f64 / w as f64;
+        assert!((ratio - 0.8).abs() < 0.01, "{ratio}");
+    }
+
+    #[test]
+    fn congestive_loss_halves() {
+        let mss = 1_000;
+        let mut cc = Veno::new(mss);
+        cc.on_ack(&ack(50_000, 50, mss)); // base 50
+        cc.on_ack(&ack(1_000, 300, mss)); // inflated: large backlog
+        let w = cc.cwnd();
+        cc.on_loss_event(SimTime::ZERO);
+        let ratio = cc.cwnd() as f64 / w as f64;
+        assert!((ratio - 0.5).abs() < 0.01, "{ratio}");
+    }
+
+    #[test]
+    fn veno_outruns_reno_under_random_loss() {
+        // Identical loss pattern, low-queue path: Veno keeps more window.
+        let mss = 1_000;
+        let mut veno = Veno::new(mss);
+        let mut reno = super::super::reno::Reno::new(mss);
+        let grow = ack(50_000, 50, mss);
+        veno.on_ack(&grow);
+        reno.on_ack(&AckSample { ..grow });
+        for _ in 0..5 {
+            veno.on_loss_event(SimTime::ZERO);
+            reno.on_loss_event(SimTime::ZERO);
+        }
+        assert!(
+            veno.cwnd() > reno.cwnd(),
+            "veno {} vs reno {}",
+            veno.cwnd(),
+            reno.cwnd()
+        );
+    }
+
+    #[test]
+    fn backlog_estimate_none_without_samples() {
+        let cc = Veno::new(1_000);
+        assert!(cc.backlog_estimate().is_none());
+    }
+}

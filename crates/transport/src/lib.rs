@@ -1,0 +1,36 @@
+//! # starlink-transport
+//!
+//! Packet-level transport protocols for the *starlink-browser-view*
+//! reproduction: a simplified-but-faithful TCP with the **five pluggable
+//! congestion-control algorithms the paper stress-tests in Fig. 8** (BBR,
+//! CUBIC, Reno, Vegas, Veno), plus UDP blast/sink endpoints used to probe
+//! maximum achievable capacity and to measure per-interval loss (Figs. 6c
+//! and 7).
+//!
+//! The TCP implementation carries what matters for congestion dynamics
+//! over a bursty-loss LEO path:
+//!
+//! * byte sequencing with cumulative + selective acknowledgement,
+//! * RFC 6298 RTO estimation with exponential backoff, driven by
+//!   timestamp-based RTT samples (valid across retransmissions),
+//! * SACK-driven fast retransmit and a single congestion event per
+//!   recovery episode,
+//! * optional pacing for rate-based controllers (BBR),
+//!
+//! and deliberately omits what does not (checksums, urgent data, window
+//! scaling negotiation, Nagle).
+//!
+//! Endpoints implement [`starlink_netsim::Handler`] and expose their
+//! statistics through shared [`std::rc::Rc`] handles, since the simulator
+//! is strictly single-threaded.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cc;
+pub mod tcp;
+pub mod udp;
+
+pub use cc::{AckSample, CcAlgorithm, CongestionControl};
+pub use tcp::{TcpReceiver, TcpSender, TcpSenderStats};
+pub use udp::{UdpBlaster, UdpSink, UdpSinkStats};

@@ -1,0 +1,277 @@
+//! UDP endpoints: the paced blaster and the measuring sink.
+//!
+//! The paper uses UDP in two ways this module reproduces:
+//!
+//! * **capacity probing** — iperf3 UDP bursts at a configured rate measure
+//!   the maximum achievable throughput, the denominator of Fig. 8's
+//!   normalised results;
+//! * **loss measurement** — counting received sequence numbers per
+//!   interval gives the loss time series of Fig. 7 (1 s bins) and the
+//!   per-test loss rates of Fig. 6(c).
+
+use starlink_netsim::{Ctx, Handler, NodeId, Packet, Payload, UdpDatagram};
+use starlink_simcore::{Bytes, DataRate, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Timer token used by the blaster's pacing clock.
+const TOKEN_TICK: u64 = 11;
+
+/// A constant-rate UDP sender.
+pub struct UdpBlaster {
+    peer: NodeId,
+    flow: u64,
+    /// Datagram payload size.
+    payload: u64,
+    /// Inter-datagram gap implementing the target rate.
+    gap: SimDuration,
+    /// Stop sending at this time.
+    stop_at: SimTime,
+    next_seq: u64,
+    started: bool,
+}
+
+impl UdpBlaster {
+    /// A blaster sending `rate` worth of `payload`-byte datagrams on
+    /// `flow` until `stop_at`.
+    ///
+    /// # Panics
+    /// Panics if `rate` is zero.
+    pub fn new(peer: NodeId, flow: u64, payload: u64, rate: DataRate, stop_at: SimTime) -> Self {
+        assert!(rate.bits_per_sec() > 0, "UdpBlaster needs a positive rate");
+        let wire = payload + Packet::UDP_OVERHEAD;
+        let gap = Bytes::new(wire).serialization_time(rate);
+        UdpBlaster {
+            peer,
+            flow,
+            payload,
+            gap,
+            stop_at,
+            next_seq: 0,
+            started: false,
+        }
+    }
+
+    /// The start-timer token; arm it at the desired start time.
+    pub fn start_token() -> u64 {
+        TOKEN_TICK
+    }
+
+    /// Number of datagrams this blaster will have sent by `stop_at`.
+    pub fn sent(&self) -> u64 {
+        self.next_seq
+    }
+
+    fn tick(&mut self, ctx: &mut Ctx) {
+        if ctx.now >= self.stop_at {
+            return;
+        }
+        let payload = Payload::Udp(UdpDatagram {
+            flow: self.flow,
+            seq: self.next_seq,
+        });
+        self.next_seq += 1;
+        ctx.send(
+            self.peer,
+            Bytes::new(self.payload + Packet::UDP_OVERHEAD),
+            payload,
+        );
+        ctx.set_timer(ctx.now + self.gap, TOKEN_TICK);
+    }
+}
+
+impl Handler for UdpBlaster {
+    fn on_packet(&mut self, _ctx: &mut Ctx, _packet: &Packet) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        if token == TOKEN_TICK {
+            if !self.started {
+                self.started = true;
+            }
+            self.tick(ctx);
+        }
+    }
+}
+
+/// Sink statistics, binned by arrival time.
+#[derive(Debug, Clone, Default)]
+pub struct UdpSinkStats {
+    /// Total datagrams received.
+    pub received: u64,
+    /// Total payload bytes received.
+    pub bytes: u64,
+    /// Highest sequence number seen + 1 (0 if nothing arrived).
+    pub max_seq_plus_one: u64,
+    /// Per-bin received counts.
+    pub received_per_bin: Vec<u64>,
+    /// Per-bin highest-sequence watermark (for per-bin loss estimation).
+    pub max_seq_per_bin: Vec<u64>,
+}
+
+impl UdpSinkStats {
+    /// Overall loss fraction given the blaster actually sent `sent`.
+    pub fn loss_fraction(&self, sent: u64) -> f64 {
+        if sent == 0 {
+            return 0.0;
+        }
+        1.0 - self.received as f64 / sent as f64
+    }
+
+    /// Per-bin loss fractions, estimated from the per-bin sequence
+    /// watermark deltas vs. received counts. Bins where nothing was
+    /// expected yield 0.
+    pub fn per_bin_loss(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.received_per_bin.len());
+        let mut prev_mark = 0u64;
+        for (i, &got) in self.received_per_bin.iter().enumerate() {
+            let mark = self.max_seq_per_bin[i].max(prev_mark);
+            let expected = mark - prev_mark;
+            if expected == 0 {
+                out.push(0.0);
+            } else {
+                let lost = expected.saturating_sub(got);
+                out.push(lost as f64 / expected as f64);
+            }
+            prev_mark = mark;
+        }
+        out
+    }
+}
+
+/// A UDP receiver that counts arrivals per time bin.
+pub struct UdpSink {
+    flow: u64,
+    bin_width: SimDuration,
+    stats: Rc<RefCell<UdpSinkStats>>,
+}
+
+impl UdpSink {
+    /// A sink for `flow`, binning at `bin_width`.
+    pub fn new(flow: u64, bin_width: SimDuration) -> (Self, Rc<RefCell<UdpSinkStats>>) {
+        let stats = Rc::new(RefCell::new(UdpSinkStats::default()));
+        (
+            UdpSink {
+                flow,
+                bin_width,
+                stats: Rc::clone(&stats),
+            },
+            stats,
+        )
+    }
+}
+
+impl Handler for UdpSink {
+    fn on_packet(&mut self, ctx: &mut Ctx, packet: &Packet) {
+        let Payload::Udp(dgram) = &packet.payload else {
+            return;
+        };
+        if dgram.flow != self.flow {
+            return;
+        }
+        let mut stats = self.stats.borrow_mut();
+        stats.received += 1;
+        stats.bytes += packet.size.as_u64().saturating_sub(Packet::UDP_OVERHEAD);
+        stats.max_seq_plus_one = stats.max_seq_plus_one.max(dgram.seq + 1);
+        let bin = (ctx.now.as_nanos() / self.bin_width.as_nanos().max(1)) as usize;
+        if stats.received_per_bin.len() <= bin {
+            stats.received_per_bin.resize(bin + 1, 0);
+            stats.max_seq_per_bin.resize(bin + 1, 0);
+        }
+        stats.received_per_bin[bin] += 1;
+        stats.max_seq_per_bin[bin] = stats.max_seq_per_bin[bin].max(dgram.seq + 1);
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx, _token: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_netsim::{LinkConfig, Network, NodeKind};
+
+    fn blast(
+        rate: DataRate,
+        link_rate: DataRate,
+        loss: f64,
+        secs: u64,
+    ) -> (u64, Rc<RefCell<UdpSinkStats>>) {
+        let mut net = Network::new(9);
+        let a = net.add_node("blaster", NodeKind::Host);
+        let b = net.add_node("sink", NodeKind::Host);
+        net.connect_duplex(
+            a,
+            b,
+            LinkConfig::fixed(SimDuration::from_millis(5), link_rate, loss),
+            LinkConfig::ethernet(),
+        );
+        net.route_linear(&[a, b]);
+        let stop = SimTime::from_secs(secs);
+        let blaster = UdpBlaster::new(b, 1, 1_200, rate, stop);
+        let (sink, stats) = UdpSink::new(1, SimDuration::from_secs(1));
+        net.attach_handler(a, Box::new(blaster));
+        net.attach_handler(b, Box::new(sink));
+        net.arm_timer(a, SimTime::ZERO, UdpBlaster::start_token());
+        net.run_until(stop + SimDuration::from_secs(1));
+        let sent = stats.borrow().max_seq_plus_one;
+        (sent, stats)
+    }
+
+    #[test]
+    fn blaster_respects_target_rate() {
+        let (_, stats) = blast(DataRate::from_mbps(10), DataRate::from_mbps(100), 0.0, 5);
+        let s = stats.borrow();
+        // 10 Mbps of 1228 B wire datagrams for 5 s ~ 5090 packets.
+        let per_sec = s.received as f64 / 5.0;
+        let expected = 10e6 / (1_228.0 * 8.0);
+        assert!(
+            (per_sec - expected).abs() / expected < 0.02,
+            "{per_sec} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn lossless_link_delivers_everything() {
+        let (sent, stats) = blast(DataRate::from_mbps(10), DataRate::from_mbps(100), 0.0, 3);
+        let s = stats.borrow();
+        assert_eq!(s.received, sent);
+        assert_eq!(s.loss_fraction(sent), 0.0);
+    }
+
+    #[test]
+    fn loss_fraction_matches_link_loss() {
+        let (sent, stats) = blast(DataRate::from_mbps(20), DataRate::from_mbps(100), 0.15, 10);
+        let s = stats.borrow();
+        let loss = s.loss_fraction(sent);
+        assert!((loss - 0.15).abs() < 0.02, "loss {loss}");
+    }
+
+    #[test]
+    fn overdriving_the_link_caps_goodput_at_capacity() {
+        // Blast 50 Mbps into a 10 Mbps link: the sink should see ~10 Mbps.
+        let (_, stats) = blast(DataRate::from_mbps(50), DataRate::from_mbps(10), 0.0, 5);
+        let s = stats.borrow();
+        let mbps = s.bytes as f64 * 8.0 / 5.0 / 1e6;
+        assert!((8.0..10.5).contains(&mbps), "{mbps} Mbps");
+    }
+
+    #[test]
+    fn per_bin_loss_is_sane() {
+        let (_, stats) = blast(DataRate::from_mbps(20), DataRate::from_mbps(100), 0.2, 8);
+        let s = stats.borrow();
+        let bins = s.per_bin_loss();
+        assert!(bins.len() >= 8);
+        for (i, &loss) in bins.iter().enumerate() {
+            assert!((0.0..=1.0).contains(&loss), "bin {i}: {loss}");
+        }
+        // Average bin loss should hover near the configured 20%.
+        let busy: Vec<f64> = bins.iter().copied().filter(|&l| l > 0.0).collect();
+        let mean = busy.iter().sum::<f64>() / busy.len().max(1) as f64;
+        assert!((mean - 0.2).abs() < 0.05, "mean bin loss {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive rate")]
+    fn zero_rate_blaster_rejected() {
+        let _ = UdpBlaster::new(NodeId(1), 1, 1_200, DataRate::ZERO, SimTime::ZERO);
+    }
+}

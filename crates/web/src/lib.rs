@@ -1,0 +1,26 @@
+//! # starlink-web
+//!
+//! The web-performance model behind the browser extension's measurements:
+//! what the paper's users were doing when the extension recorded a data
+//! point.
+//!
+//! Two pieces:
+//!
+//! * [`popularity`] — a Tranco-style top-1M ranking with Zipf-weighted
+//!   visit sampling and per-site hosting facts (popular sites are far more
+//!   likely to be served from a CDN PoP near the user — the effect Fig. 3
+//!   splits on at rank 200);
+//! * [`page`] — the **Page Transit Time** decomposition the paper
+//!   introduces in §3.1: every *network* component of a page load
+//!   (redirect, DNS, TCP+TLS handshakes, request, response) separated
+//!   from the compute components (DOM, scripts, render) that make raw
+//!   Page Load Time incomparable across user devices.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod page;
+pub mod popularity;
+
+pub use page::{PageLoadModel, PathInputs, PltBreakdown, PttBreakdown};
+pub use popularity::{Site, Tranco, POPULAR_RANK_CUTOFF};

@@ -1,0 +1,229 @@
+//! Tranco-style popularity ranking and per-site hosting facts.
+//!
+//! The paper samples websites from the Tranco top-1M list: five from the
+//! top 500, three from the top 10k, two from the rest (§3.1), and splits
+//! its Fig. 3 analysis at rank 200 ("popular" vs everything else). Real
+//! browsing follows a Zipf law over the same ranking, which is how the
+//! telemetry pipeline samples the sites users "visit".
+//!
+//! Site facts are derived *deterministically from the rank and the list
+//! seed* — no table is stored; two scenarios with the same seed see the
+//! same web.
+
+use starlink_simcore::{dist::ZipfTable, SimRng};
+
+/// The paper's Fig. 3 popularity cutoff (Tranco rank 200).
+pub const POPULAR_RANK_CUTOFF: u64 = 200;
+
+/// A website identified by its popularity rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Site {
+    /// Tranco-style rank (1 = most popular).
+    pub rank: u64,
+    /// Synthetic domain name.
+    pub domain: String,
+    /// Served from a CDN PoP near the user (true) or a distant origin.
+    pub cdn_hosted: bool,
+    /// For origin-hosted sites: a distance factor in `[0.3, 1.5]` scaling
+    /// the origin's network distance (geography of the hosting).
+    pub origin_distance_factor: f64,
+    /// Total transfer size of the page's critical path, bytes.
+    pub page_bytes: u64,
+    /// Number of sequential round-trip "phases" on the critical path
+    /// beyond the handshakes (sub-resource chains).
+    pub critical_chain: u32,
+}
+
+impl Site {
+    /// Whether this site counts as "popular" under the paper's Fig. 3
+    /// split.
+    pub fn is_popular(&self) -> bool {
+        self.rank <= POPULAR_RANK_CUTOFF
+    }
+}
+
+/// A deterministic synthetic Tranco list.
+pub struct Tranco {
+    seed: u64,
+    size: u64,
+    zipf: ZipfTable,
+}
+
+impl Tranco {
+    /// Zipf exponent for web-site visit frequency (empirically near 1).
+    const ZIPF_S: f64 = 1.0;
+
+    /// A list of `size` ranked sites derived from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn new(seed: u64, size: u64) -> Self {
+        // The Zipf table costs O(size); a 1M-entry table is ~8 MB and is
+        // built once per scenario.
+        Tranco {
+            seed,
+            size,
+            zipf: ZipfTable::new(size, Self::ZIPF_S),
+        }
+    }
+
+    /// A standard top-1M list.
+    pub fn top_1m(seed: u64) -> Self {
+        Self::new(seed, 1_000_000)
+    }
+
+    /// Number of ranked sites.
+    pub fn len(&self) -> u64 {
+        self.size
+    }
+
+    /// Whether the list is empty (never: construction requires size > 0).
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// The site at `rank` (1-based). Facts are a pure function of
+    /// `(seed, rank)`.
+    ///
+    /// # Panics
+    /// Panics if `rank` is 0 or beyond the list size.
+    pub fn site(&self, rank: u64) -> Site {
+        assert!(rank >= 1 && rank <= self.size, "rank {rank} out of range");
+        let mut rng = SimRng::seed_from(self.seed)
+            .stream("tranco.site")
+            .substream(rank);
+
+        // CDN adoption falls with rank: ~95% in the top 100, ~40% in the
+        // tail. Logistic in log10(rank).
+        let log_rank = (rank as f64).log10();
+        let cdn_prob = 0.40 + 0.55 / (1.0 + ((log_rank - 3.2) * 1.8).exp());
+        let cdn_hosted = rng.bernoulli(cdn_prob);
+
+        // Page weight: lognormal around ~1.2 MB, clamped to [50 kB, 12 MB]
+        // (HTTP Archive-like). Popular sites are marginally heavier.
+        let weight_boost = if rank <= POPULAR_RANK_CUTOFF {
+            1.15
+        } else {
+            1.0
+        };
+        let page_bytes =
+            (rng.lognormal(14.0, 0.8) * weight_boost).clamp(50_000.0, 12_000_000.0) as u64;
+
+        // Critical-path depth: 0-2 additional sequential phases.
+        let critical_chain = rng.below(3) as u32;
+
+        Site {
+            rank,
+            domain: format!("site-{rank}.example"),
+            cdn_hosted,
+            origin_distance_factor: rng.range_f64(0.3, 1.5),
+            page_bytes,
+            critical_chain,
+        }
+    }
+
+    /// Samples a visit according to the Zipf law.
+    pub fn sample_visit(&self, rng: &mut SimRng) -> Site {
+        self.site(self.zipf.sample(rng))
+    }
+
+    /// The paper's extension details-tab probe mix: five random sites from
+    /// the top 500, three from the top 10k, two from the rest of the list.
+    pub fn details_tab_mix(&self, rng: &mut SimRng) -> Vec<Site> {
+        let mut out = Vec::with_capacity(10);
+        for _ in 0..5 {
+            out.push(self.site(rng.range_u64(1, 501.min(self.size + 1))));
+        }
+        let top10k = self.size.min(10_000);
+        for _ in 0..3 {
+            out.push(self.site(rng.range_u64(1, top10k + 1)));
+        }
+        for _ in 0..2 {
+            let lo = top10k.min(self.size - 1);
+            out.push(self.site(rng.range_u64(lo + 1, self.size + 1)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_facts_are_deterministic() {
+        let t1 = Tranco::new(7, 100_000);
+        let t2 = Tranco::new(7, 100_000);
+        for rank in [1, 200, 5_000, 99_999] {
+            assert_eq!(t1.site(rank), t2.site(rank));
+        }
+        // Different seed, different web.
+        let t3 = Tranco::new(8, 100_000);
+        let differs = (1..200).any(|r| t1.site(r) != t3.site(r));
+        assert!(differs);
+    }
+
+    #[test]
+    fn popular_sites_are_mostly_cdn_hosted() {
+        let t = Tranco::new(3, 1_000_000);
+        let top: usize = (1..=200).filter(|&r| t.site(r).cdn_hosted).count();
+        let tail: usize = (500_000..500_200).filter(|&r| t.site(r).cdn_hosted).count();
+        assert!(top > 160, "top-200 CDN count {top}");
+        assert!(tail < 120, "tail CDN count {tail}");
+        assert!(top > tail);
+    }
+
+    #[test]
+    fn popularity_cutoff_matches_paper() {
+        let t = Tranco::new(1, 1_000);
+        assert!(t.site(200).is_popular());
+        assert!(!t.site(201).is_popular());
+        assert_eq!(POPULAR_RANK_CUTOFF, 200);
+    }
+
+    #[test]
+    fn zipf_sampling_prefers_head() {
+        let t = Tranco::new(5, 100_000);
+        let mut rng = SimRng::seed_from(11);
+        let mut head = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if t.sample_visit(&mut rng).rank <= 100 {
+                head += 1;
+            }
+        }
+        // With s=1 over 100k ranks, P(rank<=100) ~ H(100)/H(100000) ~ 0.43.
+        let frac = head as f64 / n as f64;
+        assert!((0.35..0.52).contains(&frac), "head fraction {frac}");
+    }
+
+    #[test]
+    fn page_sizes_in_bounds() {
+        let t = Tranco::new(9, 10_000);
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..500 {
+            let s = t.sample_visit(&mut rng);
+            assert!((50_000..=12_000_000).contains(&s.page_bytes));
+            assert!(s.critical_chain <= 2);
+            assert!((0.3..1.5).contains(&s.origin_distance_factor));
+        }
+    }
+
+    #[test]
+    fn details_tab_mix_follows_the_paper_recipe() {
+        let t = Tranco::new(2, 1_000_000);
+        let mut rng = SimRng::seed_from(3);
+        let mix = t.details_tab_mix(&mut rng);
+        assert_eq!(mix.len(), 10);
+        assert!(mix[..5].iter().all(|s| s.rank <= 500));
+        assert!(mix[5..8].iter().all(|s| s.rank <= 10_000));
+        assert!(mix[8..].iter().all(|s| s.rank > 10_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rank_zero_rejected() {
+        let t = Tranco::new(1, 10);
+        let _ = t.site(0);
+    }
+}

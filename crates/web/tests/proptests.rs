@@ -1,0 +1,97 @@
+//! Property tests for the web model: PTT monotonicity in each path
+//! parameter and structural invariants of the popularity list.
+
+use proptest::prelude::*;
+use starlink_simcore::{DataRate, SimRng};
+use starlink_web::{PageLoadModel, PathInputs, Tranco};
+
+fn base_path() -> PathInputs {
+    PathInputs {
+        access_rtt_ms: 35.0,
+        transit_rtt_ms: 15.0,
+        downlink: DataRate::from_mbps(100),
+        weather_multiplier: 1.0,
+        peering_multiplier: 1.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All PTT components are finite and non-negative for arbitrary path
+    /// parameters and sites.
+    #[test]
+    fn ptt_components_physical(
+        seed in any::<u64>(),
+        rank in 1u64..100_000,
+        access in 1.0f64..200.0,
+        transit in 0.0f64..300.0,
+        mbps in 1u64..500,
+        weather in 1.0f64..2.5,
+    ) {
+        let t = Tranco::new(3, 100_000);
+        let site = t.site(rank);
+        let model = PageLoadModel::default();
+        let mut rng = SimRng::seed_from(seed);
+        let path = PathInputs {
+            access_rtt_ms: access,
+            transit_rtt_ms: transit,
+            downlink: DataRate::from_mbps(mbps),
+            weather_multiplier: weather,
+            peering_multiplier: 1.0,
+        };
+        let p = model.sample_ptt(&site, &path, &mut rng);
+        for c in [p.redirect_ms, p.dns_ms, p.connect_ms, p.tls_ms, p.request_ms, p.response_ms] {
+            prop_assert!(c.is_finite() && c >= 0.0, "component {}", c);
+        }
+        prop_assert!(p.total_ms() < 300_000.0, "absurd PTT {}", p.total_ms());
+    }
+
+    /// Holding the RNG stream fixed, a strictly larger access RTT never
+    /// produces a smaller PTT (monotonicity of the network share).
+    #[test]
+    fn ptt_monotone_in_access_rtt(
+        seed in any::<u64>(),
+        rank in 1u64..50_000,
+        bump in 5.0f64..200.0,
+    ) {
+        let t = Tranco::new(4, 50_000);
+        let site = t.site(rank);
+        let model = PageLoadModel::default();
+        let mut r1 = SimRng::seed_from(seed);
+        let mut r2 = SimRng::seed_from(seed);
+        let near = model.sample_ptt(&site, &base_path(), &mut r1);
+        let far = model.sample_ptt(
+            &site,
+            &PathInputs { access_rtt_ms: base_path().access_rtt_ms + bump, ..base_path() },
+            &mut r2,
+        );
+        prop_assert!(far.total_ms() >= near.total_ms(),
+            "PTT fell when access RTT rose: {} -> {}", near.total_ms(), far.total_ms());
+    }
+
+    /// PLT always strictly exceeds its own PTT (compute time is positive).
+    #[test]
+    fn plt_exceeds_ptt(seed in any::<u64>(), rank in 1u64..50_000) {
+        let t = Tranco::new(5, 50_000);
+        let site = t.site(rank);
+        let model = PageLoadModel::default();
+        let mut rng = SimRng::seed_from(seed);
+        let plt = model.sample_plt(&site, &base_path(), &mut rng);
+        prop_assert!(plt.total_ms() > plt.ptt.total_ms());
+    }
+
+    /// Site facts are pure functions of (seed, rank): re-querying never
+    /// changes them, and all fields stay in their documented ranges.
+    #[test]
+    fn site_facts_stable_and_bounded(list_seed in any::<u64>(), rank in 1u64..1_000_000) {
+        let t = Tranco::new(list_seed, 1_000_000);
+        let a = t.site(rank);
+        let b = t.site(rank);
+        prop_assert_eq!(&a, &b);
+        prop_assert!((50_000..=12_000_000).contains(&a.page_bytes));
+        prop_assert!(a.critical_chain <= 2);
+        prop_assert!((0.3..1.5).contains(&a.origin_distance_factor));
+        prop_assert_eq!(a.domain, format!("site-{}.example", rank));
+    }
+}

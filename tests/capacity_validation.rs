@@ -1,0 +1,132 @@
+//! Packet-level vs analytic consistency: the capacity/loss models used
+//! analytically for the long campaigns (Figs. 6a–c) must agree with what
+//! actual packets experience through the same models in the simulator.
+
+use starlink_core::channel::{NodeProfile, WeatherCondition};
+use starlink_core::geo::City;
+use starlink_core::simcore::{DataRate, SimDuration, SimRng, SimTime};
+use starlink_core::tools::iperf::{iperf_udp, udp_capacity_probe};
+use starlink_core::world::{NodeWorld, NodeWorldConfig, WeatherSpec};
+
+/// A UDP capacity probe through the full NodeWorld must land near the
+/// analytic capacity sample for the same instant (within the jitter and
+/// the burst-loss haircut).
+#[test]
+fn udp_capacity_probe_matches_analytic_sample() {
+    let city = City::Barcelona; // lightly loaded: cleanest comparison
+    let mut world = NodeWorld::build(&NodeWorldConfig {
+        city,
+        seed: 91,
+        window: SimDuration::from_mins(5),
+        weather: WeatherSpec::Constant(WeatherCondition::ClearSky),
+    });
+    let measured = udp_capacity_probe(
+        &mut world.net,
+        world.server,
+        world.node,
+        DataRate::from_mbps(400),
+        SimDuration::from_secs(10),
+    )
+    .as_mbps();
+
+    // The analytic model's expectation at the same instant.
+    let profile = NodeProfile::for_node(city);
+    let mut rng = SimRng::seed_from(91);
+    let analytic: f64 = (0..20)
+        .map(|_| {
+            profile
+                .sample_iperf_dl(SimTime::from_secs(5), WeatherCondition::ClearSky, &mut rng)
+                .as_mbps()
+        })
+        .sum::<f64>()
+        / 20.0;
+
+    let ratio = measured / analytic;
+    assert!(
+        (0.6..1.15).contains(&ratio),
+        "packet-level {measured:.1} Mbps vs analytic {analytic:.1} Mbps (ratio {ratio:.2})"
+    );
+}
+
+/// Blasting UDP through a world whose window contains handovers must show
+/// a loss rate comparable to the loss model's own mean over that window.
+#[test]
+fn udp_loss_through_world_is_nonzero_and_bounded() {
+    let mut world = NodeWorld::build(&NodeWorldConfig {
+        city: City::Wiltshire,
+        seed: 92,
+        window: SimDuration::from_mins(8),
+        weather: WeatherSpec::Constant(WeatherCondition::ClearSky),
+    });
+    let handovers = world.schedule.handovers.len();
+    let report = iperf_udp(
+        &mut world.net,
+        world.server,
+        world.node,
+        DataRate::from_mbps(20),
+        SimDuration::from_mins(6),
+        SimDuration::from_secs(1),
+    );
+    // Background loss floor is ~0.7%; handover bursts push the mean up.
+    assert!(
+        report.loss < 0.25,
+        "loss {:.3} implausibly high ({handovers} handovers)",
+        report.loss
+    );
+    assert!(report.received > 0);
+    // Per-bin loss must spike somewhere if a handover occurred mid-test.
+    if handovers >= 2 {
+        let peak = report.per_bin_loss.iter().cloned().fold(0.0f64, f64::max);
+        assert!(
+            peak > 0.02,
+            "no loss clump despite {handovers} handovers (peak {peak:.3})"
+        );
+    }
+}
+
+/// TCP through the world reaches a sane fraction of the UDP capacity on
+/// a quiet cell — the precondition for Fig. 8's normalisation to mean
+/// anything.
+#[test]
+fn tcp_reaches_reasonable_share_of_capacity() {
+    use starlink_core::tools::iperf::iperf_tcp;
+    use starlink_core::transport::CcAlgorithm;
+
+    let mut world = NodeWorld::build(&NodeWorldConfig {
+        city: City::Barcelona,
+        seed: 93,
+        window: SimDuration::from_mins(3),
+        weather: WeatherSpec::Constant(WeatherCondition::ClearSky),
+    });
+    let capacity = udp_capacity_probe(
+        &mut world.net,
+        world.server,
+        world.node,
+        DataRate::from_mbps(400),
+        SimDuration::from_secs(8),
+    )
+    .as_mbps();
+
+    let mut world2 = NodeWorld::build(&NodeWorldConfig {
+        city: City::Barcelona,
+        seed: 93,
+        window: SimDuration::from_mins(3),
+        weather: WeatherSpec::Constant(WeatherCondition::ClearSky),
+    });
+    world2.net.run_until(SimTime::from_secs(8));
+    let tcp = iperf_tcp(
+        &mut world2.net,
+        world2.server,
+        world2.node,
+        CcAlgorithm::Bbr,
+        SimDuration::from_secs(30),
+    )
+    .goodput
+    .as_mbps();
+
+    let share = tcp / capacity.max(1e-9);
+    assert!(
+        (0.2..1.05).contains(&share),
+        "BBR reached {tcp:.1} of {capacity:.1} Mbps (share {share:.2})"
+    );
+}

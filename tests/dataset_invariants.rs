@@ -1,0 +1,100 @@
+//! Dataset invariants: the anonymisation rules of the paper's ethics
+//! section, and the internal consistency of the collected records.
+
+use starlink_core::geo::City;
+use starlink_core::telemetry::{Campaign, CampaignConfig, Population};
+
+fn small_dataset(seed: u64) -> starlink_core::telemetry::Dataset {
+    Campaign::new(CampaignConfig {
+        seed,
+        days: 20,
+        pages_per_day: 12.0,
+        tranco_size: 50_000,
+    })
+    .run()
+}
+
+/// Records identify users only by opaque random ids, and every id in the
+/// dataset belongs to the generated population.
+#[test]
+fn records_only_carry_population_ids() {
+    let seed = 31;
+    let population = Population::generate(seed);
+    let ids: std::collections::HashSet<u64> = population.users.iter().map(|u| u.id).collect();
+    let ds = small_dataset(seed);
+    for r in &ds.pages {
+        assert!(ids.contains(&r.user), "unknown user id in page record");
+    }
+    for r in &ds.speedtests {
+        assert!(ids.contains(&r.user), "unknown user id in speedtest record");
+    }
+}
+
+/// Timestamps stay within the campaign window and PTT components are
+/// finite, positive and self-consistent (PLT >= PTT).
+#[test]
+fn timing_fields_are_consistent() {
+    let ds = small_dataset(32);
+    for r in &ds.pages {
+        assert!(r.at.as_secs() < 21 * 86_400, "timestamp beyond campaign");
+        let ptt = r.ptt_ms();
+        assert!(ptt.is_finite() && ptt > 0.0, "ptt {ptt}");
+        assert!(
+            r.plt_ms >= ptt,
+            "PLT ({}) must include PTT ({ptt})",
+            r.plt_ms
+        );
+        assert!(r.rank >= 1);
+    }
+}
+
+/// Only Starlink records carry an exit AS; non-Starlink records carry
+/// none (the AS-change analysis is a Starlink-only phenomenon).
+#[test]
+fn exit_as_only_for_starlink() {
+    let ds = small_dataset(33);
+    for r in &ds.pages {
+        assert_eq!(
+            r.exit_as.is_some(),
+            r.isp.is_starlink(),
+            "exit AS presence must track ISP class"
+        );
+    }
+}
+
+/// The CSV export contains no coordinates and no raw position data —
+/// only city labels (the paper stores "the ISP and the geographical
+/// information" at city granularity).
+#[test]
+fn csv_export_is_city_granular() {
+    let ds = small_dataset(34);
+    let csv = ds.speedtests_csv();
+    assert!(csv.lines().count() > 1);
+    // City labels appear; numeric lat/lon fields do not exist.
+    let header = csv.lines().next().unwrap();
+    assert_eq!(
+        header,
+        "user,city,starlink,at_secs,downlink_mbps,uplink_mbps"
+    );
+    assert!(!header.contains("lat") && !header.contains("lon"));
+}
+
+/// Every extension city contributes records, and the Table 1 cities
+/// carry the most.
+#[test]
+fn coverage_spans_all_cities() {
+    let ds = small_dataset(35);
+    let population = Population::generate(35);
+    for city in population.cities() {
+        let n = ds.pages.iter().filter(|r| r.city == city).count();
+        assert!(n > 0, "{city}: no records");
+    }
+    let london = ds.pages.iter().filter(|r| r.city == City::London).count();
+    for city in [City::Berlin, City::Amsterdam, City::Denver] {
+        let n = ds.pages.iter().filter(|r| r.city == city).count();
+        assert!(
+            london > n,
+            "London ({london}) must out-collect {city} ({n})"
+        );
+    }
+}

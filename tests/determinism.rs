@@ -1,0 +1,87 @@
+//! Reproducibility: the project's core contract is that a seed pins the
+//! entire universe — constellation phase, weather, browsing, packet
+//! fates. Same seed, byte-identical results; different seed, different
+//! universe.
+
+use starlink_core::experiments::{fig6c, fig7, table1};
+use starlink_core::simcore::SimDuration;
+
+#[test]
+fn table1_is_seed_deterministic() {
+    let a = table1::run(&table1::Config { seed: 5, days: 15 });
+    let b = table1::run(&table1::Config { seed: 5, days: 15 });
+    assert_eq!(a.total_records, b.total_records);
+    for (ra, rb) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(ra.starlink.requests, rb.starlink.requests);
+        assert_eq!(
+            ra.starlink.median_ptt_ms.to_bits(),
+            rb.starlink.median_ptt_ms.to_bits()
+        );
+    }
+}
+
+#[test]
+fn table1_differs_across_seeds() {
+    let a = table1::run(&table1::Config { seed: 5, days: 15 });
+    let b = table1::run(&table1::Config { seed: 6, days: 15 });
+    let medians_a: Vec<u64> = a
+        .rows
+        .iter()
+        .map(|r| r.starlink.median_ptt_ms.to_bits())
+        .collect();
+    let medians_b: Vec<u64> = b
+        .rows
+        .iter()
+        .map(|r| r.starlink.median_ptt_ms.to_bits())
+        .collect();
+    assert_ne!(medians_a, medians_b);
+}
+
+#[test]
+fn fig7_series_are_bit_identical() {
+    let cfg = fig7::Config {
+        seed: 9,
+        window: SimDuration::from_mins(8),
+    };
+    let a = fig7::run(&cfg);
+    let b = fig7::run(&cfg);
+    assert_eq!(a.handover_secs, b.handover_secs);
+    assert_eq!(a.loss_per_sec.len(), b.loss_per_sec.len());
+    for (x, y) in a.loss_per_sec.iter().zip(&b.loss_per_sec) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+    for (ta, tb) in a.tracks.iter().zip(&b.tracks) {
+        assert_eq!(ta.name, tb.name);
+        for (da, db) in ta.distance_m.iter().zip(&tb.distance_m) {
+            assert_eq!(da.to_bits(), db.to_bits());
+        }
+    }
+}
+
+#[test]
+fn fig6c_ccdf_is_seed_deterministic() {
+    let cfg = fig6c::Config {
+        seed: 10,
+        days: 2,
+        test_len: SimDuration::from_secs(10),
+    };
+    let a = fig6c::run(&cfg);
+    let b = fig6c::run(&cfg);
+    assert_eq!(a.ccdf_at_5pct.to_bits(), b.ccdf_at_5pct.to_bits());
+    assert_eq!(a.max_loss.to_bits(), b.max_loss.to_bits());
+}
+
+#[test]
+fn different_seeds_see_different_satellites() {
+    let a = fig7::run(&fig7::Config {
+        seed: 1,
+        window: SimDuration::from_mins(8),
+    });
+    let b = fig7::run(&fig7::Config {
+        seed: 2,
+        window: SimDuration::from_mins(8),
+    });
+    let names_a: Vec<&str> = a.tracks.iter().map(|t| t.name.as_str()).collect();
+    let names_b: Vec<&str> = b.tracks.iter().map(|t| t.name.as_str()).collect();
+    assert_ne!(names_a, names_b, "constellation phase must follow the seed");
+}
