@@ -12,11 +12,12 @@ pub struct Ecdf {
 }
 
 impl Ecdf {
-    /// Builds from samples (NaNs rejected by panic — measurement code
-    /// should never produce them).
+    /// Builds from samples. Ordering is IEEE total order, so a stray NaN
+    /// from upstream arithmetic sorts to the end instead of aborting the
+    /// whole analysis run.
     pub fn new(samples: &[f64]) -> Self {
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Ecdf { sorted }
     }
 

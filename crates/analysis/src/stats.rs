@@ -12,14 +12,15 @@ pub fn mean(samples: &[f64]) -> f64 {
 /// the data. Returns 0 for an empty slice.
 ///
 /// # Panics
-/// Panics if `q` is outside `[0, 1]` or any sample is NaN.
+/// Panics if `q` is outside `[0, 1]`. NaN samples sort last (IEEE total
+/// order) rather than aborting the run.
 pub fn quantile(samples: &[f64], q: f64) -> f64 {
     assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
     if samples.is_empty() {
         return 0.0;
     }
     let mut v = samples.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+    v.sort_by(|a, b| a.total_cmp(b));
     let idx = ((v.len() as f64 - 1.0) * q).round() as usize;
     v[idx]
 }

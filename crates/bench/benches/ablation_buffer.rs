@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use starlink_core::netsim::{LinkConfig, Network, NodeKind};
-use starlink_core::simcore::{Bytes, DataRate, SimDuration, SimTime};
+use starlink_core::simcore::{Bytes, DataRate, SimDuration};
 use starlink_core::tools::iperf::iperf_tcp;
 use starlink_core::transport::CcAlgorithm;
 

@@ -1,19 +1,27 @@
 //! `repro` — regenerate any (or every) table and figure of the paper.
 //!
 //! ```text
-//! repro all            # everything, in paper order
-//! repro table1         # one artefact
-//! repro fig6c fig7     # a selection
-//! repro --seed 7 all   # a different universe
+//! repro all                  # everything, in paper order
+//! repro table1               # one artefact
+//! repro fig6c fig7           # a selection
+//! repro --seed 7 all         # a different universe
+//! repro --keep-going fig5 fig8   # don't stop at the first failure
 //! ```
 //!
 //! Output is the same rows/series the paper reports, with a `[shape]`
 //! verdict against the paper's qualitative claims. Figure data is also
 //! exported as gnuplot-ready `.dat` under `target/repro/`.
+//!
+//! The harness is failure-tolerant: each artefact runs in isolation
+//! (panics are caught, not propagated), failures are collected into an
+//! end-of-run summary, and the exit code reflects hard failures only.
+//! `--keep-going` (the default when running `all`) continues past
+//! failures so one broken experiment cannot sink a whole campaign run.
 
 use starlink_bench::{export_dat, report};
 use starlink_core::experiments::*;
 use starlink_core::simcore::SimDuration;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 const ARTEFACTS: [&str; 13] = [
     "fig1", "fig2", "table1", "fig3", "fig4", "fig5", "table2", "table3", "fig6a", "fig6b",
@@ -24,6 +32,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed: u64 = 42;
     let mut targets: Vec<String> = Vec::new();
+    let mut keep_going = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -33,6 +42,7 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs a number"));
             }
+            "--keep-going" | "-k" => keep_going = true,
             "--help" | "-h" => usage(""),
             other => targets.push(other.to_string()),
         }
@@ -42,10 +52,37 @@ fn main() {
     }
     if targets.iter().any(|t| t == "all") {
         targets = ARTEFACTS.iter().map(|s| s.to_string()).collect();
+        // A full campaign run should always report everything it can.
+        keep_going = true;
     }
 
+    let mut completed: Vec<String> = Vec::new();
+    let mut failures: Vec<(String, String)> = Vec::new();
     for target in &targets {
-        run_one(target, seed);
+        match run_one(target, seed) {
+            Ok(()) => completed.push(target.clone()),
+            Err(err) => {
+                eprintln!("[fail] {target}: {err}");
+                failures.push((target.clone(), err));
+                if !keep_going {
+                    eprintln!("stopping at first failure (use --keep-going to continue)");
+                    break;
+                }
+            }
+        }
+    }
+
+    println!(
+        "\n================ summary ================\n\n\
+         {} artefact(s) OK, {} failed",
+        completed.len(),
+        failures.len()
+    );
+    for (target, err) in &failures {
+        println!("  FAILED {target}: {err}");
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
     }
 }
 
@@ -53,12 +90,35 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
     }
-    eprintln!("usage: repro [--seed N] <artefact>...");
+    eprintln!("usage: repro [--seed N] [--keep-going] <artefact>...");
     eprintln!("artefacts: all {}", ARTEFACTS.join(" "));
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
-fn run_one(target: &str, seed: u64) {
+/// Runs one artefact in isolation: a panic anywhere inside an experiment
+/// becomes an `Err` naming the artefact instead of aborting the process.
+fn run_one(target: &str, seed: u64) -> Result<(), String> {
+    if !ARTEFACTS.contains(&target) {
+        return Err(format!(
+            "unknown artefact (known: all {})",
+            ARTEFACTS.join(" ")
+        ));
+    }
+    catch_unwind(AssertUnwindSafe(|| run_artefact(target, seed)))
+        .map_err(|payload| format!("panicked: {}", panic_message(&payload)))
+}
+
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("non-string panic payload")
+    }
+}
+
+fn run_artefact(target: &str, seed: u64) {
     match target {
         "fig1" => {
             let r = fig1::run(&fig1::Config { seed });
@@ -166,8 +226,7 @@ fn run_one(target: &str, seed: u64) {
                 r.shape_holds(),
             );
         }
-        other => {
-            eprintln!("unknown artefact '{other}', skipping");
-        }
+        // `run_one` vets targets against ARTEFACTS before dispatching.
+        other => unreachable!("unvetted artefact '{other}'"),
     }
 }

@@ -156,13 +156,15 @@ pub fn compute_schedule(
             // margin), switch now rather than dropping mid-epoch.
             let on_boundary = t.since(SimTime::ZERO).as_nanos() % policy.epoch.as_nanos().max(1)
                 < step.as_nanos();
-            if on_boundary && policy.proactive_margin_deg > 0.0 {
-                let sat = serving.expect("serving_visible");
+            if let (true, true, Some(sat)) =
+                (on_boundary, policy.proactive_margin_deg > 0.0, serving)
+            {
                 let at_next =
                     constellation.look(sat, observer, (t + policy.epoch).since(SimTime::ZERO));
                 if at_next.elevation_deg < policy.mask_deg + policy.proactive_margin_deg {
                     planned_switches += 1;
-                    let missed = policy.miss_every > 0 && planned_switches % policy.miss_every == 0;
+                    let missed =
+                        policy.miss_every > 0 && planned_switches.is_multiple_of(policy.miss_every);
                     if !missed {
                         if let Some(view) = constellation.best_visible(
                             observer,
@@ -304,7 +306,7 @@ pub fn compute_schedule_greedy(
             }
             _ => {}
         }
-        boundary = boundary + policy.epoch;
+        boundary += policy.epoch;
     }
     if let Some(current) = serving {
         schedule.intervals.push(ServingInterval {

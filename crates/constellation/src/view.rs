@@ -99,8 +99,7 @@ impl Constellation {
         views.sort_by(|a, b| {
             b.look
                 .elevation_deg
-                .partial_cmp(&a.look.elevation_deg)
-                .expect("elevations are finite")
+                .total_cmp(&a.look.elevation_deg)
                 .then(a.index.cmp(&b.index))
         });
         views

@@ -132,8 +132,8 @@ fn spread(samples: &[f64]) -> (f64, f64, f64) {
         return (0.0, 0.0, 0.0);
     }
     let mut v = samples.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    (v[0], v[v.len() / 2], *v.last().expect("non-empty"))
+    v.sort_by(|a, b| a.total_cmp(b));
+    (v[0], v[v.len() / 2], v[v.len() - 1])
 }
 
 impl Table2 {

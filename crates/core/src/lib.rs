@@ -46,6 +46,7 @@ pub use world::{Fig5World, NodeWorld, NodeWorldConfig};
 pub use starlink_analysis as analysis;
 pub use starlink_channel as channel;
 pub use starlink_constellation as constellation;
+pub use starlink_faults as faults;
 pub use starlink_geo as geo;
 pub use starlink_netsim as netsim;
 pub use starlink_simcore as simcore;

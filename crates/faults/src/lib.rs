@@ -1,0 +1,677 @@
+//! # starlink-faults
+//!
+//! Scenario-scriptable, fully deterministic fault injection for the
+//! reproduction's network simulator.
+//!
+//! The paper's central phenomenon is *disruption* — handover loss bouts,
+//! outages, obstructions and weather fades (§5, Fig. 6c/7) — and real
+//! Starlink measurement campaigns are dominated by exactly these faults.
+//! This crate is the *policy* layer: a [`FaultPlan`] holds scenario-level
+//! [`FaultEvent`]s (satellite outages, gateway blackouts, link flaps,
+//! burst corruption, dishy obstruction sweeps, weather fades, telemetry
+//! dropouts) and compiles them down to the per-link/per-node
+//! [`FaultSchedule`]s the `starlink-netsim` *mechanism* layer executes.
+//!
+//! Determinism contract: a plan is pure data. Installing the same plan
+//! into two networks built with the same seed yields byte-identical
+//! behaviour — verified by the workspace's fault-replay test.
+//!
+//! ```
+//! use starlink_faults::{FaultPlan, LinkRef};
+//! use starlink_netsim::{LinkConfig, Network, NodeKind};
+//! use starlink_simcore::{SimDuration, SimTime};
+//!
+//! let mut net = Network::new(7);
+//! let a = net.add_node("dishy", NodeKind::Host);
+//! let b = net.add_node("gateway", NodeKind::Router);
+//! net.connect_duplex(a, b, LinkConfig::ethernet(), LinkConfig::ethernet());
+//!
+//! let mut plan = FaultPlan::new();
+//! plan.satellite_outage(
+//!     vec![LinkRef::Between(a, b), LinkRef::Between(b, a)],
+//!     SimTime::from_secs(10),
+//!     SimDuration::from_secs(5),
+//! );
+//! plan.apply(&mut net).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use starlink_channel::WeatherCondition;
+use starlink_netsim::{FaultMode, FaultSchedule, FaultWindow, Network, NodeId};
+use starlink_simcore::{SimDuration, SimTime};
+
+/// Names a directed link either by the index `Network::connect` returned
+/// or by its endpoints (resolved when the plan is applied).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkRef {
+    /// A link index.
+    Index(usize),
+    /// The directed link `from -> to`.
+    Between(NodeId, NodeId),
+}
+
+impl LinkRef {
+    fn resolve(self, net: &Network) -> Result<usize, FaultPlanError> {
+        match self {
+            LinkRef::Index(i) if i < net.link_count() => Ok(i),
+            LinkRef::Index(i) => Err(FaultPlanError::NoSuchLink(i, net.link_count())),
+            LinkRef::Between(a, b) => net
+                .link_between(a, b)
+                .ok_or(FaultPlanError::NotConnected(a, b)),
+        }
+    }
+}
+
+/// One scenario-level fault event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// The serving satellite disappears: every listed link is down for
+    /// the window (model both directions by listing both).
+    SatelliteOutage {
+        /// The links the satellite carried.
+        links: Vec<LinkRef>,
+        /// When the outage starts.
+        start: SimTime,
+        /// How long it lasts.
+        duration: SimDuration,
+    },
+    /// A gateway or PoP node blacks out entirely: it stops forwarding,
+    /// delivering and running timers.
+    GatewayBlackout {
+        /// The node that goes dark.
+        node: NodeId,
+        /// When the blackout starts.
+        start: SimTime,
+        /// How long it lasts.
+        duration: SimDuration,
+    },
+    /// A link alternates down/up with a fixed period and duty cycle —
+    /// the 15-second-boundary reconfiguration pattern reported for
+    /// Starlink maps to `period = 15 s` with a small `down_fraction`.
+    LinkFlap {
+        /// The flapping link.
+        link: LinkRef,
+        /// First instant of the first down window.
+        start: SimTime,
+        /// Flapping stops at this instant.
+        end: SimTime,
+        /// Full up+down cycle length.
+        period: SimDuration,
+        /// Fraction of each period spent down, clamped to `[0, 1]`.
+        down_fraction: f64,
+    },
+    /// Packets on a link are corrupted (and dropped by the far end's
+    /// checksum) with a probability, for a window.
+    BurstCorruption {
+        /// The affected link.
+        link: LinkRef,
+        /// When the burst starts.
+        start: SimTime,
+        /// How long it lasts.
+        duration: SimDuration,
+        /// Per-packet corruption probability.
+        probability: f64,
+    },
+    /// A dishy obstruction sweep: a tree or chimney crosses the field of
+    /// view periodically as serving satellites sweep by, blocking the
+    /// link for `blocked` out of every `period`.
+    ObstructionSweep {
+        /// The dishy's access link.
+        link: LinkRef,
+        /// First instant of the first blocked window.
+        start: SimTime,
+        /// Sweeping stops at this instant.
+        end: SimTime,
+        /// Time between successive blockages.
+        period: SimDuration,
+        /// How long each blockage lasts.
+        blocked: SimDuration,
+    },
+    /// A weather fade: the channel crate's model for `condition` maps to
+    /// extra loss on the link for the window.
+    WeatherFade {
+        /// The affected link.
+        link: LinkRef,
+        /// When the fade starts.
+        start: SimTime,
+        /// How long it lasts.
+        duration: SimDuration,
+        /// The weather responsible (its `extra_loss()` is injected).
+        condition: WeatherCondition,
+    },
+    /// A telemetry/measurement node drops out: the node goes down in the
+    /// simulator, and [`FaultPlan::dropout_windows`] reports the window
+    /// so the telemetry pipeline can discard never-uploaded records.
+    NodeDropout {
+        /// The node that goes offline.
+        node: NodeId,
+        /// When the dropout starts.
+        start: SimTime,
+        /// How long it lasts.
+        duration: SimDuration,
+    },
+}
+
+/// Why a plan could not be applied to a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// A link index is out of range (index, link count).
+    NoSuchLink(usize, usize),
+    /// No directed link exists between the named nodes.
+    NotConnected(NodeId, NodeId),
+    /// A node id is out of range (id, node count).
+    NoSuchNode(NodeId, usize),
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::NoSuchLink(i, n) => {
+                write!(f, "fault plan names link {i} but the network has {n} links")
+            }
+            FaultPlanError::NotConnected(a, b) => {
+                write!(f, "fault plan names link {a} -> {b} but none exists")
+            }
+            FaultPlanError::NoSuchNode(id, n) => {
+                write!(
+                    f,
+                    "fault plan names node {id} but the network has {n} nodes"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// The per-element schedules a plan compiles into.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompiledPlan {
+    /// Link index -> schedule.
+    pub links: BTreeMap<usize, FaultSchedule>,
+    /// Node -> schedule (down windows only).
+    pub nodes: BTreeMap<NodeId, FaultSchedule>,
+}
+
+/// An ordered script of fault events.
+///
+/// Build one with the event methods ([`FaultPlan::satellite_outage`],
+/// [`FaultPlan::gateway_blackout`], ...), then [`FaultPlan::apply`] it to
+/// a network. Plans are plain data: clone them, compare them, reuse them
+/// across replay runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan from explicit events.
+    pub fn from_events(events: Vec<FaultEvent>) -> Self {
+        FaultPlan { events }
+    }
+
+    /// The scripted events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Appends an arbitrary event.
+    pub fn push(&mut self, event: FaultEvent) -> &mut Self {
+        self.events.push(event);
+        self
+    }
+
+    /// Scripts a satellite outage taking `links` down together.
+    pub fn satellite_outage(
+        &mut self,
+        links: Vec<LinkRef>,
+        start: SimTime,
+        duration: SimDuration,
+    ) -> &mut Self {
+        self.push(FaultEvent::SatelliteOutage {
+            links,
+            start,
+            duration,
+        })
+    }
+
+    /// Scripts a gateway/PoP blackout.
+    pub fn gateway_blackout(
+        &mut self,
+        node: NodeId,
+        start: SimTime,
+        duration: SimDuration,
+    ) -> &mut Self {
+        self.push(FaultEvent::GatewayBlackout {
+            node,
+            start,
+            duration,
+        })
+    }
+
+    /// Scripts a link flap with the given period and down duty cycle.
+    pub fn link_flap(
+        &mut self,
+        link: LinkRef,
+        start: SimTime,
+        end: SimTime,
+        period: SimDuration,
+        down_fraction: f64,
+    ) -> &mut Self {
+        self.push(FaultEvent::LinkFlap {
+            link,
+            start,
+            end,
+            period,
+            down_fraction,
+        })
+    }
+
+    /// Scripts a burst-corruption window.
+    pub fn burst_corruption(
+        &mut self,
+        link: LinkRef,
+        start: SimTime,
+        duration: SimDuration,
+        probability: f64,
+    ) -> &mut Self {
+        self.push(FaultEvent::BurstCorruption {
+            link,
+            start,
+            duration,
+            probability,
+        })
+    }
+
+    /// Scripts a periodic dishy obstruction sweep.
+    pub fn obstruction_sweep(
+        &mut self,
+        link: LinkRef,
+        start: SimTime,
+        end: SimTime,
+        period: SimDuration,
+        blocked: SimDuration,
+    ) -> &mut Self {
+        self.push(FaultEvent::ObstructionSweep {
+            link,
+            start,
+            end,
+            period,
+            blocked,
+        })
+    }
+
+    /// Scripts a weather fade using the channel model's extra loss for
+    /// `condition`.
+    pub fn weather_fade(
+        &mut self,
+        link: LinkRef,
+        start: SimTime,
+        duration: SimDuration,
+        condition: WeatherCondition,
+    ) -> &mut Self {
+        self.push(FaultEvent::WeatherFade {
+            link,
+            start,
+            duration,
+            condition,
+        })
+    }
+
+    /// Scripts a telemetry-node dropout.
+    pub fn node_dropout(
+        &mut self,
+        node: NodeId,
+        start: SimTime,
+        duration: SimDuration,
+    ) -> &mut Self {
+        self.push(FaultEvent::NodeDropout {
+            node,
+            start,
+            duration,
+        })
+    }
+
+    /// A plan taking **every** link of `net` down from `start` on — the
+    /// harshest scenario, used by the "tools never hang" guarantee tests.
+    pub fn total_blackout(net: &Network, start: SimTime) -> Self {
+        let mut plan = FaultPlan::new();
+        plan.satellite_outage(
+            (0..net.link_count()).map(LinkRef::Index).collect(),
+            start,
+            SimTime::MAX.saturating_since(start),
+        );
+        plan
+    }
+
+    /// The dropout windows of every [`FaultEvent::NodeDropout`], for the
+    /// telemetry pipeline (`Dataset::apply_node_dropouts`).
+    pub fn dropout_windows(&self) -> Vec<(SimTime, SimTime)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::NodeDropout {
+                    start, duration, ..
+                } => Some((*start, start.saturating_add(*duration))),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Compiles the plan against `net` into per-link and per-node
+    /// schedules without installing them.
+    pub fn compile(&self, net: &Network) -> Result<CompiledPlan, FaultPlanError> {
+        let mut out = CompiledPlan::default();
+        let link_window =
+            |out: &mut CompiledPlan, idx: usize, start: SimTime, end: SimTime, mode: FaultMode| {
+                out.links
+                    .entry(idx)
+                    .or_default()
+                    .push(FaultWindow { start, end, mode });
+            };
+        for event in &self.events {
+            match event {
+                FaultEvent::SatelliteOutage {
+                    links,
+                    start,
+                    duration,
+                } => {
+                    let end = start.saturating_add(*duration);
+                    for link in links {
+                        let idx = link.resolve(net)?;
+                        link_window(&mut out, idx, *start, end, FaultMode::Down);
+                    }
+                }
+                FaultEvent::GatewayBlackout {
+                    node,
+                    start,
+                    duration,
+                }
+                | FaultEvent::NodeDropout {
+                    node,
+                    start,
+                    duration,
+                } => {
+                    if node.0 >= net.node_count() {
+                        return Err(FaultPlanError::NoSuchNode(*node, net.node_count()));
+                    }
+                    out.nodes.entry(*node).or_default().push(FaultWindow {
+                        start: *start,
+                        end: start.saturating_add(*duration),
+                        mode: FaultMode::Down,
+                    });
+                }
+                FaultEvent::LinkFlap {
+                    link,
+                    start,
+                    end,
+                    period,
+                    down_fraction,
+                } => {
+                    let idx = link.resolve(net)?;
+                    let down = period.mul_f64(down_fraction.clamp(0.0, 1.0));
+                    for (s, e) in periodic_windows(*start, *end, *period, down) {
+                        link_window(&mut out, idx, s, e, FaultMode::Down);
+                    }
+                }
+                FaultEvent::BurstCorruption {
+                    link,
+                    start,
+                    duration,
+                    probability,
+                } => {
+                    let idx = link.resolve(net)?;
+                    link_window(
+                        &mut out,
+                        idx,
+                        *start,
+                        start.saturating_add(*duration),
+                        FaultMode::Corrupt(probability.clamp(0.0, 1.0)),
+                    );
+                }
+                FaultEvent::ObstructionSweep {
+                    link,
+                    start,
+                    end,
+                    period,
+                    blocked,
+                } => {
+                    let idx = link.resolve(net)?;
+                    for (s, e) in periodic_windows(*start, *end, *period, *blocked) {
+                        link_window(&mut out, idx, s, e, FaultMode::Down);
+                    }
+                }
+                FaultEvent::WeatherFade {
+                    link,
+                    start,
+                    duration,
+                    condition,
+                } => {
+                    let idx = link.resolve(net)?;
+                    link_window(
+                        &mut out,
+                        idx,
+                        *start,
+                        start.saturating_add(*duration),
+                        FaultMode::Lossy(condition.extra_loss()),
+                    );
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Compiles the plan and installs every schedule into `net`.
+    ///
+    /// Replaces any schedule previously installed on the affected links
+    /// and nodes; elements the plan does not mention are left untouched.
+    pub fn apply(&self, net: &mut Network) -> Result<CompiledPlan, FaultPlanError> {
+        let compiled = self.compile(net)?;
+        for (&idx, schedule) in &compiled.links {
+            net.set_link_fault(idx, schedule.clone());
+        }
+        for (&node, schedule) in &compiled.nodes {
+            net.set_node_fault(node, schedule.clone());
+        }
+        Ok(compiled)
+    }
+}
+
+/// The `[s, e)` down windows of a periodic on/off process: one window of
+/// length `active` at the head of each `period`, clipped to `[start, end)`.
+fn periodic_windows(
+    start: SimTime,
+    end: SimTime,
+    period: SimDuration,
+    active: SimDuration,
+) -> Vec<(SimTime, SimTime)> {
+    let mut out = Vec::new();
+    if period == SimDuration::ZERO || active == SimDuration::ZERO || start >= end {
+        return out;
+    }
+    let mut at = start;
+    while at < end {
+        let stop = at.saturating_add(active).min(end);
+        out.push((at, stop));
+        let next = at.saturating_add(period);
+        if next == at {
+            break;
+        }
+        at = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_netsim::{LinkConfig, NodeKind, Payload};
+    use starlink_simcore::Bytes;
+
+    fn small_net() -> (Network, NodeId, NodeId, NodeId) {
+        let mut net = Network::new(11);
+        let a = net.add_node("a", NodeKind::Host);
+        let r = net.add_node("r", NodeKind::Router);
+        let b = net.add_node("b", NodeKind::Host);
+        net.connect_duplex(a, r, LinkConfig::ethernet(), LinkConfig::ethernet());
+        net.connect_duplex(r, b, LinkConfig::ethernet(), LinkConfig::ethernet());
+        net.route_linear(&[a, r, b]);
+        (net, a, r, b)
+    }
+
+    #[test]
+    fn outage_compiles_to_down_windows_on_each_link() {
+        let (net, a, r, _) = small_net();
+        let mut plan = FaultPlan::new();
+        plan.satellite_outage(
+            vec![LinkRef::Between(a, r), LinkRef::Between(r, a)],
+            SimTime::from_secs(10),
+            SimDuration::from_secs(5),
+        );
+        let compiled = plan.compile(&net).unwrap();
+        assert_eq!(compiled.links.len(), 2);
+        for schedule in compiled.links.values() {
+            assert!(schedule.is_down_at(SimTime::from_secs(12)));
+            assert!(!schedule.is_down_at(SimTime::from_secs(15)));
+        }
+    }
+
+    #[test]
+    fn flap_produces_duty_cycled_windows() {
+        let (net, a, r, _) = small_net();
+        let mut plan = FaultPlan::new();
+        // 10 s of flapping, 2 s period, 25% down: 5 windows of 500 ms.
+        plan.link_flap(
+            LinkRef::Between(a, r),
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+            SimDuration::from_secs(2),
+            0.25,
+        );
+        let compiled = plan.compile(&net).unwrap();
+        let schedule = &compiled.links[&0];
+        assert_eq!(schedule.windows().len(), 5);
+        assert!(schedule.is_down_at(SimTime::from_millis(250)));
+        assert!(!schedule.is_down_at(SimTime::from_millis(750)));
+        assert!(schedule.is_down_at(SimTime::from_millis(2_250)));
+    }
+
+    #[test]
+    fn obstruction_sweep_clips_to_end() {
+        let (net, a, r, _) = small_net();
+        let mut plan = FaultPlan::new();
+        plan.obstruction_sweep(
+            LinkRef::Between(a, r),
+            SimTime::from_secs(1),
+            SimTime::from_secs(4),
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(3),
+        );
+        let compiled = plan.compile(&net).unwrap();
+        let windows = compiled.links[&0].windows();
+        // Windows clip at the sweep end: [1,4) and [3,4).
+        assert_eq!(windows.len(), 2);
+        assert!(windows.iter().all(|w| w.end <= SimTime::from_secs(4)));
+    }
+
+    #[test]
+    fn weather_fade_uses_channel_extra_loss() {
+        let (net, a, r, _) = small_net();
+        let mut plan = FaultPlan::new();
+        plan.weather_fade(
+            LinkRef::Between(a, r),
+            SimTime::ZERO,
+            SimDuration::from_secs(60),
+            WeatherCondition::ModerateRain,
+        );
+        let compiled = plan.compile(&net).unwrap();
+        let effect = compiled.links[&0].effect_at(SimTime::from_secs(30));
+        assert!((effect.extra_loss - WeatherCondition::ModerateRain.extra_loss()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_targets_are_rejected() {
+        let (net, a, _, b) = small_net();
+        let mut plan = FaultPlan::new();
+        plan.satellite_outage(
+            vec![LinkRef::Between(a, b)], // not directly connected
+            SimTime::ZERO,
+            SimDuration::from_secs(1),
+        );
+        assert_eq!(plan.compile(&net), Err(FaultPlanError::NotConnected(a, b)));
+
+        let mut plan = FaultPlan::new();
+        plan.gateway_blackout(NodeId(99), SimTime::ZERO, SimDuration::from_secs(1));
+        assert!(matches!(
+            plan.compile(&net),
+            Err(FaultPlanError::NoSuchNode(NodeId(99), 3))
+        ));
+
+        let mut plan = FaultPlan::new();
+        plan.burst_corruption(
+            LinkRef::Index(42),
+            SimTime::ZERO,
+            SimDuration::from_secs(1),
+            0.5,
+        );
+        assert_eq!(plan.compile(&net), Err(FaultPlanError::NoSuchLink(42, 4)));
+    }
+
+    #[test]
+    fn apply_blocks_traffic_end_to_end() {
+        let (mut net, a, r, b) = small_net();
+        let mut plan = FaultPlan::new();
+        plan.gateway_blackout(r, SimTime::ZERO, SimDuration::from_secs(1));
+        plan.apply(&mut net).unwrap();
+        net.send_packet(a, b, Bytes::new(100), 64, Payload::Raw(0));
+        net.run_until(SimTime::from_millis(500));
+        assert_eq!(net.stats().delivered, 0);
+        assert_eq!(net.stats().node_faulted, 1);
+    }
+
+    #[test]
+    fn total_blackout_covers_every_link() {
+        let (net, _, _, _) = small_net();
+        let plan = FaultPlan::total_blackout(&net, SimTime::from_secs(1));
+        let compiled = plan.compile(&net).unwrap();
+        assert_eq!(compiled.links.len(), net.link_count());
+        for schedule in compiled.links.values() {
+            assert!(!schedule.is_down_at(SimTime::ZERO));
+            assert!(schedule.is_down_at(SimTime::from_secs(100)));
+        }
+    }
+
+    #[test]
+    fn dropout_windows_reported_for_telemetry() {
+        let mut plan = FaultPlan::new();
+        plan.node_dropout(
+            NodeId(2),
+            SimTime::from_secs(10),
+            SimDuration::from_secs(20),
+        );
+        plan.gateway_blackout(NodeId(1), SimTime::ZERO, SimDuration::from_secs(5));
+        assert_eq!(
+            plan.dropout_windows(),
+            vec![(SimTime::from_secs(10), SimTime::from_secs(30))]
+        );
+    }
+
+    #[test]
+    fn plans_are_plain_data() {
+        let mut plan = FaultPlan::new();
+        plan.node_dropout(NodeId(0), SimTime::ZERO, SimDuration::from_secs(1));
+        let copy = plan.clone();
+        assert_eq!(plan, copy);
+        assert_eq!(plan.events().len(), 1);
+    }
+}

@@ -1,0 +1,258 @@
+//! Deterministic fault schedules for links and nodes.
+//!
+//! A [`FaultSchedule`] is a list of timed [`FaultWindow`]s. During a window
+//! a link misbehaves according to its [`FaultMode`]; a node honours only
+//! [`FaultMode::Down`] windows (a down node neither forwards nor delivers
+//! packets, and its handler timers are swallowed — the process is "off").
+//!
+//! Schedules are *mechanism*: they say nothing about why a fault happens.
+//! The `starlink-faults` crate compiles scenario-level events (satellite
+//! outages, gateway blackouts, obstruction sweeps, weather fades) down to
+//! these windows and installs them via [`crate::Network::set_link_fault`]
+//! and [`crate::Network::set_node_fault`].
+//!
+//! Determinism: an empty schedule consumes no randomness, and a non-empty
+//! one only draws from the link's own seeded RNG stream, so two runs with
+//! the same seed and the same schedules behave byte-identically.
+
+use starlink_simcore::SimTime;
+
+/// How a fault window affects the element it is attached to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultMode {
+    /// Complete outage: every packet offered is dropped (links), or the
+    /// node stops handling packets and timers (nodes).
+    Down,
+    /// Extra independent loss with the given probability, on top of the
+    /// channel's own loss process (weather fades, interference).
+    Lossy(f64),
+    /// Burst corruption: packets are damaged in flight and dropped by the
+    /// receiver's checksum with the given probability.
+    Corrupt(f64),
+}
+
+/// One timed fault window, half-open `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultWindow {
+    /// When the fault begins.
+    pub start: SimTime,
+    /// When the fault ends (exclusive).
+    pub end: SimTime,
+    /// What happens while it is active.
+    pub mode: FaultMode,
+}
+
+impl FaultWindow {
+    /// Whether `now` falls inside the window.
+    pub fn contains(&self, now: SimTime) -> bool {
+        self.start <= now && now < self.end
+    }
+}
+
+/// The combined effect of every window active at one instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEffect {
+    /// At least one [`FaultMode::Down`] window is active.
+    pub down: bool,
+    /// Combined extra loss probability from active [`FaultMode::Lossy`]
+    /// windows (independent processes: `1 - Π(1 - pᵢ)`).
+    pub extra_loss: f64,
+    /// Combined corruption probability from active [`FaultMode::Corrupt`]
+    /// windows.
+    pub corrupt: f64,
+}
+
+impl FaultEffect {
+    /// No fault in effect.
+    pub const NONE: FaultEffect = FaultEffect {
+        down: false,
+        extra_loss: 0.0,
+        corrupt: 0.0,
+    };
+
+    /// Whether this effect changes behaviour at all.
+    pub fn is_none(&self) -> bool {
+        !self.down && self.extra_loss == 0.0 && self.corrupt == 0.0
+    }
+}
+
+/// A deterministic fault timeline for one link or node.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    windows: Vec<FaultWindow>,
+}
+
+impl FaultSchedule {
+    /// A schedule from arbitrary windows (sorted internally by start).
+    pub fn new(mut windows: Vec<FaultWindow>) -> Self {
+        windows.retain(|w| w.start < w.end);
+        windows.sort_by_key(|w| (w.start, w.end));
+        FaultSchedule { windows }
+    }
+
+    /// A schedule with a single down window.
+    pub fn down(start: SimTime, end: SimTime) -> Self {
+        FaultSchedule::new(vec![FaultWindow {
+            start,
+            end,
+            mode: FaultMode::Down,
+        }])
+    }
+
+    /// Appends one window, keeping the start ordering.
+    pub fn push(&mut self, window: FaultWindow) {
+        if window.start < window.end {
+            let at = self
+                .windows
+                .partition_point(|w| (w.start, w.end) <= (window.start, window.end));
+            self.windows.insert(at, window);
+        }
+    }
+
+    /// Whether the schedule has no windows.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The scheduled windows, ordered by start.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// The combined effect of every window active at `now`.
+    pub fn effect_at(&self, now: SimTime) -> FaultEffect {
+        if self.windows.is_empty() {
+            return FaultEffect::NONE;
+        }
+        let mut effect = FaultEffect::NONE;
+        let mut pass_loss = 1.0;
+        let mut pass_corrupt = 1.0;
+        for w in &self.windows {
+            if w.start > now {
+                break;
+            }
+            if !w.contains(now) {
+                continue;
+            }
+            match w.mode {
+                FaultMode::Down => effect.down = true,
+                FaultMode::Lossy(p) => pass_loss *= 1.0 - p.clamp(0.0, 1.0),
+                FaultMode::Corrupt(p) => pass_corrupt *= 1.0 - p.clamp(0.0, 1.0),
+            }
+        }
+        effect.extra_loss = 1.0 - pass_loss;
+        effect.corrupt = 1.0 - pass_corrupt;
+        effect
+    }
+
+    /// Whether a down window is active at `now`.
+    pub fn is_down_at(&self, now: SimTime) -> bool {
+        self.windows
+            .iter()
+            .take_while(|w| w.start <= now)
+            .any(|w| w.contains(now) && w.mode == FaultMode::Down)
+    }
+
+    /// The latest instant at which any window is still active, or `None`
+    /// for an empty schedule.
+    pub fn last_end(&self) -> Option<SimTime> {
+        self.windows.iter().map(|w| w.end).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn empty_schedule_has_no_effect() {
+        let s = FaultSchedule::default();
+        assert!(s.effect_at(t(5)).is_none());
+        assert!(!s.is_down_at(t(5)));
+        assert_eq!(s.last_end(), None);
+    }
+
+    #[test]
+    fn down_window_is_half_open() {
+        let s = FaultSchedule::down(t(10), t(20));
+        assert!(!s.is_down_at(t(9)));
+        assert!(s.is_down_at(t(10)));
+        assert!(s.is_down_at(t(19)));
+        assert!(!s.is_down_at(t(20)));
+        assert_eq!(s.last_end(), Some(t(20)));
+    }
+
+    #[test]
+    fn overlapping_loss_windows_combine_independently() {
+        let s = FaultSchedule::new(vec![
+            FaultWindow {
+                start: t(0),
+                end: t(30),
+                mode: FaultMode::Lossy(0.5),
+            },
+            FaultWindow {
+                start: t(10),
+                end: t(20),
+                mode: FaultMode::Lossy(0.5),
+            },
+        ]);
+        let inside = s.effect_at(t(15));
+        assert!((inside.extra_loss - 0.75).abs() < 1e-12);
+        let outside = s.effect_at(t(25));
+        assert!((outside.extra_loss - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn down_wins_over_concurrent_loss() {
+        let s = FaultSchedule::new(vec![
+            FaultWindow {
+                start: t(0),
+                end: t(10),
+                mode: FaultMode::Lossy(0.1),
+            },
+            FaultWindow {
+                start: t(0),
+                end: t(10),
+                mode: FaultMode::Down,
+            },
+        ]);
+        assert!(s.effect_at(t(5)).down);
+    }
+
+    #[test]
+    fn degenerate_windows_are_discarded() {
+        let mut s = FaultSchedule::new(vec![FaultWindow {
+            start: t(10),
+            end: t(10),
+            mode: FaultMode::Down,
+        }]);
+        s.push(FaultWindow {
+            start: t(5),
+            end: t(4),
+            mode: FaultMode::Down,
+        });
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn push_keeps_windows_sorted() {
+        let mut s = FaultSchedule::default();
+        s.push(FaultWindow {
+            start: t(20),
+            end: t(30),
+            mode: FaultMode::Down,
+        });
+        s.push(FaultWindow {
+            start: t(0),
+            end: t(10),
+            mode: FaultMode::Corrupt(0.5),
+        });
+        assert_eq!(s.windows()[0].start, t(0));
+        assert!((s.effect_at(t(5)).corrupt - 0.5).abs() < 1e-12);
+        assert!(s.is_down_at(t(25)));
+    }
+}

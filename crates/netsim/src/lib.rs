@@ -41,11 +41,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod fault;
 pub mod link;
 pub mod network;
 pub mod node;
 pub mod wire;
 
+pub use fault::{FaultEffect, FaultMode, FaultSchedule, FaultWindow};
 pub use link::{LinkConfig, LinkDynamics, LinkStats, StaticDynamics};
 pub use network::{Network, NetworkStats};
 pub use node::{Ctx, Handler, NodeId, NodeKind};

@@ -13,6 +13,7 @@
 //! [`LinkDynamics`] lets all three parameters vary with time; the default
 //! [`StaticDynamics`] keeps them fixed.
 
+use crate::fault::FaultSchedule;
 use crate::wire::Packet;
 use starlink_simcore::{Bytes, DataRate, SimDuration, SimRng, SimTime};
 
@@ -100,6 +101,10 @@ pub struct LinkStats {
     pub overflowed: u64,
     /// Bytes accepted onto the link.
     pub bytes: u64,
+    /// Packets dropped by an injected fault (down window or extra loss).
+    pub faulted: u64,
+    /// Packets dropped as corrupted during a burst-corruption window.
+    pub corrupted: u64,
 }
 
 /// The outcome of offering a packet to a link.
@@ -130,6 +135,9 @@ pub(crate) struct Link {
     /// model samples a smaller value (otherwise cross-traffic jitter
     /// would manufacture reordering and TCP would see phantom loss).
     last_arrival: SimTime,
+    /// Injected fault timeline (empty by default: no behaviour change and
+    /// no extra RNG draws).
+    fault: FaultSchedule,
     pub stats: LinkStats,
     rng: SimRng,
 }
@@ -143,15 +151,40 @@ impl Link {
             backlog: Bytes::ZERO,
             busy_until: SimTime::ZERO,
             last_arrival: SimTime::ZERO,
+            fault: FaultSchedule::default(),
             stats: LinkStats::default(),
             rng,
         }
+    }
+
+    /// Installs (or replaces) the link's fault schedule.
+    pub fn set_fault(&mut self, schedule: FaultSchedule) {
+        self.fault = schedule;
+    }
+
+    /// The link's current fault schedule.
+    pub fn fault(&self) -> &FaultSchedule {
+        &self.fault
     }
 
     /// Offers `packet` to the link at `now`. On delivery the caller must
     /// also arrange to call [`Link::release`] with the packet size at the
     /// serialisation-complete instant (the network schedules this).
     pub fn offer(&mut self, now: SimTime, packet: Packet) -> (LinkVerdict, Option<SimTime>) {
+        let fault = self.fault.effect_at(now);
+        if fault.down {
+            self.stats.faulted += 1;
+            return (LinkVerdict::Dropped, None);
+        }
+        if fault.corrupt > 0.0 && self.rng.bernoulli(fault.corrupt) {
+            self.stats.corrupted += 1;
+            return (LinkVerdict::Dropped, None);
+        }
+        if fault.extra_loss > 0.0 && self.rng.bernoulli(fault.extra_loss) {
+            self.stats.faulted += 1;
+            return (LinkVerdict::Dropped, None);
+        }
+
         let loss_p = self.dynamics.loss_prob(now);
         if loss_p > 0.0 && self.rng.bernoulli(loss_p) {
             self.stats.lost += 1;
@@ -322,6 +355,51 @@ mod tests {
             link.offer(SimTime::ZERO, pkt(1, 100)).0,
             LinkVerdict::Dropped
         ));
+    }
+
+    #[test]
+    fn fault_down_window_drops_only_inside_window() {
+        use crate::fault::FaultSchedule;
+        let mut link = test_link(1_000, 1, 0.0);
+        link.set_fault(FaultSchedule::down(
+            SimTime::from_millis(10),
+            SimTime::from_millis(20),
+        ));
+        assert!(matches!(
+            link.offer(SimTime::from_millis(5), pkt(1, 100)).0,
+            LinkVerdict::Deliver { .. }
+        ));
+        assert!(matches!(
+            link.offer(SimTime::from_millis(15), pkt(2, 100)).0,
+            LinkVerdict::Dropped
+        ));
+        assert!(matches!(
+            link.offer(SimTime::from_millis(25), pkt(3, 100)).0,
+            LinkVerdict::Deliver { .. }
+        ));
+        assert_eq!(link.stats.faulted, 1);
+        assert_eq!(link.stats.transmitted, 2);
+    }
+
+    #[test]
+    fn corruption_window_drops_about_the_right_fraction() {
+        use crate::fault::{FaultMode, FaultSchedule, FaultWindow};
+        let mut link = test_link(1_000, 0, 0.0);
+        link.set_fault(FaultSchedule::new(vec![FaultWindow {
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(10),
+            mode: FaultMode::Corrupt(0.4),
+        }]));
+        let n = 10_000u64;
+        for i in 0..n {
+            let (v, _) = link.offer(SimTime::from_micros(i * 20), pkt(i, 100));
+            if matches!(v, LinkVerdict::Deliver { .. }) {
+                link.release(Bytes::new(100));
+            }
+        }
+        let rate = link.stats.corrupted as f64 / n as f64;
+        assert!((rate - 0.4).abs() < 0.02, "corruption rate {rate}");
+        assert_eq!(link.stats.lost, 0);
     }
 
     #[test]

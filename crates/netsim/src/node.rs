@@ -1,5 +1,6 @@
 //! Nodes: routers that forward and hosts that run [`Handler`]s.
 
+use crate::fault::FaultSchedule;
 use crate::wire::{Packet, Payload};
 use starlink_simcore::{Bytes, SimTime};
 use std::collections::HashMap;
@@ -101,6 +102,8 @@ pub(crate) struct Node {
     /// Packets delivered to this node with no handler attached (kept for
     /// inspection; lets tests and simple sinks observe traffic).
     pub mailbox: Vec<(SimTime, Packet)>,
+    /// Injected fault timeline; only down windows matter for nodes.
+    pub fault: FaultSchedule,
 }
 
 impl Node {
@@ -111,6 +114,7 @@ impl Node {
             routes: HashMap::new(),
             handler: None,
             mailbox: Vec::new(),
+            fault: FaultSchedule::default(),
         }
     }
 }

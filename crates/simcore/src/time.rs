@@ -236,6 +236,11 @@ impl SimDuration {
         SimDuration(self.0.saturating_sub(rhs.0))
     }
 
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+
     /// Checked multiplication by an integer factor.
     pub fn checked_mul(self, rhs: u64) -> Option<SimDuration> {
         self.0.checked_mul(rhs).map(SimDuration)

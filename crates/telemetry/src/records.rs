@@ -2,14 +2,12 @@
 //!
 //! Records deliberately mirror the paper's data-management policy: a
 //! random user id, the city and ISP class, the timing decomposition — and
-//! nothing else. `serde::Serialize` derives allow exporting the dataset
-//! for external analysis, matching the paper's stated goal of providing
-//! datasets "that can be utilized to equip LEO simulations with
-//! real-world data".
+//! nothing else. CSV export (see [`Dataset::speedtests_csv`]) matches the
+//! paper's stated goal of providing datasets "that can be utilized to
+//! equip LEO simulations with real-world data".
 
 use crate::aschange::ExitAs;
 use crate::population::IspClass;
-use serde::Serialize;
 use starlink_channel::WeatherCondition;
 use starlink_geo::City;
 use starlink_simcore::SimTime;
@@ -51,12 +49,11 @@ impl PageRecord {
 }
 
 /// One in-extension (Libretest-style) speedtest record.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SpeedtestRecord {
     /// The uploader's random identifier.
     pub user: u64,
     /// City name.
-    #[serde(serialize_with = "city_name")]
     pub city: City,
     /// Whether the user is a Starlink subscriber.
     pub starlink: bool,
@@ -66,10 +63,6 @@ pub struct SpeedtestRecord {
     pub downlink_mbps: f64,
     /// Measured uplink, Mbps.
     pub uplink_mbps: f64,
-}
-
-fn city_name<S: serde::Serializer>(city: &City, s: S) -> Result<S::Ok, S::Error> {
-    s.serialize_str(city.name())
 }
 
 /// The collected dataset.
@@ -169,6 +162,19 @@ impl Dataset {
             .collect()
     }
 
+    /// Removes every record whose timestamp falls inside one of the given
+    /// dropout windows (half-open `[start, end)`), modelling telemetry
+    /// nodes that were offline and never uploaded. Returns how many
+    /// records were dropped.
+    pub fn apply_node_dropouts(&mut self, windows: &[(SimTime, SimTime)]) -> usize {
+        let in_window = |t: SimTime| windows.iter().any(|&(s, e)| s <= t && t < e);
+        let before = self.len();
+        self.pages.retain(|r| !in_window(r.at));
+        self.speedtests
+            .retain(|r| !in_window(SimTime::from_secs(r.at_secs)));
+        before - self.len()
+    }
+
     /// Exports the speedtest records as CSV.
     pub fn speedtests_csv(&self) -> String {
         let mut out = String::from("user,city,starlink,at_secs,downlink_mbps,uplink_mbps\n");
@@ -187,12 +193,13 @@ impl Dataset {
     }
 }
 
-/// Median (sorts in place; 0 for empty input).
+/// Median (sorts in place; 0 for empty input). Uses a total order so that
+/// a stray NaN from an upstream model sorts last instead of panicking.
 fn median_of(v: &mut [f64]) -> f64 {
     if v.is_empty() {
         return 0.0;
     }
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    v.sort_by(|a, b| a.total_cmp(b));
     v[v.len() / 2]
 }
 
@@ -286,5 +293,28 @@ mod tests {
         assert!(csv.starts_with("user,city,"));
         assert_eq!(csv.lines().count(), 4);
         assert!(csv.contains("London"));
+    }
+
+    #[test]
+    fn node_dropouts_remove_windowed_records() {
+        let mut ds = Dataset::default();
+        for secs in [10u64, 50, 90] {
+            let mut r = record(City::London, true, 1, 100.0);
+            r.at = SimTime::from_secs(secs);
+            ds.pages.push(r);
+            ds.speedtests.push(SpeedtestRecord {
+                user: 7,
+                city: City::London,
+                starlink: true,
+                at_secs: secs,
+                downlink_mbps: 100.0,
+                uplink_mbps: 10.0,
+            });
+        }
+        let dropped = ds.apply_node_dropouts(&[(SimTime::from_secs(40), SimTime::from_secs(60))]);
+        assert_eq!(dropped, 2);
+        assert_eq!(ds.pages.len(), 2);
+        assert_eq!(ds.speedtests.len(), 2);
+        assert!(ds.pages.iter().all(|r| r.at.as_secs() != 50));
     }
 }

@@ -6,13 +6,14 @@
 //! endpoints onto existing hosts, run the test window, and detach into a
 //! plain report.
 
+use crate::outcome::ToolOutcome;
 use starlink_netsim::{Network, NodeId};
 use starlink_simcore::{DataRate, SimDuration};
 use starlink_transport::tcp::TcpConfig;
 use starlink_transport::{CcAlgorithm, TcpReceiver, TcpSender, UdpBlaster, UdpSink};
 
 /// Result of a TCP iperf run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IperfTcpReport {
     /// Mean goodput over the test window.
     pub goodput: DataRate,
@@ -28,10 +29,13 @@ pub struct IperfTcpReport {
     pub srtt: Option<SimDuration>,
     /// Receiver-side per-second goodput bins, Mbps.
     pub per_second_mbps: Vec<f64>,
+    /// How the run ended: `Failed` when no byte was ever acknowledged,
+    /// `Degraded` when the transfer needed RTO recovery, else `Complete`.
+    pub outcome: ToolOutcome,
 }
 
 /// Result of a UDP iperf run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IperfUdpReport {
     /// Datagrams that arrived.
     pub received: u64,
@@ -43,6 +47,9 @@ pub struct IperfUdpReport {
     pub loss: f64,
     /// Per-bin loss fractions (bin width as configured).
     pub per_bin_loss: Vec<f64>,
+    /// How the run ended: `Failed` when nothing arrived, `Degraded` when
+    /// more than half the datagrams vanished, else `Complete`.
+    pub outcome: ToolOutcome,
 }
 
 /// Unique connection ids so repeated tests on one network never collide.
@@ -80,6 +87,8 @@ pub fn iperf_tcp(
     net.attach_handler(server, Box::new(receiver));
     net.arm_timer(client, start, TcpSender::start_token());
     net.run_until(stop_at + SimDuration::from_secs(2));
+    net.detach_handler(client);
+    net.detach_handler(server);
 
     let s = stats.borrow();
     let r = rstats.borrow();
@@ -91,6 +100,13 @@ pub fn iperf_tcp(
         .skip(start_bin)
         .map(|&b| b as f64 * 8.0 / 1e6)
         .collect();
+    let outcome = if s.bytes_acked == 0 {
+        ToolOutcome::failed("no bytes acknowledged")
+    } else if s.rto_count > 0 {
+        ToolOutcome::degraded(format!("{} retransmission timeout(s)", s.rto_count))
+    } else {
+        ToolOutcome::Complete
+    };
     IperfTcpReport {
         goodput: DataRate::from_bps((s.bytes_acked as f64 * 8.0 / elapsed) as u64),
         bytes: s.bytes_acked,
@@ -99,6 +115,7 @@ pub fn iperf_tcp(
         loss_events: s.loss_events,
         srtt: s.srtt,
         per_second_mbps,
+        outcome,
     }
 }
 
@@ -122,19 +139,30 @@ pub fn iperf_udp(
     net.attach_handler(server, Box::new(sink));
     net.arm_timer(client, start, UdpBlaster::start_token());
     net.run_until(stop_at + SimDuration::from_secs(1));
+    net.detach_handler(client);
+    net.detach_handler(server);
 
     let s = stats.borrow();
     let sent = s.max_seq_plus_one;
     let elapsed = duration.as_secs_f64().max(1e-9);
     let start_bin = (start.as_nanos() / bin_width.as_nanos().max(1)) as usize;
+    let loss = s.loss_fraction(sent);
+    let outcome = if s.received == 0 {
+        ToolOutcome::failed("no datagrams delivered")
+    } else if loss > 0.5 {
+        ToolOutcome::degraded(format!("{:.0}% of datagrams lost", loss * 100.0))
+    } else {
+        ToolOutcome::Complete
+    };
     IperfUdpReport {
         received: s.received,
         sent,
         goodput: DataRate::from_bps((s.bytes as f64 * 8.0 / elapsed) as u64),
-        loss: s.loss_fraction(sent),
+        loss,
         per_bin_loss: s
             .per_bin_loss()
             .split_off(start_bin.min(s.per_bin_loss().len())),
+        outcome,
     }
 }
 
@@ -230,6 +258,82 @@ mod tests {
         );
         let mbps = cap.as_mbps();
         assert!((20.0..26.0).contains(&mbps), "{mbps} Mbps");
+    }
+
+    #[test]
+    fn outcomes_reflect_transfer_health() {
+        let (mut net, a, b) = two_hosts(40, 0.0);
+        let tcp = iperf_tcp(
+            &mut net,
+            a,
+            b,
+            CcAlgorithm::Cubic,
+            SimDuration::from_secs(5),
+        );
+        assert!(tcp.outcome.is_usable(), "{}", tcp.outcome);
+
+        let (mut net, a, b) = two_hosts(100, 0.2);
+        let udp = iperf_udp(
+            &mut net,
+            a,
+            b,
+            DataRate::from_mbps(20),
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(1),
+        );
+        assert!(udp.outcome.is_complete(), "20% loss is under the 50% bar");
+    }
+
+    #[test]
+    fn dead_link_yields_failed_outcomes() {
+        let (mut net, a, b) = two_hosts(40, 1.0);
+        let tcp = iperf_tcp(
+            &mut net,
+            a,
+            b,
+            CcAlgorithm::Cubic,
+            SimDuration::from_secs(5),
+        );
+        assert!(tcp.outcome.is_failed(), "{}", tcp.outcome);
+        assert_eq!(tcp.bytes, 0);
+
+        let (mut net, a, b) = two_hosts(40, 1.0);
+        let udp = iperf_udp(
+            &mut net,
+            a,
+            b,
+            DataRate::from_mbps(10),
+            SimDuration::from_secs(3),
+            SimDuration::from_secs(1),
+        );
+        assert!(udp.outcome.is_failed(), "{}", udp.outcome);
+        assert_eq!(udp.received, 0);
+    }
+
+    #[test]
+    fn iperf_detaches_its_handlers_so_ping_still_works() {
+        use crate::ping::{ping, PingOptions};
+        let (mut net, a, b) = two_hosts(40, 0.0);
+        iperf_tcp(
+            &mut net,
+            a,
+            b,
+            CcAlgorithm::Cubic,
+            SimDuration::from_secs(3),
+        );
+        iperf_udp(
+            &mut net,
+            a,
+            b,
+            DataRate::from_mbps(10),
+            SimDuration::from_secs(3),
+            SimDuration::from_secs(1),
+        );
+        // With the transport handlers gone, both endpoints auto-reply to
+        // echoes again and replies land in the client's mailbox.
+        let report = ping(&mut net, a, b, &PingOptions::default());
+        assert!(report.outcome.is_complete(), "{}", report.outcome);
+        assert_eq!(report.received(), report.sent());
     }
 
     #[test]

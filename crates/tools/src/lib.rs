@@ -14,6 +14,12 @@
 //! * [`ping`] — fixed-interval echo RTTs (the Dishy's "pop ping" stat);
 //! * [`speedtest`] — the Libretest-style DL/UL pair run from the nodes;
 //! * [`cron`] — the 5-minute / 30-minute schedules the RPis ran on.
+//!
+//! Every tool is hardened for hostile conditions: probing tools take a
+//! bounded retry budget with exponential backoff in *virtual* time, every
+//! run finishes within its options' `virtual_time_budget()`, and every
+//! report carries a [`ToolOutcome`] saying whether the numbers are clean
+//! (`Complete`), partial (`Degraded`) or unusable (`Failed`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -22,6 +28,7 @@ pub mod cron;
 pub mod iperf;
 pub mod maxmin;
 pub mod mtr;
+pub mod outcome;
 pub mod ping;
 pub mod speedtest;
 pub mod traceroute;
@@ -30,6 +37,7 @@ pub use cron::Cron;
 pub use iperf::{iperf_tcp, iperf_udp, IperfTcpReport, IperfUdpReport};
 pub use maxmin::QueueingEstimate;
 pub use mtr::{mtr, MtrReport};
+pub use outcome::ToolOutcome;
 pub use ping::{ping, PingOptions, PingReport};
 pub use speedtest::{speedtest, SpeedtestResult};
 pub use traceroute::{traceroute, HopResult, TracerouteOptions, TracerouteResult};

@@ -30,16 +30,17 @@ pub struct QueueingEstimate {
 
 impl QueueingEstimate {
     /// Estimates from raw RTT samples (losses already filtered out).
-    /// Returns `None` with fewer than 2 samples — the method needs a
-    /// spread to say anything.
+    /// Returns `None` with fewer than 2 usable samples — the method needs
+    /// a spread to say anything. Non-finite samples (NaN/∞ from upstream
+    /// arithmetic on empty windows) are discarded rather than trusted.
     pub fn from_rtts_ms(samples: &[f64]) -> Option<QueueingEstimate> {
-        if samples.len() < 2 {
+        let mut v: Vec<f64> = samples.iter().copied().filter(|s| s.is_finite()).collect();
+        if v.len() < 2 {
             return None;
         }
-        let mut v: Vec<f64> = samples.to_vec();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite RTTs"));
+        v.sort_by(|a, b| a.total_cmp(b));
         let min = v[0];
-        let max = *v.last().expect("non-empty");
+        let max = v[v.len() - 1];
         let median = v[v.len() / 2];
         let mean = v.iter().sum::<f64>() / v.len() as f64;
         Some(QueueingEstimate {
@@ -120,6 +121,15 @@ mod tests {
     fn too_few_samples_yield_none() {
         assert!(QueueingEstimate::from_rtts_ms(&[]).is_none());
         assert!(QueueingEstimate::from_rtts_ms(&[10.0]).is_none());
+    }
+
+    #[test]
+    fn non_finite_samples_are_discarded() {
+        assert!(QueueingEstimate::from_rtts_ms(&[f64::NAN, 10.0]).is_none());
+        let e = QueueingEstimate::from_rtts_ms(&[f64::NAN, 10.0, 20.0, f64::INFINITY]).unwrap();
+        assert_eq!(e.samples, 2);
+        assert_eq!(e.min_rtt_ms, 10.0);
+        assert_eq!(e.max_rtt_ms, 20.0);
     }
 
     #[test]

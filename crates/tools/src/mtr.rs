@@ -5,12 +5,13 @@
 //! technology) and the Table 2 queueing estimation (30 samples per node).
 
 use crate::maxmin::QueueingEstimate;
+use crate::outcome::ToolOutcome;
 use crate::traceroute::{traceroute, TracerouteOptions};
 use starlink_netsim::{Network, NodeId};
 use starlink_simcore::SimDuration;
 
 /// Aggregated per-hop statistics across rounds.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MtrHop {
     /// Hop number (TTL).
     pub ttl: u8,
@@ -46,12 +47,16 @@ impl MtrHop {
 }
 
 /// A complete mtr report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MtrReport {
     /// Per-hop aggregates.
     pub hops: Vec<MtrHop>,
     /// Number of rounds run.
     pub rounds: u32,
+    /// How the run ended: `Complete` when every round reached the
+    /// destination cleanly, `Degraded` on partial answers, `Failed` when
+    /// no round heard anything.
+    pub outcome: ToolOutcome,
 }
 
 /// Runs `rounds` traceroutes spaced by `round_gap` and aggregates.
@@ -64,8 +69,13 @@ pub fn mtr(
     round_gap: SimDuration,
 ) -> MtrReport {
     let mut hops: Vec<MtrHop> = Vec::new();
+    let mut round_outcome: Option<ToolOutcome> = None;
     for _ in 0..rounds {
         let result = traceroute(net, src, dst, opts);
+        round_outcome = Some(match round_outcome {
+            None => result.outcome.clone(),
+            Some(acc) => acc.combine(&result.outcome),
+        });
         for hop in &result.hops {
             let idx = (hop.ttl - 1) as usize;
             while hops.len() <= idx {
@@ -86,7 +96,12 @@ pub fn mtr(
         let next = net.now() + round_gap;
         net.run_until(next);
     }
-    MtrReport { hops, rounds }
+    let outcome = round_outcome.unwrap_or_else(|| ToolOutcome::failed("zero rounds requested"));
+    MtrReport {
+        hops,
+        rounds,
+        outcome,
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +159,18 @@ mod tests {
         let _ = mtr(&mut net, c, s, &opts, 3, SimDuration::from_secs(1));
         assert!(net.now() >= before + SimDuration::from_secs(3));
         assert!(net.now() < SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn outcome_reflects_round_health() {
+        let (mut net, c, s) = jittery_net();
+        let opts = TracerouteOptions {
+            max_ttl: 4,
+            ..TracerouteOptions::default()
+        };
+        let report = mtr(&mut net, c, s, &opts, 5, SimDuration::from_millis(200));
+        // A 5%-lossy hop means rounds are typically degraded, never failed.
+        assert!(report.outcome.is_usable());
     }
 
     #[test]

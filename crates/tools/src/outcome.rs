@@ -1,0 +1,127 @@
+//! Tool completion status: did the measurement actually measure?
+//!
+//! Real measurement campaigns lose probes, hit dead gateways and watch
+//! dishes go dark mid-test (§3.2's volunteer nodes did all three). A tool
+//! that silently returns zeros poisons downstream aggregates, and one
+//! that panics takes the whole campaign run down with it. Every tool in
+//! this crate therefore reports a [`ToolOutcome`] alongside its numbers:
+//! callers keep `Complete` results, can choose to keep or weight
+//! `Degraded` ones, and must discard `Failed` ones.
+
+use std::fmt;
+
+/// How a measurement run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ToolOutcome {
+    /// Every probe/transfer did what it was asked; the numbers are fully
+    /// trustworthy.
+    Complete,
+    /// The tool terminated and produced usable numbers, but lost part of
+    /// its input (unanswered probes, an unreached destination, a stalled
+    /// transfer). The reason says what was lost.
+    Degraded {
+        /// What went missing.
+        reason: String,
+    },
+    /// The tool terminated but measured nothing usable; discard the
+    /// numbers.
+    Failed {
+        /// Why nothing came back.
+        reason: String,
+    },
+}
+
+impl ToolOutcome {
+    /// Shorthand for a degraded outcome.
+    pub fn degraded(reason: impl Into<String>) -> Self {
+        ToolOutcome::Degraded {
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand for a failed outcome.
+    pub fn failed(reason: impl Into<String>) -> Self {
+        ToolOutcome::Failed {
+            reason: reason.into(),
+        }
+    }
+
+    /// Whether the run was fully clean.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, ToolOutcome::Complete)
+    }
+
+    /// Whether the numbers are at least partially usable.
+    pub fn is_usable(&self) -> bool {
+        !matches!(self, ToolOutcome::Failed { .. })
+    }
+
+    /// Whether the run produced nothing usable.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, ToolOutcome::Failed { .. })
+    }
+
+    /// Folds two outcomes into the status of their combination: a
+    /// combined run is only as healthy as its worst part, except that two
+    /// failures stay failed rather than degraded.
+    pub fn combine(&self, other: &ToolOutcome) -> ToolOutcome {
+        use ToolOutcome::*;
+        match (self, other) {
+            (Complete, Complete) => Complete,
+            (Failed { reason: a }, Failed { reason: b }) => {
+                ToolOutcome::failed(format!("{a}; {b}"))
+            }
+            (Failed { reason }, _) | (_, Failed { reason }) => {
+                ToolOutcome::degraded(format!("partial failure: {reason}"))
+            }
+            (Degraded { reason }, _) | (_, Degraded { reason }) => {
+                ToolOutcome::degraded(reason.clone())
+            }
+        }
+    }
+}
+
+impl fmt::Display for ToolOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToolOutcome::Complete => write!(f, "complete"),
+            ToolOutcome::Degraded { reason } => write!(f, "degraded ({reason})"),
+            ToolOutcome::Failed { reason } => write!(f, "failed ({reason})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(ToolOutcome::Complete.is_complete());
+        assert!(ToolOutcome::Complete.is_usable());
+        assert!(ToolOutcome::degraded("x").is_usable());
+        assert!(!ToolOutcome::degraded("x").is_complete());
+        assert!(ToolOutcome::failed("x").is_failed());
+        assert!(!ToolOutcome::failed("x").is_usable());
+    }
+
+    #[test]
+    fn combine_takes_the_worst() {
+        let c = ToolOutcome::Complete;
+        let d = ToolOutcome::degraded("lost probes");
+        let f = ToolOutcome::failed("no replies");
+        assert!(c.combine(&c).is_complete());
+        assert_eq!(c.combine(&d), d);
+        assert!(c.combine(&f).is_usable(), "one good half keeps it usable");
+        assert!(f.combine(&f).is_failed());
+    }
+
+    #[test]
+    fn display_includes_reason() {
+        assert_eq!(
+            ToolOutcome::degraded("3 probes lost").to_string(),
+            "degraded (3 probes lost)"
+        );
+        assert_eq!(ToolOutcome::Complete.to_string(), "complete");
+    }
+}

@@ -5,6 +5,7 @@
 //! implementation sends echo requests at a fixed interval and reports the
 //! RTT series with loss accounting.
 
+use crate::outcome::ToolOutcome;
 use starlink_netsim::{Network, NodeId, Payload};
 use starlink_simcore::{Bytes, SimDuration, SimTime};
 use std::collections::HashMap;
@@ -20,6 +21,10 @@ pub struct PingOptions {
     pub size: Bytes,
     /// Wait for stragglers after the last request.
     pub timeout: SimDuration,
+    /// Extra rounds re-probing unanswered slots. Each retry round waits
+    /// twice as long as the previous one (exponential backoff in virtual
+    /// time). `0` reproduces classic single-pass ping.
+    pub retries: u32,
 }
 
 impl Default for PingOptions {
@@ -29,15 +34,43 @@ impl Default for PingOptions {
             interval: SimDuration::from_secs(1),
             size: Bytes::new(64),
             timeout: SimDuration::from_secs(2),
+            retries: 0,
         }
     }
 }
 
+impl PingOptions {
+    /// An upper bound on the virtual time a run can occupy: even against
+    /// a totally black network the tool returns within this budget.
+    pub fn virtual_time_budget(&self) -> SimDuration {
+        let mut budget = SimDuration::ZERO;
+        for round in 0..=self.retries {
+            let per_round = self
+                .interval
+                .mul_f64(f64::from(self.count))
+                .saturating_add(backoff_timeout(self.timeout, round));
+            budget = budget.saturating_add(per_round);
+        }
+        budget
+    }
+}
+
+/// The straggler wait for a retry round: `timeout * 2^round`, saturating.
+fn backoff_timeout(timeout: SimDuration, round: u32) -> SimDuration {
+    timeout.mul_f64(f64::powi(2.0, round.min(32) as i32))
+}
+
 /// Results of a ping run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PingReport {
     /// Per-probe RTTs in send order (`None` = lost).
     pub rtts: Vec<Option<SimDuration>>,
+    /// How the run ended: `Complete` when every probe was answered,
+    /// `Degraded` on partial loss, `Failed` when nothing came back.
+    pub outcome: ToolOutcome,
+    /// Retry rounds actually used (0 = first pass sufficed or no retries
+    /// were configured).
+    pub retry_rounds: u32,
 }
 
 impl PingReport {
@@ -100,26 +133,62 @@ impl PingReport {
 }
 
 /// Pings `dst` from `src`, advancing simulated time.
+///
+/// With `opts.retries > 0`, probe slots still unanswered after a pass are
+/// re-probed in further rounds, each waiting twice as long for stragglers
+/// than the last. The run never exceeds
+/// [`PingOptions::virtual_time_budget`] of virtual time, whatever the
+/// network does.
 pub fn ping(net: &mut Network, src: NodeId, dst: NodeId, opts: &PingOptions) -> PingReport {
+    // probe id -> (slot index, send time); ids encode (round, slot) so
+    // stragglers from earlier rounds still resolve to the right slot.
     let mut sent_at: HashMap<u64, (usize, SimTime)> = HashMap::new();
-    for i in 0..opts.count {
-        let probe = u64::from(i) | 0x5043_0000_0000_0000; // tag ping probes
-        net.send_packet(src, dst, opts.size, 64, Payload::EchoRequest { probe });
-        sent_at.insert(probe, (i as usize, net.now()));
-        let next = net.now() + opts.interval;
-        net.run_until(next);
-    }
-    net.run_until(net.now() + opts.timeout);
+    let mut rtts: Vec<Option<SimDuration>> = vec![None; opts.count as usize];
+    let mut pending: Vec<usize> = (0..opts.count as usize).collect();
+    let mut retry_rounds = 0;
 
-    let mut rtts = vec![None; opts.count as usize];
-    for (at, packet) in net.drain_mailbox(src) {
-        if let Payload::EchoReply { probe } = packet.payload {
-            if let Some(&(idx, t0)) = sent_at.get(&probe) {
-                rtts[idx] = Some(at.since(t0));
+    for round in 0..=opts.retries {
+        for &slot in &pending {
+            let probe = (slot as u64) | (u64::from(round) << 32) | 0x5043_0000_0000_0000;
+            net.send_packet(src, dst, opts.size, 64, Payload::EchoRequest { probe });
+            sent_at.insert(probe, (slot, net.now()));
+            let next = net.now() + opts.interval;
+            net.run_until(next);
+        }
+        net.run_until(net.now() + backoff_timeout(opts.timeout, round));
+        for (at, packet) in net.drain_mailbox(src) {
+            if let Payload::EchoReply { probe } = packet.payload {
+                if let Some(&(slot, t0)) = sent_at.get(&probe) {
+                    // First answer per slot wins (a retry may race its
+                    // original); keep the earliest RTT.
+                    if rtts[slot].is_none() {
+                        rtts[slot] = Some(at.since(t0));
+                    }
+                }
             }
         }
+        pending.retain(|&slot| rtts[slot].is_none());
+        if pending.is_empty() {
+            break;
+        }
+        if round < opts.retries {
+            retry_rounds = round + 1;
+        }
     }
-    PingReport { rtts }
+
+    let lost = rtts.iter().filter(|r| r.is_none()).count();
+    let outcome = if !rtts.is_empty() && lost == rtts.len() {
+        ToolOutcome::failed("no echo replies received")
+    } else if lost > 0 {
+        ToolOutcome::degraded(format!("{lost} of {} probes unanswered", rtts.len()))
+    } else {
+        ToolOutcome::Complete
+    };
+    PingReport {
+        rtts,
+        outcome,
+        retry_rounds,
+    }
 }
 
 #[cfg(test)]
@@ -174,8 +243,71 @@ mod tests {
 
     #[test]
     fn empty_report_degenerates_gracefully() {
-        let report = PingReport { rtts: vec![] };
+        let report = PingReport {
+            rtts: vec![],
+            outcome: ToolOutcome::Complete,
+            retry_rounds: 0,
+        };
         assert_eq!(report.loss_fraction(), 0.0);
         assert!(report.avg_ms().is_none());
+    }
+
+    #[test]
+    fn outcomes_track_loss() {
+        let (mut n, a, b) = net(0.0);
+        let clean = ping(&mut n, a, b, &PingOptions::default());
+        assert!(clean.outcome.is_complete());
+
+        let (mut n, a, b) = net(0.4);
+        let lossy = ping(
+            &mut n,
+            a,
+            b,
+            &PingOptions {
+                count: 50,
+                interval: SimDuration::from_millis(100),
+                ..PingOptions::default()
+            },
+        );
+        assert!(matches!(lossy.outcome, ToolOutcome::Degraded { .. }));
+    }
+
+    #[test]
+    fn retries_recover_lost_probes() {
+        let (mut n, a, b) = net(0.4);
+        let opts = PingOptions {
+            count: 20,
+            interval: SimDuration::from_millis(100),
+            retries: 4,
+            ..PingOptions::default()
+        };
+        let start = n.now();
+        let report = ping(&mut n, a, b, &opts);
+        // With four retry rounds on 40% loss, expected residual loss per
+        // slot is 0.4^5 ~ 1%; the run almost always completes cleanly.
+        assert!(
+            report.loss_fraction() < 0.15,
+            "retries should claw back loss: {}",
+            report.loss_fraction()
+        );
+        // And it never overstays its virtual-time budget.
+        assert!(n.now().since(start) <= opts.virtual_time_budget());
+    }
+
+    #[test]
+    fn dead_network_fails_within_budget() {
+        let (mut n, a, b) = net(1.0); // every probe is lost
+        let opts = PingOptions {
+            count: 5,
+            interval: SimDuration::from_millis(200),
+            retries: 2,
+            ..PingOptions::default()
+        };
+        let start = n.now();
+        let report = ping(&mut n, a, b, &opts);
+        assert!(report.outcome.is_failed());
+        assert_eq!(report.received(), 0);
+        assert_eq!(report.retry_rounds, 2);
+        assert!(n.now().since(start) <= opts.virtual_time_budget());
     }
 }

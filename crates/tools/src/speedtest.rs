@@ -6,17 +6,20 @@
 //! every speedtest UI shows.
 
 use crate::iperf::iperf_tcp;
+use crate::outcome::ToolOutcome;
 use starlink_netsim::{Network, NodeId};
 use starlink_simcore::{DataRate, SimDuration};
 use starlink_transport::CcAlgorithm;
 
 /// A DL/UL measurement pair.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpeedtestResult {
     /// Downlink, server -> client.
     pub downlink: DataRate,
     /// Uplink, client -> server.
     pub uplink: DataRate,
+    /// Combined health of the two directional transfers.
+    pub outcome: ToolOutcome,
 }
 
 /// Runs a speedtest between `client` and `server` (each direction gets
@@ -34,6 +37,7 @@ pub fn speedtest(
     SpeedtestResult {
         downlink: dl.goodput,
         uplink: ul.goodput,
+        outcome: dl.outcome.combine(&ul.outcome),
     }
 }
 

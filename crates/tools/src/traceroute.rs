@@ -8,6 +8,7 @@
 //! its Fig. 5 comparison with 20 rounds and its Table 2 estimation with
 //! 30 probes of 60-byte UDP datagrams; both call into this module.
 
+use crate::outcome::ToolOutcome;
 use starlink_netsim::{Network, NodeId, Payload};
 use starlink_simcore::{Bytes, SimDuration, SimTime};
 use std::collections::HashMap;
@@ -25,6 +26,10 @@ pub struct TracerouteOptions {
     pub inter_probe_gap: SimDuration,
     /// How long to wait for stragglers after the last probe.
     pub timeout: SimDuration,
+    /// Extra rounds re-probing (TTL, slot) pairs that got no answer.
+    /// Each round's straggler wait doubles (exponential backoff in
+    /// virtual time). `0` reproduces classic single-pass traceroute.
+    pub retries: u32,
 }
 
 impl Default for TracerouteOptions {
@@ -35,12 +40,35 @@ impl Default for TracerouteOptions {
             probe_size: Bytes::new(60),
             inter_probe_gap: SimDuration::from_millis(50),
             timeout: SimDuration::from_secs(2),
+            retries: 0,
         }
     }
 }
 
+impl TracerouteOptions {
+    /// An upper bound on the virtual time a run can occupy: even against
+    /// a totally black network the tool returns within this budget.
+    pub fn virtual_time_budget(&self) -> SimDuration {
+        let probes = u64::from(self.max_ttl) * u64::from(self.probes_per_hop);
+        let mut budget = SimDuration::ZERO;
+        for round in 0..=self.retries {
+            let per_round = self
+                .inter_probe_gap
+                .mul_f64(probes as f64)
+                .saturating_add(backoff_timeout(self.timeout, round));
+            budget = budget.saturating_add(per_round);
+        }
+        budget
+    }
+}
+
+/// The straggler wait for a retry round: `timeout * 2^round`, saturating.
+fn backoff_timeout(timeout: SimDuration, round: u32) -> SimDuration {
+    timeout.mul_f64(f64::powi(2.0, round.min(32) as i32))
+}
+
 /// Results for one TTL value.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HopResult {
     /// TTL probed (1-based hop number).
     pub ttl: u8,
@@ -88,12 +116,16 @@ impl HopResult {
 }
 
 /// A complete traceroute run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TracerouteResult {
     /// One entry per TTL, up to the hop that reached the destination.
     pub hops: Vec<HopResult>,
     /// Whether the destination answered.
     pub reached: bool,
+    /// How the run ended: `Complete` when the destination answered and
+    /// every probe was accounted for, `Degraded` on partial answers,
+    /// `Failed` when nothing responded at any TTL.
+    pub outcome: ToolOutcome,
 }
 
 impl TracerouteResult {
@@ -105,40 +137,35 @@ impl TracerouteResult {
 
 /// Runs a traceroute from `src` to `dst` on `net`, advancing simulated
 /// time as it goes (the run occupies `now()` onwards).
+///
+/// With `opts.retries > 0`, (TTL, slot) pairs still unanswered after a
+/// pass are re-probed in further rounds, each waiting twice as long for
+/// stragglers than the last. The run never exceeds
+/// [`TracerouteOptions::virtual_time_budget`] of virtual time, whatever
+/// the network does.
 pub fn traceroute(
     net: &mut Network,
     src: NodeId,
     dst: NodeId,
     opts: &TracerouteOptions,
 ) -> TracerouteResult {
-    // probe id -> (ttl, probe index, sent_at)
-    let mut sent: HashMap<u64, (u8, usize, SimTime)> = HashMap::new();
-    let mut probe_counter: u64 = 0;
-
-    for ttl in 1..=opts.max_ttl {
-        for probe in 0..opts.probes_per_hop {
-            let probe_id = probe_counter;
-            probe_counter += 1;
-            let pkt_id = net.send_packet(
-                src,
-                dst,
-                opts.probe_size,
-                ttl,
-                Payload::EchoRequest { probe: probe_id },
-            );
-            sent.insert(pkt_id, (ttl, probe as usize, net.now()));
-            let next = net.now() + opts.inter_probe_gap;
-            net.run_until(next);
-        }
+    let pph = u64::from(opts.probes_per_hop);
+    let span = u64::from(opts.max_ttl) * pph;
+    if span == 0 {
+        return TracerouteResult {
+            hops: Vec::new(),
+            reached: false,
+            outcome: ToolOutcome::failed("no probes configured (max_ttl or probes_per_hop is 0)"),
+        };
     }
-    net.run_until(net.now() + opts.timeout);
 
-    // (ttl index, probe index) -> send time, for matching echo replies
-    // (which carry the probe number, not the original packet id).
-    let send_times: HashMap<(usize, usize), SimTime> = sent
-        .values()
-        .map(|&(ttl, probe_idx, at)| (((ttl - 1) as usize, probe_idx), at))
-        .collect();
+    // packet id -> (ttl, slot, sent_at), for matching Time-Exceeded
+    // replies (they quote the original packet id).
+    let mut sent: HashMap<u64, (u8, usize, SimTime)> = HashMap::new();
+    // probe id -> send time, for matching echo replies (they carry the
+    // probe number instead). Ids encode (round, ttl, slot):
+    // probe_id = round*span + (ttl-1)*pph + slot.
+    let mut echo_sent: HashMap<u64, SimTime> = HashMap::new();
 
     let mut hops: Vec<HopResult> = (1..=opts.max_ttl)
         .map(|ttl| HopResult {
@@ -148,65 +175,94 @@ pub fn traceroute(
             rtts: vec![None; opts.probes_per_hop as usize],
         })
         .collect();
-    let mut reached_at_ttl: Option<u8> = None;
-
-    // We sent EchoRequests with probe ids equal to their send order:
-    // probe_id = (ttl-1)*probes_per_hop + probe_index.
-    let probe_meta = |probe_id: u64| -> (usize, usize) {
-        let ttl_idx = (probe_id / u64::from(opts.probes_per_hop)) as usize;
-        let probe_idx = (probe_id % u64::from(opts.probes_per_hop)) as usize;
-        (ttl_idx, probe_idx)
-    };
 
     // Echo replies are collected first: the destination's true hop number
     // is anchored at (last router TTL + 1), because a lossy path can eat
     // every probe at the destination's own TTL while higher-TTL probes
-    // still reach it (TTL to spare).
-    let mut echoes: Vec<(usize, usize, SimTime)> = Vec::new();
+    // still reach it (TTL to spare). (ttl_idx, slot, recv_at, sent_at).
+    let mut echoes: Vec<(usize, usize, SimTime, SimTime)> = Vec::new();
     let mut max_router_ttl: Option<u8> = None;
+    let mut answered: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    let mut pending: Vec<(u8, usize)> = (1..=opts.max_ttl)
+        .flat_map(|ttl| (0..opts.probes_per_hop as usize).map(move |slot| (ttl, slot)))
+        .collect();
 
-    for (at, packet) in net.drain_mailbox(src) {
-        match packet.payload {
-            Payload::TimeExceeded {
-                original,
-                at: router,
-            } => {
-                if let Some(&(ttl, probe_idx, sent_at)) = sent.get(&original) {
-                    let hop = &mut hops[(ttl - 1) as usize];
-                    hop.node = Some(router);
-                    hop.name = net.node_name(router).to_string();
-                    hop.rtts[probe_idx] = Some(at.since(sent_at));
-                    max_router_ttl = Some(max_router_ttl.map_or(ttl, |m: u8| m.max(ttl)));
+    for round in 0..=opts.retries {
+        for &(ttl, slot) in &pending {
+            let probe_id = u64::from(round) * span + (u64::from(ttl) - 1) * pph + slot as u64;
+            let pkt_id = net.send_packet(
+                src,
+                dst,
+                opts.probe_size,
+                ttl,
+                Payload::EchoRequest { probe: probe_id },
+            );
+            sent.insert(pkt_id, (ttl, slot, net.now()));
+            echo_sent.insert(probe_id, net.now());
+            let next = net.now() + opts.inter_probe_gap;
+            net.run_until(next);
+        }
+        net.run_until(net.now() + backoff_timeout(opts.timeout, round));
+
+        for (at, packet) in net.drain_mailbox(src) {
+            match packet.payload {
+                Payload::TimeExceeded {
+                    original,
+                    at: router,
+                } => {
+                    if let Some(&(ttl, slot, sent_at)) = sent.get(&original) {
+                        let hop = &mut hops[(ttl - 1) as usize];
+                        hop.node = Some(router);
+                        hop.name = net.node_name(router).to_string();
+                        if hop.rtts[slot].is_none() {
+                            hop.rtts[slot] = Some(at.since(sent_at));
+                        }
+                        answered.insert(((ttl - 1) as usize, slot));
+                        max_router_ttl = Some(max_router_ttl.map_or(ttl, |m: u8| m.max(ttl)));
+                    }
                 }
+                Payload::EchoReply { probe } => {
+                    let ttl_idx = ((probe % span) / pph) as usize;
+                    let slot = (probe % pph) as usize;
+                    if let Some(&s) = echo_sent.get(&probe) {
+                        echoes.push((ttl_idx, slot, at, s));
+                        answered.insert((ttl_idx, slot));
+                    }
+                }
+                _ => {}
             }
-            Payload::EchoReply { probe } => {
-                let (ttl_idx, probe_idx) = probe_meta(probe);
-                echoes.push((ttl_idx, probe_idx, at));
-            }
-            _ => {}
+        }
+        pending.retain(|&(ttl, slot)| !answered.contains(&((ttl - 1) as usize, slot)));
+        if pending.is_empty() {
+            break;
         }
     }
 
+    let mut reached_at_ttl: Option<u8> = None;
     if !echoes.is_empty() {
         // Destination hop = one past the farthest router that answered,
         // or the smallest echo TTL when no router spoke at all.
-        let min_echo_ttl = echoes
-            .iter()
-            .map(|&(t, _, _)| t as u8 + 1)
-            .min()
-            .expect("non-empty");
-        let dest_ttl = max_router_ttl.map_or(min_echo_ttl, |m| m + 1);
+        let min_echo_ttl = echoes.iter().map(|&(t, _, _, _)| t as u8 + 1).min();
+        let dest_ttl = match (max_router_ttl, min_echo_ttl) {
+            (Some(m), _) => m + 1,
+            (None, Some(e)) => e,
+            (None, None) => unreachable!("echoes is non-empty"),
+        };
         reached_at_ttl = Some(dest_ttl);
         let dest_idx = (dest_ttl - 1) as usize;
         hops[dest_idx].node = Some(dst);
         hops[dest_idx].name = net.node_name(dst).to_string();
-        for (ttl_idx, probe_idx, at) in echoes {
-            let Some(&s) = send_times.get(&(ttl_idx, probe_idx)) else {
+        // Fold at most one sample per (ttl, slot); a retry can race its
+        // original and produce two echoes for the same slot.
+        let mut folded: std::collections::HashSet<(usize, usize)> =
+            std::collections::HashSet::new();
+        for (ttl_idx, slot, at, s) in echoes {
+            if !folded.insert((ttl_idx, slot)) {
                 continue;
-            };
+            }
             let rtt = Some(at.since(s));
             if ttl_idx == dest_idx {
-                hops[dest_idx].rtts[probe_idx] = rtt;
+                hops[dest_idx].rtts[slot] = rtt;
             } else {
                 // A higher-TTL probe that reached the destination: fold it
                 // into the destination hop as an extra sample.
@@ -225,9 +281,28 @@ pub fn traceroute(
         }
     }
 
+    let reached = reached_at_ttl.is_some();
+    let lost: usize = hops
+        .iter()
+        .map(|h| h.rtts.iter().filter(|r| r.is_none()).count())
+        .sum();
+    let outcome = if !reached && hops.is_empty() {
+        ToolOutcome::failed("no responses at any TTL")
+    } else if !reached {
+        ToolOutcome::degraded(format!(
+            "destination never answered; path known for {} hops",
+            hops.len()
+        ))
+    } else if lost > 0 {
+        ToolOutcome::degraded(format!("{lost} probes unanswered along the path"))
+    } else {
+        ToolOutcome::Complete
+    };
+
     TracerouteResult {
         hops,
-        reached: reached_at_ttl.is_some(),
+        reached,
+        outcome,
     }
 }
 
@@ -347,5 +422,78 @@ mod tests {
     fn sixty_byte_probes_by_default() {
         let opts = TracerouteOptions::default();
         assert_eq!(opts.probe_size, Bytes::new(60));
+    }
+
+    #[test]
+    fn clean_path_outcome_is_complete() {
+        let (mut net, c, s) = test_net();
+        let result = traceroute(&mut net, c, s, &TracerouteOptions::default());
+        assert!(result.outcome.is_complete(), "{}", result.outcome);
+    }
+
+    #[test]
+    fn retries_fill_in_lossy_hops() {
+        let mut net = Network::new(5);
+        let c = net.add_node("client", NodeKind::Host);
+        let r = net.add_node("router", NodeKind::Router);
+        let s = net.add_node("server", NodeKind::Host);
+        net.connect_duplex(
+            c,
+            r,
+            LinkConfig::fixed(SimDuration::from_millis(5), DataRate::from_mbps(100), 0.5),
+            LinkConfig::ethernet(),
+        );
+        net.connect_duplex(r, s, LinkConfig::ethernet(), LinkConfig::ethernet());
+        net.route_linear(&[c, r, s]);
+        let opts = TracerouteOptions {
+            max_ttl: 4,
+            probes_per_hop: 10,
+            retries: 5,
+            ..TracerouteOptions::default()
+        };
+        let start = net.now();
+        let result = traceroute(&mut net, c, s, &opts);
+        assert!(result.reached);
+        // 50% loss per pass, 6 passes: residual per-slot loss ~1.6%.
+        let loss = result.hops[0].loss_fraction();
+        assert!(loss < 0.2, "retries should claw back loss: {loss}");
+        assert!(net.now().since(start) <= opts.virtual_time_budget());
+    }
+
+    #[test]
+    fn black_network_fails_within_budget() {
+        let mut net = Network::new(8);
+        let c = net.add_node("client", NodeKind::Host);
+        let s = net.add_node("server", NodeKind::Host);
+        net.connect_duplex(
+            c,
+            s,
+            LinkConfig::fixed(SimDuration::from_millis(5), DataRate::from_mbps(100), 1.0),
+            LinkConfig::ethernet(),
+        );
+        net.route_linear(&[c, s]);
+        let opts = TracerouteOptions {
+            max_ttl: 5,
+            retries: 2,
+            ..TracerouteOptions::default()
+        };
+        let start = net.now();
+        let result = traceroute(&mut net, c, s, &opts);
+        assert!(!result.reached);
+        assert!(result.outcome.is_failed(), "{}", result.outcome);
+        assert!(result.hops.is_empty());
+        assert!(net.now().since(start) <= opts.virtual_time_budget());
+    }
+
+    #[test]
+    fn zero_probe_config_fails_cleanly() {
+        let (mut net, c, s) = test_net();
+        let opts = TracerouteOptions {
+            probes_per_hop: 0,
+            ..TracerouteOptions::default()
+        };
+        let result = traceroute(&mut net, c, s, &opts);
+        assert!(result.outcome.is_failed());
+        assert!(result.hops.is_empty());
     }
 }

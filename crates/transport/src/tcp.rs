@@ -434,10 +434,10 @@ impl TcpSender {
     }
 
     fn update_rtt(&mut self, sample: SimDuration) {
-        match self.srtt {
+        let srtt = match self.srtt {
             None => {
-                self.srtt = Some(sample);
                 self.rttvar = sample / 2;
+                sample
             }
             Some(srtt) => {
                 // RFC 6298 with alpha=1/8, beta=1/4.
@@ -447,10 +447,10 @@ impl TcpSender {
                     sample - srtt
                 };
                 self.rttvar = (self.rttvar * 3 + diff) / 4;
-                self.srtt = Some((srtt * 7 + sample) / 8);
+                (srtt * 7 + sample) / 8
             }
-        }
-        let srtt = self.srtt.expect("just set");
+        };
+        self.srtt = Some(srtt);
         self.rto = (srtt + (self.rttvar * 4).max(SimDuration::from_millis(10)))
             .max(MIN_RTO)
             .min(MAX_RTO);
@@ -528,7 +528,13 @@ impl TcpSender {
             }
             let covered: Vec<u64> = self.unsacked.range(start..end).copied().collect();
             for seq in covered {
-                let seg = self.segs.get_mut(&seq).expect("mirror is consistent");
+                // `unsacked` mirrors `segs`; a missing entry would mean the
+                // mirror desynced — skip it rather than abort the campaign.
+                let Some(seg) = self.segs.get_mut(&seq) else {
+                    debug_assert!(false, "unsacked entry {seq} missing from segs");
+                    self.unsacked.remove(&seq);
+                    continue;
+                };
                 seg.sacked = true;
                 self.unsacked.remove(&seq);
                 self.in_flight_bytes -= seg.len;
@@ -736,10 +742,8 @@ impl Handler for TcpSender {
                     self.arm_rto(ctx);
                 }
             }
-            KIND_TLP => {
-                if token >> 3 == self.tlp_gen {
-                    self.fire_tlp(ctx);
-                }
+            KIND_TLP if token >> 3 == self.tlp_gen => {
+                self.fire_tlp(ctx);
             }
             _ => {}
         }

@@ -1,0 +1,135 @@
+//! A scripted fault cascade over one volunteer node's path, showing how
+//! the fault-injection subsystem and the hardened tools interact.
+//!
+//! Timeline (all virtual time):
+//!
+//! * **Phase 1 (0–120 s)** — clear sky: baseline ping + iperf.
+//! * **Phase 2 (120–240 s)** — weather fade: moderate rain soaks the
+//!   access link with the channel model's extra loss.
+//! * **Phase 3 (240–360 s)** — handover storm: the access link flaps on
+//!   the 15-second reconfiguration boundary, 35% down per cycle.
+//! * **Phase 4 (360–420 s)** — gateway blackout: the PoP-side gateway
+//!   goes dark entirely; every tool degrades or fails, none hang.
+//!
+//! ```text
+//! cargo run --release --example fault_storm
+//! ```
+
+use starlink_core::channel::WeatherCondition;
+use starlink_core::faults::{FaultPlan, LinkRef};
+use starlink_core::netsim::{LinkConfig, Network, NodeKind};
+use starlink_core::simcore::{Bytes, DataRate, SimDuration, SimTime};
+use starlink_core::tools::iperf_tcp;
+use starlink_core::tools::{iperf_udp, ping, PingOptions};
+use starlink_core::transport::CcAlgorithm;
+
+fn main() {
+    let mut net = Network::new(2024);
+    let dishy = net.add_node("dishy", NodeKind::Host);
+    let gw = net.add_node("gateway", NodeKind::Router);
+    let server = net.add_node("server", NodeKind::Host);
+    // A Starlink-shaped access link and a clean terrestrial leg.
+    net.connect_duplex(
+        dishy,
+        gw,
+        LinkConfig::fixed(SimDuration::from_millis(25), DataRate::from_mbps(80), 0.002)
+            .with_queue(Bytes::from_kb(256)),
+        LinkConfig::fixed(SimDuration::from_millis(25), DataRate::from_mbps(15), 0.002),
+    );
+    net.connect_duplex(gw, server, LinkConfig::ethernet(), LinkConfig::ethernet());
+    net.route_linear(&[dishy, gw, server]);
+
+    // The whole storm is one deterministic plan, installed up front.
+    let access_down = LinkRef::Between(dishy, gw);
+    let access_up = LinkRef::Between(gw, dishy);
+    let mut plan = FaultPlan::new();
+    for link in [access_down, access_up] {
+        plan.weather_fade(
+            link,
+            SimTime::from_secs(120),
+            SimDuration::from_secs(120),
+            WeatherCondition::ModerateRain,
+        );
+        // Down 35% of every 15 s cycle: the up-gap (9.75 s) is shorter
+        // than a 10 s tool run, so every phase-3 measurement straddles
+        // at least one outage.
+        plan.link_flap(
+            link,
+            SimTime::from_secs(240),
+            SimTime::from_secs(360),
+            SimDuration::from_secs(15),
+            0.35,
+        );
+    }
+    plan.gateway_blackout(gw, SimTime::from_secs(360), SimDuration::from_secs(60));
+    plan.apply(&mut net)
+        .expect("plan targets existing elements");
+
+    let phases = [
+        "clear sky (baseline)",
+        "weather fade (moderate rain)",
+        "handover storm (15 s flaps)",
+        "gateway blackout",
+    ];
+    println!("fault storm: one deterministic plan, four phases\n");
+    for (i, phase) in phases.iter().enumerate() {
+        let phase_start = SimTime::from_secs(i as u64 * 120);
+        net.run_until(phase_start);
+        println!("== phase {}: {phase} ==", i + 1);
+
+        // "Pop ping": the gateway answers echoes itself, like the Dishy's
+        // own pop-ping statistic.
+        let pr = ping(
+            &mut net,
+            dishy,
+            gw,
+            &PingOptions {
+                count: 20,
+                interval: SimDuration::from_millis(500),
+                retries: 1,
+                ..PingOptions::default()
+            },
+        );
+        println!("  ping    [{}] {}", pr.outcome, pr.summary());
+
+        let udp = iperf_udp(
+            &mut net,
+            dishy,
+            server,
+            DataRate::from_mbps(10),
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(1),
+        );
+        println!(
+            "  udp     [{}] {:.1} Mbps goodput, {:.1}% loss",
+            udp.outcome,
+            udp.goodput.as_mbps(),
+            udp.loss * 100.0
+        );
+
+        let tcp = iperf_tcp(
+            &mut net,
+            dishy,
+            server,
+            CcAlgorithm::Cubic,
+            SimDuration::from_secs(10),
+        );
+        println!(
+            "  tcp     [{}] {:.1} Mbps goodput, {} retx, {} RTOs\n",
+            tcp.outcome,
+            tcp.goodput.as_mbps(),
+            tcp.retransmissions,
+            tcp.rtos
+        );
+    }
+
+    let stats = net.stats();
+    println!(
+        "network totals: {} delivered, {} node-faulted",
+        stats.delivered, stats.node_faulted
+    );
+    println!(
+        "access-link faults: {} dropped in fault windows",
+        net.link_stats(0).faulted + net.link_stats(1).faulted
+    );
+}

@@ -4,7 +4,13 @@
 //! universe.
 
 use starlink_core::experiments::{fig6c, fig7, table1};
-use starlink_core::simcore::SimDuration;
+use starlink_core::faults::{FaultPlan, LinkRef};
+use starlink_core::netsim::{LinkConfig, Network, NetworkStats, NodeKind};
+use starlink_core::simcore::{DataRate, SimDuration, SimTime};
+use starlink_core::tools::{
+    iperf_udp, ping, traceroute, IperfUdpReport, PingOptions, PingReport, TracerouteOptions,
+    TracerouteResult,
+};
 
 #[test]
 fn table1_is_seed_deterministic() {
@@ -69,6 +75,118 @@ fn fig6c_ccdf_is_seed_deterministic() {
     let b = fig6c::run(&cfg);
     assert_eq!(a.ccdf_at_5pct.to_bits(), b.ccdf_at_5pct.to_bits());
     assert_eq!(a.max_loss.to_bits(), b.max_loss.to_bits());
+}
+
+/// client - gw - pop - server, with a scripted fault storm: the gw-pop
+/// link flaps, the pop-server link takes burst corruption, the gateway
+/// blacks out for a window, and the access link gets extra loss.
+fn faulted_measurement_run(
+    seed: u64,
+) -> (NetworkStats, PingReport, TracerouteResult, IperfUdpReport) {
+    let mut net = Network::new(seed);
+    let c = net.add_node("client", NodeKind::Host);
+    let gw = net.add_node("gw", NodeKind::Router);
+    let pop = net.add_node("pop", NodeKind::Router);
+    let s = net.add_node("server", NodeKind::Host);
+    let cfg = || LinkConfig::fixed(SimDuration::from_millis(10), DataRate::from_mbps(50), 0.01);
+    net.connect_duplex(c, gw, cfg(), cfg());
+    net.connect_duplex(gw, pop, cfg(), cfg());
+    net.connect_duplex(pop, s, cfg(), cfg());
+    net.route_linear(&[c, gw, pop, s]);
+
+    let mut plan = FaultPlan::new();
+    plan.link_flap(
+        LinkRef::Between(gw, pop),
+        SimTime::from_secs(5),
+        SimTime::from_secs(60),
+        SimDuration::from_secs(15),
+        0.2,
+    );
+    plan.burst_corruption(
+        LinkRef::Between(pop, s),
+        SimTime::from_secs(20),
+        SimDuration::from_secs(10),
+        0.3,
+    );
+    plan.gateway_blackout(gw, SimTime::from_secs(40), SimDuration::from_secs(3));
+    plan.apply(&mut net).expect("plan names real elements");
+
+    let ping_report = ping(
+        &mut net,
+        c,
+        s,
+        &PingOptions {
+            count: 30,
+            interval: SimDuration::from_millis(500),
+            retries: 1,
+            ..PingOptions::default()
+        },
+    );
+    let trace = traceroute(
+        &mut net,
+        c,
+        s,
+        &TracerouteOptions {
+            max_ttl: 6,
+            retries: 1,
+            ..TracerouteOptions::default()
+        },
+    );
+    let udp = iperf_udp(
+        &mut net,
+        c,
+        s,
+        DataRate::from_mbps(10),
+        SimDuration::from_secs(5),
+        SimDuration::from_secs(1),
+    );
+    (net.stats(), ping_report, trace, udp)
+}
+
+#[test]
+fn fault_replay_same_seed_same_plan_is_byte_identical() {
+    let a = faulted_measurement_run(11);
+    let b = faulted_measurement_run(11);
+    assert_eq!(a.0, b.0, "NetworkStats must replay identically");
+    assert_eq!(a.1, b.1, "ping report must replay identically");
+    assert_eq!(a.2, b.2, "traceroute result must replay identically");
+    assert_eq!(a.3, b.3, "iperf UDP report must replay identically");
+}
+
+#[test]
+fn fault_replay_differs_across_seeds() {
+    let a = faulted_measurement_run(11);
+    let b = faulted_measurement_run(12);
+    assert_ne!(
+        (a.0, a.1),
+        (b.0, b.1),
+        "a different seed must see different packet fates"
+    );
+}
+
+#[test]
+fn installing_an_empty_plan_changes_nothing() {
+    let run = |with_plan: bool| {
+        let mut net = Network::new(3);
+        let a = net.add_node("a", NodeKind::Host);
+        let b = net.add_node("b", NodeKind::Host);
+        net.connect_duplex(
+            a,
+            b,
+            LinkConfig::fixed(SimDuration::from_millis(5), DataRate::from_mbps(20), 0.1),
+            LinkConfig::ethernet(),
+        );
+        net.route_linear(&[a, b]);
+        if with_plan {
+            FaultPlan::new().apply(&mut net).expect("empty plan");
+        }
+        ping(&mut net, a, b, &PingOptions::default())
+    };
+    assert_eq!(
+        run(false),
+        run(true),
+        "an empty fault plan must consume no randomness"
+    );
 }
 
 #[test]

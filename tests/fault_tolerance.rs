@@ -1,0 +1,148 @@
+//! Tools never hang: under a total blackout — every link down from t=0,
+//! forever — each measurement tool must terminate within its virtual-time
+//! budget, without panicking, and report a `Degraded`/`Failed` outcome
+//! instead of fabricated numbers.
+
+use starlink_core::faults::FaultPlan;
+use starlink_core::netsim::{LinkConfig, Network, NodeId, NodeKind};
+use starlink_core::simcore::{DataRate, SimDuration, SimTime};
+use starlink_core::tools::{
+    iperf_tcp, iperf_udp, mtr, ping, speedtest, traceroute, PingOptions, TracerouteOptions,
+};
+use starlink_core::transport::CcAlgorithm;
+
+/// client - gw - server with every link down from t=0 onwards.
+fn blackout_net() -> (Network, NodeId, NodeId) {
+    let mut net = Network::new(3);
+    let c = net.add_node("client", NodeKind::Host);
+    let gw = net.add_node("gw", NodeKind::Router);
+    let s = net.add_node("server", NodeKind::Host);
+    net.connect_duplex(c, gw, LinkConfig::ethernet(), LinkConfig::ethernet());
+    net.connect_duplex(gw, s, LinkConfig::ethernet(), LinkConfig::ethernet());
+    net.route_linear(&[c, gw, s]);
+    FaultPlan::total_blackout(&net, SimTime::ZERO)
+        .apply(&mut net)
+        .expect("blackout plan targets every existing link");
+    (net, c, s)
+}
+
+#[test]
+fn ping_terminates_failed_within_budget() {
+    let (mut net, c, s) = blackout_net();
+    let opts = PingOptions {
+        count: 5,
+        interval: SimDuration::from_millis(200),
+        retries: 3,
+        ..PingOptions::default()
+    };
+    let start = net.now();
+    let report = ping(&mut net, c, s, &opts);
+    assert!(report.outcome.is_failed(), "{}", report.outcome);
+    assert_eq!(report.received(), 0);
+    assert!(net.now().since(start) <= opts.virtual_time_budget());
+}
+
+#[test]
+fn traceroute_terminates_failed_within_budget() {
+    let (mut net, c, s) = blackout_net();
+    let opts = TracerouteOptions {
+        max_ttl: 8,
+        retries: 2,
+        ..TracerouteOptions::default()
+    };
+    let start = net.now();
+    let result = traceroute(&mut net, c, s, &opts);
+    assert!(result.outcome.is_failed(), "{}", result.outcome);
+    assert!(!result.reached);
+    assert!(result.hops.is_empty());
+    assert!(net.now().since(start) <= opts.virtual_time_budget());
+}
+
+#[test]
+fn mtr_terminates_failed_within_budget() {
+    let (mut net, c, s) = blackout_net();
+    let opts = TracerouteOptions {
+        max_ttl: 4,
+        retries: 1,
+        ..TracerouteOptions::default()
+    };
+    let rounds = 3u32;
+    let round_gap = SimDuration::from_millis(500);
+    let start = net.now();
+    let report = mtr(&mut net, c, s, &opts, rounds, round_gap);
+    assert!(report.outcome.is_failed(), "{}", report.outcome);
+    assert!(report.hops.iter().all(|h| h.rtts.is_empty()));
+    let budget = opts
+        .virtual_time_budget()
+        .saturating_add(round_gap)
+        .mul_f64(f64::from(rounds));
+    assert!(net.now().since(start) <= budget);
+}
+
+#[test]
+fn iperf_tcp_terminates_failed_on_schedule() {
+    let (mut net, c, s) = blackout_net();
+    let start = net.now();
+    let report = iperf_tcp(
+        &mut net,
+        c,
+        s,
+        CcAlgorithm::Cubic,
+        SimDuration::from_secs(5),
+    );
+    assert!(report.outcome.is_failed(), "{}", report.outcome);
+    assert_eq!(report.bytes, 0);
+    // The run occupies exactly the test window plus the 2 s drain.
+    assert_eq!(net.now().since(start), SimDuration::from_secs(7));
+}
+
+#[test]
+fn iperf_udp_terminates_failed_on_schedule() {
+    let (mut net, c, s) = blackout_net();
+    let start = net.now();
+    let report = iperf_udp(
+        &mut net,
+        c,
+        s,
+        DataRate::from_mbps(10),
+        SimDuration::from_secs(4),
+        SimDuration::from_secs(1),
+    );
+    assert!(report.outcome.is_failed(), "{}", report.outcome);
+    assert_eq!(report.received, 0);
+    // The run occupies exactly the test window plus the 1 s drain.
+    assert_eq!(net.now().since(start), SimDuration::from_secs(5));
+}
+
+#[test]
+fn speedtest_terminates_failed() {
+    let (mut net, c, s) = blackout_net();
+    let result = speedtest(&mut net, c, s, SimDuration::from_secs(3));
+    assert!(result.outcome.is_failed(), "{}", result.outcome);
+    assert_eq!(result.downlink.as_mbps(), 0.0);
+    assert_eq!(result.uplink.as_mbps(), 0.0);
+}
+
+#[test]
+fn blackout_lifting_restores_measurements() {
+    // Blackout for the first 30 s only: a ping started at t=60 s works.
+    let mut net = Network::new(4);
+    let c = net.add_node("client", NodeKind::Host);
+    let s = net.add_node("server", NodeKind::Host);
+    net.connect_duplex(c, s, LinkConfig::ethernet(), LinkConfig::ethernet());
+    net.route_linear(&[c, s]);
+    let mut plan = FaultPlan::new();
+    plan.satellite_outage(
+        (0..net.link_count())
+            .map(starlink_core::faults::LinkRef::Index)
+            .collect(),
+        SimTime::ZERO,
+        SimDuration::from_secs(30),
+    );
+    plan.apply(&mut net).expect("valid plan");
+
+    net.run_until(SimTime::from_secs(60));
+    let report = ping(&mut net, c, s, &PingOptions::default());
+    assert!(report.outcome.is_complete(), "{}", report.outcome);
+    assert_eq!(report.received(), 10);
+}
