@@ -17,22 +17,64 @@
 //! end-of-run summary, and the exit code reflects hard failures only.
 //! `--keep-going` (the default when running `all`) continues past
 //! failures so one broken experiment cannot sink a whole campaign run.
+//!
+//! ## The `campaign` artefact
+//!
+//! `repro campaign` drives the telemetry deployment through the resilient
+//! ingestion path under the standard fault storm and prints the per-user
+//! coverage report. It checkpoints at day boundaries and can resume a
+//! killed run byte-identically:
+//!
+//! ```text
+//! repro campaign --days 60 --checkpoint-every 30 --kill-at-day 45
+//! repro campaign --days 60 --checkpoint-every 30 --resume
+//! ```
+//!
+//! `--out DIR` (default `target/repro`) receives `campaign_digest.txt`
+//! (the canonical dataset digest — diff it across kill/resume runs) and
+//! `campaign_coverage.txt` (the full coverage report).
 
 use starlink_bench::{export_dat, report};
 use starlink_core::experiments::*;
 use starlink_core::simcore::SimDuration;
+use starlink_core::telemetry::{Campaign, CampaignConfig, IngestOptions, ResilientCampaign};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 
 const ARTEFACTS: [&str; 13] = [
     "fig1", "fig2", "table1", "fig3", "fig4", "fig5", "table2", "table3", "fig6a", "fig6b",
     "fig6c", "fig7", "fig8",
 ];
 
+/// Flags of the `campaign` artefact (ignored by the others).
+struct CampaignOpts {
+    days: u64,
+    checkpoint_every: u64,
+    checkpoint: PathBuf,
+    resume: bool,
+    kill_at_day: Option<u64>,
+    out: PathBuf,
+}
+
+impl Default for CampaignOpts {
+    fn default() -> Self {
+        CampaignOpts {
+            days: 60,
+            checkpoint_every: 0,
+            checkpoint: PathBuf::from("target/repro/campaign.ckpt"),
+            resume: false,
+            kill_at_day: None,
+            out: PathBuf::from("target/repro"),
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed: u64 = 42;
     let mut targets: Vec<String> = Vec::new();
     let mut keep_going = false;
+    let mut campaign = CampaignOpts::default();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -41,6 +83,38 @@ fn main() {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--days" => {
+                campaign.days = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--days needs a number"));
+            }
+            "--checkpoint-every" => {
+                campaign.checkpoint_every = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--checkpoint-every needs a day count"));
+            }
+            "--checkpoint" => {
+                campaign.checkpoint = it
+                    .next()
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| usage("--checkpoint needs a path"));
+            }
+            "--resume" => campaign.resume = true,
+            "--kill-at-day" => {
+                campaign.kill_at_day = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--kill-at-day needs a day number")),
+                );
+            }
+            "--out" => {
+                campaign.out = it
+                    .next()
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| usage("--out needs a directory"));
             }
             "--keep-going" | "-k" => keep_going = true,
             "--help" | "-h" => usage(""),
@@ -59,7 +133,14 @@ fn main() {
     let mut completed: Vec<String> = Vec::new();
     let mut failures: Vec<(String, String)> = Vec::new();
     for target in &targets {
-        match run_one(target, seed) {
+        let outcome = if target == "campaign" {
+            catch_unwind(AssertUnwindSafe(|| run_campaign(seed, &campaign)))
+                .map_err(|payload| format!("panicked: {}", panic_message(&payload)))
+                .and_then(|r| r)
+        } else {
+            run_one(target, seed)
+        };
+        match outcome {
             Ok(()) => completed.push(target.clone()),
             Err(err) => {
                 eprintln!("[fail] {target}: {err}");
@@ -91,8 +172,96 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!("usage: repro [--seed N] [--keep-going] <artefact>...");
-    eprintln!("artefacts: all {}", ARTEFACTS.join(" "));
+    eprintln!("artefacts: all campaign {}", ARTEFACTS.join(" "));
+    eprintln!(
+        "campaign flags: [--days N] [--checkpoint-every N] [--checkpoint PATH] \
+         [--resume] [--kill-at-day D] [--out DIR]"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// Drives the fault-storm telemetry campaign through the resilient
+/// ingestion path with optional day-boundary checkpointing, simulated
+/// kills, and byte-identical resume.
+fn run_campaign(seed: u64, o: &CampaignOpts) -> Result<(), String> {
+    let config = CampaignConfig {
+        seed,
+        days: o.days,
+        ..CampaignConfig::default()
+    };
+    let users = Campaign::new(config.clone()).population().users.len();
+    let options = IngestOptions::fault_storm(users, o.days);
+    let mut rc = if o.resume {
+        let bytes = std::fs::read(&o.checkpoint)
+            .map_err(|e| format!("cannot read checkpoint {}: {e}", o.checkpoint.display()))?;
+        let rc = ResilientCampaign::resume(config, options, &bytes)
+            .map_err(|e| format!("refusing checkpoint {}: {e}", o.checkpoint.display()))?;
+        println!(
+            "[campaign] resumed from {} at day {}",
+            o.checkpoint.display(),
+            rc.next_day()
+        );
+        rc
+    } else {
+        ResilientCampaign::new(config, options)
+    };
+
+    while !rc.is_finished() {
+        rc.run_day();
+        let day = rc.next_day();
+        let due = o.checkpoint_every > 0 && day % o.checkpoint_every == 0 && !rc.is_finished();
+        if due {
+            if let Some(dir) = o.checkpoint.parent() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            }
+            std::fs::write(&o.checkpoint, rc.checkpoint())
+                .map_err(|e| format!("cannot write {}: {e}", o.checkpoint.display()))?;
+            println!(
+                "[campaign] checkpoint at day {day} -> {}",
+                o.checkpoint.display()
+            );
+        }
+        if let Some(kill) = o.kill_at_day {
+            if day >= kill && !rc.is_finished() {
+                println!(
+                    "[campaign] simulated kill at day {day} ({} batches spooled); \
+                     rerun with --resume to continue",
+                    rc.spooled()
+                );
+                return Ok(());
+            }
+        }
+    }
+
+    let collection = rc.finish();
+    let coverage = collection.coverage.render();
+    let digest = format!("{:016x}\n", collection.dataset.digest());
+    let shape = if collection.coverage.sums_hold() {
+        Ok(())
+    } else {
+        Err("coverage accounting does not sum to 100%".to_string())
+    };
+    let mut rendered = coverage.clone();
+    rendered.push_str(&format!(
+        "\nquarantined uploads: {} ({} duplicate re-uploads deduped)\n\
+         canonical dataset digest: {digest}",
+        collection.quarantine.len(),
+        collection.duplicates,
+    ));
+    report("Campaign — resilient telemetry ingestion", &rendered, shape);
+
+    std::fs::create_dir_all(&o.out)
+        .map_err(|e| format!("cannot create {}: {e}", o.out.display()))?;
+    std::fs::write(o.out.join("campaign_digest.txt"), &digest)
+        .map_err(|e| format!("cannot write digest: {e}"))?;
+    std::fs::write(o.out.join("campaign_coverage.txt"), &coverage)
+        .map_err(|e| format!("cannot write coverage: {e}"))?;
+    println!(
+        "[campaign] wrote {} and campaign_coverage.txt",
+        o.out.join("campaign_digest.txt").display()
+    );
+    Ok(())
 }
 
 /// Runs one artefact in isolation: a panic anywhere inside an experiment

@@ -63,6 +63,21 @@ impl AccessTech {
         AccessTech::CampusWifi,
     ];
 
+    /// Stable one-byte wire code (the index in [`AccessTech::ALL`]), used
+    /// by the telemetry wire format. Append-only: never reorder.
+    pub fn code(self) -> u8 {
+        AccessTech::ALL
+            .iter()
+            .position(|&t| t == self)
+            .map(|i| i as u8)
+            .unwrap_or(0)
+    }
+
+    /// Decodes an [`AccessTech::code`]; `None` for unknown bytes.
+    pub fn from_code(code: u8) -> Option<AccessTech> {
+        AccessTech::ALL.get(code as usize).copied()
+    }
+
     /// Display label.
     pub fn label(self) -> &'static str {
         match self {

@@ -48,6 +48,21 @@ impl WeatherCondition {
         WeatherCondition::ModerateRain,
     ];
 
+    /// Stable one-byte wire code (the index in [`WeatherCondition::ALL`]),
+    /// used by the telemetry wire format. Append-only: never reorder.
+    pub fn code(self) -> u8 {
+        WeatherCondition::ALL
+            .iter()
+            .position(|&w| w == self)
+            .map(|i| i as u8)
+            .unwrap_or(0)
+    }
+
+    /// Decodes a [`WeatherCondition::code`]; `None` for unknown bytes.
+    pub fn from_code(code: u8) -> Option<WeatherCondition> {
+        WeatherCondition::ALL.get(code as usize).copied()
+    }
+
     /// Human-readable label (matches the paper's x-axis).
     pub fn label(self) -> &'static str {
         match self {

@@ -6,9 +6,10 @@
 //! after the switch to SpaceX's own AS — attributed to Google's better
 //! peering.
 
+use super::ingestion::{self, IngestSummary};
 use starlink_analysis::{median, DatSeries, Ecdf};
 use starlink_geo::City;
-use starlink_telemetry::{Campaign, CampaignConfig, ExitAs};
+use starlink_telemetry::ExitAs;
 
 /// Experiment parameters.
 #[derive(Debug, Clone)]
@@ -51,16 +52,15 @@ pub struct Curve {
 pub struct Fig3 {
     /// All eight curves (2 cities × popular × AS).
     pub curves: Vec<Curve>,
+    /// Ingestion coverage of the dataset behind the curves.
+    pub coverage: IngestSummary,
 }
 
-/// Runs the campaign and builds the eight CDFs.
+/// Runs the campaign through the resilient ingestion path and builds the
+/// eight CDFs from the collected dataset.
 pub fn run(config: &Config) -> Fig3 {
-    let campaign = Campaign::new(CampaignConfig {
-        seed: config.seed,
-        days: config.days,
-        ..CampaignConfig::default()
-    });
-    let dataset = campaign.run();
+    let collection = ingestion::collect(config.seed, config.days);
+    let dataset = &collection.dataset;
     let mut curves = Vec::new();
     for city in [City::London, City::Sydney] {
         for popular in [true, false] {
@@ -78,7 +78,10 @@ pub fn run(config: &Config) -> Fig3 {
             }
         }
     }
-    Fig3 { curves }
+    Fig3 {
+        curves,
+        coverage: IngestSummary::of(&collection),
+    }
 }
 
 impl Fig3 {
@@ -107,6 +110,7 @@ impl Fig3 {
                 c.samples,
             ));
         }
+        out.push_str(&format!("\n{}\n", self.coverage.render_line()));
         out
     }
 
@@ -170,6 +174,9 @@ impl Fig3 {
                     pop.median_ms, unpop.median_ms
                 ));
             }
+        }
+        if !self.coverage.sums_hold {
+            return Err("ingestion coverage accounting does not sum to 100%".into());
         }
         Ok(())
     }

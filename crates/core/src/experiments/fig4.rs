@@ -5,10 +5,10 @@
 //! from 470.5 ms under clear sky to 931.5 ms under moderate rain (~2×),
 //! with moderate rain clearly above every cloud-only condition.
 
+use super::ingestion::{self, IngestSummary};
 use starlink_analysis::{five_number_summary, AsciiTable, FiveNumber};
 use starlink_channel::WeatherCondition;
 use starlink_geo::City;
-use starlink_telemetry::{Campaign, CampaignConfig};
 
 /// Experiment parameters.
 #[derive(Debug, Clone)]
@@ -44,16 +44,15 @@ pub struct WeatherBox {
 pub struct Fig4 {
     /// One box per condition, in cloud-cover order.
     pub boxes: Vec<WeatherBox>,
+    /// Ingestion coverage of the dataset behind the boxes.
+    pub coverage: IngestSummary,
 }
 
-/// Runs the campaign and builds the per-condition boxes.
+/// Runs the campaign through the resilient ingestion path and builds the
+/// per-condition boxes from the collected dataset.
 pub fn run(config: &Config) -> Fig4 {
-    let campaign = Campaign::new(CampaignConfig {
-        seed: config.seed,
-        days: config.days,
-        ..CampaignConfig::default()
-    });
-    let dataset = campaign.run();
+    let collection = ingestion::collect(config.seed, config.days);
+    let dataset = &collection.dataset;
     let boxes = WeatherCondition::ALL
         .into_iter()
         .filter_map(|weather| {
@@ -65,7 +64,10 @@ pub fn run(config: &Config) -> Fig4 {
             })
         })
         .collect();
-    Fig4 { boxes }
+    Fig4 {
+        boxes,
+        coverage: IngestSummary::of(&collection),
+    }
 }
 
 impl Fig4 {
@@ -91,7 +93,7 @@ impl Fig4 {
                 b.samples.to_string(),
             ]);
         }
-        t.render()
+        format!("{}\n{}\n", t.render(), self.coverage.render_line())
     }
 
     /// Shape checks: the ~2× clear→moderate-rain ratio, and moderate rain
@@ -118,6 +120,9 @@ impl Fig4 {
                 "moderate rain ({rain:.0}) must stand above light rain \
                  ({light:.0}) and overcast ({overcast:.0})"
             ));
+        }
+        if !self.coverage.sums_hold {
+            return Err("ingestion coverage accounting does not sum to 100%".into());
         }
         Ok(())
     }

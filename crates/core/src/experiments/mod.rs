@@ -32,6 +32,7 @@ pub mod fig6b;
 pub mod fig6c;
 pub mod fig7;
 pub mod fig8;
+pub mod ingestion;
 pub mod table1;
 pub mod table2;
 pub mod table3;

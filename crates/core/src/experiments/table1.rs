@@ -12,10 +12,10 @@
 //! population in every city; London < Seattle < Sydney for Starlink;
 //! London carries the most data.
 
+use super::ingestion::{self, IngestSummary};
 use starlink_analysis::AsciiTable;
 use starlink_geo::City;
 use starlink_telemetry::records::CityAggregate;
-use starlink_telemetry::{Campaign, CampaignConfig};
 
 /// Experiment parameters.
 #[derive(Debug, Clone)]
@@ -53,16 +53,15 @@ pub struct Table1 {
     pub rows: Vec<Row>,
     /// Total page records collected campaign-wide.
     pub total_records: usize,
+    /// Ingestion coverage of the dataset the table was computed from.
+    pub coverage: IngestSummary,
 }
 
-/// Runs the campaign and aggregates the three Table 1 cities.
+/// Runs the campaign through the resilient ingestion path and aggregates
+/// the three Table 1 cities from the *collected* dataset.
 pub fn run(config: &Config) -> Table1 {
-    let campaign = Campaign::new(CampaignConfig {
-        seed: config.seed,
-        days: config.days,
-        ..CampaignConfig::default()
-    });
-    let dataset = campaign.run();
+    let collection = ingestion::collect(config.seed, config.days);
+    let dataset = &collection.dataset;
     let rows = [City::London, City::Seattle, City::Sydney]
         .into_iter()
         .map(|city| Row {
@@ -74,6 +73,7 @@ pub fn run(config: &Config) -> Table1 {
     Table1 {
         rows,
         total_records: dataset.pages.len(),
+        coverage: IngestSummary::of(&collection),
     }
 }
 
@@ -104,9 +104,10 @@ impl Table1 {
             ]);
         }
         format!(
-            "{}\ntotal page records: {} (paper: >50,000 readings)\n",
+            "{}\ntotal page records: {} (paper: >50,000 readings)\n{}\n",
             t.render(),
-            self.total_records
+            self.total_records,
+            self.coverage.render_line()
         )
     }
 
@@ -135,6 +136,9 @@ impl Table1 {
         {
             return Err("Starlink PTT ordering London < Seattle < Sydney violated".into());
         }
+        if !self.coverage.sums_hold {
+            return Err("ingestion coverage accounting does not sum to 100%".into());
+        }
         Ok(())
     }
 }
@@ -162,5 +166,7 @@ mod tests {
             assert!(s.contains(city), "missing {city}");
         }
         assert!(s.contains("median PTT"));
+        assert!(s.contains("ingestion coverage"), "coverage line missing");
+        assert!(s.contains("100.0% delivered"));
     }
 }

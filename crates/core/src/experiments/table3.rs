@@ -5,9 +5,9 @@
 //! Shape targets: strict DL ordering London > Seattle > Toronto > Warsaw,
 //! and London's uplink clearly the highest.
 
+use super::ingestion::{self, IngestSummary};
 use starlink_analysis::AsciiTable;
 use starlink_geo::City;
-use starlink_telemetry::{Campaign, CampaignConfig};
 
 /// Experiment parameters.
 #[derive(Debug, Clone)]
@@ -45,19 +45,18 @@ pub struct Row {
 pub struct Table3 {
     /// Rows in the paper's order.
     pub rows: Vec<Row>,
+    /// Ingestion coverage of the dataset behind the medians.
+    pub coverage: IngestSummary,
 }
 
 /// The four cities in the paper's row order.
 pub const CITIES: [City; 4] = [City::London, City::Seattle, City::Toronto, City::Warsaw];
 
-/// Runs the campaign and extracts the speedtest medians.
+/// Runs the campaign through the resilient ingestion path and extracts
+/// the speedtest medians from the collected dataset.
 pub fn run(config: &Config) -> Table3 {
-    let campaign = Campaign::new(CampaignConfig {
-        seed: config.seed,
-        days: config.days,
-        ..CampaignConfig::default()
-    });
-    let dataset = campaign.run();
+    let collection = ingestion::collect(config.seed, config.days);
+    let dataset = &collection.dataset;
     let rows = CITIES
         .into_iter()
         .map(|city| {
@@ -75,7 +74,10 @@ pub fn run(config: &Config) -> Table3 {
             }
         })
         .collect();
-    Table3 { rows }
+    Table3 {
+        rows,
+        coverage: IngestSummary::of(&collection),
+    }
 }
 
 impl Table3 {
@@ -93,7 +95,7 @@ impl Table3 {
                 row.tests.to_string(),
             ]);
         }
-        t.render()
+        format!("{}\n{}\n", t.render(), self.coverage.render_line())
     }
 
     /// Shape checks: the paper's strict downlink ordering.
@@ -112,6 +114,9 @@ impl Table3 {
         let london = &self.rows[0];
         if london.ul_mbps <= self.rows[1].ul_mbps {
             return Err("London UL should lead (paper: 11.3 vs 6.6)".into());
+        }
+        if !self.coverage.sums_hold {
+            return Err("ingestion coverage accounting does not sum to 100%".into());
         }
         Ok(())
     }

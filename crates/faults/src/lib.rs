@@ -231,6 +231,31 @@ impl FaultPlan {
         self
     }
 
+    /// Appends every event of `other`, preserving order — compose a
+    /// campaign-wide plan from per-subsystem sub-plans.
+    pub fn extend(&mut self, other: &FaultPlan) -> &mut Self {
+        self.events.extend(other.events.iter().cloned());
+        self
+    }
+
+    /// A stable 64-bit fingerprint of the scripted events (FNV-1a over
+    /// their canonical debug rendering). Two plans fingerprint equal iff
+    /// they script the same events in the same order; checkpoint files
+    /// store this to refuse resuming under a different fault scenario.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for event in &self.events {
+            for b in format!("{event:?}").bytes() {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            // Separator so event boundaries matter.
+            hash ^= 0xFF;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+
     /// Scripts a satellite outage taking `links` down together.
     pub fn satellite_outage(
         &mut self,
@@ -664,6 +689,29 @@ mod tests {
             plan.dropout_windows(),
             vec![(SimTime::from_secs(10), SimTime::from_secs(30))]
         );
+    }
+
+    #[test]
+    fn extend_concatenates_preserving_order() {
+        let mut a = FaultPlan::new();
+        a.node_dropout(NodeId(0), SimTime::ZERO, SimDuration::from_secs(1));
+        let mut b = FaultPlan::new();
+        b.gateway_blackout(NodeId(1), SimTime::from_secs(5), SimDuration::from_secs(2));
+        a.extend(&b);
+        assert_eq!(a.events().len(), 2);
+        assert!(matches!(a.events()[1], FaultEvent::GatewayBlackout { .. }));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_plans() {
+        let mut a = FaultPlan::new();
+        a.node_dropout(NodeId(0), SimTime::ZERO, SimDuration::from_secs(1));
+        let copy = a.clone();
+        assert_eq!(a.fingerprint(), copy.fingerprint());
+        assert_ne!(a.fingerprint(), FaultPlan::new().fingerprint());
+        let mut b = FaultPlan::new();
+        b.node_dropout(NodeId(0), SimTime::ZERO, SimDuration::from_secs(2));
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

@@ -106,6 +106,24 @@ impl City {
         City::MadridDc,
     ];
 
+    /// A stable one-byte wire code for this location (its index in
+    /// [`City::ALL`]), used by the telemetry wire format. New locations
+    /// must be appended to `ALL`, never reordered, to keep old encoded
+    /// datasets decodable.
+    pub fn code(self) -> u8 {
+        City::ALL
+            .iter()
+            .position(|&c| c == self)
+            .map(|i| i as u8)
+            .unwrap_or(0)
+    }
+
+    /// Decodes a [`City::code`] value; `None` for unknown codes (e.g. a
+    /// corrupted byte or a record from a newer catalogue).
+    pub fn from_code(code: u8) -> Option<City> {
+        City::ALL.get(code as usize).copied()
+    }
+
     /// The ten browser-extension cities.
     pub fn extension_cities() -> impl Iterator<Item = City> {
         City::ALL
@@ -293,6 +311,14 @@ impl fmt::Display for City {
 
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn wire_codes_round_trip() {
+        for city in super::City::ALL {
+            assert_eq!(super::City::from_code(city.code()), Some(city));
+        }
+        assert_eq!(super::City::from_code(200), None);
+    }
+
     use super::*;
     use crate::coords::haversine_distance;
 

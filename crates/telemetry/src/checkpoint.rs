@@ -1,0 +1,476 @@
+//! Checkpoint/resume for the resilient campaign driver.
+//!
+//! A six-month measurement campaign must survive its own machine dying.
+//! [`ResilientCampaign::checkpoint`] serialises the complete driver
+//! state at a day boundary — per-user RNG states, coverage counters,
+//! offline spools and the collector (accepted records, dedup set,
+//! quarantine) — into a versioned, CRC-protected binary blob, and
+//! [`ResilientCampaign::resume`] rebuilds the driver from it.
+//!
+//! Guarantees:
+//!
+//! * **byte-identity** — a run checkpointed, killed and resumed at any
+//!   day boundary (any number of times) finishes with a dataset whose
+//!   [`crate::records::Dataset::digest`] equals the straight-through
+//!   run's;
+//! * **scenario safety** — resuming under a different seed, campaign
+//!   shape, or fault plan is refused with a typed
+//!   [`CheckpointError::Mismatch`], because mixing states from two
+//!   scenarios would silently fabricate a dataset no single scenario
+//!   produced;
+//! * **corruption safety** — a truncated or bit-flipped checkpoint
+//!   fails its CRC and is refused, like any other damaged upload in
+//!   this crate.
+
+use crate::ingest::{IngestOptions, QuarantinedBatch, ResilientCampaign, SpooledBatch};
+use crate::pipeline::CampaignConfig;
+use crate::wire::{
+    crc32, decode_page, decode_speedtest, encode_page, encode_speedtest, WireError, WireReader,
+    WireWriter,
+};
+use starlink_simcore::{SimRng, SimTime};
+use std::fmt;
+
+/// The four magic bytes every checkpoint starts with.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"SLCP";
+/// The current checkpoint format version.
+pub const CHECKPOINT_VERSION: u16 = 1;
+
+/// Why a checkpoint could not be restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The blob is structurally damaged (bad magic, truncation, CRC
+    /// failure, …).
+    Wire(WireError),
+    /// The blob is intact but belongs to a different scenario: the named
+    /// field differs between the checkpoint and the provided
+    /// configuration/options.
+    Mismatch {
+        /// Which field disagreed.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Wire(e) => write!(f, "damaged checkpoint: {e}"),
+            CheckpointError::Mismatch { field } => {
+                write!(
+                    f,
+                    "checkpoint belongs to a different scenario ({field} differs)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<WireError> for CheckpointError {
+    fn from(e: WireError) -> Self {
+        CheckpointError::Wire(e)
+    }
+}
+
+fn put_opt_u64(w: &mut WireWriter, v: Option<u64>) {
+    match v {
+        Some(x) => {
+            w.u8(1);
+            w.u64(x);
+        }
+        None => w.u8(0),
+    }
+}
+
+fn get_opt_u64(r: &mut WireReader<'_>) -> Result<Option<u64>, WireError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.u64()?)),
+        _ => Err(WireError::BadField { field: "option" }),
+    }
+}
+
+/// Maps a decoded reason-code string back to the `'static` table the
+/// quarantine API exposes. Codes outside the known set mean a corrupted
+/// (yet CRC-colliding) or future-format checkpoint.
+fn intern_reason(code: &str) -> Result<&'static str, WireError> {
+    const KNOWN: [&str; 6] = [
+        "bad-magic",
+        "unsupported-version",
+        "truncated",
+        "trailing-bytes",
+        "checksum-mismatch",
+        "bad-field",
+    ];
+    KNOWN
+        .iter()
+        .find(|&&k| k == code)
+        .copied()
+        .ok_or(WireError::BadField {
+            field: "reason-code",
+        })
+}
+
+impl ResilientCampaign {
+    /// Serialises the complete driver state (valid at day boundaries —
+    /// i.e. between [`ResilientCampaign::run_day`] calls) into a
+    /// versioned, CRC-protected blob.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.bytes(&CHECKPOINT_MAGIC);
+        w.u16(CHECKPOINT_VERSION);
+
+        let cfg = self.campaign.config();
+        w.u64(cfg.seed);
+        w.u64(cfg.days);
+        w.f64(cfg.pages_per_day);
+        w.u64(cfg.tranco_size);
+
+        w.u64(self.options.plan.fingerprint());
+        w.u32(self.options.max_retries);
+        w.u64(self.options.base_backoff.as_nanos());
+        w.u64(self.options.spool_days);
+        w.f64(self.options.ack_loss);
+
+        w.u64(self.next_day);
+
+        w.u32(self.rngs.len() as u32);
+        for (rng, cov) in self.rngs.iter().zip(&self.coverage) {
+            for part in rng.state() {
+                w.u64(part);
+            }
+            w.u64(cov.user);
+            w.u8(cov.city_code);
+            w.u64(cov.generated);
+            w.u64(cov.delivered);
+            w.u64(cov.quarantined);
+            w.u64(cov.lost);
+            w.u64(cov.duplicates);
+            w.u64(cov.retries);
+        }
+
+        w.u32(self.spool.len() as u32);
+        for b in &self.spool {
+            w.u32(b.user_idx as u32);
+            w.u64(b.seq);
+            w.u64(b.created_day);
+            w.u32(b.pages);
+            w.u32(b.speedtests);
+            w.u8(b.delivered as u8);
+            w.u32(b.bytes.len() as u32);
+            w.bytes(&b.bytes);
+        }
+
+        w.u32(self.collector.seen.len() as u32);
+        for &(user, seq) in &self.collector.seen {
+            w.u64(user);
+            w.u64(seq);
+        }
+        w.u64(self.collector.duplicates);
+        w.u32(self.collector.pages.len() as u32);
+        for p in &self.collector.pages {
+            encode_page(&mut w, p);
+        }
+        w.u32(self.collector.speedtests.len() as u32);
+        for s in &self.collector.speedtests {
+            encode_speedtest(&mut w, s);
+        }
+        w.u32(self.collector.quarantine.len() as u32);
+        for q in &self.collector.quarantine {
+            w.str(q.reason_code);
+            w.str(&q.detail);
+            put_opt_u64(&mut w, q.user);
+            put_opt_u64(&mut w, q.seq);
+            put_opt_u64(&mut w, q.claimed_records);
+            w.u64(q.wire_len);
+            w.u64(q.at.as_nanos());
+        }
+
+        w.seal()
+    }
+
+    /// Rebuilds a driver from a checkpoint, verifying both the blob's
+    /// integrity (CRC) and that it belongs to *this* scenario (same
+    /// seed, campaign shape, and fault-plan fingerprint).
+    pub fn resume(
+        config: CampaignConfig,
+        options: IngestOptions,
+        bytes: &[u8],
+    ) -> Result<Self, CheckpointError> {
+        if bytes.len() < 4 {
+            return Err(WireError::Truncated {
+                needed: 4,
+                got: bytes.len(),
+            }
+            .into());
+        }
+        let body = &bytes[..bytes.len() - 4];
+        let stated = u32::from_le_bytes([
+            bytes[bytes.len() - 4],
+            bytes[bytes.len() - 3],
+            bytes[bytes.len() - 2],
+            bytes[bytes.len() - 1],
+        ]);
+        let computed = crc32(body);
+        if stated != computed {
+            return Err(WireError::ChecksumMismatch { computed, stated }.into());
+        }
+
+        let mut r = WireReader::new(body);
+        let magic = r.bytes(4)?;
+        if magic != CHECKPOINT_MAGIC {
+            let mut found = [0u8; 4];
+            found.copy_from_slice(magic);
+            return Err(WireError::BadMagic { found }.into());
+        }
+        let version = r.u16()?;
+        if version != CHECKPOINT_VERSION {
+            return Err(WireError::UnsupportedVersion { got: version }.into());
+        }
+
+        let mismatch = |cond: bool, field: &'static str| {
+            if cond {
+                Err(CheckpointError::Mismatch { field })
+            } else {
+                Ok(())
+            }
+        };
+        mismatch(r.u64()? != config.seed, "seed")?;
+        mismatch(r.u64()? != config.days, "days")?;
+        mismatch(
+            r.f64()?.to_bits() != config.pages_per_day.to_bits(),
+            "pages_per_day",
+        )?;
+        mismatch(r.u64()? != config.tranco_size, "tranco_size")?;
+        mismatch(r.u64()? != options.plan.fingerprint(), "fault plan")?;
+        mismatch(r.u32()? != options.max_retries, "max_retries")?;
+        mismatch(r.u64()? != options.base_backoff.as_nanos(), "base_backoff")?;
+        mismatch(r.u64()? != options.spool_days, "spool_days")?;
+        mismatch(r.f64()?.to_bits() != options.ack_loss.to_bits(), "ack_loss")?;
+
+        let next_day = r.u64()?;
+
+        let mut fresh = ResilientCampaign::new(config, options);
+        let users = r.u32()? as usize;
+        if users != fresh.rngs.len() {
+            return Err(CheckpointError::Mismatch {
+                field: "population",
+            });
+        }
+        for i in 0..users {
+            let state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+            fresh.rngs[i] = SimRng::from_state(state);
+            let cov = &mut fresh.coverage[i];
+            let user = r.u64()?;
+            let city_code = r.u8()?;
+            if user != cov.user || city_code != cov.city_code {
+                return Err(CheckpointError::Mismatch {
+                    field: "population",
+                });
+            }
+            cov.generated = r.u64()?;
+            cov.delivered = r.u64()?;
+            cov.quarantined = r.u64()?;
+            cov.lost = r.u64()?;
+            cov.duplicates = r.u64()?;
+            cov.retries = r.u64()?;
+        }
+
+        let spooled = r.u32()? as usize;
+        let mut spool = Vec::new();
+        for _ in 0..spooled {
+            let user_idx = r.u32()? as usize;
+            if user_idx >= users {
+                return Err(WireError::BadField {
+                    field: "spool user",
+                }
+                .into());
+            }
+            let seq = r.u64()?;
+            let created_day = r.u64()?;
+            let pages = r.u32()?;
+            let speedtests = r.u32()?;
+            let delivered = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => {
+                    return Err(WireError::BadField {
+                        field: "spool delivered flag",
+                    }
+                    .into())
+                }
+            };
+            let len = r.u32()? as usize;
+            let bytes = r.bytes(len)?.to_vec();
+            spool.push(SpooledBatch {
+                user_idx,
+                seq,
+                created_day,
+                pages,
+                speedtests,
+                delivered,
+                bytes,
+            });
+        }
+        fresh.spool = spool;
+
+        let seen = r.u32()? as usize;
+        for _ in 0..seen {
+            let user = r.u64()?;
+            let seq = r.u64()?;
+            fresh.collector.seen.insert((user, seq));
+        }
+        fresh.collector.duplicates = r.u64()?;
+        let pages = r.u32()? as usize;
+        for _ in 0..pages {
+            fresh.collector.pages.push(decode_page(&mut r)?);
+        }
+        let speedtests = r.u32()? as usize;
+        for _ in 0..speedtests {
+            fresh.collector.speedtests.push(decode_speedtest(&mut r)?);
+        }
+        let quarantined = r.u32()? as usize;
+        for _ in 0..quarantined {
+            let code = r.str()?;
+            let detail = r.str()?;
+            let user = get_opt_u64(&mut r)?;
+            let seq = get_opt_u64(&mut r)?;
+            let claimed_records = get_opt_u64(&mut r)?;
+            let wire_len = r.u64()?;
+            let at = SimTime::from_nanos(r.u64()?);
+            fresh.collector.quarantine.push(QuarantinedBatch {
+                reason_code: intern_reason(&code)?,
+                detail,
+                user,
+                seq,
+                claimed_records,
+                wire_len,
+                at,
+            });
+        }
+        if r.remaining() != 0 {
+            return Err(WireError::TrailingBytes {
+                extra: r.remaining(),
+            }
+            .into());
+        }
+
+        fresh.next_day = next_day;
+        Ok(fresh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::Dataset;
+
+    fn config(seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            seed,
+            days: 8,
+            pages_per_day: 8.0,
+            tranco_size: 50_000,
+        }
+    }
+
+    fn straight_through(seed: u64, options: &IngestOptions) -> Dataset {
+        ResilientCampaign::new(config(seed), options.clone())
+            .run_to_end()
+            .dataset
+    }
+
+    #[test]
+    fn resume_reproduces_the_straight_run_byte_for_byte() {
+        let options = IngestOptions::fault_storm(28, 8);
+        let reference = straight_through(13, &options);
+
+        // Interrupt after every single day.
+        let mut rc = ResilientCampaign::new(config(13), options.clone());
+        while !rc.is_finished() {
+            rc.run_day();
+            let blob = rc.checkpoint();
+            rc = ResilientCampaign::resume(config(13), options.clone(), &blob)
+                .expect("own checkpoint must restore");
+        }
+        let resumed = rc.finish().dataset;
+        assert_eq!(resumed.digest(), reference.digest());
+        assert_eq!(resumed.pages.len(), reference.pages.len());
+    }
+
+    #[test]
+    fn resume_restores_mid_campaign_state() {
+        let options = IngestOptions::fault_storm(28, 8);
+        let mut rc = ResilientCampaign::new(config(5), options.clone());
+        for _ in 0..4 {
+            rc.run_day();
+        }
+        let blob = rc.checkpoint();
+        let restored = ResilientCampaign::resume(config(5), options, &blob).unwrap();
+        assert_eq!(restored.next_day(), 4);
+        assert_eq!(restored.spooled(), rc.spooled());
+        assert_eq!(
+            restored.coverage().total(),
+            rc.coverage().total(),
+            "coverage counters must survive the round trip"
+        );
+    }
+
+    #[test]
+    fn corrupted_checkpoints_are_refused() {
+        let rc = ResilientCampaign::new(config(1), IngestOptions::perfect());
+        let blob = rc.checkpoint();
+        for cut in [0, blob.len() / 2, blob.len() - 1] {
+            assert!(matches!(
+                ResilientCampaign::resume(config(1), IngestOptions::perfect(), &blob[..cut]),
+                Err(CheckpointError::Wire(_))
+            ));
+        }
+        let mut bad = blob.clone();
+        bad[10] ^= 0x55;
+        assert!(matches!(
+            ResilientCampaign::resume(config(1), IngestOptions::perfect(), &bad),
+            Err(CheckpointError::Wire(WireError::ChecksumMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn scenario_mismatches_are_refused_with_the_field_named() {
+        let mut rc = ResilientCampaign::new(config(1), IngestOptions::perfect());
+        rc.run_day();
+        let blob = rc.checkpoint();
+
+        let err = ResilientCampaign::resume(config(2), IngestOptions::perfect(), &blob)
+            .expect_err("wrong seed must be refused");
+        assert_eq!(err, CheckpointError::Mismatch { field: "seed" });
+
+        let storm = IngestOptions::fault_storm(28, 8);
+        let err = ResilientCampaign::resume(config(1), storm, &blob)
+            .expect_err("wrong plan must be refused");
+        assert_eq!(
+            err,
+            CheckpointError::Mismatch {
+                field: "fault plan"
+            }
+        );
+
+        let mut other = config(1);
+        other.days = 99;
+        let err = ResilientCampaign::resume(other, IngestOptions::perfect(), &blob)
+            .expect_err("wrong shape must be refused");
+        assert_eq!(err, CheckpointError::Mismatch { field: "days" });
+    }
+
+    #[test]
+    fn checkpoint_is_deterministic() {
+        let make = || {
+            let options = IngestOptions::fault_storm(28, 8);
+            let mut rc = ResilientCampaign::new(config(3), options);
+            rc.run_day();
+            rc.run_day();
+            rc.checkpoint()
+        };
+        assert_eq!(make(), make());
+    }
+}

@@ -15,17 +15,34 @@
 //!   extension uploads, and the [`records::Dataset`] store with the
 //!   city-wise aggregations of Table 1;
 //! * [`pipeline`] — the six-month campaign driver: browsing sessions,
-//!   weather exposure, occasional user-triggered speedtests.
+//!   weather exposure, occasional user-triggered speedtests;
+//! * [`wire`] — the versioned, checksummed format record batches travel
+//!   in, with typed decode errors for truncation and corruption;
+//! * [`ingest`] — the resilient upload path: per-user buffering, bounded
+//!   retries with virtual-time backoff, offline spooling under churn,
+//!   and a validating, de-duplicating, quarantining [`ingest::Collector`]
+//!   with ground-truth coverage accounting;
+//! * [`checkpoint`] — checkpoint/resume for the day-major campaign
+//!   driver: a killed run resumes byte-identically.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod aschange;
+pub mod checkpoint;
+pub mod ingest;
 pub mod pipeline;
 pub mod population;
 pub mod records;
+pub mod wire;
 
 pub use aschange::{ExitAs, AS_GOOGLE, AS_SPACEX};
-pub use pipeline::{Campaign, CampaignConfig};
+pub use checkpoint::{CheckpointError, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
+pub use ingest::{
+    Collection, Collector, CoverageReport, CoverageTotals, IngestOptions, Ingested,
+    QuarantinedBatch, ResilientCampaign, UserCoverage,
+};
+pub use pipeline::{Campaign, CampaignConfig, UserDay};
 pub use population::{IspClass, Population, User};
 pub use records::{Dataset, PageRecord, SpeedtestRecord};
+pub use wire::{RecordBatch, WireError};

@@ -51,6 +51,28 @@ pub struct Campaign {
     weather: HashMap<City, WeatherTimeline>,
 }
 
+/// One user-day of generated records — the unit the uploader buffers
+/// into a single wire batch.
+#[derive(Debug, Clone, Default)]
+pub struct UserDay {
+    /// Page loads generated that day.
+    pub pages: Vec<PageRecord>,
+    /// Speedtests run that day (zero or one under the current model).
+    pub speedtests: Vec<SpeedtestRecord>,
+}
+
+impl UserDay {
+    /// Total records in the day.
+    pub fn len(&self) -> usize {
+        self.pages.len() + self.speedtests.len()
+    }
+
+    /// Whether the user generated nothing that day.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty() && self.speedtests.is_empty()
+    }
+}
+
 /// Hour-of-day weights for browsing activity (local time): quiet at
 /// night, building through the day, heaviest in the evening.
 const BROWSE_WEIGHTS: [f64; 24] = [
@@ -86,6 +108,11 @@ impl Campaign {
         &self.population
     }
 
+    /// The configuration the campaign was built with.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
     /// The weather a city saw at `t`.
     pub fn weather_at(&self, city: City, t: SimTime) -> WeatherCondition {
         self.weather[&city].condition_at(t)
@@ -103,28 +130,43 @@ impl Campaign {
     }
 
     fn run_user(&self, user: &User, rng: &mut SimRng, dataset: &mut Dataset) {
+        for day in 0..self.config.days {
+            let batch = self.user_day(user, day, rng);
+            dataset.pages.extend(batch.pages);
+            dataset.speedtests.extend(batch.speedtests);
+        }
+    }
+
+    /// Generates one user's records for one campaign day.
+    ///
+    /// This is the checkpointable unit of work: the resilient ingestion
+    /// driver iterates day-major (all users for day 0, then day 1, …) so a
+    /// run can stop and resume at day boundaries, while [`Campaign::run`]
+    /// iterates user-major. Both draw from the *same* per-user RNG stream
+    /// in the same order, so the record values are identical either way —
+    /// only the in-memory ordering differs, and canonical sorting erases
+    /// even that.
+    pub fn user_day(&self, user: &User, day: u64, rng: &mut SimRng) -> UserDay {
         let lon = user.city.position().lon_deg;
         let profile = CityProfile::for_city(user.city);
-        for day in 0..self.config.days {
-            let pages =
-                (user.activity * self.config.pages_per_day * rng.lognormal(0.0, 0.3)) as usize;
-            for _ in 0..pages {
-                let local_hour = rng.choose_weighted(&BROWSE_WEIGHTS) as f64 + rng.f64();
-                let t = local_to_campaign(day, local_hour, lon);
-                let weather = self.weather_at(user.city, t);
-                let record = self.one_page(user, &profile, t, weather, rng);
-                dataset.pages.push(record);
-            }
-            // Occasional user-triggered speedtest, at a daytime hour.
-            if rng.bernoulli(user.speedtest_propensity) {
-                let local_hour = 9.0 + rng.f64() * 13.0;
-                let t = local_to_campaign(day, local_hour, lon);
-                let weather = self.weather_at(user.city, t);
-                dataset
-                    .speedtests
-                    .push(self.one_speedtest(user, &profile, t, weather, rng));
-            }
+        let mut out = UserDay::default();
+        let pages = (user.activity * self.config.pages_per_day * rng.lognormal(0.0, 0.3)) as usize;
+        for _ in 0..pages {
+            let local_hour = rng.choose_weighted(&BROWSE_WEIGHTS) as f64 + rng.f64();
+            let t = local_to_campaign(day, local_hour, lon);
+            let weather = self.weather_at(user.city, t);
+            out.pages
+                .push(self.one_page(user, &profile, t, weather, rng));
         }
+        // Occasional user-triggered speedtest, at a daytime hour.
+        if rng.bernoulli(user.speedtest_propensity) {
+            let local_hour = 9.0 + rng.f64() * 13.0;
+            let t = local_to_campaign(day, local_hour, lon);
+            let weather = self.weather_at(user.city, t);
+            out.speedtests
+                .push(self.one_speedtest(user, &profile, t, weather, rng));
+        }
+        out
     }
 
     fn one_page(
@@ -334,7 +376,7 @@ mod tests {
             assert!(before.len() > 200, "{popular}: {} before", before.len());
             assert!(after.len() > 200, "{popular}: {} after", after.len());
             let med = |mut v: Vec<f64>| {
-                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                v.sort_by(f64::total_cmp);
                 v[v.len() / 2]
             };
             let mb = med(before);
@@ -363,7 +405,7 @@ mod tests {
         let med = |w: WeatherCondition| {
             let mut v = ds.fig4_samples(City::London, w);
             assert!(v.len() > 50, "{}: only {} samples", w.label(), v.len());
-            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v.sort_by(f64::total_cmp);
             v[v.len() / 2]
         };
         let clear = med(WeatherCondition::ClearSky);
@@ -390,6 +432,42 @@ mod tests {
             london > seattle && seattle > toronto && toronto > warsaw,
             "Table 3 ordering violated: {london} {seattle} {toronto} {warsaw}"
         );
+    }
+
+    #[test]
+    fn day_major_iteration_yields_the_same_records() {
+        // The resilient ingestion driver walks day-major; run() walks
+        // user-major. Same per-user RNG streams ⇒ same record values.
+        let campaign = Campaign::new(CampaignConfig {
+            seed: 9,
+            days: 5,
+            pages_per_day: 10.0,
+            tranco_size: 50_000,
+        });
+        let user_major = campaign.run();
+
+        let root = SimRng::seed_from(9);
+        let mut rngs: Vec<SimRng> = (0..campaign.population().users.len())
+            .map(|i| root.stream("campaign.user").substream(i as u64))
+            .collect();
+        let mut pages = Vec::new();
+        let mut speedtests = Vec::new();
+        for day in 0..5 {
+            for (user, rng) in campaign.population().users.iter().zip(rngs.iter_mut()) {
+                let batch = campaign.user_day(user, day, rng);
+                pages.extend(batch.pages);
+                speedtests.extend(batch.speedtests);
+            }
+        }
+
+        assert_eq!(pages.len(), user_major.pages.len());
+        assert_eq!(speedtests.len(), user_major.speedtests.len());
+        let key = |r: &PageRecord| (r.user, r.at, r.rank, r.plt_ms.to_bits());
+        let mut a: Vec<_> = pages.iter().map(key).collect();
+        let mut b: Vec<_> = user_major.pages.iter().map(key).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "day-major records differ from user-major");
     }
 
     #[test]

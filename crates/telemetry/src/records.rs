@@ -14,7 +14,7 @@ use starlink_simcore::SimTime;
 use starlink_web::PttBreakdown;
 
 /// One page-load record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PageRecord {
     /// The uploader's random identifier.
     pub user: u64,
@@ -49,7 +49,7 @@ impl PageRecord {
 }
 
 /// One in-extension (Libretest-style) speedtest record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpeedtestRecord {
     /// The uploader's random identifier.
     pub user: u64,
@@ -175,6 +175,65 @@ impl Dataset {
         before - self.len()
     }
 
+    /// Sorts both record vectors into the canonical order: by user, then
+    /// timestamp, then the remaining fields as tie-breakers.
+    ///
+    /// A straight-through campaign run collects records user-major; an
+    /// interrupted-and-resumed run collects them day-major. Canonical
+    /// sorting erases that ordering difference, so "same seed ⇒ identical
+    /// dataset" can be checked byte-for-byte with [`Dataset::digest`].
+    pub fn sort_canonical(&mut self) {
+        self.pages.sort_by(|a, b| {
+            (
+                a.user,
+                a.at,
+                a.rank,
+                a.plt_ms.to_bits(),
+                a.ptt.request_ms.to_bits(),
+            )
+                .cmp(&(
+                    b.user,
+                    b.at,
+                    b.rank,
+                    b.plt_ms.to_bits(),
+                    b.ptt.request_ms.to_bits(),
+                ))
+        });
+        self.speedtests.sort_by(|a, b| {
+            (a.user, a.at_secs, a.downlink_mbps.to_bits()).cmp(&(
+                b.user,
+                b.at_secs,
+                b.downlink_mbps.to_bits(),
+            ))
+        });
+    }
+
+    /// A 64-bit FNV-1a digest over the wire encoding of every record, in
+    /// the dataset's current order. Two datasets with equal digests after
+    /// [`Dataset::sort_canonical`] are byte-identical.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut hash = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        let mut w = crate::wire::WireWriter::new();
+        for r in &self.pages {
+            crate::wire::encode_page(&mut w, r);
+        }
+        for r in &self.speedtests {
+            crate::wire::encode_speedtest(&mut w, r);
+        }
+        eat(&w.into_bytes());
+        eat(&(self.pages.len() as u64).to_le_bytes());
+        eat(&(self.speedtests.len() as u64).to_le_bytes());
+        hash
+    }
+
     /// Exports the speedtest records as CSV.
     pub fn speedtests_csv(&self) -> String {
         let mut out = String::from("user,city,starlink,at_secs,downlink_mbps,uplink_mbps\n");
@@ -293,6 +352,32 @@ mod tests {
         assert!(csv.starts_with("user,city,"));
         assert_eq!(csv.lines().count(), 4);
         assert!(csv.contains("London"));
+    }
+
+    #[test]
+    fn canonical_sort_and_digest_erase_collection_order() {
+        let mut a = Dataset::default();
+        let mut b = Dataset::default();
+        let r1 = record(City::London, true, 1, 100.0);
+        let mut r2 = record(City::Seattle, true, 2, 200.0);
+        r2.user = 9;
+        a.pages = vec![r1.clone(), r2.clone()];
+        b.pages = vec![r2, r1];
+        assert_ne!(a.digest(), b.digest(), "order must matter pre-sort");
+        a.sort_canonical();
+        b.sort_canonical();
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.pages, b.pages);
+    }
+
+    #[test]
+    fn digest_distinguishes_datasets() {
+        let mut a = Dataset::default();
+        a.pages.push(record(City::London, true, 1, 100.0));
+        let mut b = a.clone();
+        b.pages[0].plt_ms += 0.000_001;
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(Dataset::default().digest(), a.digest());
     }
 
     #[test]

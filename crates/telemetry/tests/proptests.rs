@@ -1,0 +1,145 @@
+//! Property tests for the resilient-ingestion layer: wire-format
+//! robustness under arbitrary corruption, and collector idempotence
+//! under duplicated uploads.
+
+use proptest::prelude::*;
+use starlink_channel::WeatherCondition;
+use starlink_geo::City;
+use starlink_simcore::{SimRng, SimTime};
+use starlink_telemetry::aschange::ExitAs;
+use starlink_telemetry::wire::{decode_batch, encode_batch, RecordBatch};
+use starlink_telemetry::{Collector, Ingested, IspClass, PageRecord, SpeedtestRecord};
+use starlink_web::PttBreakdown;
+
+/// One arbitrary (but valid) page record, covering every enum arm the
+/// wire format encodes.
+fn random_page(user: u64, rng: &mut SimRng) -> PageRecord {
+    let ptt = PttBreakdown {
+        redirect_ms: rng.range_f64(0.0, 50.0),
+        dns_ms: rng.range_f64(0.0, 80.0),
+        connect_ms: rng.range_f64(0.0, 120.0),
+        tls_ms: rng.range_f64(0.0, 150.0),
+        request_ms: rng.range_f64(0.0, 400.0),
+        response_ms: rng.range_f64(0.0, 900.0),
+    };
+    PageRecord {
+        user,
+        city: City::ALL[rng.below(City::ALL.len() as u64) as usize],
+        isp: if rng.bernoulli(0.6) {
+            IspClass::Starlink
+        } else {
+            IspClass::NonStarlink(
+                starlink_channel::AccessTech::ALL
+                    [rng.below(starlink_channel::AccessTech::ALL.len() as u64) as usize],
+            )
+        },
+        at: SimTime::from_secs(rng.below(200 * 86_400)),
+        rank: 1 + rng.below(1_000_000),
+        plt_ms: ptt.total_ms() + rng.range_f64(0.0, 2_000.0),
+        ptt,
+        exit_as: match rng.below(3) {
+            0 => None,
+            1 => Some(ExitAs::Google),
+            _ => Some(ExitAs::SpaceX),
+        },
+        weather: WeatherCondition::ALL[rng.below(WeatherCondition::ALL.len() as u64) as usize],
+    }
+}
+
+/// A deterministic, seed-driven batch.
+fn random_batch(seed: u64, pages: usize, speedtests: usize) -> RecordBatch {
+    let mut rng = SimRng::seed_from(seed).stream("proptest.batch");
+    let user = rng.next_u64();
+    RecordBatch {
+        user,
+        seq: seed % 365,
+        pages: (0..pages).map(|_| random_page(user, &mut rng)).collect(),
+        speedtests: (0..speedtests)
+            .map(|_| SpeedtestRecord {
+                user,
+                city: City::ALL[rng.below(City::ALL.len() as u64) as usize],
+                starlink: rng.bernoulli(0.5),
+                at_secs: rng.below(200 * 86_400),
+                downlink_mbps: rng.range_f64(0.1, 300.0),
+                uplink_mbps: rng.range_f64(0.1, 40.0),
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `encode → flip random bytes → decode` never panics, and either
+    /// returns the original batch (the flips cancelled out) or a typed
+    /// corruption error with a stable machine-readable code.
+    #[test]
+    fn corrupted_batches_decode_to_original_or_typed_error(
+        seed in any::<u64>(),
+        pages in 0usize..6,
+        speedtests in 0usize..3,
+        flips in 1usize..6,
+    ) {
+        let batch = random_batch(seed, pages, speedtests);
+        let clean = encode_batch(&batch);
+        let decoded = decode_batch(&clean).ok();
+        prop_assert_eq!(decoded.as_ref(), Some(&batch));
+
+        let mut rng = SimRng::seed_from(seed).stream("proptest.flips");
+        let mut bytes = clean.clone();
+        for _ in 0..flips {
+            let at = rng.below(bytes.len() as u64) as usize;
+            bytes[at] ^= (1 + rng.below(255)) as u8;
+        }
+        match decode_batch(&bytes) {
+            Ok(back) => {
+                // Only possible when the flips cancelled each other.
+                prop_assert_eq!(&bytes, &clean, "accepted altered bytes");
+                prop_assert_eq!(back, batch);
+            }
+            Err(e) => prop_assert!(!e.code().is_empty(), "untyped error {e}"),
+        }
+    }
+
+    /// Every strict prefix of a valid frame is rejected with a typed
+    /// error — a cut-off upload can never be half-ingested.
+    #[test]
+    fn truncated_batches_yield_typed_errors(
+        seed in any::<u64>(),
+        pages in 0usize..5,
+        speedtests in 0usize..3,
+        cut in 0.0f64..1.0,
+    ) {
+        let batch = random_batch(seed, pages, speedtests);
+        let clean = encode_batch(&batch);
+        let keep = ((clean.len() as f64) * cut) as usize; // < len: strict prefix
+        let err = decode_batch(&clean[..keep]);
+        prop_assert!(err.is_err(), "accepted a {keep}-byte prefix of {}", clean.len());
+        prop_assert!(!err.unwrap_err().code().is_empty());
+    }
+
+    /// Submitting the same batch twice leaves the collector's dataset
+    /// byte-identical and counts the re-upload as a duplicate — the
+    /// idempotence that makes lost ACKs safe.
+    #[test]
+    fn duplicate_uploads_are_idempotent(
+        seed in any::<u64>(),
+        pages in 1usize..6,
+        speedtests in 0usize..3,
+    ) {
+        let batch = random_batch(seed, pages, speedtests);
+        let bytes = encode_batch(&batch);
+        let mut collector = Collector::new();
+        let at = SimTime::from_secs(72_000);
+
+        let first = collector.submit(&bytes, at);
+        prop_assert!(matches!(first, Ingested::Accepted { .. }), "first upload rejected");
+        let once = collector.dataset().digest();
+
+        let second = collector.submit(&bytes, at);
+        prop_assert!(matches!(second, Ingested::Duplicate), "re-upload not deduplicated");
+        prop_assert_eq!(collector.dataset().digest(), once, "dataset changed on re-upload");
+        prop_assert_eq!(collector.duplicates(), (pages + speedtests) as u64);
+        prop_assert!(collector.quarantine().is_empty());
+    }
+}

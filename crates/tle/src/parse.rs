@@ -393,8 +393,8 @@ mod tests {
     const ISS_L2: &str = "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537";
 
     #[test]
-    fn parses_reference_iss_tle() {
-        let tle = Tle::parse(ISS_NAME, ISS_L1, ISS_L2).expect("valid TLE");
+    fn parses_reference_iss_tle() -> Result<(), TleError> {
+        let tle = Tle::parse(ISS_NAME, ISS_L1, ISS_L2)?;
         let e = &tle.elements;
         assert_eq!(tle.name, "ISS (ZARYA)");
         assert_eq!(e.catalog_number, 25544);
@@ -411,6 +411,7 @@ mod tests {
         assert!((e.mean_anomaly_deg - 325.0288).abs() < 1e-9);
         assert!((e.mean_motion_rev_per_day - 15.72125391).abs() < 1e-8);
         assert_eq!(e.rev_number, 56353);
+        Ok(())
     }
 
     #[test]
@@ -451,30 +452,32 @@ mod tests {
     }
 
     #[test]
-    fn exp_field_parsing() {
-        assert!((parse_exp_field("34123-4", 1, "t").unwrap() - 0.34123e-4).abs() < 1e-12);
-        assert!((parse_exp_field("-11606-4", 1, "t").unwrap() - (-0.11606e-4)).abs() < 1e-12);
-        assert_eq!(parse_exp_field("00000+0", 1, "t").unwrap(), 0.0);
-        assert_eq!(parse_exp_field("", 1, "t").unwrap(), 0.0);
+    fn exp_field_parsing() -> Result<(), TleError> {
+        assert!((parse_exp_field("34123-4", 1, "t")? - 0.34123e-4).abs() < 1e-12);
+        assert!((parse_exp_field("-11606-4", 1, "t")? - (-0.11606e-4)).abs() < 1e-12);
+        assert_eq!(parse_exp_field("00000+0", 1, "t")?, 0.0);
+        assert_eq!(parse_exp_field("", 1, "t")?, 0.0);
         assert!(parse_exp_field("garbage", 1, "t").is_err());
+        Ok(())
     }
 
     #[test]
-    fn exp_field_formatting_round_trips() {
+    fn exp_field_formatting_round_trips() -> Result<(), TleError> {
         for &v in &[0.0, 0.34123e-4, -0.11606e-4, 0.5e-2, -0.99999e-1, 0.1e-9] {
             let s = format_exp_field(v);
             assert_eq!(s.len(), 8, "{s:?}");
-            let back = parse_exp_field(s.trim(), 1, "t").unwrap();
+            let back = parse_exp_field(s.trim(), 1, "t")?;
             let tol = v.abs().max(1e-12) * 1e-4;
             assert!((back - v).abs() <= tol, "{v} -> {s:?} -> {back}");
         }
+        Ok(())
     }
 
     #[test]
-    fn emit_parse_round_trip() {
-        let tle = Tle::parse(ISS_NAME, ISS_L1, ISS_L2).unwrap();
+    fn emit_parse_round_trip() -> Result<(), TleError> {
+        let tle = Tle::parse(ISS_NAME, ISS_L1, ISS_L2)?;
         let (name, l1, l2) = tle.to_lines();
-        let back = Tle::parse(&name, &l1, &l2).expect("emitted TLE reparses");
+        let back = Tle::parse(&name, &l1, &l2)?;
         let a = &tle.elements;
         let b = &back.elements;
         assert_eq!(a.catalog_number, b.catalog_number);
@@ -484,22 +487,25 @@ mod tests {
         assert!((a.mean_motion_rev_per_day - b.mean_motion_rev_per_day).abs() < 1e-7);
         assert!((a.epoch_day - b.epoch_day).abs() < 1e-8);
         assert!((a.bstar - b.bstar).abs() < 1e-9);
+        Ok(())
     }
 
     #[test]
-    fn parse_3le_catalogue() {
+    fn parse_3le_catalogue() -> Result<(), TleError> {
         let text = format!("{ISS_NAME}\n{ISS_L1}\n{ISS_L2}\n{ISS_NAME}\n{ISS_L1}\n{ISS_L2}\n");
-        let cat = parse_3le(&text).unwrap();
+        let cat = parse_3le(&text)?;
         assert_eq!(cat.len(), 2);
         assert_eq!(cat[0].name, "ISS (ZARYA)");
+        Ok(())
     }
 
     #[test]
-    fn parse_2le_without_names() {
+    fn parse_2le_without_names() -> Result<(), TleError> {
         let text = format!("{ISS_L1}\n{ISS_L2}\n");
-        let cat = parse_3le(&text).unwrap();
+        let cat = parse_3le(&text)?;
         assert_eq!(cat.len(), 1);
         assert_eq!(cat[0].name, "");
+        Ok(())
     }
 
     #[test]

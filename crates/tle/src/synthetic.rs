@@ -148,7 +148,7 @@ mod tests {
     }
 
     #[test]
-    fn emitted_tles_reparse() {
+    fn emitted_tles_reparse() -> Result<(), crate::TleError> {
         let shell = ShellConfig {
             planes: 3,
             sats_per_plane: 4,
@@ -157,7 +157,7 @@ mod tests {
         .generate();
         for tle in &shell {
             let (name, l1, l2) = tle.to_lines();
-            let back = Tle::parse(&name, &l1, &l2).expect("synthetic TLE reparses");
+            let back = Tle::parse(&name, &l1, &l2)?;
             assert_eq!(back.elements.catalog_number, tle.elements.catalog_number);
             assert!(
                 (back.elements.raan_deg - tle.elements.raan_deg).abs() < 1e-3,
@@ -166,6 +166,7 @@ mod tests {
                 tle.elements.raan_deg
             );
         }
+        Ok(())
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod traceroute;
 
 pub use cron::Cron;
 pub use iperf::{iperf_tcp, iperf_udp, IperfTcpReport, IperfUdpReport};
-pub use maxmin::QueueingEstimate;
+pub use maxmin::{QueueingEstimate, QueueingReport};
 pub use mtr::{mtr, MtrReport};
 pub use outcome::ToolOutcome;
 pub use ping::{ping, PingOptions, PingReport};

@@ -7,6 +7,7 @@
 //! median queueing delay, and subtracting two hops' estimates isolates a
 //! path segment (e.g. the bent pipe = the PoP hop minus the dish hop).
 
+use crate::outcome::ToolOutcome;
 use starlink_simcore::SimDuration;
 
 /// Queueing statistics extracted from a set of RTT samples.
@@ -28,11 +29,55 @@ pub struct QueueingEstimate {
     pub samples: usize,
 }
 
+/// A [`QueueingEstimate`] together with the health of the run that
+/// produced it, in the same shape the ping/traceroute hardening uses:
+/// callers branch on [`ToolOutcome`] instead of unwrapping an `Option`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueingReport {
+    /// The estimate, absent when the samples could not support one.
+    pub estimate: Option<QueueingEstimate>,
+    /// `Complete` when every sample was usable, `Degraded` when
+    /// non-finite samples had to be discarded, `Failed` when fewer than
+    /// 2 usable samples remained.
+    pub outcome: ToolOutcome,
+}
+
+impl QueueingReport {
+    /// Builds the report from raw RTT samples (losses already filtered
+    /// out upstream). Non-finite samples (NaN/∞ from arithmetic on empty
+    /// windows) are discarded and degrade the outcome rather than being
+    /// trusted or panicking.
+    pub fn from_rtts_ms(samples: &[f64]) -> QueueingReport {
+        let usable = samples.iter().filter(|s| s.is_finite()).count();
+        let discarded = samples.len() - usable;
+        let estimate = QueueingEstimate::from_rtts_ms(samples);
+        let outcome = if estimate.is_none() {
+            ToolOutcome::failed(format!(
+                "{usable} usable sample(s) of {}; the max-min method needs 2",
+                samples.len()
+            ))
+        } else if discarded > 0 {
+            ToolOutcome::degraded(format!("discarded {discarded} non-finite sample(s)"))
+        } else {
+            ToolOutcome::Complete
+        };
+        QueueingReport { estimate, outcome }
+    }
+
+    /// Builds the report from `SimDuration` samples.
+    pub fn from_rtts(samples: &[SimDuration]) -> QueueingReport {
+        let ms: Vec<f64> = samples.iter().map(|d| d.as_millis_f64()).collect();
+        Self::from_rtts_ms(&ms)
+    }
+}
+
 impl QueueingEstimate {
     /// Estimates from raw RTT samples (losses already filtered out).
     /// Returns `None` with fewer than 2 usable samples — the method needs
     /// a spread to say anything. Non-finite samples (NaN/∞ from upstream
     /// arithmetic on empty windows) are discarded rather than trusted.
+    /// [`QueueingReport::from_rtts_ms`] additionally reports *why* an
+    /// estimate is missing or weakened.
     pub fn from_rtts_ms(samples: &[f64]) -> Option<QueueingEstimate> {
         let mut v: Vec<f64> = samples.iter().copied().filter(|s| s.is_finite()).collect();
         if v.len() < 2 {
@@ -80,11 +125,16 @@ impl QueueingEstimate {
 mod tests {
     use super::*;
 
+    /// Unwrap-free accessor: the report's outcome explains any absence.
+    fn est(samples: &[f64]) -> Result<QueueingEstimate, String> {
+        let r = QueueingReport::from_rtts_ms(samples);
+        r.estimate.ok_or_else(|| r.outcome.to_string())
+    }
+
     #[test]
-    fn estimates_from_known_samples() {
+    fn estimates_from_known_samples() -> Result<(), String> {
         // Propagation 40 ms + queueing {0, 5, 10, 20, 45}.
-        let samples = [40.0, 45.0, 50.0, 60.0, 85.0];
-        let e = QueueingEstimate::from_rtts_ms(&samples).unwrap();
+        let e = est(&[40.0, 45.0, 50.0, 60.0, 85.0])?;
         assert_eq!(e.min_rtt_ms, 40.0);
         assert_eq!(e.max_rtt_ms, 85.0);
         assert_eq!(e.median_rtt_ms, 50.0);
@@ -92,44 +142,64 @@ mod tests {
         assert_eq!(e.median_queue_ms, 10.0);
         assert!((e.mean_queue_ms - 16.0).abs() < 1e-9);
         assert_eq!(e.samples, 5);
+        Ok(())
     }
 
     #[test]
-    fn propagation_cancels_out() {
+    fn propagation_cancels_out() -> Result<(), String> {
         // Same queueing pattern, different propagation: identical queue
         // estimates — the whole point of the method.
         let near: Vec<f64> = [0.0, 3.0, 8.0, 12.0].iter().map(|q| 10.0 + q).collect();
         let far: Vec<f64> = [0.0, 3.0, 8.0, 12.0].iter().map(|q| 90.0 + q).collect();
-        let en = QueueingEstimate::from_rtts_ms(&near).unwrap();
-        let ef = QueueingEstimate::from_rtts_ms(&far).unwrap();
+        let en = est(&near)?;
+        let ef = est(&far)?;
         assert_eq!(en.max_queue_ms, ef.max_queue_ms);
         assert_eq!(en.median_queue_ms, ef.median_queue_ms);
+        Ok(())
     }
 
     #[test]
-    fn segment_isolation() {
+    fn segment_isolation() -> Result<(), String> {
         // Hop A (dish): queue 0-5 ms over 2 ms prop. Hop B (PoP via bent
         // pipe): A plus 30-60 ms of its own queueing over 8 ms more prop.
-        let hop_a = QueueingEstimate::from_rtts_ms(&[2.0, 4.0, 7.0]).unwrap();
-        let hop_b = QueueingEstimate::from_rtts_ms(&[40.0, 62.0, 95.0]).unwrap();
+        let hop_a = est(&[2.0, 4.0, 7.0])?;
+        let hop_b = est(&[40.0, 62.0, 95.0])?;
         let segment = hop_b.segment_from(&hop_a);
         assert!(segment.median_queue_ms > 15.0);
         assert!(segment.max_queue_ms <= hop_b.max_queue_ms);
+        Ok(())
     }
 
     #[test]
-    fn too_few_samples_yield_none() {
-        assert!(QueueingEstimate::from_rtts_ms(&[]).is_none());
-        assert!(QueueingEstimate::from_rtts_ms(&[10.0]).is_none());
+    fn too_few_samples_fail_with_a_reason() {
+        for samples in [&[][..], &[10.0][..]] {
+            let r = QueueingReport::from_rtts_ms(samples);
+            assert!(r.estimate.is_none());
+            assert!(r.outcome.is_failed());
+            assert!(r.outcome.to_string().contains("needs 2"));
+        }
     }
 
     #[test]
-    fn non_finite_samples_are_discarded() {
-        assert!(QueueingEstimate::from_rtts_ms(&[f64::NAN, 10.0]).is_none());
-        let e = QueueingEstimate::from_rtts_ms(&[f64::NAN, 10.0, 20.0, f64::INFINITY]).unwrap();
+    fn non_finite_samples_degrade_the_outcome() -> Result<(), String> {
+        let starved = QueueingReport::from_rtts_ms(&[f64::NAN, 10.0]);
+        assert!(starved.estimate.is_none());
+        assert!(starved.outcome.is_failed());
+
+        let r = QueueingReport::from_rtts_ms(&[f64::NAN, 10.0, 20.0, f64::INFINITY]);
+        assert!(matches!(r.outcome, ToolOutcome::Degraded { .. }));
+        let e = r.estimate.ok_or("degraded run still has an estimate")?;
         assert_eq!(e.samples, 2);
         assert_eq!(e.min_rtt_ms, 10.0);
         assert_eq!(e.max_rtt_ms, 20.0);
+        Ok(())
+    }
+
+    #[test]
+    fn clean_samples_are_complete() {
+        let r = QueueingReport::from_rtts_ms(&[10.0, 20.0, 30.0]);
+        assert!(r.outcome.is_complete());
+        assert!(r.estimate.is_some());
     }
 
     #[test]
@@ -139,18 +209,20 @@ mod tests {
             SimDuration::from_millis(55),
             SimDuration::from_millis(70),
         ];
-        let a = QueueingEstimate::from_rtts(&durs).unwrap();
-        let b = QueueingEstimate::from_rtts_ms(&[40.0, 55.0, 70.0]).unwrap();
+        let a = QueueingReport::from_rtts(&durs);
+        let b = QueueingReport::from_rtts_ms(&[40.0, 55.0, 70.0]);
         assert_eq!(a, b);
+        assert!(a.outcome.is_complete());
     }
 
     #[test]
-    fn segment_never_negative() {
-        let a = QueueingEstimate::from_rtts_ms(&[10.0, 40.0, 80.0]).unwrap();
-        let b = QueueingEstimate::from_rtts_ms(&[50.0, 55.0, 60.0]).unwrap();
+    fn segment_never_negative() -> Result<(), String> {
+        let a = est(&[10.0, 40.0, 80.0])?;
+        let b = est(&[50.0, 55.0, 60.0])?;
         let seg = b.segment_from(&a);
         assert!(seg.max_queue_ms >= 0.0);
         assert!(seg.median_queue_ms >= 0.0);
         assert!(seg.mean_queue_ms >= 0.0);
+        Ok(())
     }
 }

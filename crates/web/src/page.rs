@@ -208,7 +208,7 @@ mod tests {
                 model.sample_ptt(&site, &path, &mut rng).total_ms()
             })
             .collect();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(f64::total_cmp);
         v[v.len() / 2]
     }
 
