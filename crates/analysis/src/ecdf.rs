@@ -40,13 +40,10 @@ impl Ecdf {
         count as f64 / self.sorted.len() as f64
     }
 
-    /// The `q`-quantile of the sample set.
+    /// The `q`-quantile of the sample set (linear interpolation, type 7 —
+    /// same convention as [`crate::stats::quantile`]).
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        if self.sorted.is_empty() {
-            return None;
-        }
-        let idx = ((self.sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
-        Some(self.sorted[idx])
+        crate::stats::quantile_sorted(&self.sorted, q.clamp(0.0, 1.0))
     }
 
     /// The plotted staircase as `(x, P(X <= x))` points, one per sample.
@@ -170,9 +167,13 @@ mod tests {
     fn quantile_agrees_with_stats_module() {
         let samples = [5.0, 1.0, 3.0, 2.0, 4.0];
         let e = Ecdf::new(&samples);
-        assert_eq!(e.quantile(0.5), Some(crate::stats::median(&samples)));
+        assert_eq!(e.quantile(0.5), crate::stats::median(&samples));
+        assert_eq!(e.quantile(0.25), crate::stats::quantile(&samples, 0.25));
         assert_eq!(e.quantile(0.0), Some(1.0));
         assert_eq!(e.quantile(1.0), Some(5.0));
+        // Interpolated, not nearest-rank: quartiles of five ordered values
+        // land between samples.
+        assert_eq!(e.quantile(0.375), Some(2.5));
     }
 
     #[test]

@@ -22,4 +22,6 @@ pub mod timeseries;
 
 pub use ecdf::{Ccdf, Ecdf};
 pub use render::{AsciiTable, DatSeries};
-pub use stats::{five_number_summary, mean, median, quantile, FiveNumber, Welford};
+pub use stats::{
+    five_number_summary, mean, median, quantile, quantile_sorted, FiveNumber, Welford,
+};

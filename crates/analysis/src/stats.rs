@@ -8,25 +8,46 @@ pub fn mean(samples: &[f64]) -> f64 {
     samples.iter().sum::<f64>() / samples.len() as f64
 }
 
-/// The `q`-quantile (0 ≤ q ≤ 1) by the nearest-rank method on a copy of
-/// the data. Returns 0 for an empty slice.
+/// The `q`-quantile (0 ≤ q ≤ 1) with linear interpolation between order
+/// statistics (Hyndman–Fan type 7, the R/NumPy default) on a copy of the
+/// data. Returns `None` for an empty slice.
+///
+/// The previous nearest-rank `.round()` implementation biased `q1`/`q3`
+/// on small samples (e.g. the quartiles of `[1, 2, 3, 4]` came out as
+/// whole samples instead of 1.75/3.25) and silently returned `0.0` for
+/// empty input.
 ///
 /// # Panics
 /// Panics if `q` is outside `[0, 1]`. NaN samples sort last (IEEE total
 /// order) rather than aborting the run.
-pub fn quantile(samples: &[f64], q: f64) -> f64 {
+pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
     assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
-    if samples.is_empty() {
-        return 0.0;
-    }
     let mut v = samples.to_vec();
     v.sort_by(|a, b| a.total_cmp(b));
-    let idx = ((v.len() as f64 - 1.0) * q).round() as usize;
-    v[idx]
+    quantile_sorted(&v, q)
 }
 
-/// The median (0.5-quantile).
-pub fn median(samples: &[f64]) -> f64 {
+/// [`quantile`] over an already-sorted slice (no copy, no re-sort).
+///
+/// # Panics
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+    if sorted.is_empty() {
+        return None;
+    }
+    let h = (sorted.len() as f64 - 1.0) * q;
+    let lo = h.floor() as usize;
+    let frac = h - lo as f64;
+    let mut value = sorted[lo];
+    if frac > 0.0 {
+        value += frac * (sorted[lo + 1] - sorted[lo]);
+    }
+    Some(value)
+}
+
+/// The median (0.5-quantile). Returns `None` for an empty slice.
+pub fn median(samples: &[f64]) -> Option<f64> {
     quantile(samples, 0.5)
 }
 
@@ -54,15 +75,14 @@ impl FiveNumber {
 
 /// Computes the five-number summary. Returns `None` for empty input.
 pub fn five_number_summary(samples: &[f64]) -> Option<FiveNumber> {
-    if samples.is_empty() {
-        return None;
-    }
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
     Some(FiveNumber {
-        min: quantile(samples, 0.0),
-        q1: quantile(samples, 0.25),
-        median: quantile(samples, 0.5),
-        q3: quantile(samples, 0.75),
-        max: quantile(samples, 1.0),
+        min: quantile_sorted(&v, 0.0)?,
+        q1: quantile_sorted(&v, 0.25)?,
+        median: quantile_sorted(&v, 0.5)?,
+        q3: quantile_sorted(&v, 0.75)?,
+        max: quantile_sorted(&v, 1.0)?,
     })
 }
 
@@ -122,25 +142,52 @@ mod tests {
     #[test]
     fn quantiles_of_known_data() {
         let v = [1.0, 2.0, 3.0, 4.0, 5.0];
-        assert_eq!(quantile(&v, 0.0), 1.0);
-        assert_eq!(quantile(&v, 0.5), 3.0);
-        assert_eq!(quantile(&v, 1.0), 5.0);
-        assert_eq!(median(&v), 3.0);
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 0.5), Some(3.0));
+        assert_eq!(quantile(&v, 1.0), Some(5.0));
+        assert_eq!(median(&v), Some(3.0));
         assert_eq!(mean(&v), 3.0);
+    }
+
+    #[test]
+    fn quantile_interpolates_between_order_statistics() {
+        // Type-7 quartiles of [1,2,3,4]: h = 3q, so q1 = 1.75, median =
+        // 2.5, q3 = 3.25 — the values R's `quantile()` and NumPy's
+        // `percentile()` return by default. Nearest-rank returned whole
+        // samples (2, 2, 3) here.
+        let v = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&v, 0.25), Some(1.75));
+        assert_eq!(quantile(&v, 0.5), Some(2.5));
+        assert_eq!(quantile(&v, 0.75), Some(3.25));
+        // Two samples: the median is their midpoint.
+        assert_eq!(median(&[10.0, 20.0]), Some(15.0));
+        // A single sample is every quantile.
+        assert_eq!(quantile(&[7.0], 0.1), Some(7.0));
+        assert_eq!(quantile(&[7.0], 0.9), Some(7.0));
+    }
+
+    #[test]
+    fn quantile_sorted_skips_the_copy() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            assert_eq!(quantile_sorted(&v, q), quantile(&v, q));
+        }
+        assert_eq!(quantile_sorted(&[], 0.5), None);
     }
 
     #[test]
     fn quantile_handles_unsorted_input() {
         let v = [5.0, 1.0, 4.0, 2.0, 3.0];
-        assert_eq!(median(&v), 3.0);
+        assert_eq!(median(&v), Some(3.0));
         // The input is not mutated (we copy).
         assert_eq!(v[0], 5.0);
     }
 
     #[test]
-    fn empty_slices_are_zero() {
+    fn empty_slices() {
         assert_eq!(mean(&[]), 0.0);
-        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[]), None);
+        assert_eq!(quantile(&[], 0.25), None);
         assert!(five_number_summary(&[]).is_none());
     }
 
@@ -154,6 +201,14 @@ mod tests {
         assert_eq!(f.q3, 75.0);
         assert_eq!(f.max, 100.0);
         assert_eq!(f.iqr(), 50.0);
+    }
+
+    #[test]
+    fn iqr_of_small_sample_uses_interpolated_quartiles() {
+        let f = five_number_summary(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(f.q1, 1.75);
+        assert_eq!(f.q3, 3.25);
+        assert_eq!(f.iqr(), 1.5);
     }
 
     #[test]

@@ -6,11 +6,34 @@
 //! repro fig6c fig7           # a selection
 //! repro --seed 7 all         # a different universe
 //! repro --keep-going fig5 fig8   # don't stop at the first failure
+//! repro --jobs 4 all         # run artefacts on 4 worker threads
+//! repro --bench fig1 fig2 fig7   # timing harness -> BENCH_repro.json
 //! ```
 //!
 //! Output is the same rows/series the paper reports, with a `[shape]`
 //! verdict against the paper's qualitative claims. Figure data is also
 //! exported as gnuplot-ready `.dat` under `target/repro/`.
+//!
+//! ## Parallelism
+//!
+//! Artefacts are independent (each takes its own seed), so `--jobs N`
+//! (default: available parallelism) runs them on scoped worker threads.
+//! Every artefact's output is buffered through the harness capture sink
+//! and printed in target order, so `--jobs N` output is byte-identical to
+//! `--jobs 1`. Failure semantics survive: panics stay isolated per
+//! artefact, and without `--keep-going` the run still stops at the first
+//! failure *in target order* (later artefacts may have executed, but they
+//! are neither printed nor counted). `campaign` streams checkpoints
+//! interactively and always runs sequentially.
+//!
+//! ## The timing harness
+//!
+//! `repro --bench` runs the named artefacts three ways — sequentially
+//! (timing each), in parallel with `--jobs` threads, and through a
+//! constellation-sweep microbenchmark comparing the pre-snapshot
+//! per-query scan against the shared [`SnapshotCache`] path — and writes
+//! the numbers (per-artefact wall time, parallel speedup, snapshot-cache
+//! hit counts, sweep speedup) to `BENCH_repro.json` under `--out`.
 //!
 //! The harness is failure-tolerant: each artefact runs in isolation
 //! (panics are caught, not propagated), failures are collected into an
@@ -34,12 +57,21 @@
 //! (the canonical dataset digest — diff it across kill/resume runs) and
 //! `campaign_coverage.txt` (the full coverage report).
 
-use starlink_bench::{export_dat, report};
+use starlink_bench::{capture_begin, capture_end, export_dat, report};
+use starlink_core::constellation::{
+    reset_snapshot_cache_stats, snapshot_cache_stats, Constellation, SnapshotCache,
+};
 use starlink_core::experiments::*;
+use starlink_core::geo::{look_angles, Geodetic};
 use starlink_core::simcore::SimDuration;
 use starlink_core::telemetry::{Campaign, CampaignConfig, IngestOptions, ResilientCampaign};
+use starlink_core::tle::ShellConfig;
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
 
 const ARTEFACTS: [&str; 13] = [
     "fig1", "fig2", "table1", "fig3", "fig4", "fig5", "table2", "table3", "fig6a", "fig6b",
@@ -74,6 +106,10 @@ fn main() {
     let mut seed: u64 = 42;
     let mut targets: Vec<String> = Vec::new();
     let mut keep_going = false;
+    let mut bench = false;
+    let mut jobs: usize = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut campaign = CampaignOpts::default();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -84,6 +120,14 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs a number"));
             }
+            "--jobs" | "-j" => {
+                jobs = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--jobs needs a thread count >= 1"));
+            }
+            "--bench" => bench = true,
             "--days" => {
                 campaign.days = it
                     .next()
@@ -130,27 +174,44 @@ fn main() {
         keep_going = true;
     }
 
-    let mut completed: Vec<String> = Vec::new();
-    let mut failures: Vec<(String, String)> = Vec::new();
-    for target in &targets {
-        let outcome = if target == "campaign" {
-            catch_unwind(AssertUnwindSafe(|| run_campaign(seed, &campaign)))
-                .map_err(|payload| format!("panicked: {}", panic_message(&payload)))
-                .and_then(|r| r)
-        } else {
-            run_one(target, seed)
-        };
-        match outcome {
-            Ok(()) => completed.push(target.clone()),
+    if bench {
+        match run_bench(seed, &targets, jobs, &campaign.out) {
+            Ok(()) => return,
             Err(err) => {
-                eprintln!("[fail] {target}: {err}");
-                failures.push((target.clone(), err));
-                if !keep_going {
-                    eprintln!("stopping at first failure (use --keep-going to continue)");
-                    break;
-                }
+                eprintln!("[bench] {err}");
+                std::process::exit(1);
             }
         }
+    }
+
+    // The campaign artefact streams checkpoint progress interactively and
+    // writes shared files, so any run including it stays sequential.
+    let effective_jobs = if targets.iter().any(|t| t == "campaign") {
+        1
+    } else {
+        jobs.min(targets.len()).max(1)
+    };
+
+    let mut completed: Vec<String> = Vec::new();
+    let mut failures: Vec<(String, String)> = Vec::new();
+    if effective_jobs <= 1 {
+        run_sequential(
+            seed,
+            &targets,
+            keep_going,
+            &campaign,
+            &mut completed,
+            &mut failures,
+        );
+    } else {
+        run_parallel(
+            seed,
+            &targets,
+            effective_jobs,
+            keep_going,
+            &mut completed,
+            &mut failures,
+        );
     }
 
     println!(
@@ -171,13 +232,396 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
     }
-    eprintln!("usage: repro [--seed N] [--keep-going] <artefact>...");
+    eprintln!("usage: repro [--seed N] [--jobs N] [--keep-going] [--bench] <artefact>...");
     eprintln!("artefacts: all campaign {}", ARTEFACTS.join(" "));
     eprintln!(
         "campaign flags: [--days N] [--checkpoint-every N] [--checkpoint PATH] \
          [--resume] [--kill-at-day D] [--out DIR]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// Today's behaviour: one artefact at a time, output printed as it runs.
+fn run_sequential(
+    seed: u64,
+    targets: &[String],
+    keep_going: bool,
+    campaign: &CampaignOpts,
+    completed: &mut Vec<String>,
+    failures: &mut Vec<(String, String)>,
+) {
+    for target in targets {
+        let outcome = if target == "campaign" {
+            catch_unwind(AssertUnwindSafe(|| run_campaign(seed, campaign)))
+                .map_err(|payload| format!("panicked: {}", panic_message(&payload)))
+                .and_then(|r| r)
+        } else {
+            run_one(target, seed)
+        };
+        match outcome {
+            Ok(()) => completed.push(target.clone()),
+            Err(err) => {
+                eprintln!("[fail] {target}: {err}");
+                failures.push((target.clone(), err));
+                if !keep_going {
+                    eprintln!("stopping at first failure (use --keep-going to continue)");
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Runs artefacts on `jobs` scoped worker threads. Each worker captures
+/// its artefact's output through the harness sink; the main thread prints
+/// the buffers strictly in target order, so stdout is byte-identical to
+/// the sequential run. Without `keep_going`, processing stops at the
+/// first failure in target order — matching sequential accounting even if
+/// later artefacts already executed.
+fn run_parallel(
+    seed: u64,
+    targets: &[String],
+    jobs: usize,
+    keep_going: bool,
+    completed: &mut Vec<String>,
+    failures: &mut Vec<(String, String)>,
+) {
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<(usize, String, Result<(), String>)>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let next = &next;
+            let stop = &stop;
+            scope.spawn(move || loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= targets.len() {
+                    break;
+                }
+                capture_begin();
+                let outcome = run_one(&targets[i], seed);
+                let output = capture_end();
+                if tx.send((i, output, outcome)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        let mut pending: BTreeMap<usize, (String, Result<(), String>)> = BTreeMap::new();
+        let mut next_print = 0usize;
+        'receive: for (i, output, outcome) in rx.iter() {
+            pending.insert(i, (output, outcome));
+            while let Some((output, outcome)) = pending.remove(&next_print) {
+                let target = &targets[next_print];
+                next_print += 1;
+                print!("{output}");
+                match outcome {
+                    Ok(()) => completed.push(target.clone()),
+                    Err(err) => {
+                        eprintln!("[fail] {target}: {err}");
+                        failures.push((target.clone(), err));
+                        if !keep_going {
+                            eprintln!("stopping at first failure (use --keep-going to continue)");
+                            stop.store(true, Ordering::Relaxed);
+                            break 'receive;
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Per-artefact timing from the sequential bench pass.
+struct ArtefactTiming {
+    name: String,
+    seconds: f64,
+    ok: bool,
+}
+
+/// Results of the constellation-sweep microbenchmark.
+struct SweepBench {
+    observers: usize,
+    satellites: usize,
+    boundaries: usize,
+    direct_seconds: f64,
+    cached_seconds: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    results_identical: bool,
+    speedup: f64,
+}
+
+/// `repro --bench`: times the artefact set sequentially and in parallel,
+/// runs the constellation-sweep microbenchmark, and writes
+/// `BENCH_repro.json` under `out_dir`.
+fn run_bench(seed: u64, targets: &[String], jobs: usize, out_dir: &Path) -> Result<(), String> {
+    let targets: Vec<String> = targets
+        .iter()
+        .filter(|t| *t != "campaign")
+        .cloned()
+        .collect();
+    if targets.is_empty() {
+        return Err("--bench needs at least one non-campaign artefact".to_string());
+    }
+
+    println!(
+        "[bench] sequential pass: {} artefact(s), seed {seed}",
+        targets.len()
+    );
+    let mut artefacts: Vec<ArtefactTiming> = Vec::new();
+    let seq_start = Instant::now();
+    for target in &targets {
+        let start = Instant::now();
+        capture_begin();
+        let outcome = run_one(target, seed);
+        let _ = capture_end();
+        let seconds = start.elapsed().as_secs_f64();
+        println!(
+            "[bench]   {target}: {seconds:.3} s{}",
+            match &outcome {
+                Ok(()) => String::new(),
+                Err(e) => format!(" FAILED ({e})"),
+            }
+        );
+        artefacts.push(ArtefactTiming {
+            name: target.clone(),
+            seconds,
+            ok: outcome.is_ok(),
+        });
+    }
+    let sequential_seconds = seq_start.elapsed().as_secs_f64();
+
+    let worker_count = jobs.min(targets.len()).max(1);
+    println!("[bench] parallel pass: --jobs {worker_count}");
+    let parallel_seconds = timed_parallel_pass(seed, &targets, worker_count);
+    let parallel_speedup = sequential_seconds / parallel_seconds.max(1e-9);
+    println!(
+        "[bench]   sequential {sequential_seconds:.3} s, parallel {parallel_seconds:.3} s \
+         (speedup {parallel_speedup:.2}x)"
+    );
+
+    println!("[bench] constellation sweep: direct scan vs snapshot cache");
+    let sweep = sweep_microbench();
+    println!(
+        "[bench]   direct {:.3} s, cached {:.3} s (speedup {:.2}x), \
+         cache {} hits / {} misses",
+        sweep.direct_seconds,
+        sweep.cached_seconds,
+        sweep.speedup,
+        sweep.cache_hits,
+        sweep.cache_misses
+    );
+    if !sweep.results_identical {
+        return Err("sweep microbenchmark: cached picks diverged from direct scan".to_string());
+    }
+
+    let json = render_bench_json(
+        seed,
+        worker_count,
+        &targets,
+        &artefacts,
+        sequential_seconds,
+        parallel_seconds,
+        parallel_speedup,
+        &sweep,
+    );
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    let path = out_dir.join("BENCH_repro.json");
+    std::fs::write(&path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    println!("[bench] wrote {}", path.display());
+
+    let failed: Vec<&str> = artefacts
+        .iter()
+        .filter(|a| !a.ok)
+        .map(|a| a.name.as_str())
+        .collect();
+    if !failed.is_empty() {
+        return Err(format!("artefact(s) failed: {}", failed.join(" ")));
+    }
+    Ok(())
+}
+
+/// Runs the whole target set on `jobs` workers, discarding output, and
+/// returns the wall time in seconds.
+fn timed_parallel_pass(seed: u64, targets: &[String], jobs: usize) -> f64 {
+    let start = Instant::now();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= targets.len() {
+                    break;
+                }
+                capture_begin();
+                let _ = run_one(&targets[i], seed);
+                let _ = capture_end();
+            });
+        }
+    });
+    start.elapsed().as_secs_f64()
+}
+
+/// Times a multi-observer best-visible sweep over an epoch grid two ways:
+/// the pre-snapshot per-query scan (re-propagate every satellite for every
+/// observer × boundary, full look-angle trig on all of them) against the
+/// [`SnapshotCache`] path (propagate once per boundary, coarse-prune, share
+/// across observers) — the hot path behind `selection.rs` handover sweeps.
+fn sweep_microbench() -> SweepBench {
+    let constellation = Constellation::from_tles(
+        &ShellConfig {
+            planes: 24,
+            sats_per_plane: 18,
+            ..ShellConfig::starlink_shell1()
+        }
+        .generate(),
+        0.0,
+    );
+    let observers: Vec<Geodetic> = (0..8)
+        .map(|i| Geodetic::on_surface(25.0 + 4.0 * i as f64, -120.0 + 30.0 * i as f64))
+        .collect();
+    let mask_deg = starlink_core::constellation::SHELL1_MIN_ELEVATION_DEG;
+    let epoch = SimDuration::from_secs(15);
+    let boundaries: Vec<SimDuration> = (0..40).map(|k| epoch * k).collect();
+
+    // Pre-PR path: every (boundary, observer) pair re-propagates the whole
+    // shell and runs the trig on every satellite.
+    let direct_start = Instant::now();
+    let mut direct_picks: Vec<Option<usize>> = Vec::new();
+    for &t in &boundaries {
+        for &obs in &observers {
+            let mut best: Option<(usize, f64)> = None;
+            for index in 0..constellation.len() {
+                let look = look_angles(obs, constellation.position(index, t));
+                if !look.visible_above(mask_deg) {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((_, elev)) => look.elevation_deg > elev,
+                };
+                if better {
+                    best = Some((index, look.elevation_deg));
+                }
+            }
+            direct_picks.push(best.map(|(index, _)| index));
+        }
+    }
+    let direct_seconds = direct_start.elapsed().as_secs_f64();
+
+    // Snapshot path: one propagation per boundary, shared by all observers,
+    // with the coarse range prune ahead of the trig.
+    reset_snapshot_cache_stats();
+    let cached_start = Instant::now();
+    let cache = SnapshotCache::new(&constellation);
+    let mut cached_picks: Vec<Option<usize>> = Vec::new();
+    for &t in &boundaries {
+        for &obs in &observers {
+            cached_picks.push(cache.at(t).best_visible(obs, mask_deg).map(|v| v.index));
+        }
+    }
+    let cached_seconds = cached_start.elapsed().as_secs_f64();
+    let (cache_hits, cache_misses) = snapshot_cache_stats();
+
+    SweepBench {
+        observers: observers.len(),
+        satellites: constellation.len(),
+        boundaries: boundaries.len(),
+        direct_seconds,
+        cached_seconds,
+        cache_hits,
+        cache_misses,
+        results_identical: direct_picks == cached_picks,
+        speedup: direct_seconds / cached_seconds.max(1e-9),
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_bench_json(
+    seed: u64,
+    jobs: usize,
+    targets: &[String],
+    artefacts: &[ArtefactTiming],
+    sequential_seconds: f64,
+    parallel_seconds: f64,
+    parallel_speedup: f64,
+    sweep: &SweepBench,
+) -> String {
+    let target_list = targets
+        .iter()
+        .map(|t| json_string(t))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let artefact_list = artefacts
+        .iter()
+        .map(|a| {
+            format!(
+                "    {{\"name\": {}, \"seconds\": {:.6}, \"ok\": {}}}",
+                json_string(&a.name),
+                a.seconds,
+                a.ok
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "{{\n\
+         \x20 \"schema\": \"repro-bench-v1\",\n\
+         \x20 \"seed\": {seed},\n\
+         \x20 \"jobs\": {jobs},\n\
+         \x20 \"targets\": [{target_list}],\n\
+         \x20 \"artefacts\": [\n{artefact_list}\n  ],\n\
+         \x20 \"sequential_seconds\": {sequential_seconds:.6},\n\
+         \x20 \"parallel_seconds\": {parallel_seconds:.6},\n\
+         \x20 \"parallel_speedup\": {parallel_speedup:.4},\n\
+         \x20 \"sweep\": {{\n\
+         \x20   \"observers\": {observers},\n\
+         \x20   \"satellites\": {satellites},\n\
+         \x20   \"boundaries\": {boundaries},\n\
+         \x20   \"direct_seconds\": {direct:.6},\n\
+         \x20   \"cached_seconds\": {cached:.6},\n\
+         \x20   \"cache_hits\": {hits},\n\
+         \x20   \"cache_misses\": {misses},\n\
+         \x20   \"results_identical\": {identical},\n\
+         \x20   \"speedup\": {sweep_speedup:.4}\n\
+         \x20 }},\n\
+         \x20 \"speedup\": {sweep_speedup:.4}\n\
+         }}\n",
+        observers = sweep.observers,
+        satellites = sweep.satellites,
+        boundaries = sweep.boundaries,
+        direct = sweep.direct_seconds,
+        cached = sweep.cached_seconds,
+        hits = sweep.cache_hits,
+        misses = sweep.cache_misses,
+        identical = sweep.results_identical,
+        sweep_speedup = sweep.speedup,
+    )
 }
 
 /// Drives the fault-storm telemetry campaign through the resilient

@@ -4,16 +4,60 @@
 //! prints it (so `cargo bench` reads like the paper's evaluation
 //! section), verifies its shape against the paper's qualitative claims,
 //! and then lets Criterion measure a reduced configuration.
+//!
+//! Output goes through a **thread-local capture sink**: when the parallel
+//! `repro` harness runs artefacts on worker threads, each thread begins a
+//! capture, the helpers append to that thread's buffer instead of stdout,
+//! and the harness prints the buffers in artefact order — so `--jobs N`
+//! output is byte-identical to the sequential run. With no capture active
+//! (the default, and every `cargo bench` target) the helpers print
+//! directly.
+
+use std::cell::RefCell;
+
+thread_local! {
+    /// The current thread's capture buffer, if a capture is active.
+    static SINK: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Starts capturing this thread's harness output into a buffer. Replaces
+/// any capture already in progress.
+pub fn capture_begin() {
+    SINK.with(|s| *s.borrow_mut() = Some(String::new()));
+}
+
+/// Stops capturing and returns everything emitted on this thread since
+/// [`capture_begin`]. Returns an empty string if no capture was active.
+pub fn capture_end() -> String {
+    SINK.with(|s| s.borrow_mut().take()).unwrap_or_default()
+}
+
+/// Emits one line through the capture sink, or to stdout when no capture
+/// is active on this thread.
+pub fn emit_line(line: &str) {
+    let captured = SINK.with(|s| {
+        if let Some(buf) = s.borrow_mut().as_mut() {
+            buf.push_str(line);
+            buf.push('\n');
+            true
+        } else {
+            false
+        }
+    });
+    if !captured {
+        println!("{line}");
+    }
+}
 
 /// Prints a rendered artefact with a banner, and surfaces a shape-check
 /// result without failing the bench (benches report; the test suite
 /// enforces).
 pub fn report(name: &str, rendered: &str, shape: Result<(), String>) {
-    println!("\n================ {name} ================\n");
-    println!("{rendered}");
+    emit_line(&format!("\n================ {name} ================\n"));
+    emit_line(rendered);
     match shape {
-        Ok(()) => println!("[shape] OK — qualitative claims of the paper hold\n"),
-        Err(e) => println!("[shape] WARNING — {e}\n"),
+        Ok(()) => emit_line("[shape] OK — qualitative claims of the paper hold\n"),
+        Err(e) => emit_line(&format!("[shape] WARNING — {e}\n")),
     }
 }
 
@@ -24,7 +68,26 @@ pub fn export_dat(name: &str, contents: &str) {
     if std::fs::create_dir_all(&dir).is_ok() {
         let path = dir.join(format!("{name}.dat"));
         if std::fs::write(&path, contents).is_ok() {
-            println!("[dat] wrote {}", path.display());
+            emit_line(&format!("[dat] wrote {}", path.display()));
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_collects_report_output() {
+        capture_begin();
+        report("demo", "body", Ok(()));
+        export_dat("capture_demo", "1 2\n");
+        let captured = capture_end();
+        assert!(captured.contains("================ demo ================"));
+        assert!(captured.contains("body"));
+        assert!(captured.contains("[shape] OK"));
+        assert!(captured.contains("capture_demo.dat"));
+        // A second end without a begin is empty, not stale.
+        assert_eq!(capture_end(), "");
     }
 }

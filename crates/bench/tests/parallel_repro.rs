@@ -1,0 +1,91 @@
+//! Tier-1 determinism tests for the parallel repro harness: `--jobs N`
+//! must emit byte-identical stdout to `--jobs 1`, and `--bench` must
+//! write a well-formed `BENCH_repro.json`.
+
+use std::process::Command;
+
+/// A cheap artefact subset that still exercises the constellation hot
+/// path (fig7 runs handover schedules over the full shell).
+const SUBSET: [&str; 4] = ["fig1", "fig2", "fig5", "fig7"];
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn run_with_jobs(jobs: &str) -> (String, bool) {
+    let output = repro()
+        .args(["--seed", "11", "--jobs", jobs])
+        .args(SUBSET)
+        .output()
+        .expect("repro binary runs");
+    (
+        String::from_utf8(output.stdout).expect("stdout is UTF-8"),
+        output.status.success(),
+    )
+}
+
+#[test]
+fn parallel_output_is_byte_identical_to_sequential() {
+    let (sequential, seq_ok) = run_with_jobs("1");
+    let (parallel, par_ok) = run_with_jobs("4");
+    assert!(seq_ok, "sequential run failed");
+    assert!(par_ok, "parallel run failed");
+    assert!(
+        sequential.contains("================ summary ================"),
+        "missing summary:\n{sequential}"
+    );
+    for artefact in ["Fig. 1", "Fig. 2", "Fig. 5", "Fig. 7"] {
+        assert!(
+            sequential.contains(artefact),
+            "missing {artefact} banner:\n{sequential}"
+        );
+    }
+    assert_eq!(
+        sequential, parallel,
+        "--jobs 4 stdout diverged from --jobs 1"
+    );
+}
+
+#[test]
+fn bench_mode_writes_parseable_json_with_speedup() {
+    let out_dir = std::env::temp_dir().join(format!("repro_bench_{}", std::process::id()));
+    let output = repro()
+        .args(["--bench", "--jobs", "2", "--out"])
+        .arg(&out_dir)
+        .args(["fig1", "fig7"])
+        .output()
+        .expect("repro binary runs");
+    assert!(
+        output.status.success(),
+        "bench run failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let json = std::fs::read_to_string(out_dir.join("BENCH_repro.json"))
+        .expect("BENCH_repro.json written");
+    let _ = std::fs::remove_dir_all(&out_dir);
+
+    // No serde in the workspace: assert the shape textually. The sweep
+    // speedup is the cached-vs-direct constellation path and must beat
+    // the pre-snapshot scan.
+    assert!(json.contains("\"schema\": \"repro-bench-v1\""), "{json}");
+    assert!(json.contains("\"results_identical\": true"), "{json}");
+    for key in [
+        "\"artefacts\"",
+        "\"sequential_seconds\"",
+        "\"parallel_seconds\"",
+        "\"cache_hits\"",
+        "\"speedup\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+    let speedup: f64 = json
+        .lines()
+        .rev()
+        .find_map(|l| l.trim().strip_prefix("\"speedup\": "))
+        .expect("top-level speedup present")
+        .trim_end_matches(',')
+        .parse()
+        .expect("speedup is a number");
+    assert!(speedup >= 1.0, "cached sweep slower than direct: {speedup}");
+}

@@ -303,7 +303,7 @@ mod tests {
                     .as_mbps()
             })
             .collect();
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples.sort_by(|a, b| a.total_cmp(b));
         samples[samples.len() / 2]
     }
 
@@ -378,7 +378,7 @@ mod tests {
                     )
                 })
                 .collect();
-            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v.sort_by(|a, b| a.total_cmp(b));
             v[v.len() / 2]
         };
         let nc = med(City::NorthCarolina, 4);
@@ -427,7 +427,7 @@ mod tests {
                     );
                 }
             }
-            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v.sort_by(|a, b| a.total_cmp(b));
             v[v.len() / 2]
         };
         let london = median_st(City::London);

@@ -25,11 +25,17 @@
 pub mod bentpipe;
 pub mod isl;
 pub mod selection;
+pub mod snapshot;
 pub mod view;
 
 pub use bentpipe::BentPipe;
 pub use isl::{IslComparison, IslModel};
 pub use selection::{
-    compute_schedule, compute_schedule_greedy, SelectionPolicy, ServingInterval, ServingSchedule,
+    compute_schedule, compute_schedule_cached, compute_schedule_greedy,
+    compute_schedule_greedy_cached, compute_schedules, SelectionPolicy, ServingInterval,
+    ServingSchedule,
+};
+pub use snapshot::{
+    reset_snapshot_cache_stats, snapshot_cache_stats, PositionSnapshot, SnapshotCache,
 };
 pub use view::{Constellation, SatView, SHELL1_MIN_ELEVATION_DEG};

@@ -1,0 +1,359 @@
+//! Shared per-time-step constellation position snapshots.
+//!
+//! Every visibility query ultimately needs the ECEF position of every
+//! satellite at one instant. Before this layer existed, each
+//! `visible_from`/`best_visible` call re-propagated all satellites for
+//! each (observer, time) pair — O(users × steps × sats) with zero reuse
+//! across observers sweeping the same time grid. A [`PositionSnapshot`]
+//! propagates the whole constellation **once** per time step; a
+//! [`SnapshotCache`] shares that snapshot across every observer and query
+//! at that step.
+//!
+//! On top of the shared positions the snapshot applies a **coarse range
+//! prune**: a satellite whose straight-line ECEF distance to the observer
+//! exceeds the maximum slant range implied by the elevation mask (~1089 km
+//! at 25° per the paper; ~1123 km with this repo's constants, see
+//! [`starlink_geo::max_slant_range`]) cannot be above the mask, so the
+//! full look-angle trigonometry is skipped for the vast majority of the
+//! constellation. The prune is conservative — the mask is relaxed by
+//! [`PRUNE_MARGIN_DEG`] to absorb the geodetic-normal vs geocentric-radial
+//! difference, and a flat [`PRUNE_SLACK_M`] is added — so snapshot-backed
+//! queries return **byte-identical** results to the direct scan.
+
+use crate::view::{Constellation, SatView};
+use starlink_geo::{look_angles, Ecef, Geodetic, LookAngles};
+use starlink_simcore::SimDuration;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Degrees subtracted from the elevation mask before deriving the prune
+/// range. The closed-form slant-range bound is exact for an elevation
+/// measured against the geocentric radial direction; the geodetic normal
+/// the look-angle code uses deviates from it by at most ~0.2°, so half a
+/// degree of relaxation keeps the prune strictly conservative.
+const PRUNE_MARGIN_DEG: f64 = 0.5;
+
+/// Flat slack added to the prune range, metres.
+const PRUNE_SLACK_M: f64 = 10_000.0;
+
+/// Process-wide snapshot-cache hit counter (all caches, all threads).
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide snapshot-cache miss counter.
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide `(hits, misses)` across every [`SnapshotCache`] since the
+/// last [`reset_snapshot_cache_stats`]. A hit means a whole-constellation
+/// propagation was skipped by reusing a shared snapshot.
+pub fn snapshot_cache_stats() -> (u64, u64) {
+    (
+        CACHE_HITS.load(Ordering::Relaxed),
+        CACHE_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// Zeroes the process-wide snapshot-cache counters (benchmark harnesses
+/// call this between measured phases).
+pub fn reset_snapshot_cache_stats() {
+    CACHE_HITS.store(0, Ordering::Relaxed);
+    CACHE_MISSES.store(0, Ordering::Relaxed);
+}
+
+/// All satellite ECEF positions at one instant, propagated once and shared
+/// across every observer/query at that time step.
+#[derive(Debug, Clone)]
+pub struct PositionSnapshot {
+    t: SimDuration,
+    positions: Vec<Ecef>,
+    /// Largest geocentric radius in the snapshot, metres (bounds the
+    /// feasible slant range for the prune).
+    max_radius_m: f64,
+}
+
+impl PositionSnapshot {
+    /// Propagates every satellite of `constellation` to `t`.
+    pub fn capture(constellation: &Constellation, t: SimDuration) -> Self {
+        let positions: Vec<Ecef> = (0..constellation.len())
+            .map(|i| constellation.position(i, t))
+            .collect();
+        let max_radius_m = positions.iter().map(|p| p.magnitude()).fold(0.0, f64::max);
+        PositionSnapshot {
+            t,
+            positions,
+            max_radius_m,
+        }
+    }
+
+    /// The instant this snapshot was propagated to.
+    pub fn time(&self) -> SimDuration {
+        self.t
+    }
+
+    /// Number of satellites in the snapshot.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The cached ECEF position of satellite `index`.
+    pub fn position(&self, index: usize) -> Ecef {
+        self.positions[index]
+    }
+
+    /// The look angles from `observer` to satellite `index`.
+    pub fn look(&self, index: usize, observer: Geodetic) -> LookAngles {
+        look_angles(observer, self.positions[index])
+    }
+
+    /// Conservative squared upper bound on the observer→satellite distance
+    /// for a satellite at or above `mask_deg`, or `None` when the prune
+    /// cannot be applied safely (observer at or above the shell).
+    ///
+    /// From the geocentric triangle with observer radius `R`, satellite
+    /// radius `Rs` and radial elevation `E`:
+    /// `d = sqrt(R² sin²E + Rs² − R²) − R sin E`, which is decreasing in
+    /// `E` — so relaxing the mask only ever widens the bound.
+    fn prune_range_sq_m2(&self, observer_ecef: Ecef, mask_deg: f64) -> Option<f64> {
+        let r = observer_ecef.magnitude();
+        let h2 = self.max_radius_m * self.max_radius_m - r * r;
+        if h2 <= 0.0 {
+            return None;
+        }
+        let sin_e = (mask_deg - PRUNE_MARGIN_DEG).to_radians().sin();
+        let d = (r * r * sin_e * sin_e + h2).sqrt() - r * sin_e + PRUNE_SLACK_M;
+        Some(d * d)
+    }
+
+    /// All satellites at or above `mask_deg` elevation for `observer`,
+    /// sorted by descending elevation then ascending index — exactly the
+    /// ordering of the pre-snapshot direct scan.
+    pub fn visible_from(&self, observer: Geodetic, mask_deg: f64) -> Vec<SatView> {
+        let obs = observer.to_ecef();
+        let limit_sq = self.prune_range_sq_m2(obs, mask_deg);
+        let mut views: Vec<SatView> = self
+            .positions
+            .iter()
+            .enumerate()
+            .filter_map(|(index, &pos)| {
+                if let Some(limit) = limit_sq {
+                    let dx = pos.x - obs.x;
+                    let dy = pos.y - obs.y;
+                    let dz = pos.z - obs.z;
+                    if dx * dx + dy * dy + dz * dz > limit {
+                        return None;
+                    }
+                }
+                let look = look_angles(observer, pos);
+                look.visible_above(mask_deg)
+                    .then_some(SatView { index, look })
+            })
+            .collect();
+        views.sort_by(|a, b| {
+            b.look
+                .elevation_deg
+                .total_cmp(&a.look.elevation_deg)
+                .then(a.index.cmp(&b.index))
+        });
+        views
+    }
+
+    /// The highest-elevation visible satellite, if any. Ties keep the
+    /// lowest index, matching the direct scan's first-wins comparison.
+    pub fn best_visible(&self, observer: Geodetic, mask_deg: f64) -> Option<SatView> {
+        let obs = observer.to_ecef();
+        let limit_sq = self.prune_range_sq_m2(obs, mask_deg);
+        let mut best: Option<SatView> = None;
+        for (index, &pos) in self.positions.iter().enumerate() {
+            if let Some(limit) = limit_sq {
+                let dx = pos.x - obs.x;
+                let dy = pos.y - obs.y;
+                let dz = pos.z - obs.z;
+                if dx * dx + dy * dy + dz * dz > limit {
+                    continue;
+                }
+            }
+            let look = look_angles(observer, pos);
+            if !look.visible_above(mask_deg) {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some(b) => look.elevation_deg > b.look.elevation_deg,
+            };
+            if better {
+                best = Some(SatView { index, look });
+            }
+        }
+        best
+    }
+}
+
+/// A small, bounded, most-recently-used cache of [`PositionSnapshot`]s for
+/// one constellation.
+///
+/// Sweeps that advance many observers in lockstep over a common time grid
+/// (see [`crate::selection::compute_schedules`]) request the same handful
+/// of instants over and over; the cache keeps the most recent
+/// [`SnapshotCache::CAPACITY`] of them alive so each step is propagated
+/// once regardless of how many observers query it. The bound keeps memory
+/// flat on day-scale windows (a full-shell snapshot is ~40 KB).
+pub struct SnapshotCache<'a> {
+    constellation: &'a Constellation,
+    /// Most-recently-used first.
+    entries: RefCell<Vec<(u64, Rc<PositionSnapshot>)>>,
+}
+
+impl<'a> SnapshotCache<'a> {
+    /// Maximum number of live snapshots.
+    pub const CAPACITY: usize = 8;
+
+    /// An empty cache over `constellation`.
+    pub fn new(constellation: &'a Constellation) -> Self {
+        SnapshotCache {
+            constellation,
+            entries: RefCell::new(Vec::with_capacity(Self::CAPACITY)),
+        }
+    }
+
+    /// The constellation the cache propagates.
+    pub fn constellation(&self) -> &'a Constellation {
+        self.constellation
+    }
+
+    /// The snapshot at `t`, propagating it on first request and sharing it
+    /// on every later one.
+    pub fn at(&self, t: SimDuration) -> Rc<PositionSnapshot> {
+        let key = t.as_nanos();
+        let mut entries = self.entries.borrow_mut();
+        if let Some(i) = entries.iter().position(|(k, _)| *k == key) {
+            CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+            let entry = entries.remove(i);
+            let snap = Rc::clone(&entry.1);
+            entries.insert(0, entry);
+            return snap;
+        }
+        CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+        let snap = Rc::new(PositionSnapshot::capture(self.constellation, t));
+        entries.insert(0, (key, Rc::clone(&snap)));
+        entries.truncate(Self::CAPACITY);
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_geo::look::max_slant_range;
+    use starlink_simcore::Meters;
+    use starlink_tle::ShellConfig;
+
+    fn small_shell() -> Constellation {
+        Constellation::from_tles(
+            &ShellConfig {
+                planes: 12,
+                sats_per_plane: 8,
+                ..ShellConfig::starlink_shell1()
+            }
+            .generate(),
+            0.0,
+        )
+    }
+
+    /// The pre-snapshot direct scan, kept verbatim as the reference.
+    fn direct_visible_from(
+        c: &Constellation,
+        observer: Geodetic,
+        t: SimDuration,
+        mask_deg: f64,
+    ) -> Vec<SatView> {
+        let mut views: Vec<SatView> = (0..c.len())
+            .filter_map(|index| {
+                let look = look_angles(observer, c.position(index, t));
+                look.visible_above(mask_deg)
+                    .then_some(SatView { index, look })
+            })
+            .collect();
+        views.sort_by(|a, b| {
+            b.look
+                .elevation_deg
+                .total_cmp(&a.look.elevation_deg)
+                .then(a.index.cmp(&b.index))
+        });
+        views
+    }
+
+    #[test]
+    fn snapshot_matches_direct_scan_exactly() {
+        let c = small_shell();
+        for (lat, lon) in [(51.5, -0.12), (0.0, 100.0), (-35.0, 151.0), (52.9, 0.0)] {
+            let obs = Geodetic::on_surface(lat, lon);
+            for minute in [0u64, 7, 31, 95] {
+                let t = SimDuration::from_mins(minute);
+                let snap = PositionSnapshot::capture(&c, t);
+                for mask in [0.0, 10.0, 25.0, 40.0] {
+                    assert_eq!(
+                        snap.visible_from(obs, mask),
+                        direct_visible_from(&c, obs, t, mask),
+                        "({lat},{lon}) minute {minute} mask {mask}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_best_matches_head_of_sorted() {
+        let c = small_shell();
+        let obs = Geodetic::on_surface(51.5, -0.12);
+        for minute in 0..30 {
+            let t = SimDuration::from_mins(minute);
+            let snap = PositionSnapshot::capture(&c, t);
+            let views = snap.visible_from(obs, 10.0);
+            let best = snap.best_visible(obs, 10.0);
+            assert_eq!(views.first().map(|v| v.index), best.map(|v| v.index));
+        }
+    }
+
+    #[test]
+    fn prune_bound_exceeds_analytic_slant_range() {
+        // The conservative prune range must dominate the exact closed-form
+        // maximum slant range for the shell altitude.
+        let c = small_shell();
+        let snap = PositionSnapshot::capture(&c, SimDuration::from_secs(0));
+        let obs = Geodetic::on_surface(51.5, -0.12).to_ecef();
+        let analytic = max_slant_range(Meters::from_km(550.0), 25.0).as_f64();
+        let bound = snap.prune_range_sq_m2(obs, 25.0).unwrap().sqrt();
+        assert!(bound > analytic, "bound {bound} vs analytic {analytic}");
+    }
+
+    #[test]
+    fn cache_shares_and_counts() {
+        let c = small_shell();
+        let cache = SnapshotCache::new(&c);
+        reset_snapshot_cache_stats();
+        let a = cache.at(SimDuration::from_secs(15));
+        let b = cache.at(SimDuration::from_secs(15));
+        assert!(Rc::ptr_eq(&a, &b));
+        let (hits, misses) = snapshot_cache_stats();
+        assert!(hits >= 1 && misses >= 1, "hits {hits} misses {misses}");
+    }
+
+    #[test]
+    fn cache_is_bounded() {
+        let c = small_shell();
+        let cache = SnapshotCache::new(&c);
+        for s in 0..(SnapshotCache::CAPACITY as u64 + 10) {
+            let _ = cache.at(SimDuration::from_secs(s));
+        }
+        assert!(cache.entries.borrow().len() <= SnapshotCache::CAPACITY);
+        // The most recent entries survive.
+        let before = snapshot_cache_stats();
+        let _ = cache.at(SimDuration::from_secs(SnapshotCache::CAPACITY as u64 + 9));
+        let after = snapshot_cache_stats();
+        assert_eq!(after.0, before.0 + 1, "most recent step must be a hit");
+    }
+}

@@ -80,29 +80,20 @@ impl Constellation {
         self.propagators[index].position_at_secs(t_secs)
     }
 
+    /// Propagates every satellite to `t` as a shareable
+    /// [`PositionSnapshot`](crate::snapshot::PositionSnapshot).
+    pub fn snapshot(&self, t: SimDuration) -> crate::snapshot::PositionSnapshot {
+        crate::snapshot::PositionSnapshot::capture(self, t)
+    }
+
     /// All satellites at or above `mask_deg` elevation for `observer` at
     /// `t`, sorted by descending elevation.
+    ///
+    /// One-shot convenience over the snapshot path; sweeps that revisit
+    /// the same instant should share a
+    /// [`SnapshotCache`](crate::snapshot::SnapshotCache) instead.
     pub fn visible_from(&self, observer: Geodetic, t: SimDuration, mask_deg: f64) -> Vec<SatView> {
-        let mut views: Vec<SatView> = self
-            .propagators
-            .iter()
-            .enumerate()
-            .filter_map(|(index, prop)| {
-                let look = look_angles(observer, prop.position_at(t));
-                if look.visible_above(mask_deg) {
-                    Some(SatView { index, look })
-                } else {
-                    None
-                }
-            })
-            .collect();
-        views.sort_by(|a, b| {
-            b.look
-                .elevation_deg
-                .total_cmp(&a.look.elevation_deg)
-                .then(a.index.cmp(&b.index))
-        });
-        views
+        self.snapshot(t).visible_from(observer, mask_deg)
     }
 
     /// The highest-elevation visible satellite, if any.
@@ -112,21 +103,7 @@ impl Constellation {
         t: SimDuration,
         mask_deg: f64,
     ) -> Option<SatView> {
-        let mut best: Option<SatView> = None;
-        for (index, prop) in self.propagators.iter().enumerate() {
-            let look = look_angles(observer, prop.position_at(t));
-            if !look.visible_above(mask_deg) {
-                continue;
-            }
-            let better = match &best {
-                None => true,
-                Some(b) => look.elevation_deg > b.look.elevation_deg,
-            };
-            if better {
-                best = Some(SatView { index, look });
-            }
-        }
-        best
+        self.snapshot(t).best_visible(observer, mask_deg)
     }
 
     /// The look angles from `observer` to satellite `index` at `t`

@@ -4,9 +4,10 @@
 
 use proptest::prelude::*;
 use starlink_constellation::{
-    compute_schedule, compute_schedule_greedy, Constellation, SelectionPolicy,
+    compute_schedule, compute_schedule_greedy, compute_schedules, Constellation, PositionSnapshot,
+    SatView, SelectionPolicy,
 };
-use starlink_geo::Geodetic;
+use starlink_geo::{look_angles, Geodetic};
 use starlink_simcore::{SimDuration, SimTime};
 use starlink_tle::ShellConfig;
 
@@ -140,5 +141,71 @@ proptest! {
             .find(|iv| iv.start <= t && t < iv.end)
             .map(|iv| iv.sat);
         prop_assert_eq!(by_lookup, by_scan);
+    }
+
+    /// The snapshot-backed (pruned) visibility query is byte-identical to
+    /// the direct all-satellite scan for arbitrary observers, instants,
+    /// masks and constellation phases — order, contents and look angles.
+    #[test]
+    fn snapshot_visible_from_equals_direct_scan(
+        gmst0 in 0.0f64..6.2,
+        lat in -80.0f64..80.0,
+        lon in -180.0f64..180.0,
+        t_secs in 0u64..86_400,
+        mask in 0.0f64..60.0,
+    ) {
+        let c = small_shell(gmst0);
+        let obs = Geodetic::on_surface(lat, lon);
+        let t = SimDuration::from_secs(t_secs);
+
+        // The pre-snapshot scan, reproduced verbatim: look angles for every
+        // satellite, filter on the mask, sort by descending elevation then
+        // ascending index.
+        let mut direct: Vec<SatView> = (0..c.len())
+            .filter_map(|index| {
+                let look = look_angles(obs, c.position(index, t));
+                look.visible_above(mask).then_some(SatView { index, look })
+            })
+            .collect();
+        direct.sort_by(|a, b| {
+            b.look
+                .elevation_deg
+                .total_cmp(&a.look.elevation_deg)
+                .then(a.index.cmp(&b.index))
+        });
+
+        let snap = PositionSnapshot::capture(&c, t);
+        prop_assert_eq!(&snap.visible_from(obs, mask), &direct);
+        prop_assert_eq!(&c.visible_from(obs, t, mask), &direct);
+        prop_assert_eq!(
+            snap.best_visible(obs, mask).map(|v| v.index),
+            direct.first().map(|v| v.index)
+        );
+    }
+
+    /// Lockstep multi-observer sweeps return exactly the per-observer
+    /// schedules.
+    #[test]
+    fn lockstep_schedules_equal_individual_schedules(
+        gmst0 in 0.0f64..6.2,
+        lat in -56.0f64..56.0,
+        lon in -180.0f64..180.0,
+        step_secs in 1u64..20,
+    ) {
+        let c = small_shell(gmst0);
+        let observers = [
+            Geodetic::on_surface(lat, lon),
+            Geodetic::on_surface(-lat / 2.0, (lon / 2.0) + 10.0),
+        ];
+        let policy = SelectionPolicy {
+            sample_step: SimDuration::from_secs(step_secs),
+            ..SelectionPolicy::default()
+        };
+        let window = SimDuration::from_mins(15);
+        let shared = compute_schedules(&c, &observers, SimTime::ZERO, window, &policy);
+        for (i, &obs) in observers.iter().enumerate() {
+            let direct = compute_schedule(&c, obs, SimTime::ZERO, window, &policy);
+            prop_assert_eq!(&shared[i], &direct, "observer {} diverged", i);
+        }
     }
 }

@@ -71,7 +71,7 @@ pub fn run(config: &Config) -> Fig3 {
                     city,
                     popular,
                     exit_as,
-                    median_ms: median(&samples),
+                    median_ms: median(&samples).unwrap_or(f64::NAN),
                     samples: samples.len(),
                     cdf: ecdf.points_decimated(200),
                 });

@@ -78,7 +78,7 @@ pub fn run(config: &Config) -> Fig6a {
             let ecdf = Ecdf::new(&samples_mbps);
             NodeSeries {
                 city,
-                median_mbps: median(&samples_mbps),
+                median_mbps: median(&samples_mbps).unwrap_or(f64::NAN),
                 max_mbps: samples_mbps.iter().cloned().fold(f64::MIN, f64::max),
                 cdf: ecdf.points_decimated(200),
                 samples_mbps,
