@@ -45,10 +45,12 @@ pub mod fault;
 pub mod link;
 pub mod network;
 pub mod node;
+pub mod trace;
 pub mod wire;
 
 pub use fault::{FaultEffect, FaultMode, FaultSchedule, FaultWindow};
 pub use link::{LinkConfig, LinkDynamics, LinkStats, StaticDynamics};
 pub use network::{Network, NetworkStats};
-pub use node::{Ctx, Handler, NodeId, NodeKind};
+pub use node::{Ctx, Handler, NodeId, NodeKind, NodeStats};
+pub use trace::EventTrace;
 pub use wire::{Packet, Payload, TcpFlags, TcpHeader, UdpDatagram};

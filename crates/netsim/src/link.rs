@@ -95,6 +95,12 @@ impl LinkConfig {
 pub struct LinkStats {
     /// Packets accepted onto the link.
     pub transmitted: u64,
+    /// Packets that reached the far end (the network increments this
+    /// when the arrival event fires). `transmitted - delivered` is the
+    /// link's in-flight count: non-negative always, zero at quiescence —
+    /// the per-link packet-conservation invariant the simulation-test
+    /// oracles check.
+    pub delivered: u64,
     /// Packets dropped by the loss process.
     pub lost: u64,
     /// Packets dropped by queue overflow.

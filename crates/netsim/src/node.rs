@@ -84,6 +84,37 @@ impl Ctx {
     }
 }
 
+/// Per-node packet counters.
+///
+/// Every packet arriving at a node over a link is classified into exactly
+/// one of the outcome counters, so
+/// `arrivals == faulted + delivered + forwarded + ttl_expired + no_route`
+/// at all times — the per-node conservation invariant the simulation-test
+/// oracles check.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Packets that arrived at this node over a link.
+    pub arrivals: u64,
+    /// Arrivals dropped because the node was inside a down-fault window.
+    pub faulted: u64,
+    /// Arrivals terminating here (handler, mailbox or echo auto-reply).
+    pub delivered: u64,
+    /// Arrivals forwarded onto an outgoing link.
+    pub forwarded: u64,
+    /// Arrivals dropped because their TTL reached zero here.
+    pub ttl_expired: u64,
+    /// Arrivals dropped because this node had no route to the destination.
+    pub no_route: u64,
+}
+
+impl NodeStats {
+    /// Whether every arrival is accounted for by exactly one outcome.
+    pub fn conserved(&self) -> bool {
+        self.arrivals
+            == self.faulted + self.delivered + self.forwarded + self.ttl_expired + self.no_route
+    }
+}
+
 /// Endpoint behaviour attached to a host node.
 pub trait Handler {
     /// A packet addressed to this host arrived.
@@ -104,6 +135,8 @@ pub(crate) struct Node {
     pub mailbox: Vec<(SimTime, Packet)>,
     /// Injected fault timeline; only down windows matter for nodes.
     pub fault: FaultSchedule,
+    /// Per-node arrival-outcome counters.
+    pub stats: NodeStats,
 }
 
 impl Node {
@@ -115,6 +148,7 @@ impl Node {
             handler: None,
             mailbox: Vec::new(),
             fault: FaultSchedule::default(),
+            stats: NodeStats::default(),
         }
     }
 }

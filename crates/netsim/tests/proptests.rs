@@ -2,7 +2,9 @@
 //! and determinism over randomized link parameters.
 
 use proptest::prelude::*;
-use starlink_netsim::{LinkConfig, Network, NodeKind, Payload};
+use starlink_netsim::{
+    FaultMode, FaultSchedule, FaultWindow, LinkConfig, Network, NodeKind, Payload,
+};
 use starlink_simcore::{Bytes, DataRate, SimDuration, SimTime};
 
 proptest! {
@@ -107,5 +109,155 @@ proptest! {
             }
             other => prop_assert!(false, "unexpected reply {:?}", other),
         }
+    }
+
+    /// A link is a FIFO pipe: whatever subset of a packet sequence gets
+    /// through arrives in send order, with non-decreasing delivery times —
+    /// for any rate, spacing and queue depth, including overflow regimes.
+    #[test]
+    fn links_deliver_in_fifo_order(
+        seed in any::<u64>(),
+        rate_kbps in 64u64..50_000,
+        queue_kb in 1u64..64,
+        count in 2u64..400,
+        spacing_us in 1u64..3_000,
+        size in 64u64..1_500,
+    ) {
+        let mut net = Network::new(seed);
+        let a = net.add_node("a", NodeKind::Host);
+        let b = net.add_node("b", NodeKind::Host);
+        let mk = || LinkConfig::fixed(
+            SimDuration::from_millis(3),
+            DataRate::from_kbps(rate_kbps),
+            0.01,
+        ).with_queue(Bytes::from_kb(queue_kb));
+        net.connect_duplex(a, b, mk(), mk());
+        net.route_linear(&[a, b]);
+
+        for i in 0..count {
+            net.run_until(SimTime::from_micros(i * spacing_us));
+            net.send_packet(a, b, Bytes::new(size), 64, Payload::Raw(i));
+        }
+        net.run_to_idle();
+
+        let mail = net.drain_mailbox(b);
+        let mut last_id = None;
+        let mut last_at = SimTime::ZERO;
+        for (at, packet) in &mail {
+            prop_assert!(*at >= last_at, "delivery times went backwards");
+            last_at = *at;
+            let Payload::Raw(id) = packet.payload else {
+                prop_assert!(false, "unexpected payload {:?}", packet.payload);
+                unreachable!()
+            };
+            if let Some(prev) = last_id {
+                prop_assert!(id > prev, "reordered: {} after {}", id, prev);
+            }
+            last_id = Some(id);
+        }
+    }
+
+    /// Link capacity accounting balances at quiescence: every offered
+    /// packet lands in exactly one counter, `transmitted` equals
+    /// `delivered` (drops never enter the pipe), `bytes` matches the
+    /// accepted volume exactly, and the queue backlog is zero.
+    #[test]
+    fn capacity_accounting_balances(
+        seed in any::<u64>(),
+        loss in 0.0f64..0.3,
+        rate_kbps in 64u64..20_000,
+        queue_kb in 1u64..32,
+        count in 1u64..300,
+        spacing_us in 1u64..2_000,
+        size in 64u64..1_500,
+    ) {
+        let mut net = Network::new(seed);
+        let a = net.add_node("a", NodeKind::Host);
+        let b = net.add_node("b", NodeKind::Host);
+        let mk = || LinkConfig::fixed(
+            SimDuration::from_millis(2),
+            DataRate::from_kbps(rate_kbps),
+            loss,
+        ).with_queue(Bytes::from_kb(queue_kb));
+        net.connect_duplex(a, b, mk(), mk());
+        net.route_linear(&[a, b]);
+
+        for i in 0..count {
+            net.run_until(SimTime::from_micros(i * spacing_us));
+            net.send_packet(a, b, Bytes::new(size), 64, Payload::Raw(i));
+        }
+        net.run_to_idle();
+
+        let s = net.link_stats(0);
+        prop_assert_eq!(
+            s.transmitted + s.lost + s.overflowed + s.faulted + s.corrupted,
+            count,
+            "offered packets leaked from the accounting"
+        );
+        prop_assert_eq!(s.transmitted, s.delivered, "accepted != delivered at idle");
+        prop_assert_eq!(s.bytes, s.transmitted * size, "byte counter disagrees");
+        prop_assert_eq!(net.link_backlog(0), Bytes::ZERO);
+    }
+
+    /// A faulted link only ever *drops*: under any mix of outage, loss and
+    /// corruption windows the survivors arrive in order, exactly once, and
+    /// every casualty is attributed to a drop counter.
+    #[test]
+    fn faulted_links_drop_but_never_duplicate_or_reorder(
+        seed in any::<u64>(),
+        windows in proptest::collection::vec((0u64..80_000u64, 1u64..40_000u64, 0usize..3usize, 0.05f64..1.0), 0..4),
+        count in 1u64..400,
+        spacing_us in 50u64..2_000,
+    ) {
+        let mut net = Network::new(seed);
+        let a = net.add_node("a", NodeKind::Host);
+        let b = net.add_node("b", NodeKind::Host);
+        let mk = || LinkConfig::fixed(
+            SimDuration::from_millis(4),
+            DataRate::from_kbps(10_000),
+            0.0,
+        ).with_queue(Bytes::from_kb(64));
+        net.connect_duplex(a, b, mk(), mk());
+        net.route_linear(&[a, b]);
+        let schedule = FaultSchedule::new(windows.iter().map(|&(start_us, len_us, mode, p)| {
+            FaultWindow {
+                start: SimTime::from_micros(start_us),
+                end: SimTime::from_micros(start_us + len_us),
+                mode: match mode {
+                    0 => FaultMode::Down,
+                    1 => FaultMode::Lossy(p),
+                    _ => FaultMode::Corrupt(p),
+                },
+            }
+        }).collect());
+        net.set_link_fault(0, schedule);
+
+        for i in 0..count {
+            net.run_until(SimTime::from_micros(i * spacing_us));
+            net.send_packet(a, b, Bytes::new(500), 64, Payload::Raw(i));
+        }
+        net.run_to_idle();
+
+        let mail = net.drain_mailbox(b);
+        let mut seen = std::collections::HashSet::new();
+        let mut last_id = None;
+        for (_, packet) in &mail {
+            let Payload::Raw(id) = packet.payload else {
+                prop_assert!(false, "unexpected payload {:?}", packet.payload);
+                unreachable!()
+            };
+            prop_assert!(seen.insert(id), "packet {} duplicated", id);
+            if let Some(prev) = last_id {
+                prop_assert!(id > prev, "reordered: {} after {}", id, prev);
+            }
+            last_id = Some(id);
+        }
+        let s = net.link_stats(0);
+        prop_assert_eq!(s.delivered, mail.len() as u64);
+        prop_assert_eq!(
+            s.delivered + s.lost + s.overflowed + s.faulted + s.corrupted,
+            count,
+            "drops unaccounted for"
+        );
     }
 }

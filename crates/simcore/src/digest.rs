@@ -1,0 +1,115 @@
+//! Streaming digests of simulation traces.
+//!
+//! Determinism is the property every experiment here depends on, and the
+//! only way to *check* it cheaply is to fold the entire event history into
+//! a fixed-size fingerprint as the simulation runs. [`StreamingDigest`] is
+//! a 64-bit FNV-1a accumulator: absorb every event in dispatch order, read
+//! the value at the end, and two runs are (overwhelmingly likely) the same
+//! run iff the values match. The simulation-test swarm runs every scenario
+//! twice and compares digests — the twin-run oracle.
+//!
+//! FNV-1a is not cryptographic; it is chosen because it is dependency-free,
+//! a few instructions per byte, and stable across platforms and releases
+//! (the constants are pinned by the FNV specification, not by a hasher
+//! implementation that may change between std versions).
+
+/// A 64-bit FNV-1a streaming hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamingDigest {
+    state: u64,
+    absorbed: u64,
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+impl Default for StreamingDigest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingDigest {
+    /// An empty digest.
+    pub fn new() -> Self {
+        StreamingDigest {
+            state: FNV_OFFSET,
+            absorbed: 0,
+        }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn absorb_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self.absorbed += bytes.len() as u64;
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn absorb_u64(&mut self, v: u64) {
+        self.absorb_bytes(&v.to_le_bytes());
+    }
+
+    /// The current digest value.
+    pub fn value(&self) -> u64 {
+        self.state
+    }
+
+    /// How many bytes have been absorbed.
+    pub fn absorbed(&self) -> u64 {
+        self.absorbed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_digest_is_the_fnv_offset() {
+        assert_eq!(StreamingDigest::new().value(), FNV_OFFSET);
+        assert_eq!(StreamingDigest::new().absorbed(), 0);
+    }
+
+    #[test]
+    fn same_stream_same_value() {
+        let mut a = StreamingDigest::new();
+        let mut b = StreamingDigest::new();
+        for v in [1u64, 99, u64::MAX, 0] {
+            a.absorb_u64(v);
+            b.absorb_u64(v);
+        }
+        assert_eq!(a.value(), b.value());
+        assert_eq!(a.absorbed(), 32);
+    }
+
+    #[test]
+    fn order_matters() {
+        let mut a = StreamingDigest::new();
+        a.absorb_u64(1);
+        a.absorb_u64(2);
+        let mut b = StreamingDigest::new();
+        b.absorb_u64(2);
+        b.absorb_u64(1);
+        assert_ne!(a.value(), b.value());
+    }
+
+    #[test]
+    fn u64_absorption_matches_byte_absorption() {
+        let mut a = StreamingDigest::new();
+        a.absorb_u64(0x0102_0304_0506_0708);
+        let mut b = StreamingDigest::new();
+        b.absorb_bytes(&[0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(a.value(), b.value());
+    }
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a of "a" is a published test vector.
+        let mut d = StreamingDigest::new();
+        d.absorb_bytes(b"a");
+        assert_eq!(d.value(), 0xAF63_DC4C_8601_EC8C);
+    }
+}

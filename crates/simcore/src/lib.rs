@@ -22,6 +22,9 @@
 //! * [`units`] — newtypes for bytes, data rates and distances that make
 //!   unit bugs (bits vs. bytes, ms vs. ns) type errors instead of silent
 //!   corruption.
+//! * [`StreamingDigest`] — a stable 64-bit streaming hash that folds an
+//!   event history into a fingerprint, so twin runs can be compared for
+//!   byte-identical behaviour without storing the trace.
 //!
 //! ## Design notes
 //!
@@ -55,12 +58,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod digest;
 pub mod dist;
 pub mod event;
 pub mod rng;
 pub mod time;
 pub mod units;
 
+pub use digest::StreamingDigest;
 pub use dist::Dist;
 pub use event::{EventQueue, ScheduledEvent};
 pub use rng::SimRng;

@@ -1,0 +1,266 @@
+//! The scenario-swarm driver.
+//!
+//! ```text
+//! swarm run [--seeds N] [--jobs J] [--base-seed B] [--out DIR]
+//!           [--inject-bug EVERY] [--shrink]
+//! swarm replay --seed S [--scenario FILE] [--inject-bug EVERY]
+//! ```
+//!
+//! `run` fans `N` seeds across `J` worker threads. Every seed is derived
+//! from the base seed, generated into a scenario, run **twice** and
+//! oracle-checked (including twin-run determinism). Failing seeds are
+//! written to `--out` as replayable JSON artifacts. Output is printed in
+//! seed order after all workers join and contains no timestamps, so two
+//! invocations with the same arguments are byte-identical — `diff` is the
+//! cross-run determinism check.
+//!
+//! `replay` reproduces one seed (or a saved scenario file) and prints its
+//! violations — the failure-replay half of the simulation-test loop.
+
+use starlink_simtest::{check_twin, gen, run_twin, scenario_seed, shrink, RunOptions, Scenario};
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        _ => {
+            eprintln!("usage: swarm run [--seeds N] [--jobs J] [--base-seed B] [--out DIR] [--inject-bug EVERY] [--shrink]");
+            eprintln!("       swarm replay --seed S [--scenario FILE] [--inject-bug EVERY]");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+/// Pulls the value after a `--flag`, parsing as u64 (decimal or 0x hex).
+fn parse_u64(value: &str) -> Result<u64, String> {
+    let parsed = match value.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => value.parse(),
+    };
+    parsed.map_err(|_| format!("invalid number: {value}"))
+}
+
+struct Flags {
+    seeds: u64,
+    jobs: usize,
+    base_seed: u64,
+    out: Option<String>,
+    inject_bug: u64,
+    shrink: bool,
+    seed: Option<u64>,
+    scenario: Option<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        seeds: 100,
+        jobs: 1,
+        base_seed: 42,
+        out: None,
+        inject_bug: 0,
+        shrink: false,
+        seed: None,
+        scenario: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--seeds" => flags.seeds = parse_u64(&value("--seeds")?)?,
+            "--jobs" => flags.jobs = parse_u64(&value("--jobs")?)? as usize,
+            "--base-seed" => flags.base_seed = parse_u64(&value("--base-seed")?)?,
+            "--out" => flags.out = Some(value("--out")?),
+            "--inject-bug" => flags.inject_bug = parse_u64(&value("--inject-bug")?)?,
+            "--shrink" => flags.shrink = true,
+            "--seed" => flags.seed = Some(parse_u64(&value("--seed")?)?),
+            "--scenario" => flags.scenario = Some(value("--scenario")?),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    if flags.seeds == 0 {
+        return Err("--seeds must be at least 1".into());
+    }
+    if flags.jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    Ok(flags)
+}
+
+/// One seed's result, kept small so the swarm can hold thousands.
+struct SeedResult {
+    seed: u64,
+    digest: u64,
+    events: u64,
+    violations: Vec<String>,
+    scenario_json: Option<String>,
+    shrunk_json: Option<String>,
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("swarm run: {e}");
+            return 2;
+        }
+    };
+    let opts = RunOptions {
+        inject_bug_every: flags.inject_bug,
+    };
+
+    // Workers pull indices from a shared counter and write results into
+    // an index-addressed table; nothing is printed until every worker has
+    // joined, so output order (and bytes) never depends on scheduling.
+    let next = AtomicU64::new(0);
+    let results: Vec<Mutex<Option<SeedResult>>> =
+        (0..flags.seeds).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..flags.jobs.min(flags.seeds.max(1) as usize) {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= flags.seeds {
+                    return;
+                }
+                let seed = scenario_seed(flags.base_seed, index);
+                let scenario = gen::generate(seed);
+                let (first, second) = run_twin(&scenario, &opts);
+                let violations = check_twin(&first, &second);
+                let failing = !violations.is_empty();
+                let shrunk_json = (failing && flags.shrink)
+                    .then(|| shrink::shrink(&scenario, &opts, shrink::DEFAULT_BUDGET).to_json());
+                let result = SeedResult {
+                    seed,
+                    digest: first.digest,
+                    events: first.events,
+                    violations: violations.iter().map(|v| v.to_string()).collect(),
+                    scenario_json: failing.then(|| scenario.to_json()),
+                    shrunk_json,
+                };
+                *results[index as usize].lock().expect("no poisoned locks") = Some(result);
+            });
+        }
+    });
+
+    let mut failures = 0u64;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for (index, slot) in results.iter().enumerate() {
+        let result = slot
+            .lock()
+            .expect("no poisoned locks")
+            .take()
+            .expect("every index was processed");
+        if result.violations.is_empty() {
+            let _ = writeln!(
+                out,
+                "seed[{index}] {:#018x}: ok digest={:#018x} events={}",
+                result.seed, result.digest, result.events
+            );
+        } else {
+            failures += 1;
+            let _ = writeln!(
+                out,
+                "seed[{index}] {:#018x}: FAIL ({} violation(s))",
+                result.seed,
+                result.violations.len()
+            );
+            for v in &result.violations {
+                let _ = writeln!(out, "  - {v}");
+            }
+            if let Some(dir) = &flags.out {
+                write_artifact(dir, result.seed, &result);
+            }
+        }
+    }
+    let _ = writeln!(out, "swarm: {} seed(s), {failures} failure(s)", flags.seeds);
+    if failures > 0 {
+        1
+    } else {
+        0
+    }
+}
+
+/// Writes the failing-seed artifact(s): the scenario JSON, plus the
+/// shrunk variant when shrinking ran.
+fn write_artifact(dir: &str, seed: u64, result: &SeedResult) {
+    if std::fs::create_dir_all(dir).is_err() {
+        eprintln!("swarm: cannot create artifact dir {dir}");
+        return;
+    }
+    if let Some(json) = &result.scenario_json {
+        let path = format!("{dir}/failing-seed-{seed:#018x}.json");
+        if std::fs::write(&path, json).is_err() {
+            eprintln!("swarm: cannot write {path}");
+        }
+    }
+    if let Some(json) = &result.shrunk_json {
+        let path = format!("{dir}/failing-seed-{seed:#018x}.shrunk.json");
+        if std::fs::write(&path, json).is_err() {
+            eprintln!("swarm: cannot write {path}");
+        }
+    }
+}
+
+fn cmd_replay(args: &[String]) -> i32 {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("swarm replay: {e}");
+            return 2;
+        }
+    };
+    let opts = RunOptions {
+        inject_bug_every: flags.inject_bug,
+    };
+
+    let scenario = match (&flags.scenario, flags.seed) {
+        (Some(path), _) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("swarm replay: cannot read {path}: {e}");
+                    return 2;
+                }
+            };
+            match Scenario::from_json(&text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("swarm replay: {path}: {e}");
+                    return 2;
+                }
+            }
+        }
+        (None, Some(seed)) => gen::generate(seed),
+        (None, None) => {
+            eprintln!("swarm replay: need --seed or --scenario");
+            return 2;
+        }
+    };
+
+    let (first, second) = run_twin(&scenario, &opts);
+    let violations = check_twin(&first, &second);
+    println!(
+        "replay: digest={:#018x} events={} violations={}",
+        first.digest,
+        first.events,
+        violations.len()
+    );
+    for v in &violations {
+        println!("  - {v}");
+    }
+    if violations.is_empty() {
+        0
+    } else {
+        1
+    }
+}

@@ -1,0 +1,195 @@
+//! Seeded scenario generation.
+//!
+//! [`generate`] maps a 64-bit seed to one [`Scenario`] through labelled
+//! [`SimRng`] streams: the same seed always yields the same scenario, and
+//! nearby seeds are fully decorrelated. Ranges are chosen so a scenario
+//! finishes in well under a second of wall clock while still exercising
+//! slow links, deep queues, loss bursts, router blackouts and every
+//! congestion-control algorithm.
+
+use crate::scenario::{ClientSpec, FaultSpec, LinkSpec, Scenario, TelemetrySpec, Workload};
+use starlink_channel::WeatherCondition;
+use starlink_simcore::SimRng;
+use starlink_transport::CcAlgorithm;
+
+/// Generates the scenario for `seed`.
+pub fn generate(seed: u64) -> Scenario {
+    let root = SimRng::seed_from(seed);
+    let mut shape = root.stream("shape");
+    let horizon_ms = shape.range_u64(4_000, 16_000);
+    let routers = shape.range_u64(1, 3) as usize;
+    let n_clients = shape.range_u64(1, 4) as usize;
+
+    let clients = (0..n_clients)
+        .map(|i| {
+            let mut rng = root.stream("client").substream(i as u64);
+            ClientSpec {
+                up: link(&mut rng),
+                down: link(&mut rng),
+                workload: workload(&mut rng, horizon_ms),
+            }
+        })
+        .collect::<Vec<_>>();
+
+    let mut frng = root.stream("faults");
+    let n_faults = frng.below(5) as usize;
+    let faults = (0..n_faults)
+        .map(|_| fault(&mut frng, horizon_ms, routers, n_clients))
+        .collect();
+
+    let mut trng = root.stream("telemetry");
+    let telemetry = trng.bernoulli(0.25).then(|| TelemetrySpec {
+        seed: trng.next_u64(),
+        days: trng.range_u64(1, 3),
+        pages_per_day_milli: trng.range_u64(2_000, 20_000),
+        fault_storm: trng.bernoulli(0.5),
+    });
+
+    Scenario {
+        seed: root.stream("net").next_u64(),
+        horizon_ms,
+        routers,
+        clients,
+        faults,
+        telemetry,
+    }
+}
+
+fn link(rng: &mut SimRng) -> LinkSpec {
+    LinkSpec {
+        delay_us: rng.range_u64(2_000, 60_000),
+        rate_kbps: rng.range_u64(1_000, 60_000),
+        loss_ppm: if rng.bernoulli(0.4) {
+            rng.range_u64(100, 20_000)
+        } else {
+            0
+        },
+        queue_bytes: rng.range_u64(16, 256) * 1_000,
+    }
+}
+
+fn workload(rng: &mut SimRng, horizon_ms: u64) -> Workload {
+    let algo = *rng.choose(&CcAlgorithm::ALL);
+    let start_ms = rng.below(horizon_ms / 4);
+    match rng.below(4) {
+        0 => Workload::TcpBulk {
+            algo,
+            total_bytes: rng.range_u64(50, 2_000) * 1_000,
+            start_ms,
+        },
+        1 => Workload::TcpStream {
+            algo,
+            start_ms,
+            stop_ms: rng.range_u64(horizon_ms / 2, horizon_ms),
+        },
+        2 => Workload::UdpBlast {
+            rate_kbps: rng.range_u64(500, 20_000),
+            payload: rng.range_u64(100, 1_400),
+            stop_ms: rng.range_u64(horizon_ms / 2, horizon_ms),
+        },
+        _ => Workload::Ping {
+            count: rng.range_u64(5, 50),
+            interval_ms: rng.range_u64(50, 500),
+            size: rng.range_u64(64, 1_400),
+        },
+    }
+}
+
+fn fault(rng: &mut SimRng, horizon_ms: u64, routers: usize, n_clients: usize) -> FaultSpec {
+    let client = rng.index(n_clients);
+    let start_ms = rng.below(horizon_ms / 2);
+    match rng.below(5) {
+        0 => FaultSpec::AccessFlap {
+            client,
+            up: rng.bernoulli(0.5),
+            start_ms,
+            end_ms: start_ms + rng.range_u64(1_000, horizon_ms / 2),
+            period_ms: rng.range_u64(200, 2_000),
+            down_ppm: rng.range_u64(10_000, 300_000),
+        },
+        1 => FaultSpec::AccessCorruption {
+            client,
+            up: rng.bernoulli(0.5),
+            start_ms,
+            duration_ms: rng.range_u64(200, 3_000),
+            prob_ppm: rng.range_u64(10_000, 500_000),
+        },
+        2 => FaultSpec::AccessFade {
+            client,
+            start_ms,
+            duration_ms: rng.range_u64(500, 4_000),
+            condition_code: WeatherCondition::ALL[rng.index(WeatherCondition::ALL.len())].code(),
+        },
+        3 if routers >= 2 => FaultSpec::BackboneOutage {
+            hop: rng.index(routers - 1),
+            start_ms,
+            duration_ms: rng.range_u64(100, 1_500),
+        },
+        _ => FaultSpec::RouterBlackout {
+            // Never black out router 0: every client's access terminates
+            // there, and a first-hop blackout just silences the run.
+            router: if routers >= 2 {
+                1 + rng.index(routers - 1)
+            } else {
+                0
+            },
+            start_ms,
+            duration_ms: rng.range_u64(100, 1_000),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_scenario() {
+        for seed in [0, 1, 42, u64::MAX] {
+            assert_eq!(generate(seed), generate(seed));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(generate(1), generate(2));
+    }
+
+    #[test]
+    fn generated_scenarios_validate() {
+        for seed in 0..200 {
+            let s = generate(seed);
+            s.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            // And survive the JSON round trip bit-exactly.
+            assert_eq!(Scenario::from_json(&s.to_json()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn all_workload_kinds_and_fault_kinds_appear() {
+        let mut workloads = [false; 4];
+        let mut fault_kinds = [false; 5];
+        for seed in 0..300 {
+            let s = generate(seed);
+            for c in &s.clients {
+                match c.workload {
+                    Workload::TcpBulk { .. } => workloads[0] = true,
+                    Workload::TcpStream { .. } => workloads[1] = true,
+                    Workload::UdpBlast { .. } => workloads[2] = true,
+                    Workload::Ping { .. } => workloads[3] = true,
+                }
+            }
+            for f in &s.faults {
+                match f {
+                    FaultSpec::AccessFlap { .. } => fault_kinds[0] = true,
+                    FaultSpec::AccessCorruption { .. } => fault_kinds[1] = true,
+                    FaultSpec::AccessFade { .. } => fault_kinds[2] = true,
+                    FaultSpec::BackboneOutage { .. } => fault_kinds[3] = true,
+                    FaultSpec::RouterBlackout { .. } => fault_kinds[4] = true,
+                }
+            }
+        }
+        assert!(workloads.iter().all(|&b| b), "{workloads:?}");
+        assert!(fault_kinds.iter().all(|&b| b), "{fault_kinds:?}");
+    }
+}

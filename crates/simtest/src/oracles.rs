@@ -1,0 +1,300 @@
+//! Invariant oracles over a finished [`RunReport`].
+//!
+//! Oracles are cross-cutting properties that must hold for *every*
+//! scenario the generator can produce, no matter which faults fired:
+//!
+//! - **Link conservation** — `transmitted == delivered` at quiescence
+//!   (while running, `transmitted - delivered` is the in-flight count and
+//!   is non-negative by construction).
+//! - **Node conservation** — every arrival is classified into exactly one
+//!   outcome: `arrivals == faulted + delivered + forwarded + ttl_expired
+//!   + no_route`.
+//! - **Clock & ordering** — the virtual clock never ran backwards, and no
+//!   in-order link delivered packets out of arrival order.
+//! - **Drain** — after handlers detach, the event queue empties.
+//! - **Congestion control** — across all five algorithms the window never
+//!   fell below one MSS (the RTO collapse floor), `ssthresh` never fell
+//!   below two MSS, and no RTT sample was non-positive.
+//! - **Telemetry coverage** — `delivered + quarantined + lost ==
+//!   generated` for the ingestion sub-campaign.
+//! - **Twin-run determinism** — two runs of the same scenario produce the
+//!   same event-trace digest and event count ([`check_twin`]).
+
+use crate::run::RunReport;
+use starlink_netsim::NodeStats;
+use std::fmt;
+
+/// One violated invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A link's accepted packets never all arrived.
+    LinkConservation {
+        /// Link index.
+        link: usize,
+        /// Packets accepted onto the link.
+        transmitted: u64,
+        /// Packets whose arrival event fired.
+        delivered: u64,
+    },
+    /// A node's arrival outcomes don't sum to its arrivals.
+    NodeConservation {
+        /// Node index.
+        node: usize,
+        /// The offending counters.
+        stats: NodeStats,
+    },
+    /// The virtual clock ran backwards.
+    ClockRegression {
+        /// Regressions observed.
+        count: u64,
+    },
+    /// An in-order link delivered out of arrival order.
+    FifoViolation {
+        /// Violations observed.
+        count: u64,
+    },
+    /// The event queue failed to drain after handler detach.
+    EventQueueNotDrained,
+    /// A TCP flow's congestion window fell below one MSS.
+    CwndBelowFloor {
+        /// Client index.
+        client: usize,
+        /// Smallest window observed.
+        cwnd: u64,
+        /// The flow's MSS.
+        mss: u64,
+    },
+    /// A TCP flow's slow-start threshold fell below two MSS.
+    SsthreshBelowFloor {
+        /// Client index.
+        client: usize,
+        /// Final ssthresh.
+        ssthresh: u64,
+        /// The flow's MSS.
+        mss: u64,
+    },
+    /// A TCP flow took non-positive RTT samples.
+    NonPositiveRtt {
+        /// Client index.
+        client: usize,
+        /// Offending samples.
+        count: u64,
+    },
+    /// The telemetry campaign lost track of records.
+    TelemetryCoverage {
+        /// Records generated.
+        generated: u64,
+        /// delivered + quarantined + lost.
+        accounted: u64,
+    },
+    /// Two runs of the same scenario diverged.
+    TwinRunDivergence {
+        /// First run's (digest, events).
+        first: (u64, u64),
+        /// Second run's (digest, events).
+        second: (u64, u64),
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::LinkConservation {
+                link,
+                transmitted,
+                delivered,
+            } => write!(
+                f,
+                "link {link}: {transmitted} transmitted but {delivered} delivered at quiescence"
+            ),
+            Violation::NodeConservation { node, stats } => write!(
+                f,
+                "node {node}: {} arrivals vs {} accounted ({stats:?})",
+                stats.arrivals,
+                stats.faulted
+                    + stats.delivered
+                    + stats.forwarded
+                    + stats.ttl_expired
+                    + stats.no_route
+            ),
+            Violation::ClockRegression { count } => {
+                write!(f, "virtual clock ran backwards {count} time(s)")
+            }
+            Violation::FifoViolation { count } => {
+                write!(f, "{count} same-link FIFO ordering violation(s)")
+            }
+            Violation::EventQueueNotDrained => {
+                write!(f, "event queue still has work after handler detach")
+            }
+            Violation::CwndBelowFloor { client, cwnd, mss } => {
+                write!(f, "client {client}: cwnd {cwnd} fell below one MSS ({mss})")
+            }
+            Violation::SsthreshBelowFloor {
+                client,
+                ssthresh,
+                mss,
+            } => write!(
+                f,
+                "client {client}: ssthresh {ssthresh} fell below two MSS ({mss})"
+            ),
+            Violation::NonPositiveRtt { client, count } => {
+                write!(f, "client {client}: {count} non-positive RTT sample(s)")
+            }
+            Violation::TelemetryCoverage {
+                generated,
+                accounted,
+            } => write!(
+                f,
+                "telemetry: {generated} generated but {accounted} accounted"
+            ),
+            Violation::TwinRunDivergence { first, second } => write!(
+                f,
+                "twin runs diverged: digest {:#018x}/{} vs {:#018x}/{}",
+                first.0, first.1, second.0, second.1
+            ),
+        }
+    }
+}
+
+/// Checks every single-run invariant. Empty result = healthy run.
+pub fn check(report: &RunReport) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    for (link, stats) in report.links.iter().enumerate() {
+        if stats.transmitted != stats.delivered {
+            violations.push(Violation::LinkConservation {
+                link,
+                transmitted: stats.transmitted,
+                delivered: stats.delivered,
+            });
+        }
+    }
+
+    for (node, stats) in report.nodes.iter().enumerate() {
+        if !stats.conserved() {
+            violations.push(Violation::NodeConservation {
+                node,
+                stats: *stats,
+            });
+        }
+    }
+
+    if report.clock_regressions > 0 {
+        violations.push(Violation::ClockRegression {
+            count: report.clock_regressions,
+        });
+    }
+    if report.fifo_violations > 0 {
+        violations.push(Violation::FifoViolation {
+            count: report.fifo_violations,
+        });
+    }
+    if !report.queue_drained {
+        violations.push(Violation::EventQueueNotDrained);
+    }
+
+    for flow in &report.flows {
+        if let Some(cwnd) = flow.min_cwnd_seen {
+            if cwnd < flow.mss {
+                violations.push(Violation::CwndBelowFloor {
+                    client: flow.client,
+                    cwnd,
+                    mss: flow.mss,
+                });
+            }
+        }
+        if let Some(ssthresh) = flow.last_ssthresh {
+            // u64::MAX means "never reduced"; anything else must respect
+            // the two-segment floor every algorithm enforces.
+            if ssthresh != u64::MAX && ssthresh < 2 * flow.mss {
+                violations.push(Violation::SsthreshBelowFloor {
+                    client: flow.client,
+                    ssthresh,
+                    mss: flow.mss,
+                });
+            }
+        }
+        if flow.zero_rtt_samples > 0 {
+            violations.push(Violation::NonPositiveRtt {
+                client: flow.client,
+                count: flow.zero_rtt_samples,
+            });
+        }
+    }
+
+    if let Some(t) = &report.telemetry {
+        let accounted = t.delivered + t.quarantined + t.lost;
+        if !t.sums_hold || accounted != t.generated {
+            violations.push(Violation::TelemetryCoverage {
+                generated: t.generated,
+                accounted,
+            });
+        }
+    }
+
+    violations
+}
+
+/// Checks the twin-run determinism invariant and everything [`check`]
+/// covers, over a pair of runs of the same scenario.
+pub fn check_twin(first: &RunReport, second: &RunReport) -> Vec<Violation> {
+    let mut violations = check(first);
+    if first != second {
+        violations.push(Violation::TwinRunDivergence {
+            first: (first.digest, first.events),
+            second: (second.digest, second.events),
+        });
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::run::{run, run_twin, RunOptions};
+
+    #[test]
+    fn healthy_scenarios_pass_all_oracles() {
+        for seed in 0..20 {
+            let scenario = gen::generate(seed);
+            let (a, b) = run_twin(&scenario, &RunOptions::default());
+            let violations = check_twin(&a, &b);
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn oracle_catches_injected_conservation_bug() {
+        // The hook skips `delivered` increments; the link-conservation
+        // oracle must notice on any scenario with traffic.
+        let scenario = gen::generate(11);
+        let report = run(
+            &scenario,
+            &RunOptions {
+                inject_bug_every: 10,
+            },
+        );
+        let violations = check(&report);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::LinkConservation { .. })),
+            "expected a link-conservation violation, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn violations_render() {
+        let scenario = gen::generate(11);
+        let report = run(
+            &scenario,
+            &RunOptions {
+                inject_bug_every: 7,
+            },
+        );
+        for v in check(&report) {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

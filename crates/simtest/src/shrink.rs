@@ -1,0 +1,149 @@
+//! Best-effort scenario shrinking.
+//!
+//! Given a failing scenario, [`shrink`] greedily tries structural
+//! reductions — drop a fault, drop a client, halve the horizon, shorten
+//! the backbone — keeping each change only if the oracles *still* fail.
+//! The result is a (locally) minimal reproducer that is much easier to
+//! read than the original swarm scenario. Shrinking is bounded by a run
+//! budget, so it is best-effort: the unshrunk scenario is always a valid
+//! fallback.
+
+use crate::oracles::check_twin;
+use crate::run::{run_twin, RunOptions};
+use crate::scenario::Scenario;
+
+/// Upper bound on candidate runs during one shrink.
+pub const DEFAULT_BUDGET: usize = 64;
+
+/// Whether `scenario` still fails the oracles (twin run, so determinism
+/// failures shrink too).
+fn still_fails(scenario: &Scenario, opts: &RunOptions) -> bool {
+    let (a, b) = run_twin(scenario, opts);
+    !check_twin(&a, &b).is_empty()
+}
+
+/// Removes client `index`, dropping faults that referenced it and
+/// re-indexing the rest.
+fn without_client(scenario: &Scenario, index: usize) -> Scenario {
+    let mut out = scenario.clone();
+    out.clients.remove(index);
+    out.faults.retain(|f| f.client() != Some(index));
+    for fault in &mut out.faults {
+        if let Some(c) = fault.client_mut() {
+            if *c > index {
+                *c -= 1;
+            }
+        }
+    }
+    out
+}
+
+/// Shrinks a failing scenario, spending at most `budget` candidate runs.
+/// Returns the smallest still-failing scenario found (possibly the
+/// input). The caller must ensure the input fails; if it does not, the
+/// input is returned unchanged.
+pub fn shrink(scenario: &Scenario, opts: &RunOptions, budget: usize) -> Scenario {
+    let mut best = scenario.clone();
+    let mut runs = 0usize;
+    let try_candidate = |candidate: Scenario, runs: &mut usize| -> Option<Scenario> {
+        if *runs >= budget || candidate.validate().is_err() {
+            return None;
+        }
+        *runs += 1;
+        still_fails(&candidate, opts).then_some(candidate)
+    };
+
+    loop {
+        let mut progressed = false;
+
+        // Pass 1: drop faults, one at a time (later ones first so the
+        // indices we iterate stay valid after acceptance).
+        let mut i = best.faults.len();
+        while i > 0 {
+            i -= 1;
+            let mut candidate = best.clone();
+            candidate.faults.remove(i);
+            if let Some(c) = try_candidate(candidate, &mut runs) {
+                best = c;
+                progressed = true;
+            }
+        }
+
+        // Pass 2: drop clients (at least one must remain).
+        let mut i = best.clients.len();
+        while i > 0 && best.clients.len() > 1 {
+            i -= 1;
+            if let Some(c) = try_candidate(without_client(&best, i), &mut runs) {
+                best = c;
+                progressed = true;
+            }
+        }
+
+        // Pass 3: halve the horizon (not below half a second).
+        if best.horizon_ms >= 1_000 {
+            let mut candidate = best.clone();
+            candidate.horizon_ms /= 2;
+            if let Some(c) = try_candidate(candidate, &mut runs) {
+                best = c;
+                progressed = true;
+            }
+        }
+
+        // Pass 4: shorten the backbone to a single router.
+        if best.routers > 1 {
+            let mut candidate = best.clone();
+            candidate.routers = 1;
+            candidate.faults.retain(|f| {
+                f.client().is_some()
+                    || matches!(
+                        f,
+                        crate::scenario::FaultSpec::RouterBlackout { router: 0, .. }
+                    )
+            });
+            if let Some(c) = try_candidate(candidate, &mut runs) {
+                best = c;
+                progressed = true;
+            }
+        }
+
+        if !progressed || runs >= budget {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn shrinks_an_injected_failure() {
+        // Find a generated scenario with several clients/faults so there
+        // is something to trim, fail it via the bug hook, and shrink.
+        let scenario = (0..50)
+            .map(gen::generate)
+            .find(|s| s.clients.len() >= 2)
+            .expect("generator produces multi-client scenarios");
+        let opts = RunOptions {
+            inject_bug_every: 10,
+        };
+        assert!(still_fails(&scenario, &opts));
+        let small = shrink(&scenario, &opts, DEFAULT_BUDGET);
+        assert!(
+            still_fails(&small, &opts),
+            "shrunk scenario must still fail"
+        );
+        let size =
+            |s: &Scenario| s.clients.len() + s.faults.len() + (s.horizon_ms / 1_000) as usize;
+        assert!(size(&small) <= size(&scenario));
+    }
+
+    #[test]
+    fn passing_scenario_is_returned_unchanged() {
+        let scenario = gen::generate(3);
+        let opts = RunOptions::default();
+        let out = shrink(&scenario, &opts, 8);
+        assert_eq!(out, scenario);
+    }
+}

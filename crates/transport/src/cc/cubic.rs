@@ -128,6 +128,10 @@ impl CongestionControl for Cubic {
         self.cwnd
     }
 
+    fn ssthresh(&self) -> Option<u64> {
+        Some(self.ssthresh)
+    }
+
     fn pacing_rate(&self) -> Option<DataRate> {
         None
     }

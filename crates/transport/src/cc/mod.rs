@@ -52,6 +52,13 @@ pub trait CongestionControl {
     fn on_recovery_exit(&mut self, _now: SimTime) {}
     /// Current congestion window, bytes.
     fn cwnd(&self) -> u64;
+    /// Current slow-start threshold, bytes, for algorithms that keep one
+    /// (`u64::MAX` until the first reduction). Model-based algorithms
+    /// (BBR) return `None`. Exposed so correctness oracles can check the
+    /// window-bound invariants from outside the connection.
+    fn ssthresh(&self) -> Option<u64> {
+        None
+    }
     /// Pacing rate, for algorithms that pace (BBR); window-only
     /// algorithms return `None` and rely on ACK clocking.
     fn pacing_rate(&self) -> Option<DataRate>;

@@ -70,6 +70,10 @@ impl CongestionControl for Reno {
         self.cwnd
     }
 
+    fn ssthresh(&self) -> Option<u64> {
+        Some(self.ssthresh)
+    }
+
     fn pacing_rate(&self) -> Option<DataRate> {
         None
     }

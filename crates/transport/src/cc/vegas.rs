@@ -113,6 +113,10 @@ impl CongestionControl for Vegas {
         self.cwnd
     }
 
+    fn ssthresh(&self) -> Option<u64> {
+        Some(self.ssthresh)
+    }
+
     fn pacing_rate(&self) -> Option<DataRate> {
         None
     }

@@ -119,6 +119,10 @@ impl CongestionControl for Veno {
         self.cwnd
     }
 
+    fn ssthresh(&self) -> Option<u64> {
+        Some(self.ssthresh)
+    }
+
     fn pacing_rate(&self) -> Option<DataRate> {
         None
     }

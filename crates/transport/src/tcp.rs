@@ -49,6 +49,21 @@ pub struct TcpSenderStats {
     pub finished_at: Option<SimTime>,
     /// cwnd trace: (time, cwnd bytes), sampled at each ACK when enabled.
     pub cwnd_trace: Vec<(SimTime, u64)>,
+    /// Congestion window after the most recent ACK or RTO, bytes.
+    pub last_cwnd: u64,
+    /// Smallest congestion window ever observed, bytes (after the first
+    /// congestion-control action). Oracles check it never falls below one
+    /// MSS — the RTO collapse floor.
+    pub min_cwnd_seen: Option<u64>,
+    /// Slow-start threshold after the most recent ACK or RTO, for
+    /// algorithms that keep one.
+    pub last_ssthresh: Option<u64>,
+    /// Timestamp-derived RTT samples taken.
+    pub rtt_samples: u64,
+    /// RTT samples that came out non-positive and were discarded. Must
+    /// stay zero: links floor every hop at a strictly positive delay, so
+    /// a zero sample means the virtual clock misbehaved.
+    pub zero_rtt_samples: u64,
 }
 
 impl TcpSenderStats {
@@ -409,28 +424,31 @@ impl TcpSender {
     /// true if something was retransmitted.
     fn retransmit_hole(&mut self, ctx: &mut Ctx, force: bool) -> bool {
         let from = self.rtx_cursor.max(self.una);
-        let hole = self
-            .unsacked
-            .range(from..)
-            .next()
-            .map(|&seq| (seq, self.segs[&seq].len));
-        if let Some((seq, len)) = hole {
-            // Fast retransmission needs SACK evidence above the hole;
-            // without it the data may simply still be in flight. The RTO
-            // path forces, because a timeout *is* the evidence.
-            if !force && seq >= self.highest_sacked_end {
-                return false;
-            }
-            // A counted-lost segment re-enters the pipe on retransmission.
-            if self.segs[&seq].retx == 0 && seq < self.highest_sacked_end {
-                self.lost_bytes = self.lost_bytes.saturating_sub(len);
-            }
-            self.rtx_cursor = seq + len;
-            self.send_segment(ctx, seq, len, true);
-            true
-        } else {
-            false
+        let Some(&seq) = self.unsacked.range(from..).next() else {
+            return false;
+        };
+        // `unsacked` mirrors `segs`; a missing entry would mean the
+        // mirror desynced — skip the retransmission rather than panic on
+        // the packet hot path.
+        let Some(seg) = self.segs.get(&seq) else {
+            debug_assert!(false, "unsacked entry {seq} missing from segs");
+            self.unsacked.remove(&seq);
+            return false;
+        };
+        let (len, retx) = (seg.len, seg.retx);
+        // Fast retransmission needs SACK evidence above the hole;
+        // without it the data may simply still be in flight. The RTO
+        // path forces, because a timeout *is* the evidence.
+        if !force && seq >= self.highest_sacked_end {
+            return false;
         }
+        // A counted-lost segment re-enters the pipe on retransmission.
+        if retx == 0 && seq < self.highest_sacked_end {
+            self.lost_bytes = self.lost_bytes.saturating_sub(len);
+        }
+        self.rtx_cursor = seq + len;
+        self.send_segment(ctx, seq, len, true);
+        true
     }
 
     fn update_rtt(&mut self, sample: SimDuration) {
@@ -485,7 +503,8 @@ impl TcpSender {
                 if !seg.sacked {
                     newly_acked += seg.len;
                 } else {
-                    self.sacked_bytes -= seg.len;
+                    debug_assert!(self.sacked_bytes >= seg.len, "sacked-bytes underflow");
+                    self.sacked_bytes = self.sacked_bytes.saturating_sub(seg.len);
                 }
                 rate_candidate = Some((
                     seg.delivered_time_at_send,
@@ -495,14 +514,20 @@ impl TcpSender {
                 to_remove.push(seq);
             }
             for seq in to_remove {
+                // The scan above produced `seq` from `segs` itself, so the
+                // entry must exist; degrade to skipping rather than panic.
+                let Some(seg) = self.segs.remove(&seq) else {
+                    debug_assert!(false, "acked segment {seq} missing from segs");
+                    self.unsacked.remove(&seq);
+                    continue;
+                };
                 if self.unsacked.remove(&seq) {
-                    let seg = &self.segs[&seq];
-                    self.in_flight_bytes -= seg.len;
+                    debug_assert!(self.in_flight_bytes >= seg.len, "in-flight underflow");
+                    self.in_flight_bytes = self.in_flight_bytes.saturating_sub(seg.len);
                     if seg.retx == 0 && seq < self.highest_sacked_end {
                         self.lost_bytes = self.lost_bytes.saturating_sub(seg.len);
                     }
                 }
-                self.segs.remove(&seq);
             }
             self.una = hdr.ack;
             self.dupacks = 0;
@@ -537,7 +562,8 @@ impl TcpSender {
                 };
                 seg.sacked = true;
                 self.unsacked.remove(&seq);
-                self.in_flight_bytes -= seg.len;
+                debug_assert!(self.in_flight_bytes >= seg.len, "in-flight underflow");
+                self.in_flight_bytes = self.in_flight_bytes.saturating_sub(seg.len);
                 self.sacked_bytes += seg.len;
                 newly_acked += seg.len;
                 sack_progress = true;
@@ -565,6 +591,15 @@ impl TcpSender {
         // RTT sample from the echoed timestamp.
         let rtt = hdr.ts.map(|ts| now.saturating_since(ts));
         if let Some(r) = rtt {
+            {
+                let mut stats = self.stats.borrow_mut();
+                stats.rtt_samples += 1;
+                if r == SimDuration::ZERO {
+                    // Links floor every hop at a positive delay, so this
+                    // should be impossible; record it for the oracles.
+                    stats.zero_rtt_samples += 1;
+                }
+            }
             if r > SimDuration::ZERO {
                 self.update_rtt(r);
             }
@@ -631,6 +666,7 @@ impl TcpSender {
             self.cc.on_recovery_exit(now);
         }
 
+        self.snapshot_cc_state();
         if self.config.trace_cwnd {
             self.stats
                 .borrow_mut()
@@ -662,6 +698,17 @@ impl TcpSender {
         self.sacked_bytes > 0
     }
 
+    /// Mirrors the congestion-control window state into the live stats
+    /// handle, so external correctness oracles can check window-bound
+    /// invariants without reaching into the boxed algorithm.
+    fn snapshot_cc_state(&self) {
+        let cwnd = self.cc.cwnd();
+        let mut stats = self.stats.borrow_mut();
+        stats.last_cwnd = cwnd;
+        stats.min_cwnd_seen = Some(stats.min_cwnd_seen.map_or(cwnd, |m| m.min(cwnd)));
+        stats.last_ssthresh = self.cc.ssthresh();
+    }
+
     fn on_rto_fired(&mut self, ctx: &mut Ctx) {
         if !self.established {
             // SYN lost: try again.
@@ -688,6 +735,7 @@ impl TcpSender {
             );
         }
         self.cc.on_rto(ctx.now);
+        self.snapshot_cc_state();
         self.dupacks = 0;
         // CA_Loss: every outstanding byte is presumed lost; clear SACK
         // state (reneging-safe) and retransmit from the front, ACK-clocked

@@ -1,0 +1,116 @@
+//! Congestion-control conformance matrix (satellite of the simulation-
+//! test subsystem; the packet-level cousin of the Fig. 8 shoot-out).
+//!
+//! One canonical handover-burst-loss scenario — a 60 s stream through an
+//! access link that flaps on the 15-second reconfiguration boundary and
+//! takes periodic corruption bursts — is run through all five congestion
+//! controls. The *same* scenario seed and fault script are used for every
+//! algorithm, so the matrix isolates the algorithm as the only variable.
+//!
+//! Locked expectations:
+//! - the run is healthy under every algorithm (all oracles pass, twice,
+//!   deterministically);
+//! - BBR sustains goodput under handover loss while the loss-based
+//!   algorithms collapse (the paper's Fig. 8 shape);
+//! - summary statistics stay inside golden tolerance bands, so a silent
+//!   behaviour change in any algorithm's window dynamics fails loudly.
+
+use starlink_simtest::{check_twin, handover_scenario, run_twin, RunOptions};
+use starlink_transport::CcAlgorithm;
+
+struct MatrixRow {
+    algo: CcAlgorithm,
+    bytes_acked: u64,
+    rto_count: u64,
+}
+
+/// Runs the canonical scenario under one algorithm, asserting the run is
+/// healthy and deterministic before returning its summary.
+fn run_matrix_row(algo: CcAlgorithm) -> MatrixRow {
+    let scenario = handover_scenario(algo);
+    let (first, second) = run_twin(&scenario, &RunOptions::default());
+    let violations = check_twin(&first, &second);
+    assert!(
+        violations.is_empty(),
+        "{}: oracle violations: {violations:?}",
+        algo.label()
+    );
+    let flow = &first.flows[0];
+    MatrixRow {
+        algo,
+        bytes_acked: flow.bytes_acked,
+        rto_count: flow.rto_count,
+    }
+}
+
+fn matrix() -> Vec<MatrixRow> {
+    CcAlgorithm::ALL.into_iter().map(run_matrix_row).collect()
+}
+
+fn row(rows: &[MatrixRow], algo: CcAlgorithm) -> &MatrixRow {
+    rows.iter()
+        .find(|r| r.algo == algo)
+        .expect("all five algorithms ran")
+}
+
+#[test]
+fn bbr_sustains_goodput_under_handover_loss() {
+    let rows = matrix();
+    let bbr = row(&rows, CcAlgorithm::Bbr).bytes_acked;
+    for loss_based in [
+        CcAlgorithm::Cubic,
+        CcAlgorithm::Reno,
+        CcAlgorithm::Veno,
+        CcAlgorithm::Vegas,
+    ] {
+        let other = row(&rows, loss_based).bytes_acked;
+        assert!(
+            bbr as f64 >= 1.5 * other as f64,
+            "BBR ({bbr} B) should beat {} ({other} B) by >= 1.5x under handover loss",
+            loss_based.label()
+        );
+    }
+}
+
+/// Golden summary statistics for the canonical scenario, locked with a
+/// generous ±35 % band: wide enough to survive benign tuning of the
+/// simulator, tight enough that a broken window response (e.g. a CC that
+/// stops reducing, or collapses to the floor) escapes the band.
+#[test]
+fn golden_summary_stats_hold() {
+    // (algorithm, expected bytes_acked) captured from the locked
+    // scenario; see `handover_scenario` for the exact channel and faults.
+    const GOLDEN_BYTES: [(CcAlgorithm, u64); 5] = [
+        (CcAlgorithm::Bbr, 225_678_040),
+        (CcAlgorithm::Cubic, 79_775_860),
+        (CcAlgorithm::Reno, 83_479_880),
+        (CcAlgorithm::Veno, 100_979_440),
+        (CcAlgorithm::Vegas, 96_908_960),
+    ];
+    let rows = matrix();
+    for (algo, expected) in GOLDEN_BYTES {
+        let got = row(&rows, algo).bytes_acked;
+        let (lo, hi) = (expected as f64 * 0.65, expected as f64 * 1.35);
+        assert!(
+            (got as f64) >= lo && (got as f64) <= hi,
+            "{}: bytes_acked {got} outside golden band [{lo:.0}, {hi:.0}]",
+            algo.label()
+        );
+    }
+}
+
+#[test]
+fn every_algorithm_survives_without_rto_storms() {
+    // The scenario's outages are short; a healthy sender recovers via
+    // fast retransmit most of the time. A runaway RTO count signals a
+    // broken retransmission state machine rather than a harsh channel.
+    for r in matrix() {
+        assert!(
+            r.rto_count <= 60,
+            "{}: {} RTOs in 60 s looks like an RTO storm",
+            r.algo.label(),
+            r.rto_count
+        );
+        assert!(r.bytes_acked > 0, "{}: no progress at all", r.algo.label());
+    }
+}
