@@ -8,6 +8,7 @@
 //! repro --keep-going fig5 fig8   # don't stop at the first failure
 //! repro --jobs 4 all         # run artefacts on 4 worker threads
 //! repro --bench fig1 fig2 fig7   # timing harness -> BENCH_repro.json
+//! repro --trace t.jsonl --metrics m.json fig7   # observability artefacts
 //! ```
 //!
 //! Output is the same rows/series the paper reports, with a `[shape]`
@@ -25,6 +26,19 @@
 //! failure *in target order* (later artefacts may have executed, but they
 //! are neither printed nor counted). `campaign` streams checkpoints
 //! interactively and always runs sequentially.
+//!
+//! ## Observability
+//!
+//! `--trace PATH` installs a thread-local [`starlink_obsv`] ring sink
+//! around every artefact and writes the captured events as JSONL: one
+//! `{"artefact":...}` header line per artefact followed by its events,
+//! artefacts in target order. `--metrics PATH` does the same with a
+//! metrics registry and writes a `repro-metrics-v1` JSON document. Every
+//! timestamp in both files is simulation time, and because sinks are
+//! thread-local and fragments are reassembled in target order, both files
+//! are byte-identical across `--jobs 1` and `--jobs N` and across
+//! repeated runs with the same seed. The `campaign` artefact is excluded
+//! (it streams interactively and never runs in parallel).
 //!
 //! ## The timing harness
 //!
@@ -58,9 +72,7 @@
 //! `campaign_coverage.txt` (the full coverage report).
 
 use starlink_bench::{capture_begin, capture_end, export_dat, report};
-use starlink_core::constellation::{
-    reset_snapshot_cache_stats, snapshot_cache_stats, Constellation, SnapshotCache,
-};
+use starlink_core::constellation::{Constellation, SnapshotCache};
 use starlink_core::experiments::*;
 use starlink_core::geo::{look_angles, Geodetic};
 use starlink_core::simcore::SimDuration;
@@ -77,6 +89,113 @@ const ARTEFACTS: [&str; 13] = [
     "fig1", "fig2", "table1", "fig3", "fig4", "fig5", "table2", "table3", "fig6a", "fig6b",
     "fig6c", "fig7", "fig8",
 ];
+
+/// Capacity of the per-artefact trace ring: enough for every scenario the
+/// harness runs today; overflow evicts oldest and is reported in the
+/// artefact's trace header line as `"dropped"`.
+const TRACE_RING_CAPACITY: usize = 1 << 16;
+
+/// Which observability captures `--trace` / `--metrics` asked for.
+#[derive(Clone, Copy, Default)]
+struct ObsvSpec {
+    trace: bool,
+    metrics: bool,
+}
+
+impl ObsvSpec {
+    fn any(self) -> bool {
+        self.trace || self.metrics
+    }
+}
+
+/// Per-artefact observability capture, carried from the worker that ran
+/// the artefact back to the main thread for in-target-order assembly.
+#[derive(Default)]
+struct ObsvOut {
+    /// `(jsonl, events, dropped)`: rendered event lines, how many, and how
+    /// many the ring evicted.
+    trace: Option<(String, u64, u64)>,
+    metrics: Option<starlink_obsv::MetricsRegistry>,
+}
+
+/// Runs one artefact with the requested thread-local captures installed.
+/// The sink and registry live only for this call, so parallel workers
+/// observe exactly the artefacts they ran.
+fn run_observed(target: &str, seed: u64, spec: ObsvSpec) -> (Result<(), String>, ObsvOut) {
+    if spec.trace {
+        let _ = starlink_obsv::install_trace(Box::new(starlink_obsv::RingSink::new(
+            TRACE_RING_CAPACITY,
+        )));
+    }
+    if spec.metrics {
+        let _ = starlink_obsv::metrics_begin();
+    }
+    let outcome = run_one(target, seed);
+    let trace = if spec.trace {
+        starlink_obsv::take_trace().map(|mut sink| {
+            let dropped = sink.dropped_events();
+            let jsonl = sink.drain_jsonl().unwrap_or_default();
+            let events = jsonl.lines().count() as u64;
+            (jsonl, events, dropped)
+        })
+    } else {
+        None
+    };
+    let metrics = if spec.metrics {
+        starlink_obsv::metrics_take()
+    } else {
+        None
+    };
+    (outcome, ObsvOut { trace, metrics })
+}
+
+/// Renders the `--trace` file: a schema header, then per artefact (in
+/// target order) one header line and its captured event lines.
+fn render_trace_jsonl(seed: u64, entries: &[(String, ObsvOut)]) -> String {
+    let mut out = format!("{{\"schema\":\"repro-trace-v1\",\"seed\":{seed}}}\n");
+    for (target, obsv) in entries {
+        let Some((jsonl, events, dropped)) = &obsv.trace else {
+            continue;
+        };
+        out.push_str(&format!(
+            "{{\"artefact\":{},\"events\":{events},\"dropped\":{dropped}}}\n",
+            json_string(target)
+        ));
+        out.push_str(jsonl);
+    }
+    out
+}
+
+/// Renders the `--metrics` file: one registry snapshot per artefact, in
+/// target order.
+fn render_metrics_json(seed: u64, entries: &[(String, ObsvOut)]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"repro-metrics-v1\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str("  \"artefacts\": {");
+    let mut first = true;
+    for (target, obsv) in entries {
+        let Some(reg) = &obsv.metrics else {
+            continue;
+        };
+        out.push_str(if first { "\n" } else { ",\n" });
+        first = false;
+        out.push_str(&format!("    {}: ", json_string(target)));
+        out.push_str(&reg.to_json(4));
+    }
+    out.push_str(if first { "}\n" } else { "\n  }\n" });
+    out.push_str("}\n");
+    out
+}
+
+fn write_text(path: &Path, contents: &str) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(path, contents).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
 
 /// Flags of the `campaign` artefact (ignored by the others).
 struct CampaignOpts {
@@ -110,6 +229,8 @@ fn main() {
     let mut jobs: usize = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let mut trace_path: Option<PathBuf> = None;
+    let mut metrics_path: Option<PathBuf> = None;
     let mut campaign = CampaignOpts::default();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -128,6 +249,20 @@ fn main() {
                     .unwrap_or_else(|| usage("--jobs needs a thread count >= 1"));
             }
             "--bench" => bench = true,
+            "--trace" => {
+                trace_path = Some(
+                    it.next()
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| usage("--trace needs a path")),
+                );
+            }
+            "--metrics" => {
+                metrics_path = Some(
+                    it.next()
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| usage("--metrics needs a path")),
+                );
+            }
             "--days" => {
                 campaign.days = it
                     .next()
@@ -192,16 +327,23 @@ fn main() {
         jobs.min(targets.len()).max(1)
     };
 
+    let spec = ObsvSpec {
+        trace: trace_path.is_some(),
+        metrics: metrics_path.is_some(),
+    };
     let mut completed: Vec<String> = Vec::new();
     let mut failures: Vec<(String, String)> = Vec::new();
+    let mut observed: Vec<(String, ObsvOut)> = Vec::new();
     if effective_jobs <= 1 {
         run_sequential(
             seed,
             &targets,
             keep_going,
             &campaign,
+            spec,
             &mut completed,
             &mut failures,
+            &mut observed,
         );
     } else {
         run_parallel(
@@ -209,9 +351,30 @@ fn main() {
             &targets,
             effective_jobs,
             keep_going,
+            spec,
             &mut completed,
             &mut failures,
+            &mut observed,
         );
+    }
+
+    if let Some(path) = &trace_path {
+        match write_text(path, &render_trace_jsonl(seed, &observed)) {
+            Ok(()) => println!("[trace] wrote {}", path.display()),
+            Err(err) => {
+                eprintln!("[trace] {err}");
+                failures.push(("--trace".to_string(), err));
+            }
+        }
+    }
+    if let Some(path) = &metrics_path {
+        match write_text(path, &render_metrics_json(seed, &observed)) {
+            Ok(()) => println!("[metrics] wrote {}", path.display()),
+            Err(err) => {
+                eprintln!("[metrics] {err}");
+                failures.push(("--metrics".to_string(), err));
+            }
+        }
     }
 
     println!(
@@ -232,7 +395,10 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
     }
-    eprintln!("usage: repro [--seed N] [--jobs N] [--keep-going] [--bench] <artefact>...");
+    eprintln!(
+        "usage: repro [--seed N] [--jobs N] [--keep-going] [--bench] \
+         [--trace PATH] [--metrics PATH] <artefact>..."
+    );
     eprintln!("artefacts: all campaign {}", ARTEFACTS.join(" "));
     eprintln!(
         "campaign flags: [--days N] [--checkpoint-every N] [--checkpoint PATH] \
@@ -242,19 +408,26 @@ fn usage(err: &str) -> ! {
 }
 
 /// Today's behaviour: one artefact at a time, output printed as it runs.
+#[allow(clippy::too_many_arguments)]
 fn run_sequential(
     seed: u64,
     targets: &[String],
     keep_going: bool,
     campaign: &CampaignOpts,
+    spec: ObsvSpec,
     completed: &mut Vec<String>,
     failures: &mut Vec<(String, String)>,
+    observed: &mut Vec<(String, ObsvOut)>,
 ) {
     for target in targets {
         let outcome = if target == "campaign" {
             catch_unwind(AssertUnwindSafe(|| run_campaign(seed, campaign)))
                 .map_err(|payload| format!("panicked: {}", panic_message(&payload)))
                 .and_then(|r| r)
+        } else if spec.any() {
+            let (outcome, obsv) = run_observed(target, seed, spec);
+            observed.push((target.clone(), obsv));
+            outcome
         } else {
             run_one(target, seed)
         };
@@ -278,17 +451,21 @@ fn run_sequential(
 /// the sequential run. Without `keep_going`, processing stops at the
 /// first failure in target order — matching sequential accounting even if
 /// later artefacts already executed.
+#[allow(clippy::too_many_arguments)]
 fn run_parallel(
     seed: u64,
     targets: &[String],
     jobs: usize,
     keep_going: bool,
+    spec: ObsvSpec,
     completed: &mut Vec<String>,
     failures: &mut Vec<(String, String)>,
+    observed: &mut Vec<(String, ObsvOut)>,
 ) {
     let next = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
-    let (tx, rx) = mpsc::channel::<(usize, String, Result<(), String>)>();
+    #[allow(clippy::type_complexity)]
+    let (tx, rx) = mpsc::channel::<(usize, String, Result<(), String>, ObsvOut)>();
 
     std::thread::scope(|scope| {
         for _ in 0..jobs {
@@ -304,23 +481,30 @@ fn run_parallel(
                     break;
                 }
                 capture_begin();
-                let outcome = run_one(&targets[i], seed);
+                let (outcome, obsv) = if spec.any() {
+                    run_observed(&targets[i], seed, spec)
+                } else {
+                    (run_one(&targets[i], seed), ObsvOut::default())
+                };
                 let output = capture_end();
-                if tx.send((i, output, outcome)).is_err() {
+                if tx.send((i, output, outcome, obsv)).is_err() {
                     break;
                 }
             });
         }
         drop(tx);
 
-        let mut pending: BTreeMap<usize, (String, Result<(), String>)> = BTreeMap::new();
+        let mut pending: BTreeMap<usize, (String, Result<(), String>, ObsvOut)> = BTreeMap::new();
         let mut next_print = 0usize;
-        'receive: for (i, output, outcome) in rx.iter() {
-            pending.insert(i, (output, outcome));
-            while let Some((output, outcome)) = pending.remove(&next_print) {
+        'receive: for (i, output, outcome, obsv) in rx.iter() {
+            pending.insert(i, (output, outcome, obsv));
+            while let Some((output, outcome, obsv)) = pending.remove(&next_print) {
                 let target = &targets[next_print];
                 next_print += 1;
                 print!("{output}");
+                if spec.any() {
+                    observed.push((target.clone(), obsv));
+                }
                 match outcome {
                     Ok(()) => completed.push(target.clone()),
                     Err(err) => {
@@ -376,12 +560,25 @@ fn run_bench(seed: u64, targets: &[String], jobs: usize, out_dir: &Path) -> Resu
         targets.len()
     );
     let mut artefacts: Vec<ArtefactTiming> = Vec::new();
+    // The bench always collects metrics: the merged summary is folded into
+    // BENCH_repro.json so a timing run doubles as a counters snapshot.
+    let mut metrics_total = starlink_obsv::MetricsRegistry::new();
     let seq_start = Instant::now();
     for target in &targets {
         let start = Instant::now();
         capture_begin();
-        let outcome = run_one(target, seed);
+        let (outcome, obsv) = run_observed(
+            target,
+            seed,
+            ObsvSpec {
+                trace: false,
+                metrics: true,
+            },
+        );
         let _ = capture_end();
+        if let Some(reg) = &obsv.metrics {
+            metrics_total.merge(reg);
+        }
         let seconds = start.elapsed().as_secs_f64();
         println!(
             "[bench]   {target}: {seconds:.3} s{}",
@@ -431,6 +628,7 @@ fn run_bench(seed: u64, targets: &[String], jobs: usize, out_dir: &Path) -> Resu
         parallel_seconds,
         parallel_speedup,
         &sweep,
+        &metrics_total,
     );
     std::fs::create_dir_all(out_dir)
         .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
@@ -519,8 +717,9 @@ fn sweep_microbench() -> SweepBench {
     let direct_seconds = direct_start.elapsed().as_secs_f64();
 
     // Snapshot path: one propagation per boundary, shared by all observers,
-    // with the coarse range prune ahead of the trig.
-    reset_snapshot_cache_stats();
+    // with the coarse range prune ahead of the trig. The cache counts its
+    // own hits and misses, so the numbers below describe exactly this
+    // sweep: one miss per unique boundary, a hit for every other query.
     let cached_start = Instant::now();
     let cache = SnapshotCache::new(&constellation);
     let mut cached_picks: Vec<Option<usize>> = Vec::new();
@@ -530,7 +729,7 @@ fn sweep_microbench() -> SweepBench {
         }
     }
     let cached_seconds = cached_start.elapsed().as_secs_f64();
-    let (cache_hits, cache_misses) = snapshot_cache_stats();
+    let (cache_hits, cache_misses) = cache.stats();
 
     SweepBench {
         observers: observers.len(),
@@ -571,6 +770,7 @@ fn render_bench_json(
     parallel_seconds: f64,
     parallel_speedup: f64,
     sweep: &SweepBench,
+    metrics: &starlink_obsv::MetricsRegistry,
 ) -> String {
     let target_list = targets
         .iter()
@@ -610,8 +810,10 @@ fn render_bench_json(
          \x20   \"results_identical\": {identical},\n\
          \x20   \"speedup\": {sweep_speedup:.4}\n\
          \x20 }},\n\
+         \x20 \"metrics\": {metrics_json},\n\
          \x20 \"speedup\": {sweep_speedup:.4}\n\
          }}\n",
+        metrics_json = metrics.to_json(2),
         observers = sweep.observers,
         satellites = sweep.satellites,
         boundaries = sweep.boundaries,

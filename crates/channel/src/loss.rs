@@ -139,6 +139,15 @@ impl Default for HandoverLossParams {
     }
 }
 
+/// Which loss regime a query time falls in; indices identify the window
+/// so re-entering a *different* window still counts as a transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Regime {
+    Background,
+    Outage(usize),
+    Handover(usize),
+}
+
 /// The composite Starlink loss model: schedule-driven windows over a
 /// Gilbert–Elliott background.
 pub struct HandoverLossModel {
@@ -148,6 +157,9 @@ pub struct HandoverLossModel {
     outages: Vec<(SimTime, SimTime)>,
     params: HandoverLossParams,
     background: GilbertElliott,
+    /// Regime of the previous [`Self::loss_prob_at`] query, for
+    /// edge-detected trace events.
+    last_regime: Regime,
 }
 
 impl HandoverLossModel {
@@ -172,6 +184,7 @@ impl HandoverLossModel {
             outages,
             params,
             background,
+            last_regime: Regime::Background,
         }
     }
 
@@ -181,11 +194,60 @@ impl HandoverLossModel {
     /// Window lookups binary-search the sorted interval lists, so a
     /// multi-day schedule with thousands of handovers stays O(log n) per
     /// query.
+    ///
+    /// Regime transitions (entering an outage or handover window, falling
+    /// back to the clear channel) are edge-detected here and emitted as
+    /// [`starlink_obsv`] trace events, stamped with the query time —
+    /// deterministic for a given query sequence and free when tracing is
+    /// off.
     pub fn loss_prob_at(&mut self, t: SimTime) -> f64 {
-        if let Some(p) = self.scheduled_loss_at(t) {
-            return p;
+        let regime = self.regime_at(t);
+        if regime != self.last_regime {
+            self.note_transition(t, regime);
+            self.last_regime = regime;
         }
-        self.background.loss_prob_at(t)
+        match regime {
+            Regime::Outage(_) => self.params.outage_loss,
+            Regime::Handover(i) => self.windows[i].2,
+            Regime::Background => self.background.loss_prob_at(t),
+        }
+    }
+
+    /// Which regime is in force at `t` (outages dominate handover windows).
+    fn regime_at(&self, t: SimTime) -> Regime {
+        let i = self.outages.partition_point(|&(s, _)| s <= t);
+        if i > 0 && t < self.outages[i - 1].1 {
+            return Regime::Outage(i - 1);
+        }
+        let i = self.windows.partition_point(|&(s, _, _)| s <= t);
+        if i > 0 && t < self.windows[i - 1].1 {
+            return Regime::Handover(i - 1);
+        }
+        Regime::Background
+    }
+
+    fn note_transition(&self, t: SimTime, next: Regime) {
+        use starlink_obsv::{counter_add, emit, TraceEvent};
+        match next {
+            Regime::Outage(i) => {
+                counter_add("channel.outages_entered", 1);
+                emit(|| TraceEvent::Outage {
+                    t_ns: t.as_nanos(),
+                    until_ns: self.outages[i].1.as_nanos(),
+                });
+            }
+            Regime::Handover(i) => {
+                counter_add("channel.handover_windows_entered", 1);
+                emit(|| TraceEvent::HandoverWindow {
+                    t_ns: t.as_nanos(),
+                    until_ns: self.windows[i].1.as_nanos(),
+                    loss_ppm: (self.windows[i].2 * 1e6) as u64,
+                });
+            }
+            Regime::Background => {
+                emit(|| TraceEvent::ChannelClear { t_ns: t.as_nanos() });
+            }
+        }
     }
 
     /// The deterministic (schedule-driven) loss at `t`, ignoring the
@@ -377,6 +439,43 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn regime_transitions_emit_edge_events() {
+        use starlink_obsv::TraceEvent;
+        let mut schedule = schedule_with_handover_at(60);
+        schedule
+            .outages
+            .push((SimTime::from_secs(90), SimTime::from_secs(95)));
+        let mut model = HandoverLossModel::new(
+            &schedule,
+            HandoverLossParams::default(),
+            SimRng::seed_from(8),
+        );
+        let (sink, shared) = starlink_obsv::CollectorSink::pair();
+        assert!(starlink_obsv::install_trace(Box::new(sink)).is_none());
+        let _ = model.loss_prob_at(SimTime::from_secs(10)); // background: no edge
+        let _ = model.loss_prob_at(SimTime::from_millis(60_100)); // enter handover
+        let _ = model.loss_prob_at(SimTime::from_millis(60_900)); // same window: no edge
+        let _ = model.loss_prob_at(SimTime::from_secs(70)); // back to clear
+        let _ = model.loss_prob_at(SimTime::from_secs(92)); // enter outage
+        let _ = model.loss_prob_at(SimTime::from_secs(100)); // clear again
+        starlink_obsv::take_trace();
+        let events = shared.borrow();
+        assert_eq!(events.len(), 4, "one event per regime edge: {events:?}");
+        assert!(matches!(
+            events[0],
+            TraceEvent::HandoverWindow { loss_ppm, .. } if (100_000..=800_000).contains(&loss_ppm)
+        ));
+        assert!(matches!(events[1], TraceEvent::ChannelClear { .. }));
+        assert!(matches!(
+            events[2],
+            TraceEvent::Outage { t_ns, until_ns }
+                if t_ns == SimTime::from_secs(92).as_nanos()
+                    && until_ns == SimTime::from_secs(95).as_nanos()
+        ));
+        assert!(matches!(events[3], TraceEvent::ChannelClear { .. }));
     }
 
     #[test]

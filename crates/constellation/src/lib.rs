@@ -35,7 +35,5 @@ pub use selection::{
     compute_schedule_greedy_cached, compute_schedules, SelectionPolicy, ServingInterval,
     ServingSchedule,
 };
-pub use snapshot::{
-    reset_snapshot_cache_stats, snapshot_cache_stats, PositionSnapshot, SnapshotCache,
-};
+pub use snapshot::{PositionSnapshot, SnapshotCache};
 pub use view::{Constellation, SatView, SHELL1_MIN_ELEVATION_DEG};

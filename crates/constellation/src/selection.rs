@@ -720,7 +720,10 @@ mod tests {
         let observers: Vec<Geodetic> = (0..8)
             .map(|i| Geodetic::on_surface(30.0 + 3.0 * i as f64, -10.0 + 4.0 * i as f64))
             .collect();
-        crate::snapshot::reset_snapshot_cache_stats();
+        // The sweep's cache lives inside `compute_schedules`; observe it
+        // through the obsv metrics registry instead of process statics.
+        let prev = starlink_obsv::metrics_begin();
+        assert!(prev.is_none(), "no registry should be active in this test");
         let _ = compute_schedules(
             &c,
             &observers,
@@ -728,7 +731,9 @@ mod tests {
             SimDuration::from_mins(10),
             &policy,
         );
-        let (hits, misses) = crate::snapshot::snapshot_cache_stats();
+        let reg = starlink_obsv::metrics_take().expect("registry installed above");
+        let hits = reg.counter("constellation.snapshot_cache.hits");
+        let misses = reg.counter("constellation.snapshot_cache.misses");
         assert!(
             hits > misses,
             "lockstep sweep should mostly hit the cache: {hits} hits / {misses} misses"

@@ -23,9 +23,8 @@
 use crate::view::{Constellation, SatView};
 use starlink_geo::{look_angles, Ecef, Geodetic, LookAngles};
 use starlink_simcore::SimDuration;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Degrees subtracted from the elevation mask before deriving the prune
 /// range. The closed-form slant-range bound is exact for an elevation
@@ -36,28 +35,6 @@ const PRUNE_MARGIN_DEG: f64 = 0.5;
 
 /// Flat slack added to the prune range, metres.
 const PRUNE_SLACK_M: f64 = 10_000.0;
-
-/// Process-wide snapshot-cache hit counter (all caches, all threads).
-static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
-/// Process-wide snapshot-cache miss counter.
-static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
-
-/// Process-wide `(hits, misses)` across every [`SnapshotCache`] since the
-/// last [`reset_snapshot_cache_stats`]. A hit means a whole-constellation
-/// propagation was skipped by reusing a shared snapshot.
-pub fn snapshot_cache_stats() -> (u64, u64) {
-    (
-        CACHE_HITS.load(Ordering::Relaxed),
-        CACHE_MISSES.load(Ordering::Relaxed),
-    )
-}
-
-/// Zeroes the process-wide snapshot-cache counters (benchmark harnesses
-/// call this between measured phases).
-pub fn reset_snapshot_cache_stats() {
-    CACHE_HITS.store(0, Ordering::Relaxed);
-    CACHE_MISSES.store(0, Ordering::Relaxed);
-}
 
 /// All satellite ECEF positions at one instant, propagated once and shared
 /// across every observer/query at that time step.
@@ -205,6 +182,13 @@ pub struct SnapshotCache<'a> {
     constellation: &'a Constellation,
     /// Most-recently-used first.
     entries: RefCell<Vec<(u64, Rc<PositionSnapshot>)>>,
+    /// Lookups served from a live entry. Per-instance (not process-wide):
+    /// concurrent caches on other threads — parallel repro workers, the
+    /// test harness — never pollute each other's numbers. Mirrored into
+    /// the `starlink_obsv` metrics registry when one is installed.
+    hits: Cell<u64>,
+    /// Lookups that had to propagate a fresh snapshot.
+    misses: Cell<u64>,
 }
 
 impl<'a> SnapshotCache<'a> {
@@ -216,7 +200,23 @@ impl<'a> SnapshotCache<'a> {
         SnapshotCache {
             constellation,
             entries: RefCell::new(Vec::with_capacity(Self::CAPACITY)),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
         }
+    }
+
+    /// This cache's `(hits, misses)` counters. A hit means a
+    /// whole-constellation propagation was skipped by reusing a shared
+    /// snapshot.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.get(), self.misses.get())
+    }
+
+    /// Zeroes this cache's counters (benchmark harnesses call this
+    /// between measured phases).
+    pub fn reset_stats(&self) {
+        self.hits.set(0);
+        self.misses.set(0);
     }
 
     /// The constellation the cache propagates.
@@ -230,13 +230,15 @@ impl<'a> SnapshotCache<'a> {
         let key = t.as_nanos();
         let mut entries = self.entries.borrow_mut();
         if let Some(i) = entries.iter().position(|(k, _)| *k == key) {
-            CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+            self.hits.set(self.hits.get() + 1);
+            starlink_obsv::counter_add("constellation.snapshot_cache.hits", 1);
             let entry = entries.remove(i);
             let snap = Rc::clone(&entry.1);
             entries.insert(0, entry);
             return snap;
         }
-        CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+        self.misses.set(self.misses.get() + 1);
+        starlink_obsv::counter_add("constellation.snapshot_cache.misses", 1);
         let snap = Rc::new(PositionSnapshot::capture(self.constellation, t));
         entries.insert(0, (key, Rc::clone(&snap)));
         entries.truncate(Self::CAPACITY);
@@ -334,12 +336,14 @@ mod tests {
     fn cache_shares_and_counts() {
         let c = small_shell();
         let cache = SnapshotCache::new(&c);
-        reset_snapshot_cache_stats();
         let a = cache.at(SimDuration::from_secs(15));
         let b = cache.at(SimDuration::from_secs(15));
         assert!(Rc::ptr_eq(&a, &b));
-        let (hits, misses) = snapshot_cache_stats();
-        assert!(hits >= 1 && misses >= 1, "hits {hits} misses {misses}");
+        // Per-instance counters are exact — no other cache (or thread)
+        // can leak into them, unlike the old process-wide atomics.
+        assert_eq!(cache.stats(), (1, 1));
+        cache.reset_stats();
+        assert_eq!(cache.stats(), (0, 0));
     }
 
     #[test]
@@ -351,9 +355,28 @@ mod tests {
         }
         assert!(cache.entries.borrow().len() <= SnapshotCache::CAPACITY);
         // The most recent entries survive.
-        let before = snapshot_cache_stats();
+        let (hits_before, misses) = cache.stats();
         let _ = cache.at(SimDuration::from_secs(SnapshotCache::CAPACITY as u64 + 9));
-        let after = snapshot_cache_stats();
-        assert_eq!(after.0, before.0 + 1, "most recent step must be a hit");
+        let (hits_after, misses_after) = cache.stats();
+        assert_eq!(
+            hits_after,
+            hits_before + 1,
+            "most recent step must be a hit"
+        );
+        assert_eq!(misses_after, misses, "no extra propagation");
+    }
+
+    #[test]
+    fn cache_stats_surface_through_the_metrics_registry() {
+        let c = small_shell();
+        starlink_obsv::metrics_begin();
+        let cache = SnapshotCache::new(&c);
+        let _ = cache.at(SimDuration::from_secs(1));
+        let _ = cache.at(SimDuration::from_secs(1));
+        let _ = cache.at(SimDuration::from_secs(2));
+        let reg = starlink_obsv::metrics_take().expect("registry installed");
+        assert_eq!(reg.counter("constellation.snapshot_cache.hits"), 1);
+        assert_eq!(reg.counter("constellation.snapshot_cache.misses"), 2);
+        assert_eq!(cache.stats(), (1, 2));
     }
 }

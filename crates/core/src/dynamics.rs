@@ -17,7 +17,7 @@
 //!   per-handover burst severities, Gilbert–Elliott background) plus the
 //!   weather's extra-loss floor.
 
-use starlink_channel::{HandoverLossModel, NodeProfile, WeatherTimeline};
+use starlink_channel::{HandoverLossModel, NodeProfile, WeatherCondition, WeatherTimeline};
 use starlink_constellation::{BentPipe, ServingSchedule};
 use starlink_netsim::LinkDynamics;
 use starlink_simcore::{DataRate, SimDuration, SimRng, SimTime};
@@ -48,6 +48,9 @@ pub struct StarlinkLinkDynamics {
     /// Rate cache (resampled per second).
     rate_at: SimTime,
     rate: DataRate,
+    /// Condition seen by the previous weather lookup, for edge-detected
+    /// [`starlink_obsv::TraceEvent::WeatherChange`] events.
+    last_weather: Option<WeatherCondition>,
     rng: SimRng,
 }
 
@@ -96,8 +99,28 @@ impl StarlinkLinkDynamics {
             queue_ms: 0.0,
             rate_at: SimTime::MAX,
             rate: DataRate::ZERO,
+            last_weather: None,
             rng,
         }
+    }
+
+    /// The weather condition at `now`, emitting a
+    /// [`starlink_obsv::TraceEvent::WeatherChange`] on the first lookup
+    /// that sees a different condition than the previous one.
+    fn weather_at(&mut self, now: SimTime) -> WeatherCondition {
+        let condition = self.weather.condition_at(now);
+        if self.last_weather != Some(condition) {
+            if let Some(prev) = self.last_weather {
+                starlink_obsv::emit(|| starlink_obsv::TraceEvent::WeatherChange {
+                    t_ns: now.as_nanos(),
+                    from: prev.code() as u64,
+                    to: condition.code() as u64,
+                });
+                starlink_obsv::counter_add("channel.weather_transitions", 1);
+            }
+            self.last_weather = Some(condition);
+        }
+        condition
     }
 
     fn pipe_delay(&self, now: SimTime) -> SimDuration {
@@ -138,7 +161,7 @@ impl LinkDynamics for StarlinkLinkDynamics {
 
     fn rate(&mut self, now: SimTime) -> DataRate {
         if self.rate_at > now || now.saturating_since(self.rate_at) >= SimDuration::from_secs(1) {
-            let weather = self.weather.condition_at(now);
+            let weather = self.weather_at(now);
             self.rate = match self.direction {
                 Direction::Down => self.profile.sample_iperf_dl(now, weather, &mut self.rng),
                 Direction::Up => self.profile.sample_iperf_ul(now, weather, &mut self.rng),
@@ -150,7 +173,7 @@ impl LinkDynamics for StarlinkLinkDynamics {
     }
 
     fn loss_prob(&mut self, now: SimTime) -> f64 {
-        let weather_extra = self.weather.condition_at(now).extra_loss();
+        let weather_extra = self.weather_at(now).extra_loss();
         (self.loss.loss_prob_at(now) + weather_extra).min(1.0)
     }
 }
@@ -292,6 +315,39 @@ mod tests {
         if let Some(&h) = schedule.handovers.iter().find(|&&h| h > SimTime::ZERO) {
             let p = dynamics.loss_prob(h + SimDuration::from_millis(100));
             assert!(p >= 0.08, "handover loss {p}");
+        }
+    }
+
+    #[test]
+    fn weather_transitions_emit_edge_events() {
+        use starlink_obsv::TraceEvent;
+        let mut dynamics = build_dynamics(Direction::Down);
+        let mut rng = SimRng::seed_from(11);
+        dynamics.weather = WeatherTimeline::generate(&mut rng, SimDuration::from_hours(24), 0.1);
+        let conditions: Vec<WeatherCondition> = dynamics.weather.iter().collect();
+        let expected = conditions.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(expected > 0, "timeline must change for this test");
+
+        let (sink, shared) = starlink_obsv::CollectorSink::pair();
+        assert!(starlink_obsv::install_trace(Box::new(sink)).is_none());
+        for hour in 0..conditions.len() as u64 {
+            let t = SimTime::ZERO + SimDuration::from_hours(hour) + SimDuration::from_secs(1);
+            let _ = dynamics.weather_at(t);
+        }
+        starlink_obsv::take_trace();
+        let events = shared.borrow();
+        let changes: Vec<(u64, u64)> = events
+            .iter()
+            .filter_map(|e| match *e {
+                TraceEvent::WeatherChange { from, to, .. } => Some((from, to)),
+                _ => None,
+            })
+            .collect();
+        // One event per hour boundary where the condition differs; the
+        // initial lookup (None -> first condition) is not a transition.
+        assert_eq!(changes.len(), expected, "events {changes:?}");
+        for &(from, to) in &changes {
+            assert_ne!(from, to, "self-transition traced");
         }
     }
 

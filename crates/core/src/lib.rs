@@ -49,6 +49,7 @@ pub use starlink_constellation as constellation;
 pub use starlink_faults as faults;
 pub use starlink_geo as geo;
 pub use starlink_netsim as netsim;
+pub use starlink_obsv as obsv;
 pub use starlink_simcore as simcore;
 pub use starlink_telemetry as telemetry;
 pub use starlink_tle as tle;

@@ -15,6 +15,7 @@
 
 use crate::fault::FaultSchedule;
 use crate::wire::Packet;
+use starlink_obsv::DropReason;
 use starlink_simcore::{Bytes, DataRate, SimDuration, SimRng, SimTime};
 
 /// Time-varying link behaviour.
@@ -123,8 +124,18 @@ pub(crate) enum LinkVerdict {
         /// The packet (returned so the caller can schedule it).
         packet: Packet,
     },
-    /// The packet was dropped (loss or overflow); counters updated.
-    Dropped,
+    /// The packet was dropped; counters updated and the reason recorded
+    /// (the network turns this into a `link_drop` trace event).
+    Dropped {
+        /// Why the link refused the packet.
+        reason: DropReason,
+    },
+}
+
+impl LinkVerdict {
+    fn dropped(reason: DropReason) -> Self {
+        LinkVerdict::Dropped { reason }
+    }
 }
 
 /// A directed link between two nodes.
@@ -180,33 +191,33 @@ impl Link {
         let fault = self.fault.effect_at(now);
         if fault.down {
             self.stats.faulted += 1;
-            return (LinkVerdict::Dropped, None);
+            return (LinkVerdict::dropped(DropReason::Fault), None);
         }
         if fault.corrupt > 0.0 && self.rng.bernoulli(fault.corrupt) {
             self.stats.corrupted += 1;
-            return (LinkVerdict::Dropped, None);
+            return (LinkVerdict::dropped(DropReason::Corrupt), None);
         }
         if fault.extra_loss > 0.0 && self.rng.bernoulli(fault.extra_loss) {
             self.stats.faulted += 1;
-            return (LinkVerdict::Dropped, None);
+            return (LinkVerdict::dropped(DropReason::Fault), None);
         }
 
         let loss_p = self.dynamics.loss_prob(now);
         if loss_p > 0.0 && self.rng.bernoulli(loss_p) {
             self.stats.lost += 1;
-            return (LinkVerdict::Dropped, None);
+            return (LinkVerdict::dropped(DropReason::Loss), None);
         }
         if (self.backlog + packet.size) > self.queue_capacity {
             self.stats.overflowed += 1;
-            return (LinkVerdict::Dropped, None);
+            return (LinkVerdict::dropped(DropReason::Overflow), None);
         }
 
         let rate = self.dynamics.rate(now);
         let ser = packet.size.serialization_time(rate);
         if ser == SimDuration::MAX {
-            // Link is down: treat as loss.
+            // Link is down: counted as loss, traced as zero-rate.
             self.stats.lost += 1;
-            return (LinkVerdict::Dropped, None);
+            return (LinkVerdict::dropped(DropReason::ZeroRate), None);
         }
         let start = if self.busy_until > now {
             self.busy_until
@@ -283,7 +294,7 @@ mod tests {
             LinkVerdict::Deliver { at, .. } => {
                 assert_eq!(at, SimTime::from_millis(11));
             }
-            LinkVerdict::Dropped => panic!("lossless link dropped"),
+            LinkVerdict::Dropped { .. } => panic!("lossless link dropped"),
         }
         assert_eq!(tx_done, Some(SimTime::from_millis(1)));
     }
@@ -297,7 +308,7 @@ mod tests {
         assert_eq!(t2, Some(SimTime::from_millis(2)));
         match v2 {
             LinkVerdict::Deliver { at, .. } => assert_eq!(at, SimTime::from_millis(2)),
-            LinkVerdict::Dropped => panic!(),
+            LinkVerdict::Dropped { .. } => panic!(),
         }
     }
 
@@ -320,7 +331,7 @@ mod tests {
         ));
         assert!(matches!(
             link.offer(SimTime::ZERO, pkt(3, 1_500)).0,
-            LinkVerdict::Dropped
+            LinkVerdict::Dropped { .. }
         ));
         assert_eq!(link.stats.overflowed, 1);
         // Releasing frees room again.
@@ -338,7 +349,7 @@ mod tests {
         let n = 10_000;
         for i in 0..n {
             let (v, _) = link.offer(SimTime::from_micros(i * 20), pkt(i, 100));
-            if matches!(v, LinkVerdict::Dropped) {
+            if matches!(v, LinkVerdict::Dropped { .. }) {
                 dropped += 1;
                 link.release(Bytes::ZERO);
             } else {
@@ -359,7 +370,7 @@ mod tests {
         );
         assert!(matches!(
             link.offer(SimTime::ZERO, pkt(1, 100)).0,
-            LinkVerdict::Dropped
+            LinkVerdict::Dropped { .. }
         ));
     }
 
@@ -377,7 +388,7 @@ mod tests {
         ));
         assert!(matches!(
             link.offer(SimTime::from_millis(15), pkt(2, 100)).0,
-            LinkVerdict::Dropped
+            LinkVerdict::Dropped { .. }
         ));
         assert!(matches!(
             link.offer(SimTime::from_millis(25), pkt(3, 100)).0,
@@ -419,7 +430,7 @@ mod tests {
             LinkVerdict::Deliver { at, .. } => {
                 assert_eq!(at, SimTime::from_secs(1) + SimDuration::from_millis(1));
             }
-            LinkVerdict::Dropped => panic!(),
+            LinkVerdict::Dropped { .. } => panic!(),
         }
     }
 }

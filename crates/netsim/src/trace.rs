@@ -1,22 +1,26 @@
 //! Event-trace instrumentation for simulation testing.
 //!
-//! When enabled (see [`crate::Network::enable_trace`]), the network folds
-//! every dispatched event — arrivals, serialisation completions, handler
-//! timers — into an [`EventTrace`]: a streaming digest of the full event
-//! history plus live monitors for the two properties the event loop must
-//! never violate:
+//! When enabled (see [`crate::Network::enable_trace`]), the network feeds
+//! every trace event it emits — arrivals, serialisation completions,
+//! handler timers, enqueues, drops — into an [`EventTrace`]: a streaming
+//! digest of the full event history plus live monitors for the two
+//! properties the event loop must never violate:
 //!
 //! * **virtual-clock monotonicity** — dispatch times never move backwards;
 //! * **per-link FIFO delivery** — a link's arrivals occur in strictly
 //!   increasing time order (the link layer enforces this with an arrival
 //!   floor; the monitor checks the enforcement actually held end to end).
 //!
-//! Tracing is opt-in and costs a few arithmetic operations per event; the
-//! default path is untouched. The simulation-test swarm enables it on
-//! every scenario run, uses the digest for its twin-run determinism
-//! oracle, and reads the violation counters for its clock and FIFO
-//! oracles.
+//! `EventTrace` is an [`starlink_obsv::TraceSink`]: it consumes the same
+//! [`TraceEvent`] stream the observability layer defines, folding each
+//! event's fixed-width digest projection ([`TraceEvent::digest_parts`])
+//! instead of buffering anything. Tracing is opt-in and costs a few
+//! arithmetic operations per event; the default path is untouched. The
+//! simulation-test swarm enables it on every scenario run, uses the
+//! digest for its twin-run determinism oracle, and reads the violation
+//! counters for its clock and FIFO oracles.
 
+use starlink_obsv::{TraceEvent, TraceSink};
 use starlink_simcore::{SimTime, StreamingDigest};
 
 /// Live trace state: digest plus invariant monitors.
@@ -36,12 +40,6 @@ impl Default for EventTrace {
         Self::new()
     }
 }
-
-/// Event-kind tags folded into the digest (stable across releases; the
-/// twin-run oracle depends on two builds of the same code agreeing).
-const TAG_ARRIVE: u64 = 1;
-const TAG_TX_DONE: u64 = 2;
-const TAG_TIMER: u64 = 3;
 
 impl EventTrace {
     /// An empty trace.
@@ -68,9 +66,7 @@ impl EventTrace {
         self.last_dispatch = now;
     }
 
-    /// Records a packet arriving at the far end of `link`.
-    pub(crate) fn on_arrive(&mut self, now: SimTime, link: usize, packet_id: u64) {
-        self.absorb(TAG_ARRIVE, now, link as u64, packet_id);
+    fn on_deliver(&mut self, now: SimTime, link: usize) {
         if self.last_link_arrival.len() <= link {
             self.last_link_arrival.resize(link + 1, SimTime::ZERO);
         }
@@ -81,16 +77,6 @@ impl EventTrace {
             self.fifo_violations += 1;
         }
         self.last_link_arrival[link] = now;
-    }
-
-    /// Records a serialisation-complete event on `link`.
-    pub(crate) fn on_tx_done(&mut self, now: SimTime, link: usize, size: u64) {
-        self.absorb(TAG_TX_DONE, now, link as u64, size);
-    }
-
-    /// Records a handler timer firing at `node`.
-    pub(crate) fn on_timer(&mut self, now: SimTime, node: u64, token: u64) {
-        self.absorb(TAG_TIMER, now, node, token);
     }
 
     /// The digest of every event dispatched so far.
@@ -116,46 +102,108 @@ impl EventTrace {
     }
 }
 
+impl TraceSink for EventTrace {
+    fn record(&mut self, event: &TraceEvent) {
+        let (tag, t_ns, a, b) = event.digest_parts();
+        self.absorb(tag, SimTime::from_nanos(t_ns), a, b);
+        if let TraceEvent::LinkDeliver { t_ns, link, .. } = *event {
+            self.on_deliver(SimTime::from_nanos(t_ns), link as usize);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn deliver(t_ms: u64, link: u64, packet: u64) -> TraceEvent {
+        TraceEvent::LinkDeliver {
+            t_ns: SimTime::from_millis(t_ms).as_nanos(),
+            link,
+            packet,
+        }
+    }
+
+    fn tx_done(t_ms: u64, link: u64, bytes: u64) -> TraceEvent {
+        TraceEvent::LinkTxDone {
+            t_ns: SimTime::from_millis(t_ms).as_nanos(),
+            link,
+            bytes,
+        }
+    }
+
+    fn timer(t_ms: u64, node: u64, token: u64) -> TraceEvent {
+        TraceEvent::TimerFired {
+            t_ns: SimTime::from_millis(t_ms).as_nanos(),
+            node,
+            token,
+        }
+    }
+
     #[test]
     fn digest_covers_all_event_kinds() {
         let mut a = EventTrace::new();
-        a.on_arrive(SimTime::from_millis(1), 0, 7);
-        a.on_tx_done(SimTime::from_millis(2), 0, 1500);
-        a.on_timer(SimTime::from_millis(3), 4, 99);
+        a.record(&deliver(1, 0, 7));
+        a.record(&tx_done(2, 0, 1500));
+        a.record(&timer(3, 4, 99));
         let mut b = EventTrace::new();
-        b.on_arrive(SimTime::from_millis(1), 0, 7);
-        b.on_tx_done(SimTime::from_millis(2), 0, 1500);
-        b.on_timer(SimTime::from_millis(3), 4, 99);
+        b.record(&deliver(1, 0, 7));
+        b.record(&tx_done(2, 0, 1500));
+        b.record(&timer(3, 4, 99));
         assert_eq!(a.digest(), b.digest());
         assert_eq!(a.events(), 3);
 
         let mut c = EventTrace::new();
-        c.on_arrive(SimTime::from_millis(1), 0, 8); // different packet
-        c.on_tx_done(SimTime::from_millis(2), 0, 1500);
-        c.on_timer(SimTime::from_millis(3), 4, 99);
+        c.record(&deliver(1, 0, 8)); // different packet
+        c.record(&tx_done(2, 0, 1500));
+        c.record(&timer(3, 4, 99));
         assert_ne!(a.digest(), c.digest());
     }
 
     #[test]
     fn clock_regression_detected() {
         let mut t = EventTrace::new();
-        t.on_timer(SimTime::from_millis(5), 0, 1);
-        t.on_timer(SimTime::from_millis(4), 0, 2);
+        t.record(&timer(5, 0, 1));
+        t.record(&timer(4, 0, 2));
         assert_eq!(t.clock_regressions(), 1);
     }
 
     #[test]
     fn fifo_violation_detected_per_link() {
         let mut t = EventTrace::new();
-        t.on_arrive(SimTime::from_millis(1), 0, 1);
-        t.on_arrive(SimTime::from_millis(2), 1, 2); // other link: fine
-        t.on_arrive(SimTime::from_millis(1), 0, 3); // ties the link-0 arrival
+        t.record(&deliver(1, 0, 1));
+        t.record(&deliver(2, 1, 2)); // other link: fine
+        t.record(&deliver(1, 0, 3)); // ties the link-0 arrival
         assert_eq!(t.fifo_violations(), 1);
-        t.on_arrive(SimTime::from_millis(3), 0, 4);
+        t.record(&deliver(3, 0, 4));
         assert_eq!(t.fifo_violations(), 1);
+    }
+
+    #[test]
+    fn richer_events_fold_into_the_digest() {
+        let mut a = EventTrace::new();
+        a.record(&TraceEvent::LinkEnqueue {
+            t_ns: 10,
+            link: 0,
+            packet: 1,
+            bytes: 1500,
+            backlog: 1500,
+        });
+        a.record(&TraceEvent::LinkDrop {
+            t_ns: 20,
+            link: 0,
+            packet: 2,
+            reason: starlink_obsv::DropReason::Loss,
+        });
+        assert_eq!(a.events(), 2);
+        let mut b = EventTrace::new();
+        b.record(&TraceEvent::LinkDrop {
+            t_ns: 20,
+            link: 0,
+            packet: 2,
+            reason: starlink_obsv::DropReason::Overflow,
+        });
+        // Same slot, different drop reason: digests must differ.
+        assert_ne!(a.digest(), b.digest());
     }
 }

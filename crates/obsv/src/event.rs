@@ -1,0 +1,525 @@
+//! The trace-event taxonomy.
+//!
+//! Every event carries a `t_ns` timestamp in **simulation nanoseconds**
+//! (`SimTime::as_nanos()` upstream) — never wall clock. All payload fields
+//! are integers; floating-point quantities are scaled at the emission site
+//! (loss probabilities to parts-per-million, durations to nanoseconds) so
+//! rendering is exact and byte-stable across platforms.
+
+use std::fmt::Write as _;
+
+/// Why a link refused a packet.
+///
+/// Mirrors the drop classification order in `netsim::Link::offer`; each
+/// reason maps one-to-one onto a `LinkStats` bucket so trace counts can be
+/// reconciled against the conservation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// An injected fault window (link down or excess-loss Bernoulli).
+    Fault,
+    /// Payload corruption from an injected corruption fault.
+    Corrupt,
+    /// The channel's stochastic loss process.
+    Loss,
+    /// Bounded queue overflow.
+    Overflow,
+    /// The link's serialisation rate is zero (infinite transmit time).
+    ZeroRate,
+}
+
+impl DropReason {
+    /// Stable lowercase code used in JSONL output.
+    pub fn code(self) -> &'static str {
+        match self {
+            DropReason::Fault => "fault",
+            DropReason::Corrupt => "corrupt",
+            DropReason::Loss => "loss",
+            DropReason::Overflow => "overflow",
+            DropReason::ZeroRate => "zero_rate",
+        }
+    }
+
+    /// Small integer tag folded into event digests.
+    pub fn tag(self) -> u64 {
+        match self {
+            DropReason::Fault => 1,
+            DropReason::Corrupt => 2,
+            DropReason::Loss => 3,
+            DropReason::Overflow => 4,
+            DropReason::ZeroRate => 5,
+        }
+    }
+}
+
+/// Coarse TCP connection phase, used for state-transition events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TcpPhase {
+    /// SYN sent, waiting for the SYN-ACK.
+    Handshake,
+    /// Established, congestion avoidance / slow start.
+    Open,
+    /// Fast recovery after duplicate-ACK loss evidence.
+    FastRecovery,
+    /// Retransmission-timeout loss recovery.
+    RtoLoss,
+}
+
+impl TcpPhase {
+    /// Stable lowercase code used in JSONL output.
+    pub fn code(self) -> &'static str {
+        match self {
+            TcpPhase::Handshake => "handshake",
+            TcpPhase::Open => "open",
+            TcpPhase::FastRecovery => "fast_recovery",
+            TcpPhase::RtoLoss => "rto_loss",
+        }
+    }
+
+    /// Small integer tag folded into event digests.
+    pub fn tag(self) -> u64 {
+        match self {
+            TcpPhase::Handshake => 1,
+            TcpPhase::Open => 2,
+            TcpPhase::FastRecovery => 3,
+            TcpPhase::RtoLoss => 4,
+        }
+    }
+}
+
+/// A structured, sim-time-stamped trace event.
+///
+/// The taxonomy covers the paths the simulator used to instrument ad hoc:
+/// link enqueue/deliver/drop, TCP state and RTT/cwnd/RTO updates, channel
+/// handover and outage windows, weather transitions, and fault-induced
+/// drops. Emission sites construct events lazily through [`crate::emit`],
+/// so a disabled trace layer costs one thread-local branch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A packet was accepted onto a link's queue.
+    LinkEnqueue {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Link index in the owning network.
+        link: u64,
+        /// Packet id.
+        packet: u64,
+        /// Packet size in bytes.
+        bytes: u64,
+        /// Queue backlog in bytes after the enqueue.
+        backlog: u64,
+    },
+    /// A packet finished propagation and was delivered to the far node.
+    LinkDeliver {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Link index in the owning network.
+        link: u64,
+        /// Packet id.
+        packet: u64,
+    },
+    /// A link finished serialising a packet (head-of-line freed).
+    LinkTxDone {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Link index in the owning network.
+        link: u64,
+        /// Serialised size in bytes.
+        bytes: u64,
+    },
+    /// A link refused a packet.
+    LinkDrop {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Link index in the owning network.
+        link: u64,
+        /// Packet id.
+        packet: u64,
+        /// Drop classification.
+        reason: DropReason,
+    },
+    /// A node timer fired.
+    TimerFired {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Node index.
+        node: u64,
+        /// Caller-chosen timer token.
+        token: u64,
+    },
+    /// A packet was discarded by an active node fault.
+    NodeFaultDrop {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Node index.
+        node: u64,
+        /// Packet id.
+        packet: u64,
+    },
+    /// A TCP connection moved between coarse phases.
+    TcpState {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Connection identifier (the local node index).
+        conn: u64,
+        /// Phase before the transition.
+        from: TcpPhase,
+        /// Phase after the transition.
+        to: TcpPhase,
+    },
+    /// Congestion window / slow-start threshold update.
+    TcpCwnd {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Connection identifier (the local node index).
+        conn: u64,
+        /// Congestion window, bytes.
+        cwnd: u64,
+        /// Slow-start threshold, bytes (`u64::MAX` when still unset).
+        ssthresh: u64,
+    },
+    /// An RTT sample was folded into the RFC 6298 estimator.
+    TcpRtt {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Connection identifier (the local node index).
+        conn: u64,
+        /// Raw sample, nanoseconds.
+        sample_ns: u64,
+        /// Smoothed RTT after the update, nanoseconds.
+        srtt_ns: u64,
+        /// RTT variance after the update, nanoseconds.
+        rttvar_ns: u64,
+        /// Retransmission timeout after the update, nanoseconds.
+        rto_ns: u64,
+    },
+    /// A retransmission timer fired (replaces the old stderr debug dump).
+    TcpRtoFired {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Connection identifier (the local node index).
+        conn: u64,
+        /// Highest cumulatively ACKed byte.
+        una: u64,
+        /// Next sequence number to send.
+        next_seq: u64,
+        /// Bytes in flight at the timeout.
+        in_flight: u64,
+        /// Bytes currently marked lost.
+        lost: u64,
+        /// Congestion window, bytes.
+        cwnd: u64,
+        /// RTO after backoff, nanoseconds.
+        rto_ns: u64,
+        /// Consecutive-backoff count after this firing.
+        backoff: u64,
+    },
+    /// A scheduled handover loss window became active.
+    HandoverWindow {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Window end, nanoseconds.
+        until_ns: u64,
+        /// Loss severity inside the window, parts per million.
+        loss_ppm: u64,
+    },
+    /// A scheduled full outage became active.
+    Outage {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Outage end, nanoseconds.
+        until_ns: u64,
+    },
+    /// The channel left all scheduled windows and returned to background loss.
+    ChannelClear {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+    },
+    /// The weather timeline crossed into a different condition.
+    WeatherChange {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Previous condition code (`WeatherCondition::code`).
+        from: u64,
+        /// New condition code.
+        to: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's simulation timestamp in nanoseconds.
+    pub fn time_ns(&self) -> u64 {
+        match *self {
+            TraceEvent::LinkEnqueue { t_ns, .. }
+            | TraceEvent::LinkDeliver { t_ns, .. }
+            | TraceEvent::LinkTxDone { t_ns, .. }
+            | TraceEvent::LinkDrop { t_ns, .. }
+            | TraceEvent::TimerFired { t_ns, .. }
+            | TraceEvent::NodeFaultDrop { t_ns, .. }
+            | TraceEvent::TcpState { t_ns, .. }
+            | TraceEvent::TcpCwnd { t_ns, .. }
+            | TraceEvent::TcpRtt { t_ns, .. }
+            | TraceEvent::TcpRtoFired { t_ns, .. }
+            | TraceEvent::HandoverWindow { t_ns, .. }
+            | TraceEvent::Outage { t_ns, .. }
+            | TraceEvent::ChannelClear { t_ns }
+            | TraceEvent::WeatherChange { t_ns, .. } => t_ns,
+        }
+    }
+
+    /// `(tag, t_ns, a, b)` — a fixed-width projection for digest folding.
+    ///
+    /// Tags 1–3 match the legacy `EventTrace` tags (arrive / tx-done /
+    /// timer) so pre-existing digest semantics survive the re-plumb; the
+    /// richer events take tags 4+.
+    pub fn digest_parts(&self) -> (u64, u64, u64, u64) {
+        match *self {
+            TraceEvent::LinkDeliver { t_ns, link, packet } => (1, t_ns, link, packet),
+            TraceEvent::LinkTxDone { t_ns, link, bytes } => (2, t_ns, link, bytes),
+            TraceEvent::TimerFired { t_ns, node, token } => (3, t_ns, node, token),
+            TraceEvent::LinkEnqueue {
+                t_ns, link, packet, ..
+            } => (4, t_ns, link, packet),
+            TraceEvent::LinkDrop {
+                t_ns,
+                link,
+                packet,
+                reason,
+            } => (
+                5,
+                t_ns,
+                link,
+                packet.wrapping_mul(31).wrapping_add(reason.tag()),
+            ),
+            TraceEvent::NodeFaultDrop { t_ns, node, packet } => (6, t_ns, node, packet),
+            TraceEvent::TcpState {
+                t_ns,
+                conn,
+                from,
+                to,
+            } => (7, t_ns, conn, (from.tag() << 8) | to.tag()),
+            TraceEvent::TcpCwnd {
+                t_ns, conn, cwnd, ..
+            } => (8, t_ns, conn, cwnd),
+            TraceEvent::TcpRtt {
+                t_ns, conn, rto_ns, ..
+            } => (9, t_ns, conn, rto_ns),
+            TraceEvent::TcpRtoFired {
+                t_ns, conn, rto_ns, ..
+            } => (10, t_ns, conn, rto_ns),
+            TraceEvent::HandoverWindow {
+                t_ns,
+                until_ns,
+                loss_ppm,
+            } => (11, t_ns, until_ns, loss_ppm),
+            TraceEvent::Outage { t_ns, until_ns } => (12, t_ns, until_ns, 0),
+            TraceEvent::ChannelClear { t_ns } => (13, t_ns, 0, 0),
+            TraceEvent::WeatherChange { t_ns, from, to } => (14, t_ns, from, to),
+        }
+    }
+
+    /// Appends the event as one JSON object (no trailing newline) to `out`.
+    ///
+    /// Key order is fixed per variant and all values are integers or
+    /// static strings, so identical event streams render identical bytes.
+    pub fn write_json(&self, out: &mut String) {
+        match *self {
+            TraceEvent::LinkEnqueue {
+                t_ns,
+                link,
+                packet,
+                bytes,
+                backlog,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t_ns},\"ev\":\"link_enqueue\",\"link\":{link},\"packet\":{packet},\"bytes\":{bytes},\"backlog\":{backlog}}}"
+                );
+            }
+            TraceEvent::LinkDeliver { t_ns, link, packet } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t_ns},\"ev\":\"link_deliver\",\"link\":{link},\"packet\":{packet}}}"
+                );
+            }
+            TraceEvent::LinkTxDone { t_ns, link, bytes } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t_ns},\"ev\":\"link_tx_done\",\"link\":{link},\"bytes\":{bytes}}}"
+                );
+            }
+            TraceEvent::LinkDrop {
+                t_ns,
+                link,
+                packet,
+                reason,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t_ns},\"ev\":\"link_drop\",\"link\":{link},\"packet\":{packet},\"reason\":\"{}\"}}",
+                    reason.code()
+                );
+            }
+            TraceEvent::TimerFired { t_ns, node, token } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t_ns},\"ev\":\"timer\",\"node\":{node},\"token\":{token}}}"
+                );
+            }
+            TraceEvent::NodeFaultDrop { t_ns, node, packet } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t_ns},\"ev\":\"node_fault_drop\",\"node\":{node},\"packet\":{packet}}}"
+                );
+            }
+            TraceEvent::TcpState {
+                t_ns,
+                conn,
+                from,
+                to,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t_ns},\"ev\":\"tcp_state\",\"conn\":{conn},\"from\":\"{}\",\"to\":\"{}\"}}",
+                    from.code(),
+                    to.code()
+                );
+            }
+            TraceEvent::TcpCwnd {
+                t_ns,
+                conn,
+                cwnd,
+                ssthresh,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t_ns},\"ev\":\"tcp_cwnd\",\"conn\":{conn},\"cwnd\":{cwnd},\"ssthresh\":{ssthresh}}}"
+                );
+            }
+            TraceEvent::TcpRtt {
+                t_ns,
+                conn,
+                sample_ns,
+                srtt_ns,
+                rttvar_ns,
+                rto_ns,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t_ns},\"ev\":\"tcp_rtt\",\"conn\":{conn},\"sample_ns\":{sample_ns},\"srtt_ns\":{srtt_ns},\"rttvar_ns\":{rttvar_ns},\"rto_ns\":{rto_ns}}}"
+                );
+            }
+            TraceEvent::TcpRtoFired {
+                t_ns,
+                conn,
+                una,
+                next_seq,
+                in_flight,
+                lost,
+                cwnd,
+                rto_ns,
+                backoff,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t_ns},\"ev\":\"tcp_rto\",\"conn\":{conn},\"una\":{una},\"next_seq\":{next_seq},\"in_flight\":{in_flight},\"lost\":{lost},\"cwnd\":{cwnd},\"rto_ns\":{rto_ns},\"backoff\":{backoff}}}"
+                );
+            }
+            TraceEvent::HandoverWindow {
+                t_ns,
+                until_ns,
+                loss_ppm,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t_ns},\"ev\":\"handover\",\"until_ns\":{until_ns},\"loss_ppm\":{loss_ppm}}}"
+                );
+            }
+            TraceEvent::Outage { t_ns, until_ns } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t_ns},\"ev\":\"outage\",\"until_ns\":{until_ns}}}"
+                );
+            }
+            TraceEvent::ChannelClear { t_ns } => {
+                let _ = write!(out, "{{\"t\":{t_ns},\"ev\":\"channel_clear\"}}");
+            }
+            TraceEvent::WeatherChange { t_ns, from, to } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t_ns},\"ev\":\"weather\",\"from\":{from},\"to\":{to}}}"
+                );
+            }
+        }
+    }
+
+    /// The event rendered as a standalone JSON object string.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        self.write_json(&mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_stable_and_integer_only() {
+        let ev = TraceEvent::LinkEnqueue {
+            t_ns: 1_500_000,
+            link: 3,
+            packet: 42,
+            bytes: 1500,
+            backlog: 4500,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"t\":1500000,\"ev\":\"link_enqueue\",\"link\":3,\"packet\":42,\"bytes\":1500,\"backlog\":4500}"
+        );
+        let drop = TraceEvent::LinkDrop {
+            t_ns: 7,
+            link: 0,
+            packet: 9,
+            reason: DropReason::Overflow,
+        };
+        assert_eq!(
+            drop.to_json(),
+            "{\"t\":7,\"ev\":\"link_drop\",\"link\":0,\"packet\":9,\"reason\":\"overflow\"}"
+        );
+    }
+
+    #[test]
+    fn digest_parts_keep_legacy_tags() {
+        let deliver = TraceEvent::LinkDeliver {
+            t_ns: 5,
+            link: 1,
+            packet: 2,
+        };
+        assert_eq!(deliver.digest_parts(), (1, 5, 1, 2));
+        let tx = TraceEvent::LinkTxDone {
+            t_ns: 6,
+            link: 1,
+            bytes: 1500,
+        };
+        assert_eq!(tx.digest_parts(), (2, 6, 1, 1500));
+        let timer = TraceEvent::TimerFired {
+            t_ns: 7,
+            node: 4,
+            token: 9,
+        };
+        assert_eq!(timer.digest_parts(), (3, 7, 4, 9));
+    }
+
+    #[test]
+    fn every_variant_reports_its_time() {
+        let ev = TraceEvent::ChannelClear { t_ns: 123 };
+        assert_eq!(ev.time_ns(), 123);
+        let ev = TraceEvent::WeatherChange {
+            t_ns: 9,
+            from: 0,
+            to: 2,
+        };
+        assert_eq!(ev.time_ns(), 9);
+    }
+}

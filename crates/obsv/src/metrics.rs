@@ -1,0 +1,331 @@
+//! The metrics registry: counters, gauges, and log-bucketed histograms.
+//!
+//! All maps are `BTreeMap`s and all rendering iterates them in key order,
+//! so a snapshot serialises to identical bytes on every run. Histograms
+//! bucket by bit length (`floor(log2(v)) + 1`), which keeps recording to
+//! a couple of integer ops and makes bucket boundaries exact powers of
+//! two — no floating point anywhere in the pipeline.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Number of histogram buckets: one for zero plus one per bit length.
+const BUCKETS: usize = 65;
+
+/// A log-bucketed histogram of `u64` samples.
+///
+/// Bucket `0` holds the value `0`; bucket `i >= 1` holds values whose bit
+/// length is `i`, i.e. the range `[2^(i-1), 2^i - 1]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Folds one sample in.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_of(value)] += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, c))
+            .collect()
+    }
+
+    fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, ob) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += ob;
+        }
+    }
+
+    fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+            self.count,
+            self.sum,
+            self.min().unwrap_or(0),
+            self.max().unwrap_or(0)
+        );
+        for (i, (lo, c)) in self.nonzero_buckets().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{lo},{c}]");
+        }
+        out.push_str("]}");
+    }
+}
+
+/// A registry of named counters, gauges, and histograms.
+///
+/// Names are dotted paths (`"netsim.link.delivered"`). The registry is a
+/// plain value type — thread-local installation and the enabled fast path
+/// live in the crate root.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter (creating it at zero).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry_ref_or_insert(name) += delta;
+    }
+
+    /// Sets the named gauge to `value`.
+    pub fn gauge_set(&mut self, name: &str, value: i64) {
+        match self.gauges.get_mut(name) {
+            Some(g) => *g = value,
+            None => {
+                self.gauges.insert(name.to_owned(), value);
+            }
+        }
+    }
+
+    /// Records `value` into the named histogram.
+    pub fn histogram_record(&mut self, name: &str, value: u64) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = Histogram::default();
+                h.record(value);
+                self.histograms.insert(name.to_owned(), h);
+            }
+        }
+    }
+
+    /// Current value of a counter (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if any sample was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds another registry into this one (counters add, gauges take the
+    /// other's value, histograms merge).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, &v) in &other.counters {
+            *self.counters.entry_ref_or_insert(k) += v;
+        }
+        for (k, &v) in &other.gauges {
+            self.gauge_set(k, v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Renders the registry as a deterministic JSON object.
+    ///
+    /// `indent` is the column at which the object's closing brace sits;
+    /// nested lines add two spaces per level. Keys iterate in `BTreeMap`
+    /// order, so identical registries render identical bytes.
+    pub fn to_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let pad1 = " ".repeat(indent + 2);
+        let pad2 = " ".repeat(indent + 4);
+        let mut out = String::from("{\n");
+        let _ = write!(out, "{pad1}\"counters\": {{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}{pad2}\"{k}\": {v}");
+        }
+        if self.counters.is_empty() {
+            out.push_str("},\n");
+        } else {
+            let _ = write!(out, "\n{pad1}}},\n");
+        }
+        let _ = write!(out, "{pad1}\"gauges\": {{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}{pad2}\"{k}\": {v}");
+        }
+        if self.gauges.is_empty() {
+            out.push_str("},\n");
+        } else {
+            let _ = write!(out, "\n{pad1}}},\n");
+        }
+        let _ = write!(out, "{pad1}\"histograms\": {{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}{pad2}\"{k}\": ");
+            h.write_json(&mut out);
+        }
+        if self.histograms.is_empty() {
+            out.push_str("}\n");
+        } else {
+            let _ = write!(out, "\n{pad1}}}\n");
+        }
+        let _ = write!(out, "{pad}}}");
+        out
+    }
+}
+
+/// `BTreeMap<String, u64>`-style entry that avoids allocating when the key
+/// already exists.
+trait EntryRefOrInsert {
+    fn entry_ref_or_insert(&mut self, name: &str) -> &mut u64;
+}
+
+impl EntryRefOrInsert for BTreeMap<String, u64> {
+    fn entry_ref_or_insert(&mut self, name: &str) -> &mut u64 {
+        if !self.contains_key(name) {
+            self.insert(name.to_owned(), 0);
+        }
+        self.get_mut(name).expect("key just ensured")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1024));
+        // 0 -> bucket 0; 1 -> [1,1]; 2,3 -> [2,3]; 4,7 -> [4,7]; 8 -> [8,15];
+        // 1024 -> [1024,2047].
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![(0, 1), (1, 1), (2, 2), (4, 2), (8, 1), (1024, 1)]
+        );
+    }
+
+    #[test]
+    fn registry_round_trip_and_accessors() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("a.b", 2);
+        r.counter_add("a.b", 3);
+        r.gauge_set("g", -4);
+        r.histogram_record("h", 100);
+        assert_eq!(r.counter("a.b"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.gauge("g"), Some(-4));
+        assert_eq!(r.histogram("h").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_sorted() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("z", 1);
+        r.counter_add("a", 2);
+        let json = r.to_json(0);
+        let a = json.find("\"a\": 2").unwrap();
+        let z = json.find("\"z\": 1").unwrap();
+        assert!(a < z, "keys must render sorted:\n{json}");
+        assert_eq!(json, r.clone().to_json(0));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("c", 1);
+        a.histogram_record("h", 4);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("c", 2);
+        b.histogram_record("h", 9);
+        b.gauge_set("g", 7);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.gauge("g"), Some(7));
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 13);
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_maps() {
+        let r = MetricsRegistry::new();
+        let json = r.to_json(0);
+        assert!(json.contains("\"counters\": {}"), "{json}");
+        assert!(json.contains("\"histograms\": {}"), "{json}");
+    }
+}

@@ -1,0 +1,201 @@
+//! Trace sinks: where emitted events go.
+//!
+//! The layer ships three sinks. [`NullSink`] is the no-op default (the
+//! disabled path never even constructs events, so `NullSink` mostly exists
+//! to make "tracing installed but discarded" expressible). [`RingSink`] is
+//! the bounded production sink used by `repro --trace`: it keeps the most
+//! recent `capacity` events and counts evictions deterministically.
+//! [`CollectorSink`] is an unbounded test helper that shares its event
+//! vector with the test body.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::event::TraceEvent;
+
+/// A consumer of trace events.
+///
+/// Implementations must be deterministic: no wall-clock reads, no RNG, no
+/// I/O ordering dependencies. Sinks are installed per thread, so `record`
+/// takes `&mut self` and implementations need no internal synchronisation.
+pub trait TraceSink {
+    /// Consumes one event.
+    fn record(&mut self, event: &TraceEvent);
+
+    /// Renders and clears any buffered events as JSONL (one event per
+    /// line, trailing newline after each). Sinks that do not buffer
+    /// return `None`.
+    fn drain_jsonl(&mut self) -> Option<String> {
+        None
+    }
+
+    /// Number of events this sink has discarded (e.g. ring eviction).
+    fn dropped_events(&self) -> u64 {
+        0
+    }
+}
+
+/// Discards every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _event: &TraceEvent) {}
+}
+
+/// A bounded ring buffer of the most recent events.
+///
+/// When full, the oldest event is evicted and counted in
+/// [`RingSink::dropped`]. Eviction is a deterministic function of the
+/// event stream, so two identical runs produce identical buffers *and*
+/// identical drop counts regardless of capacity pressure.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// Creates a sink holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The buffered events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Renders the buffered events as JSONL without clearing them.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 96);
+        for ev in &self.events {
+            ev.write_json(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event.clone());
+    }
+
+    fn drain_jsonl(&mut self) -> Option<String> {
+        let out = self.to_jsonl();
+        self.events.clear();
+        Some(out)
+    }
+
+    fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// Unbounded sink that shares its event vector with the creator.
+///
+/// Intended for tests: install the sink, run the scenario, then read the
+/// shared handle without having to recover the boxed sink.
+#[derive(Debug)]
+pub struct CollectorSink {
+    events: Rc<RefCell<Vec<TraceEvent>>>,
+}
+
+impl CollectorSink {
+    /// Creates a sink plus the shared handle to its event vector.
+    pub fn pair() -> (CollectorSink, Rc<RefCell<Vec<TraceEvent>>>) {
+        let events = Rc::new(RefCell::new(Vec::new()));
+        (
+            CollectorSink {
+                events: Rc::clone(&events),
+            },
+            events,
+        )
+    }
+}
+
+impl TraceSink for CollectorSink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.events.borrow_mut().push(event.clone());
+    }
+
+    fn drain_jsonl(&mut self) -> Option<String> {
+        let mut events = self.events.borrow_mut();
+        let mut out = String::with_capacity(events.len() * 96);
+        for ev in events.iter() {
+            ev.write_json(&mut out);
+            out.push('\n');
+        }
+        events.clear();
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> TraceEvent {
+        TraceEvent::ChannelClear { t_ns: t }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts() {
+        let mut ring = RingSink::new(3);
+        for t in 0..5 {
+            ring.record(&ev(t));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let times: Vec<u64> = ring.events().map(|e| e.time_ns()).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_drain_renders_and_clears() {
+        let mut ring = RingSink::new(8);
+        ring.record(&ev(1));
+        ring.record(&ev(2));
+        let jsonl = ring.drain_jsonl().unwrap();
+        assert_eq!(
+            jsonl,
+            "{\"t\":1,\"ev\":\"channel_clear\"}\n{\"t\":2,\"ev\":\"channel_clear\"}\n"
+        );
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn collector_shares_events() {
+        let (mut sink, shared) = CollectorSink::pair();
+        sink.record(&ev(7));
+        assert_eq!(shared.borrow().len(), 1);
+        assert_eq!(shared.borrow()[0].time_ns(), 7);
+    }
+}

@@ -105,6 +105,7 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, payload });
+        starlink_obsv::counter_add("simcore.events_scheduled", 1);
         seq
     }
 

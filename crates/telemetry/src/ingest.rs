@@ -206,17 +206,21 @@ impl Collector {
             Ok(batch) => {
                 if !self.seen.insert((batch.user, batch.seq)) {
                     self.duplicates += batch.len() as u64;
+                    starlink_obsv::counter_add("telemetry.ingest.duplicates", 1);
                     return Ingested::Duplicate;
                 }
                 let (p, s) = (batch.pages.len() as u64, batch.speedtests.len() as u64);
                 self.pages.extend(batch.pages);
                 self.speedtests.extend(batch.speedtests);
+                starlink_obsv::counter_add("telemetry.ingest.accepted", 1);
+                starlink_obsv::counter_add("telemetry.ingest.records", p + s);
                 Ingested::Accepted {
                     pages: p,
                     speedtests: s,
                 }
             }
             Err(reason) => {
+                starlink_obsv::counter_add("telemetry.ingest.quarantined", 1);
                 let peek = peek_header(bytes);
                 self.quarantine.push(QuarantinedBatch {
                     reason_code: reason.code(),

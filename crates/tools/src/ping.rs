@@ -177,6 +177,11 @@ pub fn ping(net: &mut Network, src: NodeId, dst: NodeId, opts: &PingOptions) -> 
     }
 
     let lost = rtts.iter().filter(|r| r.is_none()).count();
+    starlink_obsv::counter_add("tools.ping.sent", rtts.len() as u64);
+    starlink_obsv::counter_add("tools.ping.lost", lost as u64);
+    for rtt in rtts.iter().flatten() {
+        starlink_obsv::histogram_record("tools.ping.rtt_us", rtt.as_nanos() / 1_000);
+    }
     let outcome = if !rtts.is_empty() && lost == rtts.len() {
         ToolOutcome::failed("no echo replies received")
     } else if lost > 0 {
@@ -239,6 +244,20 @@ mod tests {
         let loss = report.loss_fraction();
         assert!((0.25..0.55).contains(&loss), "loss {loss}");
         assert!(report.min_ms().unwrap() <= report.max_ms().unwrap());
+    }
+
+    #[test]
+    fn ping_populates_the_metrics_registry() {
+        let (mut n, a, b) = net(0.0);
+        assert!(starlink_obsv::metrics_begin().is_none());
+        let report = ping(&mut n, a, b, &PingOptions::default());
+        let reg = starlink_obsv::metrics_take().expect("registry installed above");
+        assert_eq!(reg.counter("tools.ping.sent"), report.sent() as u64);
+        assert_eq!(reg.counter("tools.ping.lost"), 0);
+        let h = reg.histogram("tools.ping.rtt_us").expect("rtt samples");
+        assert_eq!(h.count(), report.received() as u64);
+        // ~30 ms RTT on the 2x15 ms path; the histogram must see it.
+        assert!(h.min().unwrap() >= 20_000, "min {:?}", h.min());
     }
 
     #[test]

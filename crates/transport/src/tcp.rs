@@ -12,6 +12,7 @@
 
 use crate::cc::{AckSample, CcAlgorithm, CongestionControl};
 use starlink_netsim::{Ctx, Handler, NodeId, Packet, Payload, TcpFlags, TcpHeader};
+use starlink_obsv::{self as obsv, TcpPhase, TraceEvent};
 use starlink_simcore::{Bytes, DataRate, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -207,6 +208,9 @@ pub struct TcpSender {
     /// connection walks the lost tail backward at one segment per PTO,
     /// fencing the RTO out forever.)
     tlp_allowed: bool,
+    /// Last phase reported through the observability layer; transitions
+    /// emit a `tcp_state` trace event.
+    last_phase: TcpPhase,
 }
 
 impl TcpSender {
@@ -249,6 +253,7 @@ impl TcpSender {
                 last_ack_at: SimTime::ZERO,
                 tlp_outstanding: false,
                 tlp_allowed: true,
+                last_phase: TcpPhase::Handshake,
             },
             stats,
         )
@@ -333,6 +338,10 @@ impl TcpSender {
             stats.retransmissions += 1;
         }
         drop(stats);
+        obsv::counter_add("tcp.segments_sent", 1);
+        if retx {
+            obsv::counter_add("tcp.retransmissions", 1);
+        }
         match self.segs.entry(seq) {
             std::collections::btree_map::Entry::Vacant(v) => {
                 v.insert(Seg {
@@ -451,7 +460,37 @@ impl TcpSender {
         true
     }
 
-    fn update_rtt(&mut self, sample: SimDuration) {
+    /// Clamps an RTO candidate to `[MIN_RTO, MAX_RTO]`. Both the
+    /// estimator path and the exponential-backoff path go through this,
+    /// so neither side of RFC 6298 §2.4/§5.5 can escape the bounds.
+    fn clamp_rto(rto: SimDuration) -> SimDuration {
+        rto.max(MIN_RTO).min(MAX_RTO)
+    }
+
+    /// Reports a phase transition to the trace layer, if one happened.
+    fn sync_phase(&mut self, now: SimTime) {
+        let phase = if !self.established {
+            TcpPhase::Handshake
+        } else if self.rto_mode {
+            TcpPhase::RtoLoss
+        } else if self.in_recovery {
+            TcpPhase::FastRecovery
+        } else {
+            TcpPhase::Open
+        };
+        if phase != self.last_phase {
+            let from = self.last_phase;
+            self.last_phase = phase;
+            obsv::emit(|| TraceEvent::TcpState {
+                t_ns: now.as_nanos(),
+                conn: self.config.conn,
+                from,
+                to: phase,
+            });
+        }
+    }
+
+    fn update_rtt(&mut self, now: SimTime, sample: SimDuration) {
         let srtt = match self.srtt {
             None => {
                 self.rttvar = sample / 2;
@@ -469,11 +508,18 @@ impl TcpSender {
             }
         };
         self.srtt = Some(srtt);
-        self.rto = (srtt + (self.rttvar * 4).max(SimDuration::from_millis(10)))
-            .max(MIN_RTO)
-            .min(MAX_RTO);
+        self.rto = Self::clamp_rto(srtt + (self.rttvar * 4).max(SimDuration::from_millis(10)));
         self.backoff = 0;
         self.stats.borrow_mut().srtt = self.srtt;
+        obsv::histogram_record("tcp.rtt_us", sample.as_nanos() / 1_000);
+        obsv::emit(|| TraceEvent::TcpRtt {
+            t_ns: now.as_nanos(),
+            conn: self.config.conn,
+            sample_ns: sample.as_nanos(),
+            srtt_ns: srtt.as_nanos(),
+            rttvar_ns: self.rttvar.as_nanos(),
+            rto_ns: self.rto.as_nanos(),
+        });
     }
 
     fn on_ack_packet(&mut self, ctx: &mut Ctx, hdr: &TcpHeader) {
@@ -484,8 +530,9 @@ impl TcpSender {
             self.established = true;
             self.started_at = Some(now);
             if let Some(ts) = hdr.ts {
-                self.update_rtt(now.saturating_since(ts));
+                self.update_rtt(now, now.saturating_since(ts));
             }
+            self.sync_phase(now);
             self.pump(ctx);
             return;
         }
@@ -601,7 +648,7 @@ impl TcpSender {
                 }
             }
             if r > SimDuration::ZERO {
-                self.update_rtt(r);
+                self.update_rtt(now, r);
             }
         }
 
@@ -666,7 +713,8 @@ impl TcpSender {
             self.cc.on_recovery_exit(now);
         }
 
-        self.snapshot_cc_state();
+        self.sync_phase(now);
+        self.snapshot_cc_state(now);
         if self.config.trace_cwnd {
             self.stats
                 .borrow_mut()
@@ -701,12 +749,18 @@ impl TcpSender {
     /// Mirrors the congestion-control window state into the live stats
     /// handle, so external correctness oracles can check window-bound
     /// invariants without reaching into the boxed algorithm.
-    fn snapshot_cc_state(&self) {
+    fn snapshot_cc_state(&self, now: SimTime) {
         let cwnd = self.cc.cwnd();
         let mut stats = self.stats.borrow_mut();
         stats.last_cwnd = cwnd;
         stats.min_cwnd_seen = Some(stats.min_cwnd_seen.map_or(cwnd, |m| m.min(cwnd)));
         stats.last_ssthresh = self.cc.ssthresh();
+        obsv::emit(|| TraceEvent::TcpCwnd {
+            t_ns: now.as_nanos(),
+            conn: self.config.conn,
+            cwnd,
+            ssthresh: self.cc.ssthresh().unwrap_or(u64::MAX),
+        });
     }
 
     fn on_rto_fired(&mut self, ctx: &mut Ctx) {
@@ -719,23 +773,20 @@ impl TcpSender {
             return;
         }
         self.stats.borrow_mut().rto_count += 1;
-        if std::env::var_os("STARLINK_TCP_DEBUG").is_some() {
-            eprintln!(
-                "[rto] t={:.3}s una={} next={} inflight={} lost={} cwnd={} rto={}ms last_ack={:.3}s pace_armed={} next_send={:.3}",
-                ctx.now.as_secs_f64(),
-                self.una,
-                self.next_seq,
-                self.in_flight_bytes,
-                self.lost_bytes,
-                self.cc.cwnd(),
-                self.rto.as_millis_f64(),
-                self.last_ack_at.as_secs_f64(),
-                self.pace_armed,
-                self.next_send_at.as_secs_f64(),
-            );
-        }
+        obsv::counter_add("tcp.rto_fired", 1);
+        obsv::emit(|| TraceEvent::TcpRtoFired {
+            t_ns: ctx.now.as_nanos(),
+            conn: self.config.conn,
+            una: self.una,
+            next_seq: self.next_seq,
+            in_flight: self.in_flight_bytes,
+            lost: self.lost_bytes,
+            cwnd: self.cc.cwnd(),
+            rto_ns: self.rto.as_nanos(),
+            backoff: u64::from(self.backoff),
+        });
         self.cc.on_rto(ctx.now);
-        self.snapshot_cc_state();
+        self.snapshot_cc_state(ctx.now);
         self.dupacks = 0;
         // CA_Loss: every outstanding byte is presumed lost; clear SACK
         // state (reneging-safe) and retransmit from the front, ACK-clocked
@@ -758,10 +809,13 @@ impl TcpSender {
         self.in_recovery = true;
         self.rto_mode = true;
         self.recover = self.next_seq;
+        self.sync_phase(ctx.now);
         self.retransmit_hole(ctx, true);
         self.pump(ctx);
         self.backoff = (self.backoff + 1).min(10);
-        self.rto = (self.rto * 2).min(MAX_RTO);
+        // Symmetric with the estimator path: backoff doubling respects
+        // both RFC 6298 bounds, not just the 60 s cap.
+        self.rto = Self::clamp_rto(self.rto * 2);
         self.arm_rto(ctx);
     }
 }
@@ -1104,6 +1158,86 @@ mod tests {
         );
         assert_eq!(in_order, total);
         assert!(stats.borrow().rto_count > 0, "60% loss must trigger RTOs");
+    }
+
+    #[test]
+    fn rto_never_collapses_below_the_floor() {
+        // RFC 6298 §2.4: sub-millisecond RTT samples must not drag the
+        // RTO under MIN_RTO — without the floor, a LEO bent-pipe path
+        // with a ~600 us RTT would compute an RTO in the microseconds
+        // and every queueing wiggle would fire a spurious retransmit
+        // storm.
+        let (mut sender, _) = TcpSender::new(NodeId(1), TcpConfig::bulk(1, CcAlgorithm::Reno, 1));
+        let t = SimTime::from_millis(1);
+        for i in 0..64 {
+            sender.update_rtt(t, SimDuration::from_micros(300 + i % 7));
+            assert!(
+                sender.rto >= MIN_RTO,
+                "RTO {} ns fell below the floor after sample {i}",
+                sender.rto.as_nanos()
+            );
+        }
+        assert_eq!(sender.rto, MIN_RTO, "tiny samples should pin the floor");
+
+        // The backoff path honours the same bounds: even from a
+        // (hypothetically corrupted) sub-floor value, one doubling pass
+        // re-enters [MIN_RTO, MAX_RTO]; and doubling from the cap stays
+        // at the cap.
+        assert_eq!(TcpSender::clamp_rto(SimDuration::from_micros(50)), MIN_RTO);
+        assert_eq!(TcpSender::clamp_rto(MAX_RTO * 2), MAX_RTO);
+        sender.rto = MAX_RTO;
+        sender.rto = TcpSender::clamp_rto(sender.rto * 2);
+        assert_eq!(sender.rto, MAX_RTO);
+
+        // Interleave backoff doubling with fresh tiny samples: the RTO
+        // must stay inside the bounds throughout.
+        for round in 0..12 {
+            sender.rto = TcpSender::clamp_rto(sender.rto * 2);
+            assert!(
+                sender.rto >= MIN_RTO && sender.rto <= MAX_RTO,
+                "round {round}"
+            );
+            sender.update_rtt(t, SimDuration::from_micros(150));
+            assert!(sender.rto >= MIN_RTO, "round {round} after sample");
+        }
+    }
+
+    #[test]
+    fn rto_storm_trace_is_identical_across_threads() {
+        // Regression for the old STARLINK_TCP_DEBUG eprintln!: RTO
+        // diagnostics went straight to process stderr, so parallel
+        // workers interleaved them nondeterministically. Routed through
+        // the thread-local TraceSink, four concurrent storm-heavy runs
+        // must each observe byte-identical traces.
+        fn storm_trace() -> String {
+            obsv::install_trace(Box::new(obsv::RingSink::new(1 << 15)));
+            let (_, in_order, stats) = run_transfer(
+                CcAlgorithm::Reno,
+                50_000,
+                DataRate::from_mbps(10),
+                SimDuration::from_millis(10),
+                0.6,
+                SimTime::from_secs(600),
+            );
+            let mut sink = obsv::take_trace().expect("sink installed");
+            assert_eq!(in_order, 50_000);
+            assert!(stats.borrow().rto_count > 0, "storm must trigger RTOs");
+            sink.drain_jsonl().expect("ring sink buffers")
+        }
+
+        let reference = storm_trace();
+        assert!(
+            reference.contains("\"ev\":\"tcp_rto\""),
+            "trace must contain the re-plumbed RTO diagnostics"
+        );
+        let workers: Vec<_> = (0..4).map(|_| std::thread::spawn(storm_trace)).collect();
+        for worker in workers {
+            assert_eq!(
+                worker.join().expect("worker panicked"),
+                reference,
+                "trace diverged across threads"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! End-to-end determinism of the observability layer.
+//!
+//! Two properties anchor the `--trace` / `--metrics` harness artefacts:
+//!
+//! 1. **Byte identity** — running the same seeded scenario twice with a
+//!    trace sink installed produces byte-identical JSONL and metrics
+//!    JSON (every timestamp is sim-time; nothing consults the host).
+//! 2. **Conservation** — the per-link event counts in the trace agree
+//!    with netsim's own `LinkStats` conservation counters: enqueues
+//!    match accepted packets, deliveries match arrivals, drops match
+//!    the sum of the loss/overflow/fault/corruption counters, and at
+//!    quiescence every enqueued packet was delivered.
+//!
+//! Tracing must also be *invisible*: the traced run's digest equals an
+//! untraced run's digest, proving emission consumes no randomness.
+
+use starlink_core::obsv::{self, MetricsRegistry, TraceEvent};
+use starlink_simtest::{gen, run, RunOptions, RunReport};
+use std::collections::BTreeMap;
+
+/// Runs one generated scenario with a JSONL ring sink and a metrics
+/// registry installed; telemetry is disabled to keep the run on the
+/// packet network the invariants below reason about.
+fn run_traced_jsonl(seed: u64) -> (String, MetricsRegistry, RunReport) {
+    let mut scenario = gen::generate(seed);
+    scenario.telemetry = None;
+    assert!(
+        obsv::install_trace(Box::new(obsv::RingSink::new(1 << 20))).is_none(),
+        "a previous test leaked a sink"
+    );
+    assert!(obsv::metrics_begin().is_none());
+    let report = run(&scenario, &RunOptions::default());
+    let mut sink = obsv::take_trace().expect("installed above");
+    let registry = obsv::metrics_take().expect("installed above");
+    assert_eq!(sink.dropped_events(), 0, "ring too small for the scenario");
+    let jsonl = sink.drain_jsonl().unwrap_or_default();
+    (jsonl, registry, report)
+}
+
+#[test]
+fn twin_traced_runs_are_byte_identical() {
+    let (trace_a, reg_a, report_a) = run_traced_jsonl(23);
+    let (trace_b, reg_b, report_b) = run_traced_jsonl(23);
+    assert!(!trace_a.is_empty(), "scenario produced no events");
+    assert_eq!(trace_a, trace_b, "trace JSONL diverged between twin runs");
+    assert_eq!(
+        reg_a.to_json(0),
+        reg_b.to_json(0),
+        "metrics diverged between twin runs"
+    );
+    assert_eq!(report_a, report_b);
+
+    // Tracing is an observer: the digest of an untraced run matches.
+    let mut scenario = gen::generate(23);
+    scenario.telemetry = None;
+    let untraced = run(&scenario, &RunOptions::default());
+    assert_eq!(
+        untraced.digest, report_a.digest,
+        "enabling tracing changed the simulation"
+    );
+}
+
+#[test]
+fn per_link_trace_counts_match_conservation_counters() {
+    let mut scenario = gen::generate(7);
+    scenario.telemetry = None;
+    let (sink, shared) = obsv::CollectorSink::pair();
+    assert!(obsv::install_trace(Box::new(sink)).is_none());
+    assert!(obsv::metrics_begin().is_none());
+    let report = run(&scenario, &RunOptions::default());
+    obsv::take_trace();
+    let registry = obsv::metrics_take().expect("installed above");
+
+    let mut enq: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut del: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut dropped: BTreeMap<u64, u64> = BTreeMap::new();
+    for event in shared.borrow().iter() {
+        match *event {
+            TraceEvent::LinkEnqueue { link, .. } => *enq.entry(link).or_default() += 1,
+            TraceEvent::LinkDeliver { link, .. } => *del.entry(link).or_default() += 1,
+            TraceEvent::LinkDrop { link, .. } => *dropped.entry(link).or_default() += 1,
+            _ => {}
+        }
+    }
+
+    assert!(report.queue_drained);
+    for (i, link) in report.links.iter().enumerate() {
+        let i = i as u64;
+        let enq = enq.get(&i).copied().unwrap_or(0);
+        let del = del.get(&i).copied().unwrap_or(0);
+        let dropped = dropped.get(&i).copied().unwrap_or(0);
+        assert_eq!(enq, link.transmitted, "link {i}: enqueue events");
+        assert_eq!(del, link.delivered, "link {i}: deliver events");
+        assert_eq!(
+            dropped,
+            link.lost + link.overflowed + link.faulted + link.corrupted,
+            "link {i}: drop events"
+        );
+        // Drops happen at offer time, before a packet is enqueued, so at
+        // quiescence every enqueued packet must have been delivered.
+        assert_eq!(enq, del, "link {i}: enqueued == delivered at quiescence");
+    }
+
+    // The aggregate metrics counters tell the same story.
+    let transmitted: u64 = report.links.iter().map(|l| l.transmitted).sum();
+    let delivered: u64 = report.links.iter().map(|l| l.delivered).sum();
+    let drops: u64 = report
+        .links
+        .iter()
+        .map(|l| l.lost + l.overflowed + l.faulted + l.corrupted)
+        .sum();
+    assert_eq!(registry.counter("netsim.link.enqueued"), transmitted);
+    assert_eq!(registry.counter("netsim.link.delivered"), delivered);
+    let metric_drops: u64 = ["fault", "corrupt", "loss", "overflow", "zero_rate"]
+        .iter()
+        .map(|r| registry.counter(&format!("netsim.link.dropped.{r}")))
+        .sum();
+    assert_eq!(metric_drops, drops);
+}
