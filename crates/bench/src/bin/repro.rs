@@ -69,14 +69,19 @@
 //!
 //! `--out DIR` (default `target/repro`) receives `campaign_digest.txt`
 //! (the canonical dataset digest — diff it across kill/resume runs) and
-//! `campaign_coverage.txt` (the full coverage report).
+//! `campaign_coverage.txt` (the full coverage report). With `--service`
+//! the uploads travel as SLCS session frames through the collector
+//! server under its strained admission budget, so the report's shed
+//! column and typed REJECT accounting are exercised too.
 
 use starlink_bench::{capture_begin, capture_end, export_dat, report};
 use starlink_core::constellation::{Constellation, SnapshotCache};
 use starlink_core::experiments::*;
 use starlink_core::geo::{look_angles, Geodetic};
 use starlink_core::simcore::SimDuration;
-use starlink_core::telemetry::{Campaign, CampaignConfig, IngestOptions, ResilientCampaign};
+use starlink_core::telemetry::{
+    AdmissionConfig, Campaign, CampaignConfig, IngestOptions, ResilientCampaign,
+};
 use starlink_core::tle::ShellConfig;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -204,6 +209,10 @@ struct CampaignOpts {
     checkpoint: PathBuf,
     resume: bool,
     kill_at_day: Option<u64>,
+    /// Route uploads through the SLCS collector service under the
+    /// strained admission budget, so the coverage report exercises the
+    /// shed column.
+    service: bool,
     out: PathBuf,
 }
 
@@ -215,6 +224,7 @@ impl Default for CampaignOpts {
             checkpoint: PathBuf::from("target/repro/campaign.ckpt"),
             resume: false,
             kill_at_day: None,
+            service: false,
             out: PathBuf::from("target/repro"),
         }
     }
@@ -282,6 +292,7 @@ fn main() {
                     .unwrap_or_else(|| usage("--checkpoint needs a path"));
             }
             "--resume" => campaign.resume = true,
+            "--service" => campaign.service = true,
             "--kill-at-day" => {
                 campaign.kill_at_day = Some(
                     it.next()
@@ -402,7 +413,7 @@ fn usage(err: &str) -> ! {
     eprintln!("artefacts: all campaign {}", ARTEFACTS.join(" "));
     eprintln!(
         "campaign flags: [--days N] [--checkpoint-every N] [--checkpoint PATH] \
-         [--resume] [--kill-at-day D] [--out DIR]"
+         [--resume] [--kill-at-day D] [--service] [--out DIR]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -836,7 +847,11 @@ fn run_campaign(seed: u64, o: &CampaignOpts) -> Result<(), String> {
         ..CampaignConfig::default()
     };
     let users = Campaign::new(config.clone()).population().users.len();
-    let options = IngestOptions::fault_storm(users, o.days);
+    let mut options = IngestOptions::fault_storm(users, o.days);
+    if o.service {
+        options.service = Some(AdmissionConfig::overloaded());
+        println!("[campaign] service mode: SLCS sessions under the overloaded admission budget");
+    }
     let mut rc = if o.resume {
         let bytes = std::fs::read(&o.checkpoint)
             .map_err(|e| format!("cannot read checkpoint {}: {e}", o.checkpoint.display()))?;

@@ -51,6 +51,82 @@ impl DropReason {
     }
 }
 
+/// Why a collector-service frame was refused at admission.
+///
+/// Shared between the trace layer and the telemetry SLCS protocol: the
+/// wire REJECT code, the per-reason shed counters and the JSONL
+/// rendering all key off this one enum, so the three views can never
+/// disagree about what a rejection was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShedReason {
+    /// The session's admission token bucket was empty.
+    Throttled,
+    /// The bounded service queue was at its depth limit.
+    QueueFull,
+    /// The global in-flight byte budget was exhausted.
+    Overloaded,
+    /// The server is draining and refuses new batches.
+    Draining,
+    /// The frame referenced a session the server does not know.
+    UnknownSession,
+    /// The frame itself failed to decode (framing or CRC damage).
+    BadFrame,
+}
+
+impl ShedReason {
+    /// Every reason, in wire-tag order.
+    pub const ALL: [ShedReason; 6] = [
+        ShedReason::Throttled,
+        ShedReason::QueueFull,
+        ShedReason::Overloaded,
+        ShedReason::Draining,
+        ShedReason::UnknownSession,
+        ShedReason::BadFrame,
+    ];
+
+    /// Stable lowercase code used in JSONL output and protocol errors.
+    pub fn code(self) -> &'static str {
+        match self {
+            ShedReason::Throttled => "throttled",
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::Overloaded => "overloaded",
+            ShedReason::Draining => "draining",
+            ShedReason::UnknownSession => "unknown_session",
+            ShedReason::BadFrame => "bad_frame",
+        }
+    }
+
+    /// Small integer tag: folded into event digests and used as the
+    /// SLCS REJECT wire code.
+    pub fn tag(self) -> u64 {
+        match self {
+            ShedReason::Throttled => 1,
+            ShedReason::QueueFull => 2,
+            ShedReason::Overloaded => 3,
+            ShedReason::Draining => 4,
+            ShedReason::UnknownSession => 5,
+            ShedReason::BadFrame => 6,
+        }
+    }
+
+    /// Inverse of [`ShedReason::tag`], for wire decoding.
+    pub fn from_tag(tag: u64) -> Option<Self> {
+        ShedReason::ALL.into_iter().find(|r| r.tag() == tag)
+    }
+
+    /// The per-reason reject counter this reason increments.
+    pub fn metric(self) -> &'static str {
+        match self {
+            ShedReason::Throttled => "telemetry.admission.shed.throttled",
+            ShedReason::QueueFull => "telemetry.admission.shed.queue_full",
+            ShedReason::Overloaded => "telemetry.admission.shed.overloaded",
+            ShedReason::Draining => "telemetry.admission.shed.draining",
+            ShedReason::UnknownSession => "telemetry.admission.shed.unknown_session",
+            ShedReason::BadFrame => "telemetry.admission.shed.bad_frame",
+        }
+    }
+}
+
 /// Coarse TCP connection phase, used for state-transition events.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TcpPhase {
@@ -243,6 +319,39 @@ pub enum TraceEvent {
         /// New condition code.
         to: u64,
     },
+    /// The collector service admitted a batch frame.
+    AdmissionAccept {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// SLCS session identifier.
+        session: u64,
+        /// Batch sequence number within the session.
+        seq: u64,
+        /// Admitted payload size, bytes.
+        bytes: u64,
+        /// Service-queue depth (batches) after the admission.
+        queue_depth: u64,
+    },
+    /// The collector service refused a frame and shed its load.
+    AdmissionShed {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// SLCS session identifier (0 when the frame was undecodable).
+        session: u64,
+        /// Batch sequence number (0 when unreadable).
+        seq: u64,
+        /// Typed rejection reason.
+        reason: ShedReason,
+    },
+    /// Collector service-queue occupancy after a drain step.
+    ServerQueue {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Queued batches.
+        depth: u64,
+        /// Queued payload bytes.
+        backlog_bytes: u64,
+    },
 }
 
 impl TraceEvent {
@@ -262,7 +371,10 @@ impl TraceEvent {
             | TraceEvent::HandoverWindow { t_ns, .. }
             | TraceEvent::Outage { t_ns, .. }
             | TraceEvent::ChannelClear { t_ns }
-            | TraceEvent::WeatherChange { t_ns, .. } => t_ns,
+            | TraceEvent::WeatherChange { t_ns, .. }
+            | TraceEvent::AdmissionAccept { t_ns, .. }
+            | TraceEvent::AdmissionShed { t_ns, .. }
+            | TraceEvent::ServerQueue { t_ns, .. } => t_ns,
         }
     }
 
@@ -314,6 +426,25 @@ impl TraceEvent {
             TraceEvent::Outage { t_ns, until_ns } => (12, t_ns, until_ns, 0),
             TraceEvent::ChannelClear { t_ns } => (13, t_ns, 0, 0),
             TraceEvent::WeatherChange { t_ns, from, to } => (14, t_ns, from, to),
+            TraceEvent::AdmissionAccept {
+                t_ns, session, seq, ..
+            } => (15, t_ns, session, seq),
+            TraceEvent::AdmissionShed {
+                t_ns,
+                session,
+                seq,
+                reason,
+            } => (
+                16,
+                t_ns,
+                session,
+                seq.wrapping_mul(31).wrapping_add(reason.tag()),
+            ),
+            TraceEvent::ServerQueue {
+                t_ns,
+                depth,
+                backlog_bytes,
+            } => (17, t_ns, depth, backlog_bytes),
         }
     }
 
@@ -449,6 +580,40 @@ impl TraceEvent {
                     "{{\"t\":{t_ns},\"ev\":\"weather\",\"from\":{from},\"to\":{to}}}"
                 );
             }
+            TraceEvent::AdmissionAccept {
+                t_ns,
+                session,
+                seq,
+                bytes,
+                queue_depth,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t_ns},\"ev\":\"admission_accept\",\"session\":{session},\"seq\":{seq},\"bytes\":{bytes},\"queue_depth\":{queue_depth}}}"
+                );
+            }
+            TraceEvent::AdmissionShed {
+                t_ns,
+                session,
+                seq,
+                reason,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t_ns},\"ev\":\"admission_shed\",\"session\":{session},\"seq\":{seq},\"reason\":\"{}\"}}",
+                    reason.code()
+                );
+            }
+            TraceEvent::ServerQueue {
+                t_ns,
+                depth,
+                backlog_bytes,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t_ns},\"ev\":\"server_queue\",\"depth\":{depth},\"backlog_bytes\":{backlog_bytes}}}"
+                );
+            }
         }
     }
 
@@ -509,6 +674,54 @@ mod tests {
             token: 9,
         };
         assert_eq!(timer.digest_parts(), (3, 7, 4, 9));
+    }
+
+    #[test]
+    fn admission_events_render_and_digest_with_new_tags() {
+        let accept = TraceEvent::AdmissionAccept {
+            t_ns: 9,
+            session: 5,
+            seq: 2,
+            bytes: 321,
+            queue_depth: 4,
+        };
+        assert_eq!(
+            accept.to_json(),
+            "{\"t\":9,\"ev\":\"admission_accept\",\"session\":5,\"seq\":2,\"bytes\":321,\"queue_depth\":4}"
+        );
+        assert_eq!(accept.digest_parts(), (15, 9, 5, 2));
+        let shed = TraceEvent::AdmissionShed {
+            t_ns: 11,
+            session: 5,
+            seq: 3,
+            reason: ShedReason::QueueFull,
+        };
+        assert_eq!(
+            shed.to_json(),
+            "{\"t\":11,\"ev\":\"admission_shed\",\"session\":5,\"seq\":3,\"reason\":\"queue_full\"}"
+        );
+        assert_eq!(shed.digest_parts().0, 16);
+        let queue = TraceEvent::ServerQueue {
+            t_ns: 12,
+            depth: 2,
+            backlog_bytes: 900,
+        };
+        assert_eq!(
+            queue.to_json(),
+            "{\"t\":12,\"ev\":\"server_queue\",\"depth\":2,\"backlog_bytes\":900}"
+        );
+        assert_eq!(queue.digest_parts(), (17, 12, 2, 900));
+    }
+
+    #[test]
+    fn shed_reason_tags_round_trip() {
+        for reason in ShedReason::ALL {
+            assert_eq!(ShedReason::from_tag(reason.tag()), Some(reason));
+            assert!(!reason.code().is_empty());
+            assert!(reason.metric().starts_with("telemetry.admission.shed."));
+        }
+        assert_eq!(ShedReason::from_tag(0), None);
+        assert_eq!(ShedReason::from_tag(99), None);
     }
 
     #[test]

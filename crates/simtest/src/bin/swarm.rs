@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! swarm run [--seeds N] [--jobs J] [--base-seed B] [--out DIR]
-//!           [--inject-bug EVERY] [--shrink]
+//!           [--inject-bug EVERY] [--inject-shed-bug EVERY] [--shrink]
 //! swarm replay --seed S [--scenario FILE] [--inject-bug EVERY]
+//!              [--inject-shed-bug EVERY]
 //! ```
 //!
 //! `run` fans `N` seeds across `J` worker threads. Every seed is derived
@@ -28,8 +29,8 @@ fn main() {
         Some("run") => cmd_run(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         _ => {
-            eprintln!("usage: swarm run [--seeds N] [--jobs J] [--base-seed B] [--out DIR] [--inject-bug EVERY] [--shrink]");
-            eprintln!("       swarm replay --seed S [--scenario FILE] [--inject-bug EVERY]");
+            eprintln!("usage: swarm run [--seeds N] [--jobs J] [--base-seed B] [--out DIR] [--inject-bug EVERY] [--inject-shed-bug EVERY] [--shrink]");
+            eprintln!("       swarm replay --seed S [--scenario FILE] [--inject-bug EVERY] [--inject-shed-bug EVERY]");
             2
         }
     };
@@ -51,6 +52,7 @@ struct Flags {
     base_seed: u64,
     out: Option<String>,
     inject_bug: u64,
+    inject_shed_bug: u64,
     shrink: bool,
     seed: Option<u64>,
     scenario: Option<String>,
@@ -63,6 +65,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         base_seed: 42,
         out: None,
         inject_bug: 0,
+        inject_shed_bug: 0,
         shrink: false,
         seed: None,
         scenario: None,
@@ -80,6 +83,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--base-seed" => flags.base_seed = parse_u64(&value("--base-seed")?)?,
             "--out" => flags.out = Some(value("--out")?),
             "--inject-bug" => flags.inject_bug = parse_u64(&value("--inject-bug")?)?,
+            "--inject-shed-bug" => flags.inject_shed_bug = parse_u64(&value("--inject-shed-bug")?)?,
             "--shrink" => flags.shrink = true,
             "--seed" => flags.seed = Some(parse_u64(&value("--seed")?)?),
             "--scenario" => flags.scenario = Some(value("--scenario")?),
@@ -115,6 +119,7 @@ fn cmd_run(args: &[String]) -> i32 {
     };
     let opts = RunOptions {
         inject_bug_every: flags.inject_bug,
+        inject_shed_miscount_every: flags.inject_shed_bug,
     };
 
     // Workers pull indices from a shared counter and write results into
@@ -221,6 +226,7 @@ fn cmd_replay(args: &[String]) -> i32 {
     };
     let opts = RunOptions {
         inject_bug_every: flags.inject_bug,
+        inject_shed_miscount_every: flags.inject_shed_bug,
     };
 
     let scenario = match (&flags.scenario, flags.seed) {

@@ -7,7 +7,9 @@
 //! slow links, deep queues, loss bursts, router blackouts and every
 //! congestion-control algorithm.
 
-use crate::scenario::{ClientSpec, FaultSpec, LinkSpec, Scenario, TelemetrySpec, Workload};
+use crate::scenario::{
+    ClientSpec, CollectorSpec, FaultSpec, LinkSpec, Scenario, TelemetrySpec, Workload,
+};
 use starlink_channel::WeatherCondition;
 use starlink_simcore::SimRng;
 use starlink_transport::CcAlgorithm;
@@ -38,11 +40,27 @@ pub fn generate(seed: u64) -> Scenario {
         .collect();
 
     let mut trng = root.stream("telemetry");
-    let telemetry = trng.bernoulli(0.25).then(|| TelemetrySpec {
-        seed: trng.next_u64(),
-        days: trng.range_u64(1, 3),
-        pages_per_day_milli: trng.range_u64(2_000, 20_000),
-        fault_storm: trng.bernoulli(0.5),
+    let telemetry = trng.bernoulli(0.25).then(|| {
+        // Draw order matters: the collector draws come after every legacy
+        // telemetry draw so pre-collector seeds keep their sub-campaigns.
+        let seed = trng.next_u64();
+        let days = trng.range_u64(1, 3);
+        let pages_per_day_milli = trng.range_u64(2_000, 20_000);
+        let fault_storm = trng.bernoulli(0.5);
+        let collector = trng.bernoulli(0.5).then(|| CollectorSpec {
+            session_rate_milli: trng.range_u64(500, 5_000),
+            session_burst: trng.range_u64(1, 4),
+            queue_batches: trng.range_u64(2, 16),
+            global_bytes: trng.range_u64(4_000, 64_000),
+            drain_bytes_per_sec: trng.range_u64(200, 20_000),
+        });
+        TelemetrySpec {
+            seed,
+            days,
+            pages_per_day_milli,
+            fault_storm,
+            collector,
+        }
     });
 
     Scenario {
@@ -163,6 +181,20 @@ mod tests {
             // And survive the JSON round trip bit-exactly.
             assert_eq!(Scenario::from_json(&s.to_json()).unwrap(), s);
         }
+    }
+
+    #[test]
+    fn collector_dimension_appears_both_ways() {
+        let (mut with, mut without) = (false, false);
+        for seed in 0..400 {
+            match generate(seed).telemetry {
+                Some(t) if t.collector.is_some() => with = true,
+                Some(_) => without = true,
+                None => {}
+            }
+        }
+        assert!(with, "no generated scenario uploads through the service");
+        assert!(without, "no generated scenario keeps the direct path");
     }
 
     #[test]

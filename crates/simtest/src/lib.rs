@@ -30,7 +30,9 @@ pub mod shrink;
 
 pub use oracles::{check, check_twin, Violation};
 pub use run::{run, run_twin, RunOptions, RunReport};
-pub use scenario::{ClientSpec, FaultSpec, LinkSpec, Scenario, TelemetrySpec, Workload};
+pub use scenario::{
+    ClientSpec, CollectorSpec, FaultSpec, LinkSpec, Scenario, TelemetrySpec, Workload,
+};
 
 use starlink_simcore::SimRng;
 use starlink_transport::CcAlgorithm;

@@ -15,8 +15,10 @@
 //! - **Congestion control** — across all five algorithms the window never
 //!   fell below one MSS (the RTO collapse floor), `ssthresh` never fell
 //!   below two MSS, and no RTT sample was non-positive.
-//! - **Telemetry coverage** — `delivered + quarantined + lost ==
-//!   generated` for the ingestion sub-campaign.
+//! - **Telemetry coverage** — `delivered + quarantined + shed + lost ==
+//!   generated` for the ingestion sub-campaign (shed counts batches the
+//!   collector service refused with a typed REJECT and the spool gave up
+//!   on).
 //! - **Twin-run determinism** — two runs of the same scenario produce the
 //!   same event-trace digest and event count ([`check_twin`]).
 
@@ -84,7 +86,7 @@ pub enum Violation {
     TelemetryCoverage {
         /// Records generated.
         generated: u64,
-        /// delivered + quarantined + lost.
+        /// delivered + quarantined + shed + lost.
         accounted: u64,
     },
     /// Two runs of the same scenario diverged.
@@ -223,7 +225,7 @@ pub fn check(report: &RunReport) -> Vec<Violation> {
     }
 
     if let Some(t) = &report.telemetry {
-        let accounted = t.delivered + t.quarantined + t.lost;
+        let accounted = t.delivered + t.quarantined + t.shed + t.lost;
         if !t.sums_hold || accounted != t.generated {
             violations.push(Violation::TelemetryCoverage {
                 generated: t.generated,
@@ -273,6 +275,7 @@ mod tests {
             &scenario,
             &RunOptions {
                 inject_bug_every: 10,
+                ..RunOptions::default()
             },
         );
         let violations = check(&report);
@@ -284,6 +287,77 @@ mod tests {
         );
     }
 
+    /// A tiny network with a deliberately starved collector service: the
+    /// admission budget mirrors `AdmissionConfig::overloaded`, so the
+    /// fault-storm campaign both sheds and delivers.
+    fn overloaded_collector_scenario() -> crate::scenario::Scenario {
+        use crate::scenario::{
+            ClientSpec, CollectorSpec, LinkSpec, Scenario, TelemetrySpec, Workload,
+        };
+        let link = LinkSpec {
+            delay_us: 5_000,
+            rate_kbps: 2_000,
+            loss_ppm: 0,
+            queue_bytes: 64_000,
+        };
+        Scenario {
+            seed: 5,
+            horizon_ms: 1_000,
+            routers: 1,
+            clients: vec![ClientSpec {
+                up: link,
+                down: link,
+                workload: Workload::Ping {
+                    count: 3,
+                    interval_ms: 100,
+                    size: 64,
+                },
+            }],
+            faults: Vec::new(),
+            telemetry: Some(TelemetrySpec {
+                seed: 77,
+                days: 8,
+                pages_per_day_milli: 9_000,
+                fault_storm: true,
+                collector: Some(CollectorSpec {
+                    session_rate_milli: 200,
+                    session_burst: 1,
+                    queue_batches: 2,
+                    global_bytes: 2_048,
+                    drain_bytes_per_sec: 16,
+                }),
+            }),
+        }
+    }
+
+    #[test]
+    fn overloaded_collector_sheds_but_conserves() {
+        let report = run(&overloaded_collector_scenario(), &RunOptions::default());
+        let t = report.telemetry.expect("scenario has a sub-campaign");
+        assert!(t.shed > 0, "starved budget never shed: {t:?}");
+        assert!(t.delivered > 0, "nothing got through: {t:?}");
+        let violations = check(&report);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn oracle_catches_planted_shed_miscount() {
+        let report = run(
+            &overloaded_collector_scenario(),
+            &RunOptions {
+                inject_shed_miscount_every: 1,
+                ..RunOptions::default()
+            },
+        );
+        let violations = check(&report);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::TelemetryCoverage { .. })),
+            "expected a telemetry-coverage violation, got {violations:?}"
+        );
+    }
+
     #[test]
     fn violations_render() {
         let scenario = gen::generate(11);
@@ -291,6 +365,7 @@ mod tests {
             &scenario,
             &RunOptions {
                 inject_bug_every: 7,
+                ..RunOptions::default()
             },
         );
         for v in check(&report) {

@@ -32,6 +32,12 @@ pub struct RunOptions {
     /// `Network::debug_skip_link_delivered_every`). The oracles must
     /// catch this; it exists to prove they can.
     pub inject_bug_every: u64,
+    /// Test-only shed-accounting-bug injection for service-mode telemetry
+    /// sub-campaigns: every N-th shed-terminal batch skips its coverage
+    /// increment (see
+    /// `ResilientCampaign::debug_skip_shed_accounting_every`). The
+    /// coverage oracle must catch this; it exists to prove it can.
+    pub inject_shed_miscount_every: u64,
 }
 
 /// Ground truth for one TCP flow, snapshotted after quiescence.
@@ -60,7 +66,7 @@ pub struct FlowReport {
 /// Ground truth for the telemetry sub-campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TelemetryReport {
-    /// `delivered + quarantined + lost == generated` for every user.
+    /// `delivered + quarantined + shed + lost == generated` per user.
     pub sums_hold: bool,
     /// Records generated.
     pub generated: u64,
@@ -68,6 +74,8 @@ pub struct TelemetryReport {
     pub delivered: u64,
     /// Records quarantined.
     pub quarantined: u64,
+    /// Records shed by collector-service admission control.
+    pub shed: u64,
     /// Records lost.
     pub lost: u64,
 }
@@ -436,32 +444,41 @@ pub fn run(scenario: &Scenario, opts: &RunOptions) -> RunReport {
         network: net.stats(),
         flows,
         ping_replies,
-        telemetry: scenario.telemetry.as_ref().map(run_telemetry),
+        telemetry: scenario
+            .telemetry
+            .as_ref()
+            .map(|spec| run_telemetry(spec, opts)),
     }
 }
 
 /// Runs the telemetry sub-campaign and folds its coverage accounting.
-fn run_telemetry(spec: &TelemetrySpec) -> TelemetryReport {
+fn run_telemetry(spec: &TelemetrySpec, opts: &RunOptions) -> TelemetryReport {
     let config = CampaignConfig {
         seed: spec.seed,
         days: spec.days,
         pages_per_day: spec.pages_per_day_milli as f64 / 1_000.0,
         ..CampaignConfig::default()
     };
-    let options = if spec.fault_storm {
+    let mut options = if spec.fault_storm {
         // 28 matches the resilient campaign's fixed user population (the
         // same figure the repo's ingestion tests use).
         IngestOptions::fault_storm(28, spec.days)
     } else {
         IngestOptions::perfect()
     };
-    let collection = ResilientCampaign::new(config, options).run_to_end();
+    options.service = spec.collector.map(|c| c.config());
+    let mut campaign = ResilientCampaign::new(config, options);
+    if opts.inject_shed_miscount_every > 0 {
+        campaign.debug_skip_shed_accounting_every(opts.inject_shed_miscount_every);
+    }
+    let collection = campaign.run_to_end();
     let totals = collection.coverage.total();
     TelemetryReport {
         sums_hold: collection.coverage.sums_hold(),
         generated: totals.generated,
         delivered: totals.delivered,
         quarantined: totals.quarantined,
+        shed: totals.shed,
         lost: totals.lost,
     }
 }
@@ -509,6 +526,7 @@ mod tests {
             &scenario,
             &RunOptions {
                 inject_bug_every: 10,
+                ..RunOptions::default()
             },
         );
         let leaks = |r: &RunReport| {

@@ -394,6 +394,63 @@ impl FaultSpec {
     }
 }
 
+/// An admission-control budget for the collector service the telemetry
+/// sub-campaign uploads into. Fields mirror
+/// [`starlink_telemetry::AdmissionConfig`], kept integral for an exact
+/// JSON round-trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectorSpec {
+    /// Per-session token refill, milli-batches per virtual second.
+    pub session_rate_milli: u64,
+    /// Per-session bucket capacity, whole batches.
+    pub session_burst: u64,
+    /// Ingest-queue depth bound, batches.
+    pub queue_batches: u64,
+    /// Global in-flight byte budget.
+    pub global_bytes: u64,
+    /// Ingest-queue drain rate, bytes per virtual second.
+    pub drain_bytes_per_sec: u64,
+}
+
+impl CollectorSpec {
+    /// The admission configuration this spec describes.
+    pub fn config(&self) -> starlink_telemetry::AdmissionConfig {
+        starlink_telemetry::AdmissionConfig {
+            session_rate_milli: self.session_rate_milli,
+            session_burst: self.session_burst,
+            queue_batches: self.queue_batches,
+            global_bytes: self.global_bytes,
+            drain_bytes_per_sec: self.drain_bytes_per_sec,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            (
+                "session_rate_milli".into(),
+                Json::u64(self.session_rate_milli),
+            ),
+            ("session_burst".into(), Json::u64(self.session_burst)),
+            ("queue_batches".into(), Json::u64(self.queue_batches)),
+            ("global_bytes".into(), Json::u64(self.global_bytes)),
+            (
+                "drain_bytes_per_sec".into(),
+                Json::u64(self.drain_bytes_per_sec),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, ScenarioError> {
+        Ok(CollectorSpec {
+            session_rate_milli: field_u64(v, "session_rate_milli")?,
+            session_burst: field_u64(v, "session_burst")?,
+            queue_batches: field_u64(v, "queue_batches")?,
+            global_bytes: field_u64(v, "global_bytes")?,
+            drain_bytes_per_sec: field_u64(v, "drain_bytes_per_sec")?,
+        })
+    }
+}
+
 /// An optional telemetry-ingestion sub-campaign run alongside the packet
 /// simulation, checked by the coverage oracle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -406,6 +463,9 @@ pub struct TelemetrySpec {
     pub pages_per_day_milli: u64,
     /// Run the deterministic fault storm instead of a perfect uplink.
     pub fault_storm: bool,
+    /// Upload through the framed collector service under this admission
+    /// budget; `None` keeps the legacy direct path.
+    pub collector: Option<CollectorSpec>,
 }
 
 impl TelemetrySpec {
@@ -418,15 +478,29 @@ impl TelemetrySpec {
                 Json::u64(self.pages_per_day_milli),
             ),
             ("fault_storm".into(), Json::Bool(self.fault_storm)),
+            (
+                "collector".into(),
+                match self.collector {
+                    Some(c) => c.to_json(),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 
     fn from_json(v: &Json) -> Result<Self, ScenarioError> {
+        // Tolerate a missing key so artifacts saved before the collector
+        // dimension existed still replay (as direct-path campaigns).
+        let collector = match v.get("collector") {
+            None | Some(Json::Null) => None,
+            Some(c) => Some(CollectorSpec::from_json(c)?),
+        };
         Ok(TelemetrySpec {
             seed: field_u64(v, "seed")?,
             days: field_u64(v, "days")?,
             pages_per_day_milli: field_u64(v, "pages_per_day_milli")?,
             fault_storm: field_bool(v, "fault_storm")?,
+            collector,
         })
     }
 }
@@ -657,6 +731,13 @@ mod tests {
                 days: 2,
                 pages_per_day_milli: 8_500,
                 fault_storm: true,
+                collector: Some(CollectorSpec {
+                    session_rate_milli: 750,
+                    session_burst: 2,
+                    queue_batches: 4,
+                    global_bytes: 16_000,
+                    drain_bytes_per_sec: 2_000,
+                }),
             }),
         }
     }
@@ -681,6 +762,20 @@ mod tests {
             condition_code: 0,
         });
         assert!(Scenario::from_json(&s.to_json()).is_err());
+    }
+
+    #[test]
+    fn pre_collector_artifacts_still_load() {
+        // Saved failing-seed artifacts predating the collector dimension
+        // have no "collector" key; they must replay as direct-path runs.
+        let mut s = sample();
+        s.telemetry.as_mut().unwrap().collector = None;
+        let text = s
+            .to_json()
+            .replace(",\"collector\":null", "")
+            .replace("\"collector\":null,", "");
+        assert!(!text.contains("collector"));
+        assert_eq!(Scenario::from_json(&text).unwrap(), s);
     }
 
     #[test]

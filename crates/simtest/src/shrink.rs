@@ -127,6 +127,7 @@ mod tests {
             .expect("generator produces multi-client scenarios");
         let opts = RunOptions {
             inject_bug_every: 10,
+            ..RunOptions::default()
         };
         assert!(still_fails(&scenario, &opts));
         let small = shrink(&scenario, &opts, DEFAULT_BUDGET);

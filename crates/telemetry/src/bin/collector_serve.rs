@@ -1,0 +1,255 @@
+//! `collector-serve` — the collector as a real TCP service.
+//!
+//! ```text
+//! collector-serve --listen 127.0.0.1:7878 \
+//!     [--checkpoint PATH] [--checkpoint-every N] [--digest PATH] \
+//!     [--exit-on-drain] [--rate-milli R] [--burst B] [--queue Q] \
+//!     [--global-bytes G] [--drain-bps D]
+//! ```
+//!
+//! Speaks SLCS v1 over TCP: thread-per-connection, one reply frame per
+//! request frame, all admission state behind one lock so concurrent
+//! sessions see a single consistent budget. Wall-clock time maps onto the
+//! virtual clock as nanoseconds since process start; the admission layer
+//! tolerates the non-monotonic interleavings real threads produce.
+//!
+//! Durability: with `--checkpoint`, every `--checkpoint-every` admitted
+//! batches the collector state is sealed to a temp file and atomically
+//! renamed into place, and a checkpoint found at startup is resumed
+//! (SIGKILL + restart = at-most-one-checkpoint of lost acks, which the
+//! loader's verify pass re-sends; the final dataset is byte-identical to
+//! an uninterrupted run). A DRAIN frame seals a final checkpoint, writes
+//! the canonical dataset digest to `--digest`, and — with
+//! `--exit-on-drain` — stops the process once the reply is flushed.
+
+use starlink_telemetry::slcs::{peek_frame_len, SLCS_HEADER_LEN};
+use starlink_telemetry::SLCS_MAGIC;
+use starlink_telemetry::{
+    decode_server_checkpoint, encode_server_checkpoint, AdmissionConfig, Collector, CollectorServer,
+};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use starlink_simcore::SimTime;
+
+struct Opts {
+    listen: String,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: u64,
+    digest: Option<PathBuf>,
+    exit_on_drain: bool,
+    config: AdmissionConfig,
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: collector-serve --listen ADDR [--checkpoint PATH] [--checkpoint-every N]\n\
+         \x20      [--digest PATH] [--exit-on-drain] [--rate-milli R] [--burst B]\n\
+         \x20      [--queue Q] [--global-bytes G] [--drain-bps D]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        listen: String::new(),
+        checkpoint: None,
+        checkpoint_every: 64,
+        digest: None,
+        exit_on_drain: false,
+        config: AdmissionConfig::generous(),
+    };
+    let mut it = std::env::args().skip(1);
+    let num = |it: &mut dyn Iterator<Item = String>, name: &str| -> u64 {
+        it.next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage(&format!("{name} needs a number")))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--listen" => opts.listen = it.next().unwrap_or_else(|| usage("--listen needs ADDR")),
+            "--checkpoint" => {
+                opts.checkpoint = Some(PathBuf::from(
+                    it.next()
+                        .unwrap_or_else(|| usage("--checkpoint needs PATH")),
+                ))
+            }
+            "--checkpoint-every" => opts.checkpoint_every = num(&mut it, "--checkpoint-every"),
+            "--digest" => {
+                opts.digest = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| usage("--digest needs PATH")),
+                ))
+            }
+            "--exit-on-drain" => opts.exit_on_drain = true,
+            "--rate-milli" => opts.config.session_rate_milli = num(&mut it, "--rate-milli"),
+            "--burst" => opts.config.session_burst = num(&mut it, "--burst"),
+            "--queue" => opts.config.queue_batches = num(&mut it, "--queue"),
+            "--global-bytes" => opts.config.global_bytes = num(&mut it, "--global-bytes"),
+            "--drain-bps" => opts.config.drain_bytes_per_sec = num(&mut it, "--drain-bps"),
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag: {other}")),
+        }
+    }
+    if opts.listen.is_empty() {
+        usage("--listen is required");
+    }
+    opts
+}
+
+/// Everything the connection threads share.
+struct Core {
+    server: CollectorServer,
+    collector: Collector,
+    /// Admitted batches (accepted + duplicate + quarantined) at the last
+    /// checkpoint, for the every-N trigger.
+    admitted_at_checkpoint: u64,
+}
+
+impl Core {
+    fn admitted(&self) -> u64 {
+        let s = self.server.stats();
+        s.accepted + s.duplicates + s.quarantined
+    }
+}
+
+/// Seals the collector to `path` via temp-file + atomic rename, so a kill
+/// mid-write can never leave a torn checkpoint behind.
+fn write_checkpoint(path: &Path, collector: &Collector) -> std::io::Result<()> {
+    let blob = encode_server_checkpoint(collector);
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, &blob)?;
+    std::fs::rename(&tmp, path)
+}
+
+fn write_digest(path: &Path, collector: &Collector) -> std::io::Result<()> {
+    std::fs::write(path, format!("{:016x}\n", collector.dataset().digest()))
+}
+
+/// Reads one SLCS frame off the stream: fixed header first, then exactly
+/// the length the (validated) header claims — a hostile length never
+/// triggers a large allocation because `peek_frame_len` enforces the
+/// payload cap before we size the buffer.
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut header = [0u8; SLCS_HEADER_LEN];
+    stream.read_exact(&mut header)?;
+    let total = peek_frame_len(&header)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut frame = vec![0u8; total];
+    frame[..SLCS_HEADER_LEN].copy_from_slice(&header);
+    stream.read_exact(&mut frame[SLCS_HEADER_LEN..])?;
+    Ok(frame)
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    core: &Mutex<Core>,
+    opts: &Opts,
+    epoch: Instant,
+    drained: &AtomicBool,
+) -> std::io::Result<()> {
+    loop {
+        let frame = read_frame(&mut stream)?;
+        let now = SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
+        let is_drain = frame.get(4 + 2) == Some(&5) && frame.starts_with(&SLCS_MAGIC);
+        let reply = {
+            let mut core = core.lock().expect("no poisoned admission state");
+            let Core {
+                server, collector, ..
+            } = &mut *core;
+            let reply = server.handle_frame(collector, &frame, now);
+            let admitted = core.admitted();
+            if let Some(path) = &opts.checkpoint {
+                let due = opts.checkpoint_every > 0
+                    && admitted.saturating_sub(core.admitted_at_checkpoint)
+                        >= opts.checkpoint_every;
+                if due || is_drain {
+                    write_checkpoint(path, &core.collector)?;
+                    core.admitted_at_checkpoint = admitted;
+                }
+            }
+            if is_drain {
+                if let Some(path) = &opts.digest {
+                    write_digest(path, &core.collector)?;
+                }
+            }
+            reply
+        };
+        stream.write_all(&reply)?;
+        if is_drain {
+            stream.flush()?;
+            drained.store(true, Ordering::SeqCst);
+            return Ok(());
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_opts();
+    let mut core = Core {
+        server: CollectorServer::new(opts.config),
+        collector: Collector::new(),
+        admitted_at_checkpoint: 0,
+    };
+    if let Some(path) = &opts.checkpoint {
+        match std::fs::read(path) {
+            Ok(bytes) => match decode_server_checkpoint(&bytes) {
+                Ok(collector) => {
+                    eprintln!(
+                        "[serve] resumed {} batch(es) from {}",
+                        collector.accepted_batches(),
+                        path.display()
+                    );
+                    core.collector = collector;
+                }
+                Err(e) => {
+                    eprintln!("[serve] refusing checkpoint {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            },
+            Err(_) => eprintln!(
+                "[serve] no checkpoint at {}, starting fresh",
+                path.display()
+            ),
+        }
+    }
+
+    let listener = TcpListener::bind(&opts.listen)
+        .unwrap_or_else(|e| usage(&format!("cannot listen on {}: {e}", opts.listen)));
+    eprintln!("[serve] listening on {}", opts.listen);
+
+    let core = Arc::new(Mutex::new(core));
+    let opts = Arc::new(opts);
+    let drained = Arc::new(AtomicBool::new(false));
+    let epoch = Instant::now();
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("[serve] accept failed: {e}");
+                continue;
+            }
+        };
+        let (core, opts, drained) = (Arc::clone(&core), Arc::clone(&opts), Arc::clone(&drained));
+        std::thread::spawn(move || {
+            let result = serve_connection(stream, &core, &opts, epoch, &drained);
+            if let Err(e) = result {
+                // Disconnects are routine (the loader reconnects after a
+                // server kill test); only surface unexpected shapes.
+                if e.kind() != std::io::ErrorKind::UnexpectedEof {
+                    eprintln!("[serve] connection ended: {e}");
+                }
+            }
+            if drained.load(Ordering::SeqCst) && opts.exit_on_drain {
+                eprintln!("[serve] drained; exiting");
+                std::process::exit(0);
+            }
+        });
+    }
+}

@@ -22,7 +22,7 @@
 //!   fails its CRC and is refused, like any other damaged upload in
 //!   this crate.
 
-use crate::ingest::{IngestOptions, QuarantinedBatch, ResilientCampaign, SpooledBatch};
+use crate::ingest::{Collector, IngestOptions, QuarantinedBatch, ResilientCampaign, SpooledBatch};
 use crate::pipeline::CampaignConfig;
 use crate::wire::{
     crc32, decode_page, decode_speedtest, encode_page, encode_speedtest, WireError, WireReader,
@@ -33,8 +33,16 @@ use std::fmt;
 
 /// The four magic bytes every checkpoint starts with.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"SLCP";
-/// The current checkpoint format version.
-pub const CHECKPOINT_VERSION: u16 = 1;
+/// The current checkpoint format version. Version 2 added the blob-kind
+/// byte, the admission-service options, per-user shed counters, and the
+/// spool `rejected` flag.
+pub const CHECKPOINT_VERSION: u16 = 2;
+
+/// Blob-kind byte: a full resilient-campaign driver state.
+const KIND_CAMPAIGN: u8 = 1;
+/// Blob-kind byte: a standalone collector-server dataset state (what the
+/// `collector-serve` binary persists between kills).
+const KIND_SERVER: u8 = 2;
 
 /// Why a checkpoint could not be restored.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,6 +120,143 @@ fn intern_reason(code: &str) -> Result<&'static str, WireError> {
         })
 }
 
+/// Serialises the collector's complete state (dedup set, records,
+/// quarantine) — shared by the campaign blob and the standalone server
+/// blob so the two formats cannot drift.
+fn put_collector(w: &mut WireWriter, c: &Collector) {
+    w.u32(c.seen.len() as u32);
+    for &(user, seq) in &c.seen {
+        w.u64(user);
+        w.u64(seq);
+    }
+    w.u64(c.duplicates);
+    w.u32(c.pages.len() as u32);
+    for p in &c.pages {
+        encode_page(w, p);
+    }
+    w.u32(c.speedtests.len() as u32);
+    for s in &c.speedtests {
+        encode_speedtest(w, s);
+    }
+    w.u32(c.quarantine.len() as u32);
+    for q in &c.quarantine {
+        w.str(q.reason_code);
+        w.str(&q.detail);
+        put_opt_u64(w, q.user);
+        put_opt_u64(w, q.seq);
+        put_opt_u64(w, q.claimed_records);
+        w.u64(q.wire_len);
+        w.u64(q.at.as_nanos());
+    }
+}
+
+/// Inverse of [`put_collector`].
+fn get_collector(r: &mut WireReader<'_>) -> Result<Collector, CheckpointError> {
+    let mut c = Collector::new();
+    let seen = r.u32()? as usize;
+    for _ in 0..seen {
+        let user = r.u64()?;
+        let seq = r.u64()?;
+        c.seen.insert((user, seq));
+    }
+    c.duplicates = r.u64()?;
+    let pages = r.u32()? as usize;
+    for _ in 0..pages {
+        c.pages.push(decode_page(r)?);
+    }
+    let speedtests = r.u32()? as usize;
+    for _ in 0..speedtests {
+        c.speedtests.push(decode_speedtest(r)?);
+    }
+    let quarantined = r.u32()? as usize;
+    for _ in 0..quarantined {
+        let code = r.str()?;
+        let detail = r.str()?;
+        let user = get_opt_u64(r)?;
+        let seq = get_opt_u64(r)?;
+        let claimed_records = get_opt_u64(r)?;
+        let wire_len = r.u64()?;
+        let at = SimTime::from_nanos(r.u64()?);
+        c.quarantine.push(QuarantinedBatch {
+            reason_code: intern_reason(&code)?,
+            detail,
+            user,
+            seq,
+            claimed_records,
+            wire_len,
+            at,
+        });
+    }
+    Ok(c)
+}
+
+/// Verifies the trailing CRC and the magic/version/kind preamble, then
+/// returns a reader positioned at the blob body.
+fn open_blob<'a>(bytes: &'a [u8], kind: u8) -> Result<WireReader<'a>, CheckpointError> {
+    if bytes.len() < 4 {
+        return Err(WireError::Truncated {
+            needed: 4,
+            got: bytes.len(),
+        }
+        .into());
+    }
+    let body = &bytes[..bytes.len() - 4];
+    let stated = u32::from_le_bytes([
+        bytes[bytes.len() - 4],
+        bytes[bytes.len() - 3],
+        bytes[bytes.len() - 2],
+        bytes[bytes.len() - 1],
+    ]);
+    let computed = crc32(body);
+    if stated != computed {
+        return Err(WireError::ChecksumMismatch { computed, stated }.into());
+    }
+
+    let mut r = WireReader::new(body);
+    let magic = r.bytes(4)?;
+    if magic != CHECKPOINT_MAGIC {
+        let mut found = [0u8; 4];
+        found.copy_from_slice(magic);
+        return Err(WireError::BadMagic { found }.into());
+    }
+    let version = r.u16()?;
+    if version != CHECKPOINT_VERSION {
+        return Err(WireError::UnsupportedVersion { got: version }.into());
+    }
+    if r.u8()? != kind {
+        return Err(WireError::BadField {
+            field: "checkpoint-kind",
+        }
+        .into());
+    }
+    Ok(r)
+}
+
+/// Serialises a standalone collector's dataset state — the
+/// `collector-serve` binary's crash-recovery blob (SLCP v2, kind 2).
+pub fn encode_server_checkpoint(collector: &Collector) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.bytes(&CHECKPOINT_MAGIC);
+    w.u16(CHECKPOINT_VERSION);
+    w.u8(KIND_SERVER);
+    put_collector(&mut w, collector);
+    w.seal()
+}
+
+/// Rebuilds a collector from a server checkpoint blob, verifying the
+/// CRC first like every other artefact in this crate.
+pub fn decode_server_checkpoint(bytes: &[u8]) -> Result<Collector, CheckpointError> {
+    let mut r = open_blob(bytes, KIND_SERVER)?;
+    let collector = get_collector(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(WireError::TrailingBytes {
+            extra: r.remaining(),
+        }
+        .into());
+    }
+    Ok(collector)
+}
+
 impl ResilientCampaign {
     /// Serialises the complete driver state (valid at day boundaries —
     /// i.e. between [`ResilientCampaign::run_day`] calls) into a
@@ -120,6 +265,7 @@ impl ResilientCampaign {
         let mut w = WireWriter::new();
         w.bytes(&CHECKPOINT_MAGIC);
         w.u16(CHECKPOINT_VERSION);
+        w.u8(KIND_CAMPAIGN);
 
         let cfg = self.campaign.config();
         w.u64(cfg.seed);
@@ -132,6 +278,17 @@ impl ResilientCampaign {
         w.u64(self.options.base_backoff.as_nanos());
         w.u64(self.options.spool_days);
         w.f64(self.options.ack_loss);
+        match self.options.service {
+            None => w.u8(0),
+            Some(s) => {
+                w.u8(1);
+                w.u64(s.session_rate_milli);
+                w.u64(s.session_burst);
+                w.u64(s.queue_batches);
+                w.u64(s.global_bytes);
+                w.u64(s.drain_bytes_per_sec);
+            }
+        }
 
         w.u64(self.next_day);
 
@@ -145,6 +302,7 @@ impl ResilientCampaign {
             w.u64(cov.generated);
             w.u64(cov.delivered);
             w.u64(cov.quarantined);
+            w.u64(cov.shed);
             w.u64(cov.lost);
             w.u64(cov.duplicates);
             w.u64(cov.retries);
@@ -158,34 +316,12 @@ impl ResilientCampaign {
             w.u32(b.pages);
             w.u32(b.speedtests);
             w.u8(b.delivered as u8);
+            w.u8(b.rejected as u8);
             w.u32(b.bytes.len() as u32);
             w.bytes(&b.bytes);
         }
 
-        w.u32(self.collector.seen.len() as u32);
-        for &(user, seq) in &self.collector.seen {
-            w.u64(user);
-            w.u64(seq);
-        }
-        w.u64(self.collector.duplicates);
-        w.u32(self.collector.pages.len() as u32);
-        for p in &self.collector.pages {
-            encode_page(&mut w, p);
-        }
-        w.u32(self.collector.speedtests.len() as u32);
-        for s in &self.collector.speedtests {
-            encode_speedtest(&mut w, s);
-        }
-        w.u32(self.collector.quarantine.len() as u32);
-        for q in &self.collector.quarantine {
-            w.str(q.reason_code);
-            w.str(&q.detail);
-            put_opt_u64(&mut w, q.user);
-            put_opt_u64(&mut w, q.seq);
-            put_opt_u64(&mut w, q.claimed_records);
-            w.u64(q.wire_len);
-            w.u64(q.at.as_nanos());
-        }
+        put_collector(&mut w, &self.collector);
 
         w.seal()
     }
@@ -198,36 +334,7 @@ impl ResilientCampaign {
         options: IngestOptions,
         bytes: &[u8],
     ) -> Result<Self, CheckpointError> {
-        if bytes.len() < 4 {
-            return Err(WireError::Truncated {
-                needed: 4,
-                got: bytes.len(),
-            }
-            .into());
-        }
-        let body = &bytes[..bytes.len() - 4];
-        let stated = u32::from_le_bytes([
-            bytes[bytes.len() - 4],
-            bytes[bytes.len() - 3],
-            bytes[bytes.len() - 2],
-            bytes[bytes.len() - 1],
-        ]);
-        let computed = crc32(body);
-        if stated != computed {
-            return Err(WireError::ChecksumMismatch { computed, stated }.into());
-        }
-
-        let mut r = WireReader::new(body);
-        let magic = r.bytes(4)?;
-        if magic != CHECKPOINT_MAGIC {
-            let mut found = [0u8; 4];
-            found.copy_from_slice(magic);
-            return Err(WireError::BadMagic { found }.into());
-        }
-        let version = r.u16()?;
-        if version != CHECKPOINT_VERSION {
-            return Err(WireError::UnsupportedVersion { got: version }.into());
-        }
+        let mut r = open_blob(bytes, KIND_CAMPAIGN)?;
 
         let mismatch = |cond: bool, field: &'static str| {
             if cond {
@@ -248,6 +355,20 @@ impl ResilientCampaign {
         mismatch(r.u64()? != options.base_backoff.as_nanos(), "base_backoff")?;
         mismatch(r.u64()? != options.spool_days, "spool_days")?;
         mismatch(r.f64()?.to_bits() != options.ack_loss.to_bits(), "ack_loss")?;
+        match r.u8()? {
+            0 => mismatch(options.service.is_some(), "service")?,
+            1 => {
+                let Some(s) = options.service else {
+                    return Err(CheckpointError::Mismatch { field: "service" });
+                };
+                mismatch(r.u64()? != s.session_rate_milli, "service")?;
+                mismatch(r.u64()? != s.session_burst, "service")?;
+                mismatch(r.u64()? != s.queue_batches, "service")?;
+                mismatch(r.u64()? != s.global_bytes, "service")?;
+                mismatch(r.u64()? != s.drain_bytes_per_sec, "service")?;
+            }
+            _ => return Err(WireError::BadField { field: "service" }.into()),
+        }
 
         let next_day = r.u64()?;
 
@@ -272,6 +393,7 @@ impl ResilientCampaign {
             cov.generated = r.u64()?;
             cov.delivered = r.u64()?;
             cov.quarantined = r.u64()?;
+            cov.shed = r.u64()?;
             cov.lost = r.u64()?;
             cov.duplicates = r.u64()?;
             cov.retries = r.u64()?;
@@ -291,16 +413,15 @@ impl ResilientCampaign {
             let created_day = r.u64()?;
             let pages = r.u32()?;
             let speedtests = r.u32()?;
-            let delivered = match r.u8()? {
-                0 => false,
-                1 => true,
-                _ => {
-                    return Err(WireError::BadField {
-                        field: "spool delivered flag",
-                    }
-                    .into())
-                }
+            let flag = |b: u8| match b {
+                0 => Ok(false),
+                1 => Ok(true),
+                _ => Err(WireError::BadField {
+                    field: "spool flag",
+                }),
             };
+            let delivered = flag(r.u8()?)?;
+            let rejected = flag(r.u8()?)?;
             let len = r.u32()? as usize;
             let bytes = r.bytes(len)?.to_vec();
             spool.push(SpooledBatch {
@@ -310,45 +431,13 @@ impl ResilientCampaign {
                 pages,
                 speedtests,
                 delivered,
+                rejected,
                 bytes,
             });
         }
         fresh.spool = spool;
 
-        let seen = r.u32()? as usize;
-        for _ in 0..seen {
-            let user = r.u64()?;
-            let seq = r.u64()?;
-            fresh.collector.seen.insert((user, seq));
-        }
-        fresh.collector.duplicates = r.u64()?;
-        let pages = r.u32()? as usize;
-        for _ in 0..pages {
-            fresh.collector.pages.push(decode_page(&mut r)?);
-        }
-        let speedtests = r.u32()? as usize;
-        for _ in 0..speedtests {
-            fresh.collector.speedtests.push(decode_speedtest(&mut r)?);
-        }
-        let quarantined = r.u32()? as usize;
-        for _ in 0..quarantined {
-            let code = r.str()?;
-            let detail = r.str()?;
-            let user = get_opt_u64(&mut r)?;
-            let seq = get_opt_u64(&mut r)?;
-            let claimed_records = get_opt_u64(&mut r)?;
-            let wire_len = r.u64()?;
-            let at = SimTime::from_nanos(r.u64()?);
-            fresh.collector.quarantine.push(QuarantinedBatch {
-                reason_code: intern_reason(&code)?,
-                detail,
-                user,
-                seq,
-                claimed_records,
-                wire_len,
-                at,
-            });
-        }
+        fresh.collector = get_collector(&mut r)?;
         if r.remaining() != 0 {
             return Err(WireError::TrailingBytes {
                 extra: r.remaining(),
@@ -460,6 +549,89 @@ mod tests {
         let err = ResilientCampaign::resume(other, IngestOptions::perfect(), &blob)
             .expect_err("wrong shape must be refused");
         assert_eq!(err, CheckpointError::Mismatch { field: "days" });
+    }
+
+    #[test]
+    fn service_mode_resume_is_byte_identical() {
+        let mut options = IngestOptions::fault_storm(28, 8);
+        options.service = Some(crate::server::AdmissionConfig::overloaded());
+        let reference = ResilientCampaign::new(config(13), options.clone()).run_to_end();
+
+        // Interrupt after every single day.
+        let mut rc = ResilientCampaign::new(config(13), options.clone());
+        while !rc.is_finished() {
+            rc.run_day();
+            let blob = rc.checkpoint();
+            rc = ResilientCampaign::resume(config(13), options.clone(), &blob)
+                .expect("own checkpoint must restore");
+        }
+        let resumed = rc.finish();
+        assert_eq!(resumed.dataset.digest(), reference.dataset.digest());
+        assert_eq!(
+            resumed.coverage.total(),
+            reference.coverage.total(),
+            "shed accounting must survive kill/resume"
+        );
+    }
+
+    #[test]
+    fn service_budget_mismatches_are_refused() {
+        let mut options = IngestOptions::perfect();
+        options.service = Some(crate::server::AdmissionConfig::generous());
+        let rc = ResilientCampaign::new(config(1), options.clone());
+        let blob = rc.checkpoint();
+
+        let err = ResilientCampaign::resume(config(1), IngestOptions::perfect(), &blob)
+            .expect_err("dropping the service must be refused");
+        assert_eq!(err, CheckpointError::Mismatch { field: "service" });
+
+        let mut other = options.clone();
+        other.service = Some(crate::server::AdmissionConfig::overloaded());
+        let err = ResilientCampaign::resume(config(1), other, &blob)
+            .expect_err("different budgets must be refused");
+        assert_eq!(err, CheckpointError::Mismatch { field: "service" });
+
+        assert!(ResilientCampaign::resume(config(1), options, &blob).is_ok());
+    }
+
+    #[test]
+    fn server_checkpoint_round_trips_the_collector() {
+        let mut c = Collector::new();
+        c.submit(&crate::client::synthetic_batch(7, 0, 4), SimTime::ZERO);
+        c.submit(
+            &crate::client::synthetic_batch(7, 0, 4),
+            SimTime::from_secs(1),
+        );
+        c.submit(&[1, 2, 3], SimTime::from_secs(5));
+        let blob = encode_server_checkpoint(&c);
+        let back = decode_server_checkpoint(&blob).expect("own blob must restore");
+        assert_eq!(back.dataset().digest(), c.dataset().digest());
+        assert_eq!(back.accepted_batches(), 1);
+        assert_eq!(back.duplicates(), c.duplicates());
+        assert_eq!(back.quarantine().len(), 1);
+        assert_eq!(encode_server_checkpoint(&back), blob);
+
+        let mut bad = blob.clone();
+        bad[8] ^= 1;
+        assert!(matches!(
+            decode_server_checkpoint(&bad),
+            Err(CheckpointError::Wire(WireError::ChecksumMismatch { .. }))
+        ));
+
+        // A campaign blob is not a server blob, and vice versa.
+        let rc = ResilientCampaign::new(config(1), IngestOptions::perfect());
+        assert!(matches!(
+            decode_server_checkpoint(&rc.checkpoint()),
+            Err(CheckpointError::Wire(WireError::BadField {
+                field: "checkpoint-kind"
+            }))
+        ));
+        assert!(matches!(
+            ResilientCampaign::resume(config(1), IngestOptions::perfect(), &blob),
+            Err(CheckpointError::Wire(WireError::BadField {
+                field: "checkpoint-kind"
+            }))
+        ));
     }
 
     #[test]

@@ -15,9 +15,14 @@
 //! * the [`Collector`] validates every upload, de-duplicates re-sends
 //!   (lost ACKs make uploads idempotent, not exactly-once), and
 //!   quarantines malformed batches with machine-readable reasons;
+//! * optionally ([`IngestOptions::service`]) the collector fronts as a
+//!   [`crate::server::CollectorServer`]: uploads travel as SLCS frames
+//!   through admission control, and overload sheds batches with typed
+//!   REJECTs the client answers with backoff and spooling;
 //! * ground-truth accounting guarantees that, per user,
-//!   `delivered + quarantined + lost = generated` — the dataset's
-//!   coverage is *known*, never silently eroded.
+//!   `delivered + quarantined + shed + lost = generated` — the
+//!   dataset's coverage is *known*, never silently eroded, even when
+//!   the server is drowning.
 //!
 //! Determinism contract: the same `(CampaignConfig, IngestOptions)`
 //! yields a byte-identical final [`Dataset`] whether the campaign runs
@@ -26,6 +31,9 @@
 
 use crate::pipeline::{Campaign, CampaignConfig};
 use crate::records::{Dataset, PageRecord, SpeedtestRecord};
+use crate::retry::RetryPolicy;
+use crate::server::{AdmissionConfig, CollectorServer};
+use crate::slcs::{decode_frame, encode_frame, AckStatus, Frame};
 use crate::wire::{decode_batch, encode_batch, peek_header, RecordBatch, WireError};
 use starlink_faults::{CompiledPlan, FaultPlan, LinkRef};
 use starlink_netsim::{FaultEffect, LinkConfig, Network, NodeId, NodeKind};
@@ -54,6 +62,11 @@ pub struct IngestOptions {
     /// Probability that a successful upload's ACK is lost, causing an
     /// idempotent re-upload the next day.
     pub ack_loss: f64,
+    /// When set, uploads travel as SLCS frames through a
+    /// [`CollectorServer`] enforcing these admission budgets; when
+    /// `None` the collector is reached directly (the pre-service path,
+    /// kept byte-identical to the seed corpus).
+    pub service: Option<AdmissionConfig>,
 }
 
 impl IngestOptions {
@@ -66,6 +79,7 @@ impl IngestOptions {
             base_backoff: SimDuration::from_secs(30),
             spool_days: 3,
             ack_loss: 0.0,
+            service: None,
         }
     }
 
@@ -132,7 +146,14 @@ impl IngestOptions {
             base_backoff: SimDuration::from_secs(30),
             spool_days: 3,
             ack_loss: 0.05,
+            service: None,
         }
+    }
+
+    /// The retry policy this configuration implies — one definition for
+    /// every upload path (direct, service, and the real load client).
+    pub fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy::new(self.max_retries, self.base_backoff)
     }
 }
 
@@ -269,8 +290,10 @@ impl Collector {
 /// Ground-truth ingestion accounting for one user.
 ///
 /// Invariant (checked by [`CoverageReport::sums_hold`]):
-/// `delivered + quarantined + lost = generated` once the campaign
-/// finishes (in-flight spooled records are declared lost at the end).
+/// `delivered + quarantined + shed + lost = generated` once the
+/// campaign finishes (in-flight spooled records are declared lost at
+/// the end; records whose final chain was refused by admission control
+/// are declared shed).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UserCoverage {
     /// The user's random identifier.
@@ -283,6 +306,9 @@ pub struct UserCoverage {
     pub delivered: u64,
     /// Records in batches quarantined after in-flight corruption.
     pub quarantined: u64,
+    /// Records shed by server admission control: the batch's last upload
+    /// chain ended in a typed REJECT and the spool gave up on it.
+    pub shed: u64,
     /// Records lost outright (spool expiry or campaign end).
     pub lost: u64,
     /// Records re-delivered and deduplicated (lost ACKs); informational,
@@ -300,6 +326,7 @@ impl UserCoverage {
             generated: 0,
             delivered: 0,
             quarantined: 0,
+            shed: 0,
             lost: 0,
             duplicates: 0,
             retries: 0,
@@ -331,6 +358,8 @@ pub struct CoverageTotals {
     pub delivered: u64,
     /// Total records quarantined.
     pub quarantined: u64,
+    /// Total records shed by admission control.
+    pub shed: u64,
     /// Total records lost.
     pub lost: u64,
     /// Total duplicate records deduplicated.
@@ -344,6 +373,7 @@ impl CoverageTotals {
         self.generated += u.generated;
         self.delivered += u.delivered;
         self.quarantined += u.quarantined;
+        self.shed += u.shed;
         self.lost += u.lost;
         self.duplicates += u.duplicates;
         self.retries += u.retries;
@@ -394,12 +424,12 @@ impl CoverageReport {
         out
     }
 
-    /// Whether `delivered + quarantined + lost = generated` holds for
-    /// every user.
+    /// Whether `delivered + quarantined + shed + lost = generated` holds
+    /// for every user.
     pub fn sums_hold(&self) -> bool {
         self.rows
             .iter()
-            .all(|r| r.delivered + r.quarantined + r.lost == r.generated)
+            .all(|r| r.delivered + r.quarantined + r.shed + r.lost == r.generated)
     }
 
     /// Campaign-wide delivered fraction.
@@ -412,16 +442,25 @@ impl CoverageReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<12} {:>9} {:>9} {:>11} {:>7} {:>6} {:>8} {:>9}\n",
-            "city", "generated", "delivered", "quarantined", "lost", "dup", "retries", "coverage"
+            "{:<12} {:>9} {:>9} {:>11} {:>6} {:>7} {:>6} {:>8} {:>9}\n",
+            "city",
+            "generated",
+            "delivered",
+            "quarantined",
+            "shed",
+            "lost",
+            "dup",
+            "retries",
+            "coverage"
         ));
         let mut row = |label: &str, t: &CoverageTotals| {
             out.push_str(&format!(
-                "{:<12} {:>9} {:>9} {:>11} {:>7} {:>6} {:>8} {:>8.1}%\n",
+                "{:<12} {:>9} {:>9} {:>11} {:>6} {:>7} {:>6} {:>8} {:>8.1}%\n",
                 label,
                 t.generated,
                 t.delivered,
                 t.quarantined,
+                t.shed,
                 t.lost,
                 t.duplicates,
                 t.retries,
@@ -452,6 +491,11 @@ pub(crate) struct SpooledBatch {
     /// lost): the re-upload exists only to clear the client buffer, so
     /// no terminal outcome may count these records a second time.
     pub(crate) delivered: bool,
+    /// Whether the most recent upload chain ended in a typed server
+    /// REJECT: if the spool gives up on this batch it is accounted
+    /// *shed* (admission control refused it), not *lost* (the network
+    /// ate it).
+    pub(crate) rejected: bool,
     pub(crate) bytes: Vec<u8>,
 }
 
@@ -486,8 +530,9 @@ enum UploadOutcome {
     /// Damaged in flight and quarantined by the collector: terminal (the
     /// transport ACKed receipt, so the extension cleared its buffer).
     Quarantined { retries: u64 },
-    /// Every attempt failed: spool for the next day.
-    Exhausted { retries: u64 },
+    /// Every attempt failed: spool for the next day. `rejected` records
+    /// whether the chain's failures included a typed server REJECT.
+    Exhausted { retries: u64, rejected: bool },
     /// The user's node is down: no attempt possible, spool.
     Offline,
 }
@@ -514,6 +559,16 @@ pub struct ResilientCampaign {
     pub(crate) spool: Vec<SpooledBatch>,
     pub(crate) collector: Collector,
     pub(crate) coverage: Vec<UserCoverage>,
+    /// The admission front-end, present iff `options.service` is. Not
+    /// checkpointed: its transient state is reset at every day boundary
+    /// ([`CollectorServer::end_of_day`]), so a resumed run rebuilds an
+    /// equivalent server from the options.
+    pub(crate) server: Option<CollectorServer>,
+    /// Planted-bug hook (see
+    /// [`ResilientCampaign::debug_skip_shed_accounting_every`]).
+    debug_shed_miscount_every: u64,
+    /// Shed-terminal batches seen so far, driving the hook's cadence.
+    shed_events: u64,
 }
 
 impl std::fmt::Debug for ResilientCampaign {
@@ -581,6 +636,7 @@ impl ResilientCampaign {
             .map(|u| UserCoverage::new(u.id, u.city.code()))
             .collect();
 
+        let server = options.service.map(CollectorServer::new);
         ResilientCampaign {
             campaign,
             options,
@@ -590,6 +646,9 @@ impl ResilientCampaign {
             spool: Vec::new(),
             collector: Collector::new(),
             coverage,
+            server,
+            debug_shed_miscount_every: 0,
+            shed_events: 0,
         }
     }
 
@@ -625,6 +684,40 @@ impl ResilientCampaign {
         self.spool.len()
     }
 
+    /// The admission front-end, when running in service mode.
+    pub fn server(&self) -> Option<&CollectorServer> {
+        self.server.as_ref()
+    }
+
+    /// Planted-bug hook mirroring netsim's
+    /// `debug_skip_link_delivered_every`: every `every`-th batch that
+    /// terminates as *shed* is silently dropped from the coverage
+    /// ledger, breaking `delivered + quarantined + shed + lost ==
+    /// generated`. Exists so the simtest swarm can prove its oracles
+    /// catch shed miscounting; `0` (the default) disables it.
+    pub fn debug_skip_shed_accounting_every(&mut self, every: u64) {
+        self.debug_shed_miscount_every = every;
+    }
+
+    /// Applies the terminal outcome for a batch the spool is giving up
+    /// on: already-delivered batches cost nothing, rejected batches are
+    /// shed, the rest are lost.
+    fn account_terminal(&mut self, b: &SpooledBatch) {
+        if b.delivered {
+            return;
+        }
+        if b.rejected {
+            self.shed_events += 1;
+            let every = self.debug_shed_miscount_every;
+            if every > 0 && self.shed_events.is_multiple_of(every) {
+                return; // planted bug: the records vanish from the ledger
+            }
+            self.coverage[b.user_idx].shed += b.records();
+        } else {
+            self.coverage[b.user_idx].lost += b.records();
+        }
+    }
+
     /// Runs the next day: spool catch-up, then generation and upload for
     /// every user. Returns `false` if the campaign was already finished.
     pub fn run_day(&mut self) -> bool {
@@ -645,9 +738,7 @@ impl ResilientCampaign {
             }
         });
         for b in expired {
-            if !b.delivered {
-                self.coverage[b.user_idx].lost += b.records();
-            }
+            self.account_terminal(&b);
         }
 
         // Catch up the spool, then generate and upload today's batches,
@@ -676,9 +767,16 @@ impl ResilientCampaign {
                 pages: batch.pages.len() as u32,
                 speedtests: batch.speedtests.len() as u32,
                 delivered: false,
+                rejected: false,
                 bytes: encode_batch(&batch),
             };
             self.drive_batch(spooled, day);
+        }
+        if let Some(server) = &mut self.server {
+            // Day boundary: reset transient admission state so a
+            // checkpointed-and-resumed run (fresh server, re-HELLO)
+            // admits identically to a straight-through one.
+            server.end_of_day(SimTime::from_secs((day + 1) * 86_400));
         }
         self.next_day += 1;
         true
@@ -690,13 +788,18 @@ impl ResilientCampaign {
         self.finish()
     }
 
-    /// Declares the campaign over: anything still spooled is lost, and
-    /// the collected dataset, coverage and quarantine are returned.
+    /// Declares the campaign over: anything still spooled is accounted
+    /// terminally (shed if admission refused it, lost otherwise), the
+    /// service — if any — drains, and the collected dataset, coverage
+    /// and quarantine are returned.
     pub fn finish(mut self) -> Collection {
         for b in std::mem::take(&mut self.spool) {
-            if !b.delivered {
-                self.coverage[b.user_idx].lost += b.records();
-            }
+            self.account_terminal(&b);
+        }
+        if let Some(server) = &mut self.server {
+            let t = SimTime::from_secs(self.campaign.config().days * 86_400);
+            let drain = encode_frame(&Frame::Drain { session: 0 });
+            let _ = server.handle_frame(&mut self.collector, &drain, t);
         }
         Collection {
             dataset: self.collector.dataset(),
@@ -742,9 +845,11 @@ impl ResilientCampaign {
                 }
                 self.coverage[user_idx].retries += retries;
             }
-            UploadOutcome::Exhausted { retries } => {
+            UploadOutcome::Exhausted { retries, rejected } => {
                 self.coverage[user_idx].retries += retries;
-                self.spool.push(batch);
+                // The latest chain's verdict supersedes older ones; a
+                // chain with no attempts (Offline) preserves the flag.
+                self.spool.push(SpooledBatch { rejected, ..batch });
             }
             UploadOutcome::Offline => {
                 self.spool.push(batch);
@@ -781,7 +886,19 @@ impl ResilientCampaign {
     /// Attempts to upload one batch with bounded retries and exponential
     /// backoff, entirely in virtual time.
     fn upload(&mut self, batch: &SpooledBatch, day: u64) -> UploadOutcome {
+        if self.server.is_some() {
+            self.upload_service(batch, day)
+        } else {
+            self.upload_direct(batch, day)
+        }
+    }
+
+    /// The pre-service upload path: the collector is reached directly.
+    /// Draw order is frozen — this path reproduces the seed corpus
+    /// byte-for-byte.
+    fn upload_direct(&mut self, batch: &SpooledBatch, day: u64) -> UploadOutcome {
         let i = batch.user_idx;
+        let policy = self.options.retry_policy();
         let mut rng = self.upload_rng(i, batch.seq, day);
         let mut t =
             SimTime::from_secs(day * 86_400 + UPLOAD_SECS_OF_DAY + i as u64 * UPLOAD_STAGGER_SECS);
@@ -792,7 +909,10 @@ impl ResilientCampaign {
             let retries = attempt;
             if self.node_down(Self::user_node(i), t) {
                 // Went offline mid-chain: spool what's left.
-                return UploadOutcome::Exhausted { retries };
+                return UploadOutcome::Exhausted {
+                    retries,
+                    rejected: false,
+                };
             }
             let effect = self.link_effect(2 * i, t);
             let reachable = !effect.down && !self.node_down(Self::COLLECTOR, t);
@@ -822,11 +942,101 @@ impl ResilientCampaign {
                 }
                 // else: lost in flight, fall through to backoff.
             }
-            let scale = (1u64 << attempt.min(20)) as f64 * rng.range_f64(0.8, 1.2);
-            t = t.saturating_add(self.options.base_backoff.mul_f64(scale));
+            t = t.saturating_add(policy.backoff(attempt, &mut rng));
         }
         UploadOutcome::Exhausted {
             retries: u64::from(self.options.max_retries),
+            rejected: false,
+        }
+    }
+
+    /// The service-mode upload path: the same fault gates as
+    /// [`ResilientCampaign::upload_direct`], but every contact travels
+    /// as SLCS frames through the admission server, and typed REJECTs
+    /// extend the backoff chain instead of ending it.
+    fn upload_service(&mut self, batch: &SpooledBatch, day: u64) -> UploadOutcome {
+        let mut server = self.server.take().expect("service mode");
+        let out = self.upload_service_inner(&mut server, batch, day);
+        self.server = Some(server);
+        out
+    }
+
+    fn upload_service_inner(
+        &mut self,
+        server: &mut CollectorServer,
+        batch: &SpooledBatch,
+        day: u64,
+    ) -> UploadOutcome {
+        let i = batch.user_idx;
+        let session = i as u64 + 1;
+        let user = self.campaign.population().users[i].id;
+        let policy = self.options.retry_policy();
+        let mut rng = self.upload_rng(i, batch.seq, day);
+        let mut t =
+            SimTime::from_secs(day * 86_400 + UPLOAD_SECS_OF_DAY + i as u64 * UPLOAD_STAGGER_SECS);
+        if self.node_down(Self::user_node(i), t) {
+            return UploadOutcome::Offline;
+        }
+        let mut rejected = false;
+        for attempt in 0..=u64::from(self.options.max_retries) {
+            let retries = attempt;
+            if self.node_down(Self::user_node(i), t) {
+                return UploadOutcome::Exhausted { retries, rejected };
+            }
+            let effect = self.link_effect(2 * i, t);
+            let reachable = !effect.down && !self.node_down(Self::COLLECTOR, t);
+            // Server hint from a REJECT this attempt; stretches backoff.
+            let mut retry_after = SimDuration::ZERO;
+            if reachable {
+                // Transport-level corruption damages the SLTB payload
+                // *inside* a sound SLCS frame: framing survives (the
+                // session layer has its own integrity), admission runs
+                // normally, and the collector quarantines the payload.
+                let corrupt = rng.bernoulli(effect.corrupt);
+                let payload = if corrupt {
+                    damage(&batch.bytes, &mut rng)
+                } else {
+                    batch.bytes.clone()
+                };
+                if corrupt || !rng.bernoulli(effect.extra_loss) {
+                    // Open/refresh the session, then submit the batch.
+                    let hello = encode_frame(&Frame::Hello { session, user });
+                    let _ = server.handle_frame(&mut self.collector, &hello, t);
+                    let frame = encode_frame(&Frame::Batch {
+                        session,
+                        seq: batch.seq,
+                        payload,
+                    });
+                    let reply = server.handle_frame(&mut self.collector, &frame, t);
+                    match decode_frame(&reply).expect("server replies are well-formed") {
+                        Frame::Ack { status, .. } => {
+                            return match status {
+                                AckStatus::Accepted => {
+                                    if rng.bernoulli(self.options.ack_loss) {
+                                        UploadOutcome::AcceptedAckLost { retries }
+                                    } else {
+                                        UploadOutcome::Accepted { retries }
+                                    }
+                                }
+                                AckStatus::Duplicate => UploadOutcome::DuplicateCleared { retries },
+                                AckStatus::Quarantined => UploadOutcome::Quarantined { retries },
+                            };
+                        }
+                        Frame::Reject { retry_after_ns, .. } => {
+                            rejected = true;
+                            retry_after = SimDuration::from_nanos(retry_after_ns);
+                            // Fall through to backoff and retry.
+                        }
+                        _ => unreachable!("handle_frame replies only ACK or REJECT"),
+                    }
+                }
+                // else: lost in flight, fall through to backoff.
+            }
+            t = t.saturating_add(policy.backoff(attempt, &mut rng).max(retry_after));
+        }
+        UploadOutcome::Exhausted {
+            retries: u64::from(self.options.max_retries),
+            rejected,
         }
     }
 }
@@ -982,6 +1192,80 @@ mod tests {
         let total = collection.coverage.total();
         assert_eq!(total.lost, 0, "spool must catch up after churn");
         assert_eq!(total.delivered, total.generated);
+    }
+
+    #[test]
+    fn generous_service_delivers_everything() {
+        let config = small_config(21);
+        let mut direct = Campaign::new(config.clone()).run();
+        direct.sort_canonical();
+
+        let mut options = IngestOptions::perfect();
+        options.service = Some(AdmissionConfig::generous());
+        let collection = ResilientCampaign::new(config, options).run_to_end();
+        assert_eq!(
+            collection.dataset.digest(),
+            direct.digest(),
+            "a healthy service must be invisible to the dataset"
+        );
+        let total = collection.coverage.total();
+        assert_eq!(total.delivered, total.generated);
+        assert_eq!(total.shed + total.lost + total.quarantined, 0);
+        assert!(collection.coverage.sums_hold());
+    }
+
+    #[test]
+    fn overloaded_service_sheds_but_conserves_exactly() {
+        let config = small_config(33);
+        let mut options = IngestOptions::fault_storm(28, config.days);
+        options.service = Some(AdmissionConfig::overloaded());
+        let mut rc = ResilientCampaign::new(config, options);
+        while rc.run_day() {}
+        let server = rc.server().expect("service mode");
+        assert!(
+            server.stats().shed_total() > 0,
+            "overload must produce typed rejects"
+        );
+        let collection = rc.finish();
+        let total = collection.coverage.total();
+        assert!(total.shed > 0, "no records were terminally shed");
+        assert!(total.delivered > 0, "server starved every user");
+        // The headline invariant: overload degrades coverage, never the
+        // ledger. Every generated record is accounted exactly once.
+        assert!(collection.coverage.sums_hold());
+        assert_eq!(
+            total.delivered + total.quarantined + total.shed + total.lost,
+            total.generated
+        );
+    }
+
+    #[test]
+    fn overloaded_service_is_deterministic() {
+        let run = || {
+            let config = small_config(9);
+            let mut options = IngestOptions::fault_storm(28, config.days);
+            options.service = Some(AdmissionConfig::overloaded());
+            ResilientCampaign::new(config, options).run_to_end()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.dataset.digest(), b.dataset.digest());
+        assert_eq!(a.coverage.total(), b.coverage.total());
+    }
+
+    #[test]
+    fn planted_shed_miscount_breaks_the_ledger() {
+        let config = small_config(33);
+        let mut options = IngestOptions::fault_storm(28, config.days);
+        options.service = Some(AdmissionConfig::overloaded());
+        let mut rc = ResilientCampaign::new(config, options);
+        rc.debug_skip_shed_accounting_every(1);
+        while rc.run_day() {}
+        let collection = rc.finish();
+        assert!(
+            !collection.coverage.sums_hold(),
+            "the planted bug must be visible to the conservation check"
+        );
     }
 
     #[test]

@@ -22,22 +22,41 @@
 //!   retries with virtual-time backoff, offline spooling under churn,
 //!   and a validating, de-duplicating, quarantining [`ingest::Collector`]
 //!   with ground-truth coverage accounting;
+//! * [`retry`] — the shared capped, jittered, virtual-time exponential
+//!   backoff policy both the upload path and the session client use;
+//! * [`slcs`] — SLCS v1, the framed session protocol
+//!   (HELLO/BATCH/ACK/REJECT/DRAIN) batches travel inside when the
+//!   collector runs as a service;
+//! * [`server`] — the collector-as-a-service admission layer: per-session
+//!   token buckets, a bounded drain queue, a global byte budget, and
+//!   typed load shedding;
+//! * [`client`] — the extension side of a session, plus the
+//!   deterministic synthetic batches the load generator uploads;
 //! * [`checkpoint`] — checkpoint/resume for the day-major campaign
-//!   driver: a killed run resumes byte-identically.
+//!   driver and the standalone collector server: a killed run resumes
+//!   byte-identically.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod aschange;
 pub mod checkpoint;
+pub mod client;
 pub mod ingest;
 pub mod pipeline;
 pub mod population;
 pub mod records;
+pub mod retry;
+pub mod server;
+pub mod slcs;
 pub mod wire;
 
 pub use aschange::{ExitAs, AS_GOOGLE, AS_SPACEX};
-pub use checkpoint::{CheckpointError, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
+pub use checkpoint::{
+    decode_server_checkpoint, encode_server_checkpoint, CheckpointError, CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+};
+pub use client::{synthetic_batch, ServerReply, SessionClient};
 pub use ingest::{
     Collection, Collector, CoverageReport, CoverageTotals, IngestOptions, Ingested,
     QuarantinedBatch, ResilientCampaign, UserCoverage,
@@ -45,4 +64,7 @@ pub use ingest::{
 pub use pipeline::{Campaign, CampaignConfig, UserDay};
 pub use population::{IspClass, Population, User};
 pub use records::{Dataset, PageRecord, SpeedtestRecord};
+pub use retry::RetryPolicy;
+pub use server::{AdmissionConfig, CollectorServer, ServerStats};
+pub use slcs::{AckStatus, Frame, ShedReason, SLCS_HEADER_LEN, SLCS_MAGIC, SLCS_VERSION};
 pub use wire::{RecordBatch, WireError};

@@ -190,6 +190,220 @@ fn random_garbage_never_panics() {
     }
 }
 
+// ---------------------------------------------------------------------
+// SLCS session-frame layer
+// ---------------------------------------------------------------------
+
+use starlink_simcore::SimDuration;
+use starlink_telemetry::slcs::{
+    decode_frame, encode_frame, peek_frame_len, AckStatus, Frame, ShedReason, SLCS_HEADER_LEN,
+    SLCS_MAX_PAYLOAD,
+};
+use starlink_telemetry::{AdmissionConfig, Collector, CollectorServer};
+
+/// One valid session frame drawn from `rng`, covering every frame type.
+fn fuzz_frame(rng: &mut SimRng) -> Frame {
+    let session = rng.next_u64();
+    match rng.below(5) {
+        0 => Frame::Hello {
+            session,
+            user: rng.next_u64(),
+        },
+        1 => Frame::Batch {
+            session,
+            seq: rng.next_u64(),
+            payload: (0..rng.below(256)).map(|_| rng.below(256) as u8).collect(),
+        },
+        2 => Frame::Ack {
+            session,
+            seq: rng.next_u64(),
+            status: [
+                AckStatus::Accepted,
+                AckStatus::Duplicate,
+                AckStatus::Quarantined,
+            ][rng.index(3)],
+        },
+        3 => Frame::Reject {
+            session,
+            seq: rng.next_u64(),
+            reason: ShedReason::ALL[rng.index(ShedReason::ALL.len())],
+            retry_after_ns: rng.next_u64(),
+        },
+        _ => Frame::Drain { session },
+    }
+}
+
+/// Frame decode must be total with stable codes, like the batch layer.
+fn assert_frame_total(bytes: &[u8], original: &Frame) {
+    match decode_frame(bytes) {
+        Ok(decoded) => assert_eq!(
+            &decoded, original,
+            "frame decoder accepted a mutation as a different frame"
+        ),
+        Err(e) => {
+            let known = [
+                "bad-magic",
+                "unsupported-version",
+                "truncated",
+                "trailing-bytes",
+                "checksum-mismatch",
+                "bad-field",
+            ];
+            assert!(
+                known.contains(&e.code()),
+                "unknown error code {:?}",
+                e.code()
+            );
+        }
+    }
+    let _ = peek_frame_len(bytes);
+}
+
+#[test]
+fn slcs_truncation_at_every_boundary_yields_typed_errors() {
+    let mut rng = SimRng::seed_from(FUZZ_SEED).stream("slcs-truncate");
+    for _ in 0..32 {
+        let frame = fuzz_frame(&mut rng);
+        let wire = encode_frame(&frame);
+        assert_eq!(decode_frame(&wire).as_ref(), Ok(&frame), "round trip");
+        for cut in 0..wire.len() {
+            assert!(
+                decode_frame(&wire[..cut]).is_err(),
+                "accepted a {cut}-byte prefix of {} bytes",
+                wire.len()
+            );
+            assert_frame_total(&wire[..cut], &frame);
+            // The stream-framing peek must never claim more than the
+            // real frame occupies, and must be total on any prefix.
+            if let Ok(len) = peek_frame_len(&wire[..cut]) {
+                assert_eq!(len, wire.len(), "peek disagrees with the encoder");
+            }
+        }
+    }
+}
+
+#[test]
+fn slcs_bit_flips_never_panic_and_never_forge_a_frame() {
+    let mut rng = SimRng::seed_from(FUZZ_SEED).stream("slcs-bitflip");
+    for _ in 0..400 {
+        let frame = fuzz_frame(&mut rng);
+        let mut wire = encode_frame(&frame);
+        let flips = 1 + rng.below(16) as usize;
+        for _ in 0..flips {
+            let at = rng.index(wire.len());
+            wire[at] ^= 1 << rng.below(8);
+        }
+        assert_frame_total(&wire, &frame);
+    }
+}
+
+#[test]
+fn slcs_hostile_lengths_are_refused_before_any_read() {
+    // Forge the length field toward usize overflow: both the peek and
+    // the decoder must reject typed, never allocate or over-read.
+    let mut rng = SimRng::seed_from(FUZZ_SEED).stream("slcs-lengths");
+    let paylen_at = SLCS_HEADER_LEN - 4;
+    for _ in 0..128 {
+        let frame = fuzz_frame(&mut rng);
+        let mut wire = encode_frame(&frame);
+        let hostile = match rng.below(3) {
+            0 => u32::MAX - rng.below(1_024) as u32,
+            1 => (SLCS_MAX_PAYLOAD as u32) + 1 + rng.below(1_024) as u32,
+            _ => (SLCS_MAX_PAYLOAD as u32).saturating_sub(rng.below(1_024) as u32),
+        };
+        wire[paylen_at..paylen_at + 4].copy_from_slice(&hostile.to_le_bytes());
+        match peek_frame_len(&wire) {
+            Ok(len) => {
+                // Within the cap the peek may believe the claim, but it
+                // must account for header + payload + checksum exactly.
+                assert!(hostile as usize <= SLCS_MAX_PAYLOAD);
+                assert_eq!(len, SLCS_HEADER_LEN + hostile as usize + 4);
+            }
+            Err(e) => assert!(
+                matches!(e.code(), "bad-field" | "truncated"),
+                "peek produced {e:?}"
+            ),
+        }
+        assert!(decode_frame(&wire).is_err(), "hostile length decoded");
+        assert_frame_total(&wire, &frame);
+    }
+}
+
+#[test]
+fn slcs_garbage_never_panics() {
+    let mut rng = SimRng::seed_from(FUZZ_SEED).stream("slcs-garbage");
+    let sentinel = Frame::Drain { session: 0 };
+    for _ in 0..1_000 {
+        let len = rng.below(512) as usize;
+        let buf: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+        assert_frame_total(&buf, &sentinel);
+    }
+}
+
+#[test]
+fn hostile_streams_against_the_server_always_get_typed_replies() {
+    // Duplicate ACKs, replayed server replies, reply frames arriving as
+    // requests, garbage, and unknown sessions interleaved with real
+    // batches: the server must answer every input with exactly one
+    // well-formed ACK or REJECT and keep its queue bounded.
+    let mut rng = SimRng::seed_from(FUZZ_SEED).stream("slcs-server");
+    let config = AdmissionConfig::generous();
+    for _ in 0..8 {
+        let mut server = CollectorServer::new(config);
+        let mut collector = Collector::new();
+        let mut now = SimTime::ZERO;
+
+        let hello = encode_frame(&Frame::Hello {
+            session: 1,
+            user: 7,
+        });
+        let opened = server.handle_frame(&mut collector, &hello, now);
+        assert!(matches!(decode_frame(&opened), Ok(Frame::Ack { .. })));
+
+        let mut last_reply = opened;
+        let mut batch_seq = 0u64;
+        for _ in 0..96 {
+            now += SimDuration::from_millis(rng.below(2_000));
+            let input = match rng.below(5) {
+                // A legitimate upload on the open session.
+                0 => {
+                    batch_seq += 1;
+                    encode_frame(&Frame::Batch {
+                        session: 1,
+                        seq: batch_seq,
+                        payload: encode_batch(&fuzz_batch(&mut rng)),
+                    })
+                }
+                // The server's own previous reply, replayed back at it.
+                1 => last_reply.clone(),
+                // A random well-formed frame (often a reply type or an
+                // unknown session).
+                2 => encode_frame(&fuzz_frame(&mut rng)),
+                // A duplicate of an earlier batch seq.
+                3 => encode_frame(&Frame::Batch {
+                    session: 1,
+                    seq: batch_seq,
+                    payload: encode_batch(&fuzz_batch(&mut rng)),
+                }),
+                // Raw garbage.
+                _ => (0..rng.below(128)).map(|_| rng.below(256) as u8).collect(),
+            };
+            let reply = server.handle_frame(&mut collector, &input, now);
+            match decode_frame(&reply).expect("server replies must be well-formed") {
+                Frame::Ack { .. } | Frame::Reject { .. } => {}
+                other => panic!("server answered with a non-reply frame: {other:?}"),
+            }
+            last_reply = reply;
+            assert!(
+                server.queue_depth() <= config.queue_batches,
+                "queue bound violated"
+            );
+        }
+        // Reply-typed and garbage inputs all shed as bad frames.
+        assert!(server.stats().shed_by(ShedReason::BadFrame) > 0);
+    }
+}
+
 #[test]
 fn hostile_record_counts_cannot_overflow_framing() {
     // Forge headers whose record counts multiply past usize: the length

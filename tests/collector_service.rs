@@ -1,0 +1,239 @@
+//! SLCS sessions over the packet simulator (tier 1).
+//!
+//! The in-sim campaign hands frames to the server by function call; these
+//! tests close the remaining gap to the deployed shape by carrying the
+//! same frames as [`Payload::AppFrame`] packets across a simulated access
+//! link. Two properties:
+//!
+//! 1. A session client driving HELLO → BATCH… → ACK over packets lands
+//!    every batch in the collector, byte-intact.
+//! 2. A typed REJECT's `retry_after` hint is honoured end to end: the
+//!    client backs off by the hinted delay and the retried batch is then
+//!    admitted — graceful degradation, not silent loss.
+
+use starlink_core::netsim::{Ctx, Handler, LinkConfig, Network, NodeId, NodeKind, Packet, Payload};
+use starlink_core::simcore::{Bytes, SimDuration, SimTime};
+use starlink_core::telemetry::{
+    synthetic_batch, AckStatus, AdmissionConfig, Collector, CollectorServer, RetryPolicy,
+    ServerReply, SessionClient, ShedReason,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const FRAME_OVERHEAD: u64 = 28;
+const START_TOKEN: u64 = 0x534C_4353; // "SLCS"
+const RETRY_TOKEN: u64 = START_TOKEN + 1;
+
+/// The collector service as a netsim endpoint: every AppFrame in, one
+/// reply frame out, state shared with the test through an `Rc`.
+struct ServiceNode {
+    state: Rc<RefCell<ServiceState>>,
+}
+
+struct ServiceState {
+    server: CollectorServer,
+    collector: Collector,
+}
+
+impl Handler for ServiceNode {
+    fn on_packet(&mut self, ctx: &mut Ctx, packet: &Packet) {
+        let Payload::AppFrame { flow, bytes } = &packet.payload else {
+            return;
+        };
+        let mut state = self.state.borrow_mut();
+        let ServiceState { server, collector } = &mut *state;
+        let reply = server.handle_frame(collector, bytes, ctx.now);
+        ctx.send(
+            packet.src,
+            Bytes::new(reply.len() as u64 + FRAME_OVERHEAD),
+            Payload::AppFrame {
+                flow: *flow,
+                bytes: reply,
+            },
+        );
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx, _token: u64) {}
+}
+
+/// The extension side: opens the session on its start timer, uploads its
+/// batches one ACK at a time, and sleeps out any REJECT's retry hint.
+struct ClientNode {
+    peer: NodeId,
+    client: SessionClient,
+    batches: Vec<Vec<u8>>,
+    cursor: usize,
+    replies: Rc<RefCell<Vec<ServerReply>>>,
+}
+
+impl ClientNode {
+    fn send_frame(&self, ctx: &mut Ctx, frame: Vec<u8>) {
+        ctx.send(
+            self.peer,
+            Bytes::new(frame.len() as u64 + FRAME_OVERHEAD),
+            Payload::AppFrame {
+                flow: self.client.session(),
+                bytes: frame,
+            },
+        );
+    }
+
+    fn send_current(&self, ctx: &mut Ctx) {
+        if let Some(payload) = self.batches.get(self.cursor) {
+            let frame = self.client.batch(self.cursor as u64 + 1, payload.clone());
+            self.send_frame(ctx, frame);
+        }
+    }
+}
+
+impl Handler for ClientNode {
+    fn on_packet(&mut self, ctx: &mut Ctx, packet: &Packet) {
+        let Payload::AppFrame { bytes, .. } = &packet.payload else {
+            return;
+        };
+        let reply = self
+            .client
+            .parse_reply(bytes)
+            .expect("the server only sends well-formed replies");
+        self.replies.borrow_mut().push(reply);
+        match reply {
+            ServerReply::Ack { seq, .. } => {
+                // seq 0 acknowledges the HELLO; batch n acks as seq n.
+                self.cursor = seq as usize;
+                self.send_current(ctx);
+            }
+            ServerReply::Reject { retry_after_ns, .. } => {
+                let wait = SimDuration::from_nanos(retry_after_ns.saturating_add(1_000_000));
+                ctx.set_timer(ctx.now + wait, RETRY_TOKEN);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        match token {
+            START_TOKEN => self.send_frame(ctx, self.client.hello()),
+            RETRY_TOKEN => self.send_current(ctx),
+            _ => {}
+        }
+    }
+}
+
+/// Builds a two-host network, runs one client session against the given
+/// admission budget, and returns the service state plus observed replies.
+fn run_session(
+    config: AdmissionConfig,
+    batches: Vec<Vec<u8>>,
+) -> (Rc<RefCell<ServiceState>>, Rc<RefCell<Vec<ServerReply>>>) {
+    let mut net = Network::new(0xC011_EC70);
+    let client_host = net.add_node("extension", NodeKind::Host);
+    let server_host = net.add_node("collector", NodeKind::Host);
+    net.connect(client_host, server_host, LinkConfig::ethernet());
+    net.connect(server_host, client_host, LinkConfig::ethernet());
+    net.route_linear(&[client_host, server_host]);
+
+    let state = Rc::new(RefCell::new(ServiceState {
+        server: CollectorServer::new(config),
+        collector: Collector::new(),
+    }));
+    let replies = Rc::new(RefCell::new(Vec::new()));
+    net.attach_handler(
+        server_host,
+        Box::new(ServiceNode {
+            state: Rc::clone(&state),
+        }),
+    );
+    net.attach_handler(
+        client_host,
+        Box::new(ClientNode {
+            peer: server_host,
+            client: SessionClient::new(9, 42, RetryPolicy::new(4, SimDuration::from_secs(1))),
+            batches,
+            cursor: 0,
+            replies: Rc::clone(&replies),
+        }),
+    );
+    net.arm_timer(client_host, SimTime::ZERO, START_TOKEN);
+
+    net.run_until(SimTime::from_secs(60));
+    for n in 0..net.node_count() {
+        net.detach_handler(NodeId(n));
+    }
+    net.run_to_idle();
+    (state, replies)
+}
+
+#[test]
+fn slcs_session_over_packets_delivers_every_batch() {
+    let batches: Vec<Vec<u8>> = (1..=3).map(|seq| synthetic_batch(42, seq, 5)).collect();
+    let (state, replies) = run_session(AdmissionConfig::generous(), batches);
+
+    let state = state.borrow();
+    assert_eq!(state.server.stats().accepted, 3);
+    assert_eq!(state.server.stats().shed_total(), 0);
+    assert_eq!(state.collector.accepted_batches(), 3);
+    assert_eq!(state.collector.dataset().pages.len(), 15);
+
+    // HELLO ack + one ack per batch, all Accepted, in order.
+    let replies = replies.borrow();
+    let acked: Vec<u64> = replies
+        .iter()
+        .map(|r| match r {
+            ServerReply::Ack {
+                seq,
+                status: AckStatus::Accepted,
+            } => *seq,
+            other => panic!("unexpected reply {other:?}"),
+        })
+        .collect();
+    assert_eq!(acked, vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn reject_hint_paces_the_client_to_eventual_delivery() {
+    // One-batch bucket, one token per second: the second upload of the
+    // back-to-back pair must be throttled, then succeed after the hint.
+    let config = AdmissionConfig {
+        session_rate_milli: 1_000,
+        session_burst: 1,
+        queue_batches: 8,
+        global_bytes: 1 << 20,
+        drain_bytes_per_sec: 1 << 20,
+    };
+    let batches: Vec<Vec<u8>> = (1..=2).map(|seq| synthetic_batch(42, seq, 4)).collect();
+    let (state, replies) = run_session(config, batches);
+
+    let state = state.borrow();
+    assert_eq!(state.server.stats().accepted, 2, "both batches land");
+    assert!(
+        state.server.stats().shed_by(ShedReason::Throttled) >= 1,
+        "the tight bucket never throttled"
+    );
+    assert_eq!(state.collector.accepted_batches(), 2);
+
+    let replies = replies.borrow();
+    let rejects: Vec<&ServerReply> = replies
+        .iter()
+        .filter(|r| matches!(r, ServerReply::Reject { .. }))
+        .collect();
+    assert!(!rejects.is_empty());
+    for r in rejects {
+        let ServerReply::Reject {
+            reason,
+            retry_after_ns,
+            ..
+        } = r
+        else {
+            unreachable!()
+        };
+        assert_eq!(*reason, ShedReason::Throttled);
+        assert!(*retry_after_ns > 0, "throttle hints must be actionable");
+    }
+    // The final reply is the accepted retry of batch 2.
+    assert_eq!(
+        replies.last(),
+        Some(&ServerReply::Ack {
+            seq: 2,
+            status: AckStatus::Accepted
+        })
+    );
+}

@@ -15,6 +15,9 @@
 //! untraced run's digest, proving emission consumes no randomness.
 
 use starlink_core::obsv::{self, MetricsRegistry, TraceEvent};
+use starlink_core::telemetry::{
+    AdmissionConfig, CampaignConfig, Collection, IngestOptions, ResilientCampaign,
+};
 use starlink_simtest::{gen, run, RunOptions, RunReport};
 use std::collections::BTreeMap;
 
@@ -58,6 +61,71 @@ fn twin_traced_runs_are_byte_identical() {
         untraced.digest, report_a.digest,
         "enabling tracing changed the simulation"
     );
+}
+
+/// Runs an overloaded service-mode ingestion campaign with a JSONL ring
+/// sink and metrics installed, returning the artefacts and the result.
+fn run_traced_service_campaign() -> (String, MetricsRegistry, Collection) {
+    assert!(
+        obsv::install_trace(Box::new(obsv::RingSink::new(1 << 21))).is_none(),
+        "a previous test leaked a sink"
+    );
+    assert!(obsv::metrics_begin().is_none());
+    let collection = service_campaign().run_to_end();
+    let mut sink = obsv::take_trace().expect("installed above");
+    let registry = obsv::metrics_take().expect("installed above");
+    assert_eq!(sink.dropped_events(), 0, "ring too small for the campaign");
+    (sink.drain_jsonl().unwrap_or_default(), registry, collection)
+}
+
+fn service_campaign() -> ResilientCampaign {
+    let config = CampaignConfig {
+        seed: 61,
+        days: 10,
+        ..CampaignConfig::default()
+    };
+    let mut options = IngestOptions::fault_storm(28, 10);
+    options.service = Some(AdmissionConfig::overloaded());
+    ResilientCampaign::new(config, options)
+}
+
+#[test]
+fn twin_traced_service_campaigns_are_byte_identical() {
+    let (trace_a, reg_a, coll_a) = run_traced_service_campaign();
+    let (trace_b, reg_b, coll_b) = run_traced_service_campaign();
+    assert!(!trace_a.is_empty(), "campaign produced no events");
+    assert_eq!(trace_a, trace_b, "trace JSONL diverged between twin runs");
+    assert_eq!(
+        reg_a.to_json(0),
+        reg_b.to_json(0),
+        "metrics diverged between twin runs"
+    );
+    assert_eq!(coll_a.dataset.digest(), coll_b.dataset.digest());
+
+    // The admission layer showed up in the trace: accepts, typed sheds,
+    // and queue-depth samples all present.
+    for needle in [
+        "\"ev\":\"admission_accept\"",
+        "\"ev\":\"admission_shed\"",
+        "\"ev\":\"server_queue\"",
+    ] {
+        assert!(trace_a.contains(needle), "trace is missing {needle}");
+    }
+    // And the shed metrics agree with the campaign's own ledger.
+    let shed_metric: u64 = starlink_core::obsv::ShedReason::ALL
+        .iter()
+        .map(|r| reg_a.counter(r.metric()))
+        .sum();
+    assert!(shed_metric > 0, "overloaded campaign never shed");
+
+    // Tracing is an observer: an untraced run collects the same bytes.
+    let untraced = service_campaign().run_to_end();
+    assert_eq!(
+        untraced.dataset.digest(),
+        coll_a.dataset.digest(),
+        "enabling tracing changed the campaign"
+    );
+    assert_eq!(untraced.coverage.total(), coll_a.coverage.total());
 }
 
 #[test]
