@@ -67,6 +67,15 @@
 //! repro campaign --days 60 --checkpoint-every 30 --resume
 //! ```
 //!
+//! With `--storage-faults SEED` the checkpoint target becomes a
+//! crash-consistent generation chain (a `CheckpointStore` directory) and
+//! the disk underneath it injects a seeded mix of torn writes, bit rot,
+//! ENOSPC, and crash-around-rename faults. An injected power loss exits
+//! with code 13; rerun with `--resume` to recover from the newest
+//! generation that still resumes cleanly (damaged blobs are quarantined,
+//! never deleted). The recovered run's digest is byte-identical to an
+//! uninterrupted one.
+//!
 //! `--out DIR` (default `target/repro`) receives `campaign_digest.txt`
 //! (the canonical dataset digest — diff it across kill/resume runs) and
 //! `campaign_coverage.txt` (the full coverage report). With `--service`
@@ -78,7 +87,10 @@ use starlink_bench::{capture_begin, capture_end, export_dat, report};
 use starlink_core::constellation::{Constellation, SnapshotCache};
 use starlink_core::experiments::*;
 use starlink_core::geo::{look_angles, Geodetic};
-use starlink_core::simcore::SimDuration;
+use starlink_core::simcore::{SimDuration, SimTime};
+use starlink_core::telemetry::storage::{
+    sync_real_dir, CheckpointStore, FaultyDisk, RealDisk, StorageError, StorageFaultPlan,
+};
 use starlink_core::telemetry::{
     AdmissionConfig, Campaign, CampaignConfig, IngestOptions, ResilientCampaign,
 };
@@ -213,6 +225,11 @@ struct CampaignOpts {
     /// strained admission budget, so the coverage report exercises the
     /// shed column.
     service: bool,
+    /// Seed for a mixed disk-fault plan (torn write, bit rot, ENOSPC,
+    /// crash-around-rename). Switches checkpointing from the single
+    /// `--checkpoint` file to a crash-consistent [`CheckpointStore`]
+    /// chain rooted at that path (now a directory).
+    storage_faults: Option<u64>,
     out: PathBuf,
 }
 
@@ -225,10 +242,15 @@ impl Default for CampaignOpts {
             resume: false,
             kill_at_day: None,
             service: false,
+            storage_faults: None,
             out: PathBuf::from("target/repro"),
         }
     }
 }
+
+/// Exit code for an injected disk crash (power loss): the driver loop in
+/// CI reruns with `--resume`, mirroring `collector-serve`.
+const EXIT_INJECTED_CRASH: i32 = 13;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -293,6 +315,13 @@ fn main() {
             }
             "--resume" => campaign.resume = true,
             "--service" => campaign.service = true,
+            "--storage-faults" => {
+                campaign.storage_faults = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--storage-faults needs a seed")),
+                );
+            }
             "--kill-at-day" => {
                 campaign.kill_at_day = Some(
                     it.next()
@@ -413,7 +442,7 @@ fn usage(err: &str) -> ! {
     eprintln!("artefacts: all campaign {}", ARTEFACTS.join(" "));
     eprintln!(
         "campaign flags: [--days N] [--checkpoint-every N] [--checkpoint PATH] \
-         [--resume] [--kill-at-day D] [--service] [--out DIR]"
+         [--resume] [--kill-at-day D] [--service] [--storage-faults SEED] [--out DIR]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -837,9 +866,74 @@ fn render_bench_json(
     )
 }
 
+/// Writes the legacy single-file checkpoint durably: temp file, fsync,
+/// rename, parent-directory fsync — so a power cut mid-write leaves
+/// either the old checkpoint or the new one, never a torn file.
+fn write_checkpoint_file(path: &Path, blob: &[u8]) -> Result<(), String> {
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let tmp = path.with_extension("ckpt.tmp");
+    let write = || -> std::io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(blob)?;
+        f.sync_all()?;
+        Ok(())
+    };
+    write().map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| format!("cannot rename into {}: {e}", path.display()))?;
+    sync_real_dir(&dir).map_err(|e| format!("cannot sync {}: {e}", dir.display()))?;
+    Ok(())
+}
+
+/// Opens the crash-consistent checkpoint chain for `--storage-faults`
+/// mode: a [`CheckpointStore`] over the real filesystem with the seeded
+/// fault plan injected. An injected crash during recovery exits with
+/// [`EXIT_INJECTED_CRASH`] so a driver loop can rerun with `--resume`.
+fn open_campaign_store(
+    dir: &Path,
+    plan: StorageFaultPlan,
+    validate: &mut dyn FnMut(&[u8]) -> bool,
+) -> Result<(CheckpointStore<FaultyDisk>, Option<Vec<u8>>), String> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("cannot create checkpoint dir {}: {e}", dir.display()))?;
+    let mut disk = FaultyDisk::new(Box::new(RealDisk::new(dir)), plan);
+    // Injected faults are one-shot, so a non-crash failure (ENOSPC on
+    // the initial manifest seal, say) is worth a bounded retry on the
+    // same disk — exactly what the simtest recovery loop does.
+    for attempt in 0..5 {
+        match CheckpointStore::open_default(disk, validate, SimTime::ZERO) {
+            Ok((store, recovered)) => return Ok((store, recovered.map(|r| r.blob))),
+            Err(f) if f.error == StorageError::Crashed => {
+                println!("[campaign] injected disk crash during recovery; rerun with --resume");
+                std::process::exit(EXIT_INJECTED_CRASH);
+            }
+            Err(f) if attempt < 4 => {
+                println!(
+                    "[campaign] checkpoint store open shed ({}); retrying",
+                    f.error
+                );
+                disk = f.disk;
+            }
+            Err(f) => {
+                return Err(format!(
+                    "cannot open checkpoint store {}: {}",
+                    dir.display(),
+                    f.error
+                ))
+            }
+        }
+    }
+    unreachable!("loop returns or errors within 5 attempts");
+}
+
 /// Drives the fault-storm telemetry campaign through the resilient
 /// ingestion path with optional day-boundary checkpointing, simulated
-/// kills, and byte-identical resume.
+/// kills, seeded disk faults, and byte-identical resume.
 fn run_campaign(seed: u64, o: &CampaignOpts) -> Result<(), String> {
     let config = CampaignConfig {
         seed,
@@ -852,17 +946,61 @@ fn run_campaign(seed: u64, o: &CampaignOpts) -> Result<(), String> {
         options.service = Some(AdmissionConfig::overloaded());
         println!("[campaign] service mode: SLCS sessions under the overloaded admission budget");
     }
+
+    // With --storage-faults the single checkpoint file becomes a
+    // crash-consistent generation chain under the injected fault plan;
+    // --resume then recovers the newest blob that still resumes cleanly.
+    let mut store = None;
+    let mut recovered_blob = None;
+    if let Some(fault_seed) = o.storage_faults {
+        // Faults are one-shot per campaign: a --resume run opens the
+        // (possibly damaged) chain on a sound disk, because this process
+        // cannot know which seeded faults already fired before the crash
+        // — re-arming them would crash every recovery forever.
+        let plan = if o.resume {
+            StorageFaultPlan::new()
+        } else {
+            StorageFaultPlan::from_seed(fault_seed, 1, 1, 1, 2)
+        };
+        let (vconfig, voptions) = (config.clone(), options.clone());
+        let mut validate = move |blob: &[u8]| {
+            ResilientCampaign::resume(vconfig.clone(), voptions.clone(), blob).is_ok()
+        };
+        let (s, blob) = open_campaign_store(&o.checkpoint, plan, &mut validate)?;
+        store = Some(s);
+        recovered_blob = blob;
+    }
+
     let mut rc = if o.resume {
-        let bytes = std::fs::read(&o.checkpoint)
-            .map_err(|e| format!("cannot read checkpoint {}: {e}", o.checkpoint.display()))?;
-        let rc = ResilientCampaign::resume(config, options, &bytes)
-            .map_err(|e| format!("refusing checkpoint {}: {e}", o.checkpoint.display()))?;
-        println!(
-            "[campaign] resumed from {} at day {}",
-            o.checkpoint.display(),
-            rc.next_day()
-        );
-        rc
+        let bytes =
+            if o.storage_faults.is_some() {
+                recovered_blob
+            } else {
+                Some(std::fs::read(&o.checkpoint).map_err(|e| {
+                    format!("cannot read checkpoint {}: {e}", o.checkpoint.display())
+                })?)
+            };
+        match bytes {
+            Some(bytes) => {
+                let rc = ResilientCampaign::resume(config, options, &bytes)
+                    .map_err(|e| format!("refusing checkpoint {}: {e}", o.checkpoint.display()))?;
+                println!(
+                    "[campaign] resumed from {} at day {}",
+                    o.checkpoint.display(),
+                    rc.next_day()
+                );
+                rc
+            }
+            // The crash landed before any generation sealed: the chain
+            // is empty and the campaign restarts deterministically.
+            None => {
+                println!(
+                    "[campaign] no recoverable generation in {}; restarting from day 0",
+                    o.checkpoint.display()
+                );
+                ResilientCampaign::new(config, options)
+            }
+        }
     } else {
         ResilientCampaign::new(config, options)
     };
@@ -872,16 +1010,29 @@ fn run_campaign(seed: u64, o: &CampaignOpts) -> Result<(), String> {
         let day = rc.next_day();
         let due = o.checkpoint_every > 0 && day % o.checkpoint_every == 0 && !rc.is_finished();
         if due {
-            if let Some(dir) = o.checkpoint.parent() {
-                std::fs::create_dir_all(dir)
-                    .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            if let Some(store) = store.as_mut() {
+                match store.store(&rc.checkpoint(), SimTime::from_secs(day * 86_400)) {
+                    Ok(generation) => println!(
+                        "[campaign] checkpoint generation {generation} at day {day} -> {}",
+                        o.checkpoint.display()
+                    ),
+                    Err(StorageError::Crashed) => {
+                        println!(
+                            "[campaign] injected disk crash at day {day}; rerun with --resume"
+                        );
+                        std::process::exit(EXIT_INJECTED_CRASH);
+                    }
+                    // Anything else (ENOSPC, bit rot surfacing later) sheds
+                    // this attempt; the campaign continues un-poisoned.
+                    Err(e) => println!("[campaign] checkpoint shed at day {day}: {e}"),
+                }
+            } else {
+                write_checkpoint_file(&o.checkpoint, &rc.checkpoint())?;
+                println!(
+                    "[campaign] checkpoint at day {day} -> {}",
+                    o.checkpoint.display()
+                );
             }
-            std::fs::write(&o.checkpoint, rc.checkpoint())
-                .map_err(|e| format!("cannot write {}: {e}", o.checkpoint.display()))?;
-            println!(
-                "[campaign] checkpoint at day {day} -> {}",
-                o.checkpoint.display()
-            );
         }
         if let Some(kill) = o.kill_at_day {
             if day >= kill && !rc.is_finished() {

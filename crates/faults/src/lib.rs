@@ -16,6 +16,12 @@
 //! into two networks built with the same seed yields byte-identical
 //! behaviour — verified by the workspace's fault-replay test.
 //!
+//! The same compile-a-seeded-plan discipline extends beyond links:
+//! `starlink_telemetry::storage::StorageFaultPlan` injects one-shot
+//! *disk* faults (torn writes, bit rot, ENOSPC, crash-around-rename)
+//! into the checkpoint store, so storage robustness is swept by the
+//! identical scenario machinery.
+//!
 //! ```
 //! use starlink_faults::{FaultPlan, LinkRef};
 //! use starlink_netsim::{LinkConfig, Network, NodeKind};

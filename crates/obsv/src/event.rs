@@ -127,6 +127,58 @@ impl ShedReason {
     }
 }
 
+/// Why a checkpoint-store attempt was shed.
+///
+/// Shared between the trace layer and the telemetry storage stack: the
+/// typed `StorageError`, the per-reason shed counters and the JSONL
+/// rendering all key off this one enum, mirroring [`ShedReason`] for
+/// admission control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageShedReason {
+    /// The disk reported out-of-space for the attempt.
+    NoSpace,
+    /// A simulated power loss interrupted the attempt.
+    Crashed,
+    /// Any other I/O failure.
+    Io,
+}
+
+impl StorageShedReason {
+    /// Every reason, in tag order.
+    pub const ALL: [StorageShedReason; 3] = [
+        StorageShedReason::NoSpace,
+        StorageShedReason::Crashed,
+        StorageShedReason::Io,
+    ];
+
+    /// Stable lowercase code used in JSONL output.
+    pub fn code(self) -> &'static str {
+        match self {
+            StorageShedReason::NoSpace => "no_space",
+            StorageShedReason::Crashed => "crashed",
+            StorageShedReason::Io => "io",
+        }
+    }
+
+    /// Small integer tag folded into event digests.
+    pub fn tag(self) -> u64 {
+        match self {
+            StorageShedReason::NoSpace => 1,
+            StorageShedReason::Crashed => 2,
+            StorageShedReason::Io => 3,
+        }
+    }
+
+    /// The per-reason shed counter this reason increments.
+    pub fn metric(self) -> &'static str {
+        match self {
+            StorageShedReason::NoSpace => "telemetry.storage.shed.no_space",
+            StorageShedReason::Crashed => "telemetry.storage.shed.crashed",
+            StorageShedReason::Io => "telemetry.storage.shed.io",
+        }
+    }
+}
+
 /// Coarse TCP connection phase, used for state-transition events.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TcpPhase {
@@ -352,6 +404,44 @@ pub enum TraceEvent {
         /// Queued payload bytes.
         backlog_bytes: u64,
     },
+    /// The checkpoint store durably sealed a generation (file + directory
+    /// fsynced, manifest updated).
+    CheckpointWritten {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Generation number of the sealed checkpoint.
+        generation: u64,
+        /// Blob size, bytes.
+        bytes: u64,
+    },
+    /// Startup recovery adopted a checkpoint generation as last-good.
+    CheckpointRecovered {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Generation adopted.
+        generation: u64,
+        /// How many newer (damaged) generations the walk skipped past.
+        walked_back: u64,
+    },
+    /// A damaged blob was moved into the quarantine directory.
+    CheckpointQuarantined {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Generation of the quarantined file (0 for non-generation
+        /// files such as a damaged MANIFEST).
+        generation: u64,
+        /// Whether the quarantined file was the MANIFEST.
+        manifest: bool,
+    },
+    /// A checkpoint attempt was shed by a storage failure.
+    CheckpointShed {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Generation the attempt would have sealed.
+        generation: u64,
+        /// Typed storage failure.
+        reason: StorageShedReason,
+    },
 }
 
 impl TraceEvent {
@@ -374,7 +464,11 @@ impl TraceEvent {
             | TraceEvent::WeatherChange { t_ns, .. }
             | TraceEvent::AdmissionAccept { t_ns, .. }
             | TraceEvent::AdmissionShed { t_ns, .. }
-            | TraceEvent::ServerQueue { t_ns, .. } => t_ns,
+            | TraceEvent::ServerQueue { t_ns, .. }
+            | TraceEvent::CheckpointWritten { t_ns, .. }
+            | TraceEvent::CheckpointRecovered { t_ns, .. }
+            | TraceEvent::CheckpointQuarantined { t_ns, .. }
+            | TraceEvent::CheckpointShed { t_ns, .. } => t_ns,
         }
     }
 
@@ -445,6 +539,31 @@ impl TraceEvent {
                 depth,
                 backlog_bytes,
             } => (17, t_ns, depth, backlog_bytes),
+            TraceEvent::CheckpointWritten {
+                t_ns,
+                generation,
+                bytes,
+            } => (18, t_ns, generation, bytes),
+            TraceEvent::CheckpointRecovered {
+                t_ns,
+                generation,
+                walked_back,
+            } => (19, t_ns, generation, walked_back),
+            TraceEvent::CheckpointQuarantined {
+                t_ns,
+                generation,
+                manifest,
+            } => (20, t_ns, generation, manifest as u64),
+            TraceEvent::CheckpointShed {
+                t_ns,
+                generation,
+                reason,
+            } => (
+                21,
+                t_ns,
+                generation.wrapping_mul(31).wrapping_add(reason.tag()),
+                reason.tag(),
+            ),
         }
     }
 
@@ -614,6 +733,48 @@ impl TraceEvent {
                     "{{\"t\":{t_ns},\"ev\":\"server_queue\",\"depth\":{depth},\"backlog_bytes\":{backlog_bytes}}}"
                 );
             }
+            TraceEvent::CheckpointWritten {
+                t_ns,
+                generation,
+                bytes,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t_ns},\"ev\":\"checkpoint_written\",\"generation\":{generation},\"bytes\":{bytes}}}"
+                );
+            }
+            TraceEvent::CheckpointRecovered {
+                t_ns,
+                generation,
+                walked_back,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t_ns},\"ev\":\"checkpoint_recovered\",\"generation\":{generation},\"walked_back\":{walked_back}}}"
+                );
+            }
+            TraceEvent::CheckpointQuarantined {
+                t_ns,
+                generation,
+                manifest,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t_ns},\"ev\":\"checkpoint_quarantined\",\"generation\":{generation},\"manifest\":{}}}",
+                    manifest as u64
+                );
+            }
+            TraceEvent::CheckpointShed {
+                t_ns,
+                generation,
+                reason,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t_ns},\"ev\":\"checkpoint_shed\",\"generation\":{generation},\"reason\":\"{}\"}}",
+                    reason.code()
+                );
+            }
         }
     }
 
@@ -711,6 +872,59 @@ mod tests {
             "{\"t\":12,\"ev\":\"server_queue\",\"depth\":2,\"backlog_bytes\":900}"
         );
         assert_eq!(queue.digest_parts(), (17, 12, 2, 900));
+    }
+
+    #[test]
+    fn checkpoint_events_render_and_digest_with_new_tags() {
+        let written = TraceEvent::CheckpointWritten {
+            t_ns: 5,
+            generation: 3,
+            bytes: 1_024,
+        };
+        assert_eq!(
+            written.to_json(),
+            "{\"t\":5,\"ev\":\"checkpoint_written\",\"generation\":3,\"bytes\":1024}"
+        );
+        assert_eq!(written.digest_parts(), (18, 5, 3, 1024));
+        let recovered = TraceEvent::CheckpointRecovered {
+            t_ns: 6,
+            generation: 2,
+            walked_back: 1,
+        };
+        assert_eq!(
+            recovered.to_json(),
+            "{\"t\":6,\"ev\":\"checkpoint_recovered\",\"generation\":2,\"walked_back\":1}"
+        );
+        assert_eq!(recovered.digest_parts(), (19, 6, 2, 1));
+        let quarantined = TraceEvent::CheckpointQuarantined {
+            t_ns: 7,
+            generation: 3,
+            manifest: false,
+        };
+        assert_eq!(
+            quarantined.to_json(),
+            "{\"t\":7,\"ev\":\"checkpoint_quarantined\",\"generation\":3,\"manifest\":0}"
+        );
+        assert_eq!(quarantined.digest_parts(), (20, 7, 3, 0));
+        let shed = TraceEvent::CheckpointShed {
+            t_ns: 8,
+            generation: 4,
+            reason: StorageShedReason::NoSpace,
+        };
+        assert_eq!(
+            shed.to_json(),
+            "{\"t\":8,\"ev\":\"checkpoint_shed\",\"generation\":4,\"reason\":\"no_space\"}"
+        );
+        assert_eq!(shed.digest_parts().0, 21);
+    }
+
+    #[test]
+    fn storage_shed_reason_codes_and_metrics_are_stable() {
+        for reason in StorageShedReason::ALL {
+            assert!(!reason.code().is_empty());
+            assert!(reason.metric().starts_with("telemetry.storage.shed."));
+            assert!(reason.tag() > 0);
+        }
     }
 
     #[test]

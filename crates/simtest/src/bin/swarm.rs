@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! swarm run [--seeds N] [--jobs J] [--base-seed B] [--out DIR]
-//!           [--inject-bug EVERY] [--inject-shed-bug EVERY] [--shrink]
+//!           [--inject-bug EVERY] [--inject-shed-bug EVERY]
+//!           [--inject-manifest-bug EVERY] [--shrink]
 //! swarm replay --seed S [--scenario FILE] [--inject-bug EVERY]
-//!              [--inject-shed-bug EVERY]
+//!              [--inject-shed-bug EVERY] [--inject-manifest-bug EVERY]
 //! ```
 //!
 //! `run` fans `N` seeds across `J` worker threads. Every seed is derived
@@ -29,8 +30,8 @@ fn main() {
         Some("run") => cmd_run(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         _ => {
-            eprintln!("usage: swarm run [--seeds N] [--jobs J] [--base-seed B] [--out DIR] [--inject-bug EVERY] [--inject-shed-bug EVERY] [--shrink]");
-            eprintln!("       swarm replay --seed S [--scenario FILE] [--inject-bug EVERY] [--inject-shed-bug EVERY]");
+            eprintln!("usage: swarm run [--seeds N] [--jobs J] [--base-seed B] [--out DIR] [--inject-bug EVERY] [--inject-shed-bug EVERY] [--inject-manifest-bug EVERY] [--shrink]");
+            eprintln!("       swarm replay --seed S [--scenario FILE] [--inject-bug EVERY] [--inject-shed-bug EVERY] [--inject-manifest-bug EVERY]");
             2
         }
     };
@@ -53,6 +54,7 @@ struct Flags {
     out: Option<String>,
     inject_bug: u64,
     inject_shed_bug: u64,
+    inject_manifest_bug: u64,
     shrink: bool,
     seed: Option<u64>,
     scenario: Option<String>,
@@ -66,6 +68,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         out: None,
         inject_bug: 0,
         inject_shed_bug: 0,
+        inject_manifest_bug: 0,
         shrink: false,
         seed: None,
         scenario: None,
@@ -84,6 +87,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--out" => flags.out = Some(value("--out")?),
             "--inject-bug" => flags.inject_bug = parse_u64(&value("--inject-bug")?)?,
             "--inject-shed-bug" => flags.inject_shed_bug = parse_u64(&value("--inject-shed-bug")?)?,
+            "--inject-manifest-bug" => {
+                flags.inject_manifest_bug = parse_u64(&value("--inject-manifest-bug")?)?
+            }
             "--shrink" => flags.shrink = true,
             "--seed" => flags.seed = Some(parse_u64(&value("--seed")?)?),
             "--scenario" => flags.scenario = Some(value("--scenario")?),
@@ -120,6 +126,7 @@ fn cmd_run(args: &[String]) -> i32 {
     let opts = RunOptions {
         inject_bug_every: flags.inject_bug,
         inject_shed_miscount_every: flags.inject_shed_bug,
+        inject_manifest_miscount_every: flags.inject_manifest_bug,
     };
 
     // Workers pull indices from a shared counter and write results into
@@ -227,6 +234,7 @@ fn cmd_replay(args: &[String]) -> i32 {
     let opts = RunOptions {
         inject_bug_every: flags.inject_bug,
         inject_shed_miscount_every: flags.inject_shed_bug,
+        inject_manifest_miscount_every: flags.inject_manifest_bug,
     };
 
     let scenario = match (&flags.scenario, flags.seed) {

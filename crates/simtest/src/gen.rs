@@ -8,7 +8,8 @@
 //! congestion-control algorithm.
 
 use crate::scenario::{
-    ClientSpec, CollectorSpec, FaultSpec, LinkSpec, Scenario, TelemetrySpec, Workload,
+    ClientSpec, CollectorSpec, FaultSpec, LinkSpec, Scenario, StorageFaultSpec, TelemetrySpec,
+    Workload,
 };
 use starlink_channel::WeatherCondition;
 use starlink_simcore::SimRng;
@@ -54,12 +55,24 @@ pub fn generate(seed: u64) -> Scenario {
             global_bytes: trng.range_u64(4_000, 64_000),
             drain_bytes_per_sec: trng.range_u64(200, 20_000),
         });
+        // Storage draws come after the collector draws for the same
+        // reason the collector's come after the legacy ones: pre-storage
+        // seeds keep their sub-campaigns bit-for-bit.
+        let storage = trng.bernoulli(0.5).then(|| StorageFaultSpec {
+            seed: trng.next_u64(),
+            torn_writes: trng.below(2),
+            bit_rots: trng.below(2),
+            enospc: trng.below(2),
+            crashes: trng.below(3),
+            retain: trng.range_u64(1, 4),
+        });
         TelemetrySpec {
             seed,
             days,
             pages_per_day_milli,
             fault_storm,
             collector,
+            storage,
         }
     });
 
@@ -195,6 +208,27 @@ mod tests {
         }
         assert!(with, "no generated scenario uploads through the service");
         assert!(without, "no generated scenario keeps the direct path");
+    }
+
+    #[test]
+    fn storage_dimension_appears_both_ways_and_with_faults() {
+        let (mut with, mut without, mut faulted) = (false, false, false);
+        for seed in 0..400 {
+            match generate(seed).telemetry {
+                Some(t) if t.storage.is_some() => {
+                    with = true;
+                    let s = t.storage.unwrap();
+                    if s.torn_writes + s.bit_rots + s.enospc + s.crashes > 0 {
+                        faulted = true;
+                    }
+                }
+                Some(_) => without = true,
+                None => {}
+            }
+        }
+        assert!(with, "no generated scenario checkpoints to disk");
+        assert!(without, "no generated scenario skips persistence");
+        assert!(faulted, "no generated storage spec injects any fault");
     }
 
     #[test]

@@ -29,9 +29,10 @@ pub mod scenario;
 pub mod shrink;
 
 pub use oracles::{check, check_twin, Violation};
-pub use run::{run, run_twin, RunOptions, RunReport};
+pub use run::{run, run_twin, RunOptions, RunReport, StorageReport, TelemetryReport};
 pub use scenario::{
-    ClientSpec, CollectorSpec, FaultSpec, LinkSpec, Scenario, TelemetrySpec, Workload,
+    ClientSpec, CollectorSpec, FaultSpec, LinkSpec, Scenario, StorageFaultSpec, TelemetrySpec,
+    Workload,
 };
 
 use starlink_simcore::SimRng;

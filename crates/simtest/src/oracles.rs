@@ -19,6 +19,11 @@
 //!   generated` for the ingestion sub-campaign (shed counts batches the
 //!   collector service refused with a typed REJECT and the spool gave up
 //!   on).
+//! - **Storage recovery** — when the sub-campaign checkpoints through a
+//!   faultable disk, the chain's conservation counters hold (`written ==
+//!   live + pruned + quarantined`), recovery only ever adopts blobs the
+//!   campaign actually sealed, and the recovered run's final dataset is
+//!   byte-identical to an uninterrupted run.
 //! - **Twin-run determinism** — two runs of the same scenario produce the
 //!   same event-trace digest and event count ([`check_twin`]).
 
@@ -89,6 +94,25 @@ pub enum Violation {
         /// delivered + quarantined + shed + lost.
         accounted: u64,
     },
+    /// The checkpoint chain's conservation counters broke under injected
+    /// disk faults: `written != live + pruned + quarantined` at some
+    /// point during or after the run.
+    StorageConservation {
+        /// Final `written` counter.
+        written: u64,
+        /// Final live generation count.
+        live: u64,
+        /// Final `pruned` counter.
+        pruned: u64,
+        /// Final `quarantined` counter.
+        quarantined: u64,
+    },
+    /// Recovery adopted a blob that never matched a checkpoint the
+    /// campaign actually sealed.
+    StorageRecoveredUnknownGeneration,
+    /// The crashed-and-recovered run's final dataset diverged from the
+    /// uninterrupted reference run.
+    StorageDigestDivergence,
     /// Two runs of the same scenario diverged.
     TwinRunDivergence {
         /// First run's (digest, events).
@@ -148,6 +172,22 @@ impl fmt::Display for Violation {
             } => write!(
                 f,
                 "telemetry: {generated} generated but {accounted} accounted"
+            ),
+            Violation::StorageConservation {
+                written,
+                live,
+                pruned,
+                quarantined,
+            } => write!(
+                f,
+                "storage: {written} written != {live} live + {pruned} pruned + {quarantined} quarantined"
+            ),
+            Violation::StorageRecoveredUnknownGeneration => {
+                write!(f, "storage: recovery adopted a blob the campaign never sealed")
+            }
+            Violation::StorageDigestDivergence => write!(
+                f,
+                "storage: recovered run's dataset diverged from the uninterrupted reference"
             ),
             Violation::TwinRunDivergence { first, second } => write!(
                 f,
@@ -231,6 +271,22 @@ pub fn check(report: &RunReport) -> Vec<Violation> {
                 generated: t.generated,
                 accounted,
             });
+        }
+        if let Some(s) = &t.storage {
+            if !s.conservation_held {
+                violations.push(Violation::StorageConservation {
+                    written: s.written,
+                    live: s.live,
+                    pruned: s.pruned,
+                    quarantined: s.quarantined,
+                });
+            }
+            if !s.recovered_in_ledger {
+                violations.push(Violation::StorageRecoveredUnknownGeneration);
+            }
+            if !s.digest_matches {
+                violations.push(Violation::StorageDigestDivergence);
+            }
         }
     }
 
@@ -326,6 +382,7 @@ mod tests {
                     global_bytes: 2_048,
                     drain_bytes_per_sec: 16,
                 }),
+                storage: None,
             }),
         }
     }
@@ -338,6 +395,63 @@ mod tests {
         assert!(t.delivered > 0, "nothing got through: {t:?}");
         let violations = check(&report);
         assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    /// A scenario whose sub-campaign checkpoints every day through a
+    /// faulty disk: long enough (8 days) that seeded fault indices in
+    /// the plan's windows actually fire, with both write faults and
+    /// crash-around-rename faults in the plan.
+    fn checkpointed_faulty_storage_scenario() -> crate::scenario::Scenario {
+        use crate::scenario::StorageFaultSpec;
+        let mut s = overloaded_collector_scenario();
+        let t = s.telemetry.as_mut().unwrap();
+        t.storage = Some(StorageFaultSpec {
+            seed: 0xD15C_FA17,
+            torn_writes: 1,
+            bit_rots: 1,
+            enospc: 1,
+            crashes: 2,
+            retain: 2,
+        });
+        s
+    }
+
+    #[test]
+    fn faulty_storage_recovers_and_passes_all_oracles() {
+        let report = run(
+            &checkpointed_faulty_storage_scenario(),
+            &RunOptions::default(),
+        );
+        let t = report.telemetry.expect("scenario has a sub-campaign");
+        let s = t.storage.expect("scenario persists to disk");
+        assert!(s.written > 0, "chain never sealed: {s:?}");
+        assert!(
+            s.crashes > 0 && s.recoveries > 0,
+            "the seeded plan must actually crash and recover: {s:?}"
+        );
+        assert!(s.conservation_held, "{s:?}");
+        assert!(s.recovered_in_ledger, "{s:?}");
+        assert!(s.digest_matches, "{s:?}");
+        let violations = check(&report);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn oracle_catches_planted_manifest_miscount() {
+        let report = run(
+            &checkpointed_faulty_storage_scenario(),
+            &RunOptions {
+                inject_manifest_miscount_every: 1,
+                ..RunOptions::default()
+            },
+        );
+        let violations = check(&report);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::StorageConservation { .. })),
+            "expected a storage-conservation violation, got {violations:?}"
+        );
     }
 
     #[test]

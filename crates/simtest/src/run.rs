@@ -10,7 +10,7 @@
 //! the same scenario twice must produce byte-identical [`RunReport`]s;
 //! the twin-run oracle enforces exactly that.
 
-use crate::scenario::{FaultSpec, Scenario, TelemetrySpec, Workload};
+use crate::scenario::{FaultSpec, Scenario, StorageFaultSpec, TelemetrySpec, Workload};
 use starlink_channel::WeatherCondition;
 use starlink_faults::{FaultPlan, LinkRef};
 use starlink_netsim::{
@@ -18,7 +18,10 @@ use starlink_netsim::{
     Packet, Payload,
 };
 use starlink_simcore::{Bytes, DataRate, SimDuration, SimTime};
-use starlink_telemetry::{CampaignConfig, IngestOptions, ResilientCampaign};
+use starlink_telemetry::{
+    CampaignConfig, CheckpointStore, Collection, FaultyDisk, IngestOptions, ResilientCampaign,
+    SimDisk, StorageError,
+};
 use starlink_transport::tcp::TcpConfig;
 use starlink_transport::{CcAlgorithm, TcpReceiver, TcpSender, UdpBlaster, UdpSink};
 use std::cell::RefCell;
@@ -38,6 +41,13 @@ pub struct RunOptions {
     /// `ResilientCampaign::debug_skip_shed_accounting_every`). The
     /// coverage oracle must catch this; it exists to prove it can.
     pub inject_shed_miscount_every: u64,
+    /// Test-only manifest-miscount injection for storage-mode telemetry
+    /// sub-campaigns: every N-th manifest seal silently undercounts the
+    /// chain's `written` counter (see
+    /// `CheckpointStore::debug_manifest_miscount_every`). The storage
+    /// conservation oracle must catch this; it exists to prove it can
+    /// (`swarm --inject-manifest-bug`).
+    pub inject_manifest_miscount_every: u64,
 }
 
 /// Ground truth for one TCP flow, snapshotted after quiescence.
@@ -63,6 +73,35 @@ pub struct FlowReport {
     pub rto_count: u64,
 }
 
+/// Ground truth for the checkpoint chain a storage-mode sub-campaign
+/// drove through injected disk faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageReport {
+    /// Generations durably sealed (per the final manifest counters).
+    pub written: u64,
+    /// Generations live on disk at the end.
+    pub live: u64,
+    /// Generations removed by retention pruning.
+    pub pruned: u64,
+    /// Generations quarantined by recovery walks.
+    pub quarantined: u64,
+    /// Checkpoint attempts shed without killing the campaign.
+    pub shed: u64,
+    /// Injected power losses survived (store or recovery).
+    pub crashes: u64,
+    /// Restarts that recovered and resumed from a generation.
+    pub recoveries: u64,
+    /// `written == live + pruned + quarantined` held after every seal
+    /// and at the end.
+    pub conservation_held: bool,
+    /// Every blob recovery adopted was byte-identical to a checkpoint
+    /// the campaign actually produced.
+    pub recovered_in_ledger: bool,
+    /// The crashed-and-recovered run's final dataset digest equals the
+    /// uninterrupted reference run's.
+    pub digest_matches: bool,
+}
+
 /// Ground truth for the telemetry sub-campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TelemetryReport {
@@ -78,6 +117,8 @@ pub struct TelemetryReport {
     pub shed: u64,
     /// Records lost.
     pub lost: u64,
+    /// Checkpoint-chain accounting, when the spec persists to disk.
+    pub storage: Option<StorageReport>,
 }
 
 /// Everything the oracles inspect about one finished run.
@@ -467,11 +508,34 @@ fn run_telemetry(spec: &TelemetrySpec, opts: &RunOptions) -> TelemetryReport {
         IngestOptions::perfect()
     };
     options.service = spec.collector.map(|c| c.config());
-    let mut campaign = ResilientCampaign::new(config, options);
-    if opts.inject_shed_miscount_every > 0 {
-        campaign.debug_skip_shed_accounting_every(opts.inject_shed_miscount_every);
-    }
-    let collection = campaign.run_to_end();
+
+    let new_campaign = |config: &CampaignConfig, options: &IngestOptions| {
+        let mut campaign = ResilientCampaign::new(config.clone(), options.clone());
+        if opts.inject_shed_miscount_every > 0 {
+            campaign.debug_skip_shed_accounting_every(opts.inject_shed_miscount_every);
+        }
+        campaign
+    };
+
+    let (collection, storage) = match &spec.storage {
+        Some(storage) => {
+            // Uninterrupted reference first: the recovery oracle compares
+            // the faulted, restarted run's final dataset against it.
+            let reference = new_campaign(&config, &options).run_to_end();
+            let (collection, report) =
+                run_telemetry_storage(storage, &config, &options, opts, &new_campaign);
+            let digest_matches = collection.dataset.digest() == reference.dataset.digest();
+            (
+                collection,
+                Some(StorageReport {
+                    digest_matches,
+                    ..report
+                }),
+            )
+        }
+        None => (new_campaign(&config, &options).run_to_end(), None),
+    };
+
     let totals = collection.coverage.total();
     TelemetryReport {
         sums_hold: collection.coverage.sums_hold(),
@@ -480,6 +544,126 @@ fn run_telemetry(spec: &TelemetrySpec, opts: &RunOptions) -> TelemetryReport {
         quarantined: totals.quarantined,
         shed: totals.shed,
         lost: totals.lost,
+        storage,
+    }
+}
+
+/// Drives the campaign day by day, sealing every day-boundary checkpoint
+/// into a [`CheckpointStore`] over a seeded faulty [`SimDisk`]. Every
+/// injected power loss restarts the disk and re-opens the store: recovery
+/// walks back to the newest valid generation and the campaign resumes
+/// from its blob, re-running the lost days. Faults are one-shot, so the
+/// crash/restart loop always terminates. Returns the finished collection
+/// plus the chain's accounting (`digest_matches` is filled in by the
+/// caller, which owns the reference run).
+fn run_telemetry_storage(
+    storage: &StorageFaultSpec,
+    config: &CampaignConfig,
+    options: &IngestOptions,
+    opts: &RunOptions,
+    new_campaign: &dyn Fn(&CampaignConfig, &IngestOptions) -> ResilientCampaign,
+) -> (Collection, StorageReport) {
+    // The ledger of every checkpoint blob the campaign handed to the
+    // store. Recovery may only ever adopt one of these: a torn or rotted
+    // write differs from its ledger entry, but then the CRC inside the
+    // blob fails validation and the walk quarantines it instead.
+    let mut sealed: Vec<Vec<u8>> = Vec::new();
+    let mut crashes = 0u64;
+    let mut recoveries = 0u64;
+    let mut conservation_held = true;
+    let mut recovered_in_ledger = true;
+
+    let vconfig = config.clone();
+    let voptions = options.clone();
+    let mut validate = move |blob: &[u8]| {
+        ResilientCampaign::resume(vconfig.clone(), voptions.clone(), blob).is_ok()
+    };
+
+    let mut disk = Some(FaultyDisk::new(Box::new(SimDisk::new()), storage.plan()));
+    loop {
+        let this_disk = disk.take().expect("every path re-stows the disk");
+        let (mut store, recovered) = match CheckpointStore::open(
+            this_disk,
+            storage.retain.max(1),
+            &mut validate,
+            SimTime::ZERO,
+        ) {
+            Ok(opened) => opened,
+            Err(mut failure) => {
+                // A fault fired during recovery itself. Crashes need a
+                // disk restart; anything else (ENOSPC on the manifest
+                // seal) just retries — either way the one-shot fault is
+                // consumed, so this loop terminates.
+                if failure.error == StorageError::Crashed {
+                    crashes += 1;
+                    failure.disk.restart();
+                }
+                disk = Some(failure.disk);
+                continue;
+            }
+        };
+        if opts.inject_manifest_miscount_every > 0 {
+            store.debug_manifest_miscount_every(opts.inject_manifest_miscount_every);
+        }
+
+        let mut campaign = match &recovered {
+            Some(r) => {
+                recoveries += 1;
+                recovered_in_ledger &= sealed.iter().any(|blob| blob == &r.blob);
+                ResilientCampaign::resume(config.clone(), options.clone(), &r.blob)
+                    .expect("recovery validated this blob")
+            }
+            None => new_campaign(config, options),
+        };
+        if opts.inject_shed_miscount_every > 0 {
+            campaign.debug_skip_shed_accounting_every(opts.inject_shed_miscount_every);
+        }
+
+        let mut store = Some(store);
+        while campaign.run_day() {
+            let day = campaign.next_day();
+            let blob = campaign.checkpoint();
+            sealed.push(blob.clone());
+            let open_store = store.as_mut().expect("present until a crash");
+            match open_store.store(&blob, SimTime::from_secs(day * 86_400)) {
+                Ok(_) => {}
+                Err(StorageError::Crashed) => {
+                    crashes += 1;
+                    let mut d = store.take().expect("present until a crash").into_disk();
+                    d.restart();
+                    disk = Some(d);
+                    break;
+                }
+                // Shed (ENOSPC or plain I/O): the campaign keeps running
+                // without this generation.
+                Err(_) => {}
+            }
+            conservation_held &= store
+                .as_ref()
+                .expect("no crash")
+                .stats()
+                .conservation_holds();
+        }
+        let Some(store) = store else {
+            // Crashed mid-run: the restarted disk goes back around.
+            continue;
+        };
+
+        let stats = store.stats();
+        conservation_held &= stats.conservation_holds();
+        let report = StorageReport {
+            written: stats.written,
+            live: stats.live,
+            pruned: stats.pruned,
+            quarantined: stats.quarantined,
+            shed: stats.shed,
+            crashes,
+            recoveries,
+            conservation_held,
+            recovered_in_ledger,
+            digest_matches: true, // caller compares against the reference
+        };
+        return (campaign.finish(), report);
     }
 }
 

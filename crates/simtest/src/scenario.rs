@@ -451,6 +451,66 @@ impl CollectorSpec {
     }
 }
 
+/// Disk-fault injection for the sub-campaign's checkpoint chain. When
+/// present, the runner drives the campaign day by day, sealing every
+/// day-boundary checkpoint into a
+/// [`starlink_telemetry::CheckpointStore`] over a seeded faulty disk,
+/// and restarts + recovers after every injected power loss — the
+/// recovery oracle then checks the chain's conservation counters, that
+/// every adopted generation was a real sealed state, and that the final
+/// dataset matches an uninterrupted run. All-integer for an exact JSON
+/// round-trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageFaultSpec {
+    /// Seed the [`starlink_telemetry::StorageFaultPlan`] is drawn from.
+    pub seed: u64,
+    /// Torn writes to inject.
+    pub torn_writes: u64,
+    /// Silent single-bit flips to inject.
+    pub bit_rots: u64,
+    /// Out-of-space write failures to inject.
+    pub enospc: u64,
+    /// Crash-around-rename faults to inject.
+    pub crashes: u64,
+    /// Verified generations the chain retains on disk.
+    pub retain: u64,
+}
+
+impl StorageFaultSpec {
+    /// Compiles the spec into its deterministic fault plan.
+    pub fn plan(&self) -> starlink_telemetry::StorageFaultPlan {
+        starlink_telemetry::StorageFaultPlan::from_seed(
+            self.seed,
+            self.torn_writes,
+            self.bit_rots,
+            self.enospc,
+            self.crashes,
+        )
+    }
+
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("seed".into(), Json::u64(self.seed)),
+            ("torn_writes".into(), Json::u64(self.torn_writes)),
+            ("bit_rots".into(), Json::u64(self.bit_rots)),
+            ("enospc".into(), Json::u64(self.enospc)),
+            ("crashes".into(), Json::u64(self.crashes)),
+            ("retain".into(), Json::u64(self.retain)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, ScenarioError> {
+        Ok(StorageFaultSpec {
+            seed: field_u64(v, "seed")?,
+            torn_writes: field_u64(v, "torn_writes")?,
+            bit_rots: field_u64(v, "bit_rots")?,
+            enospc: field_u64(v, "enospc")?,
+            crashes: field_u64(v, "crashes")?,
+            retain: field_u64(v, "retain")?,
+        })
+    }
+}
+
 /// An optional telemetry-ingestion sub-campaign run alongside the packet
 /// simulation, checked by the coverage oracle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -466,6 +526,9 @@ pub struct TelemetrySpec {
     /// Upload through the framed collector service under this admission
     /// budget; `None` keeps the legacy direct path.
     pub collector: Option<CollectorSpec>,
+    /// Checkpoint the campaign through a faultable on-disk chain;
+    /// `None` skips persistence entirely.
+    pub storage: Option<StorageFaultSpec>,
 }
 
 impl TelemetrySpec {
@@ -485,6 +548,13 @@ impl TelemetrySpec {
                     None => Json::Null,
                 },
             ),
+            (
+                "storage".into(),
+                match self.storage {
+                    Some(s) => s.to_json(),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 
@@ -495,12 +565,19 @@ impl TelemetrySpec {
             None | Some(Json::Null) => None,
             Some(c) => Some(CollectorSpec::from_json(c)?),
         };
+        // Same tolerance for the storage dimension (PR 7): pre-storage
+        // artifacts replay as non-persistent campaigns.
+        let storage = match v.get("storage") {
+            None | Some(Json::Null) => None,
+            Some(s) => Some(StorageFaultSpec::from_json(s)?),
+        };
         Ok(TelemetrySpec {
             seed: field_u64(v, "seed")?,
             days: field_u64(v, "days")?,
             pages_per_day_milli: field_u64(v, "pages_per_day_milli")?,
             fault_storm: field_bool(v, "fault_storm")?,
             collector,
+            storage,
         })
     }
 }
@@ -738,6 +815,14 @@ mod tests {
                     global_bytes: 16_000,
                     drain_bytes_per_sec: 2_000,
                 }),
+                storage: Some(StorageFaultSpec {
+                    seed: 4_242,
+                    torn_writes: 1,
+                    bit_rots: 1,
+                    enospc: 0,
+                    crashes: 2,
+                    retain: 2,
+                }),
             }),
         }
     }
@@ -775,6 +860,21 @@ mod tests {
             .replace(",\"collector\":null", "")
             .replace("\"collector\":null,", "");
         assert!(!text.contains("collector"));
+        assert_eq!(Scenario::from_json(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn pre_storage_artifacts_still_load() {
+        // Same tolerance one dimension later: artifacts predating the
+        // storage dimension have no "storage" key and must replay as
+        // non-persistent campaigns.
+        let mut s = sample();
+        s.telemetry.as_mut().unwrap().storage = None;
+        let text = s
+            .to_json()
+            .replace(",\"storage\":null", "")
+            .replace("\"storage\":null,", "");
+        assert!(!text.contains("\"storage\""));
         assert_eq!(Scenario::from_json(&text).unwrap(), s);
     }
 

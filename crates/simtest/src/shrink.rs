@@ -106,6 +106,26 @@ pub fn shrink(scenario: &Scenario, opts: &RunOptions, budget: usize) -> Scenario
             }
         }
 
+        // Pass 5: simplify the telemetry sub-campaign — first drop the
+        // storage dimension, then the whole sub-campaign — when the
+        // failure isn't theirs.
+        if let Some(t) = best.telemetry {
+            if t.storage.is_some() {
+                let mut candidate = best.clone();
+                candidate.telemetry.as_mut().expect("checked above").storage = None;
+                if let Some(c) = try_candidate(candidate, &mut runs) {
+                    best = c;
+                    progressed = true;
+                }
+            }
+            let mut candidate = best.clone();
+            candidate.telemetry = None;
+            if let Some(c) = try_candidate(candidate, &mut runs) {
+                best = c;
+                progressed = true;
+            }
+        }
+
         if !progressed || runs >= budget {
             return best;
         }

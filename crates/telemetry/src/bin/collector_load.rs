@@ -13,6 +13,13 @@
 //! restarted mid-run — is answered by reconnect-with-retry plus a fresh
 //! HELLO, never by giving up.
 //!
+//! ACKs are treated as **tentative** ([`LoaderUser`]): a reconnect means
+//! the peer may be a restarted server that recovered an *older*
+//! checkpoint generation, so the loader rewinds and re-offers its whole
+//! acked frontier — batches the recovered generation kept come back
+//! `Duplicate`, batches it lost are resent (the `gap_resent` counter) —
+//! instead of assuming the pre-crash frontier survived.
+//!
 //! After the upload phase a **verify pass** re-sends every batch once
 //! more and requires an `Accepted` or `Duplicate` ack for each. Batches
 //! the server acked but lost to a kill after its last checkpoint are
@@ -25,7 +32,10 @@
 
 use starlink_simcore::{SimDuration, SimRng};
 use starlink_telemetry::slcs::{peek_frame_len, SLCS_HEADER_LEN};
-use starlink_telemetry::{synthetic_batch, AckStatus, RetryPolicy, ServerReply, SessionClient};
+use starlink_telemetry::{
+    synthetic_batch, AckStatus, LoaderUser, ReconnectOutcome, RetryPolicy, ServerReply,
+    SessionClient,
+};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
@@ -104,6 +114,10 @@ struct Tally {
     duplicates: AtomicU64,
     rejects: AtomicU64,
     reconnects: AtomicU64,
+    /// Batches resent during an in-flight frontier re-proof: acked, then
+    /// `Accepted` (not `Duplicate`) again after a reconnect — the server
+    /// restart had recovered a generation that predates them.
+    gap_resent: AtomicU64,
     verify_resent: AtomicU64,
     latencies_us: Mutex<Vec<u64>>,
 }
@@ -228,16 +242,72 @@ fn upload_until_kept(
     }
 }
 
+/// The upload phase for one user, with restart-aware frontier
+/// accounting: every reconnect invalidates the ACK frontier and the
+/// whole tentative prefix is re-offered before fresh uploads resume, so
+/// a server restart onto an older checkpoint generation gets its gap
+/// resent immediately rather than discovered at the final verify pass.
 fn user_session(addr: &str, opts: &Opts, user: u64, tally: &Tally) {
     let policy = RetryPolicy::new(u32::MAX, SimDuration::from_millis(50));
     let client = SessionClient::new(user, user, policy);
     let mut rng = SimRng::seed_from(opts.seed ^ user).stream("collector-load");
+    let mut loader = LoaderUser::new(user, opts.batches);
     let mut stream = open_session(addr, &client);
-    for seq in 1..=opts.batches {
+    let mut attempt: u64 = 0;
+    let reconnect = |stream: &mut TcpStream, loader: &mut LoaderUser| {
+        tally.reconnects.fetch_add(1, Ordering::Relaxed);
+        *stream = open_session(addr, &client);
+        if let ReconnectOutcome::Reverify { first, last } = loader.on_reconnect() {
+            eprintln!("[load] user {user}: re-proving batches {first}..={last} after reconnect");
+        }
+    };
+    while let Some(seq) = loader.next_seq() {
         let payload = synthetic_batch(user, seq, opts.pages);
-        upload_until_kept(addr, &mut stream, &client, seq, &payload, &mut rng, tally);
-        if opts.pace_ms > 0 {
-            std::thread::sleep(Duration::from_millis(opts.pace_ms));
+        let frame = client.batch(seq, payload);
+        let sent = Instant::now();
+        let reply = match exchange(&mut stream, &frame) {
+            Ok(reply) => reply,
+            Err(_) => {
+                reconnect(&mut stream, &mut loader);
+                continue;
+            }
+        };
+        let latency_us = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        match client.parse_reply(&reply) {
+            Ok(ServerReply::Ack { status, .. }) => {
+                tally
+                    .latencies_us
+                    .lock()
+                    .expect("latency ledger is never poisoned")
+                    .push(latency_us);
+                let reproof = loader.is_reproof(seq);
+                match status {
+                    AckStatus::Duplicate => tally.duplicates.fetch_add(1, Ordering::Relaxed),
+                    // Quarantined batches are kept (and accounted) too.
+                    _ => tally.accepted.fetch_add(1, Ordering::Relaxed),
+                };
+                if reproof && status != AckStatus::Duplicate {
+                    tally.gap_resent.fetch_add(1, Ordering::Relaxed);
+                }
+                loader.on_kept(seq, status);
+                attempt = 0;
+                // Re-proofs run at full speed; only fresh uploads pace.
+                if opts.pace_ms > 0 && !reproof {
+                    std::thread::sleep(Duration::from_millis(opts.pace_ms));
+                }
+            }
+            Ok(ServerReply::Reject { retry_after_ns, .. }) => {
+                tally.rejects.fetch_add(1, Ordering::Relaxed);
+                let backoff = client.policy().backoff(attempt, &mut rng);
+                let wait = honour(retry_after_ns.max(backoff.as_nanos()));
+                attempt += 1;
+                std::thread::sleep(wait);
+            }
+            Err(_) => {
+                // A reply that does not parse means the stream is skewed;
+                // resynchronise by reconnecting (which also re-proves).
+                reconnect(&mut stream, &mut loader);
+            }
         }
     }
 }
@@ -286,7 +356,7 @@ fn render_bench_json(opts: &Opts, tally: &Tally, elapsed: Duration, p99: u64) ->
         "{{\n  \"schema\": \"collector-bench-v1\",\n  \
          \"users\": {},\n  \"batches_per_user\": {},\n  \"pages_per_batch\": {},\n  \
          \"delivered_batches\": {},\n  \"accepted\": {},\n  \"duplicates\": {},\n  \
-         \"rejects\": {},\n  \"reconnects\": {},\n  \"verify_resent\": {},\n  \
+         \"rejects\": {},\n  \"reconnects\": {},\n  \"gap_resent\": {},\n  \"verify_resent\": {},\n  \
          \"shed_rate\": {:.4},\n  \"elapsed_ms\": {},\n  \"batches_per_sec\": {:.2},\n  \
          \"p99_admission_latency_us\": {}\n}}\n",
         opts.users,
@@ -297,6 +367,7 @@ fn render_bench_json(opts: &Opts, tally: &Tally, elapsed: Duration, p99: u64) ->
         duplicates,
         rejects,
         tally.reconnects.load(Ordering::Relaxed),
+        tally.gap_resent.load(Ordering::Relaxed),
         tally.verify_resent.load(Ordering::Relaxed),
         shed_rate,
         elapsed_ms,

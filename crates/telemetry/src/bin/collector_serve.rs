@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! collector-serve --listen 127.0.0.1:7878 \
-//!     [--checkpoint PATH] [--checkpoint-every N] [--digest PATH] \
-//!     [--exit-on-drain] [--rate-milli R] [--burst B] [--queue Q] \
-//!     [--global-bytes G] [--drain-bps D]
+//!     [--checkpoint PATH | --checkpoint-dir DIR] [--checkpoint-every N] \
+//!     [--retain K] [--digest PATH] [--exit-on-drain] \
+//!     [--storage-faults SEED | --torn-write-at N | --bit-rot-at N \
+//!      | --enospc-at N | --crash-before-rename-at N | --crash-after-rename-at N] \
+//!     [--rate-milli R] [--burst B] [--queue Q] [--global-bytes G] [--drain-bps D]
 //! ```
 //!
 //! Speaks SLCS v1 over TCP: thread-per-connection, one reply frame per
@@ -13,16 +15,36 @@
 //! virtual clock as nanoseconds since process start; the admission layer
 //! tolerates the non-monotonic interleavings real threads produce.
 //!
-//! Durability: with `--checkpoint`, every `--checkpoint-every` admitted
-//! batches the collector state is sealed to a temp file and atomically
-//! renamed into place, and a checkpoint found at startup is resumed
-//! (SIGKILL + restart = at-most-one-checkpoint of lost acks, which the
-//! loader's verify pass re-sends; the final dataset is byte-identical to
-//! an uninterrupted run). A DRAIN frame seals a final checkpoint, writes
-//! the canonical dataset digest to `--digest`, and — with
-//! `--exit-on-drain` — stops the process once the reply is flushed.
+//! Durability comes in two tiers:
+//!
+//! * `--checkpoint PATH` — the legacy single-file path: temp file,
+//!   `fsync`, atomic rename, directory `fsync` (power-loss safe, but a
+//!   damaged blob at startup is fatal);
+//! * `--checkpoint-dir DIR` — the journaled last-good chain
+//!   ([`CheckpointStore`]): generation-numbered `ckpt-<gen>.slcp` files
+//!   behind a CRC-sealed MANIFEST, `--retain K` generations kept, and
+//!   startup recovery that walks back to the newest generation
+//!   `decode_server_checkpoint` accepts, quarantining damaged blobs
+//!   aside. A storage failure during a checkpoint *sheds the attempt*
+//!   (typed, traced) and the service keeps admitting.
+//!
+//! Disk faults are injectable deterministically for the CI storage-smoke
+//! matrix: `--storage-faults SEED` draws a mixed plan the same way the
+//! simtest scenario generator does, and the `--…-at N` flags plant one
+//! fault at an exact operation index. An injected power loss exits with
+//! code 13 so a restart loop can tell "injected crash" from a real
+//! failure; the next start recovers from the chain.
+//!
+//! A DRAIN frame seals a final checkpoint, writes the canonical dataset
+//! digest to `--digest`, and — with `--exit-on-drain` — stops the
+//! process once the reply is flushed.
 
+use starlink_simcore::SimTime;
 use starlink_telemetry::slcs::{peek_frame_len, SLCS_HEADER_LEN};
+use starlink_telemetry::storage::{
+    sync_real_dir, CheckpointStore, FaultyDisk, RealDisk, StorageError, StorageFault,
+    StorageFaultPlan, DEFAULT_RETAIN,
+};
 use starlink_telemetry::SLCS_MAGIC;
 use starlink_telemetry::{
     decode_server_checkpoint, encode_server_checkpoint, AdmissionConfig, Collector, CollectorServer,
@@ -34,14 +56,19 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use starlink_simcore::SimTime;
+/// Exit code for an injected (simulated) power loss, distinct from real
+/// failures so restart loops can keep the matrix going.
+const EXIT_INJECTED_CRASH: i32 = 13;
 
 struct Opts {
     listen: String,
     checkpoint: Option<PathBuf>,
+    checkpoint_dir: Option<PathBuf>,
     checkpoint_every: u64,
+    retain: u64,
     digest: Option<PathBuf>,
     exit_on_drain: bool,
+    plan: StorageFaultPlan,
     config: AdmissionConfig,
 }
 
@@ -50,9 +77,11 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: collector-serve --listen ADDR [--checkpoint PATH] [--checkpoint-every N]\n\
-         \x20      [--digest PATH] [--exit-on-drain] [--rate-milli R] [--burst B]\n\
-         \x20      [--queue Q] [--global-bytes G] [--drain-bps D]"
+        "usage: collector-serve --listen ADDR [--checkpoint PATH | --checkpoint-dir DIR]\n\
+         \x20      [--checkpoint-every N] [--retain K] [--digest PATH] [--exit-on-drain]\n\
+         \x20      [--storage-faults SEED] [--torn-write-at N] [--bit-rot-at N]\n\
+         \x20      [--enospc-at N] [--crash-before-rename-at N] [--crash-after-rename-at N]\n\
+         \x20      [--rate-milli R] [--burst B] [--queue Q] [--global-bytes G] [--drain-bps D]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -61,9 +90,12 @@ fn parse_opts() -> Opts {
     let mut opts = Opts {
         listen: String::new(),
         checkpoint: None,
+        checkpoint_dir: None,
         checkpoint_every: 64,
+        retain: DEFAULT_RETAIN,
         digest: None,
         exit_on_drain: false,
+        plan: StorageFaultPlan::new(),
         config: AdmissionConfig::generous(),
     };
     let mut it = std::env::args().skip(1);
@@ -81,13 +113,53 @@ fn parse_opts() -> Opts {
                         .unwrap_or_else(|| usage("--checkpoint needs PATH")),
                 ))
             }
+            "--checkpoint-dir" => {
+                opts.checkpoint_dir = Some(PathBuf::from(
+                    it.next()
+                        .unwrap_or_else(|| usage("--checkpoint-dir needs DIR")),
+                ))
+            }
             "--checkpoint-every" => opts.checkpoint_every = num(&mut it, "--checkpoint-every"),
+            "--retain" => opts.retain = num(&mut it, "--retain"),
             "--digest" => {
                 opts.digest = Some(PathBuf::from(
                     it.next().unwrap_or_else(|| usage("--digest needs PATH")),
                 ))
             }
             "--exit-on-drain" => opts.exit_on_drain = true,
+            "--storage-faults" => {
+                // One of each write fault plus a crash pair, drawn like
+                // the simtest scenario generator draws them.
+                let seed = num(&mut it, "--storage-faults");
+                opts.plan = StorageFaultPlan::from_seed(seed, 1, 1, 1, 2);
+            }
+            "--torn-write-at" => {
+                opts.plan.push(StorageFault::TornWrite {
+                    write: num(&mut it, "--torn-write-at"),
+                    keep_ppm: 500_000,
+                });
+            }
+            "--bit-rot-at" => {
+                opts.plan.push(StorageFault::BitRot {
+                    write: num(&mut it, "--bit-rot-at"),
+                    bit_seed: 0x0b17_0b17_0b17_0b17,
+                });
+            }
+            "--enospc-at" => {
+                opts.plan.push(StorageFault::Enospc {
+                    write: num(&mut it, "--enospc-at"),
+                });
+            }
+            "--crash-before-rename-at" => {
+                opts.plan.push(StorageFault::CrashBeforeRename {
+                    rename: num(&mut it, "--crash-before-rename-at"),
+                });
+            }
+            "--crash-after-rename-at" => {
+                opts.plan.push(StorageFault::CrashAfterRename {
+                    rename: num(&mut it, "--crash-after-rename-at"),
+                });
+            }
             "--rate-milli" => opts.config.session_rate_milli = num(&mut it, "--rate-milli"),
             "--burst" => opts.config.session_burst = num(&mut it, "--burst"),
             "--queue" => opts.config.queue_batches = num(&mut it, "--queue"),
@@ -100,6 +172,12 @@ fn parse_opts() -> Opts {
     if opts.listen.is_empty() {
         usage("--listen is required");
     }
+    if opts.checkpoint.is_some() && opts.checkpoint_dir.is_some() {
+        usage("--checkpoint and --checkpoint-dir are mutually exclusive");
+    }
+    if !opts.plan.is_empty() && opts.checkpoint_dir.is_none() {
+        usage("storage faults need --checkpoint-dir (the store is the faultable surface)");
+    }
     opts
 }
 
@@ -107,6 +185,8 @@ fn parse_opts() -> Opts {
 struct Core {
     server: CollectorServer,
     collector: Collector,
+    /// The journaled chain, when `--checkpoint-dir` is in use.
+    store: Option<CheckpointStore<FaultyDisk>>,
     /// Admitted batches (accepted + duplicate + quarantined) at the last
     /// checkpoint, for the every-N trigger.
     admitted_at_checkpoint: u64,
@@ -119,17 +199,44 @@ impl Core {
     }
 }
 
-/// Seals the collector to `path` via temp-file + atomic rename, so a kill
-/// mid-write can never leave a torn checkpoint behind.
+/// Seals the collector to `path` via temp file, `fsync`, atomic rename,
+/// and directory `fsync`, so neither a kill mid-write nor a power loss
+/// right after the rename can leave a torn or vanishing checkpoint.
 fn write_checkpoint(path: &Path, collector: &Collector) -> std::io::Result<()> {
     let blob = encode_server_checkpoint(collector);
     let tmp = path.with_extension("tmp");
     std::fs::write(&tmp, &blob)?;
-    std::fs::rename(&tmp, path)
+    std::fs::File::open(&tmp)?.sync_all()?;
+    std::fs::rename(&tmp, path)?;
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    sync_real_dir(&parent).map_err(|e| std::io::Error::other(e.to_string()))
 }
 
 fn write_digest(path: &Path, collector: &Collector) -> std::io::Result<()> {
     std::fs::write(path, format!("{:016x}\n", collector.dataset().digest()))
+}
+
+/// Seals a generation into the journaled chain. Storage failures shed
+/// the attempt — the admission loop keeps serving — except an injected
+/// power loss, which takes the process down with the dedicated exit code
+/// (a restart recovers from the chain).
+fn store_generation(store: &mut CheckpointStore<FaultyDisk>, collector: &Collector, now: SimTime) {
+    let blob = encode_server_checkpoint(collector);
+    match store.store(&blob, now) {
+        Ok(generation) => {
+            eprintln!("[serve] sealed checkpoint generation {generation}");
+        }
+        Err(StorageError::Crashed) => {
+            eprintln!("[serve] injected power loss during checkpoint; dying for recovery");
+            std::process::exit(EXIT_INJECTED_CRASH);
+        }
+        Err(e) => {
+            eprintln!("[serve] checkpoint attempt shed ({e}); still serving");
+        }
+    }
 }
 
 /// Reads one SLCS frame off the stream: fixed header first, then exactly
@@ -165,11 +272,16 @@ fn serve_connection(
             } = &mut *core;
             let reply = server.handle_frame(collector, &frame, now);
             let admitted = core.admitted();
-            if let Some(path) = &opts.checkpoint {
-                let due = opts.checkpoint_every > 0
-                    && admitted.saturating_sub(core.admitted_at_checkpoint)
-                        >= opts.checkpoint_every;
-                if due || is_drain {
+            let due = opts.checkpoint_every > 0
+                && admitted.saturating_sub(core.admitted_at_checkpoint) >= opts.checkpoint_every;
+            if due || is_drain {
+                let Core {
+                    collector, store, ..
+                } = &mut *core;
+                if let Some(store) = store {
+                    store_generation(store, collector, now);
+                    core.admitted_at_checkpoint = admitted;
+                } else if let Some(path) = &opts.checkpoint {
                     write_checkpoint(path, &core.collector)?;
                     core.admitted_at_checkpoint = admitted;
                 }
@@ -190,14 +302,77 @@ fn serve_connection(
     }
 }
 
+/// Opens the journaled chain under `dir` and recovers the newest
+/// generation that decodes, if any. An injected crash *during recovery*
+/// also exits 13: the faults are one-shot, so the restart gets further.
+fn open_store(
+    dir: &Path,
+    retain: u64,
+    plan: StorageFaultPlan,
+) -> (CheckpointStore<FaultyDisk>, Option<Collector>) {
+    let mut disk = FaultyDisk::new(Box::new(RealDisk::new(dir)), plan);
+    let mut validate = |blob: &[u8]| decode_server_checkpoint(blob).is_ok();
+    // Injected faults are one-shot, so a non-crash open failure (ENOSPC
+    // on the initial manifest seal, say) gets a bounded retry on the
+    // same disk before giving up.
+    for attempt in 0..5 {
+        match CheckpointStore::open(disk, retain, &mut validate, SimTime::ZERO) {
+            Ok((store, recovered)) => {
+                let collector = recovered.map(|r| {
+                    eprintln!(
+                        "[serve] recovered checkpoint generation {} (walked back {})",
+                        r.generation, r.walked_back
+                    );
+                    decode_server_checkpoint(&r.blob).expect("recovery validated this blob")
+                });
+                if collector.is_none() {
+                    eprintln!(
+                        "[serve] no recoverable generation in {}, starting fresh",
+                        dir.display()
+                    );
+                }
+                return (store, collector);
+            }
+            Err(f) if f.error == StorageError::Crashed => {
+                eprintln!("[serve] injected power loss during recovery; dying for restart");
+                std::process::exit(EXIT_INJECTED_CRASH);
+            }
+            Err(f) if attempt < 4 => {
+                eprintln!("[serve] checkpoint store open shed ({}); retrying", f.error);
+                disk = f.disk;
+            }
+            Err(f) => {
+                eprintln!(
+                    "[serve] cannot open checkpoint store {}: {}",
+                    dir.display(),
+                    f.error
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    unreachable!("loop returns or exits within 5 attempts");
+}
+
 fn main() {
     let opts = parse_opts();
     let mut core = Core {
         server: CollectorServer::new(opts.config),
         collector: Collector::new(),
+        store: None,
         admitted_at_checkpoint: 0,
     };
-    if let Some(path) = &opts.checkpoint {
+    if let Some(dir) = &opts.checkpoint_dir {
+        let (store, recovered) = open_store(dir, opts.retain, opts.plan.clone());
+        if let Some(collector) = recovered {
+            eprintln!(
+                "[serve] resumed {} batch(es) from the chain",
+                collector.accepted_batches()
+            );
+            core.collector = collector;
+        }
+        core.store = Some(store);
+    } else if let Some(path) = &opts.checkpoint {
         match std::fs::read(path) {
             Ok(bytes) => match decode_server_checkpoint(&bytes) {
                 Ok(collector) => {

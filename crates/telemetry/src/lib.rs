@@ -34,7 +34,14 @@
 //!   deterministic synthetic batches the load generator uploads;
 //! * [`checkpoint`] — checkpoint/resume for the day-major campaign
 //!   driver and the standalone collector server: a killed run resumes
-//!   byte-identically.
+//!   byte-identically;
+//! * [`storage`] — crash-consistent checkpoint storage: a journaled
+//!   last-good chain of generation files behind a CRC-sealed MANIFEST,
+//!   over a faultable [`storage::DiskEnv`] that injects torn writes,
+//!   bit rot, `ENOSPC`, and crash-around-rename at seeded indices;
+//! * [`loader`] — the load generator's reconnect logic: after a server
+//!   restart that recovered an older checkpoint generation, re-verify
+//!   the ACK frontier and resend the gap instead of assuming it.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -43,12 +50,14 @@ pub mod aschange;
 pub mod checkpoint;
 pub mod client;
 pub mod ingest;
+pub mod loader;
 pub mod pipeline;
 pub mod population;
 pub mod records;
 pub mod retry;
 pub mod server;
 pub mod slcs;
+pub mod storage;
 pub mod wire;
 
 pub use aschange::{ExitAs, AS_GOOGLE, AS_SPACEX};
@@ -61,10 +70,17 @@ pub use ingest::{
     Collection, Collector, CoverageReport, CoverageTotals, IngestOptions, Ingested,
     QuarantinedBatch, ResilientCampaign, UserCoverage,
 };
+pub use loader::{LoaderUser, ReconnectOutcome};
 pub use pipeline::{Campaign, CampaignConfig, UserDay};
 pub use population::{IspClass, Population, User};
 pub use records::{Dataset, PageRecord, SpeedtestRecord};
 pub use retry::RetryPolicy;
 pub use server::{AdmissionConfig, CollectorServer, ServerStats};
 pub use slcs::{AckStatus, Frame, ShedReason, SLCS_HEADER_LEN, SLCS_MAGIC, SLCS_VERSION};
+pub use storage::{
+    decode_manifest, encode_manifest, generation_name, parse_generation_name, CheckpointStore,
+    DiskEnv, FaultyDisk, Manifest, OpenFailure, RealDisk, RecoveredCheckpoint, SimDisk,
+    StorageError, StorageFault, StorageFaultPlan, StoreStats, DEFAULT_RETAIN, MANIFEST_MAGIC,
+    MANIFEST_NAME, MANIFEST_VERSION, QUARANTINE_DIR,
+};
 pub use wire::{RecordBatch, WireError};

@@ -1,0 +1,245 @@
+//! RetryPolicy + checkpoint-store interplay under injected disk faults.
+//!
+//! The serve binary's session loop interleaves SLCS admission with
+//! periodic [`CheckpointStore::store`] calls. The contract under test: a
+//! checkpoint that dies with `ENOSPC` is *shed* — a typed
+//! [`StorageError`] plus a `checkpoint_shed` trace event — and nothing
+//! else changes. The session keeps accepting batches, the client's
+//! [`RetryPolicy`] keeps pacing throttle rejects exactly as before, and
+//! the next checkpoint attempt seals normally. Assertions run against
+//! the shared [`CollectorSink`] event vector, the same way the simtest
+//! oracles consume traces.
+
+use starlink_obsv::{CollectorSink, StorageShedReason, TraceEvent};
+use starlink_simcore::{SimDuration, SimRng, SimTime};
+use starlink_telemetry::{
+    decode_server_checkpoint, encode_server_checkpoint, synthetic_batch, AdmissionConfig,
+    CheckpointStore, Collector, CollectorServer, FaultyDisk, RetryPolicy, ServerReply,
+    SessionClient, SimDisk, StorageError, StorageFault, StorageFaultPlan,
+};
+
+/// Uploads `payload` through the session loop, retrying rejects per the
+/// client's policy in virtual time. Returns the accept time and how many
+/// retries the policy spent.
+fn upload(
+    server: &mut CollectorServer,
+    collector: &mut Collector,
+    client: &SessionClient,
+    seq: u64,
+    payload: &[u8],
+    now: &mut SimTime,
+    rng: &mut SimRng,
+) -> u64 {
+    let mut attempt = 0u64;
+    loop {
+        let reply = client
+            .parse_reply(&server.handle_frame(
+                collector,
+                &client.batch(seq, payload.to_vec()),
+                *now,
+            ))
+            .expect("server always answers with a reply frame");
+        match reply {
+            ServerReply::Ack { seq: echoed, .. } => {
+                assert_eq!(echoed, seq);
+                return attempt;
+            }
+            ServerReply::Reject { retry_after_ns, .. } => {
+                assert!(
+                    attempt < client.policy().attempts(),
+                    "policy exhausted at seq {seq}"
+                );
+                let backoff = client.policy().backoff(attempt, rng);
+                let wait = backoff.as_nanos().max(retry_after_ns);
+                *now = SimTime::from_nanos(now.as_nanos() + wait);
+                attempt += 1;
+            }
+        }
+    }
+}
+
+#[test]
+fn enospc_during_checkpoint_sheds_without_poisoning_the_session_loop() {
+    let (sink, events) = CollectorSink::pair();
+    starlink_obsv::install_trace(Box::new(sink));
+
+    // One ENOSPC, aimed at the *blob* write of the third checkpoint:
+    // open seals the manifest (write #1), and checkpoint k then writes
+    // blob + manifest tmp (writes 2k and 2k+1).
+    let mut plan = StorageFaultPlan::new();
+    plan.push(StorageFault::Enospc { write: 6 });
+    let mut validate = |blob: &[u8]| decode_server_checkpoint(blob).is_ok();
+    let (mut store, recovered) = CheckpointStore::open(
+        FaultyDisk::new(Box::new(SimDisk::new()), plan),
+        2,
+        &mut validate,
+        SimTime::ZERO,
+    )
+    .expect("fresh disk opens");
+    assert!(recovered.is_none());
+
+    // A tight bucket so back-to-back uploads trip the throttle and the
+    // RetryPolicy actually runs, not just the happy path.
+    let config = AdmissionConfig {
+        session_rate_milli: 1_000,
+        session_burst: 2,
+        ..AdmissionConfig::generous()
+    };
+    let mut server = CollectorServer::new(config);
+    let mut collector = Collector::new();
+    let client = SessionClient::new(1, 7, RetryPolicy::new(6, SimDuration::from_millis(200)));
+    let mut rng = SimRng::seed_from(0x5109_4CE5).stream("backoff");
+    let mut now = SimTime::from_secs(1);
+
+    let hello = client
+        .parse_reply(&server.handle_frame(&mut collector, &client.hello(), now))
+        .expect("hello reply decodes");
+    assert!(matches!(hello, ServerReply::Ack { .. }));
+
+    let mut retries = 0u64;
+    let mut shed_errors = Vec::new();
+    for seq in 0..6 {
+        let payload = synthetic_batch(7, seq, 3);
+        retries += upload(
+            &mut server,
+            &mut collector,
+            &client,
+            seq,
+            &payload,
+            &mut now,
+            &mut rng,
+        );
+        // Checkpoint after every accepted batch, like the serve binary
+        // with --checkpoint-every 1.
+        if let Err(e) = store.store(&encode_server_checkpoint(&collector), now) {
+            shed_errors.push((seq, e));
+        }
+    }
+
+    // The fault surfaced exactly once, typed as NoSpace, on the third
+    // checkpoint — and the store kept sealing afterwards.
+    assert_eq!(shed_errors, vec![(2, StorageError::NoSpace)]);
+    let stats = store.stats();
+    assert_eq!(stats.shed, 1);
+    assert_eq!(stats.written, 5);
+    assert!(stats.conservation_holds(), "{stats:?}");
+
+    // The session loop was not poisoned: every batch was eventually
+    // accepted (the bucket forced real RetryPolicy backoffs), nothing
+    // was quarantined, and the dataset holds all six batches.
+    assert!(retries > 0, "admission config must exercise the policy");
+    assert_eq!(server.stats().accepted, 6);
+    assert_eq!(server.stats().quarantined, 0);
+    let dataset = collector.dataset();
+    assert_eq!(dataset.pages.len(), 6 * 3);
+    assert_eq!(dataset.speedtests.len(), 6);
+
+    // Trace-level assertions via the shared CollectorSink vector: one
+    // checkpoint_shed with reason no_space, flanked by successful
+    // checkpoint_written events (two before, three after). The borrow is
+    // scoped: the re-open below emits through the same sink.
+    {
+        let events = events.borrow();
+        let sheds: Vec<&TraceEvent> = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::CheckpointShed { .. }))
+            .collect();
+        match sheds.as_slice() {
+            [TraceEvent::CheckpointShed {
+                generation, reason, ..
+            }] => {
+                assert_eq!(*generation, 3, "the shed attempt was generation 3");
+                assert_eq!(*reason, StorageShedReason::NoSpace);
+            }
+            other => panic!("expected exactly one checkpoint_shed, got {other:?}"),
+        }
+        let written: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::CheckpointWritten { generation, .. } => Some(*generation),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            written,
+            vec![1, 2, 3, 4, 5],
+            "sealing resumed after the shed"
+        );
+        let shed_at = events
+            .iter()
+            .position(|e| matches!(e, TraceEvent::CheckpointShed { .. }))
+            .expect("shed present");
+        let second_write = events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e, TraceEvent::CheckpointWritten { .. }))
+            .nth(1)
+            .expect("five writes")
+            .0;
+        assert!(shed_at > second_write, "shed lands after the second seal");
+    }
+
+    // The surviving chain still recovers: the newest generation on disk
+    // decodes to the full six-batch collector state.
+    let disk = store.into_disk();
+    let mut validate = |blob: &[u8]| decode_server_checkpoint(blob).is_ok();
+    let (_store, recovered) =
+        CheckpointStore::open(disk, 2, &mut validate, now).expect("clean re-open");
+    let recovered = recovered.expect("chain is non-empty");
+    let reloaded = decode_server_checkpoint(&recovered.blob).expect("newest blob decodes");
+    assert_eq!(reloaded.dataset().digest(), dataset.digest());
+}
+
+#[test]
+fn exhausted_retry_policy_is_the_callers_signal_not_a_hang() {
+    // Companion boundary check: when the server throttles harder than
+    // the policy allows, the upload loop's attempt budget is the only
+    // thing that stops it — the store is never involved. Guards against
+    // the session loop conflating storage sheds with admission sheds.
+    let config = AdmissionConfig {
+        session_rate_milli: 1, // ~17 minutes per token: backoff never catches up
+        session_burst: 1,
+        ..AdmissionConfig::generous()
+    };
+    let mut server = CollectorServer::new(config);
+    let mut collector = Collector::new();
+    let client = SessionClient::new(9, 3, RetryPolicy::new(2, SimDuration::from_millis(10)));
+    let mut rng = SimRng::seed_from(0x5109_4CE5).stream("exhaust");
+    let mut now = SimTime::from_secs(1);
+    client
+        .parse_reply(&server.handle_frame(&mut collector, &client.hello(), now))
+        .expect("hello reply decodes");
+
+    // First batch drains the one-token burst…
+    let first = client
+        .parse_reply(&server.handle_frame(
+            &mut collector,
+            &client.batch(0, synthetic_batch(3, 0, 1)),
+            now,
+        ))
+        .expect("reply decodes");
+    assert!(matches!(first, ServerReply::Ack { .. }));
+
+    // …and the second meets rejects until the policy gives up.
+    let payload = synthetic_batch(3, 1, 1);
+    let mut rejected = 0u64;
+    for attempt in 0..client.policy().attempts() {
+        let reply = client
+            .parse_reply(&server.handle_frame(
+                &mut collector,
+                &client.batch(1, payload.clone()),
+                now,
+            ))
+            .expect("reply decodes");
+        match reply {
+            ServerReply::Ack { .. } => break,
+            ServerReply::Reject { .. } => {
+                rejected += 1;
+                let backoff = client.policy().backoff(attempt, &mut rng);
+                now = SimTime::from_nanos(now.as_nanos() + backoff.as_nanos());
+            }
+        }
+    }
+    assert_eq!(rejected, client.policy().attempts());
+    assert_eq!(server.stats().accepted, 1);
+}

@@ -404,6 +404,204 @@ fn hostile_streams_against_the_server_always_get_typed_replies() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Checkpoint-storage layer: MANIFEST + generation files
+// ---------------------------------------------------------------------
+
+use starlink_telemetry::{
+    decode_manifest, decode_server_checkpoint, encode_manifest, encode_server_checkpoint,
+    generation_name, parse_generation_name, CheckpointStore, DiskEnv, Manifest, SimDisk,
+    DEFAULT_RETAIN, MANIFEST_NAME,
+};
+
+/// A random (but plausible) manifest drawn from `rng`.
+fn fuzz_manifest(rng: &mut SimRng) -> Manifest {
+    Manifest {
+        newest: rng.next_u64(),
+        written: rng.next_u64(),
+        pruned: rng.next_u64(),
+        quarantined: rng.next_u64(),
+    }
+}
+
+#[test]
+fn manifest_truncation_at_every_boundary_yields_typed_errors() {
+    let mut rng = SimRng::seed_from(FUZZ_SEED).stream("manifest-truncate");
+    for _ in 0..64 {
+        let manifest = fuzz_manifest(&mut rng);
+        let wire = encode_manifest(&manifest);
+        assert_eq!(decode_manifest(&wire).as_ref(), Ok(&manifest), "round trip");
+        for cut in 0..wire.len() {
+            match decode_manifest(&wire[..cut]) {
+                Ok(_) => panic!("accepted a {cut}-byte prefix of {} bytes", wire.len()),
+                Err(WireError::BadMagic { .. }) => assert!(cut >= 4, "magic read past prefix"),
+                Err(WireError::Truncated { .. }) => {}
+                Err(other) => panic!("truncation at {cut} produced {other:?}"),
+            }
+        }
+        // Any suffix breaks the exact-length contract, typed.
+        let mut extended = wire.clone();
+        extended.push(rng.below(256) as u8);
+        assert!(matches!(
+            decode_manifest(&extended),
+            Err(WireError::TrailingBytes { .. })
+        ));
+    }
+}
+
+#[test]
+fn manifest_bit_flips_never_panic_and_never_forge() {
+    let mut rng = SimRng::seed_from(FUZZ_SEED).stream("manifest-bitflip");
+    let known = [
+        "bad-magic",
+        "unsupported-version",
+        "truncated",
+        "trailing-bytes",
+        "checksum-mismatch",
+        "bad-field",
+    ];
+    for _ in 0..400 {
+        let manifest = fuzz_manifest(&mut rng);
+        let mut wire = encode_manifest(&manifest);
+        let flips = 1 + rng.below(8) as usize;
+        for _ in 0..flips {
+            let at = rng.index(wire.len());
+            wire[at] ^= 1 << rng.below(8);
+        }
+        match decode_manifest(&wire) {
+            Ok(decoded) => assert_eq!(
+                decoded, manifest,
+                "decoder accepted a mutation as a different manifest"
+            ),
+            Err(e) => assert!(known.contains(&e.code()), "unknown code {:?}", e.code()),
+        }
+    }
+}
+
+#[test]
+fn hostile_generation_names_never_panic_and_never_alias() {
+    // Exact inverse on the whole u64 range, including the ceiling.
+    let mut rng = SimRng::seed_from(FUZZ_SEED).stream("gen-names");
+    for _ in 0..256 {
+        let g = rng.next_u64();
+        assert_eq!(parse_generation_name(&generation_name(g)), Some(g));
+    }
+    assert_eq!(
+        parse_generation_name(&generation_name(u64::MAX)),
+        Some(u64::MAX)
+    );
+    // Hostile names: wrong fix, empty digits, sign characters, hex,
+    // unicode digits, and overflow must all parse to None, never panic.
+    for hostile in [
+        "",
+        "ckpt-.slcp",
+        "ckpt--1.slcp",
+        "ckpt-+1.slcp",
+        "ckpt-1x.slcp",
+        "ckpt-0x10.slcp",
+        "ckpt-1.slcp.tmp",
+        "CKPT-1.SLCP",
+        "ckpt-١٢٣.slcp",
+        "ckpt-99999999999999999999999999.slcp",
+        "ckpt-18446744073709551616.slcp", // u64::MAX + 1
+        MANIFEST_NAME,
+        "quarantine",
+    ] {
+        assert_eq!(parse_generation_name(hostile), None, "{hostile:?} parsed");
+    }
+    // Unpadded digits still parse (recovery tolerates foreign padding)…
+    assert_eq!(parse_generation_name("ckpt-7.slcp"), Some(7));
+    // …and random garbage is total.
+    for _ in 0..512 {
+        let len = rng.below(40) as usize;
+        let name: String = (0..len)
+            .map(|_| char::from(32 + rng.below(95) as u8))
+            .collect();
+        let _ = parse_generation_name(&name);
+    }
+}
+
+/// Seals `count` real server checkpoints into a fresh store and returns
+/// the disk (manifest + generation chain on it).
+fn sealed_chain(count: u64, rng: &mut SimRng) -> SimDisk {
+    let mut validate = |blob: &[u8]| decode_server_checkpoint(blob).is_ok();
+    let (mut store, recovered) =
+        CheckpointStore::open(SimDisk::new(), DEFAULT_RETAIN, &mut validate, SimTime::ZERO)
+            .expect("fresh sim disk");
+    assert!(recovered.is_none());
+    let mut collector = Collector::new();
+    for seq in 1..=count {
+        let batch = fuzz_batch(rng);
+        collector.submit(&encode_batch(&batch), SimTime::from_secs(seq));
+        store
+            .store(
+                &encode_server_checkpoint(&collector),
+                SimTime::from_secs(seq),
+            )
+            .expect("perfect disk");
+    }
+    store.into_disk()
+}
+
+#[test]
+fn recovery_never_adopts_a_crc_failing_blob() {
+    // Corrupt the chain every way the fuzzer can think of — bit flips in
+    // any file, truncations, a forged manifest, duplicate and missing
+    // generations — then recover. The contract: open never panics, any
+    // adopted blob actually decodes, and conservation holds afterwards.
+    let mut rng = SimRng::seed_from(FUZZ_SEED).stream("storage-recovery");
+    for round in 0..64 {
+        let mut disk = sealed_chain(1 + rng.below(4), &mut rng);
+        let paths = disk.paths();
+        for _ in 0..1 + rng.below(4) {
+            let at = rng.index(paths.len());
+            let path = paths[at].clone();
+            match rng.below(4) {
+                // Bit flip anywhere in the file.
+                0 => {
+                    if let Some(bytes) = disk.file_mut(&path) {
+                        if !bytes.is_empty() {
+                            let bit = rng.below(bytes.len() as u64 * 8);
+                            bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+                        }
+                    }
+                }
+                // Truncate to a random prefix (torn write).
+                1 => {
+                    if let Some(bytes) = disk.file_mut(&path) {
+                        let keep = rng.index(bytes.len().max(1));
+                        bytes.truncate(keep);
+                    }
+                }
+                // Replace wholesale with garbage.
+                2 => {
+                    let len = rng.below(128) as usize;
+                    let garbage: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+                    disk.write(&path, &garbage).expect("sim write");
+                }
+                // Duplicate under a hostile or future generation name.
+                _ => {
+                    let clone = disk.file(&path).expect("listed path").to_vec();
+                    let name = generation_name(1_000 + rng.below(1_000));
+                    disk.write(&name, &clone).expect("sim write");
+                }
+            }
+        }
+        let mut validate = |blob: &[u8]| decode_server_checkpoint(blob).is_ok();
+        let (store, recovered) =
+            CheckpointStore::open(disk, DEFAULT_RETAIN, &mut validate, SimTime::ZERO)
+                .expect("sim disk never fails, so recovery must complete");
+        if let Some(r) = recovered {
+            assert!(
+                decode_server_checkpoint(&r.blob).is_ok(),
+                "round {round}: adopted a blob that does not decode"
+            );
+        }
+        let stats = store.stats();
+        assert!(stats.conservation_holds(), "round {round}: {stats:?}");
+    }
+}
+
 #[test]
 fn hostile_record_counts_cannot_overflow_framing() {
     // Forge headers whose record counts multiply past usize: the length
