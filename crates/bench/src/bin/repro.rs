@@ -87,7 +87,7 @@ use starlink_bench::{capture_begin, capture_end, export_dat, report};
 use starlink_core::constellation::{Constellation, SnapshotCache};
 use starlink_core::experiments::*;
 use starlink_core::geo::{look_angles, Geodetic};
-use starlink_core::simcore::{SimDuration, SimTime};
+use starlink_core::simcore::{EventQueue, QueueBackend, SimDuration, SimRng, SimTime};
 use starlink_core::telemetry::storage::{
     sync_real_dir, CheckpointStore, FaultyDisk, RealDisk, StorageError, StorageFaultPlan,
 };
@@ -569,6 +569,23 @@ struct ArtefactTiming {
     ok: bool,
 }
 
+/// Results of the event-queue microbenchmark: the same seeded
+/// pop-and-reschedule churn run on both [`EventQueue`] backends.
+struct QueueBench {
+    /// Steady-state backlog held in the queue during the churn.
+    pending: usize,
+    /// Pop + reschedule operations timed per backend.
+    churn_ops: usize,
+    wheel_seconds: f64,
+    heap_seconds: f64,
+    /// Pops per wall-clock second on the timing-wheel backend.
+    events_per_sec: f64,
+    heap_events_per_sec: f64,
+    /// Both backends popped the exact same `(time, seq, payload)` stream.
+    results_identical: bool,
+    speedup: f64,
+}
+
 /// Results of the constellation-sweep microbenchmark.
 struct SweepBench {
     observers: usize,
@@ -659,6 +676,21 @@ fn run_bench(seed: u64, targets: &[String], jobs: usize, out_dir: &Path) -> Resu
         return Err("sweep microbenchmark: cached picks diverged from direct scan".to_string());
     }
 
+    println!("[bench] event queue: timing wheel vs binary heap");
+    let queue = queue_microbench(seed);
+    println!(
+        "[bench]   wheel {:.3} s ({:.0} events/s), heap {:.3} s ({:.0} events/s), \
+         speedup {:.2}x",
+        queue.wheel_seconds,
+        queue.events_per_sec,
+        queue.heap_seconds,
+        queue.heap_events_per_sec,
+        queue.speedup,
+    );
+    if !queue.results_identical {
+        return Err("queue microbenchmark: wheel pop stream diverged from the heap".to_string());
+    }
+
     let json = render_bench_json(
         seed,
         worker_count,
@@ -668,6 +700,7 @@ fn run_bench(seed: u64, targets: &[String], jobs: usize, out_dir: &Path) -> Resu
         parallel_seconds,
         parallel_speedup,
         &sweep,
+        &queue,
         &metrics_total,
     );
     std::fs::create_dir_all(out_dir)
@@ -784,6 +817,70 @@ fn sweep_microbench() -> SweepBench {
     }
 }
 
+/// Steady-state backlog the queue microbenchmark holds — sized to the
+/// event population a full fig8 shoot-out keeps in flight.
+const QUEUE_PENDING: usize = 1 << 16;
+/// Pop + reschedule operations timed per backend.
+const QUEUE_CHURN: usize = 1 << 20;
+
+/// A timer-like hold time: mostly sub-2ms (per-packet events), some
+/// tens-of-ms (RTT-scale timers), a tail of multi-second timers (RTOs,
+/// probes) that exercises the wheel's upper levels and overflow stage.
+fn queue_hold_delta(rng: &mut SimRng) -> u64 {
+    match rng.next_u64() % 100 {
+        0..=79 => 1 + rng.next_u64() % 2_000_000,
+        80..=94 => 1 + rng.next_u64() % 200_000_000,
+        _ => 1 + rng.next_u64() % 30_000_000_000,
+    }
+}
+
+/// Runs the seeded churn on one backend; returns wall seconds and an
+/// FNV-1a digest over every popped `(time, seq, payload)` triple.
+fn queue_churn(backend: QueueBackend, seed: u64) -> (f64, u64) {
+    let fnv = |digest: u64, v: u64| -> u64 {
+        let mut d = digest;
+        for byte in v.to_le_bytes() {
+            d = (d ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3);
+        }
+        d
+    };
+    let mut queue: EventQueue<u64> = EventQueue::with_backend(backend);
+    let mut rng = SimRng::seed_from(seed);
+    for i in 0..QUEUE_PENDING {
+        let at = queue_hold_delta(&mut rng);
+        queue.schedule(SimTime::from_nanos(at), i as u64);
+    }
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    let start = Instant::now();
+    for _ in 0..QUEUE_CHURN {
+        let ev = queue.pop().expect("backlog never drains during the churn");
+        digest = fnv(digest, ev.time.as_nanos());
+        digest = fnv(digest, ev.seq);
+        digest = fnv(digest, ev.payload);
+        let next = ev.time.as_nanos() + queue_hold_delta(&mut rng);
+        queue.schedule(SimTime::from_nanos(next), ev.payload);
+    }
+    (start.elapsed().as_secs_f64(), digest)
+}
+
+/// Times the simulator's event queue under a pop-and-reschedule hold
+/// pattern on both backends. The identical seeded workload must produce
+/// identical pop streams — the bench doubles as a determinism oracle.
+fn queue_microbench(seed: u64) -> QueueBench {
+    let (wheel_seconds, wheel_digest) = queue_churn(QueueBackend::TimingWheel, seed);
+    let (heap_seconds, heap_digest) = queue_churn(QueueBackend::BinaryHeap, seed);
+    QueueBench {
+        pending: QUEUE_PENDING,
+        churn_ops: QUEUE_CHURN,
+        wheel_seconds,
+        heap_seconds,
+        events_per_sec: QUEUE_CHURN as f64 / wheel_seconds.max(1e-9),
+        heap_events_per_sec: QUEUE_CHURN as f64 / heap_seconds.max(1e-9),
+        results_identical: wheel_digest == heap_digest,
+        speedup: heap_seconds / wheel_seconds.max(1e-9),
+    }
+}
+
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -810,6 +907,7 @@ fn render_bench_json(
     parallel_seconds: f64,
     parallel_speedup: f64,
     sweep: &SweepBench,
+    queue: &QueueBench,
     metrics: &starlink_obsv::MetricsRegistry,
 ) -> String {
     let target_list = targets
@@ -817,6 +915,14 @@ fn render_bench_json(
         .map(|t| json_string(t))
         .collect::<Vec<_>>()
         .join(", ");
+    // The fig8 wall time is the bench's long-horizon trend line: the
+    // congestion-control shoot-out is the heaviest event-queue consumer,
+    // so regressions in the queue show up here first. `null` when fig8
+    // was not part of this run.
+    let fig8_wall_seconds = artefacts
+        .iter()
+        .find(|a| a.name == "fig8")
+        .map_or("null".to_string(), |a| format!("{:.6}", a.seconds));
     let artefact_list = artefacts
         .iter()
         .map(|a| {
@@ -850,10 +956,30 @@ fn render_bench_json(
          \x20   \"results_identical\": {identical},\n\
          \x20   \"speedup\": {sweep_speedup:.4}\n\
          \x20 }},\n\
+         \x20 \"queue\": {{\n\
+         \x20   \"pending\": {q_pending},\n\
+         \x20   \"churn_ops\": {q_ops},\n\
+         \x20   \"wheel_seconds\": {q_wheel:.6},\n\
+         \x20   \"heap_seconds\": {q_heap:.6},\n\
+         \x20   \"events_per_sec\": {q_eps:.1},\n\
+         \x20   \"heap_events_per_sec\": {q_heap_eps:.1},\n\
+         \x20   \"results_identical\": {q_identical},\n\
+         \x20   \"speedup\": {q_speedup:.4}\n\
+         \x20 }},\n\
+         \x20 \"events_per_sec\": {q_eps:.1},\n\
+         \x20 \"fig8_wall_seconds\": {fig8_wall_seconds},\n\
          \x20 \"metrics\": {metrics_json},\n\
          \x20 \"speedup\": {sweep_speedup:.4}\n\
          }}\n",
         metrics_json = metrics.to_json(2),
+        q_pending = queue.pending,
+        q_ops = queue.churn_ops,
+        q_wheel = queue.wheel_seconds,
+        q_heap = queue.heap_seconds,
+        q_eps = queue.events_per_sec,
+        q_heap_eps = queue.heap_events_per_sec,
+        q_identical = queue.results_identical,
+        q_speedup = queue.speedup,
         observers = sweep.observers,
         satellites = sweep.satellites,
         boundaries = sweep.boundaries,

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod arena;
 pub mod fault;
 pub mod link;
 pub mod network;
@@ -53,4 +54,4 @@ pub use link::{LinkConfig, LinkDynamics, LinkStats, StaticDynamics};
 pub use network::{Network, NetworkStats};
 pub use node::{Ctx, Handler, NodeId, NodeKind, NodeStats};
 pub use trace::EventTrace;
-pub use wire::{Packet, Payload, TcpFlags, TcpHeader, UdpDatagram};
+pub use wire::{Packet, Payload, SackBlocks, TcpFlags, TcpHeader, UdpDatagram};

@@ -40,6 +40,85 @@ impl TcpFlags {
     };
 }
 
+/// Up to three SACK blocks, stored inline.
+///
+/// Real TCP carries at most three SACK blocks alongside timestamps
+/// (RFC 2018's 40-byte option budget), so a fixed-capacity array loses
+/// nothing — and unlike the `Vec` it replaced, cloning a header (which
+/// happens for every segment crossing the simulated wire) no longer heap
+/// allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SackBlocks {
+    blocks: [(u64, u64); SackBlocks::CAPACITY],
+    len: u8,
+}
+
+impl SackBlocks {
+    /// Maximum number of blocks a header can carry (RFC 2018 with
+    /// timestamps in play).
+    pub const CAPACITY: usize = 3;
+
+    /// No blocks.
+    pub fn new() -> Self {
+        SackBlocks::default()
+    }
+
+    /// Appends a `(start, end)` block. Returns `false` (dropping the
+    /// block) once `CAPACITY` blocks are held — mirroring a real header
+    /// running out of option space.
+    pub fn push(&mut self, start: u64, end: u64) -> bool {
+        if (self.len as usize) < Self::CAPACITY {
+            self.blocks[self.len as usize] = (start, end);
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The carried blocks, in insertion order.
+    pub fn as_slice(&self) -> &[(u64, u64)] {
+        &self.blocks[..self.len as usize]
+    }
+
+    /// Iterates over the carried blocks.
+    pub fn iter(&self) -> std::slice::Iter<'_, (u64, u64)> {
+        self.as_slice().iter()
+    }
+
+    /// Number of carried blocks.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether no blocks are carried.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<'a> IntoIterator for &'a SackBlocks {
+    type Item = &'a (u64, u64);
+    type IntoIter = std::slice::Iter<'a, (u64, u64)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl FromIterator<(u64, u64)> for SackBlocks {
+    /// Collects at most [`SackBlocks::CAPACITY`] blocks; extras are
+    /// silently dropped, like a header out of option space.
+    fn from_iter<I: IntoIterator<Item = (u64, u64)>>(iter: I) -> Self {
+        let mut blocks = SackBlocks::new();
+        for (start, end) in iter {
+            if !blocks.push(start, end) {
+                break;
+            }
+        }
+        blocks
+    }
+}
+
 /// A (simplified) TCP header: enough state for sequencing, cumulative and
 /// selective acknowledgement, and connection management.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,8 +134,9 @@ pub struct TcpHeader {
     /// Bytes of application data carried.
     pub data_len: u64,
     /// Up to three SACK blocks `(start, end)` of received-but-unacked
-    /// ranges (end exclusive), newest first.
-    pub sack: Vec<(u64, u64)>,
+    /// ranges (end exclusive), newest first. Stored inline so header
+    /// clones stay allocation-free.
+    pub sack: SackBlocks,
     /// Receiver's advertised window, bytes.
     pub window: u64,
     /// Timestamp option: data segments carry their send time here, and
@@ -75,7 +155,7 @@ impl TcpHeader {
             ack: 0,
             flags: TcpFlags::default(),
             data_len,
-            sack: Vec::new(),
+            sack: SackBlocks::new(),
             window: u64::MAX,
             ts: None,
         }
@@ -186,6 +266,27 @@ mod tests {
         assert_eq!(h.data_len, 1_460);
         assert!(h.sack.is_empty());
         assert!(!h.flags.syn && !h.flags.ack && !h.flags.fin);
+    }
+
+    #[test]
+    fn sack_blocks_cap_at_capacity() {
+        let mut sack = SackBlocks::new();
+        assert!(sack.is_empty());
+        assert!(sack.push(10, 20));
+        assert!(sack.push(30, 40));
+        assert!(sack.push(50, 60));
+        assert!(!sack.push(70, 80), "fourth block must be refused");
+        assert_eq!(sack.len(), 3);
+        assert_eq!(sack.as_slice(), &[(10, 20), (30, 40), (50, 60)]);
+        let collected: Vec<(u64, u64)> = sack.iter().copied().collect();
+        assert_eq!(collected, vec![(10, 20), (30, 40), (50, 60)]);
+    }
+
+    #[test]
+    fn sack_blocks_collect_truncates() {
+        let sack: SackBlocks = (0..10u64).map(|i| (i * 10, i * 10 + 5)).collect();
+        assert_eq!(sack.len(), SackBlocks::CAPACITY);
+        assert_eq!(sack.as_slice(), &[(0, 5), (10, 15), (20, 25)]);
     }
 
     #[test]

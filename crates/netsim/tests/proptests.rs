@@ -1,9 +1,10 @@
 //! Property tests for the packet simulator: conservation, timing bounds
-//! and determinism over randomized link parameters.
+//! and determinism over randomized link parameters — plus wire-format
+//! invariants for the inline SACK block store.
 
 use proptest::prelude::*;
 use starlink_netsim::{
-    FaultMode, FaultSchedule, FaultWindow, LinkConfig, Network, NodeKind, Payload,
+    FaultMode, FaultSchedule, FaultWindow, LinkConfig, Network, NodeKind, Payload, SackBlocks,
 };
 use starlink_simcore::{Bytes, DataRate, SimDuration, SimTime};
 
@@ -259,5 +260,51 @@ proptest! {
             count,
             "drops unaccounted for"
         );
+    }
+
+    /// The inline SACK store behaves exactly like a `Vec` truncated at
+    /// [`SackBlocks::CAPACITY`]: same contents, same order, same length —
+    /// whether built by `push` or collected from an iterator.
+    #[test]
+    fn sack_blocks_match_a_truncated_vec_model(
+        blocks in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..8)
+    ) {
+        let model: Vec<(u64, u64)> = blocks
+            .iter()
+            .copied()
+            .take(SackBlocks::CAPACITY)
+            .collect();
+
+        let mut pushed = SackBlocks::new();
+        for &(s, e) in &blocks {
+            let had_room = pushed.len() < SackBlocks::CAPACITY;
+            prop_assert_eq!(pushed.push(s, e), had_room);
+        }
+        prop_assert_eq!(pushed.as_slice(), model.as_slice());
+        prop_assert_eq!(pushed.len(), model.len());
+        prop_assert_eq!(pushed.is_empty(), model.is_empty());
+
+        let collected: SackBlocks = blocks.iter().copied().collect();
+        prop_assert_eq!(collected, pushed);
+
+        // Both iteration paths agree with the slice view.
+        let via_iter: Vec<(u64, u64)> = collected.iter().copied().collect();
+        let via_into: Vec<(u64, u64)> = (&collected).into_iter().copied().collect();
+        prop_assert_eq!(via_iter.as_slice(), model.as_slice());
+        prop_assert_eq!(via_into.as_slice(), model.as_slice());
+    }
+
+    /// Push returns `false` exactly when the store is full, and a refused
+    /// push never mutates the carried blocks.
+    #[test]
+    fn sack_blocks_refuse_overflow_without_mutation(
+        head in proptest::collection::vec((any::<u64>(), any::<u64>()), 3..4),
+        extra in (any::<u64>(), any::<u64>()),
+    ) {
+        let mut sack: SackBlocks = head.iter().copied().collect();
+        let before = sack;
+        prop_assert!(!sack.push(extra.0, extra.1));
+        prop_assert_eq!(sack, before);
+        prop_assert_eq!(sack.len(), SackBlocks::CAPACITY);
     }
 }

@@ -11,7 +11,7 @@
 //! delivery-rate sampling for BBR) and drops everything else.
 
 use crate::cc::{AckSample, CcAlgorithm, CongestionControl};
-use starlink_netsim::{Ctx, Handler, NodeId, Packet, Payload, TcpFlags, TcpHeader};
+use starlink_netsim::{Ctx, Handler, NodeId, Packet, Payload, SackBlocks, TcpFlags, TcpHeader};
 use starlink_obsv::{self as obsv, TcpPhase, TraceEvent};
 use starlink_simcore::{Bytes, DataRate, SimDuration, SimTime};
 use std::cell::RefCell;
@@ -211,6 +211,11 @@ pub struct TcpSender {
     /// Last phase reported through the observability layer; transitions
     /// emit a `tcp_state` trace event.
     last_phase: TcpPhase,
+    /// Reusable scratch for per-ACK sequence-number sweeps (cumulative
+    /// removal and SACK coverage). At LEO bandwidth-delay products every
+    /// ACK used to allocate a fresh `Vec` here — on the hot path that was
+    /// the dominant allocator traffic in the whole transport.
+    ack_scratch: Vec<u64>,
 }
 
 impl TcpSender {
@@ -254,6 +259,7 @@ impl TcpSender {
                 tlp_outstanding: false,
                 tlp_allowed: true,
                 last_phase: TcpPhase::Handshake,
+                ack_scratch: Vec::new(),
             },
             stats,
         )
@@ -544,7 +550,10 @@ impl TcpSender {
 
         // Cumulative progress.
         if hdr.ack > self.una {
-            let mut to_remove = Vec::new();
+            // Scratch swap instead of a fresh Vec: the steady-state ACK
+            // path must not allocate.
+            let mut to_remove = std::mem::take(&mut self.ack_scratch);
+            to_remove.clear();
             for (&seq, seg) in self.segs.range(..hdr.ack) {
                 // Bytes not already credited via SACK count as new.
                 if !seg.sacked {
@@ -560,7 +569,7 @@ impl TcpSender {
                 ));
                 to_remove.push(seq);
             }
-            for seq in to_remove {
+            for &seq in &to_remove {
                 // The scan above produced `seq` from `segs` itself, so the
                 // entry must exist; degrade to skipping rather than panic.
                 let Some(seg) = self.segs.remove(&seq) else {
@@ -576,6 +585,7 @@ impl TcpSender {
                     }
                 }
             }
+            self.ack_scratch = to_remove;
             self.una = hdr.ack;
             self.dupacks = 0;
             // Cumulative progress re-earns the tail-loss probe.
@@ -598,8 +608,10 @@ impl TcpSender {
                 }
                 self.highest_sacked_end = end;
             }
-            let covered: Vec<u64> = self.unsacked.range(start..end).copied().collect();
-            for seq in covered {
+            let mut covered = std::mem::take(&mut self.ack_scratch);
+            covered.clear();
+            covered.extend(self.unsacked.range(start..end).copied());
+            for &seq in &covered {
                 // `unsacked` mirrors `segs`; a missing entry would mean the
                 // mirror desynced — skip it rather than abort the campaign.
                 let Some(seg) = self.segs.get_mut(&seq) else {
@@ -627,6 +639,7 @@ impl TcpSender {
                     ));
                 }
             }
+            self.ack_scratch = covered;
         }
 
         self.delivered += newly_acked;
@@ -940,8 +953,12 @@ impl TcpReceiver {
     /// highest-first policy starves the sender of knowledge about
     /// received data just above `una`, and a cursor-based retransmitter
     /// then resends megabytes the receiver already has.)
-    fn sack_blocks(&self) -> Vec<(u64, u64)> {
-        self.ooo.iter().take(3).map(|(&s, &e)| (s, e)).collect()
+    fn sack_blocks(&self) -> SackBlocks {
+        self.ooo
+            .iter()
+            .take(SackBlocks::CAPACITY)
+            .map(|(&s, &e)| (s, e))
+            .collect()
     }
 }
 
@@ -1124,7 +1141,7 @@ mod tests {
         rx.insert_range(1_460, 2_920); // second segment first
         rx.advance();
         assert_eq!(rx.rcv_next, 0);
-        assert_eq!(rx.sack_blocks(), vec![(1_460, 2_920)]);
+        assert_eq!(rx.sack_blocks().as_slice(), &[(1_460, 2_920)]);
         rx.insert_range(0, 1_460);
         rx.advance();
         assert_eq!(rx.rcv_next, 2_920);
@@ -1138,9 +1155,9 @@ mod tests {
         rx.insert_range(100, 200);
         rx.insert_range(150, 300);
         rx.insert_range(400, 500);
-        assert_eq!(rx.sack_blocks(), vec![(100, 300), (400, 500)]);
+        assert_eq!(rx.sack_blocks().as_slice(), &[(100, 300), (400, 500)]);
         rx.insert_range(300, 400); // bridges the gap
-        assert_eq!(rx.sack_blocks(), vec![(100, 500)]);
+        assert_eq!(rx.sack_blocks().as_slice(), &[(100, 500)]);
     }
 
     #[test]

@@ -53,6 +53,35 @@ fn twin_traced_runs_are_byte_identical() {
     );
     assert_eq!(report_a, report_b);
 
+    // The event-queue counters are part of the twin-identical registry:
+    // every pop is counted, and the high-watermark gauge saw a real peak.
+    // These pin the scheduler's behaviour, not just the packet layer's —
+    // a queue backend that popped a different number of events (or held a
+    // different backlog) would diverge here before anything else.
+    assert!(
+        reg_a.counter("simcore.events_popped") > 0,
+        "no events popped?"
+    );
+    assert_eq!(
+        reg_a.counter("simcore.events_popped"),
+        reg_b.counter("simcore.events_popped"),
+        "pop counts diverged between twin runs"
+    );
+    assert_eq!(
+        reg_a.counter("simcore.events_scheduled"),
+        reg_b.counter("simcore.events_scheduled"),
+        "schedule counts diverged between twin runs"
+    );
+    let watermark_a = reg_a
+        .gauge("simcore.queue_high_watermark")
+        .expect("high-watermark gauge missing");
+    assert!(watermark_a > 0, "queue never held an event?");
+    assert_eq!(
+        Some(watermark_a),
+        reg_b.gauge("simcore.queue_high_watermark"),
+        "queue high-watermark diverged between twin runs"
+    );
+
     // Tracing is an observer: the digest of an untraced run matches.
     let mut scenario = gen::generate(23);
     scenario.telemetry = None;
