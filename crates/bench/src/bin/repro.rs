@@ -82,6 +82,20 @@
 //! the uploads travel as SLCS session frames through the collector
 //! server under its strained admission budget, so the report's shed
 //! column and typed REJECT accounting are exercised too.
+//!
+//! ## Population scale (`--users`)
+//!
+//! `repro campaign --users 1000000 --cities 120 --jobs 8 --days 3` swaps
+//! the 28-user deployment for the sharded [`ScaledCampaign`] engine: a
+//! struct-of-arrays population across a 100+-city catalogue with
+//! longitude-derived time zones, partitioned into contiguous user shards
+//! that `--jobs` workers claim and a single merge thread reassembles in
+//! shard order. The digest, coverage report, traces and metrics are
+//! byte-identical at any `--jobs` value, and checkpoints carry no worker
+//! count, so `--resume` under a different `--jobs` is byte-identical
+//! too. Alongside the digest and coverage files, `--out` receives
+//! `BENCH_campaign.json` (`repro-campaign-bench-v1`: users/sec,
+//! wall-clock, peak RSS, merged coverage totals, dataset digest).
 
 use starlink_bench::{capture_begin, capture_end, export_dat, report};
 use starlink_core::constellation::{Constellation, SnapshotCache};
@@ -92,7 +106,8 @@ use starlink_core::telemetry::storage::{
     sync_real_dir, CheckpointStore, FaultyDisk, RealDisk, StorageError, StorageFaultPlan,
 };
 use starlink_core::telemetry::{
-    AdmissionConfig, Campaign, CampaignConfig, IngestOptions, ResilientCampaign,
+    AdmissionConfig, Campaign, CampaignConfig, IngestOptions, ResilientCampaign, ScaleConfig,
+    ScaledCampaign,
 };
 use starlink_core::tle::ShellConfig;
 use std::collections::BTreeMap;
@@ -230,6 +245,17 @@ struct CampaignOpts {
     /// `--checkpoint` file to a crash-consistent [`CheckpointStore`]
     /// chain rooted at that path (now a directory).
     storage_faults: Option<u64>,
+    /// Population-scale mode: `--users N` (N > 0) switches the campaign
+    /// from the paper-faithful 28-user deployment to the sharded
+    /// [`ScaledCampaign`] engine over N synthetic subscribers.
+    users: u64,
+    /// City-catalogue size for population-scale mode (the catalogue is
+    /// anchored on the paper's real cities and padded with synthetic
+    /// metros at seeded longitudes).
+    cities: u32,
+    /// Worker threads for population-scale mode, copied from the global
+    /// `--jobs`. Output is byte-identical at any value.
+    jobs: usize,
     out: PathBuf,
 }
 
@@ -243,6 +269,9 @@ impl Default for CampaignOpts {
             kill_at_day: None,
             service: false,
             storage_faults: None,
+            users: 0,
+            cities: 120,
+            jobs: 1,
             out: PathBuf::from("target/repro"),
         }
     }
@@ -329,6 +358,19 @@ fn main() {
                         .unwrap_or_else(|| usage("--kill-at-day needs a day number")),
                 );
             }
+            "--users" => {
+                campaign.users = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--users needs a subscriber count"));
+            }
+            "--cities" => {
+                campaign.cities = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--cities needs a city count >= 1"));
+            }
             "--out" => {
                 campaign.out = it
                     .next()
@@ -360,7 +402,10 @@ fn main() {
     }
 
     // The campaign artefact streams checkpoint progress interactively and
-    // writes shared files, so any run including it stays sequential.
+    // writes shared files, so any run including it stays sequential at the
+    // artefact level. The population-scale engine still fans out over user
+    // shards internally, so the global --jobs is carried into its options.
+    campaign.jobs = jobs;
     let effective_jobs = if targets.iter().any(|t| t == "campaign") {
         1
     } else {
@@ -443,6 +488,11 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "campaign flags: [--days N] [--checkpoint-every N] [--checkpoint PATH] \
          [--resume] [--kill-at-day D] [--service] [--storage-faults SEED] [--out DIR]"
+    );
+    eprintln!(
+        "campaign scale flags: [--users N] [--cities N] (with --jobs N for sharded \
+         workers; output is byte-identical at any worker count, and \
+         BENCH_campaign.json lands under --out)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -1057,10 +1107,198 @@ fn open_campaign_store(
     unreachable!("loop returns or errors within 5 attempts");
 }
 
+/// Peak resident set size of this process in kB, from `VmHWM` in
+/// `/proc/self/status`. Returns 0 on platforms without procfs.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|line| line.starts_with("VmHWM:"))
+                .and_then(|line| line.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Renders `BENCH_campaign.json` for a completed population-scale run.
+/// Every field except the wall-clock ones (`wall_ms`, `users_per_sec`,
+/// `peak_rss_kb`) is deterministic and byte-identical at any `--jobs`.
+#[allow(clippy::too_many_arguments)]
+fn render_campaign_bench_json(
+    config: &ScaleConfig,
+    jobs: usize,
+    days_run: u64,
+    wall_ms: f64,
+    users_per_sec: f64,
+    rss_kb: u64,
+    digest: u64,
+    totals: &starlink_core::telemetry::CoverageTotals,
+    coverage_exact: bool,
+) -> String {
+    format!(
+        "{{\n\
+         \x20 \"schema\": \"repro-campaign-bench-v1\",\n\
+         \x20 \"seed\": {seed},\n\
+         \x20 \"users\": {users},\n\
+         \x20 \"cities\": {cities},\n\
+         \x20 \"days\": {days},\n\
+         \x20 \"days_run\": {days_run},\n\
+         \x20 \"jobs\": {jobs},\n\
+         \x20 \"wall_ms\": {wall_ms:.3},\n\
+         \x20 \"users_per_sec\": {users_per_sec:.1},\n\
+         \x20 \"peak_rss_kb\": {rss_kb},\n\
+         \x20 \"dataset_digest\": {digest_str},\n\
+         \x20 \"generated\": {generated},\n\
+         \x20 \"delivered\": {delivered},\n\
+         \x20 \"quarantined\": {quarantined},\n\
+         \x20 \"shed\": {shed},\n\
+         \x20 \"lost\": {lost},\n\
+         \x20 \"coverage_exact\": {coverage_exact}\n\
+         }}\n",
+        seed = config.seed,
+        users = config.users,
+        cities = config.cities,
+        days = config.days,
+        digest_str = json_string(&format!("{digest:016x}")),
+        generated = totals.generated,
+        delivered = totals.delivered,
+        quarantined = totals.quarantined,
+        shed = totals.shed,
+        lost = totals.lost,
+    )
+}
+
+/// Drives the population-scale sharded campaign (`--users N`): a
+/// struct-of-arrays subscriber population partitioned into contiguous
+/// user shards, run on `--jobs` workers and merged in shard order so
+/// every output file is byte-identical at any worker count.
+fn run_scaled_campaign(seed: u64, o: &CampaignOpts) -> Result<(), String> {
+    if o.service {
+        return Err("--service applies to the paper-faithful campaign, not --users".to_string());
+    }
+    if o.storage_faults.is_some() {
+        return Err(
+            "--storage-faults applies to the paper-faithful campaign, not --users".to_string(),
+        );
+    }
+    let config = ScaleConfig {
+        seed,
+        users: o.users,
+        cities: o.cities,
+        days: o.days,
+        ..ScaleConfig::default()
+    };
+
+    let mut sc = if o.resume {
+        let bytes = std::fs::read(&o.checkpoint)
+            .map_err(|e| format!("cannot read checkpoint {}: {e}", o.checkpoint.display()))?;
+        let sc = ScaledCampaign::resume(config, &bytes)
+            .map_err(|e| format!("refusing checkpoint {}: {e}", o.checkpoint.display()))?;
+        println!(
+            "[campaign] resumed {} users / {} cities from {} at day {}",
+            config.users,
+            config.cities,
+            o.checkpoint.display(),
+            sc.next_day()
+        );
+        sc
+    } else {
+        println!(
+            "[campaign] population-scale mode: {} users, {} cities, {} days, {} worker(s)",
+            config.users, config.cities, config.days, o.jobs
+        );
+        ScaledCampaign::new(config)
+    };
+
+    let start_day = sc.next_day();
+    let start = Instant::now();
+    while !sc.is_finished() {
+        sc.run_day(o.jobs);
+        let day = sc.next_day();
+        let due = o.checkpoint_every > 0 && day % o.checkpoint_every == 0 && !sc.is_finished();
+        if due {
+            write_checkpoint_file(&o.checkpoint, &sc.checkpoint())?;
+            println!(
+                "[campaign] checkpoint at day {day} -> {}",
+                o.checkpoint.display()
+            );
+        }
+        if let Some(kill) = o.kill_at_day {
+            if day >= kill && !sc.is_finished() {
+                println!("[campaign] simulated kill at day {day}; rerun with --resume to continue");
+                return Ok(());
+            }
+        }
+    }
+    let wall = start.elapsed();
+    let days_run = sc.next_day() - start_day;
+
+    let totals = sc.ledger().totals();
+    let coverage_exact = sc.ledger().sums_hold();
+    let digest = sc.dataset_digest();
+    let coverage = sc.render();
+    let digest_line = format!("{digest:016x}\n");
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    let users_per_sec = (config.users * days_run.max(1)) as f64 / wall.as_secs_f64().max(1e-9);
+    let rss_kb = peak_rss_kb();
+
+    let shape = if coverage_exact {
+        Ok(())
+    } else {
+        Err("coverage accounting does not sum to 100%".to_string())
+    };
+    let mut rendered = coverage.clone();
+    rendered.push_str(&format!(
+        "\n{days_run} day(s) in {wall_ms:.0} ms on {} worker(s) ({users_per_sec:.0} \
+         user-days/sec, peak RSS {rss_kb} kB)\ncanonical dataset digest: {digest_line}",
+        o.jobs,
+    ));
+    report(
+        "Campaign — sharded population-scale ingestion",
+        &rendered,
+        shape,
+    );
+
+    std::fs::create_dir_all(&o.out)
+        .map_err(|e| format!("cannot create {}: {e}", o.out.display()))?;
+    std::fs::write(o.out.join("campaign_digest.txt"), &digest_line)
+        .map_err(|e| format!("cannot write digest: {e}"))?;
+    std::fs::write(o.out.join("campaign_coverage.txt"), &coverage)
+        .map_err(|e| format!("cannot write coverage: {e}"))?;
+    let bench = render_campaign_bench_json(
+        &config,
+        o.jobs,
+        days_run,
+        wall_ms,
+        users_per_sec,
+        rss_kb,
+        digest,
+        &totals,
+        coverage_exact,
+    );
+    std::fs::write(o.out.join("BENCH_campaign.json"), &bench)
+        .map_err(|e| format!("cannot write BENCH_campaign.json: {e}"))?;
+    println!(
+        "[campaign] wrote campaign_digest.txt, campaign_coverage.txt and BENCH_campaign.json \
+         under {}",
+        o.out.display()
+    );
+    if !coverage_exact {
+        return Err("coverage accounting does not sum to 100%".to_string());
+    }
+    Ok(())
+}
+
 /// Drives the fault-storm telemetry campaign through the resilient
 /// ingestion path with optional day-boundary checkpointing, simulated
-/// kills, seeded disk faults, and byte-identical resume.
+/// kills, seeded disk faults, and byte-identical resume. With
+/// `--users N` the run switches to [`run_scaled_campaign`].
 fn run_campaign(seed: u64, o: &CampaignOpts) -> Result<(), String> {
+    if o.users > 0 {
+        return run_scaled_campaign(seed, o);
+    }
     let config = CampaignConfig {
         seed,
         days: o.days,

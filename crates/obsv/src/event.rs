@@ -442,6 +442,22 @@ pub enum TraceEvent {
         /// Typed storage failure.
         reason: StorageShedReason,
     },
+    /// A sharded campaign day finished merging: every shard's ledger was
+    /// folded into the global ledger in shard order. Emitted once per
+    /// campaign day *after* the merge, on the driving thread, so the
+    /// event stream is identical at any worker count.
+    CampaignDayMerged {
+        /// Simulation time, nanoseconds (the day boundary).
+        t_ns: u64,
+        /// Campaign day just completed (0-based).
+        day: u64,
+        /// Simulated subscribers the day covered.
+        users: u64,
+        /// Records generated this day across all shards.
+        generated: u64,
+        /// Records delivered this day across all shards.
+        delivered: u64,
+    },
 }
 
 impl TraceEvent {
@@ -468,7 +484,8 @@ impl TraceEvent {
             | TraceEvent::CheckpointWritten { t_ns, .. }
             | TraceEvent::CheckpointRecovered { t_ns, .. }
             | TraceEvent::CheckpointQuarantined { t_ns, .. }
-            | TraceEvent::CheckpointShed { t_ns, .. } => t_ns,
+            | TraceEvent::CheckpointShed { t_ns, .. }
+            | TraceEvent::CampaignDayMerged { t_ns, .. } => t_ns,
         }
     }
 
@@ -564,6 +581,12 @@ impl TraceEvent {
                 generation.wrapping_mul(31).wrapping_add(reason.tag()),
                 reason.tag(),
             ),
+            TraceEvent::CampaignDayMerged {
+                t_ns,
+                day,
+                generated,
+                ..
+            } => (22, t_ns, day, generated),
         }
     }
 
@@ -775,6 +798,18 @@ impl TraceEvent {
                     reason.code()
                 );
             }
+            TraceEvent::CampaignDayMerged {
+                t_ns,
+                day,
+                users,
+                generated,
+                delivered,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t_ns},\"ev\":\"campaign_day\",\"day\":{day},\"users\":{users},\"generated\":{generated},\"delivered\":{delivered}}}"
+                );
+            }
         }
     }
 
@@ -916,6 +951,26 @@ mod tests {
             "{\"t\":8,\"ev\":\"checkpoint_shed\",\"generation\":4,\"reason\":\"no_space\"}"
         );
         assert_eq!(shed.digest_parts().0, 21);
+    }
+
+    #[test]
+    fn campaign_day_merged_renders_and_digests_with_new_tag() {
+        let merged = TraceEvent::CampaignDayMerged {
+            t_ns: 86_400_000_000_000,
+            day: 0,
+            users: 1_000_000,
+            generated: 22_000_000,
+            delivered: 20_500_000,
+        };
+        assert_eq!(
+            merged.to_json(),
+            "{\"t\":86400000000000,\"ev\":\"campaign_day\",\"day\":0,\"users\":1000000,\"generated\":22000000,\"delivered\":20500000}"
+        );
+        assert_eq!(
+            merged.digest_parts(),
+            (22, 86_400_000_000_000, 0, 22_000_000)
+        );
+        assert_eq!(merged.time_ns(), 86_400_000_000_000);
     }
 
     #[test]

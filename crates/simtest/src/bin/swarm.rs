@@ -3,9 +3,11 @@
 //! ```text
 //! swarm run [--seeds N] [--jobs J] [--base-seed B] [--out DIR]
 //!           [--inject-bug EVERY] [--inject-shed-bug EVERY]
-//!           [--inject-manifest-bug EVERY] [--shrink]
+//!           [--inject-manifest-bug EVERY] [--inject-shard-bug EVERY]
+//!           [--shrink]
 //! swarm replay --seed S [--scenario FILE] [--inject-bug EVERY]
 //!              [--inject-shed-bug EVERY] [--inject-manifest-bug EVERY]
+//!              [--inject-shard-bug EVERY]
 //! ```
 //!
 //! `run` fans `N` seeds across `J` worker threads. Every seed is derived
@@ -30,8 +32,8 @@ fn main() {
         Some("run") => cmd_run(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         _ => {
-            eprintln!("usage: swarm run [--seeds N] [--jobs J] [--base-seed B] [--out DIR] [--inject-bug EVERY] [--inject-shed-bug EVERY] [--inject-manifest-bug EVERY] [--shrink]");
-            eprintln!("       swarm replay --seed S [--scenario FILE] [--inject-bug EVERY] [--inject-shed-bug EVERY] [--inject-manifest-bug EVERY]");
+            eprintln!("usage: swarm run [--seeds N] [--jobs J] [--base-seed B] [--out DIR] [--inject-bug EVERY] [--inject-shed-bug EVERY] [--inject-manifest-bug EVERY] [--inject-shard-bug EVERY] [--shrink]");
+            eprintln!("       swarm replay --seed S [--scenario FILE] [--inject-bug EVERY] [--inject-shed-bug EVERY] [--inject-manifest-bug EVERY] [--inject-shard-bug EVERY]");
             2
         }
     };
@@ -55,6 +57,7 @@ struct Flags {
     inject_bug: u64,
     inject_shed_bug: u64,
     inject_manifest_bug: u64,
+    inject_shard_bug: u64,
     shrink: bool,
     seed: Option<u64>,
     scenario: Option<String>,
@@ -69,6 +72,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         inject_bug: 0,
         inject_shed_bug: 0,
         inject_manifest_bug: 0,
+        inject_shard_bug: 0,
         shrink: false,
         seed: None,
         scenario: None,
@@ -89,6 +93,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--inject-shed-bug" => flags.inject_shed_bug = parse_u64(&value("--inject-shed-bug")?)?,
             "--inject-manifest-bug" => {
                 flags.inject_manifest_bug = parse_u64(&value("--inject-manifest-bug")?)?
+            }
+            "--inject-shard-bug" => {
+                flags.inject_shard_bug = parse_u64(&value("--inject-shard-bug")?)?
             }
             "--shrink" => flags.shrink = true,
             "--seed" => flags.seed = Some(parse_u64(&value("--seed")?)?),
@@ -127,6 +134,7 @@ fn cmd_run(args: &[String]) -> i32 {
         inject_bug_every: flags.inject_bug,
         inject_shed_miscount_every: flags.inject_shed_bug,
         inject_manifest_miscount_every: flags.inject_manifest_bug,
+        inject_shard_bug_every: flags.inject_shard_bug,
     };
 
     // Workers pull indices from a shared counter and write results into
@@ -235,6 +243,7 @@ fn cmd_replay(args: &[String]) -> i32 {
         inject_bug_every: flags.inject_bug,
         inject_shed_miscount_every: flags.inject_shed_bug,
         inject_manifest_miscount_every: flags.inject_manifest_bug,
+        inject_shard_bug_every: flags.inject_shard_bug,
     };
 
     let scenario = match (&flags.scenario, flags.seed) {

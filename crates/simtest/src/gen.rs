@@ -8,8 +8,8 @@
 //! congestion-control algorithm.
 
 use crate::scenario::{
-    ClientSpec, CollectorSpec, FaultSpec, LinkSpec, Scenario, StorageFaultSpec, TelemetrySpec,
-    Workload,
+    ClientSpec, CollectorSpec, FaultSpec, LinkSpec, PopulationSpec, Scenario, StorageFaultSpec,
+    TelemetrySpec, Workload,
 };
 use starlink_channel::WeatherCondition;
 use starlink_simcore::SimRng;
@@ -66,6 +66,18 @@ pub fn generate(seed: u64) -> Scenario {
             crashes: trng.below(3),
             retain: trng.range_u64(1, 4),
         });
+        // Population draws come last, after the storage draws, keeping
+        // every earlier dimension's sub-campaign bit-for-bit on
+        // pre-population seeds. Shards start at 2: a single-shard run
+        // cannot exercise the merge path the oracles exist to check.
+        let population = trng.bernoulli(0.5).then(|| PopulationSpec {
+            seed: trng.next_u64(),
+            users: trng.range_u64(50, 400),
+            cities: trng.range_u64(3, 30),
+            days: trng.range_u64(1, 3),
+            shards: trng.range_u64(2, 5),
+            pages_per_day_milli: trng.range_u64(2_000, 9_000),
+        });
         TelemetrySpec {
             seed,
             days,
@@ -73,6 +85,7 @@ pub fn generate(seed: u64) -> Scenario {
             fault_storm,
             collector,
             storage,
+            population,
         }
     });
 
@@ -229,6 +242,25 @@ mod tests {
         assert!(with, "no generated scenario checkpoints to disk");
         assert!(without, "no generated scenario skips persistence");
         assert!(faulted, "no generated storage spec injects any fault");
+    }
+
+    #[test]
+    fn population_dimension_appears_both_ways() {
+        let (mut with, mut without) = (false, false);
+        for seed in 0..400 {
+            match generate(seed).telemetry {
+                Some(t) if t.population.is_some() => {
+                    with = true;
+                    let p = t.population.unwrap();
+                    assert!(p.shards >= 2, "seed {seed}: single-shard spec {p:?}");
+                    assert!(p.users >= 50 && p.cities >= 3, "seed {seed}: {p:?}");
+                }
+                Some(_) => without = true,
+                None => {}
+            }
+        }
+        assert!(with, "no generated scenario runs the scaled campaign");
+        assert!(without, "no generated scenario skips the scaled campaign");
     }
 
     #[test]

@@ -29,10 +29,12 @@ pub mod scenario;
 pub mod shrink;
 
 pub use oracles::{check, check_twin, Violation};
-pub use run::{run, run_twin, RunOptions, RunReport, StorageReport, TelemetryReport};
+pub use run::{
+    run, run_twin, PopulationReport, RunOptions, RunReport, StorageReport, TelemetryReport,
+};
 pub use scenario::{
-    ClientSpec, CollectorSpec, FaultSpec, LinkSpec, Scenario, StorageFaultSpec, TelemetrySpec,
-    Workload,
+    ClientSpec, CollectorSpec, FaultSpec, LinkSpec, PopulationSpec, Scenario, StorageFaultSpec,
+    TelemetrySpec, Workload,
 };
 
 use starlink_simcore::SimRng;

@@ -24,6 +24,10 @@
 //!   live + pruned + quarantined`), recovery only ever adopts blobs the
 //!   campaign actually sealed, and the recovered run's final dataset is
 //!   byte-identical to an uninterrupted run.
+//! - **Sharding** — when the scenario scales the campaign across worker
+//!   shards, the merged struct-of-arrays ledger still conserves every
+//!   record, and the merged dataset digest is byte-identical to an
+//!   unsharded reference run of the same configuration.
 //! - **Twin-run determinism** — two runs of the same scenario produce the
 //!   same event-trace digest and event count ([`check_twin`]).
 
@@ -113,6 +117,25 @@ pub enum Violation {
     /// The crashed-and-recovered run's final dataset diverged from the
     /// uninterrupted reference run.
     StorageDigestDivergence,
+    /// The population-scale campaign's merged ledger lost track of
+    /// records: `delivered + quarantined + shed + lost != generated`
+    /// after the per-shard ledgers merged.
+    PopulationCoverage {
+        /// Records generated.
+        generated: u64,
+        /// delivered + quarantined + shed + lost in the merged ledger.
+        accounted: u64,
+    },
+    /// The sharded population-scale run's merged dataset diverged from
+    /// the unsharded reference run of the same configuration.
+    PopulationShardDivergence {
+        /// Unsharded reference digest.
+        reference: u64,
+        /// Merged sharded-run digest.
+        sharded: u64,
+        /// Worker count the sharded run used.
+        shards: u64,
+    },
     /// Two runs of the same scenario diverged.
     TwinRunDivergence {
         /// First run's (digest, events).
@@ -188,6 +211,22 @@ impl fmt::Display for Violation {
             Violation::StorageDigestDivergence => write!(
                 f,
                 "storage: recovered run's dataset diverged from the uninterrupted reference"
+            ),
+            Violation::PopulationCoverage {
+                generated,
+                accounted,
+            } => write!(
+                f,
+                "population: {generated} generated but {accounted} accounted in the merged ledger"
+            ),
+            Violation::PopulationShardDivergence {
+                reference,
+                sharded,
+                shards,
+            } => write!(
+                f,
+                "population: sharded dataset {sharded:#018x} at {shards} worker(s) diverged \
+                 from unsharded reference {reference:#018x}"
             ),
             Violation::TwinRunDivergence { first, second } => write!(
                 f,
@@ -288,6 +327,21 @@ pub fn check(report: &RunReport) -> Vec<Violation> {
                 violations.push(Violation::StorageDigestDivergence);
             }
         }
+        if let Some(p) = &t.population {
+            if !p.sums_hold || p.accounted != p.generated {
+                violations.push(Violation::PopulationCoverage {
+                    generated: p.generated,
+                    accounted: p.accounted,
+                });
+            }
+            if !p.digest_matches {
+                violations.push(Violation::PopulationShardDivergence {
+                    reference: p.reference_digest,
+                    sharded: p.sharded_digest,
+                    shards: p.shards,
+                });
+            }
+        }
     }
 
     violations
@@ -383,6 +437,7 @@ mod tests {
                     drain_bytes_per_sec: 16,
                 }),
                 storage: None,
+                population: None,
             }),
         }
     }
@@ -469,6 +524,58 @@ mod tests {
                 .iter()
                 .any(|v| matches!(v, Violation::TelemetryCoverage { .. })),
             "expected a telemetry-coverage violation, got {violations:?}"
+        );
+    }
+
+    /// A scenario whose sub-campaign also scales out across shards:
+    /// enough users that every shard gets a meaningful slice and the
+    /// planted bug (which targets shard 1) has users to drop.
+    fn sharded_population_scenario() -> crate::scenario::Scenario {
+        use crate::scenario::PopulationSpec;
+        let mut s = overloaded_collector_scenario();
+        s.telemetry.as_mut().unwrap().population = Some(PopulationSpec {
+            seed: 0x5CA1_AB1E,
+            users: 300,
+            cities: 15,
+            days: 2,
+            shards: 3,
+            pages_per_day_milli: 6_000,
+        });
+        s
+    }
+
+    #[test]
+    fn sharded_population_passes_all_oracles() {
+        let report = run(&sharded_population_scenario(), &RunOptions::default());
+        let t = report.telemetry.expect("scenario has a sub-campaign");
+        let p = t.population.expect("scenario scales out");
+        assert!(p.generated > 0, "scaled campaign generated nothing: {p:?}");
+        assert!(p.sums_hold && p.digest_matches, "{p:?}");
+        let violations = check(&report);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn oracle_catches_planted_shard_bug() {
+        let report = run(
+            &sharded_population_scenario(),
+            &RunOptions {
+                inject_shard_bug_every: 1,
+                ..RunOptions::default()
+            },
+        );
+        let violations = check(&report);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::PopulationCoverage { .. })),
+            "expected a population-coverage violation, got {violations:?}"
+        );
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::PopulationShardDivergence { .. })),
+            "expected a shard-divergence violation, got {violations:?}"
         );
     }
 

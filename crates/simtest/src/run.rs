@@ -10,7 +10,9 @@
 //! the same scenario twice must produce byte-identical [`RunReport`]s;
 //! the twin-run oracle enforces exactly that.
 
-use crate::scenario::{FaultSpec, Scenario, StorageFaultSpec, TelemetrySpec, Workload};
+use crate::scenario::{
+    FaultSpec, PopulationSpec, Scenario, StorageFaultSpec, TelemetrySpec, Workload,
+};
 use starlink_channel::WeatherCondition;
 use starlink_faults::{FaultPlan, LinkRef};
 use starlink_netsim::{
@@ -20,7 +22,7 @@ use starlink_netsim::{
 use starlink_simcore::{Bytes, DataRate, SimDuration, SimTime};
 use starlink_telemetry::{
     CampaignConfig, CheckpointStore, Collection, FaultyDisk, IngestOptions, ResilientCampaign,
-    SimDisk, StorageError,
+    ScaledCampaign, SimDisk, StorageError,
 };
 use starlink_transport::tcp::TcpConfig;
 use starlink_transport::{CcAlgorithm, TcpReceiver, TcpSender, UdpBlaster, UdpSink};
@@ -48,6 +50,13 @@ pub struct RunOptions {
     /// conservation oracle must catch this; it exists to prove it can
     /// (`swarm --inject-manifest-bug`).
     pub inject_manifest_miscount_every: u64,
+    /// Test-only shard-bug injection for population-scale sub-campaigns:
+    /// every N-th local user of shard 1 has its batches dropped after
+    /// generation (see `ScaledCampaign::debug_drop_user_in_shard_every`).
+    /// Invisible unsharded, it breaks both merged-ledger conservation and
+    /// the sharded-vs-reference digest; the sharding oracles must catch
+    /// it (`swarm --inject-shard-bug`).
+    pub inject_shard_bug_every: u64,
 }
 
 /// Ground truth for one TCP flow, snapshotted after quiescence.
@@ -102,6 +111,28 @@ pub struct StorageReport {
     pub digest_matches: bool,
 }
 
+/// Ground truth for the population-scale sharded sub-campaign: the
+/// sharded run's merged ledger, compared against an unsharded reference
+/// run of the same configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PopulationReport {
+    /// `delivered + quarantined + shed + lost == generated` held per
+    /// user over the merged struct-of-arrays ledger.
+    pub sums_hold: bool,
+    /// The sharded run's dataset digest equals the unsharded reference.
+    pub digest_matches: bool,
+    /// Unsharded reference digest.
+    pub reference_digest: u64,
+    /// Merged sharded-run digest.
+    pub sharded_digest: u64,
+    /// Records generated by the sharded run.
+    pub generated: u64,
+    /// delivered + quarantined + shed + lost in the merged ledger.
+    pub accounted: u64,
+    /// Worker count the sharded run used.
+    pub shards: u64,
+}
+
 /// Ground truth for the telemetry sub-campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TelemetryReport {
@@ -119,6 +150,8 @@ pub struct TelemetryReport {
     pub lost: u64,
     /// Checkpoint-chain accounting, when the spec persists to disk.
     pub storage: Option<StorageReport>,
+    /// Sharded population-scale accounting, when the spec scales out.
+    pub population: Option<PopulationReport>,
 }
 
 /// Everything the oracles inspect about one finished run.
@@ -545,6 +578,34 @@ fn run_telemetry(spec: &TelemetrySpec, opts: &RunOptions) -> TelemetryReport {
         shed: totals.shed,
         lost: totals.lost,
         storage,
+        population: spec.population.map(|p| run_population(&p, opts)),
+    }
+}
+
+/// Runs the population-scale sharded campaign twice — once unsharded as
+/// the reference, once at the spec's worker count (with any planted
+/// shard bug applied to the sharded run only) — and folds the pair into
+/// the report the sharding oracles check.
+fn run_population(spec: &PopulationSpec, opts: &RunOptions) -> PopulationReport {
+    let config = spec.config();
+    let mut reference = ScaledCampaign::new(config);
+    reference.run_to_end(1);
+
+    let mut sharded = ScaledCampaign::new(config);
+    if opts.inject_shard_bug_every > 0 {
+        sharded.debug_drop_user_in_shard_every(opts.inject_shard_bug_every);
+    }
+    sharded.run_to_end(spec.shards.max(1) as usize);
+
+    let totals = sharded.ledger().totals();
+    PopulationReport {
+        sums_hold: sharded.ledger().sums_hold(),
+        digest_matches: sharded.dataset_digest() == reference.dataset_digest(),
+        reference_digest: reference.dataset_digest(),
+        sharded_digest: sharded.dataset_digest(),
+        generated: totals.generated,
+        accounted: totals.delivered + totals.quarantined + totals.shed + totals.lost,
+        shards: spec.shards,
     }
 }
 

@@ -511,6 +511,67 @@ impl StorageFaultSpec {
     }
 }
 
+/// A population-scale sharded campaign run alongside the paper-faithful
+/// sub-campaign: a struct-of-arrays subscriber population partitioned
+/// across `shards` deterministic workers, checked by the sharding
+/// oracles (merged-ledger conservation, and byte-identity of the merged
+/// dataset against an unsharded reference run). All-integer for an
+/// exact JSON round-trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PopulationSpec {
+    /// Campaign seed for the scaled engine.
+    pub seed: u64,
+    /// Simulated subscribers.
+    pub users: u64,
+    /// City-catalogue size.
+    pub cities: u64,
+    /// Campaign length, days.
+    pub days: u64,
+    /// Worker count for the sharded run (the reference run is always
+    /// unsharded).
+    pub shards: u64,
+    /// Mean pages per user-day, thousandths.
+    pub pages_per_day_milli: u64,
+}
+
+impl PopulationSpec {
+    /// The scaled-campaign configuration this spec describes.
+    pub fn config(&self) -> starlink_telemetry::ScaleConfig {
+        starlink_telemetry::ScaleConfig {
+            seed: self.seed,
+            users: self.users,
+            cities: self.cities as u32,
+            days: self.days,
+            pages_per_day_milli: self.pages_per_day_milli,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("seed".into(), Json::u64(self.seed)),
+            ("users".into(), Json::u64(self.users)),
+            ("cities".into(), Json::u64(self.cities)),
+            ("days".into(), Json::u64(self.days)),
+            ("shards".into(), Json::u64(self.shards)),
+            (
+                "pages_per_day_milli".into(),
+                Json::u64(self.pages_per_day_milli),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, ScenarioError> {
+        Ok(PopulationSpec {
+            seed: field_u64(v, "seed")?,
+            users: field_u64(v, "users")?,
+            cities: field_u64(v, "cities")?,
+            days: field_u64(v, "days")?,
+            shards: field_u64(v, "shards")?,
+            pages_per_day_milli: field_u64(v, "pages_per_day_milli")?,
+        })
+    }
+}
+
 /// An optional telemetry-ingestion sub-campaign run alongside the packet
 /// simulation, checked by the coverage oracle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -529,6 +590,9 @@ pub struct TelemetrySpec {
     /// Checkpoint the campaign through a faultable on-disk chain;
     /// `None` skips persistence entirely.
     pub storage: Option<StorageFaultSpec>,
+    /// Run a population-scale sharded campaign alongside and check its
+    /// sharding oracles; `None` skips the scaled dimension.
+    pub population: Option<PopulationSpec>,
 }
 
 impl TelemetrySpec {
@@ -555,6 +619,13 @@ impl TelemetrySpec {
                     None => Json::Null,
                 },
             ),
+            (
+                "population".into(),
+                match self.population {
+                    Some(p) => p.to_json(),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 
@@ -571,6 +642,12 @@ impl TelemetrySpec {
             None | Some(Json::Null) => None,
             Some(s) => Some(StorageFaultSpec::from_json(s)?),
         };
+        // And for the population dimension (PR 9): pre-population
+        // artifacts replay without the scaled sub-campaign.
+        let population = match v.get("population") {
+            None | Some(Json::Null) => None,
+            Some(p) => Some(PopulationSpec::from_json(p)?),
+        };
         Ok(TelemetrySpec {
             seed: field_u64(v, "seed")?,
             days: field_u64(v, "days")?,
@@ -578,6 +655,7 @@ impl TelemetrySpec {
             fault_storm: field_bool(v, "fault_storm")?,
             collector,
             storage,
+            population,
         })
     }
 }
@@ -823,6 +901,14 @@ mod tests {
                     crashes: 2,
                     retain: 2,
                 }),
+                population: Some(PopulationSpec {
+                    seed: 31_337,
+                    users: 250,
+                    cities: 12,
+                    days: 2,
+                    shards: 3,
+                    pages_per_day_milli: 6_500,
+                }),
             }),
         }
     }
@@ -875,6 +961,21 @@ mod tests {
             .replace(",\"storage\":null", "")
             .replace("\"storage\":null,", "");
         assert!(!text.contains("\"storage\""));
+        assert_eq!(Scenario::from_json(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn pre_population_artifacts_still_load() {
+        // And one dimension later again: artifacts predating the
+        // population dimension have no "population" key and must replay
+        // without the scaled sub-campaign.
+        let mut s = sample();
+        s.telemetry.as_mut().unwrap().population = None;
+        let text = s
+            .to_json()
+            .replace(",\"population\":null", "")
+            .replace("\"population\":null,", "");
+        assert!(!text.contains("\"population\""));
         assert_eq!(Scenario::from_json(&text).unwrap(), s);
     }
 

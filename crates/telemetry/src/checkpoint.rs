@@ -43,6 +43,9 @@ const KIND_CAMPAIGN: u8 = 1;
 /// Blob-kind byte: a standalone collector-server dataset state (what the
 /// `collector-serve` binary persists between kills).
 const KIND_SERVER: u8 = 2;
+/// Blob-kind byte: a population-scale sharded-campaign ledger
+/// ([`crate::shard::ScaledCampaign`]).
+pub(crate) const KIND_SCALED: u8 = 3;
 
 /// Why a checkpoint could not be restored.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -192,7 +195,7 @@ fn get_collector(r: &mut WireReader<'_>) -> Result<Collector, CheckpointError> {
 
 /// Verifies the trailing CRC and the magic/version/kind preamble, then
 /// returns a reader positioned at the blob body.
-fn open_blob<'a>(bytes: &'a [u8], kind: u8) -> Result<WireReader<'a>, CheckpointError> {
+pub(crate) fn open_blob<'a>(bytes: &'a [u8], kind: u8) -> Result<WireReader<'a>, CheckpointError> {
     if bytes.len() < 4 {
         return Err(WireError::Truncated {
             needed: 4,
@@ -293,7 +296,8 @@ impl ResilientCampaign {
         w.u64(self.next_day);
 
         w.u32(self.rngs.len() as u32);
-        for (rng, cov) in self.rngs.iter().zip(&self.coverage) {
+        for (i, rng) in self.rngs.iter().enumerate() {
+            let cov = self.coverage.row(i);
             for part in rng.state() {
                 w.u64(part);
             }
@@ -382,21 +386,21 @@ impl ResilientCampaign {
         for i in 0..users {
             let state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
             fresh.rngs[i] = SimRng::from_state(state);
-            let cov = &mut fresh.coverage[i];
             let user = r.u64()?;
             let city_code = r.u8()?;
-            if user != cov.user || city_code != cov.city_code {
+            let cov = &mut fresh.coverage;
+            if user != cov.user[i] || city_code != cov.city_code[i] {
                 return Err(CheckpointError::Mismatch {
                     field: "population",
                 });
             }
-            cov.generated = r.u64()?;
-            cov.delivered = r.u64()?;
-            cov.quarantined = r.u64()?;
-            cov.shed = r.u64()?;
-            cov.lost = r.u64()?;
-            cov.duplicates = r.u64()?;
-            cov.retries = r.u64()?;
+            cov.generated[i] = r.u64()?;
+            cov.delivered[i] = r.u64()?;
+            cov.quarantined[i] = r.u64()?;
+            cov.shed[i] = r.u64()?;
+            cov.lost[i] = r.u64()?;
+            cov.duplicates[i] = r.u64()?;
+            cov.retries[i] = r.u64()?;
         }
 
         let spooled = r.u32()? as usize;

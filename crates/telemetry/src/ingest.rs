@@ -319,20 +319,6 @@ pub struct UserCoverage {
 }
 
 impl UserCoverage {
-    fn new(user: u64, city_code: u8) -> Self {
-        UserCoverage {
-            user,
-            city_code,
-            generated: 0,
-            delivered: 0,
-            quarantined: 0,
-            shed: 0,
-            lost: 0,
-            duplicates: 0,
-            retries: 0,
-        }
-    }
-
     /// Fraction of generated records that were delivered (1.0 when the
     /// user generated nothing).
     pub fn delivered_fraction(&self) -> f64 {
@@ -385,6 +371,92 @@ impl CoverageTotals {
             1.0
         } else {
             self.delivered as f64 / self.generated as f64
+        }
+    }
+}
+
+/// Struct-of-arrays twin of a `Vec<UserCoverage>`: the campaign
+/// drivers' working ledger.
+///
+/// The hot path of a campaign day increments exactly one counter per
+/// batch outcome; keeping each counter in its own flat column means
+/// those updates touch one cache line per column instead of striding
+/// across whole rows, and a per-shard ledger slice merges column-wise
+/// into the global ledger ([`crate::shard`]). Rows are materialised
+/// only at the edges ([`CoverageColumns::row`],
+/// [`CoverageColumns::report`]) — for rendering, checkpoints and the
+/// public [`CoverageReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageColumns {
+    /// User random identifiers, population order.
+    pub user: Vec<u64>,
+    /// City wire codes, parallel to `user`.
+    pub city_code: Vec<u8>,
+    /// Records generated, parallel to `user`.
+    pub generated: Vec<u64>,
+    /// Records delivered, parallel to `user`.
+    pub delivered: Vec<u64>,
+    /// Records quarantined, parallel to `user`.
+    pub quarantined: Vec<u64>,
+    /// Records shed by admission control, parallel to `user`.
+    pub shed: Vec<u64>,
+    /// Records lost outright, parallel to `user`.
+    pub lost: Vec<u64>,
+    /// Duplicate records deduplicated, parallel to `user`.
+    pub duplicates: Vec<u64>,
+    /// Upload retries, parallel to `user`.
+    pub retries: Vec<u64>,
+}
+
+impl CoverageColumns {
+    /// A zeroed ledger for `(user id, city code)` pairs, in population
+    /// order.
+    pub fn for_users(users: impl IntoIterator<Item = (u64, u8)>) -> Self {
+        let mut c = CoverageColumns::default();
+        for (user, city_code) in users {
+            c.user.push(user);
+            c.city_code.push(city_code);
+        }
+        let n = c.user.len();
+        c.generated = vec![0; n];
+        c.delivered = vec![0; n];
+        c.quarantined = vec![0; n];
+        c.shed = vec![0; n];
+        c.lost = vec![0; n];
+        c.duplicates = vec![0; n];
+        c.retries = vec![0; n];
+        c
+    }
+
+    /// Number of users the ledger tracks.
+    pub fn len(&self) -> usize {
+        self.user.len()
+    }
+
+    /// Whether the ledger tracks no users.
+    pub fn is_empty(&self) -> bool {
+        self.user.is_empty()
+    }
+
+    /// User `i`'s row, materialised from the columns.
+    pub fn row(&self, i: usize) -> UserCoverage {
+        UserCoverage {
+            user: self.user[i],
+            city_code: self.city_code[i],
+            generated: self.generated[i],
+            delivered: self.delivered[i],
+            quarantined: self.quarantined[i],
+            shed: self.shed[i],
+            lost: self.lost[i],
+            duplicates: self.duplicates[i],
+            retries: self.retries[i],
+        }
+    }
+
+    /// The row-major public report.
+    pub fn report(&self) -> CoverageReport {
+        CoverageReport {
+            rows: (0..self.len()).map(|i| self.row(i)).collect(),
         }
     }
 }
@@ -558,7 +630,7 @@ pub struct ResilientCampaign {
     pub(crate) next_day: u64,
     pub(crate) spool: Vec<SpooledBatch>,
     pub(crate) collector: Collector,
-    pub(crate) coverage: Vec<UserCoverage>,
+    pub(crate) coverage: CoverageColumns,
     /// The admission front-end, present iff `options.service` is. Not
     /// checkpointed: its transient state is reset at every day boundary
     /// ([`CollectorServer::end_of_day`]), so a resumed run rebuilds an
@@ -629,12 +701,13 @@ impl ResilientCampaign {
         let rngs = (0..users)
             .map(|i| root.stream("campaign.user").substream(i as u64))
             .collect();
-        let coverage = campaign
-            .population()
-            .users
-            .iter()
-            .map(|u| UserCoverage::new(u.id, u.city.code()))
-            .collect();
+        let coverage = CoverageColumns::for_users(
+            campaign
+                .population()
+                .users
+                .iter()
+                .map(|u| (u.id, u.city.code())),
+        );
 
         let server = options.service.map(CollectorServer::new);
         ResilientCampaign {
@@ -674,9 +747,7 @@ impl ResilientCampaign {
 
     /// The coverage accounting so far (in-flight spool not yet counted).
     pub fn coverage(&self) -> CoverageReport {
-        CoverageReport {
-            rows: self.coverage.clone(),
-        }
+        self.coverage.report()
     }
 
     /// Batches currently waiting in offline spools.
@@ -712,9 +783,9 @@ impl ResilientCampaign {
             if every > 0 && self.shed_events.is_multiple_of(every) {
                 return; // planted bug: the records vanish from the ledger
             }
-            self.coverage[b.user_idx].shed += b.records();
+            self.coverage.shed[b.user_idx] += b.records();
         } else {
-            self.coverage[b.user_idx].lost += b.records();
+            self.coverage.lost[b.user_idx] += b.records();
         }
     }
 
@@ -759,7 +830,7 @@ impl ResilientCampaign {
                 pages: generated.pages,
                 speedtests: generated.speedtests,
             };
-            self.coverage[i].generated += batch.len() as u64;
+            self.coverage.generated[i] += batch.len() as u64;
             let spooled = SpooledBatch {
                 user_idx: i,
                 seq: day,
@@ -803,9 +874,7 @@ impl ResilientCampaign {
         }
         Collection {
             dataset: self.collector.dataset(),
-            coverage: CoverageReport {
-                rows: self.coverage,
-            },
+            coverage: self.coverage.report(),
             quarantine: self.collector.quarantine,
             duplicates: self.collector.duplicates,
         }
@@ -819,34 +888,34 @@ impl ResilientCampaign {
         match self.upload(&batch, day) {
             UploadOutcome::Accepted { retries } => {
                 if !batch.delivered {
-                    self.coverage[user_idx].delivered += records;
+                    self.coverage.delivered[user_idx] += records;
                 }
-                self.coverage[user_idx].retries += retries;
+                self.coverage.retries[user_idx] += retries;
             }
             UploadOutcome::AcceptedAckLost { retries } => {
                 if !batch.delivered {
-                    self.coverage[user_idx].delivered += records;
+                    self.coverage.delivered[user_idx] += records;
                 }
-                self.coverage[user_idx].retries += retries;
+                self.coverage.retries[user_idx] += retries;
                 self.spool.push(SpooledBatch {
                     delivered: true,
                     ..batch
                 });
             }
             UploadOutcome::DuplicateCleared { retries } => {
-                self.coverage[user_idx].duplicates += records;
-                self.coverage[user_idx].retries += retries;
+                self.coverage.duplicates[user_idx] += records;
+                self.coverage.retries[user_idx] += retries;
             }
             UploadOutcome::Quarantined { retries } => {
                 // A quarantined re-upload of an already-delivered batch
                 // costs nothing: the records are safely in the dataset.
                 if !batch.delivered {
-                    self.coverage[user_idx].quarantined += records;
+                    self.coverage.quarantined[user_idx] += records;
                 }
-                self.coverage[user_idx].retries += retries;
+                self.coverage.retries[user_idx] += retries;
             }
             UploadOutcome::Exhausted { retries, rejected } => {
-                self.coverage[user_idx].retries += retries;
+                self.coverage.retries[user_idx] += retries;
                 // The latest chain's verdict supersedes older ones; a
                 // chain with no attempts (Offline) preserves the flag.
                 self.spool.push(SpooledBatch { rejected, ..batch });

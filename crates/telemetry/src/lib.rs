@@ -35,6 +35,14 @@
 //! * [`checkpoint`] — checkpoint/resume for the day-major campaign
 //!   driver and the standalone collector server: a killed run resumes
 //!   byte-identically;
+//! * [`scale`] — the population-scale model: a 100+-city catalogue
+//!   anchored on the paper's real locations, a struct-of-arrays
+//!   subscriber population (~10⁶ users) with per-city weights, and the
+//!   shared diurnal browse curve with longitude-derived time zones;
+//! * [`shard`] — the deterministic sharded campaign engine: contiguous
+//!   user shards claimed by workers, per-shard ledgers merged in shard
+//!   order, so coverage, digests and traces are byte-identical at any
+//!   worker count;
 //! * [`storage`] — crash-consistent checkpoint storage: a journaled
 //!   last-good chain of generation files behind a CRC-sealed MANIFEST,
 //!   over a faultable [`storage::DiskEnv`] that injects torn writes,
@@ -55,7 +63,9 @@ pub mod pipeline;
 pub mod population;
 pub mod records;
 pub mod retry;
+pub mod scale;
 pub mod server;
+pub mod shard;
 pub mod slcs;
 pub mod storage;
 pub mod wire;
@@ -67,15 +77,17 @@ pub use checkpoint::{
 };
 pub use client::{synthetic_batch, ServerReply, SessionClient};
 pub use ingest::{
-    Collection, Collector, CoverageReport, CoverageTotals, IngestOptions, Ingested,
-    QuarantinedBatch, ResilientCampaign, UserCoverage,
+    Collection, Collector, CoverageColumns, CoverageReport, CoverageTotals, IngestOptions,
+    Ingested, QuarantinedBatch, ResilientCampaign, UserCoverage,
 };
 pub use loader::{LoaderUser, ReconnectOutcome};
 pub use pipeline::{Campaign, CampaignConfig, UserDay};
-pub use population::{IspClass, Population, User};
+pub use population::{IspClass, Population, PopulationColumns, User};
 pub use records::{Dataset, PageRecord, SpeedtestRecord};
 pub use retry::RetryPolicy;
+pub use scale::{CityCatalog, DiurnalCurve, ScaleConfig, ScaledPopulation};
 pub use server::{AdmissionConfig, CollectorServer, ServerStats};
+pub use shard::{CampaignLedger, CityCoverage, ScaledCampaign, ShardPlan};
 pub use slcs::{AckStatus, Frame, ShedReason, SLCS_HEADER_LEN, SLCS_MAGIC, SLCS_VERSION};
 pub use storage::{
     decode_manifest, encode_manifest, generation_name, parse_generation_name, CheckpointStore,

@@ -74,8 +74,11 @@ impl UserDay {
 }
 
 /// Hour-of-day weights for browsing activity (local time): quiet at
-/// night, building through the day, heaviest in the evening.
-const BROWSE_WEIGHTS: [f64; 24] = [
+/// night, building through the day, heaviest in the evening. Shared
+/// with the population-scale engine ([`crate::scale`]) so the 28-user
+/// paper campaign and the million-user campaign browse on the same
+/// diurnal curve.
+pub(crate) const BROWSE_WEIGHTS: [f64; 24] = [
     0.3, 0.15, 0.08, 0.05, 0.05, 0.1, // 00-05
     0.3, 0.7, 1.0, 1.1, 1.1, 1.0, // 06-11
     1.1, 1.0, 0.9, 0.9, 1.0, 1.2, // 12-17
@@ -267,7 +270,8 @@ impl Campaign {
 }
 
 /// Converts (campaign day, local hour, longitude) to campaign time.
-fn local_to_campaign(day: u64, local_hour: f64, lon_deg: f64) -> SimTime {
+/// Longitude stands in for the time zone: 15° of longitude per hour.
+pub(crate) fn local_to_campaign(day: u64, local_hour: f64, lon_deg: f64) -> SimTime {
     let utc_hour = local_hour - lon_deg / 15.0;
     let secs = day as f64 * 86_400.0 + utc_hour * 3_600.0;
     SimTime::from_secs(secs.max(0.0) as u64)

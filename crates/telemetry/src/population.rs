@@ -61,6 +61,51 @@ pub struct Population {
     pub users: Vec<User>,
 }
 
+/// Struct-of-arrays view of a [`Population`]: one column per attribute,
+/// parallel by user index.
+///
+/// The 28-user paper population stays row-major (it is tiny and its
+/// byte-identity is pinned by the seed corpus); the columns exist so
+/// batch consumers — the sharded campaign engine, coverage ledgers,
+/// analysis sweeps — can iterate one attribute without dragging whole
+/// rows through the cache.
+#[derive(Debug, Clone, Default)]
+pub struct PopulationColumns {
+    /// Random identifiers, population order.
+    pub id: Vec<u64>,
+    /// Home-city wire codes, parallel to `id`.
+    pub city_code: Vec<u8>,
+    /// ISP classifications, parallel to `id`.
+    pub isp: Vec<IspClass>,
+    /// Browsing-intensity multipliers, parallel to `id`.
+    pub activity: Vec<f64>,
+    /// Daily speedtest probabilities, parallel to `id`.
+    pub speedtest_propensity: Vec<f64>,
+}
+
+impl PopulationColumns {
+    /// Number of users.
+    pub fn len(&self) -> usize {
+        self.id.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.id.is_empty()
+    }
+
+    /// User `i`'s row, materialised from the columns.
+    pub fn row(&self, i: usize) -> User {
+        User {
+            id: self.id[i],
+            city: City::from_code(self.city_code[i]).unwrap_or(City::ALL[0]),
+            isp: self.isp[i],
+            activity: self.activity[i],
+            speedtest_propensity: self.speedtest_propensity[i],
+        }
+    }
+}
+
 /// (city, starlink users, non-starlink users, activity weight) — London,
 /// Seattle and Sydney get both classes and the highest activity, mirroring
 /// Table 1's data volumes.
@@ -127,6 +172,19 @@ impl Population {
         self.users.iter().filter(|u| u.isp.is_starlink()).count()
     }
 
+    /// The struct-of-arrays view of this population.
+    pub fn columns(&self) -> PopulationColumns {
+        let mut c = PopulationColumns::default();
+        for u in &self.users {
+            c.id.push(u.id);
+            c.city_code.push(u.city.code());
+            c.isp.push(u.isp);
+            c.activity.push(u.activity);
+            c.speedtest_propensity.push(u.speedtest_propensity);
+        }
+        c
+    }
+
     /// Distinct cities covered.
     pub fn cities(&self) -> Vec<City> {
         let mut cities: Vec<City> = self.users.iter().map(|u| u.city).collect();
@@ -185,6 +243,24 @@ mod tests {
         for (x, y) in a.users.iter().zip(&b.users) {
             assert_eq!(x.id, y.id);
             assert_eq!(x.city, y.city);
+        }
+    }
+
+    #[test]
+    fn columns_round_trip_the_rows() {
+        let p = Population::generate(6);
+        let c = p.columns();
+        assert_eq!(c.len(), p.users.len());
+        for (i, u) in p.users.iter().enumerate() {
+            let row = c.row(i);
+            assert_eq!(row.id, u.id);
+            assert_eq!(row.city, u.city);
+            assert_eq!(row.isp, u.isp);
+            assert_eq!(row.activity.to_bits(), u.activity.to_bits());
+            assert_eq!(
+                row.speedtest_propensity.to_bits(),
+                u.speedtest_propensity.to_bits()
+            );
         }
     }
 

@@ -1,0 +1,338 @@
+//! Population-scale campaign model: the synthetic city catalogue and
+//! struct-of-arrays subscriber population behind the sharded
+//! million-user campaign engine ([`crate::shard`]).
+//!
+//! The paper's deployment is 28 users in 10 cities; this module scales
+//! the same diurnal/regional load model to ~10⁶ subscribers across
+//! 100+ cities. Three design rules keep the scale-up honest:
+//!
+//! * **anchored, then synthetic** — the first catalogue entries are the
+//!   real [`starlink_geo::City`] locations (names, longitudes), so the
+//!   scaled model degenerates to the paper's geography at small sizes;
+//!   synthetic metros beyond the 18 real ones get seeded longitudes and
+//!   Zipf-decaying population weights;
+//! * **struct of arrays** — per-subscriber state is parallel columns
+//!   (`city`, `activity_milli`), not a `Vec` of structs: a million
+//!   subscribers fit in a few flat arrays that shard into contiguous
+//!   slices with no pointer chasing;
+//! * **stateless derivation** — every subscriber's attributes come from
+//!   `seed → stream("scale.population") → substream(user)`, so any
+//!   worker can materialise any user without seeing the others, and the
+//!   population is identical at any worker count.
+
+use crate::pipeline::BROWSE_WEIGHTS;
+use starlink_geo::City;
+use starlink_simcore::SimRng;
+
+/// Configuration for a population-scale campaign.
+///
+/// All quantities are integers (rates in thousandths) so configurations
+/// round-trip exactly through JSON and checkpoint blobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleConfig {
+    /// Master seed; every stream below derives from it.
+    pub seed: u64,
+    /// Simulated subscribers.
+    pub users: u64,
+    /// Cities in the catalogue. The first 18 anchor on the paper's real
+    /// locations; the rest are synthetic metros.
+    pub cities: u32,
+    /// Campaign length in days.
+    pub days: u64,
+    /// Mean pages per subscriber-day, thousandths (22_000 = the paper
+    /// campaign's 22 pages/day).
+    pub pages_per_day_milli: u64,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            seed: 1,
+            users: 1_000_000,
+            cities: 120,
+            days: 3,
+            pages_per_day_milli: 22_000,
+        }
+    }
+}
+
+/// The city catalogue, struct-of-arrays: parallel columns indexed by
+/// city id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CityCatalog {
+    /// Display names, real cities first.
+    names: Vec<String>,
+    /// Longitude in millidegrees, positive east.
+    lon_milli_deg: Vec<i64>,
+    /// Relative population weight (Zipf-decaying by rank).
+    weights: Vec<f64>,
+    /// Prefix sums of `weights`, for O(log n) weighted draws.
+    cum_weights: Vec<f64>,
+}
+
+impl CityCatalog {
+    /// Builds a catalogue of `cities` entries (at least 1). The first
+    /// entries reuse the paper deployment's real locations; synthetic
+    /// metros beyond them draw a seeded longitude from the
+    /// `"scale.cities"` stream.
+    pub fn generate(cities: u32, seed: u64) -> Self {
+        let n = (cities.max(1)) as usize;
+        let mut names = Vec::with_capacity(n);
+        let mut lon_milli_deg = Vec::with_capacity(n);
+        let mut weights = Vec::with_capacity(n);
+        for city in City::ALL.iter().take(n) {
+            let info = city.info();
+            names.push(info.name.to_string());
+            lon_milli_deg.push((info.position.lon_deg * 1000.0).round() as i64);
+        }
+        let base = SimRng::seed_from(seed).stream("scale.cities");
+        for i in names.len()..n {
+            let mut rng = base.substream(i as u64);
+            names.push(format!("metro-{i:03}"));
+            lon_milli_deg.push(rng.range_u64(0, 360_001) as i64 - 180_000);
+        }
+        // Zipf-decaying weights by rank: a few big metros, a long tail.
+        for rank in 0..n {
+            weights.push(1.0 / (rank + 1) as f64);
+        }
+        let mut cum_weights = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for &w in &weights {
+            acc += w;
+            cum_weights.push(acc);
+        }
+        CityCatalog {
+            names,
+            lon_milli_deg,
+            weights,
+            cum_weights,
+        }
+    }
+
+    /// Number of cities.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the catalogue is empty (it never is; see
+    /// [`CityCatalog::generate`]).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// City `i`'s display name.
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// City `i`'s longitude in degrees, positive east.
+    pub fn lon_deg(&self, i: usize) -> f64 {
+        self.lon_milli_deg[i] as f64 / 1000.0
+    }
+
+    /// City `i`'s time-zone offset from UTC in milli-hours, derived from
+    /// longitude at 15° per hour — the same convention the paper
+    /// campaign's `local_to_campaign` uses.
+    pub fn tz_offset_milli_hours(&self, i: usize) -> i64 {
+        self.lon_milli_deg[i] / 15
+    }
+
+    /// City `i`'s relative population weight.
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// Draws a city id, weighted by population, via binary search over
+    /// the prefix sums (one uniform draw per call).
+    pub fn draw_city(&self, rng: &mut SimRng) -> u32 {
+        let total = *self.cum_weights.last().expect("catalogue is never empty");
+        let x = rng.f64() * total;
+        self.cum_weights
+            .partition_point(|&c| c <= x)
+            .min(self.len() - 1) as u32
+    }
+}
+
+/// The subscriber population, struct-of-arrays: two parallel columns
+/// indexed by user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaledPopulation {
+    /// Home-city id per user (index into the [`CityCatalog`]).
+    pub city: Vec<u32>,
+    /// Browsing-activity factor per user, thousandths (1000 = the
+    /// configured mean pages/day).
+    pub activity_milli: Vec<u32>,
+}
+
+impl ScaledPopulation {
+    /// Materialises the population. Each user's attributes derive from
+    /// `substream(user)` alone, so the result is independent of
+    /// iteration or worker order.
+    pub fn generate(config: &ScaleConfig, catalog: &CityCatalog) -> Self {
+        let n = config.users as usize;
+        let mut city = Vec::with_capacity(n);
+        let mut activity_milli = Vec::with_capacity(n);
+        let base = SimRng::seed_from(config.seed).stream("scale.population");
+        for u in 0..config.users {
+            let mut rng = base.substream(u);
+            city.push(catalog.draw_city(&mut rng));
+            activity_milli.push(rng.range_u64(200, 1801) as u32);
+        }
+        ScaledPopulation {
+            city,
+            activity_milli,
+        }
+    }
+
+    /// Number of subscribers.
+    pub fn len(&self) -> usize {
+        self.city.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.city.is_empty()
+    }
+
+    /// Users per city, indexed by city id.
+    pub fn users_per_city(&self, cities: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; cities];
+        for &c in &self.city {
+            counts[c as usize] += 1;
+        }
+        counts
+    }
+}
+
+/// The hour-of-day browsing curve as prefix sums, shared read-only by
+/// every shard worker: one binary search per page view instead of a
+/// 24-way weighted scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiurnalCurve {
+    cum: [f64; 24],
+    total: f64,
+}
+
+impl DiurnalCurve {
+    /// The paper campaign's browse curve
+    /// ([`crate::pipeline`]'s hour-of-day weights).
+    pub fn browse() -> Self {
+        let mut cum = [0.0; 24];
+        let mut acc = 0.0;
+        for (h, &w) in BROWSE_WEIGHTS.iter().enumerate() {
+            acc += w;
+            cum[h] = acc;
+        }
+        DiurnalCurve { cum, total: acc }
+    }
+
+    /// Draws a local hour (0–23) weighted by the curve.
+    pub fn draw_local_hour(&self, rng: &mut SimRng) -> u32 {
+        let x = rng.f64() * self.total;
+        self.cum.partition_point(|&c| c <= x).min(23) as u32
+    }
+
+    /// Converts a local hour to the UTC hour for a time-zone offset in
+    /// milli-hours (`utc = local − offset`, wrapped to 0–23) — the
+    /// integer twin of the paper campaign's `local_to_campaign`.
+    pub fn utc_hour(local_hour: u32, tz_offset_milli_hours: i64) -> u32 {
+        let milli = (local_hour as i64) * 1000 - tz_offset_milli_hours;
+        (milli.rem_euclid(24_000) / 1000) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_anchors_on_the_paper_deployment() {
+        let catalog = CityCatalog::generate(120, 1);
+        assert_eq!(catalog.len(), 120);
+        for (i, city) in City::ALL.iter().enumerate() {
+            assert_eq!(catalog.name(i), city.info().name);
+            assert!((catalog.lon_deg(i) - city.info().position.lon_deg).abs() < 0.001);
+        }
+        assert_eq!(catalog.name(18), "metro-018");
+        for i in 0..catalog.len() {
+            assert!(catalog.weight(i) > 0.0);
+            assert!((-180.0..=180.0).contains(&catalog.lon_deg(i)));
+        }
+    }
+
+    #[test]
+    fn catalogue_is_deterministic_and_clamped() {
+        assert_eq!(CityCatalog::generate(50, 7), CityCatalog::generate(50, 7));
+        assert_eq!(CityCatalog::generate(0, 7).len(), 1);
+        assert_eq!(CityCatalog::generate(3, 7).len(), 3);
+    }
+
+    #[test]
+    fn tz_offsets_follow_longitude() {
+        let catalog = CityCatalog::generate(18, 1);
+        let sydney = City::ALL
+            .iter()
+            .position(|c| c.info().name == "Sydney")
+            .unwrap();
+        let london = City::ALL
+            .iter()
+            .position(|c| c.info().name == "London")
+            .unwrap();
+        assert!(catalog.tz_offset_milli_hours(sydney) > 9_000);
+        assert!(catalog.tz_offset_milli_hours(london).abs() < 1_000);
+        // 9 am in Sydney (UTC+10.08 by longitude) is the previous UTC
+        // night; 9 am in London ≈ 9 UTC.
+        assert_eq!(
+            DiurnalCurve::utc_hour(9, catalog.tz_offset_milli_hours(sydney)),
+            22
+        );
+        assert_eq!(
+            DiurnalCurve::utc_hour(9, catalog.tz_offset_milli_hours(london)),
+            9
+        );
+    }
+
+    #[test]
+    fn weighted_city_draws_cover_the_catalogue_head_and_tail() {
+        let catalog = CityCatalog::generate(40, 3);
+        let mut rng = SimRng::seed_from(9).stream("test");
+        let mut counts = vec![0u64; catalog.len()];
+        for _ in 0..20_000 {
+            counts[catalog.draw_city(&mut rng) as usize] += 1;
+        }
+        // Zipf head dominates, but the tail is populated too.
+        assert!(counts[0] > counts[20]);
+        assert!(counts.iter().filter(|&&c| c > 0).count() > 30);
+    }
+
+    #[test]
+    fn population_is_deterministic_and_in_bounds() {
+        let config = ScaleConfig {
+            users: 5_000,
+            cities: 60,
+            ..ScaleConfig::default()
+        };
+        let catalog = CityCatalog::generate(config.cities, config.seed);
+        let a = ScaledPopulation::generate(&config, &catalog);
+        let b = ScaledPopulation::generate(&config, &catalog);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5_000);
+        assert!(a.city.iter().all(|&c| (c as usize) < catalog.len()));
+        assert!(a.activity_milli.iter().all(|&m| (200..=1800).contains(&m)));
+        let per_city = a.users_per_city(catalog.len());
+        assert_eq!(per_city.iter().sum::<u64>(), 5_000);
+        assert!(per_city.iter().filter(|&&c| c > 0).count() > 40);
+    }
+
+    #[test]
+    fn diurnal_curve_prefers_evenings_over_nights() {
+        let curve = DiurnalCurve::browse();
+        let mut rng = SimRng::seed_from(4).stream("test");
+        let mut hist = [0u64; 24];
+        for _ in 0..50_000 {
+            hist[curve.draw_local_hour(&mut rng) as usize] += 1;
+        }
+        assert!(hist[20] > hist[3] * 5, "evening must dominate deep night");
+        assert!(hist.iter().all(|&h| h > 0), "every hour sees some traffic");
+    }
+}

@@ -1,0 +1,848 @@
+//! The deterministic sharded campaign engine: a million-subscriber
+//! campaign whose output is byte-identical at any worker count.
+//!
+//! ## How shard-count invisibility is achieved
+//!
+//! 1. **Stateless per-(user, day) randomness** — every subscriber-day
+//!    draws from `seed → stream("scale.user") → substream(user) →
+//!    substream(day)`. No draw depends on any other user, so a shard's
+//!    result is a pure function of `(config, population, user range,
+//!    day)`.
+//! 2. **Contiguous shard plan** — [`ShardPlan`] cuts the user index
+//!    space into contiguous, disjoint, covering ranges in index order.
+//!    Workers *claim* shard indices from an atomic counter (the repro
+//!    harness's `--jobs` trick), so thread scheduling decides only who
+//!    computes a shard, never what the shard computes.
+//! 3. **In-order merge** — per-shard ledgers are buffered per shard
+//!    index and folded into the global struct-of-arrays ledger in shard
+//!    order (= user-index order) by the driving thread.
+//! 4. **Post-merge observability** — `campaign.shard.*` counters and
+//!    the `campaign_day` trace event are emitted *after* the merge, on
+//!    the driving thread, from merged jobs-invariant quantities (obsv
+//!    sinks are thread-local: a worker thread could not reach the
+//!    session's sink anyway). Traces and metrics therefore cannot leak
+//!    the worker count.
+//!
+//! The coverage invariant (`delivered + quarantined + shed + lost ==
+//! generated`) is tracked exactly, per user, in the per-shard ledgers
+//! and survives the merge by construction; [`CampaignLedger::sums_hold`]
+//! checks it over the merged columns.
+//!
+//! The checkpoint blob (SLCP v2, kind 3) serialises the merged ledger
+//! in user-index order and stores **no worker count**, so a run
+//! checkpointed at `--jobs J` resumes byte-identically at any `--jobs
+//! K` — the regression test
+//! `resuming_under_a_different_worker_count_is_byte_identical` pins
+//! this.
+
+use crate::checkpoint::{
+    open_blob, CheckpointError, CHECKPOINT_MAGIC, CHECKPOINT_VERSION, KIND_SCALED,
+};
+use crate::ingest::CoverageTotals;
+use crate::scale::{CityCatalog, DiurnalCurve, ScaleConfig, ScaledPopulation};
+use crate::wire::{WireError, WireWriter};
+use starlink_obsv::{counter_add, emit, TraceEvent};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Folds one `u64` into an FNV-1a accumulator, byte by byte (matching
+/// [`crate::records::Dataset::digest`]'s flavour of FNV).
+fn fnv_fold(mut hash: u64, value: u64) -> u64 {
+    for b in value.to_le_bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// A deterministic partition of the user index space into contiguous,
+/// disjoint, covering ranges — one per worker slot.
+///
+/// The first `users % shards` shards hold one extra user, so shard
+/// sizes differ by at most one and the plan is a pure function of
+/// `(users, jobs)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    users: u64,
+    ranges: Vec<(u64, u64)>,
+}
+
+impl ShardPlan {
+    /// Plans `users` across `jobs` shards (`jobs` is clamped to ≥ 1).
+    pub fn new(users: u64, jobs: usize) -> Self {
+        let shards = jobs.max(1) as u64;
+        let base = users / shards;
+        let extra = users % shards;
+        let mut ranges = Vec::with_capacity(shards as usize);
+        let mut start = 0;
+        for k in 0..shards {
+            let len = base + u64::from(k < extra);
+            ranges.push((start, start + len));
+            start += len;
+        }
+        ShardPlan { users, ranges }
+    }
+
+    /// Number of shards (= the clamped worker count).
+    pub fn shards(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total users the plan covers.
+    pub fn users(&self) -> u64 {
+        self.users
+    }
+
+    /// Shard `k`'s user range.
+    pub fn range(&self, k: usize) -> Range<u64> {
+        let (s, e) = self.ranges[k];
+        s..e
+    }
+}
+
+/// The merged campaign ledger, struct-of-arrays: one entry per user in
+/// five coverage columns plus a per-user dataset-digest accumulator,
+/// and a campaign-wide UTC-hour page-view histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignLedger {
+    /// Records generated, per user.
+    pub generated: Vec<u64>,
+    /// Records delivered to the collector, per user.
+    pub delivered: Vec<u64>,
+    /// Records quarantined after in-flight corruption, per user.
+    pub quarantined: Vec<u64>,
+    /// Records shed by admission control, per user.
+    pub shed: Vec<u64>,
+    /// Records lost outright, per user.
+    pub lost: Vec<u64>,
+    /// Per-user FNV-1a accumulators over the user's record stream;
+    /// folding them in user order yields [`CampaignLedger::dataset_digest`].
+    pub digest: Vec<u64>,
+    /// Page views per UTC hour, campaign-wide — the observable the
+    /// time-zone-offset diurnal curves exist to shape.
+    pub hour_hist: [u64; 24],
+}
+
+impl CampaignLedger {
+    fn new(users: u64) -> Self {
+        let n = users as usize;
+        let mut digest = Vec::with_capacity(n);
+        for u in 0..users {
+            digest.push(fnv_fold(FNV_OFFSET, u));
+        }
+        CampaignLedger {
+            generated: vec![0; n],
+            delivered: vec![0; n],
+            quarantined: vec![0; n],
+            shed: vec![0; n],
+            lost: vec![0; n],
+            digest,
+            hour_hist: [0; 24],
+        }
+    }
+
+    /// Number of users the ledger tracks.
+    pub fn len(&self) -> usize {
+        self.generated.len()
+    }
+
+    /// Whether the ledger tracks no users.
+    pub fn is_empty(&self) -> bool {
+        self.generated.is_empty()
+    }
+
+    /// Campaign-wide totals over the merged columns.
+    pub fn totals(&self) -> CoverageTotals {
+        CoverageTotals {
+            generated: self.generated.iter().sum(),
+            delivered: self.delivered.iter().sum(),
+            quarantined: self.quarantined.iter().sum(),
+            shed: self.shed.iter().sum(),
+            lost: self.lost.iter().sum(),
+            duplicates: 0,
+            retries: 0,
+        }
+    }
+
+    /// Whether `delivered + quarantined + shed + lost == generated`
+    /// holds for **every** user in the merged ledger.
+    pub fn sums_hold(&self) -> bool {
+        (0..self.len()).all(|i| {
+            self.delivered[i] + self.quarantined[i] + self.shed[i] + self.lost[i]
+                == self.generated[i]
+        })
+    }
+
+    /// The campaign dataset digest: per-user accumulators folded in
+    /// user-index order. Independent of sharding because each per-user
+    /// accumulator is, and the fold order is fixed.
+    pub fn dataset_digest(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for &d in &self.digest {
+            h = fnv_fold(h, d);
+        }
+        h
+    }
+}
+
+/// Per-city coverage totals for the scaled campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CityCoverage {
+    /// City id (index into the [`CityCatalog`]).
+    pub city: u32,
+    /// Subscribers homed in the city.
+    pub users: u64,
+    /// The city's coverage totals.
+    pub totals: CoverageTotals,
+}
+
+/// One shard's ledger deltas for one day, in local (range-relative)
+/// index space. Pure output of [`run_shard`]; merged in shard order.
+struct ShardDayResult {
+    start: u64,
+    generated: Vec<u64>,
+    delivered: Vec<u64>,
+    quarantined: Vec<u64>,
+    shed: Vec<u64>,
+    lost: Vec<u64>,
+    /// Updated (not delta) digest accumulators for the range.
+    digest: Vec<u64>,
+    hour_hist: [u64; 24],
+}
+
+/// The immutable campaign context every shard reads: shared by
+/// reference across worker threads, never written during a day.
+struct ShardCtx<'a> {
+    config: &'a ScaleConfig,
+    catalog: &'a CityCatalog,
+    population: &'a ScaledPopulation,
+    curve: &'a DiurnalCurve,
+    drop_every: u64,
+}
+
+/// Runs shard `shard_index` (users `range`) for `day`: a pure function
+/// of its arguments — no shared mutable state, no I/O, no host clock.
+fn run_shard(
+    ctx: &ShardCtx<'_>,
+    shard_index: usize,
+    range: Range<u64>,
+    day: u64,
+    base_digest: &[u64],
+) -> ShardDayResult {
+    let ShardCtx {
+        config,
+        catalog,
+        population,
+        curve,
+        drop_every,
+    } = *ctx;
+    let n = (range.end - range.start) as usize;
+    let mut out = ShardDayResult {
+        start: range.start,
+        generated: vec![0; n],
+        delivered: vec![0; n],
+        quarantined: vec![0; n],
+        shed: vec![0; n],
+        lost: vec![0; n],
+        digest: base_digest.to_vec(),
+        hour_hist: [0; 24],
+    };
+    let pages_mean = config.pages_per_day_milli as f64 / 1000.0;
+    let user_root = starlink_simcore::SimRng::seed_from(config.seed).stream("scale.user");
+    for (local, u) in range.enumerate() {
+        let mut rng = user_root.substream(u).substream(day);
+        let activity = population.activity_milli[u as usize] as f64 / 1000.0;
+        let pages = (activity * pages_mean * rng.lognormal(0.0, 0.3)).round() as u64;
+        out.generated[local] += pages;
+
+        // The planted shard bug (`--inject-shard-bug`): in shard 1 only,
+        // every `drop_every`-th user's batches vanish after generation —
+        // never delivered, never accounted, never folded into the
+        // digest. Invisible to an unsharded run, so both the merged
+        // coverage-conservation oracle and the digest comparison against
+        // the single-shard reference must catch it.
+        let dropped =
+            drop_every > 0 && shard_index == 1 && (local as u64).is_multiple_of(drop_every);
+
+        let tz = catalog.tz_offset_milli_hours(population.city[u as usize] as usize);
+        let mut h = out.digest[local];
+        for _ in 0..pages {
+            let local_hour = curve.draw_local_hour(&mut rng);
+            let utc = DiurnalCurve::utc_hour(local_hour, tz);
+            if !dropped {
+                out.hour_hist[utc as usize] += 1;
+                h = fnv_fold(h, u64::from(utc));
+            }
+        }
+        // One fate per day-batch, mirroring the resilient driver's
+        // terminal outcomes: most batches deliver, thin slices are lost
+        // in flight, quarantined after corruption, or shed by admission.
+        let x = rng.f64();
+        if !dropped {
+            let fate = if x < 0.03 {
+                out.lost[local] += pages;
+                1
+            } else if x < 0.06 {
+                out.quarantined[local] += pages;
+                2
+            } else if x < 0.08 {
+                out.shed[local] += pages;
+                3
+            } else {
+                out.delivered[local] += pages;
+                4
+            };
+            h = fnv_fold(h, day);
+            h = fnv_fold(h, pages);
+            h = fnv_fold(h, fate);
+            out.digest[local] = h;
+        }
+    }
+    out
+}
+
+/// The population-scale campaign driver: day-major like
+/// [`crate::ingest::ResilientCampaign`], sharded across workers inside
+/// each day, checkpointable at day boundaries.
+#[derive(Debug, Clone)]
+pub struct ScaledCampaign {
+    config: ScaleConfig,
+    catalog: CityCatalog,
+    population: ScaledPopulation,
+    curve: DiurnalCurve,
+    ledger: CampaignLedger,
+    next_day: u64,
+    /// Planted-bug hook (see [`ScaledCampaign::debug_drop_user_in_shard_every`]).
+    debug_drop_in_shard_every: u64,
+}
+
+impl ScaledCampaign {
+    /// Builds the catalogue, materialises the population and zeroes the
+    /// ledger.
+    pub fn new(config: ScaleConfig) -> Self {
+        let catalog = CityCatalog::generate(config.cities, config.seed);
+        let population = ScaledPopulation::generate(&config, &catalog);
+        let ledger = CampaignLedger::new(config.users);
+        ScaledCampaign {
+            config,
+            catalog,
+            population,
+            curve: DiurnalCurve::browse(),
+            ledger,
+            next_day: 0,
+            debug_drop_in_shard_every: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ScaleConfig {
+        &self.config
+    }
+
+    /// The city catalogue.
+    pub fn catalog(&self) -> &CityCatalog {
+        &self.catalog
+    }
+
+    /// The subscriber population.
+    pub fn population(&self) -> &ScaledPopulation {
+        &self.population
+    }
+
+    /// The merged ledger so far.
+    pub fn ledger(&self) -> &CampaignLedger {
+        &self.ledger
+    }
+
+    /// The next day to simulate.
+    pub fn next_day(&self) -> u64 {
+        self.next_day
+    }
+
+    /// Whether every campaign day has been run.
+    pub fn is_finished(&self) -> bool {
+        self.next_day >= self.config.days
+    }
+
+    /// Planted-bug hook mirroring
+    /// [`crate::ingest::ResilientCampaign::debug_skip_shed_accounting_every`]:
+    /// in shard index 1 **only**, every `every`-th user of the shard has
+    /// its batches dropped after generation. `0` (the default) disables
+    /// it; single-shard runs are untouched either way, which is exactly
+    /// what makes the bug catchable by comparing against the `--jobs 1`
+    /// reference.
+    pub fn debug_drop_user_in_shard_every(&mut self, every: u64) {
+        self.debug_drop_in_shard_every = every;
+    }
+
+    /// Runs the next day across `jobs` workers and merges the per-shard
+    /// ledgers in shard order. Returns `false` if the campaign was
+    /// already finished.
+    pub fn run_day(&mut self, jobs: usize) -> bool {
+        if self.is_finished() {
+            return false;
+        }
+        let day = self.next_day;
+        let plan = ShardPlan::new(self.config.users, jobs);
+        let shards = plan.shards();
+
+        let results: Vec<ShardDayResult> = {
+            let ctx = ShardCtx {
+                config: &self.config,
+                catalog: &self.catalog,
+                population: &self.population,
+                curve: &self.curve,
+                drop_every: self.debug_drop_in_shard_every,
+            };
+            let ctx = &ctx;
+            let digest = &self.ledger.digest;
+            let shard = move |k: usize| {
+                let range = plan.range(k);
+                let base = &digest[range.start as usize..range.end as usize];
+                run_shard(ctx, k, range, day, base)
+            };
+            if shards == 1 {
+                vec![shard(0)]
+            } else {
+                // The repro harness's `--jobs` trick: workers claim shard
+                // indices from an atomic counter and park results in an
+                // index-addressed table; the driving thread folds the
+                // table in shard order after all workers join.
+                let slots: Vec<Mutex<Option<ShardDayResult>>> =
+                    (0..shards).map(|_| Mutex::new(None)).collect();
+                let next = AtomicUsize::new(0);
+                std::thread::scope(|s| {
+                    for _ in 0..shards.min(jobs) {
+                        s.spawn(|| loop {
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            if k >= shards {
+                                break;
+                            }
+                            let result = shard(k);
+                            *slots[k].lock().expect("shard slot poisoned") = Some(result);
+                        });
+                    }
+                });
+                slots
+                    .into_iter()
+                    .map(|m| {
+                        m.into_inner()
+                            .expect("shard slot poisoned")
+                            .expect("every shard index was claimed")
+                    })
+                    .collect()
+            }
+        };
+
+        // Merge in shard order (= user-index order).
+        let (mut d_gen, mut d_del, mut d_quar, mut d_shed, mut d_lost) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
+        for r in results {
+            let s = r.start as usize;
+            for (j, &v) in r.generated.iter().enumerate() {
+                self.ledger.generated[s + j] += v;
+                d_gen += v;
+            }
+            for (j, &v) in r.delivered.iter().enumerate() {
+                self.ledger.delivered[s + j] += v;
+                d_del += v;
+            }
+            for (j, &v) in r.quarantined.iter().enumerate() {
+                self.ledger.quarantined[s + j] += v;
+                d_quar += v;
+            }
+            for (j, &v) in r.shed.iter().enumerate() {
+                self.ledger.shed[s + j] += v;
+                d_shed += v;
+            }
+            for (j, &v) in r.lost.iter().enumerate() {
+                self.ledger.lost[s + j] += v;
+                d_lost += v;
+            }
+            for (j, &v) in r.digest.iter().enumerate() {
+                self.ledger.digest[s + j] = v;
+            }
+            for (h, &v) in r.hour_hist.iter().enumerate() {
+                self.ledger.hour_hist[h] += v;
+            }
+        }
+
+        // Post-merge observability: every quantity below is a merged
+        // total, independent of the shard count, so traces and metrics
+        // stay byte-identical at any `--jobs`.
+        counter_add("campaign.shard.users", self.config.users);
+        counter_add("campaign.shard.generated", d_gen);
+        counter_add("campaign.shard.delivered", d_del);
+        counter_add("campaign.shard.quarantined", d_quar);
+        counter_add("campaign.shard.shed", d_shed);
+        counter_add("campaign.shard.lost", d_lost);
+        counter_add("campaign.shard.days", 1);
+        let users = self.config.users;
+        emit(|| TraceEvent::CampaignDayMerged {
+            t_ns: (day + 1) * 86_400 * 1_000_000_000,
+            day,
+            users,
+            generated: d_gen,
+            delivered: d_del,
+        });
+
+        self.next_day += 1;
+        true
+    }
+
+    /// Runs every remaining day at the given worker count.
+    pub fn run_to_end(&mut self, jobs: usize) {
+        while self.run_day(jobs) {}
+    }
+
+    /// The campaign dataset digest so far.
+    pub fn dataset_digest(&self) -> u64 {
+        self.ledger.dataset_digest()
+    }
+
+    /// Per-city coverage, in city-id order, cities with no users
+    /// omitted.
+    pub fn per_city(&self) -> Vec<CityCoverage> {
+        let cities = self.catalog.len();
+        let mut users = vec![0u64; cities];
+        let mut totals = vec![CoverageTotals::default(); cities];
+        for (u, &c) in self.population.city.iter().enumerate() {
+            let c = c as usize;
+            users[c] += 1;
+            totals[c].generated += self.ledger.generated[u];
+            totals[c].delivered += self.ledger.delivered[u];
+            totals[c].quarantined += self.ledger.quarantined[u];
+            totals[c].shed += self.ledger.shed[u];
+            totals[c].lost += self.ledger.lost[u];
+        }
+        (0..cities)
+            .filter(|&c| users[c] > 0)
+            .map(|c| CityCoverage {
+                city: c as u32,
+                users: users[c],
+                totals: totals[c],
+            })
+            .collect()
+    }
+
+    /// A fixed-width per-city coverage table plus a totals line, shaped
+    /// like [`crate::ingest::CoverageReport::render`].
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:>8} {:>11} {:>11} {:>11} {:>8} {:>8} {:>9}\n",
+            "city", "users", "generated", "delivered", "quarantined", "shed", "lost", "coverage"
+        ));
+        let mut row = |label: &str, users: u64, t: &CoverageTotals| {
+            out.push_str(&format!(
+                "{:<12} {:>8} {:>11} {:>11} {:>11} {:>8} {:>8} {:>8.1}%\n",
+                label,
+                users,
+                t.generated,
+                t.delivered,
+                t.quarantined,
+                t.shed,
+                t.lost,
+                100.0 * t.delivered_fraction()
+            ));
+        };
+        for c in self.per_city() {
+            row(self.catalog.name(c.city as usize), c.users, &c.totals);
+        }
+        row("TOTAL", self.config.users, &self.ledger.totals());
+        out
+    }
+
+    /// Serialises the merged ledger (valid at day boundaries) into an
+    /// SLCP v2 blob, kind 3. The blob stores **no worker count**: the
+    /// ledger is written in user-index order, so a resume may use any
+    /// `--jobs` and still finish byte-identically.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.bytes(&CHECKPOINT_MAGIC);
+        w.u16(CHECKPOINT_VERSION);
+        w.u8(KIND_SCALED);
+        w.u64(self.config.seed);
+        w.u64(self.config.users);
+        w.u32(self.config.cities);
+        w.u64(self.config.days);
+        w.u64(self.config.pages_per_day_milli);
+        w.u64(self.next_day);
+        for column in [
+            &self.ledger.generated,
+            &self.ledger.delivered,
+            &self.ledger.quarantined,
+            &self.ledger.shed,
+            &self.ledger.lost,
+            &self.ledger.digest,
+        ] {
+            for &v in column.iter() {
+                w.u64(v);
+            }
+        }
+        for &v in &self.ledger.hour_hist {
+            w.u64(v);
+        }
+        w.seal()
+    }
+
+    /// Rebuilds a driver from a checkpoint, verifying the CRC and that
+    /// the blob belongs to *this* scenario; any disagreement is a typed
+    /// [`CheckpointError::Mismatch`] naming the field.
+    pub fn resume(config: ScaleConfig, bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = open_blob(bytes, KIND_SCALED)?;
+        let mismatch = |cond: bool, field: &'static str| {
+            if cond {
+                Err(CheckpointError::Mismatch { field })
+            } else {
+                Ok(())
+            }
+        };
+        mismatch(r.u64()? != config.seed, "seed")?;
+        mismatch(r.u64()? != config.users, "users")?;
+        mismatch(r.u32()? != config.cities, "cities")?;
+        mismatch(r.u64()? != config.days, "days")?;
+        mismatch(
+            r.u64()? != config.pages_per_day_milli,
+            "pages_per_day_milli",
+        )?;
+        let next_day = r.u64()?;
+        if next_day > config.days {
+            return Err(WireError::BadField { field: "next_day" }.into());
+        }
+        let mut fresh = ScaledCampaign::new(config);
+        let n = config.users as usize;
+        for column in [
+            &mut fresh.ledger.generated,
+            &mut fresh.ledger.delivered,
+            &mut fresh.ledger.quarantined,
+            &mut fresh.ledger.shed,
+            &mut fresh.ledger.lost,
+            &mut fresh.ledger.digest,
+        ] {
+            for v in column.iter_mut().take(n) {
+                *v = r.u64()?;
+            }
+        }
+        for v in fresh.ledger.hour_hist.iter_mut() {
+            *v = r.u64()?;
+        }
+        if r.remaining() != 0 {
+            return Err(WireError::TrailingBytes {
+                extra: r.remaining(),
+            }
+            .into());
+        }
+        fresh.next_day = next_day;
+        Ok(fresh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ScaleConfig {
+        ScaleConfig {
+            seed: 11,
+            users: 700,
+            cities: 25,
+            days: 2,
+            pages_per_day_milli: 6_000,
+        }
+    }
+
+    #[test]
+    fn plan_is_contiguous_disjoint_and_covering() {
+        for users in [0u64, 1, 7, 100, 101] {
+            for jobs in 1..=16 {
+                let plan = ShardPlan::new(users, jobs);
+                assert_eq!(plan.shards(), jobs);
+                let mut cursor = 0;
+                for k in 0..plan.shards() {
+                    let r = plan.range(k);
+                    assert_eq!(r.start, cursor, "ranges must be contiguous in order");
+                    cursor = r.end;
+                }
+                assert_eq!(cursor, users, "ranges must cover every user");
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_byte_identical_at_any_worker_count() {
+        let mut reference = ScaledCampaign::new(small());
+        reference.run_to_end(1);
+        for jobs in [2usize, 3, 8, 16] {
+            let mut sharded = ScaledCampaign::new(small());
+            sharded.run_to_end(jobs);
+            assert_eq!(
+                sharded.dataset_digest(),
+                reference.dataset_digest(),
+                "digest diverged at jobs={jobs}"
+            );
+            assert_eq!(sharded.ledger(), reference.ledger());
+            assert_eq!(sharded.per_city(), reference.per_city());
+            assert_eq!(sharded.render(), reference.render());
+        }
+    }
+
+    #[test]
+    fn coverage_invariant_holds_exactly() {
+        let mut c = ScaledCampaign::new(small());
+        c.run_to_end(4);
+        assert!(c.ledger().sums_hold());
+        let t = c.ledger().totals();
+        assert_eq!(t.delivered + t.quarantined + t.shed + t.lost, t.generated);
+        assert!(t.generated > 0);
+        assert!(t.delivered > t.lost, "most records must deliver");
+    }
+
+    #[test]
+    fn timezone_offsets_spread_the_utc_histogram() {
+        let mut c = ScaledCampaign::new(ScaleConfig {
+            seed: 3,
+            users: 2_000,
+            cities: 100,
+            days: 1,
+            pages_per_day_milli: 8_000,
+        });
+        c.run_to_end(4);
+        let hist = c.ledger().hour_hist;
+        assert!(
+            hist.iter().all(|&h| h > 0),
+            "100 cities of time zones must fill every UTC hour"
+        );
+        // The worldwide spread flattens the curve but must not erase it:
+        // the Zipf head sits at European longitudes, so UTC evenings
+        // still peak well above UTC nights.
+        let (min, max) = (*hist.iter().min().unwrap(), *hist.iter().max().unwrap());
+        assert!(4 * max > 5 * min, "diurnal curve flattened away: {hist:?}");
+        assert!(
+            hist[19] > hist[6],
+            "UTC evening must out-browse UTC morning"
+        );
+    }
+
+    #[test]
+    fn planted_shard_bug_is_invisible_unsharded_and_caught_sharded() {
+        let mut reference = ScaledCampaign::new(small());
+        reference.run_to_end(1);
+
+        let mut clean_single = ScaledCampaign::new(small());
+        clean_single.debug_drop_user_in_shard_every(1);
+        clean_single.run_to_end(1);
+        assert_eq!(
+            clean_single.dataset_digest(),
+            reference.dataset_digest(),
+            "a single-shard run has no shard 1: the bug must be invisible"
+        );
+        assert!(clean_single.ledger().sums_hold());
+
+        let mut buggy = ScaledCampaign::new(small());
+        buggy.debug_drop_user_in_shard_every(1);
+        buggy.run_to_end(4);
+        assert_ne!(
+            buggy.dataset_digest(),
+            reference.dataset_digest(),
+            "dropped batches must change the dataset digest"
+        );
+        assert!(
+            !buggy.ledger().sums_hold(),
+            "dropped batches must break delivered+quarantined+shed+lost==generated"
+        );
+    }
+
+    #[test]
+    fn checkpoint_round_trips_at_day_boundaries() {
+        let mut reference = ScaledCampaign::new(small());
+        reference.run_to_end(3);
+
+        let mut rc = ScaledCampaign::new(small());
+        while !rc.is_finished() {
+            rc.run_day(3);
+            let blob = rc.checkpoint();
+            rc = ScaledCampaign::resume(small(), &blob).expect("own checkpoint must restore");
+        }
+        assert_eq!(rc.dataset_digest(), reference.dataset_digest());
+        assert_eq!(rc.ledger(), reference.ledger());
+    }
+
+    #[test]
+    fn resuming_under_a_different_worker_count_is_byte_identical() {
+        let mut reference = ScaledCampaign::new(small());
+        reference.run_to_end(1);
+
+        // Checkpoint written mid-campaign at --jobs 4 …
+        let mut rc = ScaledCampaign::new(small());
+        rc.run_day(4);
+        let blob = rc.checkpoint();
+
+        // … must finish byte-identically at --jobs 1, 2 and 9.
+        for jobs in [1usize, 2, 9] {
+            let mut resumed =
+                ScaledCampaign::resume(small(), &blob).expect("own checkpoint must restore");
+            resumed.run_to_end(jobs);
+            assert_eq!(
+                resumed.dataset_digest(),
+                reference.dataset_digest(),
+                "resume at jobs={jobs} diverged from the straight run"
+            );
+            assert_eq!(resumed.ledger(), reference.ledger());
+        }
+    }
+
+    #[test]
+    fn scenario_mismatches_are_refused_with_the_field_named() {
+        let mut rc = ScaledCampaign::new(small());
+        rc.run_day(2);
+        let blob = rc.checkpoint();
+
+        for (field, config) in [
+            (
+                "seed",
+                ScaleConfig {
+                    seed: 12,
+                    ..small()
+                },
+            ),
+            (
+                "users",
+                ScaleConfig {
+                    users: 701,
+                    ..small()
+                },
+            ),
+            (
+                "cities",
+                ScaleConfig {
+                    cities: 26,
+                    ..small()
+                },
+            ),
+            ("days", ScaleConfig { days: 3, ..small() }),
+            (
+                "pages_per_day_milli",
+                ScaleConfig {
+                    pages_per_day_milli: 7_000,
+                    ..small()
+                },
+            ),
+        ] {
+            let err = ScaledCampaign::resume(config, &blob)
+                .expect_err("a different scenario must be refused");
+            assert_eq!(err, CheckpointError::Mismatch { field });
+        }
+
+        let mut bad = blob.clone();
+        bad[10] ^= 0x40;
+        assert!(matches!(
+            ScaledCampaign::resume(small(), &bad),
+            Err(CheckpointError::Wire(_))
+        ));
+    }
+}

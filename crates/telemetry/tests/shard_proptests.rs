@@ -1,0 +1,81 @@
+//! Property tests for the shard planner and the sharded campaign
+//! engine: for random populations and worker counts 1..=16, partitions
+//! are disjoint and covering, and merged campaign output equals the
+//! unsharded reference exactly.
+
+use proptest::prelude::*;
+use starlink_telemetry::{ScaleConfig, ScaledCampaign, ShardPlan};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Partitions are contiguous in index order, disjoint, and cover
+    /// every user — for any population size and any worker count.
+    #[test]
+    fn plan_partitions_are_disjoint_and_cover_all_users(
+        users in 0u64..5_000,
+        jobs in 1usize..=16,
+    ) {
+        let plan = ShardPlan::new(users, jobs);
+        prop_assert_eq!(plan.shards(), jobs);
+        prop_assert_eq!(plan.users(), users);
+        let mut cursor = 0u64;
+        let mut covered = 0u64;
+        for k in 0..plan.shards() {
+            let r = plan.range(k);
+            // Contiguity at the previous end implies disjointness.
+            prop_assert_eq!(r.start, cursor);
+            cursor = r.end;
+            covered += r.end - r.start;
+        }
+        prop_assert_eq!(cursor, users);
+        prop_assert_eq!(covered, users);
+    }
+
+    /// Shard sizes are balanced to within one user.
+    #[test]
+    fn plan_is_balanced_within_one_user(
+        users in 0u64..5_000,
+        jobs in 1usize..=16,
+    ) {
+        let plan = ShardPlan::new(users, jobs);
+        let sizes: Vec<u64> = (0..plan.shards())
+            .map(|k| {
+                let r = plan.range(k);
+                r.end - r.start
+            })
+            .collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "sizes {sizes:?} differ by more than one");
+    }
+
+    /// The merged per-city coverage, the per-user ledger, and the
+    /// dataset digest all equal the unsharded reference at any worker
+    /// count — and the coverage invariant holds exactly.
+    #[test]
+    fn merged_output_equals_the_unsharded_reference(
+        seed in any::<u64>(),
+        users in 1u64..400,
+        cities in 1u32..40,
+        jobs in 2usize..=16,
+    ) {
+        let config = ScaleConfig {
+            seed,
+            users,
+            cities,
+            days: 2,
+            pages_per_day_milli: 5_000,
+        };
+        let mut reference = ScaledCampaign::new(config);
+        reference.run_to_end(1);
+        prop_assert!(reference.ledger().sums_hold());
+
+        let mut sharded = ScaledCampaign::new(config);
+        sharded.run_to_end(jobs);
+        prop_assert!(sharded.ledger().sums_hold());
+        prop_assert_eq!(sharded.per_city(), reference.per_city());
+        prop_assert_eq!(sharded.ledger(), reference.ledger());
+        prop_assert_eq!(sharded.dataset_digest(), reference.dataset_digest());
+    }
+}

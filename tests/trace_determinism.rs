@@ -16,7 +16,8 @@
 
 use starlink_core::obsv::{self, MetricsRegistry, TraceEvent};
 use starlink_core::telemetry::{
-    AdmissionConfig, CampaignConfig, Collection, IngestOptions, ResilientCampaign,
+    AdmissionConfig, CampaignConfig, CampaignLedger, Collection, IngestOptions, ResilientCampaign,
+    ScaleConfig, ScaledCampaign,
 };
 use starlink_simtest::{gen, run, RunOptions, RunReport};
 use std::collections::BTreeMap;
@@ -155,6 +156,68 @@ fn twin_traced_service_campaigns_are_byte_identical() {
         "enabling tracing changed the campaign"
     );
     assert_eq!(untraced.coverage.total(), coll_a.coverage.total());
+}
+
+/// Runs the population-scale sharded campaign at `jobs` workers with a
+/// JSONL ring sink and metrics installed, returning the artefacts plus
+/// the merged ledger and dataset digest.
+fn run_traced_scaled_campaign(jobs: usize) -> (String, MetricsRegistry, CampaignLedger, u64) {
+    assert!(
+        obsv::install_trace(Box::new(obsv::RingSink::new(1 << 20))).is_none(),
+        "a previous test leaked a sink"
+    );
+    assert!(obsv::metrics_begin().is_none());
+    let mut campaign = ScaledCampaign::new(ScaleConfig {
+        seed: 91,
+        users: 5_000,
+        cities: 40,
+        days: 2,
+        pages_per_day_milli: 8_000,
+    });
+    campaign.run_to_end(jobs);
+    let mut sink = obsv::take_trace().expect("installed above");
+    let registry = obsv::metrics_take().expect("installed above");
+    assert_eq!(sink.dropped_events(), 0, "ring too small for the campaign");
+    (
+        sink.drain_jsonl().unwrap_or_default(),
+        registry,
+        campaign.ledger().clone(),
+        campaign.dataset_digest(),
+    )
+}
+
+#[test]
+fn sharded_campaign_artefacts_are_byte_identical_across_worker_counts() {
+    // The tentpole determinism claim, end to end through the obsv layer:
+    // a 1-worker and a 4-worker run of the same scaled campaign produce
+    // byte-identical trace JSONL and metrics JSON — all shard-level
+    // observability is emitted post-merge from jobs-invariant totals —
+    // and the merged ledgers and digests are equal too.
+    let (trace_1, reg_1, ledger_1, digest_1) = run_traced_scaled_campaign(1);
+    let (trace_4, reg_4, ledger_4, digest_4) = run_traced_scaled_campaign(4);
+    assert!(!trace_1.is_empty(), "campaign produced no events");
+    assert_eq!(trace_1, trace_4, "trace JSONL diverged across --jobs");
+    assert_eq!(
+        reg_1.to_json(0),
+        reg_4.to_json(0),
+        "metrics diverged across --jobs"
+    );
+    assert_eq!(ledger_1, ledger_4, "merged ledgers diverged across --jobs");
+    assert_eq!(digest_1, digest_4, "dataset digests diverged across --jobs");
+    assert!(ledger_1.sums_hold(), "coverage invariant broke");
+
+    // The merge shows up in the trace and the counters: one merged-day
+    // event per day, and the shard counters carry the merged totals.
+    assert!(
+        trace_1.contains("\"ev\":\"campaign_day\""),
+        "trace is missing the merged-day event"
+    );
+    assert_eq!(reg_1.counter("campaign.shard.days"), 2);
+    assert_eq!(
+        reg_1.counter("campaign.shard.generated"),
+        ledger_1.totals().generated
+    );
+    assert!(reg_1.counter("campaign.shard.generated") > 0);
 }
 
 #[test]
