@@ -117,9 +117,9 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::Instant;
 
-const ARTEFACTS: [&str; 13] = [
+const ARTEFACTS: [&str; 14] = [
     "fig1", "fig2", "table1", "fig3", "fig4", "fig5", "table2", "table3", "fig6a", "fig6b",
-    "fig6c", "fig7", "fig8",
+    "fig6c", "fig7", "fig8", "fairness",
 ];
 
 /// Capacity of the per-artefact trace ring: enough for every scenario the
@@ -1442,6 +1442,173 @@ fn run_campaign(seed: u64, o: &CampaignOpts) -> Result<(), String> {
 
 /// Runs one artefact in isolation: a panic anywhere inside an experiment
 /// becomes an `Err` naming the artefact instead of aborting the process.
+/// One cell of the population-scale coexistence experiment: a city from
+/// the scaled-population catalogue, its population-weighted flow count,
+/// and the finished fairness report.
+struct FairnessCell {
+    city: String,
+    spec: starlink_simtest::FlowMixSpec,
+    report: starlink_simtest::FairnessReport,
+}
+
+/// The `fairness` artefact: many-flow coexistence at population scale.
+///
+/// The scaled-population city catalogue supplies the cells — the three
+/// heaviest metros — and each cell runs hundreds of concurrent flows
+/// with a mixed congestion-control population through one shared
+/// per-gateway droptail bottleneck ([`starlink_simtest::run_fairness`]).
+/// Per-flow bandwidth is held at 1 Mbit/s so every cell contends at
+/// the same per-subscriber intensity (enough capacity that the
+/// aggregate minimum-window floor does not collapse the queue), with
+/// two 40 ms BDPs of droptail buffer. Everything derives from `seed` through labelled
+/// streams, so the artefact — and `BENCH_fairness.json` — is
+/// byte-identical across `--jobs` values and across machines.
+fn run_fairness_cells(seed: u64) -> Vec<FairnessCell> {
+    use starlink_core::transport::CcAlgorithm;
+    use starlink_simtest::FlowMixSpec;
+
+    let catalog = starlink_core::telemetry::CityCatalog::generate(12, seed);
+    let root = SimRng::seed_from(seed);
+    // Population-weighted flow counts: Zipf weights 1, 1/2, 1/3 over the
+    // three heaviest metros, scaled so the largest cell runs 256 flows.
+    (0..3usize)
+        .map(|cell| {
+            let flows = ((256.0 * catalog.weight(cell)).round() as usize).max(64);
+            let mut mix_rng = root.stream("fairness.mix").substream(cell as u64);
+            let mix: Vec<CcAlgorithm> = (0..flows)
+                .map(|_| {
+                    // The deployed-population mix: mostly BBRv2/CUBIC,
+                    // with BBRv1 and the legacy loss-based tail.
+                    match mix_rng.below(100) {
+                        0..=29 => CcAlgorithm::Bbr2,
+                        30..=49 => CcAlgorithm::Bbr,
+                        50..=79 => CcAlgorithm::Cubic,
+                        80..=89 => CcAlgorithm::Reno,
+                        90..=94 => CcAlgorithm::Veno,
+                        _ => CcAlgorithm::Vegas,
+                    }
+                })
+                .collect();
+            let bottleneck_kbps = 1_024 * flows as u64;
+            let spec = FlowMixSpec {
+                seed: root
+                    .stream("fairness.net")
+                    .substream(cell as u64)
+                    .next_u64(),
+                mix,
+                bottleneck_kbps,
+                // Two 40 ms BDPs of droptail queue: kbps × 80 ms / 8 = × 10.
+                queue_bytes: bottleneck_kbps * 10,
+                access_delay_us: 8_000 + 4_000 * cell as u64,
+                duration_ms: 10_000,
+            };
+            let report = starlink_simtest::run_fairness(&spec, &Default::default());
+            FairnessCell {
+                city: catalog.name(cell).to_string(),
+                spec,
+                report,
+            }
+        })
+        .collect()
+}
+
+/// Renders the fairness artefact's human-readable table.
+fn render_fairness(cells: &[FairnessCell]) -> String {
+    let mut out = String::new();
+    for c in cells {
+        out.push_str(&format!(
+            "{}: {} flows, {} kbit/s shared, Jain {}.{:03}\n",
+            c.city,
+            c.spec.mix.len(),
+            c.spec.bottleneck_kbps,
+            c.report.jain_milli / 1000,
+            c.report.jain_milli % 1000,
+        ));
+        for a in &c.report.algos {
+            let share_milli = (a.bytes_acked * 1_000)
+                .checked_div(c.report.total_bytes)
+                .unwrap_or(0);
+            let permille = (a.retransmissions * 1_000)
+                .checked_div(a.segments_sent)
+                .unwrap_or(0);
+            out.push_str(&format!(
+                "  {:<5} {:>4} flows  {:>5.1}% of bytes  {:>4}‰ retransmitted\n",
+                a.algo.label(),
+                a.flows,
+                share_milli as f64 / 10.0,
+                permille,
+            ));
+        }
+    }
+    let all_shares: Vec<u64> = cells
+        .iter()
+        .flat_map(|c| c.report.flows.iter().map(|f| f.bytes_acked))
+        .collect();
+    let overall = starlink_simtest::jain_milli(&all_shares);
+    out.push_str(&format!(
+        "overall: {} flows across {} cells, Jain {}.{:03}\n",
+        all_shares.len(),
+        cells.len(),
+        overall / 1000,
+        overall % 1000,
+    ));
+    out
+}
+
+/// Renders `BENCH_fairness.json` (`repro-fairness-v1`): integers only and
+/// a fixed key order, so the bytes are identical wherever it runs.
+fn render_fairness_json(seed: u64, cells: &[FairnessCell]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"repro-fairness-v1\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    let all_shares: Vec<u64> = cells
+        .iter()
+        .flat_map(|c| c.report.flows.iter().map(|f| f.bytes_acked))
+        .collect();
+    out.push_str(&format!(
+        "  \"overall_jain_milli\": {},\n",
+        starlink_simtest::jain_milli(&all_shares)
+    ));
+    out.push_str("  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"city\": {}, \"flows\": {}, \"bottleneck_kbps\": {}, \
+             \"queue_bytes\": {}, \"duration_ms\": {}, \"jain_milli\": {}, \
+             \"total_bytes\": {}, \"algos\": [",
+            json_string(&c.city),
+            c.spec.mix.len(),
+            c.spec.bottleneck_kbps,
+            c.spec.queue_bytes,
+            c.spec.duration_ms,
+            c.report.jain_milli,
+            c.report.total_bytes,
+        ));
+        for (j, a) in c.report.algos.iter().enumerate() {
+            let share_milli = (a.bytes_acked * 1_000)
+                .checked_div(c.report.total_bytes)
+                .unwrap_or(0);
+            let permille = (a.retransmissions * 1_000)
+                .checked_div(a.segments_sent)
+                .unwrap_or(0);
+            out.push_str(if j == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "      {{\"algo\": {}, \"flows\": {}, \"bytes_acked\": {}, \
+                 \"segments_sent\": {}, \"retransmissions\": {}, \
+                 \"goodput_share_milli\": {share_milli}, \
+                 \"retransmit_permille\": {permille}}}",
+                json_string(a.algo.label()),
+                a.flows,
+                a.bytes_acked,
+                a.segments_sent,
+                a.retransmissions,
+            ));
+        }
+        out.push_str("\n    ]}");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
 fn run_one(target: &str, seed: u64) -> Result<(), String> {
     if !ARTEFACTS.contains(&target) {
         return Err(format!(
@@ -1570,6 +1737,22 @@ fn run_artefact(target: &str, seed: u64) {
                 &r.render(),
                 r.shape_holds(),
             );
+        }
+        "fairness" => {
+            let cells = run_fairness_cells(seed);
+            report(
+                "Fairness — many-flow coexistence at population scale",
+                &render_fairness(&cells),
+                Ok(()),
+            );
+            let json = render_fairness_json(seed, &cells);
+            let dir = Path::new("target").join("repro");
+            if std::fs::create_dir_all(&dir).is_ok() {
+                let path = dir.join("BENCH_fairness.json");
+                if std::fs::write(&path, &json).is_ok() {
+                    starlink_bench::emit_line(&format!("[json] wrote {}", path.display()));
+                }
+            }
         }
         // `run_one` vets targets against ARTEFACTS before dispatching.
         other => unreachable!("unvetted artefact '{other}'"),

@@ -214,6 +214,53 @@ impl TcpPhase {
     }
 }
 
+/// A model-based congestion controller's probing phase (BBR family).
+///
+/// BBRv1 maps its ProbeBW gain cycle onto ProbeUp/ProbeDown/ProbeCruise
+/// (phase 0 probes up at 1.25×, phase 1 drains at 0.75×, the six cruise
+/// phases hold 1.0×); BBRv2 carries the four probe states explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CcPhase {
+    /// Startup: exponential bandwidth search.
+    Startup,
+    /// Drain: bleeding the startup queue.
+    Drain,
+    /// Probing for more bandwidth (gain > 1).
+    ProbeUp,
+    /// Draining the probe's queue (gain < 1).
+    ProbeDown,
+    /// Cruising at the estimated bandwidth (gain ≈ 1).
+    ProbeCruise,
+    /// Draining to a few packets to re-measure min RTT.
+    ProbeRtt,
+}
+
+impl CcPhase {
+    /// Stable lowercase code used in JSONL output.
+    pub fn code(self) -> &'static str {
+        match self {
+            CcPhase::Startup => "startup",
+            CcPhase::Drain => "drain",
+            CcPhase::ProbeUp => "probe_up",
+            CcPhase::ProbeDown => "probe_down",
+            CcPhase::ProbeCruise => "probe_cruise",
+            CcPhase::ProbeRtt => "probe_rtt",
+        }
+    }
+
+    /// Small integer tag folded into event digests.
+    pub fn tag(self) -> u64 {
+        match self {
+            CcPhase::Startup => 1,
+            CcPhase::Drain => 2,
+            CcPhase::ProbeUp => 3,
+            CcPhase::ProbeDown => 4,
+            CcPhase::ProbeCruise => 5,
+            CcPhase::ProbeRtt => 6,
+        }
+    }
+}
+
 /// A structured, sim-time-stamped trace event.
 ///
 /// The taxonomy covers the paths the simulator used to instrument ad hoc:
@@ -458,6 +505,17 @@ pub enum TraceEvent {
         /// Records delivered this day across all shards.
         delivered: u64,
     },
+    /// A model-based congestion controller moved between probing phases.
+    CcProbe {
+        /// Simulation time, nanoseconds.
+        t_ns: u64,
+        /// Connection identifier (the local node index).
+        conn: u64,
+        /// Phase before the transition.
+        from: CcPhase,
+        /// Phase after the transition.
+        to: CcPhase,
+    },
 }
 
 impl TraceEvent {
@@ -485,7 +543,8 @@ impl TraceEvent {
             | TraceEvent::CheckpointRecovered { t_ns, .. }
             | TraceEvent::CheckpointQuarantined { t_ns, .. }
             | TraceEvent::CheckpointShed { t_ns, .. }
-            | TraceEvent::CampaignDayMerged { t_ns, .. } => t_ns,
+            | TraceEvent::CampaignDayMerged { t_ns, .. }
+            | TraceEvent::CcProbe { t_ns, .. } => t_ns,
         }
     }
 
@@ -587,6 +646,12 @@ impl TraceEvent {
                 generated,
                 ..
             } => (22, t_ns, day, generated),
+            TraceEvent::CcProbe {
+                t_ns,
+                conn,
+                from,
+                to,
+            } => (23, t_ns, conn, (from.tag() << 8) | to.tag()),
         }
     }
 
@@ -810,6 +875,19 @@ impl TraceEvent {
                     "{{\"t\":{t_ns},\"ev\":\"campaign_day\",\"day\":{day},\"users\":{users},\"generated\":{generated},\"delivered\":{delivered}}}"
                 );
             }
+            TraceEvent::CcProbe {
+                t_ns,
+                conn,
+                from,
+                to,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t_ns},\"ev\":\"cc_phase\",\"conn\":{conn},\"from\":\"{}\",\"to\":\"{}\"}}",
+                    from.code(),
+                    to.code()
+                );
+            }
         }
     }
 
@@ -971,6 +1049,36 @@ mod tests {
             (22, 86_400_000_000_000, 0, 22_000_000)
         );
         assert_eq!(merged.time_ns(), 86_400_000_000_000);
+    }
+
+    #[test]
+    fn cc_probe_renders_and_digests_with_new_tag() {
+        let probe = TraceEvent::CcProbe {
+            t_ns: 42,
+            conn: 3,
+            from: CcPhase::ProbeUp,
+            to: CcPhase::ProbeDown,
+        };
+        assert_eq!(
+            probe.to_json(),
+            "{\"t\":42,\"ev\":\"cc_phase\",\"conn\":3,\"from\":\"probe_up\",\"to\":\"probe_down\"}"
+        );
+        assert_eq!(probe.digest_parts(), (23, 42, 3, (3 << 8) | 4));
+        assert_eq!(probe.time_ns(), 42);
+        // Phase tags are unique and non-zero: they fold into digests.
+        let all = [
+            CcPhase::Startup,
+            CcPhase::Drain,
+            CcPhase::ProbeUp,
+            CcPhase::ProbeDown,
+            CcPhase::ProbeCruise,
+            CcPhase::ProbeRtt,
+        ];
+        let mut tags: Vec<u64> = all.iter().map(|p| p.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), all.len());
+        assert!(tags.iter().all(|&t| t > 0));
     }
 
     #[test]

@@ -38,7 +38,7 @@ mod event;
 mod metrics;
 mod sink;
 
-pub use event::{DropReason, ShedReason, StorageShedReason, TcpPhase, TraceEvent};
+pub use event::{CcPhase, DropReason, ShedReason, StorageShedReason, TcpPhase, TraceEvent};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use sink::{CollectorSink, NullSink, RingSink, TraceSink};
 

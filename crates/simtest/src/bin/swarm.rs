@@ -4,10 +4,10 @@
 //! swarm run [--seeds N] [--jobs J] [--base-seed B] [--out DIR]
 //!           [--inject-bug EVERY] [--inject-shed-bug EVERY]
 //!           [--inject-manifest-bug EVERY] [--inject-shard-bug EVERY]
-//!           [--shrink]
+//!           [--inject-unfair-bug EVERY] [--shrink]
 //! swarm replay --seed S [--scenario FILE] [--inject-bug EVERY]
 //!              [--inject-shed-bug EVERY] [--inject-manifest-bug EVERY]
-//!              [--inject-shard-bug EVERY]
+//!              [--inject-shard-bug EVERY] [--inject-unfair-bug EVERY]
 //! ```
 //!
 //! `run` fans `N` seeds across `J` worker threads. Every seed is derived
@@ -32,8 +32,8 @@ fn main() {
         Some("run") => cmd_run(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         _ => {
-            eprintln!("usage: swarm run [--seeds N] [--jobs J] [--base-seed B] [--out DIR] [--inject-bug EVERY] [--inject-shed-bug EVERY] [--inject-manifest-bug EVERY] [--inject-shard-bug EVERY] [--shrink]");
-            eprintln!("       swarm replay --seed S [--scenario FILE] [--inject-bug EVERY] [--inject-shed-bug EVERY] [--inject-manifest-bug EVERY] [--inject-shard-bug EVERY]");
+            eprintln!("usage: swarm run [--seeds N] [--jobs J] [--base-seed B] [--out DIR] [--inject-bug EVERY] [--inject-shed-bug EVERY] [--inject-manifest-bug EVERY] [--inject-shard-bug EVERY] [--inject-unfair-bug EVERY] [--shrink]");
+            eprintln!("       swarm replay --seed S [--scenario FILE] [--inject-bug EVERY] [--inject-shed-bug EVERY] [--inject-manifest-bug EVERY] [--inject-shard-bug EVERY] [--inject-unfair-bug EVERY]");
             2
         }
     };
@@ -58,6 +58,7 @@ struct Flags {
     inject_shed_bug: u64,
     inject_manifest_bug: u64,
     inject_shard_bug: u64,
+    inject_unfair_bug: u64,
     shrink: bool,
     seed: Option<u64>,
     scenario: Option<String>,
@@ -73,6 +74,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         inject_shed_bug: 0,
         inject_manifest_bug: 0,
         inject_shard_bug: 0,
+        inject_unfair_bug: 0,
         shrink: false,
         seed: None,
         scenario: None,
@@ -96,6 +98,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--inject-shard-bug" => {
                 flags.inject_shard_bug = parse_u64(&value("--inject-shard-bug")?)?
+            }
+            "--inject-unfair-bug" => {
+                flags.inject_unfair_bug = parse_u64(&value("--inject-unfair-bug")?)?
             }
             "--shrink" => flags.shrink = true,
             "--seed" => flags.seed = Some(parse_u64(&value("--seed")?)?),
@@ -135,6 +140,7 @@ fn cmd_run(args: &[String]) -> i32 {
         inject_shed_miscount_every: flags.inject_shed_bug,
         inject_manifest_miscount_every: flags.inject_manifest_bug,
         inject_shard_bug_every: flags.inject_shard_bug,
+        inject_unfair_bug_every: flags.inject_unfair_bug,
     };
 
     // Workers pull indices from a shared counter and write results into
@@ -244,6 +250,7 @@ fn cmd_replay(args: &[String]) -> i32 {
         inject_shed_miscount_every: flags.inject_shed_bug,
         inject_manifest_miscount_every: flags.inject_manifest_bug,
         inject_shard_bug_every: flags.inject_shard_bug,
+        inject_unfair_bug_every: flags.inject_unfair_bug,
     };
 
     let scenario = match (&flags.scenario, flags.seed) {

@@ -7,6 +7,7 @@
 //! slow links, deep queues, loss bursts, router blackouts and every
 //! congestion-control algorithm.
 
+use crate::fairness::FlowMixSpec;
 use crate::scenario::{
     ClientSpec, CollectorSpec, FaultSpec, LinkSpec, PopulationSpec, Scenario, StorageFaultSpec,
     TelemetrySpec, Workload,
@@ -89,6 +90,34 @@ pub fn generate(seed: u64) -> Scenario {
         }
     });
 
+    // The fairness dimension draws from its own labelled stream, so
+    // adding it left every pre-existing dimension's draws — and thus
+    // every old seed's scenario shape — bit-for-bit unchanged.
+    let mut mrng = root.stream("flowmix");
+    let flow_mix = mrng.bernoulli(0.25).then(|| {
+        let seed = mrng.next_u64();
+        let flows = mrng.range_u64(2, 6) as usize;
+        // Flow 0 is always BBRv2: the fairness oracle bounds BBRv2
+        // retransmit rates, so every drawn mix must exercise it.
+        let mix = (0..flows)
+            .map(|i| {
+                if i == 0 {
+                    CcAlgorithm::Bbr2
+                } else {
+                    *mrng.choose(&CcAlgorithm::ALL)
+                }
+            })
+            .collect();
+        FlowMixSpec {
+            seed,
+            mix,
+            bottleneck_kbps: mrng.range_u64(4_000, 16_000),
+            queue_bytes: mrng.range_u64(16, 64) * 1_000,
+            access_delay_us: mrng.range_u64(5_000, 30_000),
+            duration_ms: mrng.range_u64(3_000, 8_000),
+        }
+    });
+
     Scenario {
         seed: root.stream("net").next_u64(),
         horizon_ms,
@@ -96,6 +125,7 @@ pub fn generate(seed: u64) -> Scenario {
         clients,
         faults,
         telemetry,
+        flow_mix,
     }
 }
 
@@ -261,6 +291,24 @@ mod tests {
         }
         assert!(with, "no generated scenario runs the scaled campaign");
         assert!(without, "no generated scenario skips the scaled campaign");
+    }
+
+    #[test]
+    fn flowmix_dimension_appears_both_ways() {
+        let (mut with, mut without) = (false, false);
+        for seed in 0..400 {
+            match generate(seed).flow_mix {
+                Some(m) => {
+                    with = true;
+                    assert_eq!(m.mix[0], CcAlgorithm::Bbr2, "seed {seed}: {m:?}");
+                    assert!(m.mix.len() >= 2, "seed {seed}: single-flow mix {m:?}");
+                    m.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+                }
+                None => without = true,
+            }
+        }
+        assert!(with, "no generated scenario contends at a bottleneck");
+        assert!(without, "no generated scenario skips the fairness run");
     }
 
     #[test]

@@ -4,9 +4,10 @@
 //! The pieces, in pipeline order:
 //!
 //! - [`gen`] maps a 64-bit seed to a random [`Scenario`](scenario::Scenario):
-//!   topology shape, per-client channel profiles, workloads over all five
-//!   congestion-control algorithms, a fault script reusing the
-//!   `starlink-faults` builders, and an optional telemetry sub-campaign.
+//!   topology shape, per-client channel profiles, workloads over every
+//!   congestion-control algorithm, a fault script reusing the
+//!   `starlink-faults` builders, an optional telemetry sub-campaign, and
+//!   an optional mixed-CC coexistence experiment ([`fairness`]).
 //! - [`run`] rebuilds and executes the scenario deterministically,
 //!   snapshotting a [`RunReport`](run::RunReport) — per-link/per-node
 //!   conservation counters, the event-trace digest, TCP introspection,
@@ -21,6 +22,7 @@
 //! Scenarios serialise to JSON ([`json`]) with exact `u64` fidelity, so a
 //! failing seed's artifact replays the identical run on any machine.
 
+pub mod fairness;
 pub mod gen;
 pub mod json;
 pub mod oracles;
@@ -28,6 +30,7 @@ pub mod run;
 pub mod scenario;
 pub mod shrink;
 
+pub use fairness::{jain_milli, run_fairness, AlgoShare, FairnessReport, FlowMixSpec, FlowShare};
 pub use oracles::{check, check_twin, Violation};
 pub use run::{
     run, run_twin, PopulationReport, RunOptions, RunReport, StorageReport, TelemetryReport,
@@ -140,6 +143,7 @@ pub fn handover_scenario(algo: CcAlgorithm) -> Scenario {
         }],
         faults,
         telemetry: None,
+        flow_mix: None,
     }
 }
 

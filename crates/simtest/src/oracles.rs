@@ -28,11 +28,17 @@
 //!   shards, the merged struct-of-arrays ledger still conserves every
 //!   record, and the merged dataset digest is byte-identical to an
 //!   unsharded reference run of the same configuration.
+//! - **Fairness** — when the scenario carries a mixed-CC coexistence
+//!   experiment, no BBRv2 flow's retransmitted-segment fraction exceeds
+//!   the ceiling its loss-rate bound guarantees (the fairness topology
+//!   has no random loss, so retransmissions *are* congestion drops; a
+//!   flow that ignores its ceiling blows through the bound).
 //! - **Twin-run determinism** — two runs of the same scenario produce the
 //!   same event-trace digest and event count ([`check_twin`]).
 
 use crate::run::RunReport;
 use starlink_netsim::NodeStats;
+use starlink_transport::CcAlgorithm;
 use std::fmt;
 
 /// One violated invariant.
@@ -136,6 +142,20 @@ pub enum Violation {
         /// Worker count the sharded run used.
         shards: u64,
     },
+    /// A loss-ceiling-bounded flow (BBRv2) in the coexistence experiment
+    /// retransmitted more than the ceiling can explain — it is not
+    /// honouring its loss bound at the shared bottleneck.
+    UnfairRetransmitRate {
+        /// Flow index in the mix.
+        flow: usize,
+        /// The flow's algorithm.
+        algo: CcAlgorithm,
+        /// Retransmitted fraction of data segments, parts per thousand.
+        permille: u64,
+        /// Worst retransmit fraction among the cohabitant (non-BBRv2)
+        /// flows in the same run, parts per thousand.
+        baseline: u64,
+    },
     /// Two runs of the same scenario diverged.
     TwinRunDivergence {
         /// First run's (digest, events).
@@ -228,6 +248,17 @@ impl fmt::Display for Violation {
                 "population: sharded dataset {sharded:#018x} at {shards} worker(s) diverged \
                  from unsharded reference {reference:#018x}"
             ),
+            Violation::UnfairRetransmitRate {
+                flow,
+                algo,
+                permille,
+                baseline,
+            } => write!(
+                f,
+                "fairness: flow {flow} ({}) retransmitted {permille}‰ of its segments \
+                 (cohabitant worst case {baseline}‰) — the loss ceiling is not being honoured",
+                algo.label()
+            ),
             Violation::TwinRunDivergence { first, second } => write!(
                 f,
                 "twin runs diverged: digest {:#018x}/{} vs {:#018x}/{}",
@@ -236,6 +267,30 @@ impl fmt::Display for Violation {
         }
     }
 }
+
+/// Retransmit-fraction ceiling for loss-ceiling-bounded flows, parts
+/// per thousand. BBRv2 clamps `inflight_hi` and backs its cruise gain
+/// off whenever a round's loss fraction exceeds ~2 %, but startup
+/// overshoot and harsh generated specs (shallow queue, many flows,
+/// short horizon) push a healthy flow's whole-run fraction well past
+/// that bound — the empirical maximum across thousands of generated
+/// mixes is ~24 %. The planted unfair flow (ceiling ignored) keeps
+/// overfilling the droptail queue for the entire run and lands at
+/// 40–60 % under real contention.
+const UNFAIR_RETRANSMIT_PERMILLE: u64 = 250;
+
+/// The ceiling alone cannot separate a bugged flow from a healthy one
+/// on a brutal spec where *every* flow is slaughtered, so the oracle
+/// also demands relative dominance: the BBRv2 flow must retransmit
+/// more than this multiple of the worst cohabitant (non-BBRv2) flow in
+/// the same run. Healthy high-loss runs have high baselines too; only
+/// the planted bug produces a lone outlier.
+const UNFAIR_BASELINE_FACTOR: u64 = 2;
+
+/// Segments a flow must have sent before the ceiling is meaningful —
+/// a handful of drops in a tiny flow divides into a scary-looking
+/// fraction without indicating anything.
+const UNFAIR_MIN_SEGMENTS: u64 = 200;
 
 /// Checks every single-run invariant. Empty result = healthy run.
 pub fn check(report: &RunReport) -> Vec<Violation> {
@@ -344,6 +399,34 @@ pub fn check(report: &RunReport) -> Vec<Violation> {
         }
     }
 
+    if let Some(fairness) = &report.fairness {
+        // The judgement is relative: a mix with no substantial non-BBRv2
+        // flow has no cohabitant baseline and goes unjudged.
+        let baseline = fairness
+            .flows
+            .iter()
+            .filter(|f| f.algo != CcAlgorithm::Bbr2 && f.segments_sent >= UNFAIR_MIN_SEGMENTS)
+            .map(|f| f.retransmit_permille())
+            .max();
+        if let Some(baseline) = baseline {
+            for flow in &fairness.flows {
+                let permille = flow.retransmit_permille();
+                if flow.algo == CcAlgorithm::Bbr2
+                    && flow.segments_sent >= UNFAIR_MIN_SEGMENTS
+                    && permille >= UNFAIR_RETRANSMIT_PERMILLE
+                    && permille > UNFAIR_BASELINE_FACTOR * baseline
+                {
+                    violations.push(Violation::UnfairRetransmitRate {
+                        flow: flow.flow,
+                        algo: flow.algo,
+                        permille,
+                        baseline,
+                    });
+                }
+            }
+        }
+    }
+
     violations
 }
 
@@ -439,6 +522,7 @@ mod tests {
                 storage: None,
                 population: None,
             }),
+            flow_mix: None,
         }
     }
 
@@ -576,6 +660,64 @@ mod tests {
                 .iter()
                 .any(|v| matches!(v, Violation::PopulationShardDivergence { .. })),
             "expected a shard-divergence violation, got {violations:?}"
+        );
+    }
+
+    /// A scenario whose coexistence experiment pits BBRv2 against a
+    /// loss-based population at a shallow shared bottleneck — tight
+    /// enough that an unfair flow's drops pile up fast (healthy BBRv2
+    /// lands near 2 % retransmits here; with the ceiling ignored it
+    /// thrashes at ~50 %).
+    fn contended_flowmix_scenario() -> crate::scenario::Scenario {
+        use crate::fairness::FlowMixSpec;
+        use starlink_transport::CcAlgorithm;
+        let mut s = overloaded_collector_scenario();
+        s.telemetry = None;
+        s.flow_mix = Some(FlowMixSpec {
+            seed: 0xFA1E_BEEF,
+            mix: vec![
+                CcAlgorithm::Bbr2,
+                CcAlgorithm::Cubic,
+                CcAlgorithm::Cubic,
+                CcAlgorithm::Reno,
+            ],
+            bottleneck_kbps: 6_000,
+            queue_bytes: 20_000,
+            access_delay_us: 10_000,
+            duration_ms: 6_000,
+        });
+        s
+    }
+
+    #[test]
+    fn contended_flowmix_passes_all_oracles() {
+        let report = run(&contended_flowmix_scenario(), &RunOptions::default());
+        let f = report.fairness.as_ref().expect("scenario contends");
+        assert!(f.total_bytes > 0, "{f:?}");
+        let bbr2 = f.flows.iter().find(|fl| fl.algo == CcAlgorithm::Bbr2);
+        assert!(
+            bbr2.is_some_and(|fl| fl.segments_sent >= UNFAIR_MIN_SEGMENTS),
+            "the BBRv2 flow must send enough to arm the oracle: {f:?}"
+        );
+        let violations = check(&report);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn oracle_catches_planted_unfair_bug() {
+        let report = run(
+            &contended_flowmix_scenario(),
+            &RunOptions {
+                inject_unfair_bug_every: 1,
+                ..RunOptions::default()
+            },
+        );
+        let violations = check(&report);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::UnfairRetransmitRate { .. })),
+            "expected an unfair-retransmit violation, got {violations:?}"
         );
     }
 

@@ -10,6 +10,7 @@
 //! the same scenario twice must produce byte-identical [`RunReport`]s;
 //! the twin-run oracle enforces exactly that.
 
+use crate::fairness::{run_fairness, FairnessReport};
 use crate::scenario::{
     FaultSpec, PopulationSpec, Scenario, StorageFaultSpec, TelemetrySpec, Workload,
 };
@@ -57,6 +58,12 @@ pub struct RunOptions {
     /// the sharded-vs-reference digest; the sharding oracles must catch
     /// it (`swarm --inject-shard-bug`).
     pub inject_shard_bug_every: u64,
+    /// Test-only unfair-flow injection for fairness sub-runs: every N-th
+    /// BBRv2 flow in the mix stops honouring its loss-rate ceiling (see
+    /// `CongestionControl::debug_ignore_loss_ceiling`), becoming the
+    /// bully the retransmit-rate fairness oracle must catch
+    /// (`swarm --inject-unfair-bug`).
+    pub inject_unfair_bug_every: u64,
 }
 
 /// Ground truth for one TCP flow, snapshotted after quiescence.
@@ -179,6 +186,9 @@ pub struct RunReport {
     pub ping_replies: u64,
     /// Telemetry sub-campaign accounting, when the scenario has one.
     pub telemetry: Option<TelemetryReport>,
+    /// Mixed-CC coexistence accounting, when the scenario carries a
+    /// [`crate::fairness::FlowMixSpec`].
+    pub fairness: Option<FairnessReport>,
 }
 
 /// Node/link indices of the topology the runner builds, in construction
@@ -337,6 +347,42 @@ pub fn fault_plan(scenario: &Scenario, topo: &Topology) -> FaultPlan {
     plan
 }
 
+/// The handover edges a scenario's access-link flaps imply for `client`:
+/// one path-change hint per period boundary inside each flap window,
+/// strictly after `start_ms` (a hint before the connection starts has
+/// nothing to act on). This is the schedule-driven stand-in for a real
+/// stack's link-layer handover notifications — the congestion controller
+/// hears about reconfigurations from the scenario, never from tracing,
+/// so runs stay identical whether or not observability is attached.
+pub fn path_change_schedule(scenario: &Scenario, client: usize, start_ms: u64) -> Vec<SimTime> {
+    let mut edges_ms: Vec<u64> = Vec::new();
+    for fault in &scenario.faults {
+        if let FaultSpec::AccessFlap {
+            client: c,
+            start_ms: flap_start,
+            end_ms,
+            period_ms,
+            ..
+        } = *fault
+        {
+            if c != client {
+                continue;
+            }
+            let period = period_ms.max(1);
+            let mut t = flap_start;
+            while t < end_ms && edges_ms.len() < 256 {
+                if t > start_ms {
+                    edges_ms.push(t);
+                }
+                t += period;
+            }
+        }
+    }
+    edges_ms.sort_unstable();
+    edges_ms.dedup();
+    edges_ms.into_iter().map(SimTime::from_millis).collect()
+}
+
 /// Per-run counter shared between ping handlers and the report.
 #[derive(Debug, Default)]
 struct PingStats {
@@ -411,8 +457,9 @@ pub fn run(scenario: &Scenario, opts: &RunOptions) -> RunReport {
                 total_bytes,
                 start_ms,
             } => {
-                let (sender, stats) =
-                    TcpSender::new(client, TcpConfig::bulk(conn, algo, total_bytes));
+                let config = TcpConfig::bulk(conn, algo, total_bytes)
+                    .with_path_changes(path_change_schedule(scenario, i, start_ms));
+                let (sender, stats) = TcpSender::new(client, config);
                 let (receiver, _rstats) = TcpReceiver::new(conn, SimDuration::from_secs(1));
                 net.attach_handler(server, Box::new(sender));
                 net.attach_handler(client, Box::new(receiver));
@@ -428,7 +475,8 @@ pub fn run(scenario: &Scenario, opts: &RunOptions) -> RunReport {
                 start_ms,
                 stop_ms,
             } => {
-                let config = TcpConfig::stream_until(conn, algo, SimTime::from_millis(stop_ms));
+                let config = TcpConfig::stream_until(conn, algo, SimTime::from_millis(stop_ms))
+                    .with_path_changes(path_change_schedule(scenario, i, start_ms));
                 let (sender, stats) = TcpSender::new(client, config);
                 let (receiver, _rstats) = TcpReceiver::new(conn, SimDuration::from_secs(1));
                 net.attach_handler(server, Box::new(sender));
@@ -522,6 +570,10 @@ pub fn run(scenario: &Scenario, opts: &RunOptions) -> RunReport {
             .telemetry
             .as_ref()
             .map(|spec| run_telemetry(spec, opts)),
+        fairness: scenario
+            .flow_mix
+            .as_ref()
+            .map(|spec| run_fairness(spec, opts)),
     }
 }
 

@@ -8,6 +8,7 @@
 //! round-trip is exact — a replayed failing seed reconstructs the
 //! *identical* run.
 
+use crate::fairness::FlowMixSpec;
 use crate::json::{parse, Json, JsonError};
 use starlink_channel::WeatherCondition;
 use starlink_netsim::LinkConfig;
@@ -675,6 +676,9 @@ pub struct Scenario {
     pub faults: Vec<FaultSpec>,
     /// Optional telemetry sub-campaign.
     pub telemetry: Option<TelemetrySpec>,
+    /// Optional mixed-CC coexistence experiment run alongside the packet
+    /// simulation, checked by the fairness oracle.
+    pub flow_mix: Option<FlowMixSpec>,
 }
 
 /// Why a scenario document failed to load.
@@ -718,6 +722,10 @@ impl Scenario {
             Some(t) => fields.push(("telemetry".into(), t.to_json())),
             None => fields.push(("telemetry".into(), Json::Null)),
         }
+        match &self.flow_mix {
+            Some(m) => fields.push(("flow_mix".into(), m.to_json())),
+            None => fields.push(("flow_mix".into(), Json::Null)),
+        }
         Json::Obj(fields).render()
     }
 
@@ -743,6 +751,12 @@ impl Scenario {
             Json::Null => None,
             v => Some(TelemetrySpec::from_json(v)?),
         };
+        // Tolerate a missing key so artifacts saved before the fairness
+        // dimension existed still replay (without the coexistence run).
+        let flow_mix = match doc.get("flow_mix") {
+            None | Some(Json::Null) => None,
+            Some(m) => Some(FlowMixSpec::from_json(m)?),
+        };
         let scenario = Scenario {
             seed: field_u64(&doc, "seed")?,
             horizon_ms: field_u64(&doc, "horizon_ms")?,
@@ -750,6 +764,7 @@ impl Scenario {
             clients,
             faults,
             telemetry,
+            flow_mix,
         };
         scenario.validate()?;
         Ok(scenario)
@@ -784,6 +799,9 @@ impl Scenario {
                 _ => {}
             }
         }
+        if let Some(m) = &self.flow_mix {
+            m.validate()?;
+        }
         Ok(())
     }
 }
@@ -797,23 +815,23 @@ pub fn parse_algo(label: &str) -> Result<CcAlgorithm, ScenarioError> {
         .ok_or(ScenarioError::Field("unknown congestion-control label"))
 }
 
-fn field<'a>(v: &'a Json, key: &'static str) -> Result<&'a Json, ScenarioError> {
+pub(crate) fn field<'a>(v: &'a Json, key: &'static str) -> Result<&'a Json, ScenarioError> {
     v.get(key).ok_or(ScenarioError::Field(key))
 }
 
-fn field_u64(v: &Json, key: &'static str) -> Result<u64, ScenarioError> {
+pub(crate) fn field_u64(v: &Json, key: &'static str) -> Result<u64, ScenarioError> {
     field(v, key)?.as_u64().ok_or(ScenarioError::Field(key))
 }
 
-fn field_usize(v: &Json, key: &'static str) -> Result<usize, ScenarioError> {
+pub(crate) fn field_usize(v: &Json, key: &'static str) -> Result<usize, ScenarioError> {
     field(v, key)?.as_usize().ok_or(ScenarioError::Field(key))
 }
 
-fn field_bool(v: &Json, key: &'static str) -> Result<bool, ScenarioError> {
+pub(crate) fn field_bool(v: &Json, key: &'static str) -> Result<bool, ScenarioError> {
     field(v, key)?.as_bool().ok_or(ScenarioError::Field(key))
 }
 
-fn field_str<'a>(v: &'a Json, key: &'static str) -> Result<&'a str, ScenarioError> {
+pub(crate) fn field_str<'a>(v: &'a Json, key: &'static str) -> Result<&'a str, ScenarioError> {
     field(v, key)?.as_str().ok_or(ScenarioError::Field(key))
 }
 
@@ -910,6 +928,19 @@ mod tests {
                     pages_per_day_milli: 6_500,
                 }),
             }),
+            flow_mix: Some(FlowMixSpec {
+                seed: 0xFA1E55,
+                mix: vec![
+                    CcAlgorithm::Bbr2,
+                    CcAlgorithm::Cubic,
+                    CcAlgorithm::Bbr,
+                    CcAlgorithm::Reno,
+                ],
+                bottleneck_kbps: 10_000,
+                queue_bytes: 24_000,
+                access_delay_us: 15_000,
+                duration_ms: 4_000,
+            }),
         }
     }
 
@@ -977,6 +1008,27 @@ mod tests {
             .replace("\"population\":null,", "");
         assert!(!text.contains("\"population\""));
         assert_eq!(Scenario::from_json(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn pre_flowmix_artifacts_still_load() {
+        // Artifacts predating the fairness dimension have no "flow_mix"
+        // key and must replay without the coexistence experiment.
+        let mut s = sample();
+        s.flow_mix = None;
+        let text = s
+            .to_json()
+            .replace(",\"flow_mix\":null", "")
+            .replace("\"flow_mix\":null,", "");
+        assert!(!text.contains("flow_mix"));
+        assert_eq!(Scenario::from_json(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn invalid_flow_mix_is_rejected() {
+        let mut s = sample();
+        s.flow_mix.as_mut().unwrap().queue_bytes = 100;
+        assert!(Scenario::from_json(&s.to_json()).is_err());
     }
 
     #[test]

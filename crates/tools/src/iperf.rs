@@ -80,6 +80,8 @@ pub fn iperf_tcp(
             total_bytes: None,
             stop_at: Some(stop_at),
             trace_cwnd: false,
+            path_changes: Vec::new(),
+            debug_unfair_cc: false,
         },
     );
     let (receiver, rstats) = TcpReceiver::new(conn, SimDuration::from_secs(1));

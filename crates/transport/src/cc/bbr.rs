@@ -15,6 +15,7 @@
 //! 4 MSS for 200 ms) whenever the min-RTT sample goes 10 s stale.
 
 use super::{initial_cwnd, AckSample, CongestionControl};
+use starlink_obsv::CcPhase;
 use starlink_simcore::{DataRate, SimDuration, SimTime};
 use std::collections::VecDeque;
 
@@ -270,6 +271,18 @@ impl CongestionControl for Bbr {
     }
 
     fn on_rto(&mut self, now: SimTime) {
+        if self.state == State::ProbeRtt {
+            // An RTO can fire mid-dwell with no RTT sample collected. This
+            // exit path must still refresh the staleness stamp (and adopt
+            // whatever floor the dwell did observe), otherwise the very
+            // next ACK finds `min_rtt_stamp` still > 10 s old and drops
+            // the connection straight back into ProbeRTT — a 4-MSS window
+            // every 200 ms, for as long as RTOs keep landing in dwells.
+            if let Some(m) = self.probe_rtt_min {
+                self.min_rtt = Some(m);
+            }
+            self.min_rtt_stamp = now;
+        }
         // Conservative restart: forget full-pipe status, keep the model,
         // and clamp the window to packet conservation.
         self.conservation_cwnd = Some(4 * self.mss);
@@ -314,6 +327,21 @@ impl CongestionControl for Bbr {
         }
     }
 
+    fn probe_phase(&self) -> Option<CcPhase> {
+        // v1 has no explicit ProbeUp/Down/Cruise states; map the ProbeBW
+        // gain cycle onto them so traces read uniformly across versions.
+        Some(match self.state {
+            State::Startup => CcPhase::Startup,
+            State::Drain => CcPhase::Drain,
+            State::ProbeBw => match self.cycle_phase {
+                0 => CcPhase::ProbeUp,
+                1 => CcPhase::ProbeDown,
+                _ => CcPhase::ProbeCruise,
+            },
+            State::ProbeRtt => CcPhase::ProbeRtt,
+        })
+    }
+
     fn name(&self) -> &'static str {
         "BBR"
     }
@@ -329,6 +357,7 @@ mod tests {
             acked_bytes: mss,
             rtt: Some(SimDuration::from_millis(rtt_ms)),
             in_flight,
+            lost_bytes: 0,
             mss,
             delivery_rate: Some(DataRate::from_mbps(rate_mbps)),
         }
@@ -435,6 +464,28 @@ mod tests {
         // 11 s later, feed lower samples; the 200 Mbps one must age out.
         cc.on_ack(&ack(11_000, 50, 50, 1_000, mss));
         assert_eq!(cc.btl_bw(), Some(DataRate::from_mbps(50)));
+    }
+
+    #[test]
+    fn rto_during_probe_rtt_refreshes_the_stamp() {
+        let mss = 1_460;
+        let mut cc = Bbr::new(mss);
+        cc.on_ack(&ack(0, 50, 100, 10_000, mss));
+        let mut t = 200;
+        while t < 11_000 {
+            cc.on_ack(&ack(t, 80, 100, 10_000, mss));
+            t += 500;
+        }
+        assert_eq!(cc.state, State::ProbeRtt);
+        // An RTO fires mid-dwell, before any RTT sample was collected.
+        cc.on_rto(SimTime::from_millis(t));
+        assert_eq!(cc.state, State::Startup);
+        // Regression: the exit must refresh the staleness stamp, or this
+        // ACK (still > 10 s after the last floor sample) would bounce the
+        // connection straight back into ProbeRTT's 4-MSS clamp.
+        cc.on_ack(&ack(t + 50, 80, 100, 10_000, mss));
+        assert_ne!(cc.state, State::ProbeRtt);
+        assert!(cc.cwnd() > 4 * mss || cc.conservation_cwnd.is_some());
     }
 
     #[test]

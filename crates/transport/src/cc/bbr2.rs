@@ -1,0 +1,785 @@
+//! BBRv2-class congestion control: the BBRv1 model core bounded by
+//! explicit inflight limits and a loss-rate ceiling.
+//!
+//! "Unveiling TCP BBR Dominance in Starlink" attributes BBRv1's Fig. 8
+//! lead to model-based probing — and documents the cost: v1 ignores loss
+//! entirely, so at a shared bottleneck it starves loss-based flows that
+//! halve on every drop v1's probing causes. BBRv2 keeps the model
+//! (windowed-max bandwidth, windowed-min RTT, pacing) but adds the three
+//! mechanisms that restore coexistence:
+//!
+//! * **inflight_hi / inflight_lo** — long- and short-term upper bounds on
+//!   the congestion window, learned from loss. `inflight_hi` is long-term
+//!   evidence and is only adjusted while the sender is deliberately
+//!   probing above the model (Startup / ProbeUp) — the one time loss is
+//!   attributable to its own probing rather than path noise. A breach
+//!   there clamps it to [`BETA`] × the current inflight; clean ProbeUp
+//!   rounds grow it back with doubling increments
+//!   ([`HI_GROWTH_CAP_MSS`]), so a spurious clamp from a random-loss
+//!   burst heals in a handful of probe cycles instead of hundreds.
+//!   Breaches outside probing latch only the short-term `inflight_lo`,
+//!   released by the next clean probe.
+//! * **a ~2 % loss-rate ceiling** ([`LOSS_CEILING_PERMILLE`]) — rounds
+//!   whose presumed-lost fraction exceeds it back the cruise gain off to
+//!   [`CRUISE_BACKOFF_GAIN`] until a probe completes cleanly.
+//! * **reduced ProbeBW overshoot** — after Startup the pacing gain never
+//!   exceeds the 1.25× ProbeUp pulse; there is no sustained 2/ln 2-style
+//!   gain anywhere in steady state.
+//!
+//! The probing state machine is explicit — **ProbeUp → ProbeDown →
+//! ProbeCruise** (with **ProbeRTT** overriding whenever the min-RTT
+//! estimate goes stale) — and surfaces through
+//! [`CongestionControl::probe_phase`] as `cc_phase` trace events.
+
+use super::{initial_cwnd, AckSample, CongestionControl};
+use starlink_obsv::CcPhase;
+use starlink_simcore::{DataRate, SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Startup gain: 2/ln2, same exponential search as v1.
+const STARTUP_GAIN: f64 = 2.885;
+/// ProbeUp pacing gain — the only above-1 gain after Startup.
+const PROBE_UP_GAIN: f64 = 1.25;
+/// ProbeDown pacing gain, draining the probe's queue.
+const PROBE_DOWN_GAIN: f64 = 0.75;
+/// Cruise pacing gain while the loss ceiling holds.
+const CRUISE_GAIN: f64 = 1.0;
+/// Cruise pacing gain after a loss-ceiling breach, until a probe
+/// completes cleanly.
+const CRUISE_BACKOFF_GAIN: f64 = 0.9;
+/// Loss-rate ceiling, parts per thousand (~2 %, the BBRv2 default).
+const LOSS_CEILING_PERMILLE: u64 = 20;
+/// Multiplicative clamp applied to `inflight_hi` on a ceiling breach.
+const BETA: f64 = 0.85;
+/// Cruise rounds between ProbeUp pulses (mirrors v1's six 1.0× phases).
+const CRUISE_ROUNDS: u32 = 6;
+/// Window over which bandwidth samples are max-filtered.
+const BW_WINDOW: SimDuration = SimDuration::from_secs(10);
+/// Staleness bound on the min-RTT estimate.
+const MIN_RTT_WINDOW: SimDuration = SimDuration::from_secs(10);
+/// Time spent sitting at 4 MSS in ProbeRTT.
+const PROBE_RTT_DURATION: SimDuration = SimDuration::from_millis(200);
+/// Rounds of non-growth that declare the pipe full in Startup.
+const FULL_BW_ROUNDS: u32 = 3;
+/// Cap on the per-probe `inflight_hi` growth increment, MSS units. The
+/// increment doubles on every clean ProbeUp round and resets to one MSS
+/// whenever a probe finds real loss, mirroring Linux BBRv2's accelerating
+/// `bw_probe_up_cnt` growth.
+const HI_GROWTH_CAP_MSS: u64 = 64;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Startup,
+    Drain,
+    ProbeUp,
+    ProbeDown,
+    ProbeCruise,
+    ProbeRtt,
+}
+
+/// BBRv2-class state.
+#[derive(Debug, Clone)]
+pub struct Bbr2 {
+    mss: u64,
+    state: State,
+    /// Bandwidth samples as a monotonic deque (same structure as v1:
+    /// front is the windowed max in O(1)).
+    bw_samples: VecDeque<(SimTime, u64)>,
+    min_rtt: Option<SimDuration>,
+    min_rtt_stamp: SimTime,
+    /// Round accounting (a "round" is one min-RTT of wall time).
+    next_round_at: SimTime,
+    /// Full-pipe detection (Startup exit).
+    full_bw: u64,
+    full_bw_rounds: u32,
+    full_bw_reached: bool,
+    /// Cruise rounds since the last ProbeUp pulse.
+    cruise_rounds: u32,
+    /// Long-term inflight upper bound, bytes. Clamped on loss-ceiling
+    /// breaches while probing, regrown with doubling increments on clean
+    /// ProbeUp rounds.
+    inflight_hi: Option<u64>,
+    /// Current `inflight_hi` growth increment, MSS units; doubles per
+    /// clean probe up to [`HI_GROWTH_CAP_MSS`], resets on a probe breach.
+    hi_growth_mss: u64,
+    /// Short-term inflight bound set by the current loss episode;
+    /// cleared when a probe completes cleanly.
+    inflight_lo: Option<u64>,
+    /// Cruise gain in force: [`CRUISE_GAIN`] or [`CRUISE_BACKOFF_GAIN`].
+    cruise_gain: f64,
+    /// Loss accounting over the current round.
+    round_delivered: u64,
+    round_lost_peak: u64,
+    /// ProbeRTT bookkeeping.
+    probe_rtt_done_at: SimTime,
+    probe_rtt_min: Option<SimDuration>,
+    resume_probing_after_rtt: bool,
+    /// Latest in-flight figure from ACK processing.
+    last_in_flight: u64,
+    pacing_gain: f64,
+    cwnd_gain: f64,
+    /// Packet-conservation window after an RTO, exactly as in v1.
+    conservation_cwnd: Option<u64>,
+    /// Planted-bug hook: ignore the loss ceiling entirely (the unfair
+    /// flow the swarm's fairness oracle must catch). Never set outside
+    /// `--inject-unfair-bug` runs.
+    ignore_loss_ceiling: bool,
+}
+
+impl Bbr2 {
+    /// A fresh connection.
+    pub fn new(mss: u64) -> Self {
+        Bbr2 {
+            mss,
+            state: State::Startup,
+            bw_samples: VecDeque::new(),
+            min_rtt: None,
+            min_rtt_stamp: SimTime::ZERO,
+            next_round_at: SimTime::ZERO,
+            full_bw: 0,
+            full_bw_rounds: 0,
+            full_bw_reached: false,
+            cruise_rounds: 0,
+            inflight_hi: None,
+            hi_growth_mss: 1,
+            inflight_lo: None,
+            cruise_gain: CRUISE_GAIN,
+            round_delivered: 0,
+            round_lost_peak: 0,
+            probe_rtt_done_at: SimTime::ZERO,
+            probe_rtt_min: None,
+            resume_probing_after_rtt: false,
+            last_in_flight: 0,
+            pacing_gain: STARTUP_GAIN,
+            cwnd_gain: STARTUP_GAIN,
+            conservation_cwnd: None,
+            ignore_loss_ceiling: false,
+        }
+    }
+
+    /// The current bottleneck-bandwidth estimate.
+    pub fn btl_bw(&self) -> Option<DataRate> {
+        self.bw_samples
+            .front()
+            .map(|&(_, bw)| DataRate::from_bps(bw))
+    }
+
+    /// The current min-RTT estimate.
+    pub fn min_rtt(&self) -> Option<SimDuration> {
+        self.min_rtt
+    }
+
+    /// The long-term inflight upper bound, if loss has taught one.
+    pub fn inflight_hi(&self) -> Option<u64> {
+        self.inflight_hi
+    }
+
+    /// Bandwidth-delay product estimate, bytes.
+    fn bdp(&self) -> Option<u64> {
+        let bw = self.btl_bw()?;
+        let rtt = self.min_rtt?;
+        Some((bw.bits_per_sec() as f64 * rtt.as_secs_f64() / 8.0) as u64)
+    }
+
+    fn record_bw(&mut self, now: SimTime, rate: DataRate) {
+        let bw = rate.bits_per_sec();
+        while self.bw_samples.back().is_some_and(|&(_, b)| b <= bw) {
+            self.bw_samples.pop_back();
+        }
+        self.bw_samples.push_back((now, bw));
+        let horizon = now
+            .saturating_since(SimTime::ZERO)
+            .saturating_sub(BW_WINDOW);
+        while self
+            .bw_samples
+            .front()
+            .is_some_and(|&(t, _)| t.since(SimTime::ZERO) < horizon)
+        {
+            self.bw_samples.pop_front();
+        }
+    }
+
+    /// The round's loss fraction in parts per thousand.
+    fn round_loss_permille(&self) -> u64 {
+        let total = self.round_delivered + self.round_lost_peak;
+        if total == 0 {
+            return 0;
+        }
+        self.round_lost_peak * 1_000 / total
+    }
+
+    /// Reacts to a loss-ceiling breach: latch the short-term bound, back
+    /// the cruise gain off, and — only if the breach happened while the
+    /// sender was itself probing above the model — clamp the long-term
+    /// `inflight_hi`. Loss observed while cruising at the model rate is
+    /// not evidence about the path's inflight ceiling (the sender was not
+    /// pushing it); treating it as such lets random corruption bursts
+    /// ratchet `inflight_hi` to the floor and collapse goodput under
+    /// non-congestive loss — exactly the failure BBRv1 never had.
+    fn on_ceiling_breach(&mut self) {
+        if self.ignore_loss_ceiling {
+            return;
+        }
+        let clamp = ((self.last_in_flight as f64 * BETA) as u64).max(4 * self.mss);
+        // Latch the short-term bound once per loss episode. Re-clamping
+        // on every breach round compounds (0.85^rounds) across a
+        // multi-round burst and melts the window to the floor; one
+        // episode is one backoff, released by the next clean probe.
+        if self.inflight_lo.is_none() {
+            self.inflight_lo = Some(clamp);
+        }
+        self.cruise_gain = CRUISE_BACKOFF_GAIN;
+        if matches!(self.state, State::Startup | State::ProbeUp) {
+            self.inflight_hi = Some(self.inflight_hi.map_or(clamp, |hi| hi.min(clamp)));
+            self.hi_growth_mss = 1;
+        }
+    }
+
+    fn enter_cruise(&mut self) {
+        self.state = State::ProbeCruise;
+        self.cruise_rounds = 0;
+        self.pacing_gain = self.cruise_gain;
+        self.cwnd_gain = 2.0;
+    }
+
+    fn on_round(&mut self, _now: SimTime) {
+        let breached =
+            !self.ignore_loss_ceiling && self.round_loss_permille() > LOSS_CEILING_PERMILLE;
+        if breached {
+            self.on_ceiling_breach();
+        }
+        let bw = self.bw_samples.front().map(|&(_, b)| b).unwrap_or(0);
+        match self.state {
+            State::Startup => {
+                if bw as f64 >= self.full_bw as f64 * 1.25 {
+                    self.full_bw = bw;
+                    self.full_bw_rounds = 0;
+                } else {
+                    self.full_bw_rounds += 1;
+                    if self.full_bw_rounds >= FULL_BW_ROUNDS {
+                        self.full_bw_reached = true;
+                        self.state = State::Drain;
+                        self.pacing_gain = 1.0 / STARTUP_GAIN;
+                        self.cwnd_gain = STARTUP_GAIN;
+                    }
+                }
+                // A breach ends Startup early: the pipe is already past
+                // its loss ceiling, so stop overshooting immediately.
+                if breached && self.state == State::Startup {
+                    self.full_bw_reached = true;
+                    self.state = State::Drain;
+                    self.pacing_gain = 1.0 / STARTUP_GAIN;
+                    self.cwnd_gain = STARTUP_GAIN;
+                }
+            }
+            State::Drain => {
+                if let Some(bdp) = self.bdp() {
+                    if self.last_in_flight <= bdp {
+                        self.enter_cruise();
+                    }
+                }
+            }
+            State::ProbeUp => {
+                if breached {
+                    // The probe found the ceiling; drain what it queued.
+                    self.state = State::ProbeDown;
+                    self.pacing_gain = PROBE_DOWN_GAIN;
+                } else {
+                    // A clean probe round: grow the long-term bound with
+                    // an accelerating increment, release the short-term
+                    // one, restore full cruise.
+                    if let Some(hi) = self.inflight_hi {
+                        self.inflight_hi = Some(hi + self.hi_growth_mss * self.mss);
+                        self.hi_growth_mss = (self.hi_growth_mss * 2).min(HI_GROWTH_CAP_MSS);
+                    }
+                    self.inflight_lo = None;
+                    self.cruise_gain = CRUISE_GAIN;
+                    self.state = State::ProbeDown;
+                    self.pacing_gain = PROBE_DOWN_GAIN;
+                }
+            }
+            State::ProbeDown => self.enter_cruise(),
+            State::ProbeCruise => {
+                self.cruise_rounds += 1;
+                self.pacing_gain = self.cruise_gain;
+                if self.cruise_rounds >= CRUISE_ROUNDS {
+                    self.state = State::ProbeUp;
+                    self.pacing_gain = PROBE_UP_GAIN;
+                }
+            }
+            State::ProbeRtt => {}
+        }
+        self.round_delivered = 0;
+        self.round_lost_peak = 0;
+    }
+
+    fn maybe_enter_probe_rtt(&mut self, now: SimTime) {
+        if self.state == State::ProbeRtt {
+            return;
+        }
+        if self.min_rtt.is_some() && now.saturating_since(self.min_rtt_stamp) > MIN_RTT_WINDOW {
+            self.resume_probing_after_rtt = self.full_bw_reached;
+            self.state = State::ProbeRtt;
+            self.probe_rtt_done_at = now + PROBE_RTT_DURATION;
+            self.probe_rtt_min = None;
+            self.pacing_gain = 1.0;
+        }
+    }
+
+    fn maybe_exit_probe_rtt(&mut self, now: SimTime) {
+        if self.state == State::ProbeRtt
+            && now >= self.probe_rtt_done_at
+            && self.last_in_flight <= 4 * self.mss
+        {
+            if let Some(m) = self.probe_rtt_min {
+                self.min_rtt = Some(m);
+            }
+            // The stamp refreshes on *every* exit path — sampled or not —
+            // so a sample-free dwell cannot re-fire ProbeRTT immediately
+            // (the v1 bug this implementation postdates).
+            self.min_rtt_stamp = now;
+            if self.resume_probing_after_rtt {
+                self.enter_cruise();
+            } else {
+                self.state = State::Startup;
+                self.pacing_gain = STARTUP_GAIN;
+                self.cwnd_gain = STARTUP_GAIN;
+            }
+        }
+    }
+}
+
+impl CongestionControl for Bbr2 {
+    fn on_ack(&mut self, sample: &AckSample) {
+        let now = sample.now;
+        self.last_in_flight = sample.in_flight;
+        self.round_delivered += sample.acked_bytes;
+        self.round_lost_peak = self.round_lost_peak.max(sample.lost_bytes);
+
+        // Packet conservation after an RTO, exactly as in v1.
+        if let Some(c) = self.conservation_cwnd {
+            let grown = c + sample.acked_bytes;
+            let model = match self.bdp() {
+                Some(bdp) => ((bdp as f64 * self.cwnd_gain) as u64).max(4 * self.mss),
+                None => initial_cwnd(self.mss),
+            };
+            if grown >= model {
+                self.conservation_cwnd = None;
+            } else {
+                self.conservation_cwnd = Some(grown);
+            }
+        }
+
+        if let Some(rtt) = sample.rtt {
+            if self.state == State::ProbeRtt {
+                self.probe_rtt_min = Some(self.probe_rtt_min.map_or(rtt, |m| m.min(rtt)));
+            }
+            if self.min_rtt.is_none_or(|m| rtt <= m) {
+                self.min_rtt = Some(rtt);
+                self.min_rtt_stamp = now;
+            }
+        }
+        if let Some(rate) = sample.delivery_rate {
+            self.record_bw(now, rate);
+        }
+
+        if now >= self.next_round_at {
+            let rtt = self.min_rtt.unwrap_or(SimDuration::from_millis(100));
+            self.next_round_at = now + rtt;
+            self.on_round(now);
+        }
+
+        self.maybe_enter_probe_rtt(now);
+        self.maybe_exit_probe_rtt(now);
+    }
+
+    fn on_loss_event(&mut self, _now: SimTime) {
+        // Unlike v1, a fast-retransmit episode is not ignored outright:
+        // the per-round ceiling decides whether it was congestion. The
+        // event itself does not shrink the model — that stays v1-like,
+        // which is what keeps BBRv2 productive through handover bursts.
+    }
+
+    fn on_rto(&mut self, now: SimTime) {
+        if self.state == State::ProbeRtt {
+            // Leaving ProbeRTT through the timeout path must still
+            // refresh the staleness stamp, or the next ACK re-enters
+            // ProbeRTT immediately (the v1 on_rto bug).
+            self.min_rtt_stamp = now;
+            if let Some(m) = self.probe_rtt_min {
+                self.min_rtt = Some(m);
+            }
+        }
+        self.conservation_cwnd = Some(4 * self.mss);
+        self.state = State::Startup;
+        self.pacing_gain = STARTUP_GAIN;
+        self.cwnd_gain = STARTUP_GAIN;
+        self.full_bw = 0;
+        self.full_bw_rounds = 0;
+        self.full_bw_reached = false;
+        self.next_round_at = now;
+    }
+
+    fn on_recovery_exit(&mut self, _now: SimTime) {
+        self.conservation_cwnd = None;
+    }
+
+    fn cwnd(&self) -> u64 {
+        if self.state == State::ProbeRtt {
+            return 4 * self.mss;
+        }
+        let mut w = match self.bdp() {
+            Some(bdp) => ((bdp as f64 * self.cwnd_gain) as u64).max(4 * self.mss),
+            None => initial_cwnd(self.mss),
+        };
+        if !self.ignore_loss_ceiling {
+            if let Some(hi) = self.inflight_hi {
+                w = w.min(hi);
+            }
+            if let Some(lo) = self.inflight_lo {
+                w = w.min(lo);
+            }
+        }
+        w = w.max(4 * self.mss);
+        match self.conservation_cwnd {
+            Some(c) => c.min(w),
+            None => w,
+        }
+    }
+
+    fn pacing_rate(&self) -> Option<DataRate> {
+        let gain = if self.conservation_cwnd.is_some() {
+            1.0
+        } else {
+            self.pacing_gain
+        };
+        match self.btl_bw() {
+            Some(bw) => Some(bw.scale(gain)),
+            None => Some(DataRate::from_bps(initial_cwnd(self.mss) * 8 * 100)),
+        }
+    }
+
+    // Disables the loss ceiling and inflight clamps — the "one CC
+    // ignoring its loss ceiling" planted bug behind the swarm's
+    // `--inject-unfair-bug` flag. The fairness oracle must catch the
+    // resulting retransmit-rate blowout; this hook exists to prove it
+    // can.
+    fn debug_ignore_loss_ceiling(&mut self) {
+        self.ignore_loss_ceiling = true;
+    }
+
+    fn probe_phase(&self) -> Option<CcPhase> {
+        Some(match self.state {
+            State::Startup => CcPhase::Startup,
+            State::Drain => CcPhase::Drain,
+            State::ProbeUp => CcPhase::ProbeUp,
+            State::ProbeDown => CcPhase::ProbeDown,
+            State::ProbeCruise => CcPhase::ProbeCruise,
+            State::ProbeRtt => CcPhase::ProbeRtt,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "BBR2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack(now_ms: u64, rtt_ms: u64, rate_mbps: u64, in_flight: u64, mss: u64) -> AckSample {
+        AckSample {
+            now: SimTime::from_millis(now_ms),
+            acked_bytes: mss,
+            rtt: Some(SimDuration::from_millis(rtt_ms)),
+            in_flight,
+            lost_bytes: 0,
+            mss,
+            delivery_rate: Some(DataRate::from_mbps(rate_mbps)),
+        }
+    }
+
+    fn lossy_ack(
+        now_ms: u64,
+        rtt_ms: u64,
+        rate_mbps: u64,
+        in_flight: u64,
+        lost: u64,
+        mss: u64,
+    ) -> AckSample {
+        AckSample {
+            lost_bytes: lost,
+            ..ack(now_ms, rtt_ms, rate_mbps, in_flight, mss)
+        }
+    }
+
+    /// Feeds a growing-then-flat bandwidth signal until Startup exits.
+    fn warm_up(cc: &mut Bbr2, mss: u64) -> u64 {
+        let mut t = 0;
+        for rate in [10, 20, 40, 80, 100, 100, 100, 100, 100, 100, 100] {
+            cc.on_ack(&ack(t, 50, rate, 1_000, mss));
+            t += 60;
+        }
+        assert!(cc.full_bw_reached, "pipe should be declared full");
+        t
+    }
+
+    /// Rides clean acks until a ProbeUp round is in force.
+    fn drive_to_probe_up(cc: &mut Bbr2, mut t: u64, mss: u64) -> u64 {
+        for _ in 0..80 {
+            if cc.state == State::ProbeUp {
+                return t;
+            }
+            cc.on_ack(&ack(t, 50, 100, 100_000, mss));
+            t += 60;
+        }
+        panic!("never reached ProbeUp: {:?}", cc.state);
+    }
+
+    #[test]
+    fn startup_exits_when_bandwidth_plateaus() {
+        let mss = 1_460;
+        let mut cc = Bbr2::new(mss);
+        warm_up(&mut cc, mss);
+        assert!(matches!(
+            cc.state,
+            State::Drain | State::ProbeCruise | State::ProbeUp | State::ProbeDown
+        ));
+    }
+
+    #[test]
+    fn post_startup_gain_never_exceeds_probe_up() {
+        // The reduced-overshoot property: once Startup is over, no state
+        // paces above 1.25× — the defining difference from v1's 2/ln 2.
+        let mss = 1_460;
+        let mut cc = Bbr2::new(mss);
+        let mut t = warm_up(&mut cc, mss);
+        for _ in 0..40 {
+            cc.on_ack(&ack(t, 50, 100, 1_000, mss));
+            assert!(
+                cc.pacing_gain <= PROBE_UP_GAIN + 1e-9,
+                "gain {} in {:?}",
+                cc.pacing_gain,
+                cc.state
+            );
+            t += 60;
+        }
+    }
+
+    #[test]
+    fn probe_phases_cycle_up_down_cruise() {
+        let mss = 1_460;
+        let mut cc = Bbr2::new(mss);
+        let mut t = warm_up(&mut cc, mss);
+        let mut seen = Vec::new();
+        for _ in 0..30 {
+            cc.on_ack(&ack(t, 50, 100, 1_000, mss));
+            seen.push(cc.probe_phase().expect("model-based"));
+            t += 60;
+        }
+        for phase in [CcPhase::ProbeUp, CcPhase::ProbeDown, CcPhase::ProbeCruise] {
+            assert!(seen.contains(&phase), "{phase:?} never reached: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn probe_breach_clamps_inflight_hi() {
+        let mss = 1_460;
+        let mut cc = Bbr2::new(mss);
+        let t = warm_up(&mut cc, mss);
+        let t = drive_to_probe_up(&mut cc, t, mss);
+        let before = cc.cwnd();
+        assert_eq!(cc.inflight_hi(), None);
+        // A ProbeUp round at massive presumed loss: far over the ceiling.
+        let in_flight = 500_000;
+        cc.on_ack(&lossy_ack(t, 50, 100, in_flight, 50_000, mss));
+        let hi = cc.inflight_hi().expect("probe breach must set inflight_hi");
+        assert_eq!(hi, (in_flight as f64 * BETA) as u64);
+        assert!(cc.cwnd() <= hi, "cwnd {} above inflight_hi {hi}", cc.cwnd());
+        assert!(cc.cwnd() < before, "breach must shrink the window");
+    }
+
+    #[test]
+    fn cruise_breach_latches_only_the_short_term_bound() {
+        // Loss while cruising at the model rate is not evidence about the
+        // path's inflight ceiling: it must back off the gain and latch
+        // `inflight_lo`, but leave the long-term `inflight_hi` alone —
+        // that is what keeps BBRv2 productive under random corruption
+        // bursts where BBRv1 sails through.
+        let mss = 1_460;
+        let mut cc = Bbr2::new(mss);
+        let mut t = warm_up(&mut cc, mss);
+        for _ in 0..40 {
+            cc.on_ack(&ack(t, 50, 100, 100_000, mss));
+            t += 60;
+            if cc.state == State::ProbeCruise {
+                break;
+            }
+        }
+        assert_eq!(cc.state, State::ProbeCruise);
+        cc.on_ack(&lossy_ack(t, 50, 100, 500_000, 50_000, mss));
+        assert_eq!(
+            cc.inflight_hi(),
+            None,
+            "cruise loss is not ceiling evidence"
+        );
+        assert!(cc.inflight_lo.is_some(), "short-term bound must latch");
+        assert!((cc.cruise_gain - CRUISE_BACKOFF_GAIN).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_ceiling_breach_backs_off_cruise_gain() {
+        let mss = 1_460;
+        let mut cc = Bbr2::new(mss);
+        let mut t = warm_up(&mut cc, mss);
+        for _ in 0..3 {
+            cc.on_ack(&lossy_ack(t, 50, 100, 500_000, 50_000, mss));
+            t += 60;
+        }
+        assert!((cc.cruise_gain - CRUISE_BACKOFF_GAIN).abs() < 1e-9);
+        // The breach lands while cruising, so the backed-off gain is the
+        // pacing gain in force right now — and stays in force until a
+        // ProbeUp round completes cleanly.
+        assert_eq!(cc.state, State::ProbeCruise);
+        assert!((cc.pacing_gain - CRUISE_BACKOFF_GAIN).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clean_probe_restores_cruise_gain_and_grows_hi() {
+        let mss = 1_460;
+        let mut cc = Bbr2::new(mss);
+        let t = warm_up(&mut cc, mss);
+        let mut t = drive_to_probe_up(&mut cc, t, mss);
+        cc.on_ack(&lossy_ack(t, 50, 100, 500_000, 50_000, mss));
+        t += 60;
+        let hi = cc.inflight_hi().expect("probe breach must clamp");
+        // Loss stops; ride clean rounds through the next ProbeUp.
+        let mut probed_cleanly = false;
+        for _ in 0..40 {
+            let was_probe_up = cc.state == State::ProbeUp;
+            cc.on_ack(&ack(t, 50, 100, 100_000, mss));
+            t += 60;
+            if was_probe_up && cc.state == State::ProbeDown {
+                probed_cleanly = true;
+                break;
+            }
+        }
+        assert!(probed_cleanly, "never completed a clean ProbeUp round");
+        assert!((cc.cruise_gain - CRUISE_GAIN).abs() < 1e-9);
+        assert!(cc.inflight_hi().expect("kept") > hi, "hi must grow back");
+        assert_eq!(cc.inflight_lo, None, "short-term bound must release");
+    }
+
+    #[test]
+    fn hi_regrowth_accelerates_across_clean_probes() {
+        // After a spurious clamp the regrowth increment doubles per clean
+        // probe cycle — the property that heals a random-loss clamp in a
+        // handful of cycles instead of hundreds of linear rounds.
+        let mss = 1_460;
+        let mut cc = Bbr2::new(mss);
+        let t = warm_up(&mut cc, mss);
+        let mut t = drive_to_probe_up(&mut cc, t, mss);
+        cc.on_ack(&lossy_ack(t, 50, 100, 500_000, 50_000, mss));
+        t += 60;
+        let mut grown = Vec::new();
+        let mut last = cc.inflight_hi().expect("clamped");
+        for _ in 0..60 {
+            let was_probe_up = cc.state == State::ProbeUp;
+            cc.on_ack(&ack(t, 50, 100, 100_000, mss));
+            t += 60;
+            if was_probe_up && cc.state == State::ProbeDown {
+                let hi = cc.inflight_hi().expect("kept");
+                grown.push(hi - last);
+                last = hi;
+                if grown.len() == 3 {
+                    break;
+                }
+            }
+        }
+        assert_eq!(grown.len(), 3, "needed three clean probes: {grown:?}");
+        assert_eq!(grown[1], 2 * grown[0], "increment must double: {grown:?}");
+        assert_eq!(grown[2], 4 * grown[0], "increment must double: {grown:?}");
+    }
+
+    #[test]
+    fn probe_rtt_clamps_cwnd_and_exits_with_fresh_stamp() {
+        let mss = 1_460;
+        let mut cc = Bbr2::new(mss);
+        cc.on_ack(&ack(0, 50, 100, 10_000, mss));
+        let mut t = 200;
+        while t < 11_000 {
+            cc.on_ack(&ack(t, 80, 100, 10_000, mss));
+            t += 500;
+        }
+        assert_eq!(cc.state, State::ProbeRtt);
+        assert_eq!(cc.cwnd(), 4 * mss);
+        cc.on_ack(&ack(t + 300, 50, 100, 2 * mss, mss));
+        assert_ne!(cc.state, State::ProbeRtt);
+        // The stamp was refreshed on exit: the very next ACK must not
+        // bounce straight back into ProbeRTT.
+        cc.on_ack(&ack(t + 400, 80, 100, 10_000, mss));
+        assert_ne!(cc.state, State::ProbeRtt);
+    }
+
+    #[test]
+    fn rto_during_probe_rtt_refreshes_the_stamp() {
+        let mss = 1_460;
+        let mut cc = Bbr2::new(mss);
+        cc.on_ack(&ack(0, 50, 100, 10_000, mss));
+        let mut t = 200;
+        while t < 11_000 {
+            cc.on_ack(&ack(t, 80, 100, 10_000, mss));
+            t += 500;
+        }
+        assert_eq!(cc.state, State::ProbeRtt);
+        // An RTO fires mid-dwell (no RTT sample arrived while drained).
+        cc.on_rto(SimTime::from_millis(t));
+        assert_eq!(cc.state, State::Startup);
+        // The next ACK must stay out of ProbeRTT: the exit refreshed the
+        // staleness stamp even though the dwell sampled nothing.
+        cc.on_ack(&ack(t + 50, 80, 100, 10_000, mss));
+        assert_ne!(cc.state, State::ProbeRtt);
+    }
+
+    #[test]
+    fn rto_restarts_startup_but_keeps_model() {
+        let mss = 1_460;
+        let mut cc = Bbr2::new(mss);
+        cc.on_ack(&ack(0, 50, 100, 1_000, mss));
+        cc.on_rto(SimTime::from_millis(100));
+        assert_eq!(cc.state, State::Startup);
+        assert_eq!(cc.btl_bw(), Some(DataRate::from_mbps(100)));
+        assert_eq!(cc.cwnd(), 4 * mss, "packet conservation after RTO");
+    }
+
+    #[test]
+    fn planted_unfair_bug_ignores_the_ceiling() {
+        let mss = 1_460;
+        let mut fair = Bbr2::new(mss);
+        let mut unfair = Bbr2::new(mss);
+        unfair.debug_ignore_loss_ceiling();
+        let mut t = warm_up(&mut fair, mss);
+        warm_up(&mut unfair, mss);
+        // Clean acks move both through the cycle in lockstep (neither
+        // breaches on a clean round) until ProbeUp is in force.
+        for _ in 0..80 {
+            if fair.state == State::ProbeUp {
+                break;
+            }
+            fair.on_ack(&ack(t, 50, 100, 100_000, mss));
+            unfair.on_ack(&ack(t, 50, 100, 100_000, mss));
+            t += 60;
+        }
+        assert_eq!(fair.state, State::ProbeUp);
+        assert_eq!(unfair.state, State::ProbeUp);
+        for _ in 0..3 {
+            fair.on_ack(&lossy_ack(t, 50, 100, 500_000, 50_000, mss));
+            unfair.on_ack(&lossy_ack(t, 50, 100, 500_000, 50_000, mss));
+            t += 60;
+        }
+        assert!(fair.inflight_hi().is_some());
+        assert_eq!(unfair.inflight_hi(), None, "bugged flow must not clamp");
+        assert!(unfair.cwnd() > fair.cwnd());
+    }
+}

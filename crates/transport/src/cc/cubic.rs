@@ -152,6 +152,7 @@ mod tests {
             acked_bytes: acked,
             rtt: Some(SimDuration::from_millis(50)),
             in_flight: 0,
+            lost_bytes: 0,
             mss,
             delivery_rate: None,
         }

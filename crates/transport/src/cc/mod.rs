@@ -1,4 +1,5 @@
-//! Congestion control: the trait and the five algorithms of Fig. 8.
+//! Congestion control: the trait, the five algorithms of Fig. 8, and the
+//! BBRv2-class extension used by the fairness experiments.
 //!
 //! The paper runs BBR, CUBIC, Reno, Veno and Vegas over the same Starlink
 //! link and finds BBR clearly ahead — yet still only reaching about half
@@ -8,16 +9,22 @@
 //! congestion and halve; Vegas additionally misreads bent-pipe queueing
 //! jitter as congestion; BBR's model-based rate keeps sending through
 //! losses but still pays for them in delivered goodput and ProbeRTT dips.
+//! BBRv2 ([`bbr2::Bbr2`]) keeps the model-based core but bounds it with
+//! explicit inflight limits and a loss-rate ceiling, trading a little of
+//! BBRv1's loss-resilience for fairness against loss-based flows at a
+//! shared bottleneck.
 //!
 //! All window arithmetic is in **bytes** (MSS-granular internally where an
 //! algorithm's published form counts segments).
 
 pub mod bbr;
+pub mod bbr2;
 pub mod cubic;
 pub mod reno;
 pub mod vegas;
 pub mod veno;
 
+use starlink_obsv::CcPhase;
 use starlink_simcore::{DataRate, SimDuration, SimTime};
 
 /// Everything an algorithm may want to know about an arriving ACK.
@@ -31,6 +38,10 @@ pub struct AckSample {
     pub rtt: Option<SimDuration>,
     /// Bytes in flight *after* this ACK was processed.
     pub in_flight: u64,
+    /// Bytes currently presumed lost (unSACKed, below the sender's SACK
+    /// evidence frontier). Loss-ceiling controllers (BBRv2) fold this
+    /// into a per-round loss-rate estimate; everyone else ignores it.
+    pub lost_bytes: u64,
     /// Sender maximum segment size.
     pub mss: u64,
     /// Delivery-rate sample (delivered bytes / elapsed) for rate-based
@@ -50,6 +61,10 @@ pub trait CongestionControl {
     /// Loss recovery (fast or RTO) completed; algorithms that clamp
     /// their window during recovery may restore it. Default: nothing.
     fn on_recovery_exit(&mut self, _now: SimTime) {}
+    /// The network path changed underneath the connection (a scheduled
+    /// handover edge). Algorithms whose model anchors on a path property
+    /// (Vegas baseRTT) should expire and re-sample it. Default: nothing.
+    fn on_path_change(&mut self, _now: SimTime) {}
     /// Current congestion window, bytes.
     fn cwnd(&self) -> u64;
     /// Current slow-start threshold, bytes, for algorithms that keep one
@@ -62,15 +77,29 @@ pub trait CongestionControl {
     /// Pacing rate, for algorithms that pace (BBR); window-only
     /// algorithms return `None` and rely on ACK clocking.
     fn pacing_rate(&self) -> Option<DataRate>;
+    /// The model-based probing phase, for algorithms with an explicit
+    /// probe state machine (BBR, BBRv2); window-only algorithms return
+    /// `None`. Transitions surface as `cc_phase` trace events.
+    fn probe_phase(&self) -> Option<CcPhase> {
+        None
+    }
+    /// Test-only planted-bug hook: controllers with a loss-rate ceiling
+    /// (BBRv2) stop honouring it, turning the flow into the bully the
+    /// swarm's fairness oracle exists to catch. Default: nothing — most
+    /// algorithms have no ceiling to ignore.
+    fn debug_ignore_loss_ceiling(&mut self) {}
     /// Algorithm name as the paper's Fig. 8 axis labels it.
     fn name(&self) -> &'static str;
 }
 
-/// The five algorithms available on the paper's Raspberry Pi image.
+/// The five algorithms available on the paper's Raspberry Pi image, plus
+/// the BBRv2-class extension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CcAlgorithm {
     /// BBR v1 (model-based).
     Bbr,
+    /// BBRv2-class (model-based, loss-ceiling bounded).
+    Bbr2,
     /// CUBIC (the Linux default).
     Cubic,
     /// NewReno-style AIMD.
@@ -82,9 +111,13 @@ pub enum CcAlgorithm {
 }
 
 impl CcAlgorithm {
-    /// All five, in the paper's Fig. 8 x-axis order.
-    pub const ALL: [CcAlgorithm; 5] = [
+    /// Every algorithm, in the paper's Fig. 8 x-axis order (BBRv2 slots
+    /// in beside BBRv1). Code that needs "the whole set" must iterate
+    /// this — never a hand-written list — so new algorithms are picked
+    /// up everywhere at once.
+    pub const ALL: [CcAlgorithm; 6] = [
         CcAlgorithm::Bbr,
+        CcAlgorithm::Bbr2,
         CcAlgorithm::Cubic,
         CcAlgorithm::Reno,
         CcAlgorithm::Veno,
@@ -95,6 +128,7 @@ impl CcAlgorithm {
     pub fn label(self) -> &'static str {
         match self {
             CcAlgorithm::Bbr => "BBR",
+            CcAlgorithm::Bbr2 => "BBR2",
             CcAlgorithm::Cubic => "CUBIC",
             CcAlgorithm::Reno => "RENO",
             CcAlgorithm::Veno => "VENO",
@@ -102,10 +136,20 @@ impl CcAlgorithm {
         }
     }
 
+    /// Whether the algorithm paces (model-based rate control) rather
+    /// than relying on pure ACK clocking. The single source of truth for
+    /// "is this a BBR-family algorithm" — tests and experiment shape
+    /// checks key off this instead of naming variants, so the set stays
+    /// extension-safe.
+    pub fn paces(self) -> bool {
+        matches!(self, CcAlgorithm::Bbr | CcAlgorithm::Bbr2)
+    }
+
     /// Instantiates the algorithm for a connection with the given MSS.
     pub fn build(self, mss: u64) -> Box<dyn CongestionControl> {
         match self {
             CcAlgorithm::Bbr => Box::new(bbr::Bbr::new(mss)),
+            CcAlgorithm::Bbr2 => Box::new(bbr2::Bbr2::new(mss)),
             CcAlgorithm::Cubic => Box::new(cubic::Cubic::new(mss)),
             CcAlgorithm::Reno => Box::new(reno::Reno::new(mss)),
             CcAlgorithm::Veno => Box::new(veno::Veno::new(mss)),
@@ -129,12 +173,20 @@ mod tests {
     use super::*;
 
     #[test]
-    fn all_five_build_and_report_names() {
+    fn all_build_and_report_names() {
         let labels: Vec<&str> = CcAlgorithm::ALL
             .iter()
             .map(|a| a.build(1_460).name())
             .collect();
-        assert_eq!(labels, vec!["BBR", "CUBIC", "RENO", "VENO", "VEGAS"]);
+        assert_eq!(
+            labels,
+            vec!["BBR", "BBR2", "CUBIC", "RENO", "VENO", "VEGAS"]
+        );
+        // Labels are unique: the scenario JSON round-trip keys off them.
+        let mut sorted = labels.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), labels.len(), "duplicate labels");
     }
 
     #[test]
@@ -146,11 +198,33 @@ mod tests {
     }
 
     #[test]
-    fn only_bbr_paces() {
+    fn pacing_matches_the_declared_predicate() {
+        // Extension-safe form of the old `only_bbr_paces`: every
+        // algorithm's runtime behaviour must agree with its `paces()`
+        // declaration, whatever the set contains.
         for algo in CcAlgorithm::ALL {
             let cc = algo.build(1_460);
-            let paces = cc.pacing_rate().is_some();
-            assert_eq!(paces, algo == CcAlgorithm::Bbr, "{}", cc.name());
+            assert_eq!(
+                cc.pacing_rate().is_some(),
+                algo.paces(),
+                "{} disagrees with paces()",
+                cc.name()
+            );
+        }
+    }
+
+    #[test]
+    fn probe_phase_matches_the_pacing_predicate() {
+        // Model-based algorithms expose their probe state machine; the
+        // window-only ones have none to expose.
+        for algo in CcAlgorithm::ALL {
+            let cc = algo.build(1_460);
+            assert_eq!(
+                cc.probe_phase().is_some(),
+                algo.paces(),
+                "{} probe phase",
+                cc.name()
+            );
         }
     }
 }

@@ -109,6 +109,17 @@ impl CongestionControl for Vegas {
         self.cwnd = self.mss;
     }
 
+    fn on_path_change(&mut self, _now: SimTime) {
+        // The propagation-delay anchor belongs to the *old* path. A
+        // min-filter never forgets, so after a handover onto a longer
+        // path every honest RTT sample reads as queueing (`rtt - base`
+        // inflated by the propagation delta) and Vegas parks at its
+        // window floor forever. Expire the anchor and let the next
+        // samples re-establish it on the new path.
+        self.base_rtt = None;
+        self.round_min_rtt = None;
+    }
+
     fn cwnd(&self) -> u64 {
         self.cwnd
     }
@@ -136,6 +147,7 @@ mod tests {
             acked_bytes: acked,
             rtt: Some(SimDuration::from_millis(rtt_ms)),
             in_flight: 0,
+            lost_bytes: 0,
             mss,
             delivery_rate: None,
         }
@@ -201,6 +213,49 @@ mod tests {
         let cwnd_seg = cc.cwnd() as f64 / mss as f64;
         assert!(diff <= cwnd_seg);
         assert!(diff >= 0.0);
+    }
+
+    #[test]
+    fn path_change_resamples_base_rtt() {
+        let mss = 1_000;
+        let mut cc = Vegas::new(mss);
+        // Anchor base RTT at 10 ms on the pre-handover path.
+        cc.on_ack(&ack(0, mss, 10, mss));
+        cc.on_loss_event(SimTime::ZERO);
+        let w = cc.cwnd();
+        // Handover onto a path whose true propagation delay is 90 ms.
+        // Without re-sampling, diff = cwnd * 80/90 segments — far above
+        // beta on every ACK — and the window ratchets down to the floor.
+        cc.on_path_change(SimTime::from_millis(100));
+        assert_eq!(cc.base_rtt, None, "anchor must expire on a path change");
+        let mut t = 200;
+        for _ in 0..10 {
+            cc.on_ack(&ack(t, mss, 90, mss));
+            t += 120;
+        }
+        // The 90 ms samples re-anchored base: no phantom queue, so the
+        // window grew (diff = 0 < alpha) instead of collapsing.
+        assert_eq!(cc.base_rtt, Some(SimDuration::from_millis(90)));
+        assert!(cc.cwnd() > w, "{} vs {w}", cc.cwnd());
+    }
+
+    #[test]
+    fn stale_base_rtt_collapses_without_path_change() {
+        // The counterfactual for `path_change_resamples_base_rtt`: same
+        // handover, no hint — the stale 10 ms anchor reads the new path's
+        // propagation delay as a standing queue and Vegas backs off to
+        // its floor. This is the bug the hint exists to fix.
+        let mss = 1_000;
+        let mut cc = Vegas::new(mss);
+        cc.on_ack(&ack(0, mss, 10, mss));
+        cc.on_loss_event(SimTime::ZERO);
+        let w = cc.cwnd();
+        let mut t = 200;
+        for _ in 0..10 {
+            cc.on_ack(&ack(t, mss, 90, mss));
+            t += 120;
+        }
+        assert!(cc.cwnd() < w, "{} vs {w}", cc.cwnd());
     }
 
     #[test]

@@ -142,6 +142,7 @@ mod tests {
             acked_bytes: acked,
             rtt: Some(SimDuration::from_millis(rtt_ms)),
             in_flight: 0,
+            lost_bytes: 0,
             mss,
             delivery_rate: None,
         }

@@ -3,9 +3,10 @@
 //! Packet-level transport protocols for the *starlink-browser-view*
 //! reproduction: a simplified-but-faithful TCP with the **five pluggable
 //! congestion-control algorithms the paper stress-tests in Fig. 8** (BBR,
-//! CUBIC, Reno, Vegas, Veno), plus UDP blast/sink endpoints used to probe
-//! maximum achievable capacity and to measure per-interval loss (Figs. 6c
-//! and 7).
+//! CUBIC, Reno, Vegas, Veno) plus a BBRv2-class extension for the
+//! many-flow fairness experiments, and UDP blast/sink endpoints used to
+//! probe maximum achievable capacity and to measure per-interval loss
+//! (Figs. 6c and 7).
 //!
 //! The TCP implementation carries what matters for congestion dynamics
 //! over a bursty-loss LEO path:
@@ -32,5 +33,5 @@ pub mod tcp;
 pub mod udp;
 
 pub use cc::{AckSample, CcAlgorithm, CongestionControl};
-pub use tcp::{TcpReceiver, TcpSender, TcpSenderStats};
+pub use tcp::{TcpConfig, TcpReceiver, TcpSender, TcpSenderStats};
 pub use udp::{UdpBlaster, UdpSink, UdpSinkStats};

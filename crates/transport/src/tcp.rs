@@ -12,7 +12,7 @@
 
 use crate::cc::{AckSample, CcAlgorithm, CongestionControl};
 use starlink_netsim::{Ctx, Handler, NodeId, Packet, Payload, SackBlocks, TcpFlags, TcpHeader};
-use starlink_obsv::{self as obsv, TcpPhase, TraceEvent};
+use starlink_obsv::{self as obsv, CcPhase, TcpPhase, TraceEvent};
 use starlink_simcore::{Bytes, DataRate, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -23,6 +23,7 @@ const KIND_START: u64 = 0;
 const KIND_RTO: u64 = 1;
 const KIND_PACE: u64 = 2;
 const KIND_TLP: u64 = 3;
+const KIND_PATH: u64 = 4;
 
 /// Lower bound on the retransmission timeout.
 const MIN_RTO: SimDuration = SimDuration::from_millis(200);
@@ -65,6 +66,8 @@ pub struct TcpSenderStats {
     /// stay zero: links floor every hop at a strictly positive delay, so
     /// a zero sample means the virtual clock misbehaved.
     pub zero_rtt_samples: u64,
+    /// Scheduled path-change hints delivered to the congestion controller.
+    pub path_changes: u64,
 }
 
 impl TcpSenderStats {
@@ -94,6 +97,18 @@ pub struct TcpConfig {
     pub stop_at: Option<SimTime>,
     /// Record a cwnd sample at every ACK (costs memory; for analysis).
     pub trace_cwnd: bool,
+    /// Scheduled path-change hints (handover edges known to the scenario,
+    /// the stand-in for a real stack's link-layer notifications). At each
+    /// time the congestion controller's `on_path_change` runs, letting
+    /// path-anchored models (Vegas baseRTT) expire and re-sample.
+    /// Tracing never sees these: they are part of the schedule, so runs
+    /// stay identical whether or not observability is attached.
+    pub path_changes: Vec<SimTime>,
+    /// Test-only planted bug: the congestion controller stops honouring
+    /// its loss-rate ceiling (see
+    /// [`CongestionControl::debug_ignore_loss_ceiling`]). Only set by
+    /// `--inject-unfair-bug` fairness runs.
+    pub debug_unfair_cc: bool,
 }
 
 impl TcpConfig {
@@ -106,6 +121,8 @@ impl TcpConfig {
             total_bytes: Some(total),
             stop_at: None,
             trace_cwnd: false,
+            path_changes: Vec::new(),
+            debug_unfair_cc: false,
         }
     }
 
@@ -119,7 +136,22 @@ impl TcpConfig {
             total_bytes: None,
             stop_at: Some(stop_at),
             trace_cwnd: false,
+            path_changes: Vec::new(),
+            debug_unfair_cc: false,
         }
+    }
+
+    /// Attaches a schedule of path-change hint times.
+    pub fn with_path_changes(mut self, times: Vec<SimTime>) -> Self {
+        self.path_changes = times;
+        self
+    }
+
+    /// Arms the planted unfair-flow bug (test-only; see
+    /// [`TcpConfig::debug_unfair_cc`]).
+    pub fn with_unfair_cc_bug(mut self) -> Self {
+        self.debug_unfair_cc = true;
+        self
     }
 }
 
@@ -211,6 +243,10 @@ pub struct TcpSender {
     /// Last phase reported through the observability layer; transitions
     /// emit a `tcp_state` trace event.
     last_phase: TcpPhase,
+    /// Last congestion-control probe phase reported; transitions emit a
+    /// `cc_phase` trace event. `None` for window-only algorithms, which
+    /// have no probe state machine.
+    last_probe_phase: Option<CcPhase>,
     /// Reusable scratch for per-ACK sequence-number sweeps (cumulative
     /// removal and SACK coverage). At LEO bandwidth-delay products every
     /// ACK used to allocate a fresh `Vec` here — on the hot path that was
@@ -223,7 +259,11 @@ impl TcpSender {
     /// handle.
     pub fn new(peer: NodeId, config: TcpConfig) -> (Self, Rc<RefCell<TcpSenderStats>>) {
         let stats = Rc::new(RefCell::new(TcpSenderStats::default()));
-        let cc = config.algorithm.build(config.mss);
+        let mut cc = config.algorithm.build(config.mss);
+        if config.debug_unfair_cc {
+            cc.debug_ignore_loss_ceiling();
+        }
+        let last_probe_phase = cc.probe_phase();
         (
             TcpSender {
                 peer,
@@ -259,6 +299,7 @@ impl TcpSender {
                 tlp_outstanding: false,
                 tlp_allowed: true,
                 last_phase: TcpPhase::Handshake,
+                last_probe_phase,
                 ack_scratch: Vec::new(),
             },
             stats,
@@ -547,9 +588,10 @@ impl TcpSender {
         // Rate-sample candidate: the newest segment this ACK accounts for,
         // as (delivered_time_at_send, delivered_at_send, retransmitted).
         let mut rate_candidate: Option<(SimTime, u64, bool)> = None;
+        let cumulative_progress = hdr.ack > self.una;
 
         // Cumulative progress.
-        if hdr.ack > self.una {
+        if cumulative_progress {
             // Scratch swap instead of a fresh Vec: the steady-state ACK
             // path must not allocate.
             let mut to_remove = std::mem::take(&mut self.ack_scratch);
@@ -691,6 +733,7 @@ impl TcpSender {
                 acked_bytes: newly_acked,
                 rtt,
                 in_flight: self.in_flight(),
+                lost_bytes: self.lost_bytes,
                 mss: self.config.mss,
                 delivery_rate,
             };
@@ -747,7 +790,15 @@ impl TcpSender {
         }
 
         self.pump(ctx);
-        if self.in_flight() > 0 {
+        // RFC 6298 §5.3: restart the retransmission timer only when the
+        // ACK acknowledges new data *cumulatively*. Restarting on every
+        // ACK fences the RTO out forever when the one fast retransmit of
+        // the hole at `una` is itself dropped: SACKs for new data keep
+        // arriving, each re-arm pushes the deadline, and the flow
+        // livelocks in recovery — sending above the hole but never
+        // repairing it. With the timer left running, the RTO fires and
+        // retries the hole, as the recovery design expects.
+        if self.in_flight() > 0 && cumulative_progress {
             self.arm_rto(ctx);
         }
     }
@@ -762,18 +813,32 @@ impl TcpSender {
     /// Mirrors the congestion-control window state into the live stats
     /// handle, so external correctness oracles can check window-bound
     /// invariants without reaching into the boxed algorithm.
-    fn snapshot_cc_state(&self, now: SimTime) {
+    fn snapshot_cc_state(&mut self, now: SimTime) {
         let cwnd = self.cc.cwnd();
         let mut stats = self.stats.borrow_mut();
         stats.last_cwnd = cwnd;
         stats.min_cwnd_seen = Some(stats.min_cwnd_seen.map_or(cwnd, |m| m.min(cwnd)));
         stats.last_ssthresh = self.cc.ssthresh();
+        drop(stats);
         obsv::emit(|| TraceEvent::TcpCwnd {
             t_ns: now.as_nanos(),
             conn: self.config.conn,
             cwnd,
             ssthresh: self.cc.ssthresh().unwrap_or(u64::MAX),
         });
+        // Probe-phase transitions for model-based algorithms (BBR, BBRv2).
+        let phase = self.cc.probe_phase();
+        if phase != self.last_probe_phase {
+            if let (Some(from), Some(to)) = (self.last_probe_phase, phase) {
+                obsv::emit(|| TraceEvent::CcProbe {
+                    t_ns: now.as_nanos(),
+                    conn: self.config.conn,
+                    from,
+                    to,
+                });
+            }
+            self.last_probe_phase = phase;
+        }
     }
 
     fn on_rto_fired(&mut self, ctx: &mut Ctx) {
@@ -845,6 +910,12 @@ impl Handler for TcpSender {
     fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
         match token & 0b111 {
             KIND_START => {
+                // Arm the path-change schedule exactly once (the start
+                // token fires once; SYN retransmissions go through the
+                // RTO path and must not duplicate these timers).
+                for (i, &t) in self.config.path_changes.iter().enumerate() {
+                    ctx.set_timer(t, ((i as u64) << 3) | KIND_PATH);
+                }
                 self.send_syn(ctx);
             }
             KIND_RTO if token >> 3 == self.rto_gen => {
@@ -859,6 +930,12 @@ impl Handler for TcpSender {
             }
             KIND_TLP if token >> 3 == self.tlp_gen => {
                 self.fire_tlp(ctx);
+            }
+            KIND_PATH => {
+                self.cc.on_path_change(ctx.now);
+                self.stats.borrow_mut().path_changes += 1;
+                obsv::counter_add("tcp.path_changes", 1);
+                self.snapshot_cc_state(ctx.now);
             }
             _ => {}
         }
@@ -1255,6 +1332,61 @@ mod tests {
                 "trace diverged across threads"
             );
         }
+    }
+
+    #[test]
+    fn path_change_schedule_reaches_the_controller() {
+        let mut net = Network::new(33);
+        let a = net.add_node("sender", NodeKind::Host);
+        let b = net.add_node("receiver", NodeKind::Host);
+        net.connect_duplex(
+            a,
+            b,
+            LinkConfig::fixed(SimDuration::from_millis(10), DataRate::from_mbps(50), 0.0)
+                .with_queue(Bytes::from_kb(128)),
+            LinkConfig::fixed(SimDuration::from_millis(10), DataRate::from_mbps(100), 0.0),
+        );
+        net.route_linear(&[a, b]);
+        let config = TcpConfig::bulk(1, CcAlgorithm::Vegas, 5_000_000).with_path_changes(vec![
+            SimTime::from_millis(500),
+            SimTime::from_millis(1_500),
+            SimTime::from_millis(2_500),
+        ]);
+        let (sender, stats) = TcpSender::new(b, config);
+        let (receiver, _) = TcpReceiver::new(1, SimDuration::from_secs(1));
+        net.attach_handler(a, Box::new(sender));
+        net.attach_handler(b, Box::new(receiver));
+        net.arm_timer(a, SimTime::ZERO, TcpSender::start_token());
+        net.run_until(SimTime::from_secs(30));
+        assert_eq!(stats.borrow().path_changes, 3, "all hints must fire once");
+        assert!(stats.borrow().finished_at.is_some());
+    }
+
+    #[test]
+    fn bbr_transfer_traces_probe_phase_transitions() {
+        obsv::install_trace(Box::new(obsv::RingSink::new(1 << 14)));
+        let (_, in_order, _) = run_transfer(
+            CcAlgorithm::Bbr,
+            20_000_000,
+            DataRate::from_mbps(50),
+            SimDuration::from_millis(10),
+            0.0,
+            SimTime::from_secs(30),
+        );
+        let mut sink = obsv::take_trace().expect("sink installed");
+        let jsonl = sink.drain_jsonl().expect("ring sink buffers");
+        assert_eq!(in_order, 20_000_000);
+        assert!(
+            jsonl.contains("\"ev\":\"cc_phase\""),
+            "BBR must report probe-phase transitions"
+        );
+        // The ring keeps only the newest events, so assert on the
+        // recurring ProbeBW-cycle transitions rather than the one-off
+        // startup exit.
+        assert!(
+            jsonl.contains("\"from\":\"probe_up\",\"to\":\"probe_down\""),
+            "ProbeBW cycle transitions must surface"
+        );
     }
 
     #[test]
